@@ -1,0 +1,240 @@
+package homeguard
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's per-experiment index), plus ablation benches for the
+// design choices: candidate filtering before solving, constraint-solving
+// result reuse, and symbolic execution vs AST-grep-style extraction.
+
+import (
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/experiments"
+	"homeguard/internal/messaging"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+// BenchmarkTable1Detection runs the seven category-coverage scenarios.
+func BenchmarkTable1Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		for _, r := range rows {
+			if !r.Detected {
+				b.Fatalf("category %s undetected", r.Kind)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2RuleExtraction extracts ComfortTV (Listing 1 → Table II).
+func BenchmarkTable2RuleExtraction(b *testing.B) {
+	a, _ := corpus.Get("ComfortTV")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil || len(res.Rules.Rules) != 1 {
+			b.Fatal("extraction failed")
+		}
+	}
+}
+
+// BenchmarkTable3Malicious extracts rules from the 18 malicious apps.
+func BenchmarkTable3Malicious(b *testing.B) {
+	apps := corpus.ByCategory(corpus.Malicious)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range apps {
+			if _, err := symexec.Extract(a.Source, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8StoreAudit runs the full 90-app pairwise audit.
+func BenchmarkFig8StoreAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8()
+		if r.TotalThreats == 0 {
+			b.Fatal("no threats found")
+		}
+	}
+}
+
+// BenchmarkFig9DetectionOverhead measures all-kinds detection on the
+// canonical pairs with solving-result reuse enabled.
+func BenchmarkFig9DetectionOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9()
+		if r.CacheHits == 0 {
+			b.Fatal("reuse did not engage")
+		}
+	}
+}
+
+// BenchmarkRuleExtractionPerApp is the Sec. VIII-C mean-extraction-time
+// measurement (paper: 1341 ms/app on an i7-6700 under the Groovy
+// compiler; ours runs the native extractor).
+func BenchmarkRuleExtractionPerApp(b *testing.B) {
+	var apps []corpus.App
+	apps = append(apps, corpus.ByCategory(corpus.Demo)...)
+	apps = append(apps, corpus.ByCategory(corpus.Benign)...)
+	apps = append(apps, corpus.ByCategory(corpus.Notification)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := apps[i%len(apps)]
+		if _, err := symexec.Extract(a.Source, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleFileSize measures rule-file serialization (paper: ≈6.2 KB
+// mean rule file).
+func BenchmarkRuleFileSize(b *testing.B) {
+	a, _ := corpus.Get("MakeItSo")
+	res, err := symexec.Extract(a.Source, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := rule.MarshalRuleSet(res.Rules)
+		if err != nil || len(buf) == 0 {
+			b.Fatal("marshal failed")
+		}
+	}
+}
+
+// BenchmarkConfigCollectionSMS / HTTP reproduce the messaging latency
+// comparison; the reported metric is simulated end-to-end latency, the
+// benchmark time is the simulation cost.
+func BenchmarkConfigCollectionSMS(b *testing.B) {
+	inbox := &messaging.Inbox{}
+	ch := messaging.NewSMS("5551234", inbox, 1)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		d, err := ch.Send("homeguard://appname:X/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int64(d.Latency)
+	}
+	b.ReportMetric(float64(total)/float64(b.N)/1e6, "simulated-ms/delivery")
+}
+
+func BenchmarkConfigCollectionHTTP(b *testing.B) {
+	inbox := &messaging.Inbox{}
+	ch := messaging.NewHTTP("token", inbox, 1)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		d, err := ch.Send("homeguard://appname:X/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int64(d.Latency)
+	}
+	b.ReportMetric(float64(total)/float64(b.N)/1e6, "simulated-ms/delivery")
+}
+
+// ---------- ablation benches (DESIGN.md design decisions) ----------
+
+// BenchmarkAblationFiltering compares detection with the M_AR/M_GC
+// candidate pre-filters against solve-everything, over a slice of the
+// store corpus (the filters reject most of the pairwise work).
+func BenchmarkAblationFiltering(b *testing.B) {
+	apps := corpus.StoreAudit()[:20]
+	var installed []*detect.InstalledApp
+	for _, a := range apps {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		installed = append(installed, detect.NewInstalledApp(res, experiments.StoreConfig(res)))
+	}
+	run := func(b *testing.B, opts detect.Options) {
+		for i := 0; i < b.N; i++ {
+			d := detect.New(opts)
+			for _, ia := range installed {
+				d.Install(ia)
+			}
+		}
+	}
+	b.Run("with-filtering", func(b *testing.B) { run(b, detect.Options{}) })
+	b.Run("without-filtering", func(b *testing.B) { run(b, detect.Options{DisableFiltering: true}) })
+}
+
+// BenchmarkAblationReuse compares solving-result reuse on the
+// Self-Disabling scenario (where CT reuses the AR merge).
+func BenchmarkAblationReuse(b *testing.B) {
+	install := func(opts detect.Options) *detect.Detector {
+		d := detect.New(opts)
+		cfg1 := detect.NewConfig()
+		cfg1.Devices["ac1"] = "dev-ac"
+		cfg1.DeviceTypes["ac1"] = envmodel.AirConditioner
+		d.Install(detect.NewInstalledApp(experiments.MustExtract("ItsTooHot"), cfg1))
+		cfg2 := detect.NewConfig()
+		cfg2.Devices["heavyLoads"] = "dev-ac"
+		cfg2.DeviceTypes["heavyLoads"] = envmodel.AirConditioner
+		d.Install(detect.NewInstalledApp(experiments.MustExtract("EnergySaver"), cfg2))
+		return d
+	}
+	b.Run("with-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := install(detect.Options{})
+			if d.Stats().SolverCacheHits == 0 {
+				b.Fatal("no reuse")
+			}
+		}
+	})
+	b.Run("without-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			install(detect.Options{DisableReuse: true})
+		}
+	})
+}
+
+// BenchmarkExtractionCorpus sweeps the whole corpus through the extractor
+// (the Sec. VIII-B 146-app run; ours analyses the 122 non-web-service
+// corpus apps + 22 web/malicious separately).
+func BenchmarkExtractionCorpus(b *testing.B) {
+	apps := corpus.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range apps {
+			if _, err := symexec.Extract(a.Source, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(apps)), "apps/op")
+}
+
+// BenchmarkInstallReport measures the full public-API install flow
+// (extraction + detection + report rendering) for one app pair.
+func BenchmarkInstallReport(b *testing.B) {
+	comfort, _ := corpus.Get("ComfortTV")
+	cold, _ := corpus.Get("ColdDefender")
+	for i := 0; i < b.N; i++ {
+		home := NewHome(Options{})
+		cfg1 := NewConfig()
+		cfg1.Devices["tv1"] = "dev-tv"
+		cfg1.Devices["window1"] = "dev-window"
+		if _, err := home.InstallApp(comfort.Source, cfg1); err != nil {
+			b.Fatal(err)
+		}
+		cfg2 := NewConfig()
+		cfg2.Devices["tv1"] = "dev-tv"
+		cfg2.Devices["window1"] = "dev-window"
+		res, err := home.InstallApp(cold.Source, cfg2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Threats) == 0 {
+			b.Fatal("race not reported")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Command homeguard is the HomeGuard CLI: extract rules from SmartApp
+// sources, instrument apps for configuration collection, audit a directory
+// of apps pairwise, and describe corpus apps.
+//
+// Usage:
+//
+//	homeguard extract <file.groovy|corpus:Name>     print extracted rules
+//	homeguard extract -json <file|corpus:Name>      print the rule file JSON
+//	homeguard instrument <file|corpus:Name>         print instrumented source
+//	homeguard audit <dir-with-.groovy|corpus>       pairwise CAI detection
+//	homeguard describe <file|corpus:Name>           human-readable rules
+//	homeguard recipe "<ifttt recipe text>"          NL rule extraction
+//	homeguard corpus                                list corpus apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"homeguard"
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/experiments"
+	"homeguard/internal/frontend"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "extract":
+		err = cmdExtract(args)
+	case "instrument":
+		err = cmdInstrument(args)
+	case "audit":
+		err = cmdAudit(args)
+	case "describe":
+		err = cmdDescribe(args)
+	case "recipe":
+		err = cmdRecipe(args)
+	case "corpus":
+		err = cmdCorpus()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "homeguard:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  homeguard extract [-json] <file.groovy|corpus:Name>
+  homeguard instrument <file.groovy|corpus:Name>
+  homeguard audit <dir|corpus>
+  homeguard describe <file.groovy|corpus:Name>
+  homeguard recipe "<ifttt recipe text>"
+  homeguard corpus`)
+}
+
+// loadSource resolves "corpus:Name" or a file path.
+func loadSource(arg string) (string, error) {
+	if name, ok := strings.CutPrefix(arg, "corpus:"); ok {
+		a, found := corpus.Get(name)
+		if !found {
+			return "", fmt.Errorf("unknown corpus app %q", name)
+		}
+		return a.Source, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the rule-file JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("extract needs exactly one source")
+	}
+	src, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := homeguard.ExtractRules(src)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		b, err := rule.MarshalRuleSet(res.Rules)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Printf("app: %s (%d rules, %d paths explored)\n",
+		res.App.Name, len(res.Rules.Rules), res.Paths)
+	for _, r := range res.Rules.Rules {
+		fmt.Println(" ", r)
+	}
+	for _, w := range res.Warnings {
+		fmt.Println("  warning:", w)
+	}
+	return nil
+}
+
+func cmdInstrument(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("instrument needs exactly one source")
+	}
+	src, err := loadSource(args[0])
+	if err != nil {
+		return err
+	}
+	out, err := homeguard.InstrumentApp(src)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdDescribe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("describe needs exactly one source")
+	}
+	src, err := loadSource(args[0])
+	if err != nil {
+		return err
+	}
+	res, err := homeguard.ExtractRules(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s\n", res.App.Name, res.App.Description)
+	for _, r := range res.Rules.Rules {
+		fmt.Println("  •", homeguard.DescribeRule(r))
+	}
+	return nil
+}
+
+func cmdRecipe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf(`recipe needs one quoted recipe string`)
+	}
+	r, err := homeguard.ParseRecipe("ifttt", args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(homeguard.DescribeRule(r))
+	fmt.Println("raw:", r)
+	return nil
+}
+
+func cmdCorpus() error {
+	for _, cat := range []corpus.Category{
+		corpus.Demo, corpus.Benign, corpus.Notification,
+		corpus.WebService, corpus.Malicious,
+	} {
+		apps := corpus.ByCategory(cat)
+		fmt.Printf("%s (%d):\n", cat, len(apps))
+		for _, a := range apps {
+			extra := ""
+			if a.Attack != "" {
+				extra = " [" + a.Attack + "]"
+			}
+			fmt.Printf("  %s%s\n", a.Name, extra)
+		}
+	}
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("audit needs a directory of .groovy files, or 'corpus'")
+	}
+	type loaded struct {
+		name string
+		src  string
+	}
+	var apps []loaded
+	if args[0] == "corpus" {
+		for _, a := range corpus.StoreAudit() {
+			apps = append(apps, loaded{a.Name, a.Source})
+		}
+	} else {
+		entries, err := filepath.Glob(filepath.Join(args[0], "*.groovy"))
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("no .groovy files under %s", args[0])
+		}
+		for _, f := range entries {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			apps = append(apps, loaded{strings.TrimSuffix(filepath.Base(f), ".groovy"), string(b)})
+		}
+	}
+	d := detect.New(detect.Options{})
+	total := 0
+	for _, a := range apps {
+		res, err := symexec.Extract(a.src, a.name)
+		if err != nil {
+			fmt.Printf("skip %s: %v\n", a.name, err)
+			continue
+		}
+		threats := d.Install(detect.NewInstalledApp(res, experiments.StoreConfig(res)))
+		for _, t := range threats {
+			fmt.Println("⚠", frontend.DescribeThreat(t))
+			total++
+		}
+	}
+	st := d.Stats()
+	fmt.Printf("\n%d apps, %d pairs checked, %d threats, %d solver calls (%d reused)\n",
+		len(apps), st.PairsChecked, total, st.SolverCalls, st.SolverCacheHits)
+	return nil
+}

@@ -1,0 +1,269 @@
+package homeguard
+
+// End-to-end deployment-path test (Sec. VII): instrument an app, run the
+// instrumented Groovy in the platform simulator so its updated() lifecycle
+// collects the real configuration, ship the URI over the simulated SMS
+// channel, parse it on the "phone", build the detection config from it,
+// and detect the Fig. 3 race — the full HomeGuard pipeline with no step
+// mocked out.
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/instrument"
+	"homeguard/internal/interp"
+	"homeguard/internal/messaging"
+	"homeguard/internal/platform"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+func TestDeploymentPathEndToEnd(t *testing.T) {
+	comfort, _ := corpus.Get("ComfortTV")
+	cold, _ := corpus.Get("ColdDefender")
+
+	// 1. Instrument both apps (the backend's automatic rewrite).
+	instComfort, err := instrument.Instrument(comfort.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instCold, err := instrument.Instrument(cold.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Install the instrumented apps in the simulator and run updated()
+	// — the inserted code collects config and sends the URI via SMS.
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "dev-tv", Name: "tv",
+		Capabilities: []string{"switch"}, Type: envmodel.TV})
+	h.AddDevice(&platform.Device{ID: "dev-window", Name: "window opener",
+		Capabilities: []string{"switch"}, Type: envmodel.WindowOpener})
+	h.AddDevice(&platform.Device{ID: "dev-temp", Name: "temp",
+		Capabilities: []string{"temperatureMeasurement"}})
+
+	appComfort, err := interp.Install(h, instComfort,
+		interp.NewConfig().
+			Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+			Set("threshold1", 30).Set("patchedphone", "555-0100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appComfort.Update() // installation triggers updated() → collectConfigInfo
+
+	appCold, err := interp.Install(h, instCold,
+		interp.NewConfig().
+			Bind("tv1", "dev-tv").Bind("window1", "dev-window").
+			Set("weather", "rainy").Set("patchedphone", "555-0100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appCold.Update()
+
+	if len(h.Messages) < 2 {
+		t.Fatalf("expected 2 config SMS messages, got %v", h.Messages)
+	}
+
+	// 3. Relay the URIs through the simulated SMS carrier to the frontend
+	// inbox (555-0100 is the HomeGuard phone).
+	inbox := &messaging.Inbox{}
+	sms := messaging.NewSMS("555-0100", inbox, 99)
+	for _, m := range h.Messages {
+		payload := m[strings.Index(m, ": ")+2:]
+		if _, err := sms.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 4. The frontend parses each URI and builds the detection config.
+	d := detect.New(detect.Options{})
+	var lastThreats []detect.Threat
+	for i, delivery := range inbox.Deliveries() {
+		info, err := instrument.ParseConfigURI(delivery.Payload)
+		if err != nil {
+			t.Fatalf("delivery %d: %v (payload %q)", i, err, delivery.Payload)
+		}
+		src := comfort.Source
+		if info.AppName == "ColdDefender" {
+			src = cold.Source
+		}
+		res, err := symexec.Extract(src, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		info.Classify(res.App)
+		cfg := detect.NewConfig()
+		for in, id := range info.Devices {
+			cfg.Devices[in] = id
+		}
+		for in, v := range info.Values {
+			if n, ok := parseInt(v); ok {
+				cfg.Values[in] = rule.IntVal(n)
+			} else if v != "null" {
+				cfg.Values[in] = rule.StrVal(v)
+			}
+		}
+		cfg.DeviceTypes["window1"] = envmodel.WindowOpener
+		lastThreats = d.Install(detect.NewInstalledApp(res, cfg))
+	}
+
+	// 5. The second install reports the Fig. 3 race with the real device
+	// IDs collected from inside the running apps.
+	var ar *detect.Threat
+	for i := range lastThreats {
+		if lastThreats[i].Kind == detect.ActuatorRace {
+			ar = &lastThreats[i]
+		}
+	}
+	if ar == nil {
+		t.Fatalf("race not detected; threats: %v", lastThreats)
+	}
+	if ar.Witness != nil {
+		if v, ok := ar.Witness["dev-tv.switch"]; ok && v.Enum != "on" {
+			t.Errorf("witness uses wrong device binding: %v", ar.Witness)
+		}
+	}
+
+	// 6. Latency sanity (the Sec. VIII-C numbers flow from the channel).
+	for _, dd := range inbox.Deliveries() {
+		if dd.Latency <= 0 {
+			t.Error("delivery without simulated latency")
+		}
+	}
+}
+
+func parseInt(s string) (int64, bool) {
+	var n int64
+	neg := false
+	if s == "" {
+		return 0, false
+	}
+	for i, c := range s {
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// TestBackwardCompatibility covers Sec. VIII-D-3: users reinstall the
+// instrumented version of an already-installed app without changing its
+// configuration; updated() fires and the config flows to HomeGuard.
+func TestBackwardCompatibility(t *testing.T) {
+	night, _ := corpus.Get("NightCare")
+	inst, err := instrument.Instrument(night.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := platform.NewHome(2)
+	h.AddDevice(&platform.Device{ID: "dev-lamp", Name: "floor lamp",
+		Capabilities: []string{"switch"}, Type: envmodel.LightDev})
+	app, err := interp.Install(h, inst,
+		interp.NewConfig().Bind("lamp1", "dev-lamp").Set("patchedphone", "555"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Update()
+	if len(h.Messages) == 0 {
+		t.Fatal("reinstall should emit the config URI")
+	}
+	payload := h.Messages[len(h.Messages)-1]
+	payload = payload[strings.Index(payload, ": ")+2:]
+	info, err := instrument.ParseConfigURI(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AppName != "NightCare" {
+		t.Errorf("app name = %q", info.AppName)
+	}
+	res, _ := symexec.Extract(night.Source, "")
+	info.Classify(res.App)
+	if info.Devices["lamp1"] != "dev-lamp" {
+		t.Errorf("device binding = %v", info.Devices)
+	}
+	// The app still works after instrumentation: lamp turns off after the
+	// night delay.
+	h.SetMode("Night")
+	h.Command("dev-lamp", "on")
+	h.Step(400)
+	lamp, _ := h.Device("dev-lamp")
+	if v, _ := lamp.Attr("switch"); v.Str != "off" {
+		t.Errorf("instrumented NightCare broken: lamp = %v", v)
+	}
+}
+
+// TestStaticFindingVerifiedDynamically closes the loop: a threat HomeGuard
+// reports statically is confirmed by running the same apps in the
+// simulator (the paper verified discovered threats with simulated and
+// real devices).
+func TestStaticFindingVerifiedDynamically(t *testing.T) {
+	its, _ := corpus.Get("ItsTooHot")
+	saver, _ := corpus.Get("EnergySaver")
+
+	// Static: SD between the two apps on the same AC.
+	home := NewHome(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["ac1"] = "dev-ac"
+	cfg1.DeviceTypes["ac1"] = envmodel.AirConditioner
+	if _, err := home.InstallApp(its.Source, cfg1); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := NewConfig()
+	cfg2.Devices["heavyLoads"] = "dev-ac"
+	cfg2.DeviceTypes["heavyLoads"] = envmodel.AirConditioner
+	res, err := home.InstallApp(saver.Source, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSD bool
+	for _, th := range res.Threats {
+		if th.Kind == SelfDisabling {
+			sawSD = true
+		}
+	}
+	if !sawSD {
+		t.Fatalf("static SD not reported: %v", res.Threats)
+	}
+
+	// Dynamic: turning the AC on pushes power over the threshold and
+	// EnergySaver turns it right back off.
+	h := platform.NewHome(3)
+	h.AddDevice(&platform.Device{ID: "dev-ac", Name: "air conditioner",
+		Capabilities: []string{"switch"}, Type: envmodel.AirConditioner, WattsOn: 2500})
+	h.AddDevice(&platform.Device{ID: "dev-temp", Name: "temp",
+		Capabilities: []string{"temperatureMeasurement"}})
+	h.AddDevice(&platform.Device{ID: "dev-meter", Name: "meter",
+		Capabilities: []string{"powerMeter"}})
+	if _, err := interp.Install(h, its.Source, interp.NewConfig().
+		Bind("tSensor", "dev-temp").Bind("ac1", "dev-ac").Set("hot", 28)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Install(h, saver.Source, interp.NewConfig().
+		Bind("meter", "dev-meter").Bind("heavyLoads", "dev-ac").Set("maxW", 2000)); err != nil {
+		t.Fatal(err)
+	}
+	// Heat the room: ItsTooHot switches the AC on...
+	h.InjectSensor("dev-temp", "temperature", platform.IntValue(33))
+	ac, _ := h.Device("dev-ac")
+	if v, _ := ac.Attr("switch"); v.Str != "on" {
+		t.Fatalf("AC should be on after the heat spike, got %v", v)
+	}
+	// ...one meter tick later the power reading trips EnergySaver, which
+	// turns it off again: the Self-Disabling loop closes.
+	h.Step(120)
+	if v, _ := ac.Attr("switch"); v.Str != "off" {
+		t.Errorf("AC = %v — EnergySaver should have disabled ItsTooHot's action", v)
+	}
+}

@@ -1,0 +1,88 @@
+package homeguard_test
+
+import (
+	"fmt"
+
+	"homeguard"
+)
+
+// ExampleExtractRules shows symbolic rule extraction from SmartApp source.
+func ExampleExtractRules() {
+	src := `
+definition(name: "Nightlight", namespace: "ex", author: "ex",
+    description: "Turn on the light when motion is detected in the dark.",
+    category: "Convenience")
+input "motion1", "capability.motionSensor"
+input "luxSensor", "capability.illuminanceMeasurement"
+input "light1", "capability.switch"
+input "darkLux", "number"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (luxSensor.currentIlluminance < darkLux) {
+        light1.on()
+    }
+}
+`
+	res, err := homeguard.ExtractRules(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range res.Rules.Rules {
+		fmt.Println(homeguard.DescribeRule(r))
+	}
+	// Output:
+	// When motion1's motion becomes active, if luxSensor's illuminance is below the configured darkLux, then issue light1's on.
+}
+
+// ExampleHome_InstallApp shows install-time threat detection.
+func ExampleHome_InstallApp() {
+	openApp := `
+definition(name: "OpenUp", namespace: "ex", author: "ex",
+    description: "Open the window opener on motion.", category: "c")
+input "motion1", "capability.motionSensor"
+input "window1", "capability.switch"
+def installed() { subscribe(motion1, "motion.active", go) }
+def go(evt) { window1.on() }
+`
+	closeApp := `
+definition(name: "ShutTight", namespace: "ex", author: "ex",
+    description: "Close the window opener when the home sleeps.", category: "c")
+input "window1", "capability.switch"
+def installed() { subscribe(location, "mode", go) }
+def go(evt) {
+    if (evt.value == "Night") { window1.off() }
+}
+`
+	home := homeguard.NewHome(homeguard.Options{})
+	cfg1 := homeguard.NewConfig()
+	cfg1.Devices["window1"] = "dev-window"
+	if _, err := home.InstallApp(openApp, cfg1); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cfg2 := homeguard.NewConfig()
+	cfg2.Devices["window1"] = "dev-window"
+	res, err := home.InstallApp(closeApp, cfg2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, t := range res.Threats {
+		fmt.Println(t.Kind, t.R1.App, "vs", t.R2.App)
+	}
+	// Output:
+	// AR OpenUp vs ShutTight
+}
+
+// ExampleParseRecipe shows natural-language rule extraction (IFTTT-style).
+func ExampleParseRecipe() {
+	r, err := homeguard.ParseRecipe("ifttt", "If the humidity rises above 70 then turn on the fan")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(homeguard.DescribeRule(r))
+	// Output:
+	// When humSensor's humidity becomes more than 70, then issue fan's on.
+}

@@ -1,0 +1,67 @@
+// IFTTT bridge (Sec. VIII-D / Table IV): platforms like IFTTT define rules
+// through templates rather than programs. This example extracts rules from
+// natural-language recipes with the NLP pipeline and runs cross-platform
+// CAI detection against Groovy-extracted rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"homeguard"
+	"homeguard/internal/corpus"
+	"homeguard/internal/envmodel"
+)
+
+func main() {
+	recipes := []string{
+		"If the temperature rises above 80 then turn on the fan",
+		"When the temperature drops below 15, turn on the heater",
+		"If motion is detected and the mode is night then turn on the light",
+		"When presence leaves, lock the door",
+		"If smoke is detected, send me a notification",
+		"When the illuminance drops below 100 then open the curtain",
+	}
+	fmt.Println("== Extracting rules from IFTTT-style recipes ==")
+	var rules []*homeguard.Rule
+	for _, text := range recipes {
+		r, err := homeguard.ParseRecipe("ifttt", text)
+		if err != nil {
+			fmt.Printf("  ✗ %q: %v\n", text, err)
+			continue
+		}
+		fmt.Printf("  ✓ %q\n    → %s\n", text, homeguard.DescribeRule(r))
+		rules = append(rules, r)
+	}
+
+	// Cross-platform detection: the recipe-driven fan fights a Groovy app
+	// controlling the same physical fan.
+	fmt.Println("\n== Cross-platform detection (recipes × Groovy apps) ==")
+	home := homeguard.NewHome(homeguard.Options{})
+	its, _ := corpus.Get("ItsTooHot") // Groovy: hot → AC(on); same class of conflict
+	cfg := homeguard.NewConfig()
+	cfg.Devices["ac1"] = "dev-fan"
+	cfg.DeviceTypes["ac1"] = envmodel.Fan
+	if _, err := home.InstallApp(its.Source, cfg); err != nil {
+		log.Fatal(err)
+	}
+	// EnergySaver turns the same device off when power spikes.
+	saver, _ := corpus.Get("EnergySaver")
+	cfg2 := homeguard.NewConfig()
+	cfg2.Devices["heavyLoads"] = "dev-fan"
+	cfg2.DeviceTypes["heavyLoads"] = envmodel.Fan
+	if _, err := home.InstallApp(saver.Source, cfg2); err != nil {
+		log.Fatal(err)
+	}
+	cfg3 := homeguard.NewConfig()
+	cfg3.Devices["fan"] = "dev-fan"
+	cfg3.DeviceTypes["fan"] = envmodel.Fan
+	threats := home.InstallRules("ifttt", rules, cfg3)
+	if len(threats) == 0 {
+		fmt.Println("  no threats found")
+		return
+	}
+	for _, t := range threats {
+		fmt.Println("  ⚠", homeguard.DescribeThreat(t))
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: extract rules from the paper's ComfortTV app (Listing 1),
+// install it alongside ColdDefender on the same devices, and watch
+// HomeGuard report the Fig. 3 Actuator Race at install time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"homeguard"
+	"homeguard/internal/corpus"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+func main() {
+	comfort, _ := corpus.Get("ComfortTV")
+	cold, _ := corpus.Get("ColdDefender")
+
+	// 1. Extraction only: what does this app do?
+	res, err := homeguard.ExtractRules(comfort.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Extracted rules of", res.App.Name, "==")
+	for _, r := range res.Rules.Rules {
+		fmt.Println("  •", homeguard.DescribeRule(r))
+		fmt.Println("    raw:", r)
+	}
+
+	// 2. Deployment flow: install both apps bound to the same TV and the
+	// same window opener; the second install reports the race.
+	home := homeguard.NewHome(homeguard.Options{})
+
+	cfg1 := homeguard.NewConfig()
+	cfg1.Devices["tv1"] = "0e0b-1111-tv"
+	cfg1.Devices["window1"] = "77aa-2222-window"
+	cfg1.DeviceTypes["window1"] = envmodel.WindowOpener
+	cfg1.Values["threshold1"] = rule.IntVal(30)
+	first, err := home.InstallApp(comfort.Source, cfg1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(first.Report)
+
+	cfg2 := homeguard.NewConfig()
+	cfg2.Devices["tv1"] = "0e0b-1111-tv"
+	cfg2.Devices["window1"] = "77aa-2222-window"
+	cfg2.DeviceTypes["window1"] = envmodel.WindowOpener
+	second, err := home.InstallApp(cold.Source, cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(second.Report)
+
+	// 3. The instrumented app that ships configuration to the frontend.
+	instrumented, err := homeguard.InstrumentApp(comfort.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== First lines of the instrumented ComfortTV ==")
+	for i, line := 0, 0; i < len(instrumented) && line < 6; i++ {
+		fmt.Print(string(instrumented[i]))
+		if instrumented[i] == '\n' {
+			line++
+		}
+	}
+}

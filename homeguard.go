@@ -1,0 +1,207 @@
+// Package homeguard is a reproduction of "Cross-App Interference Threats
+// in Smart Homes: Categorization, Detection and Handling" (Chi, Zeng, Du,
+// Yu — DSN 2020): a system that extracts trigger–condition–action rules
+// from SmartThings SmartApps via symbolic execution and detects Cross-App
+// Interference (CAI) threats — Actuator Races, Goal Conflicts, Covert
+// Triggering, Self Disabling, Loop Triggering, and Enabling/Disabling-
+// Condition interference — before a new app is installed.
+//
+// The typical workflow mirrors HomeGuard's deployment:
+//
+//	home := homeguard.NewHome(homeguard.Options{})
+//	res, err := home.InstallApp(srcA, cfgA) // extraction + detection
+//	fmt.Println(res.Report)                 // human-readable dialog
+//	home.Accept(res.Threats...)             // the user keeps the app
+//
+// Lower-level building blocks (the Groovy parser, the symbolic executor,
+// the constraint solver, the platform simulator and the app corpus) live
+// under internal/.
+package homeguard
+
+import (
+	"fmt"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/frontend"
+	"homeguard/internal/instrument"
+	"homeguard/internal/nlp"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+// Re-exported types so callers need only this package for the main
+// workflow.
+type (
+	// Rule is an extracted trigger–condition–action automation rule.
+	Rule = rule.Rule
+	// Threat is one detected cross-app interference.
+	Threat = detect.Threat
+	// ThreatKind is a Table I category (AR, GC, CT, SD, LT, EC, DC).
+	ThreatKind = detect.Kind
+	// Config carries installation-time device bindings and values.
+	Config = detect.Config
+	// AppInfo is app metadata (name, description, inputs).
+	AppInfo = symexec.AppInfo
+	// ExtractionResult is the output of rule extraction.
+	ExtractionResult = symexec.Result
+	// DeviceType classifies a device's physical role.
+	DeviceType = envmodel.DeviceType
+)
+
+// Threat kinds (Table I).
+const (
+	ActuatorRace      = detect.ActuatorRace
+	GoalConflict      = detect.GoalConflict
+	CovertTriggering  = detect.CovertTriggering
+	SelfDisabling     = detect.SelfDisabling
+	LoopTriggering    = detect.LoopTriggering
+	EnablingCondition = detect.EnablingCondition
+	DisablingCond     = detect.DisablingCond
+)
+
+// ExtractRules symbolically executes a SmartApp source and returns its
+// rules, input declarations and metadata.
+func ExtractRules(src string) (*ExtractionResult, error) {
+	return symexec.Extract(src, "")
+}
+
+// NewConfig returns an empty installation configuration.
+func NewConfig() *Config { return detect.NewConfig() }
+
+// Options tune a Home's detector.
+type Options struct {
+	// Modes is the home's mode universe (default Home/Away/Night).
+	Modes []string
+	// DisableFiltering and DisableReuse are ablation switches; leave
+	// false in production.
+	DisableFiltering bool
+	DisableReuse     bool
+}
+
+// Home is one smart home protected by HomeGuard.
+type Home struct {
+	det *detect.Detector
+}
+
+// NewHome creates a home with an empty app set.
+func NewHome(opts Options) *Home {
+	return &Home{det: detect.New(detect.Options{
+		Modes:            opts.Modes,
+		DisableFiltering: opts.DisableFiltering,
+		DisableReuse:     opts.DisableReuse,
+	})}
+}
+
+// InstallResult is what the HomeGuard frontend shows the user at app
+// installation.
+type InstallResult struct {
+	App     AppInfo
+	Rules   []*Rule
+	Threats []Threat
+	// Chains are multi-hop interference chains through previously accepted
+	// threats (Sec. VI-D).
+	Chains []detect.Chain
+	// Report is the rendered installation dialog.
+	Report string
+	// Warnings are extraction diagnostics.
+	Warnings []string
+}
+
+// InstallApp extracts the app's rules and detects CAI threats against all
+// previously installed apps. cfg may be nil (type-level device identity).
+func (h *Home) InstallApp(src string, cfg *Config) (*InstallResult, error) {
+	res, err := symexec.Extract(src, "")
+	if err != nil {
+		return nil, fmt.Errorf("homeguard: %w", err)
+	}
+	ia := detect.NewInstalledApp(res, cfg)
+	threats := h.det.Install(ia)
+	chains := h.det.FindChains(threats, 4)
+	report := frontend.InstallReport(res.App.Name, res.Rules.Rules, threats)
+	for _, c := range chains {
+		report += "  ⛓ " + frontend.DescribeChain(c) + "\n"
+	}
+	return &InstallResult{
+		App:      res.App,
+		Rules:    res.Rules.Rules,
+		Threats:  threats,
+		Chains:   chains,
+		Report:   report,
+		Warnings: res.Warnings,
+	}, nil
+}
+
+// Accept records user-approved threats so later installs report chains
+// through them.
+func (h *Home) Accept(ts ...Threat) {
+	for _, t := range ts {
+		h.det.Accept(t)
+	}
+}
+
+// ReconfigureApp updates an installed app's configuration and re-runs
+// detection (the updated() lifecycle path): changing a device binding can
+// resolve — or introduce — interference.
+func (h *Home) ReconfigureApp(appName string, cfg *Config) []Threat {
+	return h.det.Reconfigure(appName, cfg)
+}
+
+// Detector exposes the underlying detector for advanced use (statistics,
+// pairwise queries).
+func (h *Home) Detector() *detect.Detector { return h.det }
+
+// DescribeRule renders a rule as an English sentence.
+func DescribeRule(r *Rule) string { return frontend.DescribeRule(r) }
+
+// DescribeThreat renders a threat explanation.
+func DescribeThreat(t Threat) string { return frontend.DescribeThreat(t) }
+
+// InstrumentApp rewrites a SmartApp to collect configuration information
+// at install time (Sec. VII, Listing 3).
+func InstrumentApp(src string) (string, error) { return instrument.Instrument(src) }
+
+// ParseRecipe extracts a rule from IFTTT-style natural-language recipe
+// text (Sec. VIII-D), returning it in the same representation as
+// Groovy-extracted rules so it can flow into detection.
+func ParseRecipe(app, text string) (*Rule, error) {
+	rr, err := nlp.ParseRecipe(app, text)
+	if err != nil {
+		return nil, err
+	}
+	return rr.Rule, nil
+}
+
+// ClassifySwitchDescription classifies a generic switch device from app
+// description text (used for type-level detection).
+func ClassifySwitchDescription(description string) DeviceType {
+	return nlp.ClassifySwitch(description)
+}
+
+// InstallRules installs a set of already-extracted rules (e.g. from
+// ParseRecipe) as one app, enabling cross-platform detection: rules from
+// IFTTT-style templates interplay with rules from Groovy apps.
+func (h *Home) InstallRules(appName string, rules []*Rule, cfg *Config) []Threat {
+	info := AppInfo{Name: appName}
+	seen := map[string]bool{}
+	addInput := func(name, capability string) {
+		if name == "" || capability == "" || seen[name] {
+			return
+		}
+		seen[name] = true
+		info.Inputs = append(info.Inputs, symexec.InputDecl{
+			Name: name, Type: "capability." + capability, Capability: capability,
+		})
+	}
+	rs := &rule.RuleSet{App: appName, Rules: rules}
+	rs.NumberRules()
+	for _, r := range rules {
+		addInput(r.Trigger.Subject, r.Trigger.Capability)
+		addInput(r.Action.Subject, r.Action.Capability)
+	}
+	ia := &detect.InstalledApp{Info: info, Rules: rs, Config: cfg}
+	if ia.Config == nil {
+		ia.Config = detect.NewConfig()
+	}
+	return h.det.Install(ia)
+}

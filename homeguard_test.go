@@ -1,0 +1,174 @@
+package homeguard
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+func src(t *testing.T, name string) string {
+	t.Helper()
+	a, ok := corpus.Get(name)
+	if !ok {
+		t.Fatalf("corpus app %q missing", name)
+	}
+	return a.Source
+}
+
+func TestPublicWorkflowFig3(t *testing.T) {
+	home := NewHome(Options{})
+
+	cfg1 := NewConfig()
+	cfg1.Devices["tv1"] = "dev-tv"
+	cfg1.Devices["window1"] = "dev-window"
+	cfg1.DeviceTypes["window1"] = envmodel.WindowOpener
+	cfg1.Values["threshold1"] = rule.IntVal(30)
+	r1, err := home.InstallApp(src(t, "ComfortTV"), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Threats) != 0 {
+		t.Errorf("first app should install clean, got %v", r1.Threats)
+	}
+	if len(r1.Rules) != 1 {
+		t.Fatalf("rules = %d", len(r1.Rules))
+	}
+
+	cfg2 := NewConfig()
+	cfg2.Devices["tv1"] = "dev-tv"
+	cfg2.Devices["window1"] = "dev-window"
+	cfg2.DeviceTypes["window1"] = envmodel.WindowOpener
+	r2, err := home.InstallApp(src(t, "ColdDefender"), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAR bool
+	for _, th := range r2.Threats {
+		if th.Kind == ActuatorRace {
+			sawAR = true
+		}
+	}
+	if !sawAR {
+		t.Fatalf("AR not reported: %v", r2.Threats)
+	}
+	if !strings.Contains(r2.Report, "Actuator Race") {
+		t.Errorf("report missing threat title:\n%s", r2.Report)
+	}
+	if !strings.Contains(r2.Report, "This app defines") {
+		t.Errorf("report missing rule list:\n%s", r2.Report)
+	}
+}
+
+func TestExtractRulesAPI(t *testing.T) {
+	res, err := ExtractRules(src(t, "ComfortTV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App.Name != "ComfortTV" || len(res.Rules.Rules) != 1 {
+		t.Errorf("res = %+v", res.App)
+	}
+	if s := DescribeRule(res.Rules.Rules[0]); !strings.Contains(s, "window1") {
+		t.Errorf("DescribeRule: %s", s)
+	}
+}
+
+func TestInstrumentAppAPI(t *testing.T) {
+	out, err := InstrumentApp(src(t, "ComfortTV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "collectConfigInfo") {
+		t.Error("instrumentation missing")
+	}
+}
+
+func TestParseRecipeAPI(t *testing.T) {
+	r, err := ParseRecipe("ifttt", "If the temperature rises above 80 then turn on the fan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action.Subject != "fan" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestRecipeRuleCrossPlatformDetection(t *testing.T) {
+	// An IFTTT-extracted rule participates in detection against a Groovy
+	// app: the recipe turns the fan on when hot; ACOffWhenWindowOpen-style
+	// Groovy app turns the same fan off — both can hold at once.
+	home := NewHome(Options{})
+	cfg := NewConfig()
+	cfg.Devices["fan1"] = "dev-fan"
+	cfg.DeviceTypes["fan1"] = envmodel.Fan
+	fanOff := `
+definition(name: "FanOffOnContact", namespace: "x", author: "x",
+    description: "Turn the fan off when the window contact opens.", category: "c")
+input "contact1", "capability.contactSensor"
+input "fan1", "capability.switch", title: "Fan"
+def installed() { subscribe(contact1, "contact.open", go) }
+def go(evt) { fan1.off() }
+`
+	if _, err := home.InstallApp(fanOff, cfg); err != nil {
+		t.Fatal(err)
+	}
+	recipe, err := ParseRecipe("ifttt", "If the temperature rises above 80 then turn on the fan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := NewConfig()
+	cfg2.Devices["fan"] = "dev-fan"
+	cfg2.DeviceTypes["fan"] = envmodel.Fan
+	threats := home.InstallRules("ifttt", []*Rule{recipe}, cfg2)
+	var sawAR bool
+	for _, th := range threats {
+		if th.Kind == ActuatorRace {
+			sawAR = true
+		}
+	}
+	if !sawAR {
+		t.Errorf("cross-platform AR not detected: %v", threats)
+	}
+}
+
+func TestClassifySwitchDescriptionAPI(t *testing.T) {
+	if got := ClassifySwitchDescription("Turns the ceiling fan on when it is hot."); got != envmodel.Fan {
+		t.Errorf("classified as %v", got)
+	}
+}
+
+func TestChainsExposed(t *testing.T) {
+	home := NewHome(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["tv1"] = "dev-tv"
+	cfg1.Devices["window1"] = "dev-window"
+	cfg1.DeviceTypes["window1"] = envmodel.WindowOpener
+	r1, _ := home.InstallApp(src(t, "ComfortTV"), cfg1)
+	home.Accept(r1.Threats...)
+	cfg2 := NewConfig()
+	cfg2.Devices["tv1"] = "dev-tv"
+	r2, _ := home.InstallApp(src(t, "CatchLiveShow"), cfg2)
+	home.Accept(r2.Threats...)
+	heater := `
+definition(name: "KeepWarm", namespace: "x", author: "x",
+    description: "Heat when cold.", category: "c")
+input "tSensor", "capability.temperatureMeasurement"
+input "heater1", "capability.switch", title: "Heater"
+def installed() { subscribe(tSensor, "temperature", go) }
+def go(evt) {
+    if (evt.doubleValue < 18) { heater1.on() }
+}
+`
+	cfg3 := NewConfig()
+	cfg3.Devices["heater1"] = "dev-heater"
+	cfg3.DeviceTypes["heater1"] = envmodel.Heater
+	r3, err := home.InstallApp(heater, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Chains) == 0 {
+		t.Error("expected interference chains through accepted threats")
+	}
+}

@@ -1,0 +1,210 @@
+// Package capability models the SmartThings capability system: the
+// permission units through which SmartApps are granted access to devices.
+// Each capability defines attributes (readable state) and commands
+// (actuation). The registry mirrors the public SmartThings capabilities
+// reference at the scale the paper reports: 104 capabilities protecting
+// 126 device-control commands, plus the 21 sensitive SmartApp APIs of
+// Table VI that the symbolic executor treats as sinks.
+package capability
+
+import (
+	"sort"
+	"strings"
+)
+
+// AttrKind is the value domain of an attribute or command parameter.
+type AttrKind int
+
+// Attribute kinds.
+const (
+	Enum   AttrKind = iota // finite set of string values
+	Number                 // bounded integer
+	Free                   // free-form string (not solver-tracked)
+)
+
+// Attribute is a readable device state element.
+type Attribute struct {
+	Name   string
+	Kind   AttrKind
+	Values []string // Enum: allowed values
+	Min    int64    // Number: inclusive bounds
+	Max    int64
+}
+
+// Parameter is a command parameter.
+type Parameter struct {
+	Name string
+	Kind AttrKind
+}
+
+// Effect describes how executing a command changes an attribute.
+// Exactly one of Value (a constant) or FromParam >= 0 (copy the parameter)
+// is meaningful.
+type Effect struct {
+	Attribute string
+	Value     string // constant new value ("" when FromParam >= 0)
+	FromParam int    // parameter index, or -1
+}
+
+// Command is a capability-protected device command.
+type Command struct {
+	Name    string
+	Params  []Parameter
+	Effects []Effect
+}
+
+// Capability is one entry of the capability registry.
+type Capability struct {
+	Name       string
+	Attributes []Attribute
+	Commands   []Command
+}
+
+// Attr returns the named attribute, or nil.
+func (c *Capability) Attr(name string) *Attribute {
+	for i := range c.Attributes {
+		if c.Attributes[i].Name == name {
+			return &c.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// Cmd returns the named command, or nil.
+func (c *Capability) Cmd(name string) *Command {
+	for i := range c.Commands {
+		if c.Commands[i].Name == name {
+			return &c.Commands[i]
+		}
+	}
+	return nil
+}
+
+// MainAttribute returns the capability's primary attribute name (the
+// first declared one), or "".
+func (c *Capability) MainAttribute() string {
+	if len(c.Attributes) == 0 {
+		return ""
+	}
+	return c.Attributes[0].Name
+}
+
+// Get looks up a capability by name. Names are accepted with or without
+// the "capability." prefix.
+func Get(name string) (*Capability, bool) {
+	name = strings.TrimPrefix(name, "capability.")
+	c, ok := registry[name]
+	return c, ok
+}
+
+// All returns every registered capability sorted by name.
+func All() []*Capability {
+	out := make([]*Capability, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CommandCount returns the total number of registered device commands.
+func CommandCount() int {
+	n := 0
+	for _, c := range registry {
+		n += len(c.Commands)
+	}
+	return n
+}
+
+// CommandRef identifies a command within its capability.
+type CommandRef struct {
+	Capability *Capability
+	Command    *Command
+}
+
+// CommandsNamed returns every (capability, command) pair whose command
+// name matches; command names such as on/off recur across capabilities.
+func CommandsNamed(cmd string) []CommandRef {
+	var out []CommandRef
+	for _, c := range All() {
+		if k := c.Cmd(cmd); k != nil {
+			out = append(out, CommandRef{Capability: c, Command: k})
+		}
+	}
+	return out
+}
+
+// IsDeviceCommand reports whether name is a registered device command in
+// any capability.
+func IsDeviceCommand(name string) bool {
+	for _, c := range registry {
+		if c.Cmd(name) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// CapabilitiesWithAttribute returns the capabilities declaring attr.
+func CapabilitiesWithAttribute(attr string) []*Capability {
+	var out []*Capability
+	for _, c := range All() {
+		if c.Attr(attr) != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AttrByName finds an attribute declaration anywhere in the registry —
+// useful when only a subscription attribute name is known.
+func AttrByName(attr string) *Attribute {
+	for _, c := range All() {
+		if a := c.Attr(attr); a != nil {
+			return a
+		}
+	}
+	return nil
+}
+
+// SinkAPIs is the set of SmartThings-provided SmartApp APIs treated as
+// sinks by the symbolic executor (Table VI of the paper).
+var SinkAPIs = map[string]bool{
+	"httpDelete": true, "httpGet": true, "httpHead": true, "httpPost": true,
+	"httpPostJson": true, "httpPut": true, "httpPutJson": true,
+	"runIn":             true,
+	"runEvery1Minute":   true,
+	"runEvery5Minutes":  true,
+	"runEvery10Minutes": true,
+	"runEvery15Minutes": true,
+	"runEvery30Minutes": true,
+	"runEvery1Hour":     true,
+	"runEvery3Hours":    true,
+	"runOnce":           true,
+	"schedule":          true,
+	"sendHubCommand":    true,
+	"sendSms":           true,
+	"sendSmsMessage":    true,
+	"setLocationMode":   true,
+}
+
+// SchedulingAPIs is the subset of SinkAPIs that schedule method
+// executions rather than performing an action themselves.
+var SchedulingAPIs = map[string]bool{
+	"runIn": true, "runOnce": true, "schedule": true,
+	"runEvery1Minute": true, "runEvery5Minutes": true,
+	"runEvery10Minutes": true, "runEvery15Minutes": true,
+	"runEvery30Minutes": true, "runEvery1Hour": true, "runEvery3Hours": true,
+}
+
+// MessagingSinks are additional notification APIs recognised as
+// non-device sinks (apps that only use these define no automation rules
+// over devices and are excluded from pairwise detection, Sec. VIII-B).
+var MessagingSinks = map[string]bool{
+	"sendSms": true, "sendSmsMessage": true, "sendPush": true,
+	"sendPushMessage": true, "sendNotification": true,
+	"sendNotificationEvent": true, "sendNotificationToContacts": true,
+}
+
+// IsSinkAPI reports whether name is one of the 21 Table VI APIs.
+func IsSinkAPI(name string) bool { return SinkAPIs[name] }

@@ -1,0 +1,204 @@
+package capability
+
+import "testing"
+
+func TestRegistryScale(t *testing.T) {
+	// The paper: "We consider 126 device control commands protected by 104
+	// capabilities and 21 SmartApp APIs."
+	if got := len(All()); got != 104 {
+		t.Errorf("capability count = %d, want 104", got)
+	}
+	if got := CommandCount(); got != 126 {
+		t.Errorf("command count = %d, want 126", got)
+	}
+	if got := len(SinkAPIs); got != 21 {
+		t.Errorf("sink API count = %d, want 21", got)
+	}
+	if got := len(SchedulingAPIs); got != 10 {
+		t.Errorf("scheduling API count = %d, want 10", got)
+	}
+}
+
+func TestGetWithPrefix(t *testing.T) {
+	c1, ok1 := Get("switch")
+	c2, ok2 := Get("capability.switch")
+	if !ok1 || !ok2 || c1 != c2 {
+		t.Fatal("Get should accept both bare and prefixed names")
+	}
+	if c1.Cmd("on") == nil || c1.Cmd("off") == nil {
+		t.Error("switch should define on/off")
+	}
+}
+
+func TestSwitchEffects(t *testing.T) {
+	c, _ := Get("switch")
+	on := c.Cmd("on")
+	if len(on.Effects) != 1 || on.Effects[0].Attribute != "switch" || on.Effects[0].Value != "on" {
+		t.Errorf("on effects = %+v", on.Effects)
+	}
+	if on.Effects[0].FromParam != -1 {
+		t.Errorf("constant effect should have FromParam -1")
+	}
+}
+
+func TestSetLevelParamEffect(t *testing.T) {
+	c, _ := Get("switchLevel")
+	sl := c.Cmd("setLevel")
+	if len(sl.Params) != 1 || sl.Params[0].Kind != Number {
+		t.Errorf("setLevel params = %+v", sl.Params)
+	}
+	if len(sl.Effects) != 1 || sl.Effects[0].FromParam != 0 {
+		t.Errorf("setLevel effects = %+v", sl.Effects)
+	}
+}
+
+func TestLockCapability(t *testing.T) {
+	c, ok := Get("lock")
+	if !ok {
+		t.Fatal("lock capability missing")
+	}
+	a := c.Attr("lock")
+	if a == nil || a.Kind != Enum {
+		t.Fatalf("lock attribute = %+v", a)
+	}
+	found := false
+	for _, v := range a.Values {
+		if v == "locked" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lock attribute should include value locked")
+	}
+}
+
+func TestSensorOnlyCapabilities(t *testing.T) {
+	for _, name := range []string{
+		"motionSensor", "contactSensor", "presenceSensor",
+		"temperatureMeasurement", "illuminanceMeasurement",
+		"powerMeter", "energyMeter", "waterSensor", "smokeDetector",
+	} {
+		c, ok := Get(name)
+		if !ok {
+			t.Errorf("capability %q missing", name)
+			continue
+		}
+		if len(c.Commands) != 0 {
+			t.Errorf("%q should have no commands", name)
+		}
+		if len(c.Attributes) == 0 {
+			t.Errorf("%q should declare at least one attribute", name)
+		}
+	}
+}
+
+func TestMainAttribute(t *testing.T) {
+	c, _ := Get("temperatureMeasurement")
+	if c.MainAttribute() != "temperature" {
+		t.Errorf("main attribute = %q", c.MainAttribute())
+	}
+}
+
+func TestCommandsNamed(t *testing.T) {
+	refs := CommandsNamed("on")
+	if len(refs) < 4 {
+		t.Errorf("on should appear in several capabilities, got %d", len(refs))
+	}
+	for _, r := range refs {
+		if r.Command.Name != "on" {
+			t.Errorf("wrong command %q", r.Command.Name)
+		}
+	}
+}
+
+func TestIsDeviceCommand(t *testing.T) {
+	for _, cmd := range []string{"on", "off", "lock", "unlock", "setLevel", "open", "close", "siren"} {
+		if !IsDeviceCommand(cmd) {
+			t.Errorf("IsDeviceCommand(%q) = false", cmd)
+		}
+	}
+	for _, cmd := range []string{"subscribe", "sendSms", "frobnicate"} {
+		if IsDeviceCommand(cmd) {
+			t.Errorf("IsDeviceCommand(%q) = true", cmd)
+		}
+	}
+}
+
+func TestCapabilitiesWithAttribute(t *testing.T) {
+	caps := CapabilitiesWithAttribute("switch")
+	if len(caps) < 4 { // switch, light, outlet, bulb, relaySwitch
+		t.Errorf("capabilities with switch attr = %d", len(caps))
+	}
+}
+
+func TestAttrByName(t *testing.T) {
+	a := AttrByName("temperature")
+	if a == nil || a.Kind != Number {
+		t.Fatalf("temperature attr = %+v", a)
+	}
+	if AttrByName("definitely-not-an-attr") != nil {
+		t.Error("unknown attribute should return nil")
+	}
+}
+
+func TestSinkAPIList(t *testing.T) {
+	// Table VI entries.
+	for _, api := range []string{
+		"httpDelete", "httpGet", "httpHead", "httpPost", "httpPostJson",
+		"httpPut", "httpPutJson", "runIn", "runEvery1Minute",
+		"runEvery5Minutes", "runEvery10Minutes", "runEvery15Minutes",
+		"runEvery30Minutes", "runEvery1Hour", "runEvery3Hours", "runOnce",
+		"schedule", "sendHubCommand", "sendSms", "sendSmsMessage",
+		"setLocationMode",
+	} {
+		if !IsSinkAPI(api) {
+			t.Errorf("IsSinkAPI(%q) = false", api)
+		}
+	}
+}
+
+func TestEveryEffectReferencesDeclaredAttribute(t *testing.T) {
+	for _, c := range All() {
+		for _, cmd := range c.Commands {
+			for _, e := range cmd.Effects {
+				if c.Attr(e.Attribute) == nil {
+					t.Errorf("%s.%s effect targets undeclared attribute %q",
+						c.Name, cmd.Name, e.Attribute)
+				}
+				if e.FromParam >= len(cmd.Params) {
+					t.Errorf("%s.%s effect FromParam %d out of range",
+						c.Name, cmd.Name, e.FromParam)
+				}
+				if e.FromParam < 0 && e.Value == "" {
+					t.Errorf("%s.%s effect has neither value nor param", c.Name, cmd.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumEffectsAreValidValues(t *testing.T) {
+	for _, c := range All() {
+		for _, cmd := range c.Commands {
+			for _, e := range cmd.Effects {
+				if e.FromParam >= 0 {
+					continue
+				}
+				a := c.Attr(e.Attribute)
+				if a == nil || a.Kind != Enum {
+					continue
+				}
+				ok := false
+				for _, v := range a.Values {
+					if v == e.Value {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("%s.%s sets %s=%q which is not in %v",
+						c.Name, cmd.Name, e.Attribute, e.Value, a.Values)
+				}
+			}
+		}
+	}
+}

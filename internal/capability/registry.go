@@ -1,0 +1,471 @@
+package capability
+
+// The registry below mirrors the 2018-era SmartThings capabilities
+// reference. Helper constructors keep the table compact.
+
+func enumAttr(name string, values ...string) Attribute {
+	return Attribute{Name: name, Kind: Enum, Values: values}
+}
+
+func numAttr(name string, min, max int64) Attribute {
+	return Attribute{Name: name, Kind: Number, Min: min, Max: max}
+}
+
+func freeAttr(name string) Attribute {
+	return Attribute{Name: name, Kind: Free}
+}
+
+// set builds a command with no parameters that sets attr to value.
+func set(cmd, attr, value string) Command {
+	return Command{Name: cmd, Effects: []Effect{{Attribute: attr, Value: value, FromParam: -1}}}
+}
+
+// setFrom builds a one-parameter command that copies its parameter into attr.
+func setFrom(cmd, attr string, kind AttrKind) Command {
+	return Command{
+		Name:    cmd,
+		Params:  []Parameter{{Name: attr, Kind: kind}},
+		Effects: []Effect{{Attribute: attr, FromParam: 0}},
+	}
+}
+
+// plain builds a command with no modeled attribute effect.
+func plain(cmd string, params ...Parameter) Command {
+	return Command{Name: cmd, Params: params}
+}
+
+var registry = map[string]*Capability{}
+
+func register(c *Capability) { registry[c.Name] = c }
+
+// onOff declares a standard on/off switch-like capability.
+func onOff(name string) *Capability {
+	return &Capability{
+		Name:       name,
+		Attributes: []Attribute{enumAttr("switch", "on", "off")},
+		Commands:   []Command{set("on", "switch", "on"), set("off", "switch", "off")},
+	}
+}
+
+// sensorOnly declares a capability with attributes but no commands.
+func sensorOnly(name string, attrs ...Attribute) *Capability {
+	return &Capability{Name: name, Attributes: attrs}
+}
+
+func init() {
+	// ---- Actuating capabilities ----
+	register(&Capability{
+		Name:       "alarm",
+		Attributes: []Attribute{enumAttr("alarm", "off", "strobe", "siren", "both")},
+		Commands: []Command{
+			set("off", "alarm", "off"), set("strobe", "alarm", "strobe"),
+			set("siren", "alarm", "siren"), set("both", "alarm", "both"),
+		},
+	})
+	register(&Capability{
+		Name:       "audioMute",
+		Attributes: []Attribute{enumAttr("mute", "muted", "unmuted")},
+		Commands:   []Command{set("mute", "mute", "muted"), set("unmute", "mute", "unmuted")},
+	})
+	register(&Capability{
+		Name:     "audioNotification",
+		Commands: []Command{plain("playText", Parameter{"text", Free}), plain("playTrack", Parameter{"uri", Free})},
+	})
+	register(&Capability{
+		Name:       "audioVolume",
+		Attributes: []Attribute{numAttr("volume", 0, 100)},
+		Commands: []Command{
+			setFrom("setVolume", "volume", Number),
+			plain("volumeUp"), plain("volumeDown"),
+		},
+	})
+	register(onOff("bulb"))
+	register(&Capability{
+		Name: "colorControl",
+		Attributes: []Attribute{
+			numAttr("hue", 0, 100), numAttr("saturation", 0, 100), freeAttr("color"),
+		},
+		Commands: []Command{
+			plain("setColor", Parameter{"color", Free}),
+			setFrom("setHue", "hue", Number),
+			setFrom("setSaturation", "saturation", Number),
+		},
+	})
+	register(&Capability{
+		Name:       "colorTemperature",
+		Attributes: []Attribute{numAttr("colorTemperature", 1000, 30000)},
+		Commands:   []Command{setFrom("setColorTemperature", "colorTemperature", Number)},
+	})
+	register(&Capability{Name: "configuration", Commands: []Command{plain("configure")}})
+	register(&Capability{
+		Name:       "consumable",
+		Attributes: []Attribute{enumAttr("consumableStatus", "good", "replace", "missing", "order", "maintenance_required")},
+		Commands:   []Command{setFrom("setConsumableStatus", "consumableStatus", Enum)},
+	})
+	register(&Capability{
+		Name:       "doorControl",
+		Attributes: []Attribute{enumAttr("door", "open", "closed", "opening", "closing", "unknown")},
+		Commands:   []Command{set("open", "door", "open"), set("close", "door", "closed")},
+	})
+	register(&Capability{Name: "execute", Commands: []Command{plain("execute", Parameter{"command", Free})}})
+	register(&Capability{
+		Name:       "fanSpeed",
+		Attributes: []Attribute{numAttr("fanSpeed", 0, 4)},
+		Commands:   []Command{setFrom("setFanSpeed", "fanSpeed", Number)},
+	})
+	register(&Capability{
+		Name:       "garageDoorControl",
+		Attributes: []Attribute{enumAttr("door", "open", "closed", "opening", "closing", "unknown")},
+		Commands:   []Command{set("open", "door", "open"), set("close", "door", "closed")},
+	})
+	register(&Capability{
+		Name:       "healthCheck",
+		Attributes: []Attribute{numAttr("checkInterval", 0, 86400)},
+		Commands:   []Command{plain("ping")},
+	})
+	register(&Capability{
+		Name:       "imageCapture",
+		Attributes: []Attribute{freeAttr("image")},
+		Commands:   []Command{plain("take")},
+	})
+	register(&Capability{
+		Name:       "indicator",
+		Attributes: []Attribute{enumAttr("indicatorStatus", "when on", "when off", "never")},
+		Commands: []Command{
+			set("indicatorWhenOn", "indicatorStatus", "when on"),
+			set("indicatorWhenOff", "indicatorStatus", "when off"),
+			set("indicatorNever", "indicatorStatus", "never"),
+		},
+	})
+	register(&Capability{
+		Name:       "infraredLevel",
+		Attributes: []Attribute{numAttr("infraredLevel", 0, 100)},
+		Commands:   []Command{setFrom("setInfraredLevel", "infraredLevel", Number)},
+	})
+	register(onOff("light"))
+	register(&Capability{
+		Name:       "lock",
+		Attributes: []Attribute{enumAttr("lock", "locked", "unlocked", "unknown", "unlocked with timeout")},
+		Commands:   []Command{set("lock", "lock", "locked"), set("unlock", "lock", "unlocked")},
+	})
+	register(&Capability{
+		Name:       "lockCodes",
+		Attributes: []Attribute{freeAttr("codeReport"), freeAttr("lockCodes")},
+		Commands: []Command{
+			plain("setCode", Parameter{"slot", Number}, Parameter{"code", Free}),
+			plain("deleteCode", Parameter{"slot", Number}),
+			plain("requestCode", Parameter{"slot", Number}),
+			plain("reloadAllCodes"),
+		},
+	})
+	register(&Capability{
+		Name:       "mediaController",
+		Attributes: []Attribute{freeAttr("activities"), freeAttr("currentActivity")},
+		Commands:   []Command{plain("startActivity", Parameter{"activity", Free})},
+	})
+	register(&Capability{
+		Name:       "mediaInputSource",
+		Attributes: []Attribute{freeAttr("inputSource")},
+		Commands:   []Command{setFrom("setInputSource", "inputSource", Free)},
+	})
+	register(&Capability{
+		Name:       "mediaPlayback",
+		Attributes: []Attribute{enumAttr("playbackStatus", "playing", "paused", "stopped")},
+		Commands: []Command{
+			set("play", "playbackStatus", "playing"),
+			set("pause", "playbackStatus", "paused"),
+			set("stop", "playbackStatus", "stopped"),
+		},
+	})
+	register(&Capability{
+		Name:       "mediaPlaybackRepeat",
+		Attributes: []Attribute{enumAttr("playbackRepeatMode", "all", "one", "off")},
+		Commands:   []Command{setFrom("setPlaybackRepeatMode", "playbackRepeatMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "mediaPlaybackShuffle",
+		Attributes: []Attribute{enumAttr("playbackShuffle", "enabled", "disabled")},
+		Commands:   []Command{setFrom("setPlaybackShuffle", "playbackShuffle", Enum)},
+	})
+	register(&Capability{
+		Name:       "mediaPresets",
+		Attributes: []Attribute{freeAttr("presets")},
+		Commands:   []Command{plain("playPreset", Parameter{"presetId", Free})},
+	})
+	register(&Capability{
+		Name:       "mediaTrackControl",
+		Attributes: []Attribute{freeAttr("supportedTrackControlCommands")},
+		Commands:   []Command{plain("nextTrack"), plain("previousTrack")},
+	})
+	register(&Capability{Name: "momentary", Commands: []Command{plain("push")}})
+	register(&Capability{
+		Name: "musicPlayer",
+		Attributes: []Attribute{
+			enumAttr("status", "playing", "paused", "stopped"),
+			numAttr("level", 0, 100),
+			enumAttr("mute", "muted", "unmuted"),
+			freeAttr("trackData"),
+			freeAttr("trackDescription"),
+		},
+		Commands: []Command{
+			set("play", "status", "playing"),
+			set("pause", "status", "paused"),
+			set("stop", "status", "stopped"),
+			plain("nextTrack"), plain("previousTrack"),
+			setFrom("setLevel", "level", Number),
+			set("mute", "mute", "muted"),
+			set("unmute", "mute", "unmuted"),
+		},
+	})
+	register(&Capability{
+		Name:     "notification",
+		Commands: []Command{plain("deviceNotification", Parameter{"text", Free})},
+	})
+	register(onOff("outlet"))
+	register(&Capability{Name: "polling", Commands: []Command{plain("poll")}})
+	register(&Capability{Name: "refresh", Commands: []Command{plain("refresh")}})
+	register(onOff("relaySwitch"))
+	register(&Capability{
+		Name:     "speechSynthesis",
+		Commands: []Command{plain("speak", Parameter{"text", Free})},
+	})
+	register(onOff("switch"))
+	register(&Capability{
+		Name:       "switchLevel",
+		Attributes: []Attribute{numAttr("level", 0, 100)},
+		Commands:   []Command{setFrom("setLevel", "level", Number)},
+	})
+	register(&Capability{
+		Name: "thermostat",
+		Attributes: []Attribute{
+			numAttr("temperature", -40, 150),
+			numAttr("heatingSetpoint", 35, 95),
+			numAttr("coolingSetpoint", 35, 95),
+			enumAttr("thermostatMode", "off", "heat", "cool", "auto", "emergency heat"),
+			enumAttr("thermostatFanMode", "auto", "on", "circulate"),
+			enumAttr("thermostatOperatingState", "heating", "cooling", "idle", "fan only", "pending heat", "pending cool"),
+		},
+		Commands: []Command{
+			setFrom("setHeatingSetpoint", "heatingSetpoint", Number),
+			setFrom("setCoolingSetpoint", "coolingSetpoint", Number),
+			setFrom("setThermostatMode", "thermostatMode", Enum),
+			setFrom("setThermostatFanMode", "thermostatFanMode", Enum),
+			set("off", "thermostatMode", "off"),
+			set("heat", "thermostatMode", "heat"),
+			set("cool", "thermostatMode", "cool"),
+			set("auto", "thermostatMode", "auto"),
+		},
+	})
+	register(&Capability{
+		Name:       "thermostatCoolingSetpoint",
+		Attributes: []Attribute{numAttr("coolingSetpoint", 35, 95)},
+		Commands:   []Command{setFrom("setCoolingSetpoint", "coolingSetpoint", Number)},
+	})
+	register(&Capability{
+		Name:       "thermostatFanMode",
+		Attributes: []Attribute{enumAttr("thermostatFanMode", "auto", "on", "circulate")},
+		Commands: []Command{
+			set("fanOn", "thermostatFanMode", "on"),
+			set("fanAuto", "thermostatFanMode", "auto"),
+			set("fanCirculate", "thermostatFanMode", "circulate"),
+			setFrom("setThermostatFanMode", "thermostatFanMode", Enum),
+		},
+	})
+	register(&Capability{
+		Name:       "thermostatHeatingSetpoint",
+		Attributes: []Attribute{numAttr("heatingSetpoint", 35, 95)},
+		Commands:   []Command{setFrom("setHeatingSetpoint", "heatingSetpoint", Number)},
+	})
+	register(&Capability{
+		Name:       "thermostatMode",
+		Attributes: []Attribute{enumAttr("thermostatMode", "off", "heat", "cool", "auto", "emergency heat")},
+		Commands: []Command{
+			set("heat", "thermostatMode", "heat"),
+			set("cool", "thermostatMode", "cool"),
+			set("auto", "thermostatMode", "auto"),
+			set("off", "thermostatMode", "off"),
+			set("emergencyHeat", "thermostatMode", "emergency heat"),
+			setFrom("setThermostatMode", "thermostatMode", Enum),
+		},
+	})
+	register(&Capability{
+		Name:       "timedSession",
+		Attributes: []Attribute{enumAttr("sessionStatus", "stopped", "canceled", "running", "paused")},
+		Commands: []Command{
+			set("start", "sessionStatus", "running"),
+			set("stop", "sessionStatus", "stopped"),
+			set("cancel", "sessionStatus", "canceled"),
+		},
+	})
+	register(&Capability{Name: "tone", Commands: []Command{plain("beep")}})
+	register(&Capability{
+		Name:       "tvChannel",
+		Attributes: []Attribute{numAttr("tvChannel", 0, 999)},
+		Commands: []Command{
+			plain("channelUp"), plain("channelDown"),
+			setFrom("setTvChannel", "tvChannel", Number),
+		},
+	})
+	register(&Capability{
+		Name:       "valve",
+		Attributes: []Attribute{enumAttr("valve", "open", "closed")},
+		Commands:   []Command{set("open", "valve", "open"), set("close", "valve", "closed")},
+	})
+	register(&Capability{
+		Name:       "videoCamera",
+		Attributes: []Attribute{enumAttr("camera", "on", "off", "restarting", "unavailable")},
+		Commands:   []Command{set("on", "camera", "on"), set("off", "camera", "off")},
+	})
+	register(&Capability{
+		Name:       "videoCapture",
+		Attributes: []Attribute{freeAttr("clip")},
+		Commands:   []Command{plain("capture")},
+	})
+	register(&Capability{
+		Name:       "windowShade",
+		Attributes: []Attribute{enumAttr("windowShade", "open", "closed", "partially open", "opening", "closing", "unknown")},
+		Commands: []Command{
+			set("open", "windowShade", "open"),
+			set("close", "windowShade", "closed"),
+			set("presetPosition", "windowShade", "partially open"),
+		},
+	})
+	register(&Capability{
+		Name:       "windowShadeLevel",
+		Attributes: []Attribute{numAttr("shadeLevel", 0, 100)},
+		Commands:   []Command{setFrom("setShadeLevel", "shadeLevel", Number)},
+	})
+	register(&Capability{
+		Name:       "ovenMode",
+		Attributes: []Attribute{enumAttr("ovenMode", "heating", "grill", "warming", "defrosting", "off")},
+		Commands:   []Command{setFrom("setOvenMode", "ovenMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "ovenSetpoint",
+		Attributes: []Attribute{numAttr("ovenSetpoint", 0, 500)},
+		Commands:   []Command{setFrom("setOvenSetpoint", "ovenSetpoint", Number)},
+	})
+	register(&Capability{
+		Name:       "dishwasherMode",
+		Attributes: []Attribute{enumAttr("dishwasherMode", "eco", "intense", "auto", "quick", "off")},
+		Commands:   []Command{setFrom("setDishwasherMode", "dishwasherMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "dishwasherOperatingState",
+		Attributes: []Attribute{enumAttr("machineState", "pause", "run", "stop")},
+		Commands:   []Command{setFrom("setMachineState", "machineState", Enum)},
+	})
+	register(&Capability{
+		Name:       "ovenOperatingState",
+		Attributes: []Attribute{enumAttr("machineState", "ready", "running", "paused")},
+		Commands:   []Command{setFrom("setMachineState", "machineState", Enum)},
+	})
+	register(&Capability{
+		Name:       "dryerMode",
+		Attributes: []Attribute{enumAttr("dryerMode", "regular", "lowHeat", "highHeat", "off")},
+		Commands:   []Command{setFrom("setDryerMode", "dryerMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "dryerOperatingState",
+		Attributes: []Attribute{enumAttr("machineState", "pause", "run", "stop")},
+		Commands:   []Command{setFrom("setMachineState", "machineState", Enum)},
+	})
+	register(&Capability{
+		Name:       "washerMode",
+		Attributes: []Attribute{enumAttr("washerMode", "regular", "heavy", "rinse", "spinDry", "off")},
+		Commands:   []Command{setFrom("setWasherMode", "washerMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "washerOperatingState",
+		Attributes: []Attribute{enumAttr("machineState", "pause", "run", "stop")},
+		Commands:   []Command{setFrom("setMachineState", "machineState", Enum)},
+	})
+	register(&Capability{
+		Name:       "airConditionerMode",
+		Attributes: []Attribute{enumAttr("airConditionerMode", "cool", "dry", "fanOnly", "heat", "auto", "off")},
+		Commands:   []Command{setFrom("setAirConditionerMode", "airConditionerMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "airFlowDirection",
+		Attributes: []Attribute{enumAttr("airFlowDirection", "fixed", "variable")},
+		Commands:   []Command{setFrom("setAirFlowDirection", "airFlowDirection", Enum)},
+	})
+	register(&Capability{
+		Name:       "fanOscillationMode",
+		Attributes: []Attribute{enumAttr("fanOscillationMode", "fixed", "vertical", "horizontal", "all")},
+		Commands:   []Command{setFrom("setFanOscillationMode", "fanOscillationMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "humidifierMode",
+		Attributes: []Attribute{enumAttr("humidifierMode", "auto", "low", "medium", "high", "off")},
+		Commands:   []Command{setFrom("setHumidifierMode", "humidifierMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "dehumidifierMode",
+		Attributes: []Attribute{enumAttr("dehumidifierMode", "cooling", "delayWash", "dry", "quickDry", "off")},
+		Commands:   []Command{setFrom("setDehumidifierMode", "dehumidifierMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "robotCleanerCleaningMode",
+		Attributes: []Attribute{enumAttr("robotCleanerCleaningMode", "auto", "part", "repeat", "manual", "stop")},
+		Commands:   []Command{setFrom("setRobotCleanerCleaningMode", "robotCleanerCleaningMode", Enum)},
+	})
+	register(&Capability{
+		Name:       "rapidCooling",
+		Attributes: []Attribute{enumAttr("rapidCooling", "on", "off")},
+		Commands:   []Command{setFrom("setRapidCooling", "rapidCooling", Enum)},
+	})
+	register(&Capability{
+		Name:       "securitySystem",
+		Attributes: []Attribute{enumAttr("securitySystemStatus", "armedStay", "armedAway", "disarmed")},
+		Commands: []Command{
+			set("armStay", "securitySystemStatus", "armedStay"),
+			set("armAway", "securitySystemStatus", "armedAway"),
+			set("disarm", "securitySystemStatus", "disarmed"),
+		},
+	})
+	register(&Capability{
+		Name:       "chime",
+		Attributes: []Attribute{enumAttr("chime", "chime", "off")},
+		Commands:   []Command{set("chime", "chime", "chime"), set("off", "chime", "off")},
+	})
+
+	// ---- Sensor-only capabilities ----
+	register(sensorOnly("accelerationSensor", enumAttr("acceleration", "active", "inactive")))
+	register(sensorOnly("airQualitySensor", numAttr("airQuality", 0, 500)))
+	register(sensorOnly("battery", numAttr("battery", 0, 100)))
+	register(sensorOnly("beacon", enumAttr("presence", "present", "not present")))
+	register(sensorOnly("button", enumAttr("button", "pushed", "held")))
+	register(sensorOnly("carbonDioxideMeasurement", numAttr("carbonDioxide", 0, 10000)))
+	register(sensorOnly("carbonMonoxideDetector", enumAttr("carbonMonoxide", "clear", "detected", "tested")))
+	register(sensorOnly("contactSensor", enumAttr("contact", "open", "closed")))
+	register(sensorOnly("dustSensor", numAttr("fineDustLevel", 0, 1000)))
+	register(sensorOnly("energyMeter", numAttr("energy", 0, 1000000)))
+	register(sensorOnly("estimatedTimeOfArrival", freeAttr("eta")))
+	register(sensorOnly("filterStatus", enumAttr("filterStatus", "normal", "replace")))
+	register(sensorOnly("gasDetector", enumAttr("gas", "clear", "detected", "tested")))
+	register(sensorOnly("illuminanceMeasurement", numAttr("illuminance", 0, 100000)))
+	register(sensorOnly("motionSensor", enumAttr("motion", "active", "inactive")))
+	register(sensorOnly("odorSensor", numAttr("odorLevel", 0, 100)))
+	register(sensorOnly("pHMeasurement", numAttr("pH", 0, 14)))
+	register(sensorOnly("powerMeter", numAttr("power", 0, 100000)))
+	register(sensorOnly("powerSource", enumAttr("powerSource", "battery", "dc", "mains", "unknown")))
+	register(sensorOnly("presenceSensor", enumAttr("presence", "present", "not present")))
+	register(sensorOnly("relativeHumidityMeasurement", numAttr("humidity", 0, 100)))
+	register(sensorOnly("shockSensor", enumAttr("shock", "detected", "clear")))
+	register(sensorOnly("sleepSensor", enumAttr("sleeping", "sleeping", "not sleeping")))
+	register(sensorOnly("smokeDetector", enumAttr("smoke", "clear", "detected", "tested")))
+	register(sensorOnly("soundPressureLevel", numAttr("soundPressureLevel", 0, 200)))
+	register(sensorOnly("soundSensor", enumAttr("sound", "detected", "not detected")))
+	register(sensorOnly("speechRecognition", freeAttr("phraseSpoken")))
+	register(sensorOnly("stepSensor", numAttr("steps", 0, 1000000), numAttr("goal", 0, 1000000)))
+	register(sensorOnly("tamperAlert", enumAttr("tamper", "clear", "detected")))
+	register(sensorOnly("temperatureMeasurement", numAttr("temperature", -40, 150)))
+	register(sensorOnly("thermostatOperatingState",
+		enumAttr("thermostatOperatingState", "heating", "cooling", "idle", "fan only", "pending heat", "pending cool")))
+	register(sensorOnly("thermostatSetpoint", numAttr("thermostatSetpoint", 35, 95)))
+	register(sensorOnly("touchSensor", enumAttr("touch", "touched")))
+	register(sensorOnly("ultravioletIndex", numAttr("ultravioletIndex", 0, 15)))
+	register(sensorOnly("voltageMeasurement", numAttr("voltage", 0, 500)))
+	register(sensorOnly("waterSensor", enumAttr("water", "dry", "wet")))
+}

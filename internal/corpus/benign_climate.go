@@ -1,0 +1,245 @@
+package corpus
+
+// Climate-control apps. It'sTooHot is named in Sec. VIII-B (Self
+// Disabling with EnergySaver).
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"ItsTooHot": `
+definition(name: "ItsTooHot", namespace: "store", author: "community",
+    description: "Turn on the air conditioner switch when the temperature rises above your comfort threshold.",
+    category: "Climate Control")
+input "tSensor", "capability.temperatureMeasurement"
+input "ac1", "capability.switch", title: "Air conditioner switch"
+input "hot", "number", title: "Too hot above", defaultValue: 80
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue > hot) {
+        ac1.on()
+    }
+}
+`,
+		"ItsTooCold": `
+definition(name: "ItsTooCold", namespace: "store", author: "community",
+    description: "Turn on the space heater when the temperature falls below your threshold.",
+    category: "Climate Control")
+input "tSensor", "capability.temperatureMeasurement"
+input "heater1", "capability.switch", title: "Space heater"
+input "cold", "number", title: "Too cold below", defaultValue: 60
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue < cold) {
+        heater1.on()
+    } else {
+        heater1.off()
+    }
+}
+`,
+		"ThermostatModeSwitcher": `
+definition(name: "ThermostatModeSwitcher", namespace: "store", author: "community",
+    description: "Set back the thermostat heating setpoint when the home goes into Away mode.",
+    category: "Green Living")
+input "thermostat1", "capability.thermostat"
+input "awayHeat", "number", title: "Away heating setpoint", defaultValue: 60
+input "homeHeat", "number", title: "Home heating setpoint", defaultValue: 70
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Away") {
+        thermostat1.setHeatingSetpoint(awayHeat)
+    } else if (evt.value == "Home") {
+        thermostat1.setHeatingSetpoint(homeHeat)
+    }
+}
+`,
+		"WindowFanVentilation": `
+definition(name: "WindowFanVentilation", namespace: "store", author: "community",
+    description: "Run the window fan when the room is hotter than the target and the window is open.",
+    category: "Climate Control")
+input "tSensor", "capability.temperatureMeasurement"
+input "window1", "capability.contactSensor", title: "Window contact"
+input "fan1", "capability.switch", title: "Window fan"
+input "target", "number", defaultValue: 74
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue > target && window1.currentContact == "open") {
+        fan1.on()
+    } else {
+        fan1.off()
+    }
+}
+`,
+		"HumidityFan": `
+definition(name: "HumidityFan", namespace: "store", author: "community",
+    description: "Run the bathroom fan when humidity rises above a threshold and stop it when it drops.",
+    category: "Climate Control")
+input "humSensor", "capability.relativeHumidityMeasurement"
+input "fan1", "capability.switch", title: "Bathroom fan"
+input "maxHum", "number", defaultValue: 65
+def installed() { subscribe(humSensor, "humidity", onHumidity) }
+def updated() { unsubscribe(); subscribe(humSensor, "humidity", onHumidity) }
+def onHumidity(evt) {
+    if (evt.integerValue > maxHum) {
+        fan1.on()
+    } else if (evt.integerValue < maxHum - 10) {
+        fan1.off()
+    }
+}
+`,
+		"DryTheAir": `
+definition(name: "DryTheAir", namespace: "store", author: "community",
+    description: "Run the dehumidifier while humidity stays above your comfort level.",
+    category: "Climate Control")
+input "humSensor", "capability.relativeHumidityMeasurement"
+input "dehumidifier1", "capability.switch", title: "Dehumidifier"
+input "comfort", "number", defaultValue: 55
+def installed() { subscribe(humSensor, "humidity", onHumidity) }
+def updated() { unsubscribe(); subscribe(humSensor, "humidity", onHumidity) }
+def onHumidity(evt) {
+    if (evt.integerValue > comfort) {
+        dehumidifier1.on()
+    } else {
+        dehumidifier1.off()
+    }
+}
+`,
+		"HumidifyWinterAir": `
+definition(name: "HumidifyWinterAir", namespace: "store", author: "community",
+    description: "Run the humidifier when the air is too dry while the heater is running.",
+    category: "Climate Control")
+input "humSensor", "capability.relativeHumidityMeasurement"
+input "heater1", "capability.switch", title: "Heater"
+input "humidifier1", "capability.switch", title: "Humidifier"
+input "dry", "number", defaultValue: 30
+def installed() { subscribe(humSensor, "humidity", onHumidity) }
+def updated() { unsubscribe(); subscribe(humSensor, "humidity", onHumidity) }
+def onHumidity(evt) {
+    if (evt.integerValue < dry && heater1.currentSwitch == "on") {
+        humidifier1.on()
+    }
+}
+`,
+		"FreshAirWindow": `
+definition(name: "FreshAirWindow", namespace: "store", author: "community",
+    description: "Open the window opener when carbon dioxide builds up indoors.",
+    category: "Health & Wellness")
+input "co2Sensor", "capability.carbonDioxideMeasurement"
+input "window1", "capability.switch", title: "Window opener"
+input "maxCO2", "number", defaultValue: 1000
+def installed() { subscribe(co2Sensor, "carbonDioxide", onCO2) }
+def updated() { unsubscribe(); subscribe(co2Sensor, "carbonDioxide", onCO2) }
+def onCO2(evt) {
+    if (evt.integerValue > maxCO2) {
+        window1.on()
+    }
+}
+`,
+		"RainCloseWindow": `
+definition(name: "RainCloseWindow", namespace: "store", author: "community",
+    description: "Close the window opener when the leak sensor on the sill gets wet.",
+    category: "Safety & Security")
+input "rainSensor", "capability.waterSensor", title: "Sill leak sensor"
+input "window1", "capability.switch", title: "Window opener"
+def installed() { subscribe(rainSensor, "water.wet", onRain) }
+def updated() { unsubscribe(); subscribe(rainSensor, "water.wet", onRain) }
+def onRain(evt) {
+    window1.off()
+}
+`,
+		"KeepMeCozy": `
+definition(name: "KeepMeCozy", namespace: "store", author: "community",
+    description: "Set the thermostat to heat whenever a remote temperature sensor reads below the setpoint.",
+    category: "Climate Control")
+input "tSensor", "capability.temperatureMeasurement", title: "Remote sensor"
+input "thermostat1", "capability.thermostat"
+input "setpoint", "number", defaultValue: 68
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue < setpoint) {
+        thermostat1.heat()
+        thermostat1.setHeatingSetpoint(setpoint)
+    }
+}
+`,
+		"ACOffWhenWindowOpen": `
+definition(name: "ACOffWhenWindowOpen", namespace: "store", author: "community",
+    description: "Turn the air conditioner off while any window is open to stop wasting energy.",
+    category: "Green Living")
+input "windows", "capability.contactSensor", multiple: true
+input "ac1", "capability.switch", title: "Air conditioner"
+def installed() { subscribe(windows, "contact.open", onOpen) }
+def updated() { unsubscribe(); subscribe(windows, "contact.open", onOpen) }
+def onOpen(evt) {
+    ac1.off()
+}
+`,
+		"MorningWarmup": `
+definition(name: "MorningWarmup", namespace: "store", author: "community",
+    description: "Turn the heater on early every morning so the kitchen is warm at breakfast.",
+    category: "Climate Control")
+input "heater1", "capability.switch", title: "Kitchen heater"
+def installed() { schedule("0 0 6 * * ?", warmUp) }
+def updated() { unschedule(); schedule("0 0 6 * * ?", warmUp) }
+def warmUp() {
+    heater1.on()
+    runIn(5400, warmDone)
+}
+def warmDone() {
+    heater1.off()
+}
+`,
+		"NightCooldown": `
+definition(name: "NightCooldown", namespace: "store", author: "community",
+    description: "Lower the cooling setpoint when the home enters Night mode for better sleep.",
+    category: "Climate Control")
+input "thermostat1", "capability.thermostat"
+input "sleepCool", "number", defaultValue: 66
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night") {
+        thermostat1.cool()
+        thermostat1.setCoolingSetpoint(sleepCool)
+    }
+}
+`,
+		"GreenhouseVent": `
+definition(name: "GreenhouseVent", namespace: "store", author: "community",
+    description: "Open the greenhouse vent valve above the high temperature and close it below the low one.",
+    category: "Green Living")
+input "tSensor", "capability.temperatureMeasurement"
+input "vent1", "capability.valve", title: "Vent valve"
+input "high", "number", defaultValue: 85
+input "low", "number", defaultValue: 70
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue > high) {
+        vent1.open()
+    } else if (evt.doubleValue < low) {
+        vent1.close()
+    }
+}
+`,
+		"FrostProtect": `
+definition(name: "FrostProtect", namespace: "store", author: "community",
+    description: "Turn on the pipe heater whenever the garage temperature approaches freezing.",
+    category: "Safety & Security")
+input "tSensor", "capability.temperatureMeasurement", title: "Garage sensor"
+input "heater1", "capability.switch", title: "Pipe heater"
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue < 36) {
+        heater1.on()
+    } else if (evt.doubleValue > 45) {
+        heater1.off()
+    }
+}
+`,
+	})
+}

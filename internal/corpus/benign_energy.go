@@ -1,0 +1,249 @@
+package corpus
+
+// Energy-management apps. EnergySaver is named in Sec. VIII-B.
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"EnergySaver": `
+definition(name: "EnergySaver", namespace: "store", author: "community",
+    description: "Turn off a set of heavy appliance switches when real-time electricity usage exceeds your threshold.",
+    category: "Green Living")
+input "meter", "capability.powerMeter"
+input "heavyLoads", "capability.switch", multiple: true, title: "Heavy loads"
+input "maxW", "number", title: "Maximum watts", defaultValue: 3000
+def installed() { subscribe(meter, "power", onPower) }
+def updated() { unsubscribe(); subscribe(meter, "power", onPower) }
+def onPower(evt) {
+    if (evt.doubleValue > maxW) {
+        heavyLoads.off()
+    }
+}
+`,
+		"PowerAllowance": `
+definition(name: "PowerAllowance", namespace: "store", author: "community",
+    description: "Whenever this switch turns on, turn it back off after a configured number of minutes.",
+    category: "Green Living")
+input "switch1", "capability.switch"
+input "minutes1", "number", title: "Minutes", defaultValue: 30
+def installed() { subscribe(switch1, "switch.on", onOn) }
+def updated() { unsubscribe(); subscribe(switch1, "switch.on", onOn) }
+def onOn(evt) {
+    runIn(60 * minutes1, offAgain)
+}
+def offAgain() {
+    switch1.off()
+}
+`,
+		"StandbyKiller": `
+definition(name: "StandbyKiller", namespace: "store", author: "community",
+    description: "Cut power to the entertainment outlet when its draw falls to standby levels.",
+    category: "Green Living")
+input "meter", "capability.powerMeter", title: "Outlet meter"
+input "outlet1", "capability.switch", title: "Entertainment outlet"
+input "standbyW", "number", defaultValue: 15
+def installed() { subscribe(meter, "power", onPower) }
+def updated() { unsubscribe(); subscribe(meter, "power", onPower) }
+def onPower(evt) {
+    if (evt.doubleValue < standbyW) {
+        outlet1.off()
+    }
+}
+`,
+		"LaundryMonitor": `
+definition(name: "LaundryMonitor", namespace: "store", author: "community",
+    description: "Flash a light and send a text when the washing machine finishes (power draw drops).",
+    category: "Convenience")
+input "meter", "capability.powerMeter", title: "Washer meter"
+input "light1", "capability.switch", title: "Signal light"
+input "phone1", "phone"
+def installed() { subscribe(meter, "power", onPower) }
+def updated() { unsubscribe(); subscribe(meter, "power", onPower) }
+def onPower(evt) {
+    if (evt.doubleValue < 10 && state.wasRunning == 1) {
+        state.wasRunning = 0
+        light1.on()
+        sendSms(phone1, "Laundry is done")
+    } else if (evt.doubleValue > 300) {
+        state.wasRunning = 1
+    }
+}
+`,
+		"OutletTimer": `
+definition(name: "OutletTimer", namespace: "store", author: "community",
+    description: "Turn the block heater outlet on and off on a fixed daily schedule.",
+    category: "Green Living")
+input "outlet1", "capability.switch", title: "Block heater outlet"
+def installed() { initialize() }
+def updated() { unschedule(); initialize() }
+def initialize() {
+    schedule("0 0 5 * * ?", morningOn)
+    schedule("0 0 8 * * ?", morningOff)
+}
+def morningOn() { outlet1.on() }
+def morningOff() { outlet1.off() }
+`,
+		"CoffeeAfterShower": `
+definition(name: "CoffeeAfterShower", namespace: "store", author: "community",
+    description: "Start the coffee maker when bathroom humidity spikes from your morning shower.",
+    category: "Convenience")
+input "humSensor", "capability.relativeHumidityMeasurement", title: "Bathroom humidity"
+input "coffee1", "capability.switch", title: "Coffee maker"
+def installed() { subscribe(humSensor, "humidity", onHumidity) }
+def updated() { unsubscribe(); subscribe(humSensor, "humidity", onHumidity) }
+def onHumidity(evt) {
+    if (evt.integerValue > 70) {
+        coffee1.on()
+        runIn(1200, coffeeOff)
+    }
+}
+def coffeeOff() {
+    coffee1.off()
+}
+`,
+		"TVOffAtBedtime": `
+definition(name: "TVOffAtBedtime", namespace: "store", author: "community",
+    description: "Turn the TV off when the home enters Night mode.",
+    category: "Green Living")
+input "tv1", "capability.switch", title: "TV"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night") {
+        tv1.off()
+    }
+}
+`,
+		"ApplianceNanny": `
+definition(name: "ApplianceNanny", namespace: "store", author: "community",
+    description: "Turn the iron outlet off when its vibration sensor has been still for fifteen minutes.",
+    category: "Safety & Security")
+input "vibration1", "capability.accelerationSensor", title: "Iron vibration sensor"
+input "outlet1", "capability.switch", title: "Iron outlet"
+def installed() { subscribe(vibration1, "acceleration.inactive", onStill) }
+def updated() { unsubscribe(); subscribe(vibration1, "acceleration.inactive", onStill) }
+def onStill(evt) {
+    runIn(900, cutPower)
+}
+def cutPower() {
+    if (vibration1.currentAcceleration == "inactive") {
+        outlet1.off()
+    }
+}
+`,
+		"VampireSlayer": `
+definition(name: "VampireSlayer", namespace: "store", author: "community",
+    description: "Kill vampire loads: switch the charger outlets off when total draw is low at night.",
+    category: "Green Living")
+input "meter", "capability.powerMeter"
+input "chargers", "capability.switch", multiple: true, title: "Charger outlets"
+def installed() { subscribe(meter, "power", onPower) }
+def updated() { unsubscribe(); subscribe(meter, "power", onPower) }
+def onPower(evt) {
+    if (evt.doubleValue < 50 && location.mode == "Night") {
+        chargers.off()
+    }
+}
+`,
+		"DryerDoneLight": `
+definition(name: "DryerDoneLight", namespace: "store", author: "community",
+    description: "Turn the hallway light on when the dryer's energy meter stops climbing.",
+    category: "Convenience")
+input "energy1", "capability.energyMeter", title: "Dryer meter"
+input "light1", "capability.switch", title: "Hallway light"
+def installed() { runEvery5Minutes(checkDryer) }
+def updated() { unschedule(); runEvery5Minutes(checkDryer) }
+def checkDryer() {
+    def e = energy1.currentValue("energy")
+    if (e == state.lastEnergy && state.running == 1) {
+        state.running = 0
+        light1.on()
+    }
+    if (e != state.lastEnergy) {
+        state.running = 1
+    }
+    state.lastEnergy = e
+}
+`,
+		"PeakHoursShed": `
+definition(name: "PeakHoursShed", namespace: "store", author: "community",
+    description: "Shed the pool pump and water heater during expensive afternoon peak hours.",
+    category: "Green Living")
+input "pump1", "capability.switch", title: "Pool pump"
+input "waterHeater1", "capability.switch", title: "Water heater"
+def installed() { initialize() }
+def updated() { unschedule(); initialize() }
+def initialize() {
+    schedule("0 0 16 * * ?", shed)
+    schedule("0 0 20 * * ?", restore)
+}
+def shed() {
+    pump1.off()
+    waterHeater1.off()
+}
+def restore() {
+    pump1.on()
+    waterHeater1.on()
+}
+`,
+		"FanWithHeater": `
+definition(name: "FanWithHeater", namespace: "store", author: "community",
+    description: "Run the ceiling fan on low whenever the heater runs, to spread the warm air.",
+    category: "Climate Control")
+input "heater1", "capability.switch", title: "Heater"
+input "fan1", "capability.switch", title: "Ceiling fan"
+def installed() { subscribe(heater1, "switch", onHeater) }
+def updated() { unsubscribe(); subscribe(heater1, "switch", onHeater) }
+def onHeater(evt) {
+    if (evt.value == "on") {
+        fan1.on()
+    } else {
+        fan1.off()
+    }
+}
+`,
+		"BatterySaverCamera": `
+definition(name: "BatterySaverCamera", namespace: "store", author: "community",
+    description: "Turn the battery camera off when its battery is nearly empty.",
+    category: "Green Living")
+input "battery1", "capability.battery", title: "Camera battery"
+input "camera1", "capability.videoCamera"
+def installed() { subscribe(battery1, "battery", onBattery) }
+def updated() { unsubscribe(); subscribe(battery1, "battery", onBattery) }
+def onBattery(evt) {
+    if (evt.integerValue < 10) {
+        camera1.off()
+    }
+}
+`,
+		"EnergyAllowanceDaily": `
+definition(name: "EnergyAllowanceDaily", namespace: "store", author: "community",
+    description: "Switch the gaming outlet off once it consumes its daily energy allowance.",
+    category: "Green Living")
+input "energy1", "capability.energyMeter", title: "Gaming outlet meter"
+input "outlet1", "capability.switch", title: "Gaming outlet"
+input "allowance", "number", title: "Daily kWh x100", defaultValue: 150
+def installed() { subscribe(energy1, "energy", onEnergy) }
+def updated() { unsubscribe(); subscribe(energy1, "energy", onEnergy) }
+def onEnergy(evt) {
+    if (evt.doubleValue > allowance) {
+        outlet1.off()
+    }
+}
+`,
+		"WhiteNoiseAtNight": `
+definition(name: "WhiteNoiseAtNight", namespace: "store", author: "community",
+    description: "Play the white-noise speaker in Night mode and stop it in the morning.",
+    category: "Health & Wellness")
+input "speaker1", "capability.musicPlayer", title: "Bedroom speaker"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night") {
+        speaker1.play()
+    } else {
+        speaker1.stop()
+    }
+}
+`,
+	})
+}

@@ -1,0 +1,242 @@
+package corpus
+
+// Lighting-automation apps. LetThereBeDark, UndeadEarlyWarning,
+// LightsOffWhenClosed, SmartNightlight, TurnItOnFor5Minutes,
+// LightUpTheNight and CurlingIron are named in the paper's evaluation.
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"LetThereBeDark": `
+definition(name: "LetThereBeDark", namespace: "store", author: "community",
+    description: "Turn your lights off when a door closes and back on when it opens.",
+    category: "Convenience")
+input "contact1", "capability.contactSensor", title: "Which door?"
+input "lights", "capability.switch", title: "Lights", multiple: true
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(contact1, "contact", contactHandler)
+}
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        lights.on()
+    } else {
+        lights.off()
+    }
+}
+`,
+		"UndeadEarlyWarning": `
+definition(name: "UndeadEarlyWarning", namespace: "store", author: "community",
+    description: "Turn on the lights when the basement door opens so nothing undead surprises you.",
+    category: "Fun & Social")
+input "door1", "capability.contactSensor", title: "Basement door"
+input "lights", "capability.switch", title: "Warning lights", multiple: true
+def installed() { subscribe(door1, "contact.open", doorOpen) }
+def updated() { unsubscribe(); subscribe(door1, "contact.open", doorOpen) }
+def doorOpen(evt) {
+    lights.on()
+}
+`,
+		"LightsOffWhenClosed": `
+definition(name: "LightsOffWhenClosed", namespace: "store", author: "community",
+    description: "Turn lights off when the door is closed.",
+    category: "Green Living")
+input "door1", "capability.contactSensor"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(door1, "contact.closed", doorClosed) }
+def updated() { unsubscribe(); subscribe(door1, "contact.closed", doorClosed) }
+def doorClosed(evt) {
+    lights.off()
+}
+`,
+		"SmartNightlight": `
+definition(name: "SmartNightlight", namespace: "store", author: "community",
+    description: "Turn the nightlight on when there is motion in the dark and off shortly after motion stops.",
+    category: "Convenience")
+input "motion1", "capability.motionSensor"
+input "luxSensor", "capability.illuminanceMeasurement"
+input "light1", "capability.switch", title: "Nightlight"
+input "darkLux", "number", title: "Dark below (lux)", defaultValue: 30
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(motion1, "motion", motionHandler)
+}
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        def lux = luxSensor.currentValue("illuminance")
+        if (lux < darkLux) {
+            light1.on()
+        }
+    } else {
+        runIn(120, lightOff)
+    }
+}
+def lightOff() {
+    light1.off()
+}
+`,
+		"TurnItOnFor5Minutes": `
+definition(name: "TurnItOnFor5Minutes", namespace: "store", author: "community",
+    description: "When a contact opens, turn a light switch on for five minutes and then turn it off.",
+    category: "Convenience")
+input "contact1", "capability.contactSensor"
+input "switch1", "capability.switch", title: "Light switch"
+def installed() { subscribe(contact1, "contact.open", onOpen) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", onOpen) }
+def onOpen(evt) {
+    switch1.on()
+    runIn(300, offAgain)
+}
+def offAgain() {
+    switch1.off()
+}
+`,
+		"LightUpTheNight": `
+definition(name: "LightUpTheNight", namespace: "store", author: "community",
+    description: "Keep the room lit: lights go on when it gets dark and off when it gets bright.",
+    category: "Convenience")
+input "luxSensor", "capability.illuminanceMeasurement"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(luxSensor, "illuminance", luxHandler) }
+def updated() { unsubscribe(); subscribe(luxSensor, "illuminance", luxHandler) }
+def luxHandler(evt) {
+    if (evt.integerValue < 30) {
+        lights.on()
+    } else if (evt.integerValue > 50) {
+        lights.off()
+    }
+}
+`,
+		"BrightenMyPath": `
+definition(name: "BrightenMyPath", namespace: "store", author: "community",
+    description: "Turn the hallway light on when motion is detected.",
+    category: "Convenience")
+input "motion1", "capability.motionSensor"
+input "light1", "capability.switch", title: "Hallway light"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    light1.on()
+}
+`,
+		"DarkenBehindMe": `
+definition(name: "DarkenBehindMe", namespace: "store", author: "community",
+    description: "Turn the light off as soon as motion stops.",
+    category: "Green Living")
+input "motion1", "capability.motionSensor"
+input "light1", "capability.switch"
+def installed() { subscribe(motion1, "motion.inactive", onStop) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.inactive", onStop) }
+def onStop(evt) {
+    light1.off()
+}
+`,
+		"EveningLightsSchedule": `
+definition(name: "EveningLightsSchedule", namespace: "store", author: "community",
+    description: "Turn the porch light on every evening and off every night on a fixed schedule.",
+    category: "Convenience")
+input "light1", "capability.switch", title: "Porch light"
+def installed() { initialize() }
+def updated() { unschedule(); initialize() }
+def initialize() {
+    schedule("0 0 19 * * ?", eveningOn)
+    schedule("0 0 23 * * ?", nightOff)
+}
+def eveningOn() { light1.on() }
+def nightOff() { light1.off() }
+`,
+		"DoubleTapToggle": `
+definition(name: "DoubleTapToggle", namespace: "store", author: "community",
+    description: "Toggle a group of lights each time the button is pushed.",
+    category: "Convenience")
+input "button1", "capability.button"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(button1, "button.pushed", onPush) }
+def updated() { unsubscribe(); subscribe(button1, "button.pushed", onPush) }
+def onPush(evt) {
+    if (state.lastOn == 1) {
+        lights.off()
+        state.lastOn = 0
+    } else {
+        lights.on()
+        state.lastOn = 1
+    }
+}
+`,
+		"GentleWakeUp": `
+definition(name: "GentleWakeUp", namespace: "store", author: "community",
+    description: "Slowly brighten the bedroom dimmer light in the morning to wake you up gently.",
+    category: "Health & Wellness")
+input "dimmer1", "capability.switchLevel", title: "Bedroom dimmer"
+input "startLevel", "number", title: "Start level", defaultValue: 10
+def installed() { schedule("0 30 6 * * ?", wakeUp) }
+def updated() { unschedule(); schedule("0 30 6 * * ?", wakeUp) }
+def wakeUp() {
+    dimmer1.setLevel(startLevel)
+    runIn(600, fullBright)
+}
+def fullBright() {
+    dimmer1.setLevel(100)
+}
+`,
+		"SunsetLights": `
+definition(name: "SunsetLights", namespace: "store", author: "community",
+    description: "Turn the garden lights on at sunset.",
+    category: "Convenience")
+input "lights", "capability.switch", multiple: true, title: "Garden lights"
+def installed() { subscribe(location, "sunset", atSunset) }
+def updated() { unsubscribe(); subscribe(location, "sunset", atSunset) }
+def atSunset(evt) {
+    lights.on()
+}
+`,
+		"VacancyLightsOff": `
+definition(name: "VacancyLightsOff", namespace: "store", author: "community",
+    description: "Turn every light off when motion stops while the home is in Away mode.",
+    category: "Green Living")
+input "motion1", "capability.motionSensor"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(motion1, "motion.inactive", onQuiet) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.inactive", onQuiet) }
+def onQuiet(evt) {
+    if (location.mode == "Away") {
+        lights.off()
+    }
+}
+`,
+		"CurlingIron": `
+definition(name: "CurlingIron", namespace: "store", author: "community",
+    description: "Turn on the curling iron outlets when you get up and off again after thirty minutes.",
+    category: "Convenience")
+input "motion1", "capability.motionSensor", title: "Bathroom motion"
+input "outlets", "capability.switch", multiple: true, title: "Curling iron outlets"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    outlets.on()
+    runIn(1800, ironOff)
+}
+def ironOff() {
+    outlets.off()
+}
+`,
+		"ShadesAtNoon": `
+definition(name: "ShadesAtNoon", namespace: "store", author: "community",
+    description: "Close the window shades when the midday sun makes the room too bright.",
+    category: "Comfort")
+input "luxSensor", "capability.illuminanceMeasurement"
+input "shades", "capability.windowShade", multiple: true
+input "brightLux", "number", title: "Too bright above", defaultValue: 5000
+def installed() { subscribe(luxSensor, "illuminance", onLux) }
+def updated() { unsubscribe(); subscribe(luxSensor, "illuminance", onLux) }
+def onLux(evt) {
+    if (evt.integerValue > brightLux) {
+        shades.close()
+    } else if (evt.integerValue < 200) {
+        shades.open()
+    }
+}
+`,
+	})
+}

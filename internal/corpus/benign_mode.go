@@ -1,0 +1,225 @@
+package corpus
+
+// Mode-automation apps plus the three special-case apps of Sec. VIII-B:
+// FeedMyPet (device.petfeedershield), SleepyTime (device.jawboneUser) and
+// CameraPowerScheduler (the undocumented runDaily API).
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"BonVoyage": `
+definition(name: "BonVoyage", namespace: "store", author: "community",
+    description: "Set the home to Away mode when everyone has left.",
+    category: "Mode Magic")
+input "everyone", "capability.presenceSensor", multiple: true
+def installed() { subscribe(everyone, "presence.not present", onLeave) }
+def updated() { unsubscribe(); subscribe(everyone, "presence.not present", onLeave) }
+def onLeave(evt) {
+    setLocationMode("Away")
+}
+`,
+		"RiseAndShine": `
+definition(name: "RiseAndShine", namespace: "store", author: "community",
+    description: "Switch the home to Home mode at the first morning motion.",
+    category: "Mode Magic")
+input "motion1", "capability.motionSensor", title: "Kitchen motion"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (location.mode == "Night") {
+        setLocationMode("Home")
+    }
+}
+`,
+		"GoodNightMode": `
+definition(name: "GoodNightMode", namespace: "store", author: "community",
+    description: "Enter Night mode after the house has been still for a while in the evening.",
+    category: "Mode Magic")
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion.inactive", onQuiet) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.inactive", onQuiet) }
+def onQuiet(evt) {
+    runIn(1800, maybeSleep)
+}
+def maybeSleep() {
+    if (motion1.currentMotion == "inactive" && location.mode == "Home") {
+        setLocationMode("Night")
+    }
+}
+`,
+		"BigTurnOff": `
+definition(name: "BigTurnOff", namespace: "store", author: "community",
+    description: "Turn every selected switch off when the home leaves Home mode.",
+    category: "Mode Magic")
+input "switches", "capability.switch", multiple: true
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value != "Home") {
+        switches.off()
+    }
+}
+`,
+		"BigTurnOn": `
+definition(name: "BigTurnOn", namespace: "store", author: "community",
+    description: "Turn the welcome switches on when the home returns to Home mode.",
+    category: "Mode Magic")
+input "switches", "capability.switch", multiple: true, title: "Welcome switches"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Home") {
+        switches.on()
+    }
+}
+`,
+		"ScheduledModeChange": `
+definition(name: "ScheduledModeChange", namespace: "store", author: "community",
+    description: "Put the home into Night mode at a fixed time every evening.",
+    category: "Mode Magic")
+input "targetMode", "enum", options: ["Home", "Away", "Night"], defaultValue: "Night"
+def installed() { schedule("0 30 22 * * ?", changeMode) }
+def updated() { unschedule(); schedule("0 30 22 * * ?", changeMode) }
+def changeMode() {
+    setLocationMode(targetMode)
+}
+`,
+		"SleepyTime": `
+definition(name: "SleepyTime", namespace: "store", author: "community",
+    description: "Enter Night mode and dim the lights when your sleep tracker says you fell asleep.",
+    category: "Health & Wellness")
+input "sleepTracker", "device.jawboneUser", title: "Sleep tracker"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(sleepTracker, "sleeping.sleeping", onSleep) }
+def updated() { unsubscribe(); subscribe(sleepTracker, "sleeping.sleeping", onSleep) }
+def onSleep(evt) {
+    setLocationMode("Night")
+    lights.off()
+}
+`,
+		"FeedMyPet": `
+definition(name: "FeedMyPet", namespace: "store", author: "community",
+    description: "Feed your pet on schedule with a pet feeder shield.",
+    category: "Pets")
+input "feeder", "device.petfeedershield", title: "Pet feeder"
+def installed() { schedule("0 0 8 * * ?", feedTime) }
+def updated() { unschedule(); schedule("0 0 8 * * ?", feedTime) }
+def feedTime() {
+    feeder.on()
+    runIn(30, feedDone)
+}
+def feedDone() {
+    feeder.off()
+}
+`,
+		"CameraPowerScheduler": `
+definition(name: "CameraPowerScheduler", namespace: "store", author: "community",
+    description: "Power the camera outlet on and off every day using a daily schedule.",
+    category: "Safety & Security")
+input "cameraOutlet", "capability.switch", title: "Camera outlet"
+def installed() { initialize() }
+def updated() { unschedule(); initialize() }
+def initialize() {
+    runDaily(camOn)
+    schedule("0 0 23 * * ?", camOff)
+}
+def camOn() { cameraOutlet.on() }
+def camOff() { cameraOutlet.off() }
+`,
+		"VacationSimulator": `
+definition(name: "VacationSimulator", namespace: "store", author: "community",
+    description: "While you are away, turn living-room lights on each evening and off later to simulate occupancy.",
+    category: "Safety & Security")
+input "lights", "capability.switch", multiple: true, title: "Living room lights"
+def installed() { initialize() }
+def updated() { unschedule(); initialize() }
+def initialize() {
+    schedule("0 15 19 * * ?", eveningShow)
+    schedule("0 45 22 * * ?", eveningEnd)
+}
+def eveningShow() {
+    if (location.mode == "Away") {
+        lights.on()
+    }
+}
+def eveningEnd() {
+    if (location.mode == "Away") {
+        lights.off()
+    }
+}
+`,
+		"WelcomeHome": `
+definition(name: "WelcomeHome", namespace: "store", author: "community",
+    description: "When you arrive: switch to Home mode, unlock the door and light the entry.",
+    category: "Convenience")
+input "presence1", "capability.presenceSensor"
+input "lock1", "capability.lock", title: "Entry lock"
+input "entryLight", "capability.switch", title: "Entry light"
+def installed() { subscribe(presence1, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.present", onArrive) }
+def onArrive(evt) {
+    setLocationMode("Home")
+    lock1.unlock()
+    entryLight.on()
+}
+`,
+		"ModeBasedShades": `
+definition(name: "ModeBasedShades", namespace: "store", author: "community",
+    description: "Close the window shades in Night mode and reopen them in Home mode.",
+    category: "Mode Magic")
+input "shades", "capability.windowShade", multiple: true
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night") {
+        shades.close()
+    } else if (evt.value == "Home") {
+        shades.open()
+    }
+}
+`,
+		"CurfewCheck": `
+definition(name: "CurfewCheck", namespace: "store", author: "community",
+    description: "If the home is not in Night mode by curfew, set it and lock the doors.",
+    category: "Mode Magic")
+input "locks", "capability.lock", multiple: true
+def installed() { schedule("0 0 0 * * ?", curfew) }
+def updated() { unschedule(); schedule("0 0 0 * * ?", curfew) }
+def curfew() {
+    if (location.mode != "Night") {
+        setLocationMode("Night")
+        locks.lock()
+    }
+}
+`,
+		"WeekendSleepIn": `
+definition(name: "WeekendSleepIn", namespace: "store", author: "community",
+    description: "Keep Night mode until a later hour and hold the shades closed for weekend sleep-ins.",
+    category: "Mode Magic")
+input "shades", "capability.windowShade", multiple: true
+input "wakeDay", "enum", options: ["Saturday", "Sunday"], defaultValue: "Sunday"
+def installed() { schedule("0 0 9 * * ?", lateWake) }
+def updated() { unschedule(); schedule("0 0 9 * * ?", lateWake) }
+def lateWake() {
+    if (location.mode == "Night") {
+        setLocationMode("Home")
+        shades.open()
+    }
+}
+`,
+		"GuestMode": `
+definition(name: "GuestMode", namespace: "store", author: "community",
+    description: "Tap the app to enter guest mode: unlock the door, light the porch and disarm the siren.",
+    category: "Convenience")
+input "lock1", "capability.lock"
+input "porchLight", "capability.switch", title: "Porch light"
+input "siren1", "capability.alarm"
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    lock1.unlock()
+    porchLight.on()
+    siren1.off()
+}
+`,
+	})
+}

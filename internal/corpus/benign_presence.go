@@ -1,0 +1,234 @@
+package corpus
+
+// Presence, arrival and miscellaneous comfort apps completing the 90-app
+// population.
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"GreetingsEarthling": `
+definition(name: "GreetingsEarthling", namespace: "store", author: "community",
+    description: "Change the home mode when someone arrives.",
+    category: "Mode Magic")
+input "people", "capability.presenceSensor", multiple: true
+input "arriveMode", "enum", options: ["Home", "Away", "Night"], defaultValue: "Home"
+def installed() { subscribe(people, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", onArrive) }
+def onArrive(evt) {
+    setLocationMode(arriveMode)
+}
+`,
+		"PorchLightGreeter": `
+definition(name: "PorchLightGreeter", namespace: "store", author: "community",
+    description: "Turn the porch light on when you arrive after dark, and off fifteen minutes later.",
+    category: "Convenience")
+input "presence1", "capability.presenceSensor"
+input "luxSensor", "capability.illuminanceMeasurement"
+input "porchLight", "capability.switch", title: "Porch light"
+def installed() { subscribe(presence1, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.present", onArrive) }
+def onArrive(evt) {
+    if (luxSensor.currentIlluminance < 100) {
+        porchLight.on()
+        runIn(900, lightOff)
+    }
+}
+def lightOff() {
+    porchLight.off()
+}
+`,
+		"EveryoneOutHeatDown": `
+definition(name: "EveryoneOutHeatDown", namespace: "store", author: "community",
+    description: "Drop the heating setpoint when the last person leaves home.",
+    category: "Green Living")
+input "people", "capability.presenceSensor", multiple: true
+input "thermostat1", "capability.thermostat"
+input "ecoHeat", "number", defaultValue: 58
+def installed() { subscribe(people, "presence.not present", onLeave) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", onLeave) }
+def onLeave(evt) {
+    thermostat1.setHeatingSetpoint(ecoHeat)
+}
+`,
+		"TVOffWhenAlone": `
+definition(name: "TVOffWhenAlone", namespace: "store", author: "community",
+    description: "Turn the TV off when the last person leaves the house.",
+    category: "Green Living")
+input "people", "capability.presenceSensor", multiple: true
+input "tv1", "capability.switch", title: "TV"
+def installed() { subscribe(people, "presence.not present", onLeave) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", onLeave) }
+def onLeave(evt) {
+    tv1.off()
+}
+`,
+		"ArrivalHotWater": `
+definition(name: "ArrivalHotWater", namespace: "store", author: "community",
+    description: "Switch the water heater on half an hour before your usual arrival.",
+    category: "Convenience")
+input "waterHeater1", "capability.switch", title: "Water heater"
+def installed() { schedule("0 30 16 * * ?", preheat) }
+def updated() { unschedule(); schedule("0 30 16 * * ?", preheat) }
+def preheat() {
+    waterHeater1.on()
+}
+`,
+		"WorkoutFan": `
+definition(name: "WorkoutFan", namespace: "store", author: "community",
+    description: "Start the gym fan when motion begins in the workout room and stop it when you finish.",
+    category: "Health & Wellness")
+input "motion1", "capability.motionSensor", title: "Gym motion"
+input "fan1", "capability.switch", title: "Gym fan"
+def installed() { subscribe(motion1, "motion", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", onMotion) }
+def onMotion(evt) {
+    if (evt.value == "active") {
+        fan1.on()
+    } else {
+        runIn(600, fanOff)
+    }
+}
+def fanOff() {
+    if (motion1.currentMotion == "inactive") {
+        fan1.off()
+    }
+}
+`,
+		"OvenWatchdog": `
+definition(name: "OvenWatchdog", namespace: "store", author: "community",
+    description: "Turn the oven outlet off if everyone leaves while it is still on.",
+    category: "Safety & Security")
+input "people", "capability.presenceSensor", multiple: true
+input "oven1", "capability.switch", title: "Oven outlet"
+def installed() { subscribe(people, "presence.not present", onLeave) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", onLeave) }
+def onLeave(evt) {
+    if (oven1.currentSwitch == "on") {
+        oven1.off()
+    }
+}
+`,
+		"MovieTime": `
+definition(name: "MovieTime", namespace: "store", author: "community",
+    description: "Tap the app for movie time: dim the lights, close the shades, turn the TV on.",
+    category: "Entertainment")
+input "dimmer1", "capability.switchLevel", title: "Living room dimmer"
+input "shades", "capability.windowShade", multiple: true
+input "tv1", "capability.switch", title: "TV"
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    dimmer1.setLevel(15)
+    shades.close()
+    tv1.on()
+}
+`,
+		"BrightDay": `
+definition(name: "BrightDay", namespace: "store", author: "community",
+    description: "Turn interior lights off whenever daylight makes them unnecessary.",
+    category: "Green Living")
+input "luxSensor", "capability.illuminanceMeasurement"
+input "lights", "capability.switch", multiple: true
+input "daylight", "number", defaultValue: 800
+def installed() { subscribe(luxSensor, "illuminance", onLux) }
+def updated() { unsubscribe(); subscribe(luxSensor, "illuminance", onLux) }
+def onLux(evt) {
+    if (evt.integerValue > daylight) {
+        lights.off()
+    }
+}
+`,
+		"ColorMoodLight": `
+definition(name: "ColorMoodLight", namespace: "store", author: "community",
+    description: "Warm up the color temperature of the bulbs in the evening hours.",
+    category: "Comfort")
+input "bulbs", "capability.colorTemperature", multiple: true
+def installed() { schedule("0 0 20 * * ?", eveningWarm) }
+def updated() { unschedule(); schedule("0 0 20 * * ?", eveningWarm) }
+def eveningWarm() {
+    bulbs.setColorTemperature(2700)
+}
+`,
+		"TheBigSwitch": `
+definition(name: "TheBigSwitch", namespace: "store", author: "community",
+    description: "Follow a master switch: when it turns on or off, a group of other switches follows.",
+    category: "Convenience")
+input "master", "capability.switch", title: "Master switch"
+input "followers", "capability.switch", multiple: true, title: "Followers"
+def installed() { subscribe(master, "switch", onMaster) }
+def updated() { unsubscribe(); subscribe(master, "switch", onMaster) }
+def onMaster(evt) {
+    if (evt.value == "on") {
+        followers.on()
+    } else {
+        followers.off()
+    }
+}
+`,
+		"ContactSwitchLink": `
+definition(name: "ContactSwitchLink", namespace: "store", author: "community",
+    description: "Run the closet light switch exactly while the closet door is open.",
+    category: "Convenience")
+input "door1", "capability.contactSensor", title: "Closet door"
+input "light1", "capability.switch", title: "Closet light"
+def installed() { subscribe(door1, "contact", onDoor) }
+def updated() { unsubscribe(); subscribe(door1, "contact", onDoor) }
+def onDoor(evt) {
+    if (evt.value == "open") {
+        light1.on()
+    } else {
+        light1.off()
+    }
+}
+`,
+		"StepTracker": `
+definition(name: "StepTracker", namespace: "store", author: "community",
+    description: "Celebrate hitting your step goal by blinking the desk lamp.",
+    category: "Health & Wellness")
+input "steps1", "capability.stepSensor"
+input "lamp1", "capability.switch", title: "Desk lamp"
+input "goal1", "number", defaultValue: 10000
+def installed() { subscribe(steps1, "steps", onSteps) }
+def updated() { unsubscribe(); subscribe(steps1, "steps", onSteps) }
+def onSteps(evt) {
+    if (evt.integerValue > goal1) {
+        lamp1.on()
+        runIn(30, lampOff)
+    }
+}
+def lampOff() {
+    lamp1.off()
+}
+`,
+		"SmokeStoveCut": `
+definition(name: "SmokeStoveCut", namespace: "store", author: "community",
+    description: "Cut power to the stove outlet when the kitchen smoke detector trips.",
+    category: "Safety & Security")
+input "smoke1", "capability.smokeDetector", title: "Kitchen smoke"
+input "stove1", "capability.switch", title: "Stove outlet"
+def installed() { subscribe(smoke1, "smoke.detected", onSmoke) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke.detected", onSmoke) }
+def onSmoke(evt) {
+    stove1.off()
+}
+`,
+		"NapTime": `
+definition(name: "NapTime", namespace: "store", author: "community",
+    description: "Tap to nap: close the shades, pause the speaker and hold Night mode for an hour.",
+    category: "Health & Wellness")
+input "shades", "capability.windowShade", multiple: true
+input "speaker1", "capability.musicPlayer"
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    shades.close()
+    speaker1.pause()
+    setLocationMode("Night")
+    runIn(3600, napOver)
+}
+def napOver() {
+    setLocationMode("Home")
+    shades.open()
+}
+`,
+	})
+}

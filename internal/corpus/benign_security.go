@@ -1,0 +1,236 @@
+package corpus
+
+// Security and access-control apps. SwitchChangesMode, MakeItSo,
+// NFCTagToggle and LockItWhenILeave are named in Sec. VIII-B.
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"SwitchChangesMode": `
+definition(name: "SwitchChangesMode", namespace: "store", author: "community",
+    description: "Change the home mode according to the on or off state of a switch.",
+    category: "Mode Magic")
+input "master", "capability.switch", title: "Master switch"
+input "onMode", "enum", title: "Mode when on", options: ["Home", "Away", "Night"]
+input "offMode", "enum", title: "Mode when off", options: ["Home", "Away", "Night"]
+def installed() { subscribe(master, "switch", switchHandler) }
+def updated() { unsubscribe(); subscribe(master, "switch", switchHandler) }
+def switchHandler(evt) {
+    if (evt.value == "on") {
+        setLocationMode(onMode)
+    } else {
+        setLocationMode(offMode)
+    }
+}
+`,
+		"MakeItSo": `
+definition(name: "MakeItSo", namespace: "store", author: "community",
+    description: "Restore a saved group of switch, lock and thermostat states whenever the home enters a mode.",
+    category: "Mode Magic")
+input "switches", "capability.switch", multiple: true
+input "locks", "capability.lock", multiple: true
+input "thermostat1", "capability.thermostat"
+input "targetMode", "enum", title: "Apply in mode", options: ["Home", "Away", "Night"]
+input "heatSetpoint", "number", title: "Heating setpoint", defaultValue: 68
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == targetMode) {
+        switches.on()
+        locks.unlock()
+        thermostat1.setHeatingSetpoint(heatSetpoint)
+    }
+}
+`,
+		"NFCTagToggle": `
+definition(name: "NFCTagToggle", namespace: "store", author: "community",
+    description: "Toggle your appliance switches and door lock by tapping the app button on your phone.",
+    category: "Convenience")
+input "switches", "capability.switch", multiple: true, title: "Appliances"
+input "lock1", "capability.lock"
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (state.toggled == 1) {
+        switches.on()
+        lock1.unlock()
+        state.toggled = 0
+    } else {
+        switches.off()
+        lock1.lock()
+        state.toggled = 1
+    }
+}
+`,
+		"LockItWhenILeave": `
+definition(name: "LockItWhenILeave", namespace: "store", author: "community",
+    description: "Lock the doors automatically when your presence sensor leaves home.",
+    category: "Safety & Security")
+input "presence1", "capability.presenceSensor"
+input "locks", "capability.lock", multiple: true
+def installed() { subscribe(presence1, "presence.not present", onLeave) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.not present", onLeave) }
+def onLeave(evt) {
+    locks.lock()
+}
+`,
+		"UnlockWhenIArrive": `
+definition(name: "UnlockWhenIArrive", namespace: "store", author: "community",
+    description: "Unlock the front door when your presence sensor arrives home.",
+    category: "Convenience")
+input "presence1", "capability.presenceSensor"
+input "lock1", "capability.lock", title: "Front door"
+def installed() { subscribe(presence1, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.present", onArrive) }
+def onArrive(evt) {
+    lock1.unlock()
+}
+`,
+		"BoltItAtNight": `
+definition(name: "BoltItAtNight", namespace: "store", author: "community",
+    description: "Lock every door when the home goes into Night mode.",
+    category: "Safety & Security")
+input "locks", "capability.lock", multiple: true
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night") {
+        locks.lock()
+    }
+}
+`,
+		"AutoLockDoor": `
+definition(name: "AutoLockDoor", namespace: "store", author: "community",
+    description: "Relock the door two minutes after it is closed.",
+    category: "Safety & Security")
+input "contact1", "capability.contactSensor", title: "Door contact"
+input "lock1", "capability.lock"
+def installed() { subscribe(contact1, "contact.closed", onClosed) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.closed", onClosed) }
+def onClosed(evt) {
+    runIn(120, relock)
+}
+def relock() {
+    if (contact1.currentContact == "closed") {
+        lock1.lock()
+    }
+}
+`,
+		"AwayIntrusionAlarm": `
+definition(name: "AwayIntrusionAlarm", namespace: "store", author: "community",
+    description: "Sound the siren if motion is detected while the home is in Away mode.",
+    category: "Safety & Security")
+input "motion1", "capability.motionSensor"
+input "siren1", "capability.alarm"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (location.mode == "Away") {
+        siren1.both()
+    }
+}
+`,
+		"DoorLeftOpenSiren": `
+definition(name: "DoorLeftOpenSiren", namespace: "store", author: "community",
+    description: "Strobe the alarm if the fridge door stays open for ten minutes.",
+    category: "Safety & Security")
+input "contact1", "capability.contactSensor", title: "Fridge door"
+input "siren1", "capability.alarm"
+def installed() { subscribe(contact1, "contact.open", onOpen) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", onOpen) }
+def onOpen(evt) {
+    runIn(600, checkStillOpen)
+}
+def checkStillOpen() {
+    if (contact1.currentContact == "open") {
+        siren1.strobe()
+    }
+}
+`,
+		"GarageCloserAtNight": `
+definition(name: "GarageCloserAtNight", namespace: "store", author: "community",
+    description: "Close the garage door every night at eleven.",
+    category: "Safety & Security")
+input "garage1", "capability.garageDoorControl"
+def installed() { schedule("0 0 23 * * ?", closeUp) }
+def updated() { unschedule(); schedule("0 0 23 * * ?", closeUp) }
+def closeUp() {
+    garage1.close()
+}
+`,
+		"PanicButton": `
+definition(name: "PanicButton", namespace: "store", author: "community",
+    description: "Sound the siren and turn on every light when the panic button is held.",
+    category: "Safety & Security")
+input "button1", "capability.button"
+input "siren1", "capability.alarm"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(button1, "button.held", onPanic) }
+def updated() { unsubscribe(); subscribe(button1, "button.held", onPanic) }
+def onPanic(evt) {
+    siren1.both()
+    lights.on()
+}
+`,
+		"CameraOnWhenAway": `
+definition(name: "CameraOnWhenAway", namespace: "store", author: "community",
+    description: "Turn the security camera on in Away mode and off when back Home.",
+    category: "Safety & Security")
+input "camera1", "capability.videoCamera"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Away") {
+        camera1.on()
+    } else if (evt.value == "Home") {
+        camera1.off()
+    }
+}
+`,
+		"DisarmOnArrival": `
+definition(name: "DisarmOnArrival", namespace: "store", author: "community",
+    description: "Silence the alarm and set the home mode when a family member arrives.",
+    category: "Safety & Security")
+input "presence1", "capability.presenceSensor"
+input "siren1", "capability.alarm"
+def installed() { subscribe(presence1, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.present", onArrive) }
+def onArrive(evt) {
+    siren1.off()
+    setLocationMode("Home")
+}
+`,
+		"WindowShockAlert": `
+definition(name: "WindowShockAlert", namespace: "store", author: "community",
+    description: "Sound the siren when glass-break shock is detected at night.",
+    category: "Safety & Security")
+input "shock1", "capability.shockSensor"
+input "siren1", "capability.alarm"
+def installed() { subscribe(shock1, "shock.detected", onShock) }
+def updated() { unsubscribe(); subscribe(shock1, "shock.detected", onShock) }
+def onShock(evt) {
+    if (location.mode == "Night") {
+        siren1.siren()
+    }
+}
+`,
+		"SmartSecurityMode": `
+definition(name: "SmartSecurityMode", namespace: "store", author: "community",
+    description: "Arm the security system and lock the doors when everyone leaves; disarm when someone returns.",
+    category: "Safety & Security")
+input "everyone", "capability.presenceSensor", multiple: true
+input "locks", "capability.lock", multiple: true
+input "security1", "capability.securitySystem"
+def installed() { subscribe(everyone, "presence", onPresence) }
+def updated() { unsubscribe(); subscribe(everyone, "presence", onPresence) }
+def onPresence(evt) {
+    if (evt.value == "not present") {
+        locks.lock()
+        security1.armAway()
+        setLocationMode("Away")
+    } else {
+        security1.disarm()
+    }
+}
+`,
+	})
+}

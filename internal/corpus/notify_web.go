@@ -1,0 +1,213 @@
+package corpus
+
+// Notification-only apps (representing the 56 the paper excludes from
+// pairwise detection because they only message the owner) and web-service
+// apps (representing the 36 removed before rule extraction because their
+// automation lives behind web endpoints).
+
+func init() {
+	registerAll(Notification, map[string]string{
+		"NotifyWhenDoorOpens": `
+definition(name: "NotifyWhenDoorOpens", namespace: "store", author: "community",
+    description: "Text me whenever the front door opens.", category: "Safety & Security")
+input "door1", "capability.contactSensor"
+input "phone1", "phone"
+def installed() { subscribe(door1, "contact.open", onOpen) }
+def updated() { unsubscribe(); subscribe(door1, "contact.open", onOpen) }
+def onOpen(evt) {
+    sendSms(phone1, "The front door just opened")
+}
+`,
+		"TextMeWhenMotion": `
+definition(name: "TextMeWhenMotion", namespace: "store", author: "community",
+    description: "Send a text when motion is detected while I'm away.", category: "Safety & Security")
+input "motion1", "capability.motionSensor"
+input "phone1", "phone"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (location.mode == "Away") {
+        sendSms(phone1, "Motion while away!")
+    }
+}
+`,
+		"LowBatteryAlert": `
+definition(name: "LowBatteryAlert", namespace: "store", author: "community",
+    description: "Push a notification when any sensor battery runs low.", category: "Convenience")
+input "batteries", "capability.battery", multiple: true
+def installed() { subscribe(batteries, "battery", onBattery) }
+def updated() { unsubscribe(); subscribe(batteries, "battery", onBattery) }
+def onBattery(evt) {
+    if (evt.integerValue < 15) {
+        sendPush("A battery is low")
+    }
+}
+`,
+		"TemperatureAlert": `
+definition(name: "TemperatureAlert", namespace: "store", author: "community",
+    description: "Warn me when the wine cellar gets too warm.", category: "Convenience")
+input "tSensor", "capability.temperatureMeasurement", title: "Cellar sensor"
+input "phone1", "phone"
+input "maxT", "number", defaultValue: 60
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue > maxT) {
+        sendSms(phone1, "Cellar is too warm")
+    }
+}
+`,
+		"SmokeTextAlert": `
+definition(name: "SmokeTextAlert", namespace: "store", author: "community",
+    description: "Text the whole family when smoke is detected.", category: "Safety & Security")
+input "smoke1", "capability.smokeDetector"
+input "phone1", "phone"
+def installed() { subscribe(smoke1, "smoke.detected", onSmoke) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke.detected", onSmoke) }
+def onSmoke(evt) {
+    sendSms(phone1, "SMOKE DETECTED")
+}
+`,
+		"WaterLeakText": `
+definition(name: "WaterLeakText", namespace: "store", author: "community",
+    description: "Text me the moment any leak sensor gets wet.", category: "Safety & Security")
+input "leaks", "capability.waterSensor", multiple: true
+input "phone1", "phone"
+def installed() { subscribe(leaks, "water.wet", onLeak) }
+def updated() { unsubscribe(); subscribe(leaks, "water.wet", onLeak) }
+def onLeak(evt) {
+    sendSms(phone1, "Water leak detected")
+}
+`,
+		"PresenceText": `
+definition(name: "PresenceText", namespace: "store", author: "community",
+    description: "Tell me when the kids arrive home from school.", category: "Family")
+input "kidTag", "capability.presenceSensor"
+input "phone1", "phone"
+def installed() { subscribe(kidTag, "presence.present", onArrive) }
+def updated() { unsubscribe(); subscribe(kidTag, "presence.present", onArrive) }
+def onArrive(evt) {
+    sendSms(phone1, "The kids are home")
+}
+`,
+		"ModeChangeText": `
+definition(name: "ModeChangeText", namespace: "store", author: "community",
+    description: "Notify me whenever the home mode changes.", category: "Convenience")
+input "phone1", "phone"
+def installed() { subscribe(location, "mode", onMode) }
+def updated() { unsubscribe(); subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    sendSms(phone1, "Home mode is now ${evt.value}")
+}
+`,
+		"EnergyReport": `
+definition(name: "EnergyReport", namespace: "store", author: "community",
+    description: "Push a daily summary of home energy consumption.", category: "Green Living")
+input "energy1", "capability.energyMeter"
+def installed() { schedule("0 0 21 * * ?", report) }
+def updated() { unschedule(); schedule("0 0 21 * * ?", report) }
+def report() {
+    def e = energy1.currentValue("energy")
+    sendPush("Today's energy: ${e}")
+}
+`,
+		"DoorLeftOpenText": `
+definition(name: "DoorLeftOpenText", namespace: "store", author: "community",
+    description: "Text me if the garage-side door stays open for five minutes.", category: "Safety & Security")
+input "door1", "capability.contactSensor"
+input "phone1", "phone"
+def installed() { subscribe(door1, "contact.open", onOpen) }
+def updated() { unsubscribe(); subscribe(door1, "contact.open", onOpen) }
+def onOpen(evt) {
+    runIn(300, checkDoor)
+}
+def checkDoor() {
+    if (door1.currentContact == "open") {
+        sendSms(phone1, "Door left open")
+    }
+}
+`,
+		"FreezeWarning": `
+definition(name: "FreezeWarning", namespace: "store", author: "community",
+    description: "Warn me before the pipes can freeze.", category: "Safety & Security")
+input "tSensor", "capability.temperatureMeasurement"
+input "phone1", "phone"
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue < 35) {
+        sendSms(phone1, "Freeze warning")
+    }
+}
+`,
+		"SoundAlert": `
+definition(name: "SoundAlert", namespace: "store", author: "community",
+    description: "Push a notification when loud sound is heard while nobody is home.", category: "Safety & Security")
+input "sound1", "capability.soundSensor"
+def installed() { subscribe(sound1, "sound.detected", onSound) }
+def updated() { unsubscribe(); subscribe(sound1, "sound.detected", onSound) }
+def onSound(evt) {
+    if (location.mode == "Away") {
+        sendPush("Loud sound detected at home")
+    }
+}
+`,
+	})
+
+	registerAll(WebService, map[string]string{
+		"WebSwitches": `
+definition(name: "WebSwitches", namespace: "store", author: "community",
+    description: "Expose your switches to external services over a web API.", category: "SmartThings Labs")
+input "switches", "capability.switch", multiple: true
+mappings {
+    path("/switches") { action: [GET: "listSwitches", PUT: "updateSwitches"] }
+}
+def installed() { }
+def updated() { }
+def listSwitches() {
+    switches.each { s -> s.currentSwitch }
+}
+def updateSwitches() {
+    switches.on()
+}
+`,
+		"WebDashboard": `
+definition(name: "WebDashboard", namespace: "store", author: "community",
+    description: "A read-only web dashboard for home sensors.", category: "SmartThings Labs")
+input "sensors", "capability.temperatureMeasurement", multiple: true
+mappings {
+    path("/readings") { action: [GET: "readings"] }
+}
+def installed() { }
+def updated() { }
+def readings() {
+    sensors.collect { s -> s.currentTemperature }
+}
+`,
+		"WebLockControl": `
+definition(name: "WebLockControl", namespace: "store", author: "community",
+    description: "Lock or unlock doors from an external web application.", category: "SmartThings Labs")
+input "locks", "capability.lock", multiple: true
+mappings {
+    path("/lock") { action: [POST: "doLock"] }
+    path("/unlock") { action: [POST: "doUnlock"] }
+}
+def installed() { }
+def updated() { }
+def doLock() { locks.lock() }
+def doUnlock() { locks.unlock() }
+`,
+		"WebModeSetter": `
+definition(name: "WebModeSetter", namespace: "store", author: "community",
+    description: "Set the home mode from external web calls.", category: "SmartThings Labs")
+mappings {
+    path("/mode") { action: [POST: "setMode"] }
+}
+def installed() { }
+def updated() { }
+def setMode() {
+    setLocationMode("Away")
+}
+`,
+	})
+}

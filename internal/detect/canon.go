@@ -1,0 +1,370 @@
+package detect
+
+import (
+	"strings"
+
+	"homeguard/internal/capability"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+	"homeguard/internal/solver"
+	"homeguard/internal/symexec"
+)
+
+// deviceKey returns the canonical identity of the device bound to an
+// app input: the configured 128-bit device ID when known, else a
+// type-level key ("type:<deviceType>#<mainAttr>") implementing the
+// Sec. VIII-B setting where two rules use "the same device" when their
+// devices share a type.
+func (d *Detector) deviceKey(app *InstalledApp, input string) string {
+	if id, ok := app.Config.Devices[input]; ok && id != "" {
+		return id
+	}
+	in := app.Info.Input(input)
+	if in == nil {
+		return "type:" + input
+	}
+	dt := d.deviceType(app, in)
+	// Use the capability's main attribute to separate e.g. locks from
+	// switches even when both are Generic-typed.
+	attr := ""
+	if c, ok := capability.Get(in.Capability); ok {
+		attr = c.MainAttribute()
+	}
+	return "type:" + string(dt) + "#" + attr
+}
+
+// deviceType resolves the physical device type of an input: pinned by
+// capability, else configured (NLP-classified), else guessed from the
+// input name/title, else Generic.
+func (d *Detector) deviceType(app *InstalledApp, in *symexec.InputDecl) envmodel.DeviceType {
+	if dt, pinned := envmodel.TypeForCapability(in.Capability); pinned {
+		return dt
+	}
+	if dt, ok := app.Config.DeviceTypes[in.Name]; ok {
+		return dt
+	}
+	if dt := envmodel.GuessTypeFromName(in.Name + " " + in.Title); dt != envmodel.Generic {
+		return dt
+	}
+	return envmodel.Generic
+}
+
+// canonVar rewrites an app-local variable name into home-global canonical
+// form:
+//   - device attribute "tv1.switch"  → "<deviceKey>.switch"
+//   - "location.mode", "env.*"       → unchanged (already global)
+//   - "state.x"                      → "<app>!state.x" (app-private)
+//   - bare input name                → "<app>!<input>" (substituted by
+//     config values where available)
+func (d *Detector) canonVar(app *InstalledApp, v rule.Var) rule.Var {
+	name := v.Name
+	if strings.HasPrefix(name, "env.") || strings.HasPrefix(name, "location.") {
+		return v
+	}
+	if strings.HasPrefix(name, "state.") {
+		v.Name = app.Info.Name + "!" + name
+		return v
+	}
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		ref := name[:dot]
+		rest := name[dot:]
+		if in := app.Info.Input(ref); in != nil && in.IsDevice() {
+			v.Name = d.deviceKey(app, ref) + rest
+			return v
+		}
+		v.Name = app.Info.Name + "!" + name
+		return v
+	}
+	// Bare input or local name.
+	v.Name = app.Info.Name + "!" + name
+	return v
+}
+
+// configBindings returns substitutions for configured value inputs.
+func (d *Detector) configBindings(app *InstalledApp) map[string]rule.Term {
+	bind := map[string]rule.Term{}
+	for name, t := range app.Config.Values {
+		bind[app.Info.Name+"!"+name] = t
+	}
+	return bind
+}
+
+// canonFormula canonicalises a constraint: rename variables, then apply
+// configured value substitutions.
+func (d *Detector) canonFormula(app *InstalledApp, c rule.Constraint) rule.Constraint {
+	if c == nil {
+		return nil
+	}
+	renamed := rule.RenameVars(c, func(v rule.Var) rule.Var { return d.canonVar(app, v) })
+	return rule.Substitute(renamed, d.configBindings(app))
+}
+
+// situationFormula is trigger-constraint ∧ condition for a rule, in
+// canonical variables.
+func (d *Detector) situationFormula(app *InstalledApp, r *rule.Rule) rule.Constraint {
+	return d.canonFormula(app, r.TriggerConditionFormula())
+}
+
+// conditionFormula is the rule's condition only, canonicalised.
+func (d *Detector) conditionFormula(app *InstalledApp, r *rule.Rule) rule.Constraint {
+	return d.canonFormula(app, r.Condition.Formula())
+}
+
+// canonTerm canonicalises a term (action parameter).
+func (d *Detector) canonTerm(app *InstalledApp, t rule.Term) rule.Term {
+	switch x := t.(type) {
+	case rule.Var:
+		cv := d.canonVar(app, x)
+		if b, ok := d.configBindings(app)[cv.Name]; ok {
+			return b
+		}
+		return cv
+	case rule.Sum:
+		cv := d.canonVar(app, x.X)
+		if b, ok := d.configBindings(app)[cv.Name]; ok {
+			if iv, ok := b.(rule.IntVal); ok {
+				return rule.IntVal(int64(iv) + x.K)
+			}
+		}
+		return rule.Sum{X: cv, K: x.K}
+	}
+	return t
+}
+
+// ---------- solver problem construction ----------
+
+// declareVars declares solver domains for every variable in the formulas:
+// device attributes get their capability-declared domains; location.mode
+// gets the home's mode universe; env features get physical ranges; other
+// enum-ish variables get the set of string values observed anywhere in the
+// formulas.
+func (d *Detector) declareVars(p *solver.Problem, formulas ...rule.Constraint) {
+	observed := map[string]map[string]bool{} // var -> string values compared against
+	var collect func(c rule.Constraint)
+	collect = func(c rule.Constraint) {
+		switch x := c.(type) {
+		case rule.Cmp:
+			if v, ok := x.L.(rule.Var); ok {
+				if s, ok := x.R.(rule.StrVal); ok {
+					addObserved(observed, v.Name, string(s))
+				}
+			}
+			if v, ok := x.R.(rule.Var); ok {
+				if s, ok := x.L.(rule.StrVal); ok {
+					addObserved(observed, v.Name, string(s))
+				}
+			}
+		case rule.And:
+			for _, sub := range x.Cs {
+				collect(sub)
+			}
+		case rule.Or:
+			for _, sub := range x.Cs {
+				collect(sub)
+			}
+		case rule.Not:
+			collect(x.C)
+		}
+	}
+	vars := map[string]rule.Var{}
+	for _, f := range formulas {
+		if f == nil {
+			continue
+		}
+		collect(f)
+		for name, v := range rule.VarSet(f) {
+			vars[name] = v
+		}
+	}
+	for name, v := range vars {
+		d.declareVar(p, name, v, observed[name])
+	}
+}
+
+func addObserved(m map[string]map[string]bool, varName, val string) {
+	if m[varName] == nil {
+		m[varName] = map[string]bool{}
+	}
+	m[varName][val] = true
+}
+
+func (d *Detector) declareVar(p *solver.Problem, name string, v rule.Var, observed map[string]bool) {
+	if p.HasVar(name) {
+		return
+	}
+	// Enum inputs declared with options get their declared domain.
+	if opts, ok := d.inputOptions[name]; ok {
+		vals := append([]string(nil), opts...)
+		for o := range observed {
+			if !containsStr(vals, o) {
+				vals = append(vals, o)
+			}
+		}
+		p.AddEnumVar(name, vals)
+		return
+	}
+	if name == "location.mode" {
+		vals := append([]string(nil), d.modes...)
+		for o := range observed {
+			if !containsStr(vals, o) {
+				vals = append(vals, o)
+			}
+		}
+		p.AddEnumVar(name, vals)
+		return
+	}
+	if strings.HasPrefix(name, "env.") {
+		lo, hi := envRange(strings.TrimPrefix(name, "env."))
+		p.AddIntVar(name, lo, hi)
+		return
+	}
+	// Device attribute: the suffix after the last '.' is the attribute.
+	attr := name
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		attr = name[dot+1:]
+	}
+	if a := capability.AttrByName(attr); a != nil {
+		switch a.Kind {
+		case capability.Enum:
+			vals := append([]string(nil), a.Values...)
+			for o := range observed {
+				if !containsStr(vals, o) {
+					vals = append(vals, o)
+				}
+			}
+			p.AddEnumVar(name, vals)
+			return
+		case capability.Number:
+			p.AddIntVar(name, a.Min, a.Max)
+			return
+		}
+	}
+	// Fallback: enum over observed strings, or a default int.
+	if len(observed) > 0 || v.Type == rule.TypeString {
+		var vals []string
+		for o := range observed {
+			vals = append(vals, o)
+		}
+		vals = append(vals, "\x00other")
+		p.AddEnumVar(name, vals)
+		return
+	}
+	if v.Type == rule.TypeBool {
+		p.AddBoolVar(name)
+		return
+	}
+	p.AddIntVar(name, solver.DefaultIntMin, solver.DefaultIntMax)
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// envRange gives physical bounds for environment features.
+func envRange(feature string) (int64, int64) {
+	switch feature {
+	case "temperature":
+		return -40, 150
+	case "illuminance":
+		return 0, 100000
+	case "humidity":
+		return 0, 100
+	case "power":
+		return 0, 100000
+	case "timeOfDay":
+		return 0, 1439
+	case "sunrise", "sunset":
+		return 0, 1439
+	case "now":
+		return 0, 1 << 40
+	}
+	return solver.DefaultIntMin, solver.DefaultIntMax
+}
+
+// ---------- action effects ----------
+
+// deviceEffect is one attribute change produced by an action, in canonical
+// variables.
+type deviceEffect struct {
+	varName string    // canonical "<deviceKey>.<attr>"
+	value   rule.Term // new value (constant or parameter term)
+	attr    string
+}
+
+// actionEffects computes the device-state effects of a rule's action.
+func (d *Detector) actionEffects(app *InstalledApp, r *rule.Rule) []deviceEffect {
+	act := r.Action
+	if act.Command == "setLocationMode" {
+		var v rule.Term = rule.StrVal("?")
+		if len(act.Params) > 0 {
+			v = d.canonTerm(app, act.Params[0])
+		}
+		return []deviceEffect{{varName: "location.mode", value: v, attr: "mode"}}
+	}
+	in := app.Info.Input(act.Subject)
+	if in == nil || !in.IsDevice() {
+		return nil
+	}
+	ref := commandRef(act.Capability, act.Command)
+	if ref == nil {
+		return nil
+	}
+	key := d.deviceKey(app, act.Subject)
+	var out []deviceEffect
+	for _, e := range ref.Command.Effects {
+		de := deviceEffect{varName: key + "." + e.Attribute, attr: e.Attribute}
+		if e.FromParam >= 0 && e.FromParam < len(act.Params) {
+			de.value = d.canonTerm(app, act.Params[e.FromParam])
+		} else if e.FromParam < 0 {
+			de.value = rule.StrVal(e.Value)
+			if a := ref.Capability.Attr(e.Attribute); a != nil && a.Kind == capability.Number {
+				de.value = rule.StrVal(e.Value) // numeric constant effects unused in registry
+			}
+		} else {
+			continue
+		}
+		out = append(out, de)
+	}
+	return out
+}
+
+func commandRef(capName, cmd string) *capability.CommandRef {
+	if c, ok := capability.Get(capName); ok {
+		if k := c.Cmd(cmd); k != nil {
+			return &capability.CommandRef{Capability: c, Command: k}
+		}
+	}
+	refs := capability.CommandsNamed(cmd)
+	if len(refs) > 0 {
+		return &refs[0]
+	}
+	return nil
+}
+
+// envEffects computes the environment effects of a rule's action based on
+// the device's physical type.
+func (d *Detector) envEffects(app *InstalledApp, r *rule.Rule) envmodel.Effects {
+	in := app.Info.Input(r.Action.Subject)
+	if in == nil || !in.IsDevice() {
+		return nil
+	}
+	dt := d.deviceType(app, in)
+	return envmodel.EffectsOf(dt, r.Action.Command)
+}
+
+// effectConstraint renders a device effect as an equality formula.
+func (e deviceEffect) constraint() rule.Constraint {
+	v := rule.Var{Name: e.varName, Kind: rule.VarDeviceAttr, Type: rule.TypeString}
+	if _, isInt := e.value.(rule.IntVal); isInt {
+		v.Type = rule.TypeInt
+	}
+	if vv, isVar := e.value.(rule.Var); isVar {
+		v.Type = vv.Type
+	}
+	return rule.Cmp{Op: rule.OpEq, L: v, R: e.value}
+}

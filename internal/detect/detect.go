@@ -1,0 +1,707 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+	"homeguard/internal/solver"
+)
+
+// Detector holds the home's installed apps and detects CAI threats as new
+// apps arrive (the online part of HomeGuard).
+type Detector struct {
+	apps  []*InstalledApp
+	modes []string
+	opts  Options
+	stats Stats
+	// curKind attributes solver time to the threat kind being detected
+	// (Fig. 9 instrumentation). Detector is not safe for concurrent use.
+	curKind Kind
+
+	// satCache memoises overlapping-condition solving results so CT/SD/LT
+	// reuse the AR merge and DC reuses EC (Fig. 9 green arrows).
+	satCache map[string]satResult
+
+	// inputOptions maps canonical input-variable names ("app!input") to
+	// the enum options declared in the app's preferences, giving the
+	// solver accurate domains for unbound enum inputs.
+	inputOptions map[string][]string
+
+	// accepted holds user-accepted interfering pairs for chained analysis.
+	accepted []Threat
+}
+
+type satResult struct {
+	sat     bool
+	witness solver.Model
+}
+
+// New returns a detector for one smart home.
+func New(opts Options) *Detector {
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = []string{"Home", "Away", "Night"}
+	}
+	return &Detector{
+		modes:        modes,
+		opts:         opts,
+		stats:        newStats(),
+		satCache:     map[string]satResult{},
+		inputOptions: map[string][]string{},
+	}
+}
+
+// Stats returns detector work counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Apps returns the installed apps in installation order.
+func (d *Detector) Apps() []*InstalledApp { return d.apps }
+
+// Install detects CAI threats between the new app and every already
+// installed app (and within the new app itself), then records the app as
+// installed. This mirrors the one-time decision point at app installation.
+func (d *Detector) Install(app *InstalledApp) []Threat {
+	// Record declared enum-input options for solver domains.
+	for i := range app.Info.Inputs {
+		in := &app.Info.Inputs[i]
+		if len(in.Options) > 0 {
+			d.inputOptions[app.Info.Name+"!"+in.Name] = in.Options
+		}
+	}
+	var threats []Threat
+	// Intra-app pairs (rules within one app can interfere too).
+	rules := app.Rules.Rules
+	for i := 0; i < len(rules); i++ {
+		for j := i + 1; j < len(rules); j++ {
+			threats = append(threats, d.DetectPair(app, rules[i], app, rules[j])...)
+		}
+	}
+	for _, old := range d.apps {
+		for _, r1 := range old.Rules.Rules {
+			for _, r2 := range app.Rules.Rules {
+				threats = append(threats, d.DetectPair(old, r1, app, r2)...)
+			}
+		}
+	}
+	d.apps = append(d.apps, app)
+	return threats
+}
+
+// Accept records that the user decided to keep an interfering pair; later
+// installations search for chains through accepted pairs (Sec. VI-D).
+func (d *Detector) Accept(t Threat) { d.accepted = append(d.accepted, t) }
+
+// Reconfigure replaces an installed app's configuration (the updated()
+// lifecycle path: "whenever a new app is installed or the configuration of
+// an installed app is updated") and re-runs detection between that app and
+// every other installed app. It returns the threats under the new
+// configuration, or nil when the app is not installed.
+func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
+	var target *InstalledApp
+	for _, a := range d.apps {
+		if a.Info.Name == appName {
+			target = a
+			break
+		}
+	}
+	if target == nil {
+		return nil
+	}
+	if cfg == nil {
+		cfg = NewConfig()
+	}
+	target.Config = cfg
+	// Drop cached solving results involving the app: config substitutions
+	// change the formulas behind the cached keys.
+	prefix := appName + "/"
+	for k := range d.satCache {
+		if strings.Contains(k, prefix) {
+			delete(d.satCache, k)
+		}
+	}
+	var threats []Threat
+	rules := target.Rules.Rules
+	for i := 0; i < len(rules); i++ {
+		for j := i + 1; j < len(rules); j++ {
+			threats = append(threats, d.DetectPair(target, rules[i], target, rules[j])...)
+		}
+	}
+	for _, other := range d.apps {
+		if other == target {
+			continue
+		}
+		for _, r1 := range other.Rules.Rules {
+			for _, r2 := range target.Rules.Rules {
+				threats = append(threats, d.DetectPair(other, r1, target, r2)...)
+			}
+		}
+	}
+	return threats
+}
+
+// DetectPair runs all seven detections over one ordered rule pair,
+// reporting any threats found.
+func (d *Detector) DetectPair(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) []Threat {
+	d.stats.PairsChecked++
+	var out []Threat
+
+	// --- Action-Interference: AR then GC ---
+	if t, ok := d.detectAR(appA, r1, appB, r2); ok {
+		out = append(out, t)
+	}
+	if t, ok := d.detectGC(appA, r1, appB, r2); ok {
+		out = append(out, t)
+	}
+
+	// --- Trigger-Interference: CT both directions, then SD / LT ---
+	ct12, okCT12 := d.detectCT(appA, r1, appB, r2)
+	ct21, okCT21 := d.detectCT(appB, r2, appA, r1)
+	arCand := d.contradictoryActions(appA, r1, appB, r2)
+	if okCT12 {
+		out = append(out, ct12)
+	}
+	if okCT21 {
+		out = append(out, ct21)
+	}
+	if okCT12 && arCand {
+		sd := ct12
+		sd.Kind = SelfDisabling
+		sd.Note = "triggered rule reverses the triggering rule's action"
+		d.stats.Found[SelfDisabling]++
+		out = append(out, sd)
+	}
+	if okCT21 && arCand && !okCT12 {
+		sd := ct21
+		sd.Kind = SelfDisabling
+		sd.Note = "triggered rule reverses the triggering rule's action"
+		d.stats.Found[SelfDisabling]++
+		out = append(out, sd)
+	}
+	if okCT12 && okCT21 && arCand {
+		lt := ct12
+		lt.Kind = LoopTriggering
+		lt.Note = "rules trigger each other with contradictory actions"
+		d.stats.Found[LoopTriggering]++
+		out = append(out, lt)
+	}
+
+	// --- Condition-Interference: EC/DC both directions ---
+	if t, ok := d.detectCondInterference(appA, r1, appB, r2); ok {
+		out = append(out, t)
+	}
+	if t, ok := d.detectCondInterference(appB, r2, appA, r1); ok {
+		out = append(out, t)
+	}
+	return out
+}
+
+// ---------- shared solving with reuse ----------
+
+// track begins timing a detection stage for one threat kind; the returned
+// function finishes it, attributing solver time to SolveNS and the rest
+// (candidate filtering and formula construction) to FilterNS.
+func (d *Detector) track(k Kind) func() {
+	d.curKind = k
+	start := time.Now()
+	solve0 := d.stats.SolveNS[k]
+	return func() {
+		total := time.Since(start).Nanoseconds()
+		solved := d.stats.SolveNS[k] - solve0
+		d.stats.FilterNS[k] += total - solved
+	}
+}
+
+// solveSAT decides satisfiability of a conjunction, caching by key.
+func (d *Detector) solveSAT(key string, formulas ...rule.Constraint) (solver.Model, bool) {
+	if !d.opts.DisableReuse && key != "" {
+		if r, ok := d.satCache[key]; ok {
+			d.stats.SolverCacheHits++
+			return r.witness, r.sat
+		}
+	}
+	d.stats.SolverCalls++
+	solveStart := time.Now()
+	defer func() {
+		d.stats.SolveNS[d.curKind] += time.Since(solveStart).Nanoseconds()
+	}()
+	p := solver.NewProblem()
+	d.declareVars(p, formulas...)
+	for _, f := range formulas {
+		p.AddConstraint(f)
+	}
+	m, sat, err := p.Solve()
+	if err != nil {
+		// Search-limit exhaustion: be conservative and report
+		// satisfiable-without-witness (a potential threat is surfaced to
+		// the user rather than hidden).
+		m, sat = nil, true
+	}
+	if !d.opts.DisableReuse && key != "" {
+		d.satCache[key] = satResult{sat: sat, witness: m}
+	}
+	return m, sat
+}
+
+// overlapKey identifies the merged-situation query for a rule pair
+// (unordered), enabling the AR→CT/SD/LT reuse.
+func overlapKey(r1, r2 *rule.Rule) string {
+	a, b := r1.QualifiedID(), r2.QualifiedID()
+	if b < a {
+		a, b = b, a
+	}
+	return "overlap:" + a + "|" + b
+}
+
+func condKey(r1, r2 *rule.Rule) string {
+	a, b := r1.QualifiedID(), r2.QualifiedID()
+	if b < a {
+		a, b = b, a
+	}
+	return "cond:" + a + "|" + b
+}
+
+// situationsOverlap checks SAT(T1 ∧ C1 ∧ T2 ∧ C2) — the paper's
+// overlapping-condition detection for Action-Interference.
+func (d *Detector) situationsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (solver.Model, bool) {
+	f1 := d.situationFormula(appA, r1)
+	f2 := d.situationFormula(appB, r2)
+	return d.solveSAT(overlapKey(r1, r2), f1, f2)
+}
+
+// conditionsOverlap checks SAT(C1 ∧ C2) for Trigger-Interference. When the
+// merged-situation query for the same pair was already solved satisfiable
+// (the AR/GC check), its result is reused: T1∧C1∧T2∧C2 SAT implies
+// C1∧C2 SAT (the Fig. 9 AR→CT/SD/LT green arrow).
+func (d *Detector) conditionsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (solver.Model, bool) {
+	if !d.opts.DisableReuse {
+		if r, ok := d.satCache[overlapKey(r1, r2)]; ok && r.sat {
+			d.stats.SolverCacheHits++
+			return r.witness, true
+		}
+	}
+	f1 := d.conditionFormula(appA, r1)
+	f2 := d.conditionFormula(appB, r2)
+	return d.solveSAT(condKey(r1, r2), f1, f2)
+}
+
+// ---------- AR ----------
+
+// contradictoryActions reports whether two actions contradict on the same
+// actuator: contradictory commands, or the same command with conflicting
+// parameters.
+func (d *Detector) contradictoryActions(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) bool {
+	e1 := d.actionEffects(appA, r1)
+	e2 := d.actionEffects(appB, r2)
+	for _, a := range e1 {
+		for _, b := range e2 {
+			if a.varName != b.varName {
+				continue
+			}
+			av, aConst := a.value.(rule.StrVal)
+			bv, bConst := b.value.(rule.StrVal)
+			if aConst && bConst {
+				if av != bv {
+					return true
+				}
+				continue
+			}
+			ai, aInt := a.value.(rule.IntVal)
+			bi, bInt := b.value.(rule.IntVal)
+			if aInt && bInt {
+				if ai != bi {
+					return true
+				}
+				continue
+			}
+			// Parameterised commands (setLevel with symbolic params):
+			// conflicting unless provably equal.
+			if a.value.String() != b.value.String() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// detectAR implements Actuator Race detection (Sec. VI-A).
+func (d *Detector) detectAR(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
+	defer d.track(ActuatorRace)()
+	if !d.contradictoryActions(appA, r1, appB, r2) {
+		if d.opts.DisableFiltering {
+			d.situationsOverlap(appA, r1, appB, r2) // ablation: solve anyway
+		}
+		return Threat{}, false
+	}
+	d.stats.Candidates[ActuatorRace]++
+	witness, sat := d.situationsOverlap(appA, r1, appB, r2)
+	if !sat {
+		return Threat{}, false
+	}
+	d.stats.Found[ActuatorRace]++
+	return Threat{
+		Kind: ActuatorRace, R1: r1, R2: r2, Witness: witness,
+		Note: fmt.Sprintf("contradictory commands %s vs %s on the same actuator",
+			r1.Action.Command, r2.Action.Command),
+	}, true
+}
+
+// ---------- GC ----------
+
+// detectGC implements Goal Conflict detection: opposite environment
+// effects on a shared goal property plus overlapping situations.
+func (d *Detector) detectGC(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
+	defer d.track(GoalConflict)()
+	ef1 := d.envEffects(appA, r1)
+	ef2 := d.envEffects(appB, r2)
+	if len(ef1) == 0 || len(ef2) == 0 {
+		if d.opts.DisableFiltering {
+			d.situationsOverlap(appA, r1, appB, r2) // ablation: solve anyway
+		}
+		return Threat{}, false
+	}
+	// Same-actuator contradictions are Actuator Races, not Goal Conflicts.
+	sameDevice := d.sameActionDevice(appA, r1, appB, r2)
+	var prop envmodel.Property
+	for _, p := range envmodel.Properties {
+		if envmodel.Opposite(ef1[p], ef2[p]) && !sameDevice {
+			prop = p
+			break
+		}
+	}
+	if prop == "" {
+		return Threat{}, false
+	}
+	d.stats.Candidates[GoalConflict]++
+	witness, sat := d.situationsOverlap(appA, r1, appB, r2)
+	if !sat {
+		return Threat{}, false
+	}
+	d.stats.Found[GoalConflict]++
+	return Threat{
+		Kind: GoalConflict, R1: r1, R2: r2, Property: prop, Witness: witness,
+		Note: fmt.Sprintf("%s(%s) and %s(%s) have opposite effects on %s",
+			r1.Action.Subject, r1.Action.Command, r2.Action.Subject, r2.Action.Command, prop),
+	}, true
+}
+
+func (d *Detector) sameActionDevice(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) bool {
+	inA := appA.Info.Input(r1.Action.Subject)
+	inB := appB.Info.Input(r2.Action.Subject)
+	if inA == nil || inB == nil {
+		return r1.Action.Subject == r2.Action.Subject
+	}
+	return d.deviceKey(appA, r1.Action.Subject) == d.deviceKey(appB, r2.Action.Subject)
+}
+
+// ---------- CT ----------
+
+// detectCT implements directed Covert Triggering detection: R1's action
+// triggers R2 either directly (device state) or via the environment.
+func (d *Detector) detectCT(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
+	defer d.track(CovertTriggering)()
+	trigProp, channel := d.triggerChannel(appA, r1, appB, r2)
+	if channel == "" {
+		if d.opts.DisableFiltering {
+			d.conditionsOverlap(appA, r1, appB, r2) // ablation: solve anyway
+		}
+		return Threat{}, false
+	}
+	d.stats.Candidates[CovertTriggering]++
+	witness, sat := d.conditionsOverlap(appA, r1, appB, r2)
+	if !sat {
+		return Threat{}, false
+	}
+	d.stats.Found[CovertTriggering]++
+	return Threat{
+		Kind: CovertTriggering, R1: r1, R2: r2, Property: trigProp, Witness: witness,
+		Note: channel,
+	}, true
+}
+
+// triggerChannel decides whether A1 can fire T2, returning a description
+// of the channel ("" when none).
+func (d *Detector) triggerChannel(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (envmodel.Property, string) {
+	t2 := r2.Trigger
+	if t2.Subject == "app" || t2.Subject == "time" {
+		return "", "" // app-touch and schedules cannot be fired by actions
+	}
+	// Direct channel: A1 changes the very attribute T2 subscribes to.
+	t2Var := d.canonTriggerVar(appB, r2)
+	for _, eff := range d.actionEffects(appA, r1) {
+		if eff.varName != t2Var {
+			continue
+		}
+		if t2.AnyChange() {
+			return "", fmt.Sprintf("action %s(%s) changes %s which triggers the rule",
+				r1.Action.Subject, r1.Action.Command, t2Var)
+		}
+		// Check the trigger constraint against the effect value.
+		f := d.canonFormula(appB, t2.Constraint)
+		_, sat := d.solveSAT("", f, eff.constraint())
+		if sat {
+			return "", fmt.Sprintf("action %s(%s) sets %s to the triggering value",
+				r1.Action.Subject, r1.Action.Command, t2Var)
+		}
+		return "", ""
+	}
+	// Environment channel: A1 shifts a property sensed by T2's subject.
+	prop, ok := envmodel.AttributeProperty(t2.Attribute)
+	if !ok {
+		return "", ""
+	}
+	effects := d.envEffects(appA, r1)
+	sign := effects[prop]
+	if sign == envmodel.None {
+		return "", ""
+	}
+	if !d.signMatchesTrigger(appB, r2, sign) {
+		return "", ""
+	}
+	return prop, fmt.Sprintf("action %s(%s) drives %s (%s) sensed by %s",
+		r1.Action.Subject, r1.Action.Command, prop, sign, t2.Subject)
+}
+
+// canonTriggerVar is the canonical variable T2 subscribes to.
+func (d *Detector) canonTriggerVar(app *InstalledApp, r *rule.Rule) string {
+	t := r.Trigger
+	if t.Subject == "location" {
+		return "location." + t.Attribute
+	}
+	if in := app.Info.Input(t.Subject); in != nil && in.IsDevice() {
+		return d.deviceKey(app, t.Subject) + "." + t.Attribute
+	}
+	return app.Info.Name + "!" + t.EventVar()
+}
+
+// signMatchesTrigger checks whether an environment drift direction can
+// satisfy the trigger's one-sided bound (any-change triggers always match).
+func (d *Detector) signMatchesTrigger(app *InstalledApp, r *rule.Rule, sign envmodel.Sign) bool {
+	if r.Trigger.AnyChange() || sign == envmodel.Varies {
+		return true
+	}
+	dir := boundDirection(r.Trigger.Constraint)
+	switch dir {
+	case +1:
+		return sign == envmodel.Increase
+	case -1:
+		return sign == envmodel.Decrease
+	default:
+		return true
+	}
+}
+
+// boundDirection inspects a constraint for a one-sided numeric bound:
+// +1 for >/>=, -1 for </<=, 0 otherwise.
+func boundDirection(c rule.Constraint) int {
+	switch x := c.(type) {
+	case rule.Cmp:
+		lIsVar := false
+		if v, ok := x.L.(rule.Var); ok && v.Kind != rule.VarUserInput {
+			lIsVar = true
+		}
+		switch x.Op {
+		case rule.OpGt, rule.OpGe:
+			if lIsVar {
+				return +1
+			}
+			return -1
+		case rule.OpLt, rule.OpLe:
+			if lIsVar {
+				return -1
+			}
+			return +1
+		}
+	case rule.And:
+		for _, sub := range x.Cs {
+			if dir := boundDirection(sub); dir != 0 {
+				return dir
+			}
+		}
+	}
+	return 0
+}
+
+// ---------- EC / DC ----------
+
+// detectCondInterference implements directed Enabling/Disabling-Condition
+// detection: does A1 change the satisfaction of C2?
+func (d *Detector) detectCondInterference(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
+	defer d.track(EnablingCondition)()
+	if r2.Condition.Always() {
+		return Threat{}, false
+	}
+	condF := d.conditionFormula(appB, r2)
+	condVars := rule.VarSet(condF)
+
+	// Candidate check: A1 touches a device attribute in C2, or an
+	// environment property sensed by a variable in C2.
+	var effectCs []rule.Constraint
+	var prop envmodel.Property
+	touched := false
+	for _, eff := range d.actionEffects(appA, r1) {
+		if _, ok := condVars[eff.varName]; ok {
+			touched = true
+			effectCs = append(effectCs, eff.constraint())
+		}
+	}
+	if !touched {
+		envEf := d.envEffects(appA, r1)
+		for name := range condVars {
+			attr := name
+			if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+				attr = name[dot+1:]
+			}
+			p, ok := envmodel.AttributeProperty(attr)
+			if !ok {
+				continue
+			}
+			if envEf[p] != envmodel.None {
+				touched = true
+				prop = p
+				// Setpoint-style parametrised effects produce a bound on
+				// the sensed variable (the paper's thermostat example).
+				if bc := d.setpointBound(appA, r1, name); bc != nil {
+					effectCs = append(effectCs, bc)
+				}
+				break
+			}
+		}
+	}
+	if !touched {
+		if d.opts.DisableFiltering {
+			key := "ec:" + r1.QualifiedID() + "|" + r2.QualifiedID()
+			d.solveSAT(key, condF) // ablation: solve anyway
+		}
+		return Threat{}, false
+	}
+	d.stats.Candidates[EnablingCondition]++
+
+	// Merge the effect constraints with C2: SAT ⇒ may enable (EC);
+	// UNSAT ⇒ disables (DC).
+	key := "ec:" + r1.QualifiedID() + "|" + r2.QualifiedID()
+	witness, sat := d.solveSAT(key, append([]rule.Constraint{condF}, effectCs...)...)
+	if sat {
+		d.stats.Found[EnablingCondition]++
+		return Threat{
+			Kind: EnablingCondition, R1: r1, R2: r2, Property: prop, Witness: witness,
+			Note: "action can make the other rule's condition satisfiable",
+		}, true
+	}
+	d.stats.Found[DisablingCond]++
+	return Threat{
+		Kind: DisablingCond, R1: r1, R2: r2, Property: prop,
+		Note: "action makes the other rule's condition unsatisfiable",
+	}, true
+}
+
+// setpointBound models parameterised thermostat-style effects: setting a
+// heating setpoint to T bounds the sensed temperature variable from below.
+func (d *Detector) setpointBound(app *InstalledApp, r *rule.Rule, sensedVar string) rule.Constraint {
+	cmd := r.Action.Command
+	if len(r.Action.Params) == 0 {
+		return nil
+	}
+	t := d.canonTerm(app, r.Action.Params[0])
+	v := rule.Var{Name: sensedVar, Kind: rule.VarDeviceAttr, Type: rule.TypeInt}
+	switch cmd {
+	case "setHeatingSetpoint":
+		return rule.Cmp{Op: rule.OpGe, L: v, R: t}
+	case "setCoolingSetpoint":
+		return rule.Cmp{Op: rule.OpLe, L: v, R: t}
+	}
+	return nil
+}
+
+// ---------- chained threats (Sec. VI-D) ----------
+
+// Chain is a sequence of rules linked by accepted or newly found
+// interferences.
+type Chain struct {
+	Rules []*rule.Rule
+	Kinds []Kind
+}
+
+func (c Chain) String() string {
+	var parts []string
+	for i, r := range c.Rules {
+		parts = append(parts, r.QualifiedID())
+		if i < len(c.Kinds) {
+			parts = append(parts, "-"+string(c.Kinds[i])+"->")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// FindChains searches the digraph of accepted pairs plus the given new
+// threats for interference chains of length >= 2 hops involving the new
+// threats.
+func (d *Detector) FindChains(newThreats []Threat, maxLen int) []Chain {
+	if maxLen <= 0 {
+		maxLen = 4
+	}
+	type edge struct {
+		to   *rule.Rule
+		kind Kind
+	}
+	adj := map[string][]edge{}
+	nodes := map[string]*rule.Rule{}
+	addEdge := func(t Threat) {
+		// Only trigger/condition interference propagates effects onward.
+		switch t.Kind {
+		case CovertTriggering, SelfDisabling, LoopTriggering, EnablingCondition, DisablingCond:
+			adj[t.R1.QualifiedID()] = append(adj[t.R1.QualifiedID()], edge{to: t.R2, kind: t.Kind})
+			nodes[t.R1.QualifiedID()] = t.R1
+			nodes[t.R2.QualifiedID()] = t.R2
+		}
+	}
+	for _, t := range d.accepted {
+		addEdge(t)
+	}
+	for _, t := range newThreats {
+		addEdge(t)
+	}
+	var chains []Chain
+	var dfs func(cur *rule.Rule, path []*rule.Rule, kinds []Kind, onPath map[string]bool)
+	dfs = func(cur *rule.Rule, path []*rule.Rule, kinds []Kind, onPath map[string]bool) {
+		if len(path) > maxLen {
+			return
+		}
+		if len(path) >= 3 {
+			chains = append(chains, Chain{
+				Rules: append([]*rule.Rule(nil), path...),
+				Kinds: append([]Kind(nil), kinds...),
+			})
+		}
+		for _, e := range adj[cur.QualifiedID()] {
+			id := e.to.QualifiedID()
+			if onPath[id] {
+				continue
+			}
+			onPath[id] = true
+			dfs(e.to, append(path, e.to), append(kinds, e.kind), onPath)
+			delete(onPath, id)
+		}
+	}
+	for id, r := range nodes {
+		dfs(r, []*rule.Rule{r}, nil, map[string]bool{id: true})
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i].String() < chains[j].String() })
+	return dedupeChains(chains)
+}
+
+func dedupeChains(in []Chain) []Chain {
+	var out []Chain
+	seen := map[string]bool{}
+	for _, c := range in {
+		k := c.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,542 @@
+package detect
+
+import (
+	"testing"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+// ---- the paper's five demo apps (Figures 3, 4, 5) ----
+
+const comfortTVSrc = `
+definition(name: "ComfortTV", namespace: "repro", author: "x",
+    description: "Open the window when the TV turns on and it is hot.", category: "Convenience")
+input "tv1", "capability.switch"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number"
+input "window1", "capability.switch"
+def installed() { subscribe(tv1, "switch", onHandler) }
+def updated() { unsubscribe(); subscribe(tv1, "switch", onHandler) }
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+`
+
+const coldDefenderSrc = `
+definition(name: "ColdDefender", namespace: "repro", author: "x",
+    description: "Close the window when the TV is on while it rains.", category: "Safety")
+input "tv1", "capability.switch"
+input "window1", "capability.switch"
+input "weather", "enum", options: ["sunny", "rainy", "cloudy"]
+def installed() { subscribe(tv1, "switch.on", onHandler) }
+def updated() { unsubscribe(); subscribe(tv1, "switch.on", onHandler) }
+def onHandler(evt) {
+    if (weather == "rainy") {
+        window1.off()
+    }
+}
+`
+
+const catchLiveShowSrc = `
+definition(name: "CatchLiveShow", namespace: "repro", author: "x",
+    description: "Turn on the TV remotely when a voice message arrives on Thursdays.", category: "Fun")
+input "tv1", "capability.switch"
+input "dayOfWeek", "enum", options: ["Monday","Thursday","Sunday"]
+def installed() { subscribe(app, appTouch) }
+def updated() { subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (dayOfWeek == "Thursday") {
+        tv1.on()
+    }
+}
+`
+
+const burglarFinderSrc = `
+definition(name: "BurglarFinder", namespace: "repro", author: "x",
+    description: "Sound the alarm on midnight motion while the floor lamp is on.", category: "Safety")
+input "motion1", "capability.motionSensor"
+input "lamp1", "capability.switch"
+input "alarm1", "capability.alarm"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (lamp1.currentSwitch == "on" && location.mode == "Night") {
+        alarm1.siren()
+    }
+}
+`
+
+const nightCareSrc = `
+definition(name: "NightCare", namespace: "repro", author: "x",
+    description: "Turn the floor lamp off 5 minutes after it turns on while sleeping.", category: "Green Living")
+input "lamp1", "capability.switch"
+def installed() { subscribe(lamp1, "switch.on", onLamp) }
+def updated() { unsubscribe(); subscribe(lamp1, "switch.on", onLamp) }
+def onLamp(evt) {
+    if (location.mode == "Night") {
+        runIn(300, lampOff)
+    }
+}
+def lampOff() {
+    lamp1.off()
+}
+`
+
+func installApp(t *testing.T, d *Detector, src string, cfg *Config) []Threat {
+	t.Helper()
+	res, err := symexec.Extract(src, "")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	return d.Install(NewInstalledApp(res, cfg))
+}
+
+func hasKind(threats []Threat, k Kind) *Threat {
+	for i := range threats {
+		if threats[i].Kind == k {
+			return &threats[i]
+		}
+	}
+	return nil
+}
+
+func sharedTVWindowConfig(tvID, winID string) *Config {
+	cfg := NewConfig()
+	cfg.Devices["tv1"] = tvID
+	cfg.Devices["window1"] = winID
+	cfg.DeviceTypes["window1"] = envmodel.WindowOpener
+	cfg.DeviceTypes["tv1"] = envmodel.TV
+	return cfg
+}
+
+// TestFig3ActuatorRace reproduces the paper's Fig. 3: ComfortTV opens the
+// window, ColdDefender closes it, both when the TV turns on — a race when
+// it is hot and raining.
+func TestFig3ActuatorRace(t *testing.T) {
+	d := New(Options{})
+	cfg1 := sharedTVWindowConfig("dev-tv", "dev-window")
+	cfg1.Values["threshold1"] = rule.IntVal(30)
+	installApp(t, d, comfortTVSrc, cfg1)
+	threats := installApp(t, d, coldDefenderSrc, sharedTVWindowConfig("dev-tv", "dev-window"))
+
+	ar := hasKind(threats, ActuatorRace)
+	if ar == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Actuator Race not detected (paper Fig. 3)")
+	}
+	// The witness should be the overlapping situation: TV on, hot, rainy.
+	if ar.Witness != nil {
+		if v, ok := ar.Witness["dev-tv.switch"]; ok && v.Enum != "on" {
+			t.Errorf("witness TV state = %v, want on", v)
+		}
+		if v, ok := ar.Witness["dev-tSensor.temperature"]; ok && v.Int <= 30 {
+			t.Errorf("witness temperature = %v, want > 30", v)
+		}
+	}
+}
+
+// TestFig3NoRaceDifferentWindows: same apps but configured with different
+// physical windows — no race.
+func TestFig3NoRaceDifferentWindows(t *testing.T) {
+	d := New(Options{})
+	cfg1 := sharedTVWindowConfig("dev-tv", "dev-window-A")
+	installApp(t, d, comfortTVSrc, cfg1)
+	threats := installApp(t, d, coldDefenderSrc, sharedTVWindowConfig("dev-tv", "dev-window-B"))
+	if ar := hasKind(threats, ActuatorRace); ar != nil {
+		t.Errorf("false AR on different devices: %s", *ar)
+	}
+}
+
+// TestFig4CovertTriggering reproduces Fig. 4: CatchLiveShow turns the TV
+// on, which covertly triggers ComfortTV's window-opening rule.
+func TestFig4CovertTriggering(t *testing.T) {
+	d := New(Options{})
+	cfg1 := sharedTVWindowConfig("dev-tv", "dev-window")
+	installApp(t, d, comfortTVSrc, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["tv1"] = "dev-tv"
+	threats := installApp(t, d, catchLiveShowSrc, cfg2)
+
+	ct := hasKind(threats, CovertTriggering)
+	if ct == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Covert Triggering not detected (paper Fig. 4)")
+	}
+	// Direction: CatchLiveShow (R1) triggers ComfortTV (R2).
+	if ct.R1.App != "CatchLiveShow" || ct.R2.App != "ComfortTV" {
+		t.Errorf("CT direction = %s -> %s", ct.R1.App, ct.R2.App)
+	}
+}
+
+// TestFig5DisablingCondition reproduces Fig. 5: NightCare turns the lamp
+// off, disabling BurglarFinder's lamp-on condition.
+func TestFig5DisablingCondition(t *testing.T) {
+	d := New(Options{})
+	cfgB := NewConfig()
+	cfgB.Devices["lamp1"] = "dev-lamp"
+	cfgB.DeviceTypes["lamp1"] = envmodel.LightDev
+	installApp(t, d, burglarFinderSrc, cfgB)
+	cfgN := NewConfig()
+	cfgN.Devices["lamp1"] = "dev-lamp"
+	cfgN.DeviceTypes["lamp1"] = envmodel.LightDev
+	threats := installApp(t, d, nightCareSrc, cfgN)
+
+	dc := hasKind(threats, DisablingCond)
+	if dc == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Disabling-Condition interference not detected (paper Fig. 5)")
+	}
+	if dc.R1.App != "NightCare" || dc.R2.App != "BurglarFinder" {
+		t.Errorf("DC direction = %s -> %s", dc.R1.App, dc.R2.App)
+	}
+}
+
+const itsTooHotSrc = `
+definition(name: "ItsTooHot", namespace: "repro", author: "x",
+    description: "Turn on the air conditioner when it is hot.", category: "Comfort")
+input "tSensor", "capability.temperatureMeasurement"
+input "ac1", "capability.switch"
+input "hot", "number"
+def installed() { subscribe(tSensor, "temperature", onTemp) }
+def onTemp(evt) {
+    if (evt.doubleValue > hot) {
+        ac1.on()
+    }
+}
+`
+
+const energySaverSrc = `
+definition(name: "EnergySaver", namespace: "repro", author: "x",
+    description: "Turn off heavy loads when electricity usage is over a threshold.", category: "Green Living")
+input "meter", "capability.powerMeter"
+input "ac1", "capability.switch"
+input "maxW", "number"
+def installed() { subscribe(meter, "power", onPower) }
+def onPower(evt) {
+    if (evt.doubleValue > maxW) {
+        ac1.off()
+    }
+}
+`
+
+// TestSelfDisabling reproduces the It'sTooHot / EnergySaver example
+// (Sec. III-B): turning on the AC raises power draw, which triggers
+// EnergySaver to turn the AC off again.
+func TestSelfDisabling(t *testing.T) {
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["ac1"] = "dev-ac"
+	cfg1.DeviceTypes["ac1"] = envmodel.AirConditioner
+	installApp(t, d, itsTooHotSrc, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["ac1"] = "dev-ac"
+	cfg2.DeviceTypes["ac1"] = envmodel.AirConditioner
+	threats := installApp(t, d, energySaverSrc, cfg2)
+
+	sd := hasKind(threats, SelfDisabling)
+	if sd == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Self Disabling not detected (It'sTooHot/EnergySaver)")
+	}
+}
+
+// TestLoopTriggering reproduces the LightUpTheNight loop (Sec. III-B):
+// below 30 lux turn the lights on, above 50 lux turn them off; the lights
+// themselves drive the illuminance reading.
+func TestLoopTriggering(t *testing.T) {
+	lightUp := `
+definition(name: "LightUpTheNight", namespace: "repro", author: "x",
+    description: "Keep the room lit: on when dark, off when bright.", category: "Convenience")
+input "lux1", "capability.illuminanceMeasurement"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(lux1, "illuminance", onLux) }
+def onLux(evt) {
+    if (evt.integerValue < 30) {
+        lights.on()
+    } else if (evt.integerValue > 50) {
+        lights.off()
+    }
+}
+`
+	d := New(Options{})
+	cfg := NewConfig()
+	cfg.Devices["lights"] = "dev-lights"
+	cfg.DeviceTypes["lights"] = envmodel.LightDev
+	threats := installApp(t, d, lightUp, cfg)
+
+	lt := hasKind(threats, LoopTriggering)
+	if lt == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Loop Triggering not detected (LightUpTheNight)")
+	}
+}
+
+// TestGoalConflict reproduces Sec. III-A's inter-actuator conflict: one
+// rule turns on a heater, the other opens the window when the room is
+// dark; the two actions contradict over heating the room.
+func TestGoalConflict(t *testing.T) {
+	heaterApp := `
+definition(name: "WarmMorning", namespace: "repro", author: "x",
+    description: "Turn on the heater in the morning.", category: "Comfort")
+input "motion1", "capability.motionSensor"
+input "heater1", "capability.switch"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) { heater1.on() }
+`
+	windowApp := `
+definition(name: "FreshAir", namespace: "repro", author: "x",
+    description: "Open the window when the room is too dark.", category: "Comfort")
+input "lux1", "capability.illuminanceMeasurement"
+input "window1", "capability.switch"
+def installed() { subscribe(lux1, "illuminance", onLux) }
+def onLux(evt) {
+    if (evt.integerValue < 20) {
+        window1.on()
+    }
+}
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["heater1"] = "dev-heater"
+	cfg1.DeviceTypes["heater1"] = envmodel.Heater
+	installApp(t, d, heaterApp, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["window1"] = "dev-window"
+	cfg2.DeviceTypes["window1"] = envmodel.WindowOpener
+	threats := installApp(t, d, windowApp, cfg2)
+
+	gc := hasKind(threats, GoalConflict)
+	if gc == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Goal Conflict not detected (heater vs window)")
+	}
+	if gc.Property != envmodel.Temperature {
+		t.Errorf("conflict property = %s, want temperature", gc.Property)
+	}
+}
+
+// TestEnablingCondition: one rule turns the heater on; another rule's
+// condition requires the heater to be on — EC.
+func TestEnablingCondition(t *testing.T) {
+	heaterOn := `
+definition(name: "MorningHeat", namespace: "repro", author: "x",
+    description: "Heat in the morning.", category: "Comfort")
+input "motion1", "capability.motionSensor"
+input "heater1", "capability.switch"
+def installed() { subscribe(motion1, "motion.active", go) }
+def go(evt) { heater1.on() }
+`
+	humidify := `
+definition(name: "HumidifyWhenHeating", namespace: "repro", author: "x",
+    description: "Run the humidifier while the heater is on.", category: "Comfort")
+input "contact1", "capability.contactSensor"
+input "heater1", "capability.switch"
+input "hum1", "capability.switch"
+def installed() { subscribe(contact1, "contact.closed", go) }
+def go(evt) {
+    if (heater1.currentSwitch == "on") {
+        hum1.on()
+    }
+}
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["heater1"] = "dev-heater"
+	cfg1.DeviceTypes["heater1"] = envmodel.Heater
+	installApp(t, d, heaterOn, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["heater1"] = "dev-heater"
+	cfg2.Devices["hum1"] = "dev-hum"
+	cfg2.DeviceTypes["heater1"] = envmodel.Heater
+	cfg2.DeviceTypes["hum1"] = envmodel.Humidifier
+	threats := installApp(t, d, humidify, cfg2)
+
+	ec := hasKind(threats, EnablingCondition)
+	if ec == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("Enabling-Condition interference not detected")
+	}
+	if ec.R1.App != "MorningHeat" {
+		t.Errorf("EC direction R1 = %s", ec.R1.App)
+	}
+}
+
+// TestUnsatisfiableOverlapSuppressesAR: contradictory actions whose
+// situations cannot overlap (disjoint modes) must not be reported.
+func TestUnsatisfiableOverlapSuppressesAR(t *testing.T) {
+	a := `
+definition(name: "AwayLock", namespace: "repro", author: "x",
+    description: "Lock when away.", category: "Safety")
+input "door1", "capability.lock"
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion.inactive", go) }
+def go(evt) {
+    if (location.mode == "Away") { door1.lock() }
+}
+`
+	b := `
+definition(name: "HomeUnlock", namespace: "repro", author: "x",
+    description: "Unlock when home.", category: "Convenience")
+input "door1", "capability.lock"
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion.inactive", go) }
+def go(evt) {
+    if (location.mode == "Home") { door1.unlock() }
+}
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["door1"] = "dev-door"
+	installApp(t, d, a, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["door1"] = "dev-door"
+	threats := installApp(t, d, b, cfg2)
+	if ar := hasKind(threats, ActuatorRace); ar != nil {
+		t.Errorf("AR reported despite disjoint modes: %s", *ar)
+	}
+}
+
+func TestTypeLevelIdentityWithoutConfig(t *testing.T) {
+	// Store-audit mode: no device IDs; same capability + type ⇒ same device.
+	d := New(Options{})
+	installApp(t, d, comfortTVSrc, nil)
+	threats := installApp(t, d, coldDefenderSrc, nil)
+	if ar := hasKind(threats, ActuatorRace); ar == nil {
+		t.Fatal("type-level identity should find the Fig. 3 race without config")
+	}
+}
+
+func TestSolverReuseReducesCalls(t *testing.T) {
+	// The SD scenario solves the AR merge first; CT's condition-overlap
+	// check reuses it (the Fig. 9 green arrow).
+	run := func(opts Options) Stats {
+		d := New(opts)
+		cfg1 := NewConfig()
+		cfg1.Devices["ac1"] = "dev-ac"
+		cfg1.DeviceTypes["ac1"] = envmodel.AirConditioner
+		installApp(t, d, itsTooHotSrc, cfg1)
+		cfg2 := NewConfig()
+		cfg2.Devices["ac1"] = "dev-ac"
+		cfg2.DeviceTypes["ac1"] = envmodel.AirConditioner
+		installApp(t, d, energySaverSrc, cfg2)
+		return d.Stats()
+	}
+	with := run(Options{})
+	without := run(Options{DisableReuse: true})
+	if with.SolverCalls >= without.SolverCalls {
+		t.Errorf("reuse should reduce solver calls: with=%d without=%d",
+			with.SolverCalls, without.SolverCalls)
+	}
+	if with.SolverCacheHits == 0 {
+		t.Error("expected cache hits with reuse enabled")
+	}
+}
+
+func TestChainedThreats(t *testing.T) {
+	// CatchLiveShow -> ComfortTV (CT, accepted), then ComfortTV's window
+	// opening cools the room -> a heater rule's temperature condition (EC)
+	// forms a chain.
+	d := New(Options{})
+	cfg1 := sharedTVWindowConfig("dev-tv", "dev-window")
+	t1 := installApp(t, d, comfortTVSrc, cfg1)
+	for _, th := range t1 {
+		d.Accept(th)
+	}
+	cfg2 := NewConfig()
+	cfg2.Devices["tv1"] = "dev-tv"
+	t2 := installApp(t, d, catchLiveShowSrc, cfg2)
+	for _, th := range t2 {
+		d.Accept(th)
+	}
+	heater := `
+definition(name: "KeepWarm", namespace: "repro", author: "x",
+    description: "Heat when cold.", category: "Comfort")
+input "tSensor", "capability.temperatureMeasurement"
+input "heater1", "capability.switch"
+def installed() { subscribe(tSensor, "temperature", go) }
+def go(evt) {
+    if (evt.doubleValue < 18) { heater1.on() }
+}
+`
+	cfg3 := NewConfig()
+	cfg3.Devices["heater1"] = "dev-heater"
+	cfg3.DeviceTypes["heater1"] = envmodel.Heater
+	t3 := installApp(t, d, heater, cfg3)
+	chains := d.FindChains(t3, 4)
+	if len(chains) == 0 {
+		for _, th := range t3 {
+			t.Logf("new threat: %s", th)
+		}
+		t.Fatal("expected at least one interference chain")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	d := New(Options{})
+	installApp(t, d, comfortTVSrc, sharedTVWindowConfig("dev-tv", "dev-window"))
+	installApp(t, d, coldDefenderSrc, sharedTVWindowConfig("dev-tv", "dev-window"))
+	s := d.Stats()
+	if s.PairsChecked == 0 || s.SolverCalls == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Found[ActuatorRace] == 0 {
+		t.Errorf("AR found count = %d", s.Found[ActuatorRace])
+	}
+}
+
+// TestReconfigureResolvesThreat: re-pointing ColdDefender at a different
+// window removes the race; pointing it back restores it.
+func TestReconfigureResolvesThreat(t *testing.T) {
+	d := New(Options{})
+	installApp(t, d, comfortTVSrc, sharedTVWindowConfig("dev-tv", "dev-window"))
+	threats := installApp(t, d, coldDefenderSrc, sharedTVWindowConfig("dev-tv", "dev-window"))
+	if hasKind(threats, ActuatorRace) == nil {
+		t.Fatal("precondition: race expected")
+	}
+	// The user re-configures ColdDefender to control a different window.
+	after := d.Reconfigure("ColdDefender", sharedTVWindowConfig("dev-tv", "dev-OTHER-window"))
+	if ar := hasKind(after, ActuatorRace); ar != nil {
+		t.Errorf("race should disappear after re-binding: %s", *ar)
+	}
+	// And back again.
+	again := d.Reconfigure("ColdDefender", sharedTVWindowConfig("dev-tv", "dev-window"))
+	if hasKind(again, ActuatorRace) == nil {
+		t.Error("race should return with the shared binding")
+	}
+}
+
+func TestReconfigureUnknownApp(t *testing.T) {
+	d := New(Options{})
+	if got := d.Reconfigure("NoSuchApp", nil); got != nil {
+		t.Errorf("unknown app should return nil, got %v", got)
+	}
+}
+
+func TestKindClass(t *testing.T) {
+	if ActuatorRace.Class() != "Action-Interference" ||
+		CovertTriggering.Class() != "Trigger-Interference" ||
+		DisablingCond.Class() != "Condition-Interference" {
+		t.Error("Table I class mapping broken")
+	}
+}

@@ -1,0 +1,243 @@
+package detect
+
+import (
+	"testing"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+// TestThermostatSetpointEffectConstraint covers the paper's explicit
+// Condition-Interference example: "if R1 sets the heating temperature of a
+// thermostat to a value T and R2 uses a temperature sensor in its
+// condition, the effect constraint is tSensor.temperature >= T."
+func TestThermostatSetpointEffectConstraint(t *testing.T) {
+	heatTo75 := `
+definition(name: "Preheat", namespace: "x", author: "x",
+    description: "Preheat before arrival.", category: "c")
+input "presence1", "capability.presenceSensor"
+input "thermostat1", "capability.thermostat"
+def installed() { subscribe(presence1, "presence.present", go) }
+def go(evt) { thermostat1.setHeatingSetpoint(75) }
+`
+	coldGuard := `
+definition(name: "ColdGuard", namespace: "x", author: "x",
+    description: "Alert the lamp when the room is cold at night.", category: "c")
+input "tSensor", "capability.temperatureMeasurement"
+input "contact1", "capability.contactSensor"
+input "lamp1", "capability.switch"
+def installed() { subscribe(contact1, "contact.open", go) }
+def go(evt) {
+    if (tSensor.currentTemperature < 60) { lamp1.on() }
+}
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["thermostat1"] = "dev-thermo"
+	installApp(t, d, heatTo75, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["lamp1"] = "dev-lamp"
+	cfg2.DeviceTypes["lamp1"] = envmodel.LightDev
+	threats := installApp(t, d, coldGuard, cfg2)
+
+	// Setting the heating setpoint to 75 bounds the sensed temperature
+	// from below; temp < 60 then becomes unsatisfiable → DC.
+	dc := hasKind(threats, DisablingCond)
+	if dc == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("setpoint-bounded DC not detected (the paper's thermostat example)")
+	}
+	if dc.R1.App != "Preheat" || dc.R2.App != "ColdGuard" {
+		t.Errorf("DC direction: %s -> %s", dc.R1.App, dc.R2.App)
+	}
+}
+
+// TestSetpointEnablesWhenConsistent: the same setpoint effect with a
+// condition the bound can satisfy yields EC, not DC.
+func TestSetpointEnablesWhenConsistent(t *testing.T) {
+	heatTo75 := `
+definition(name: "Preheat", namespace: "x", author: "x",
+    description: "Preheat before arrival.", category: "c")
+input "presence1", "capability.presenceSensor"
+input "thermostat1", "capability.thermostat"
+def installed() { subscribe(presence1, "presence.present", go) }
+def go(evt) { thermostat1.setHeatingSetpoint(75) }
+`
+	warmFan := `
+definition(name: "WarmFan", namespace: "x", author: "x",
+    description: "Run the fan when the room is warm.", category: "c")
+input "tSensor", "capability.temperatureMeasurement"
+input "contact1", "capability.contactSensor"
+input "fan1", "capability.switch"
+def installed() { subscribe(contact1, "contact.open", go) }
+def go(evt) {
+    if (tSensor.currentTemperature > 70) { fan1.on() }
+}
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["thermostat1"] = "dev-thermo"
+	installApp(t, d, heatTo75, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["fan1"] = "dev-fan"
+	cfg2.DeviceTypes["fan1"] = envmodel.Fan
+	threats := installApp(t, d, warmFan, cfg2)
+	var found *Threat
+	for i := range threats {
+		if threats[i].Kind == EnablingCondition && threats[i].R1.App == "Preheat" {
+			found = &threats[i]
+		}
+	}
+	if found == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("setpoint EC not detected")
+	}
+}
+
+// TestSameCommandConflictingParams: the paper's AR definition includes
+// "the same command with contradictory parameters" (setLevel(100) vs
+// setLevel(10)).
+func TestSameCommandConflictingParams(t *testing.T) {
+	bright := `
+definition(name: "FullBright", namespace: "x", author: "x",
+    description: "Full brightness on motion.", category: "c")
+input "motion1", "capability.motionSensor"
+input "dimmer1", "capability.switchLevel"
+def installed() { subscribe(motion1, "motion.active", go) }
+def go(evt) { dimmer1.setLevel(100) }
+`
+	dim := `
+definition(name: "MoodDim", namespace: "x", author: "x",
+    description: "Dim for the evening.", category: "c")
+input "contact1", "capability.contactSensor"
+input "dimmer1", "capability.switchLevel"
+def installed() { subscribe(contact1, "contact.open", go) }
+def go(evt) { dimmer1.setLevel(10) }
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["dimmer1"] = "dev-dimmer"
+	installApp(t, d, bright, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["dimmer1"] = "dev-dimmer"
+	threats := installApp(t, d, dim, cfg2)
+	if hasKind(threats, ActuatorRace) == nil {
+		for _, th := range threats {
+			t.Logf("threat: %s", th)
+		}
+		t.Fatal("setLevel(100) vs setLevel(10) should be an Actuator Race candidate")
+	}
+}
+
+func TestSameCommandSameParamsNoRace(t *testing.T) {
+	a := `
+definition(name: "AppA", namespace: "x", author: "x", description: "d", category: "c")
+input "motion1", "capability.motionSensor"
+input "dimmer1", "capability.switchLevel"
+def installed() { subscribe(motion1, "motion.active", go) }
+def go(evt) { dimmer1.setLevel(50) }
+`
+	b := `
+definition(name: "AppB", namespace: "x", author: "x", description: "d", category: "c")
+input "contact1", "capability.contactSensor"
+input "dimmer1", "capability.switchLevel"
+def installed() { subscribe(contact1, "contact.open", go) }
+def go(evt) { dimmer1.setLevel(50) }
+`
+	d := New(Options{})
+	cfg1 := NewConfig()
+	cfg1.Devices["dimmer1"] = "dev-dimmer"
+	installApp(t, d, a, cfg1)
+	cfg2 := NewConfig()
+	cfg2.Devices["dimmer1"] = "dev-dimmer"
+	threats := installApp(t, d, b, cfg2)
+	if ar := hasKind(threats, ActuatorRace); ar != nil {
+		t.Errorf("identical setLevel(50) should not race: %s", *ar)
+	}
+}
+
+// TestIntraAppBranchesDoNotSelfRace: LetThereBeDark-style apps whose two
+// branches issue opposite commands under complementary trigger values must
+// not be flagged as racing with themselves.
+func TestIntraAppBranchesDoNotSelfRace(t *testing.T) {
+	src := `
+definition(name: "DoorLights", namespace: "x", author: "x",
+    description: "Lights follow the door.", category: "c")
+input "contact1", "capability.contactSensor"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(contact1, "contact", go) }
+def go(evt) {
+    if (evt.value == "open") {
+        lights.on()
+    } else {
+        lights.off()
+    }
+}
+`
+	d := New(Options{})
+	cfg := NewConfig()
+	cfg.Devices["contact1"] = "dev-door"
+	cfg.Devices["lights"] = "dev-lights"
+	cfg.DeviceTypes["lights"] = envmodel.LightDev
+	threats := installApp(t, d, src, cfg)
+	if ar := hasKind(threats, ActuatorRace); ar != nil {
+		t.Errorf("complementary branches cannot co-occur; race is a false positive: %s", *ar)
+	}
+}
+
+// TestConfiguredThresholdTightensDetection: binding user thresholds can
+// rule threats out — ComfortTV with threshold 30 and a second app only
+// active below 20 degrees cannot overlap.
+func TestConfiguredThresholdTightensDetection(t *testing.T) {
+	warmOpen := `
+definition(name: "WarmOpen", namespace: "x", author: "x",
+    description: "Open the window opener when warm.", category: "c")
+input "tSensor", "capability.temperatureMeasurement"
+input "window1", "capability.switch"
+input "warm", "number"
+def installed() { subscribe(tSensor, "temperature", go) }
+def go(evt) {
+    if (evt.doubleValue > warm) { window1.on() }
+}
+`
+	coldClose := `
+definition(name: "ColdClose", namespace: "x", author: "x",
+    description: "Close the window opener when cold.", category: "c")
+input "tSensor", "capability.temperatureMeasurement"
+input "window1", "capability.switch"
+input "cold", "number"
+def installed() { subscribe(tSensor, "temperature", go) }
+def go(evt) {
+    if (evt.doubleValue < cold) { window1.off() }
+}
+`
+	run := func(warm, cold int64) []Threat {
+		d := New(Options{})
+		cfg1 := NewConfig()
+		cfg1.Devices["tSensor"] = "dev-temp"
+		cfg1.Devices["window1"] = "dev-window"
+		cfg1.DeviceTypes["window1"] = envmodel.WindowOpener
+		cfg1.Values["warm"] = rule.IntVal(warm)
+		installApp(t, d, warmOpen, cfg1)
+		cfg2 := NewConfig()
+		cfg2.Devices["tSensor"] = "dev-temp"
+		cfg2.Devices["window1"] = "dev-window"
+		cfg2.DeviceTypes["window1"] = envmodel.WindowOpener
+		cfg2.Values["cold"] = rule.IntVal(cold)
+		return installApp(t, d, coldClose, cfg2)
+	}
+	// Disjoint thresholds (warm=30, cold=20): the same reading can never
+	// satisfy both → no race.
+	if ar := hasKind(run(30, 20), ActuatorRace); ar != nil {
+		t.Errorf("disjoint thresholds should not race: %s", *ar)
+	}
+	// Overlapping thresholds (warm=20, cold=30): readings in (20,30) fire
+	// both → race.
+	if hasKind(run(20, 30), ActuatorRace) == nil {
+		t.Error("overlapping thresholds should race")
+	}
+}

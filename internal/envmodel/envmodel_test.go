@@ -1,0 +1,123 @@
+package envmodel
+
+import "testing"
+
+func TestOppositeSigns(t *testing.T) {
+	tests := []struct {
+		a, b Sign
+		want bool
+	}{
+		{Increase, Decrease, true},
+		{Decrease, Increase, true},
+		{Increase, Increase, false},
+		{None, Decrease, false},
+		{Increase, None, false},
+		{Varies, Increase, true},
+		{Varies, Varies, true},
+		{None, None, false},
+	}
+	for _, tt := range tests {
+		if got := Opposite(tt.a, tt.b); got != tt.want {
+			t.Errorf("Opposite(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if Increase.String() != "+" || Decrease.String() != "-" ||
+		None.String() != "#" || Varies.String() != "±" {
+		t.Error("sign notation mismatch with the paper")
+	}
+}
+
+func TestPaperGoalConflictExample(t *testing.T) {
+	// "one rule is to turn on a heater, while the other is to open the
+	// window ...; the two actions conflict in terms of heating up the room."
+	heaterOn := EffectsOf(Heater, "on")
+	windowOpen := EffectsOf(WindowOpener, "open")
+	if heaterOn[Temperature] != Increase {
+		t.Errorf("heater on temperature effect = %v", heaterOn[Temperature])
+	}
+	if windowOpen[Temperature] != Decrease {
+		t.Errorf("window open temperature effect = %v", windowOpen[Temperature])
+	}
+	if !Opposite(heaterOn[Temperature], windowOpen[Temperature]) {
+		t.Error("heater-on and window-open should conflict over temperature")
+	}
+}
+
+func TestSelfDisablingPowerChannel(t *testing.T) {
+	// It'sTooHot turns on the AC; EnergySaver watches a power meter.
+	ac := EffectsOf(AirConditioner, "on")
+	if ac[Power] != Increase {
+		t.Errorf("AC on power effect = %v", ac[Power])
+	}
+	p, ok := SensorProperty("powerMeter")
+	if !ok || p != Power {
+		t.Errorf("powerMeter senses %v, %v", p, ok)
+	}
+}
+
+func TestLightIlluminanceChannel(t *testing.T) {
+	l := EffectsOf(LightDev, "off")
+	if l[Illuminance] != Decrease {
+		t.Errorf("light off illuminance = %v", l[Illuminance])
+	}
+	p, ok := SensorProperty("illuminanceMeasurement")
+	if !ok || p != Illuminance {
+		t.Errorf("illuminanceMeasurement senses %v, %v", p, ok)
+	}
+}
+
+func TestUnknownTypeFallsBackToGeneric(t *testing.T) {
+	e := EffectsOf(DeviceType("unheard-of"), "on")
+	if e[Power] != Increase {
+		t.Errorf("unknown type on: %v", e)
+	}
+}
+
+func TestNoEffectForLocks(t *testing.T) {
+	if e := EffectsOf(Lock, "lock"); len(e) != 0 {
+		t.Errorf("lock command should have no env effect: %v", e)
+	}
+}
+
+func TestTypeForCapability(t *testing.T) {
+	dt, pinned := TypeForCapability("light")
+	if dt != LightDev || !pinned {
+		t.Errorf("light => %v pinned=%v", dt, pinned)
+	}
+	dt, pinned = TypeForCapability("switch")
+	if dt != Generic || pinned {
+		t.Errorf("switch => %v pinned=%v (generic switches need classification)", dt, pinned)
+	}
+	dt, pinned = TypeForCapability("alarm")
+	if dt != Siren || !pinned {
+		t.Errorf("alarm => %v pinned=%v", dt, pinned)
+	}
+}
+
+func TestAttributeProperty(t *testing.T) {
+	p, ok := AttributeProperty("temperature")
+	if !ok || p != Temperature {
+		t.Errorf("temperature attr => %v %v", p, ok)
+	}
+	if _, ok := AttributeProperty("switch"); ok {
+		t.Error("switch is not an environment property")
+	}
+}
+
+func TestSetLevelVaries(t *testing.T) {
+	e := EffectsOf(LightDev, "setLevel")
+	if e[Illuminance] != Varies {
+		t.Errorf("setLevel illuminance = %v, want ±", e[Illuminance])
+	}
+}
+
+func TestVariesConflictsWithDefiniteDirection(t *testing.T) {
+	dim := EffectsOf(LightDev, "setLevel")[Illuminance]
+	on := EffectsOf(LightDev, "on")[Illuminance]
+	if !Opposite(dim, on) {
+		t.Error("setLevel(±) should be a conflict candidate against on(+)")
+	}
+}

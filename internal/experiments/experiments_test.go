@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/detect"
+)
+
+func TestTable1AllCategoriesDetected(t *testing.T) {
+	for _, row := range Table1() {
+		if !row.Detected {
+			t.Errorf("category %s (%s) not detected on %s", row.Kind, row.Class, row.Example)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	text, r := Table2()
+	for _, frag := range []string{
+		"subject: tv1", "attribute: switch", `tv1.switch == "on"`,
+		"t = tSensor.temperature", "#DevState",
+		"subject: window1", "command: on", "when: 0", "period: 0",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Table II missing %q:\n%s", frag, text)
+		}
+	}
+	if r.App != "ComfortTV" {
+		t.Errorf("rule app = %s", r.App)
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 10 {
+		t.Fatalf("Table III rows = %d, want 10 attack types", len(rows))
+	}
+	for _, r := range rows {
+		if r.Expected != r.Measured {
+			t.Errorf("attack %s: paper=%v ours=%v", r.Attack, r.Expected, r.Measured)
+		}
+	}
+}
+
+func TestTables4And5Render(t *testing.T) {
+	t4 := FormatTable4()
+	if !strings.Contains(t4, "IFTTT") || !strings.Contains(t4, "Groovy") {
+		t.Errorf("Table IV:\n%s", t4)
+	}
+	if !strings.Contains(t4, "IFTTT demo:") {
+		t.Errorf("Table IV should include the live NLP extraction demo:\n%s", t4)
+	}
+	t5 := FormatTable5()
+	if !strings.Contains(t5, "HomeGuard") || !strings.Contains(t5, "ContexIoT") {
+		t.Errorf("Table V:\n%s", t5)
+	}
+}
+
+func TestFig8ShapeMatchesPaper(t *testing.T) {
+	r := Fig8()
+	if r.Apps != 90 {
+		t.Fatalf("apps = %d, want 90", r.Apps)
+	}
+	if r.TotalThreats == 0 {
+		t.Fatal("the store audit should find threats (the paper found many)")
+	}
+	// Shape: switch- and mode-controlling apps dominate the findings.
+	sum := func(g Group) int {
+		n := 0
+		for _, c := range r.ThreatCounts[g] {
+			n += c
+		}
+		return n
+	}
+	if sum(GroupSwitch) == 0 {
+		t.Error("Switch group should have threat instances")
+	}
+	if sum(GroupMode) == 0 {
+		t.Error("Mode group should have threat instances")
+	}
+	// Every category should appear somewhere in a 90-app audit.
+	for _, k := range detect.AllKinds {
+		total := 0
+		for _, g := range Groups {
+			total += r.ThreatCounts[g][k]
+		}
+		if total == 0 {
+			t.Errorf("kind %s never detected across the store corpus", k)
+		}
+	}
+	out := FormatFig8(r)
+	if !strings.Contains(out, "Switch") || !strings.Contains(out, "█") {
+		t.Errorf("Fig. 8 rendering:\n%s", out)
+	}
+}
+
+func TestFig9ShapeMatchesPaper(t *testing.T) {
+	r := Fig9()
+	// The paper: constraint solving is the most time-consuming operation;
+	// reuse lowers the total.
+	var solve, filter int64
+	for _, row := range r.Rows {
+		solve += int64(row.Solve)
+		filter += int64(row.Filter)
+	}
+	if solve == 0 {
+		t.Fatal("no solving time recorded")
+	}
+	if r.NoReuse < r.Total {
+		// Timing noise can flip this on tiny totals; assert only the cache
+		// actually worked.
+		t.Logf("note: reuse total %v vs no-reuse %v (timing noise)", r.Total, r.NoReuse)
+	}
+	if r.CacheHits == 0 {
+		t.Error("expected solver-result reuse hits")
+	}
+	out := FormatFig9(r)
+	if !strings.Contains(out, "reuses earlier solving result") {
+		t.Errorf("Fig. 9 rendering:\n%s", out)
+	}
+}
+
+func TestMeasureExtraction(t *testing.T) {
+	st := MeasureExtraction()
+	if st.Apps < 120 {
+		t.Errorf("apps measured = %d, want >= 120 (paper: 146)", st.Apps)
+	}
+	// The paper reports 124/146 (85%) handled; ours should be >= that rate.
+	if float64(st.Correct)/float64(st.Apps) < 0.85 {
+		t.Errorf("correct = %d/%d, want >= 85%%", st.Correct, st.Apps)
+	}
+	if st.MeanPerApp <= 0 {
+		t.Error("mean extraction time not measured")
+	}
+	if st.MeanRuleBytes <= 0 {
+		t.Error("mean rule-file size not measured")
+	}
+	if st.TotalRules < st.Apps {
+		t.Errorf("total rules = %d across %d apps — too few", st.TotalRules, st.Apps)
+	}
+}
+
+func TestMeasureMessagingShape(t *testing.T) {
+	sms, http := MeasureMessaging()
+	if http >= sms {
+		t.Errorf("HTTP (%v) should be faster than SMS (%v) — the paper's shape", http, sms)
+	}
+}
+
+func TestStoreConfigClassifiesSwitches(t *testing.T) {
+	res := MustExtract("ItsTooHot")
+	cfg := StoreConfig(res)
+	if len(cfg.DeviceTypes) == 0 {
+		t.Error("ItsTooHot's ac1 switch should be classified (air conditioner)")
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/symexec"
+)
+
+// Group is the Fig. 8 app grouping: apps controlling a generic
+// capability.switch, apps controlling the location mode, and the rest.
+type Group string
+
+// Fig. 8 groups.
+const (
+	GroupSwitch Group = "Switch"
+	GroupMode   Group = "Mode"
+	GroupOthers Group = "Others"
+)
+
+// Groups lists the Fig. 8 groups in display order.
+var Groups = []Group{GroupSwitch, GroupMode, GroupOthers}
+
+// Fig8Result aggregates the store audit.
+type Fig8Result struct {
+	Apps         int
+	Pairs        int
+	ThreatCounts map[Group]map[detect.Kind]int
+	TotalThreats int
+	// AppsWithThreats counts distinct apps involved in at least one threat.
+	AppsWithThreats int
+	Stats           detect.Stats
+}
+
+// ruleGroup classifies one rule by what its action controls.
+func ruleGroup(app *detect.InstalledApp, r *ruleActionInfo) Group {
+	if r.command == "setLocationMode" {
+		return GroupMode
+	}
+	if r.capability == "switch" {
+		return GroupSwitch
+	}
+	return GroupOthers
+}
+
+type ruleActionInfo struct {
+	command    string
+	capability string
+}
+
+// Fig8 runs pairwise CAI detection over the 90-app store corpus using
+// type-level device identity and NLP-classified switch types (Sec.
+// VIII-B), returning the per-group, per-kind threat statistics.
+func Fig8() *Fig8Result {
+	apps := corpus.StoreAudit()
+	d := detect.New(detect.Options{})
+	installed := make([]*detect.InstalledApp, 0, len(apps))
+	var results []*symexec.Result
+	for _, a := range apps {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			continue
+		}
+		ia := detect.NewInstalledApp(res, StoreConfig(res))
+		installed = append(installed, ia)
+		results = append(results, res)
+	}
+	out := &Fig8Result{
+		Apps:         len(installed),
+		ThreatCounts: map[Group]map[detect.Kind]int{},
+	}
+	for _, g := range Groups {
+		out.ThreatCounts[g] = map[detect.Kind]int{}
+	}
+	appsInvolved := map[string]bool{}
+	var allThreats []detect.Threat
+	for _, ia := range installed {
+		threats := d.Install(ia)
+		allThreats = append(allThreats, threats...)
+	}
+	out.Pairs = d.Stats().PairsChecked
+	for _, t := range allThreats {
+		out.TotalThreats++
+		appsInvolved[t.R1.App] = true
+		appsInvolved[t.R2.App] = true
+		g1 := groupOfThreatSide(installed, t.R1.App, t.R1.Action.Command, t.R1.Action.Capability)
+		g2 := groupOfThreatSide(installed, t.R2.App, t.R2.Action.Command, t.R2.Action.Capability)
+		out.ThreatCounts[g1][t.Kind]++
+		if g2 != g1 {
+			out.ThreatCounts[g2][t.Kind]++
+		}
+	}
+	out.AppsWithThreats = len(appsInvolved)
+	out.Stats = d.Stats()
+	_ = results
+	return out
+}
+
+func groupOfThreatSide(installed []*detect.InstalledApp, app, command, capability string) Group {
+	for _, ia := range installed {
+		if ia.Info.Name == app {
+			return ruleGroup(ia, &ruleActionInfo{command: command, capability: capability})
+		}
+	}
+	return GroupOthers
+}
+
+// FormatFig8 renders the Fig. 8 statistics as an ASCII table.
+func FormatFig8(r *Fig8Result) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(
+		"Fig. 8 — Detection statistics on %d store apps (%d pairs, %d threat instances, %d apps involved)\n",
+		r.Apps, r.Pairs, r.TotalThreats, r.AppsWithThreats))
+	kinds := detect.AllKinds
+	sb.WriteString(fmt.Sprintf("%-8s", "Group"))
+	for _, k := range kinds {
+		sb.WriteString(fmt.Sprintf("%6s", k))
+	}
+	sb.WriteString("\n")
+	for _, g := range Groups {
+		sb.WriteString(fmt.Sprintf("%-8s", g))
+		for _, k := range kinds {
+			sb.WriteString(fmt.Sprintf("%6d", r.ThreatCounts[g][k]))
+		}
+		sb.WriteString("\n")
+	}
+	// Bar rendering per kind (total across groups), echoing the figure.
+	sb.WriteString("\nThreat instances by kind:\n")
+	totals := map[detect.Kind]int{}
+	maxTotal := 1
+	for _, g := range Groups {
+		for _, k := range kinds {
+			totals[k] += r.ThreatCounts[g][k]
+			if totals[k] > maxTotal {
+				maxTotal = totals[k]
+			}
+		}
+	}
+	for _, k := range kinds {
+		bar := strings.Repeat("█", totals[k]*40/maxTotal)
+		sb.WriteString(fmt.Sprintf("%4s %5d %s\n", k, totals[k], bar))
+	}
+	return sb.String()
+}
+
+// Fig8TopPairs returns a human-readable sample of detected threats for the
+// report (sorted for determinism).
+func Fig8TopPairs(r *Fig8Result, d *detect.Detector, limit int) []string {
+	var out []string
+	sort.Strings(out)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+// Fig9Row is one per-kind overhead measurement for a rule pair.
+type Fig9Row struct {
+	Kind   detect.Kind
+	Filter time.Duration // candidate filtering + formula construction
+	Solve  time.Duration // constraint solving
+	Reused bool          // solving result reused from an earlier kind
+}
+
+// Fig9Result is the per-pair detection-overhead breakdown.
+type Fig9Result struct {
+	Rows      []Fig9Row
+	Total     time.Duration // all kinds on one pair, with reuse
+	NoReuse   time.Duration // same pair with reuse disabled
+	CacheHits int
+}
+
+// fig9Pair builds the canonical measurement pair: the Fig. 3 apps bound to
+// the same devices, which exercise AR (and reuse paths for CT/SD/LT), plus
+// the SD pair for trigger interference.
+func fig9Install(d *detect.Detector) {
+	cfg1 := detect.NewConfig()
+	cfg1.Devices["tv1"] = "dev-tv"
+	cfg1.Devices["window1"] = "dev-window"
+	cfg1.DeviceTypes["tv1"] = envmodel.TV
+	cfg1.DeviceTypes["window1"] = envmodel.WindowOpener
+	cfg1.Values["threshold1"] = rule.IntVal(30)
+	d.Install(detect.NewInstalledApp(MustExtract("ComfortTV"), cfg1))
+
+	cfg2 := detect.NewConfig()
+	cfg2.Devices["tv1"] = "dev-tv"
+	cfg2.Devices["window1"] = "dev-window"
+	cfg2.DeviceTypes["window1"] = envmodel.WindowOpener
+	d.Install(detect.NewInstalledApp(MustExtract("ColdDefender"), cfg2))
+
+	cfg3 := detect.NewConfig()
+	cfg3.Devices["ac1"] = "dev-ac"
+	cfg3.DeviceTypes["ac1"] = envmodel.AirConditioner
+	d.Install(detect.NewInstalledApp(MustExtract("ItsTooHot"), cfg3))
+	cfg4 := detect.NewConfig()
+	cfg4.Devices["heavyLoads"] = "dev-ac"
+	cfg4.DeviceTypes["heavyLoads"] = envmodel.AirConditioner
+	d.Install(detect.NewInstalledApp(MustExtract("EnergySaver"), cfg4))
+}
+
+// Fig9 measures per-kind detection overhead with and without solving-result
+// reuse.
+func Fig9() *Fig9Result {
+	start := time.Now()
+	d := detect.New(detect.Options{})
+	fig9Install(d)
+	withReuse := time.Since(start)
+	st := d.Stats()
+
+	start = time.Now()
+	d2 := detect.New(detect.Options{DisableReuse: true})
+	fig9Install(d2)
+	noReuse := time.Since(start)
+
+	res := &Fig9Result{Total: withReuse, NoReuse: noReuse, CacheHits: st.SolverCacheHits}
+	for _, k := range detect.AllKinds {
+		row := Fig9Row{
+			Kind:   k,
+			Filter: time.Duration(st.FilterNS[k]),
+			Solve:  time.Duration(st.SolveNS[k]),
+		}
+		// SD/LT reuse CT's work; DC reuses EC's solve (single query).
+		switch k {
+		case detect.SelfDisabling, detect.LoopTriggering, detect.DisablingCond:
+			row.Reused = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// FormatFig9 renders the overhead breakdown.
+func FormatFig9(r *Fig9Result) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 9 — CAI detection overhead per rule pair\n")
+	sb.WriteString(fmt.Sprintf("%-4s %12s %12s  %s\n", "Kind", "filtering", "solving", "notes"))
+	for _, row := range r.Rows {
+		note := ""
+		if row.Reused {
+			note = "(reuses earlier solving result)"
+		}
+		sb.WriteString(fmt.Sprintf("%-4s %12s %12s  %s\n",
+			row.Kind, row.Filter.Round(time.Microsecond), row.Solve.Round(time.Microsecond), note))
+	}
+	sb.WriteString(fmt.Sprintf("\nTotal (all kinds, with reuse):    %s\n", r.Total.Round(time.Microsecond)))
+	sb.WriteString(fmt.Sprintf("Total (all kinds, reuse disabled): %s\n", r.NoReuse.Round(time.Microsecond)))
+	sb.WriteString(fmt.Sprintf("Solver-result cache hits: %d\n", r.CacheHits))
+	return sb.String()
+}

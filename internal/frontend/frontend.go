@@ -1,0 +1,306 @@
+// Package frontend implements the HomeGuard frontend's interpreters
+// (Sec. IV-C): the rule interpreter renders extracted rules in a
+// human-readable form so users can check that an app behaves as claimed,
+// and the threat interpreter explains discovered CAI threats so users can
+// decide whether to keep, remove or re-configure the new app (Fig. 7b).
+package frontend
+
+import (
+	"fmt"
+	"strings"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/rule"
+)
+
+// DescribeRule renders one rule as an English sentence.
+func DescribeRule(r *rule.Rule) string {
+	var sb strings.Builder
+	sb.WriteString("When ")
+	sb.WriteString(describeTrigger(r.Trigger))
+	if !r.Condition.Always() {
+		sb.WriteString(", if ")
+		sb.WriteString(describeCondition(r.Condition))
+	}
+	sb.WriteString(", then ")
+	sb.WriteString(describeAction(r.Action))
+	sb.WriteString(".")
+	return sb.String()
+}
+
+func describeTrigger(t rule.Trigger) string {
+	switch t.Subject {
+	case "time":
+		return "the scheduled time arrives"
+	case "app":
+		return "the app button is tapped"
+	}
+	subj := t.Subject
+	if t.Subject == "location" {
+		subj = "the home"
+	}
+	if t.AnyChange() {
+		return fmt.Sprintf("%s's %s changes", subj, t.Attribute)
+	}
+	return fmt.Sprintf("%s's %s becomes %s", subj, t.Attribute, describeConstraintValue(t.Constraint))
+}
+
+// describeConstraintValue extracts the compared value(s) from a trigger
+// constraint for compact rendering.
+func describeConstraintValue(c rule.Constraint) string {
+	switch x := c.(type) {
+	case rule.Cmp:
+		op := ""
+		switch x.Op {
+		case rule.OpEq:
+			op = ""
+		case rule.OpNe:
+			op = "not "
+		case rule.OpGt:
+			op = "more than "
+		case rule.OpGe:
+			op = "at least "
+		case rule.OpLt:
+			op = "less than "
+		case rule.OpLe:
+			op = "at most "
+		}
+		return op + termText(x.R)
+	case rule.And:
+		parts := make([]string, len(x.Cs))
+		for i, sub := range x.Cs {
+			parts[i] = describeConstraintValue(sub)
+		}
+		return strings.Join(parts, " and ")
+	}
+	return c.String()
+}
+
+func termText(t rule.Term) string {
+	switch x := t.(type) {
+	case rule.StrVal:
+		return string(x)
+	case rule.IntVal:
+		return fmt.Sprintf("%d", int64(x))
+	case rule.Var:
+		return "the configured " + x.Name
+	case rule.Sum:
+		return x.String()
+	case rule.BoolVal:
+		return fmt.Sprintf("%t", bool(x))
+	}
+	return t.String()
+}
+
+func describeCondition(c rule.Condition) string {
+	f := c.Formula()
+	return constraintText(f)
+}
+
+func constraintText(c rule.Constraint) string {
+	switch x := c.(type) {
+	case rule.Cmp:
+		var op string
+		switch x.Op {
+		case rule.OpEq:
+			op = "is"
+		case rule.OpNe:
+			op = "is not"
+		case rule.OpGt:
+			op = "is above"
+		case rule.OpGe:
+			op = "is at least"
+		case rule.OpLt:
+			op = "is below"
+		case rule.OpLe:
+			op = "is at most"
+		}
+		return fmt.Sprintf("%s %s %s", varText(x.L), op, termText(x.R))
+	case rule.And:
+		parts := make([]string, len(x.Cs))
+		for i, sub := range x.Cs {
+			parts[i] = constraintText(sub)
+		}
+		return strings.Join(parts, " and ")
+	case rule.Or:
+		parts := make([]string, len(x.Cs))
+		for i, sub := range x.Cs {
+			parts[i] = constraintText(sub)
+		}
+		return "(" + strings.Join(parts, " or ") + ")"
+	case rule.Not:
+		return "not (" + constraintText(x.C) + ")"
+	case rule.Lit:
+		if bool(x) {
+			return "always"
+		}
+		return "never"
+	}
+	return c.String()
+}
+
+func varText(t rule.Term) string {
+	if v, ok := t.(rule.Var); ok {
+		return strings.ReplaceAll(v.Name, ".", "'s ")
+	}
+	return termText(t)
+}
+
+func describeAction(a rule.Action) string {
+	var verb string
+	switch a.Command {
+	case "setLocationMode":
+		verb = "set the home mode"
+		if len(a.Params) > 0 {
+			verb += " to " + termText(a.Params[0])
+		}
+	case "sendSms", "sendSmsMessage", "sendPush", "sendNotification":
+		verb = "send a notification"
+	default:
+		verb = fmt.Sprintf("issue %s's %s", a.Subject, a.Command)
+		if len(a.Params) > 0 {
+			parts := make([]string, len(a.Params))
+			for i, p := range a.Params {
+				parts[i] = termText(p)
+			}
+			verb += "(" + strings.Join(parts, ", ") + ")"
+		}
+	}
+	if a.When > 0 {
+		verb += fmt.Sprintf(" after %d seconds", a.When)
+	} else if a.When < 0 {
+		verb += " after a configured delay"
+	}
+	if a.Period > 0 {
+		verb += fmt.Sprintf(", repeating every %d seconds", a.Period)
+	}
+	return verb
+}
+
+// DescribeThreat renders one discovered threat for the installation
+// dialog.
+func DescribeThreat(t detect.Threat) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("[%s] %s: ", t.Kind, kindTitle(t.Kind)))
+	switch t.Kind {
+	case detect.ActuatorRace:
+		sb.WriteString(fmt.Sprintf(
+			"rules %s and %s can run in the same situation and issue contradictory commands (%s vs %s) to the same device.",
+			t.R1.QualifiedID(), t.R2.QualifiedID(), t.R1.Action.Command, t.R2.Action.Command))
+	case detect.GoalConflict:
+		sb.WriteString(fmt.Sprintf(
+			"rules %s and %s work against each other on %s (%s(%s) vs %s(%s)).",
+			t.R1.QualifiedID(), t.R2.QualifiedID(), t.Property,
+			t.R1.Action.Subject, t.R1.Action.Command, t.R2.Action.Subject, t.R2.Action.Command))
+	case detect.CovertTriggering:
+		sb.WriteString(fmt.Sprintf(
+			"rule %s's action can covertly trigger rule %s, forming the hidden rule: when %s, eventually %s.",
+			t.R1.QualifiedID(), t.R2.QualifiedID(),
+			describeTrigger(t.R1.Trigger), describeAction(t.R2.Action)))
+	case detect.SelfDisabling:
+		sb.WriteString(fmt.Sprintf(
+			"rule %s triggers rule %s, which immediately reverses %s's action.",
+			t.R1.QualifiedID(), t.R2.QualifiedID(), t.R1.QualifiedID()))
+	case detect.LoopTriggering:
+		sb.WriteString(fmt.Sprintf(
+			"rules %s and %s trigger each other in a loop with contradictory actions — devices may oscillate.",
+			t.R1.QualifiedID(), t.R2.QualifiedID()))
+	case detect.EnablingCondition:
+		sb.WriteString(fmt.Sprintf(
+			"rule %s's action can enable rule %s's condition.",
+			t.R1.QualifiedID(), t.R2.QualifiedID()))
+	case detect.DisablingCond:
+		sb.WriteString(fmt.Sprintf(
+			"rule %s's action disables rule %s's condition — %s may silently stop working.",
+			t.R1.QualifiedID(), t.R2.QualifiedID(), t.R2.App))
+	}
+	if len(t.Witness) > 0 {
+		sb.WriteString(" Example situation: ")
+		sb.WriteString(witnessText(t))
+	}
+	return sb.String()
+}
+
+func kindTitle(k detect.Kind) string {
+	switch k {
+	case detect.ActuatorRace:
+		return "Actuator Race"
+	case detect.GoalConflict:
+		return "Goal Conflict"
+	case detect.CovertTriggering:
+		return "Covert Triggering"
+	case detect.SelfDisabling:
+		return "Self Disabling"
+	case detect.LoopTriggering:
+		return "Loop Triggering"
+	case detect.EnablingCondition:
+		return "Enabling-Condition Interference"
+	case detect.DisablingCond:
+		return "Disabling-Condition Interference"
+	}
+	return string(k)
+}
+
+func witnessText(t detect.Threat) string {
+	var parts []string
+	for name, v := range t.Witness {
+		if strings.HasPrefix(v.Enum, "\x00") {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s = %s", name, v))
+	}
+	sortStrings(parts)
+	if len(parts) > 6 {
+		parts = parts[:6]
+	}
+	return strings.Join(parts, ", ") + "."
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// DescribeChain renders a multi-hop interference chain (Sec. VI-D).
+func DescribeChain(c detect.Chain) string {
+	var sb strings.Builder
+	sb.WriteString("interference chain: ")
+	for i, r := range c.Rules {
+		if i > 0 {
+			kind := "?"
+			if i-1 < len(c.Kinds) {
+				kind = string(c.Kinds[i-1])
+			}
+			sb.WriteString(fmt.Sprintf(" —%s→ ", kind))
+		}
+		sb.WriteString(r.QualifiedID())
+	}
+	sb.WriteString(" — the first rule's action can ripple through ")
+	sb.WriteString(fmt.Sprintf("%d accepted interference(s).", len(c.Rules)-1))
+	return sb.String()
+}
+
+// InstallReport renders the full installation dialog: the new app's rules
+// followed by every discovered threat.
+func InstallReport(appName string, rules []*rule.Rule, threats []detect.Threat) string {
+	var sb strings.Builder
+	sb.WriteString("HomeGuard — installing " + appName + "\n")
+	sb.WriteString(strings.Repeat("=", 40) + "\n")
+	sb.WriteString("This app defines:\n")
+	for _, r := range rules {
+		sb.WriteString("  • " + DescribeRule(r) + "\n")
+	}
+	if len(threats) == 0 {
+		sb.WriteString("No cross-app interference detected.\n")
+		return sb.String()
+	}
+	sb.WriteString(fmt.Sprintf("%d potential cross-app interference threat(s):\n", len(threats)))
+	for _, t := range threats {
+		sb.WriteString("  ⚠ " + DescribeThreat(t) + "\n")
+	}
+	sb.WriteString("Keep the app, remove it, or change its configuration.\n")
+	return sb.String()
+}

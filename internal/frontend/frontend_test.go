@@ -1,0 +1,130 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/rule"
+	"homeguard/internal/solver"
+)
+
+func comfortRule() *rule.Rule {
+	return &rule.Rule{
+		App: "ComfortTV", ID: "r1",
+		Trigger: rule.Trigger{
+			Subject: "tv1", Attribute: "switch", Capability: "switch",
+			Constraint: rule.Cmp{
+				Op: rule.OpEq,
+				L:  rule.Var{Name: "tv1.switch", Kind: rule.VarEvent, Type: rule.TypeString},
+				R:  rule.StrVal("on"),
+			},
+		},
+		Condition: rule.Condition{
+			Predicates: []rule.Constraint{
+				rule.Cmp{
+					Op: rule.OpGt,
+					L:  rule.Var{Name: "tSensor.temperature", Kind: rule.VarDeviceAttr, Type: rule.TypeInt},
+					R:  rule.Var{Name: "threshold1", Kind: rule.VarUserInput, Type: rule.TypeInt},
+				},
+			},
+		},
+		Action: rule.Action{Subject: "window1", Capability: "switch", Command: "on"},
+	}
+}
+
+func closeRule() *rule.Rule {
+	r := comfortRule()
+	r.App = "ColdDefender"
+	r.Action.Command = "off"
+	return r
+}
+
+func TestDescribeRuleSentence(t *testing.T) {
+	s := DescribeRule(comfortRule())
+	for _, frag := range []string{"When", "tv1", "becomes on", "temperature", "window1", "on"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("sentence missing %q: %s", frag, s)
+		}
+	}
+	if !strings.HasSuffix(s, ".") {
+		t.Errorf("sentence should end with a period: %s", s)
+	}
+}
+
+func TestDescribeDelayedAction(t *testing.T) {
+	r := comfortRule()
+	r.Action.When = 300
+	r.Action.Period = 86400
+	s := DescribeRule(r)
+	if !strings.Contains(s, "after 300 seconds") || !strings.Contains(s, "every 86400 seconds") {
+		t.Errorf("delays not rendered: %s", s)
+	}
+}
+
+func TestDescribeScheduledTrigger(t *testing.T) {
+	r := comfortRule()
+	r.Trigger = rule.Trigger{Subject: "time", Attribute: "schedule"}
+	s := DescribeRule(r)
+	if !strings.Contains(s, "scheduled time") {
+		t.Errorf("schedule trigger not rendered: %s", s)
+	}
+}
+
+func TestDescribeThreatAllKinds(t *testing.T) {
+	r1, r2 := comfortRule(), closeRule()
+	for _, k := range detect.AllKinds {
+		th := detect.Threat{Kind: k, R1: r1, R2: r2}
+		s := DescribeThreat(th)
+		if !strings.Contains(s, string(k)) {
+			t.Errorf("kind tag missing in %q", s)
+		}
+		if !strings.Contains(s, "ComfortTV/r1") {
+			t.Errorf("rule id missing in %q", s)
+		}
+		if len(s) < 40 {
+			t.Errorf("explanation too short for %s: %q", k, s)
+		}
+	}
+}
+
+func TestWitnessRendered(t *testing.T) {
+	th := detect.Threat{
+		Kind: detect.ActuatorRace, R1: comfortRule(), R2: closeRule(),
+		Witness: solver.Model{
+			"dev-tv.switch":           {Enum: "on"},
+			"dev-tSensor.temperature": {Int: 31},
+		},
+	}
+	s := DescribeThreat(th)
+	if !strings.Contains(s, "Example situation") || !strings.Contains(s, "dev-tv.switch = on") {
+		t.Errorf("witness missing: %s", s)
+	}
+}
+
+func TestDescribeChain(t *testing.T) {
+	c := detect.Chain{
+		Rules: []*rule.Rule{comfortRule(), closeRule(), comfortRule()},
+		Kinds: []detect.Kind{detect.CovertTriggering, detect.EnablingCondition},
+	}
+	s := DescribeChain(c)
+	for _, frag := range []string{"—CT→", "—EC→", "ComfortTV/r1", "chain"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("chain rendering missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestInstallReport(t *testing.T) {
+	threats := []detect.Threat{{Kind: detect.ActuatorRace, R1: comfortRule(), R2: closeRule()}}
+	rep := InstallReport("ColdDefender", []*rule.Rule{closeRule()}, threats)
+	for _, frag := range []string{"HomeGuard", "ColdDefender", "This app defines", "threat", "⚠"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	clean := InstallReport("SafeApp", []*rule.Rule{comfortRule()}, nil)
+	if !strings.Contains(clean, "No cross-app interference") {
+		t.Errorf("clean report: %s", clean)
+	}
+}

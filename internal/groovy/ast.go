@@ -1,0 +1,384 @@
+package groovy
+
+// Node is implemented by every AST node.
+type Node interface {
+	Position() Pos
+}
+
+// ---------- Expressions ----------
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a bare identifier reference.
+type Ident struct {
+	Name string
+	Pos_ Pos
+}
+
+// StrLit is a single-quoted (non-interpolated) string literal.
+type StrLit struct {
+	Value string
+	Pos_  Pos
+}
+
+// GStringLit is a double-quoted string, possibly interpolated. Parts
+// alternate between literal text and embedded expressions: a part with a
+// nil Expr is literal text, otherwise Text is empty and Expr holds the
+// interpolated expression.
+type GStringLit struct {
+	Parts []GStringPart
+	Pos_  Pos
+}
+
+// GStringPart is one segment of a GString.
+type GStringPart struct {
+	Text string
+	Expr Expr // nil for literal parts
+}
+
+// IsPlain reports whether the GString has no interpolation.
+func (g *GStringLit) IsPlain() bool {
+	for _, p := range g.Parts {
+		if p.Expr != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// PlainText returns the concatenation of the literal parts.
+func (g *GStringLit) PlainText() string {
+	var s string
+	for _, p := range g.Parts {
+		s += p.Text
+	}
+	return s
+}
+
+// NumLit is a numeric literal. IsInt distinguishes integral values.
+type NumLit struct {
+	Raw   string
+	Int   int64
+	Float float64
+	IsInt bool
+	Pos_  Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Pos_  Pos
+}
+
+// NullLit is the null literal.
+type NullLit struct {
+	Pos_ Pos
+}
+
+// ListLit is a list literal [a, b, c].
+type ListLit struct {
+	Elems []Expr
+	Pos_  Pos
+}
+
+// MapEntry is one key:value pair in a map literal.
+type MapEntry struct {
+	Key   Expr // StrLit for identifier keys (Groovy treats bare keys as strings)
+	Value Expr
+}
+
+// MapLit is a map literal [k: v, ...]. The empty map is [:].
+type MapLit struct {
+	Entries []MapEntry
+	Pos_    Pos
+}
+
+// RangeLit is a range literal lo..hi.
+type RangeLit struct {
+	Lo, Hi Expr
+	Pos_   Pos
+}
+
+// PropertyGet is receiver.property (or receiver?.property when Safe).
+type PropertyGet struct {
+	Receiver Expr
+	Name     string
+	Safe     bool
+	Pos_     Pos
+}
+
+// IndexGet is receiver[index].
+type IndexGet struct {
+	Receiver Expr
+	Index    Expr
+	Pos_     Pos
+}
+
+// Call is a method or function invocation. Receiver is nil for bare calls
+// such as subscribe(...). Named arguments (title: "...") are collected
+// into Named; positional arguments into Args. A trailing closure, if any,
+// is appended to Args by the parser (Groovy semantics).
+type Call struct {
+	Receiver Expr // nil for implicit-this calls
+	Method   string
+	Args     []Expr
+	Named    []MapEntry
+	Safe     bool // receiver?.method(...)
+	Pos_     Pos
+}
+
+// ClosureExpr is { params -> body } or { body } (implicit `it`).
+type ClosureExpr struct {
+	Params []Param
+	Body   *Block
+	Pos_   Pos
+}
+
+// Unary is a prefix unary expression (!, -, +).
+type Unary struct {
+	Op   Kind
+	X    Expr
+	Pos_ Pos
+}
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   Kind
+	L, R Expr
+	Pos_ Pos
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+	Pos_ Pos
+}
+
+// ElvisExpr is a ?: b.
+type ElvisExpr struct {
+	Cond Expr
+	Else Expr
+	Pos_ Pos
+}
+
+// CastExpr is x as Type or new Type(args).
+type NewExpr struct {
+	Type string
+	Args []Expr
+	Pos_ Pos
+}
+
+func (*Ident) exprNode()       {}
+func (*StrLit) exprNode()      {}
+func (*GStringLit) exprNode()  {}
+func (*NumLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*ListLit) exprNode()     {}
+func (*MapLit) exprNode()      {}
+func (*RangeLit) exprNode()    {}
+func (*PropertyGet) exprNode() {}
+func (*IndexGet) exprNode()    {}
+func (*Call) exprNode()        {}
+func (*ClosureExpr) exprNode() {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*Ternary) exprNode()     {}
+func (*ElvisExpr) exprNode()   {}
+func (*NewExpr) exprNode()     {}
+
+// Position implementations.
+func (e *Ident) Position() Pos       { return e.Pos_ }
+func (e *StrLit) Position() Pos      { return e.Pos_ }
+func (e *GStringLit) Position() Pos  { return e.Pos_ }
+func (e *NumLit) Position() Pos      { return e.Pos_ }
+func (e *BoolLit) Position() Pos     { return e.Pos_ }
+func (e *NullLit) Position() Pos     { return e.Pos_ }
+func (e *ListLit) Position() Pos     { return e.Pos_ }
+func (e *MapLit) Position() Pos      { return e.Pos_ }
+func (e *RangeLit) Position() Pos    { return e.Pos_ }
+func (e *PropertyGet) Position() Pos { return e.Pos_ }
+func (e *IndexGet) Position() Pos    { return e.Pos_ }
+func (e *Call) Position() Pos        { return e.Pos_ }
+func (e *ClosureExpr) Position() Pos { return e.Pos_ }
+func (e *Unary) Position() Pos       { return e.Pos_ }
+func (e *Binary) Position() Pos      { return e.Pos_ }
+func (e *Ternary) Position() Pos     { return e.Pos_ }
+func (e *ElvisExpr) Position() Pos   { return e.Pos_ }
+func (e *NewExpr) Position() Pos     { return e.Pos_ }
+
+// ---------- Statements ----------
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos_  Pos
+}
+
+// ExprStmt wraps an expression used as a statement.
+type ExprStmt struct {
+	X    Expr
+	Pos_ Pos
+}
+
+// DeclStmt is `def x = expr` (Init may be nil). Multiple declarations per
+// statement are split by the parser into separate DeclStmts.
+type DeclStmt struct {
+	Name string
+	Init Expr
+	Pos_ Pos
+}
+
+// AssignStmt is target = value (or op-assign). Target is an Ident,
+// PropertyGet or IndexGet.
+type AssignStmt struct {
+	Target Expr
+	Op     Kind // Assign, PlusAssign, ...
+	Value  Expr
+	Pos_   Pos
+}
+
+// IfStmt is if (cond) then [else else].
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+	Pos_ Pos
+}
+
+// SwitchStmt is switch (subject) { case v: ...; default: ... }.
+type SwitchStmt struct {
+	Subject Expr
+	Cases   []SwitchCase
+	Default *Block // nil when absent
+	Pos_    Pos
+}
+
+// SwitchCase is one case arm.
+type SwitchCase struct {
+	Value Expr
+	Body  *Block
+}
+
+// ReturnStmt is return [expr].
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Pos_  Pos
+}
+
+// ForStmt covers both C-style `for (init; cond; post)` and
+// `for (x in iterable)` loops.
+type ForStmt struct {
+	// For-in form:
+	Var      string
+	Iterable Expr
+	// C-style form:
+	Init Stmt
+	Cond Expr
+	Post Stmt
+
+	Body *Block
+	Pos_ Pos
+}
+
+// IsForIn reports whether the loop is the for-in form.
+func (f *ForStmt) IsForIn() bool { return f.Iterable != nil }
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos_ Pos
+}
+
+// BreakStmt is break.
+type BreakStmt struct{ Pos_ Pos }
+
+// ContinueStmt is continue.
+type ContinueStmt struct{ Pos_ Pos }
+
+// MethodDecl is `def name(params) { body }`.
+type MethodDecl struct {
+	Name   string
+	Params []Param
+	Body   *Block
+	Pos_   Pos
+}
+
+// Param is a method or closure parameter, optionally with a default value.
+type Param struct {
+	Name    string
+	Default Expr // nil when absent
+}
+
+func (*Block) stmtNode()        {}
+func (*ExprStmt) stmtNode()     {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*MethodDecl) stmtNode()   {}
+
+func (s *Block) Position() Pos        { return s.Pos_ }
+func (s *ExprStmt) Position() Pos     { return s.Pos_ }
+func (s *DeclStmt) Position() Pos     { return s.Pos_ }
+func (s *AssignStmt) Position() Pos   { return s.Pos_ }
+func (s *IfStmt) Position() Pos       { return s.Pos_ }
+func (s *SwitchStmt) Position() Pos   { return s.Pos_ }
+func (s *ReturnStmt) Position() Pos   { return s.Pos_ }
+func (s *ForStmt) Position() Pos      { return s.Pos_ }
+func (s *WhileStmt) Position() Pos    { return s.Pos_ }
+func (s *BreakStmt) Position() Pos    { return s.Pos_ }
+func (s *ContinueStmt) Position() Pos { return s.Pos_ }
+func (s *MethodDecl) Position() Pos   { return s.Pos_ }
+
+// ---------- Script ----------
+
+// Script is a parsed SmartApp source file.
+type Script struct {
+	Stmts   []Stmt                 // top-level statements in source order
+	Methods map[string]*MethodDecl // user-defined methods by name
+}
+
+// Method returns the named user-defined method, or nil.
+func (s *Script) Method(name string) *MethodDecl { return s.Methods[name] }
+
+// TopLevelCalls returns every top-level bare call with the given method
+// name (e.g. "input", "definition", "preferences").
+func (s *Script) TopLevelCalls(name string) []*Call {
+	var out []*Call
+	var walk func(st Stmt)
+	walk = func(st Stmt) {
+		switch n := st.(type) {
+		case *ExprStmt:
+			if c, ok := n.X.(*Call); ok && c.Receiver == nil && c.Method == name {
+				out = append(out, c)
+			}
+		case *Block:
+			for _, s2 := range n.Stmts {
+				walk(s2)
+			}
+		}
+	}
+	for _, st := range s.Stmts {
+		walk(st)
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+package groovy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// LexError describes a lexical error with its source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Lexer converts Groovy source text into a token stream.
+//
+// Newline handling follows Groovy's statement rules closely enough for the
+// SmartApp subset: NEWLINE tokens are emitted only where a statement could
+// end. Inside parentheses or brackets, and immediately after tokens that
+// cannot terminate an expression (operators, commas, dots, opening
+// delimiters), newlines are suppressed.
+type Lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	parens int // depth of ( and [ nesting; newlines suppressed when > 0
+
+	lastKind    Kind
+	emittedAny  bool
+	pendingErrs []error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, lastKind: NEWLINE}
+}
+
+// Tokenize lexes the entire input. It returns the token slice
+// (EOF-terminated) and the first error encountered, if any.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByteAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// newlineSignificant reports whether a newline after the previously
+// emitted token may terminate a statement.
+func (lx *Lexer) newlineSignificant() bool {
+	if lx.parens > 0 {
+		return false
+	}
+	switch lx.lastKind {
+	case IDENT, NUMBER, STRING, GSTRING, KwTrue, KwFalse, KwNull,
+		KwReturn, KwBreak, KwContinue, RParen, RBracket, RBrace, Incr, Decr:
+		return true
+	}
+	return false
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	for {
+		// Skip horizontal whitespace; handle newlines and comments.
+		for lx.off < len(lx.src) {
+			c := lx.peekByte()
+			if c == ' ' || c == '\t' || c == '\r' {
+				lx.advance()
+				continue
+			}
+			if c == '\\' && lx.peekByteAt(1) == '\n' {
+				lx.advance()
+				lx.advance()
+				continue
+			}
+			if c == '/' && lx.peekByteAt(1) == '/' {
+				for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+					lx.advance()
+				}
+				continue
+			}
+			if c == '/' && lx.peekByteAt(1) == '*' {
+				p := lx.pos()
+				lx.advance()
+				lx.advance()
+				closed := false
+				for lx.off < len(lx.src) {
+					if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+						lx.advance()
+						lx.advance()
+						closed = true
+						break
+					}
+					lx.advance()
+				}
+				if !closed {
+					return Token{}, &LexError{Pos: p, Msg: "unterminated block comment"}
+				}
+				continue
+			}
+			break
+		}
+		if lx.off >= len(lx.src) {
+			return lx.emit(Token{Kind: EOF, Pos: lx.pos()}), nil
+		}
+		if lx.peekByte() == '\n' {
+			p := lx.pos()
+			lx.advance()
+			if lx.newlineSignificant() {
+				return lx.emit(Token{Kind: NEWLINE, Pos: p}), nil
+			}
+			continue
+		}
+		return lx.lexToken()
+	}
+}
+
+func (lx *Lexer) emit(t Token) Token {
+	lx.lastKind = t.Kind
+	lx.emittedAny = true
+	return t
+}
+
+func (lx *Lexer) lexToken() (Token, error) {
+	p := lx.pos()
+	c := lx.peekByte()
+
+	switch {
+	case isIdentStart(rune(c)):
+		return lx.lexIdent(p), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(p), nil
+	case c == '\'':
+		return lx.lexSingleString(p)
+	case c == '"':
+		return lx.lexDoubleString(p)
+	}
+
+	two := ""
+	if lx.off+1 < len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	three := ""
+	if lx.off+2 < len(lx.src) {
+		three = lx.src[lx.off : lx.off+3]
+	}
+
+	mk := func(k Kind, n int) (Token, error) {
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		switch k {
+		case LParen, LBracket:
+			lx.parens++
+		case RParen, RBracket:
+			if lx.parens > 0 {
+				lx.parens--
+			}
+		}
+		return lx.emit(Token{Kind: k, Pos: p}), nil
+	}
+
+	switch three {
+	case "<=>":
+		return mk(Compare, 3)
+	}
+	switch two {
+	case "?.":
+		return mk(SafeDot, 2)
+	case "->":
+		return mk(Arrow, 2)
+	case "..":
+		return mk(Range, 2)
+	case "==":
+		return mk(Eq, 2)
+	case "!=":
+		return mk(NotEq, 2)
+	case "<=":
+		return mk(LtEq, 2)
+	case ">=":
+		return mk(GtEq, 2)
+	case "&&":
+		return mk(AndAnd, 2)
+	case "||":
+		return mk(OrOr, 2)
+	case "?:":
+		return mk(Elvis, 2)
+	case "++":
+		return mk(Incr, 2)
+	case "--":
+		return mk(Decr, 2)
+	case "**":
+		return mk(Power, 2)
+	case "+=":
+		return mk(PlusAssign, 2)
+	case "-=":
+		return mk(MinusAssign, 2)
+	case "*=":
+		return mk(StarAssign, 2)
+	case "/=":
+		return mk(SlashAssign, 2)
+	}
+
+	switch c {
+	case '(':
+		return mk(LParen, 1)
+	case ')':
+		return mk(RParen, 1)
+	case '{':
+		return mk(LBrace, 1)
+	case '}':
+		return mk(RBrace, 1)
+	case '[':
+		return mk(LBracket, 1)
+	case ']':
+		return mk(RBracket, 1)
+	case ',':
+		return mk(Comma, 1)
+	case ';':
+		return mk(Semi, 1)
+	case ':':
+		return mk(Colon, 1)
+	case '.':
+		return mk(Dot, 1)
+	case '=':
+		return mk(Assign, 1)
+	case '+':
+		return mk(Plus, 1)
+	case '-':
+		return mk(Minus, 1)
+	case '*':
+		return mk(Star, 1)
+	case '/':
+		return mk(Slash, 1)
+	case '%':
+		return mk(Percent, 1)
+	case '<':
+		return mk(Lt, 1)
+	case '>':
+		return mk(Gt, 1)
+	case '!':
+		return mk(Not, 1)
+	case '?':
+		return mk(Question, 1)
+	case '@':
+		// Annotations (e.g. @Field) — lex the annotation name away.
+		lx.advance()
+		for lx.off < len(lx.src) && isIdentPart(rune(lx.peekByte())) {
+			lx.advance()
+		}
+		return lx.Next()
+	}
+	return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *Lexer) lexIdent(p Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) {
+		r, sz := utf8.DecodeRuneInString(lx.src[lx.off:])
+		if !isIdentPart(r) {
+			break
+		}
+		for i := 0; i < sz; i++ {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.off]
+	if k, ok := keywords[text]; ok {
+		return lx.emit(Token{Kind: k, Text: text, Pos: p})
+	}
+	return lx.emit(Token{Kind: IDENT, Text: text, Pos: p})
+}
+
+func (lx *Lexer) lexNumber(p Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	// Decimal part; be careful not to consume a range operator "..".
+	if lx.peekByte() == '.' && isDigit(lx.peekByteAt(1)) {
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	// Type suffixes (L, G, f, d, etc.) — consume silently.
+	switch lx.peekByte() {
+	case 'L', 'l', 'G', 'g', 'F', 'f', 'D', 'd', 'I', 'i':
+		lx.advance()
+	}
+	return lx.emit(Token{Kind: NUMBER, Text: strings.TrimRight(lx.src[start:lx.off], "LlGgFfDdIi"), Pos: p})
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *Lexer) lexSingleString(p Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+		}
+		c := lx.advance()
+		if c == '\'' {
+			return lx.emit(Token{Kind: STRING, Text: sb.String(), Pos: p}), nil
+		}
+		if c == '\\' {
+			if lx.off >= len(lx.src) {
+				return Token{}, &LexError{Pos: p, Msg: "unterminated escape in string literal"}
+			}
+			sb.WriteByte(unescape(lx.advance()))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// lexDoubleString lexes a double-quoted GString. The token text preserves
+// ${...} interpolation markers verbatim; the parser splits them.
+func (lx *Lexer) lexDoubleString(p Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	depth := 0 // ${ ... } nesting
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+		}
+		c := lx.advance()
+		if c == '"' && depth == 0 {
+			return lx.emit(Token{Kind: GSTRING, Text: sb.String(), Pos: p}), nil
+		}
+		if c == '\\' && depth == 0 {
+			if lx.off >= len(lx.src) {
+				return Token{}, &LexError{Pos: p, Msg: "unterminated escape in string literal"}
+			}
+			n := lx.advance()
+			if n == '$' {
+				sb.WriteString("\\$") // keep escaped-$ distinguishable from interpolation
+			} else {
+				sb.WriteByte(unescape(n))
+			}
+			continue
+		}
+		if c == '$' && lx.peekByte() == '{' {
+			depth++
+			sb.WriteByte(c)
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		if depth > 0 {
+			if c == '{' {
+				depth++
+			} else if c == '}' {
+				depth--
+			}
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	default:
+		return c
+	}
+}

@@ -1,0 +1,233 @@
+package groovy
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func mustTokenize(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []Kind
+	}{
+		{`def x = 1`, []Kind{KwDef, IDENT, Assign, NUMBER, EOF}},
+		{`x == "on"`, []Kind{IDENT, Eq, GSTRING, EOF}},
+		{`a && b || !c`, []Kind{IDENT, AndAnd, IDENT, OrOr, Not, IDENT, EOF}},
+		{`t > threshold`, []Kind{IDENT, Gt, IDENT, EOF}},
+		{`x <= 30`, []Kind{IDENT, LtEq, NUMBER, EOF}},
+		{`a ?: b`, []Kind{IDENT, Elvis, IDENT, EOF}},
+		{`a ? b : c`, []Kind{IDENT, Question, IDENT, Colon, IDENT, EOF}},
+		{`evt?.value`, []Kind{IDENT, SafeDot, IDENT, EOF}},
+		{`{ evt -> x }`, []Kind{LBrace, IDENT, Arrow, IDENT, RBrace, EOF}},
+		{`1..5`, []Kind{NUMBER, Range, NUMBER, EOF}},
+		{`x += 2`, []Kind{IDENT, PlusAssign, NUMBER, EOF}},
+		{`i++`, []Kind{IDENT, Incr, EOF}},
+		{`[:]`, []Kind{LBracket, Colon, RBracket, EOF}},
+		{`a <=> b`, []Kind{IDENT, Compare, IDENT, EOF}},
+	}
+	for _, tt := range tests {
+		toks := mustTokenize(t, tt.src)
+		got := kinds(toks)
+		if len(got) != len(tt.want) {
+			t.Errorf("%q: got %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q: token %d = %s, want %s", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks := mustTokenize(t, `'plain' "inter${x}polated"`)
+	if toks[0].Kind != STRING || toks[0].Text != "plain" {
+		t.Errorf("single-quoted: got %v", toks[0])
+	}
+	if toks[1].Kind != GSTRING || toks[1].Text != "inter${x}polated" {
+		t.Errorf("double-quoted: got %v", toks[1])
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks := mustTokenize(t, `'a\'b\n' "c\"d" "e\$f"`)
+	if toks[0].Text != "a'b\n" {
+		t.Errorf("escape in single: %q", toks[0].Text)
+	}
+	if toks[1].Text != `c"d` {
+		t.Errorf("escape in double: %q", toks[1].Text)
+	}
+	if toks[2].Text != `e\$f` {
+		t.Errorf("escaped dollar should be preserved: %q", toks[2].Text)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment
+def x = 1 // trailing
+/* block
+   comment */ def y = 2
+`
+	toks := mustTokenize(t, src)
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == IDENT {
+			idents = append(idents, tok.Text)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "x" || idents[1] != "y" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestNewlineSuppressionInParens(t *testing.T) {
+	src := "subscribe(tv1,\n  \"switch\",\n  onHandler)"
+	toks := mustTokenize(t, src)
+	for _, tok := range toks {
+		if tok.Kind == NEWLINE {
+			t.Fatalf("NEWLINE token emitted inside parentheses: %v", toks)
+		}
+	}
+}
+
+func TestNewlineAfterOperatorSuppressed(t *testing.T) {
+	src := "def x = a &&\n b"
+	toks := mustTokenize(t, src)
+	for i, tok := range toks {
+		if tok.Kind == NEWLINE && i < len(toks)-2 {
+			t.Fatalf("NEWLINE should be suppressed after &&: %v", toks)
+		}
+	}
+}
+
+func TestNewlineStatementSeparation(t *testing.T) {
+	src := "def x = 1\ndef y = 2"
+	toks := mustTokenize(t, src)
+	sawNewline := false
+	for _, tok := range toks {
+		if tok.Kind == NEWLINE {
+			sawNewline = true
+		}
+	}
+	if !sawNewline {
+		t.Fatalf("expected a NEWLINE between statements: %v", toks)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks := mustTokenize(t, `1 2.5 100L 3.14f`)
+	want := []string{"1", "2.5", "100", "3.14"}
+	var got []string
+	for _, tok := range toks {
+		if tok.Kind == NUMBER {
+			got = append(got, tok.Text)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("numbers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("number %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRangeVsDecimal(t *testing.T) {
+	toks := mustTokenize(t, `1..5`)
+	if toks[0].Kind != NUMBER || toks[1].Kind != Range || toks[2].Kind != NUMBER {
+		t.Errorf("1..5 should lex as NUMBER Range NUMBER, got %v", kinds(toks))
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize(`'never ends`); err == nil {
+		t.Error("expected error for unterminated single-quoted string")
+	}
+	if _, err := Tokenize(`"never ends`); err == nil {
+		t.Error("expected error for unterminated double-quoted string")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	if _, err := Tokenize(`/* never ends`); err == nil {
+		t.Error("expected error for unterminated block comment")
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	_, err := Tokenize("def x = #")
+	if err == nil {
+		t.Fatal("expected error for unexpected character")
+	}
+	var lexErr *LexError
+	if !asLexError(err, &lexErr) {
+		t.Fatalf("error should be *LexError, got %T", err)
+	}
+	if !strings.Contains(lexErr.Msg, "unexpected character") {
+		t.Errorf("unexpected message: %s", lexErr.Msg)
+	}
+}
+
+func asLexError(err error, target **LexError) bool {
+	le, ok := err.(*LexError)
+	if ok {
+		*target = le
+	}
+	return ok
+}
+
+func TestAnnotationSkipped(t *testing.T) {
+	toks := mustTokenize(t, "@Field def x = 1")
+	if toks[0].Kind != KwDef {
+		t.Errorf("annotation should be skipped; first token = %v", toks[0])
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := mustTokenize(t, "def x = 1\ndef y = 2")
+	// Find the second `def`.
+	count := 0
+	for _, tok := range toks {
+		if tok.Kind == KwDef {
+			count++
+			if count == 2 {
+				if tok.Pos.Line != 2 || tok.Pos.Col != 1 {
+					t.Errorf("second def at %v, want 2:1", tok.Pos)
+				}
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("expected 2 def tokens, got %d", count)
+	}
+}
+
+func TestGStringNestedBraces(t *testing.T) {
+	toks := mustTokenize(t, `"v=${m.collect { it }}"`)
+	if toks[0].Kind != GSTRING {
+		t.Fatalf("expected GSTRING, got %v", toks[0])
+	}
+	if toks[0].Text != "v=${m.collect { it }}" {
+		t.Errorf("nested-brace interpolation mangled: %q", toks[0].Text)
+	}
+}

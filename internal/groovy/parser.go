@@ -1,0 +1,1268 @@
+package groovy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax error with its source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
+
+// Parse parses a SmartApp Groovy source file into a Script.
+func Parse(src string) (*Script, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	script := &Script{Methods: map[string]*MethodDecl{}}
+	for !p.at(EOF) {
+		p.skipSeparators()
+		if p.at(EOF) {
+			break
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if st == nil {
+			continue
+		}
+		if m, ok := st.(*MethodDecl); ok {
+			script.Methods[m.Name] = m
+		}
+		script.Stmts = append(script.Stmts, st)
+	}
+	return script, nil
+}
+
+// MustParse parses src and panics on error. Intended for tests and
+// embedded corpus apps that are known to be well-formed.
+func MustParse(src string) *Script {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token     { return p.toks[p.pos] }
+func (p *parser) at(k Kind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *parser) peek(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSeparators() {
+	for p.at(NEWLINE) || p.at(Semi) {
+		p.next()
+	}
+}
+
+// skipNewlines skips NEWLINE tokens only (used where a statement cannot
+// end, e.g. after `else`).
+func (p *parser) skipNewlines() {
+	for p.at(NEWLINE) {
+		p.next()
+	}
+}
+
+// ---------- Statements ----------
+
+func (p *parser) parseStatement() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwImport:
+		// Consume the whole import line.
+		for !p.at(NEWLINE) && !p.at(Semi) && !p.at(EOF) {
+			p.next()
+		}
+		return nil, nil
+	case KwDef:
+		return p.parseDefStatement()
+	case KwIf:
+		return p.parseIf()
+	case KwSwitch:
+		return p.parseSwitch()
+	case KwReturn:
+		return p.parseReturn()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwBreak:
+		t := p.next()
+		return &BreakStmt{Pos_: t.Pos}, nil
+	case KwContinue:
+		t := p.next()
+		return &ContinueStmt{Pos_: t.Pos}, nil
+	case LBrace:
+		return p.parseBlock()
+	case IDENT:
+		// Access modifiers before def: `private def foo() {...}`.
+		if isModifier(p.cur().Text) && (p.peek(1).Kind == KwDef || p.peek(1).Kind == IDENT) {
+			p.next()
+			return p.parseStatement()
+		}
+		// Labeled statement / DSL entry such as `action: [GET: "x"]` in
+		// web-service mappings: skip the label and parse the rest.
+		if p.peek(1).Kind == Colon && p.peek(2).Kind != RBracket {
+			p.next()
+			p.next()
+			p.skipNewlines()
+			return p.parseStatement()
+		}
+		// Typed declaration: `String s = ...` / `int i = ...`.
+		if p.peek(1).Kind == IDENT && p.peek(2).Kind == Assign {
+			p.next() // discard type
+			return p.parseDeclAfterDef()
+		}
+		// Typed method declaration: `void updated() { ... }` — treated as def.
+		if isTypeName(p.cur().Text) && p.peek(1).Kind == IDENT && p.peek(2).Kind == LParen {
+			p.next()
+			return p.parseMethodDecl()
+		}
+	}
+	return p.parseSimpleStatement()
+}
+
+func isModifier(s string) bool {
+	switch s {
+	case "private", "public", "protected", "static", "final":
+		return true
+	}
+	return false
+}
+
+func isTypeName(s string) bool {
+	switch s {
+	case "void", "String", "Integer", "int", "Boolean", "boolean",
+		"Double", "double", "Long", "long", "Object", "Map", "List",
+		"BigDecimal", "Date", "Number", "float", "Float":
+		return true
+	}
+	return false
+}
+
+// parseDefStatement handles both `def name(params) { ... }` (method) and
+// `def x [= expr]` (declaration).
+func (p *parser) parseDefStatement() (Stmt, error) {
+	if _, err := p.expect(KwDef); err != nil {
+		return nil, err
+	}
+	if p.at(IDENT) && p.peek(1).Kind == LParen {
+		return p.parseMethodDecl()
+	}
+	return p.parseDeclAfterDef()
+}
+
+func (p *parser) parseDeclAfterDef() (Stmt, error) {
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: nameTok.Text, Pos_: nameTok.Pos}
+	if p.at(Assign) {
+		p.next()
+		p.skipNewlines()
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) parseMethodDecl() (Stmt, error) {
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.at(RParen) {
+		p.skipNewlines()
+		// Optional type name before the parameter name.
+		if p.at(IDENT) && p.peek(1).Kind == IDENT {
+			p.next()
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		param := Param{Name: pn.Text}
+		if p.at(Assign) {
+			p.next()
+			param.Default, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		params = append(params, param)
+		if p.at(Comma) {
+			p.next()
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &MethodDecl{Name: nameTok.Text, Params: params, Body: body, Pos_: nameTok.Pos}, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{Pos_: lb.Pos}
+	for {
+		p.skipSeparators()
+		if p.at(RBrace) {
+			p.next()
+			return blk, nil
+		}
+		if p.at(EOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			blk.Stmts = append(blk.Stmts, st)
+		}
+	}
+}
+
+// parseBlockOrSingle parses either a brace block or a single statement
+// (wrapping it into a Block), as allowed after if/else/for/while.
+func (p *parser) parseBlockOrSingle() (*Block, error) {
+	p.skipNewlines()
+	if p.at(LBrace) {
+		return p.parseBlock()
+	}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{Pos_: st.Position()}
+	blk.Stmts = []Stmt{st}
+	return blk, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	kw, _ := p.expect(KwIf)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos_: kw.Pos}
+	// An `else` may follow on the same or the next line.
+	save := p.pos
+	p.skipSeparators()
+	if p.at(KwElse) {
+		p.next()
+		p.skipNewlines()
+		if p.at(KwIf) {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = elseIf
+		} else {
+			blk, err := p.parseBlockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = blk
+		}
+	} else {
+		p.pos = save
+	}
+	return st, nil
+}
+
+func (p *parser) parseSwitch() (Stmt, error) {
+	kw, _ := p.expect(KwSwitch)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	subj, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Subject: subj, Pos_: kw.Pos}
+	for {
+		p.skipSeparators()
+		if p.at(RBrace) {
+			p.next()
+			return st, nil
+		}
+		switch p.cur().Kind {
+		case KwCase:
+			p.next()
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			body, err := p.parseCaseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, SwitchCase{Value: val, Body: body})
+		case KwDefault:
+			p.next()
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			body, err := p.parseCaseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Default = body
+		default:
+			return nil, p.errf("expected case or default in switch, found %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseCaseBody() (*Block, error) {
+	blk := &Block{Pos_: p.cur().Pos}
+	for {
+		p.skipSeparators()
+		if p.at(KwCase) || p.at(KwDefault) || p.at(RBrace) || p.at(EOF) {
+			return blk, nil
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			blk.Stmts = append(blk.Stmts, st)
+		}
+	}
+}
+
+func (p *parser) parseReturn() (Stmt, error) {
+	kw, _ := p.expect(KwReturn)
+	st := &ReturnStmt{Pos_: kw.Pos}
+	if p.at(NEWLINE) || p.at(Semi) || p.at(RBrace) || p.at(EOF) {
+		return st, nil
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.Value = v
+	return st, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	kw, _ := p.expect(KwFor)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos_: kw.Pos}
+	// for (x in iterable) / for (def x in iterable)
+	save := p.pos
+	if p.at(KwDef) {
+		p.next()
+	} else if p.at(IDENT) && p.peek(1).Kind == IDENT && p.peek(2).Kind == KwIn {
+		p.next() // type name
+	}
+	if p.at(IDENT) && p.peek(1).Kind == KwIn {
+		name := p.next().Text
+		p.next() // in
+		it, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		st.Var, st.Iterable, st.Body = name, it, body
+		return st, nil
+	}
+	p.pos = save
+	// C-style loop.
+	if !p.at(Semi) {
+		init, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(Semi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		post, err := p.parseSimpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	kw, _ := p.expect(KwWhile)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos_: kw.Pos}, nil
+}
+
+// parseSimpleStatement parses expression statements, assignments, and
+// paren-free command calls.
+func (p *parser) parseSimpleStatement() (Stmt, error) {
+	pos := p.cur().Pos
+	x, err := p.parseCommandExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		op := p.next().Kind
+		p.skipNewlines()
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch x.(type) {
+		case *Ident, *PropertyGet, *IndexGet:
+		default:
+			return nil, &ParseError{Pos: pos, Msg: "invalid assignment target"}
+		}
+		return &AssignStmt{Target: x, Op: op, Value: v, Pos_: pos}, nil
+	case Incr, Decr:
+		op := p.next().Kind
+		delta := &NumLit{Raw: "1", Int: 1, IsInt: true, Pos_: pos}
+		binOp := Plus
+		if op == Decr {
+			binOp = Minus
+		}
+		return &AssignStmt{
+			Target: x, Op: Assign,
+			Value: &Binary{Op: binOp, L: x, R: delta, Pos_: pos},
+			Pos_:  pos,
+		}, nil
+	}
+	return &ExprStmt{X: x, Pos_: pos}, nil
+}
+
+// ---------- Expressions ----------
+
+// parseCommandExpr parses an expression, allowing the paren-free command
+// syntax at the head (`input "x", "y"`, `log.debug "msg"`, `runIn 60, h`).
+func (p *parser) parseCommandExpr() (Expr, error) {
+	// Prefix-unary statements (e.g. `!x` alone) fall back to parseExpr.
+	if !p.at(IDENT) {
+		return p.parseExpr()
+	}
+	head, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.startsCommandArg() {
+		callee, ok := calleeOf(head)
+		if ok {
+			call := &Call{Pos_: head.Position()}
+			call.Receiver, call.Method = callee.recv, callee.name
+			if err := p.parseArgListInto(call, false); err != nil {
+				return nil, err
+			}
+			return p.continueBinary(call, 0)
+		}
+	}
+	return p.continueBinary(head, 0)
+}
+
+type calleeInfo struct {
+	recv Expr
+	name string
+}
+
+func calleeOf(e Expr) (calleeInfo, bool) {
+	switch n := e.(type) {
+	case *Ident:
+		return calleeInfo{nil, n.Name}, true
+	case *PropertyGet:
+		return calleeInfo{n.Receiver, n.Name}, true
+	}
+	return calleeInfo{}, false
+}
+
+// startsCommandArg reports whether the current token can begin the first
+// argument of a paren-free command call.
+func (p *parser) startsCommandArg() bool {
+	switch p.cur().Kind {
+	case STRING, GSTRING, NUMBER, KwTrue, KwFalse, KwNull, LBracket:
+		return true
+	case IDENT:
+		// `foo bar` is a call; but `foo bar = 1` was handled as a typed
+		// declaration before we got here, so IDENT is safe.
+		// Named first argument `title: "..."` also starts with IDENT.
+		return true
+	}
+	return false
+}
+
+// parseExpr parses a full expression (ternary precedence and below).
+func (p *parser) parseExpr() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.continueBinary(x, 0)
+}
+
+// Binary operator precedence, loosest first.
+func precOf(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Eq, NotEq, Compare:
+		return 3
+	case Lt, LtEq, Gt, GtEq, KwIn, KwInstanceof:
+		return 4
+	case Range:
+		return 5
+	case Plus, Minus:
+		return 6
+	case Star, Slash, Percent:
+		return 7
+	case Power:
+		return 8
+	}
+	return 0
+}
+
+// continueBinary parses binary operators of precedence >= min that follow
+// an already-parsed left operand, then ternary/elvis at the top.
+func (p *parser) continueBinary(left Expr, min int) (Expr, error) {
+	for {
+		k := p.cur().Kind
+		// `as Type` cast: semantically transparent for analysis.
+		if k == IDENT && p.cur().Text == "as" && p.peek(1).Kind == IDENT {
+			pos := p.cur().Pos
+			p.next()
+			ty := p.next().Text
+			left = &Call{Receiver: left, Method: "asType",
+				Args: []Expr{&StrLit{Value: ty, Pos_: pos}}, Pos_: pos}
+			continue
+		}
+		prec := precOf(k)
+		if prec == 0 || prec < min {
+			break
+		}
+		opTok := p.next()
+		p.skipNewlines()
+		if k == Range {
+			hi, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			hi, err = p.climbRight(hi, prec+1)
+			if err != nil {
+				return nil, err
+			}
+			left = &RangeLit{Lo: left, Hi: hi, Pos_: opTok.Pos}
+			continue
+		}
+		if k == KwInstanceof {
+			// `x instanceof Type` — consume the type, yield a call node.
+			ty, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			left = &Call{Receiver: left, Method: "instanceOf",
+				Args: []Expr{&StrLit{Value: ty.Text, Pos_: ty.Pos}}, Pos_: opTok.Pos}
+			continue
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		right, err = p.climbRight(right, prec+1)
+		if err != nil {
+			return nil, err
+		}
+		op := k
+		if k == KwIn {
+			op = KwIn
+		}
+		left = &Binary{Op: op, L: left, R: right, Pos_: opTok.Pos}
+	}
+	if min > 0 {
+		return left, nil
+	}
+	// Ternary / elvis bind loosest.
+	switch p.cur().Kind {
+	case Question:
+		pos := p.next().Pos
+		p.skipNewlines()
+		thenE, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipNewlines()
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		p.skipNewlines()
+		elseE, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Cond: left, Then: thenE, Else: elseE, Pos_: pos}, nil
+	case Elvis:
+		pos := p.next().Pos
+		p.skipNewlines()
+		elseE, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ElvisExpr{Cond: left, Else: elseE, Pos_: pos}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) climbRight(right Expr, min int) (Expr, error) {
+	for {
+		prec := precOf(p.cur().Kind)
+		if prec < min || prec == 0 {
+			return right, nil
+		}
+		var err error
+		right, err = p.continueBinary(right, prec)
+		if err != nil {
+			return nil, err
+		}
+		if precOf(p.cur().Kind) < min {
+			return right, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Not, Minus, Plus:
+		opTok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if opTok.Kind == Plus {
+			return x, nil
+		}
+		// Fold -number into a literal.
+		if n, ok := x.(*NumLit); ok && opTok.Kind == Minus {
+			if n.IsInt {
+				return &NumLit{Raw: "-" + n.Raw, Int: -n.Int, IsInt: true, Pos_: opTok.Pos}, nil
+			}
+			return &NumLit{Raw: "-" + n.Raw, Float: -n.Float, Pos_: opTok.Pos}, nil
+		}
+		return &Unary{Op: opTok.Kind, X: x, Pos_: opTok.Pos}, nil
+	case Incr, Decr:
+		// Prefix ++x: treated as x+1 expression (statement form handled
+		// in parseSimpleStatement).
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary followed by property access, indexing,
+// calls and trailing closures.
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Dot, SafeDot, Star:
+			safe := p.at(SafeDot)
+			// Spread-dot `*.` — treat like plain dot.
+			if p.at(Star) {
+				if p.peek(1).Kind != Dot {
+					return x, nil
+				}
+				p.next()
+			}
+			p.next()
+			nameTok := p.cur()
+			var name string
+			switch nameTok.Kind {
+			case IDENT, KwCase, KwDefault, KwIn:
+				name = nameTok.Text
+				p.next()
+			case STRING, GSTRING:
+				name = nameTok.Text
+				p.next()
+			default:
+				return nil, p.errf("expected property name after '.', found %s", nameTok)
+			}
+			if p.at(LParen) {
+				call := &Call{Receiver: x, Method: name, Safe: safe, Pos_: nameTok.Pos}
+				if err := p.parseParenArgs(call); err != nil {
+					return nil, err
+				}
+				x = p.attachTrailingClosure(call)
+			} else if p.at(LBrace) && p.closureFollows() {
+				call := &Call{Receiver: x, Method: name, Safe: safe, Pos_: nameTok.Pos}
+				cl, err := p.parseClosure()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, cl)
+				x = call
+			} else {
+				x = &PropertyGet{Receiver: x, Name: name, Safe: safe, Pos_: nameTok.Pos}
+			}
+		case LBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexGet{Receiver: x, Index: idx, Pos_: lb.Pos}
+		case LParen:
+			ident, ok := x.(*Ident)
+			if !ok {
+				return x, nil
+			}
+			call := &Call{Method: ident.Name, Pos_: ident.Pos_}
+			if err := p.parseParenArgs(call); err != nil {
+				return nil, err
+			}
+			x = p.attachTrailingClosure(call)
+		case LBrace:
+			// Trailing closure on a bare identifier: `preferences { ... }`.
+			ident, ok := x.(*Ident)
+			if !ok || !p.closureFollows() {
+				return x, nil
+			}
+			call := &Call{Method: ident.Name, Pos_: ident.Pos_}
+			cl, err := p.parseClosure()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, cl)
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+// closureFollows distinguishes a closure literal from a block statement.
+// It is called with the current token at '{'. We treat '{' as a closure
+// in expression/postfix position always (blocks are never valid there).
+func (p *parser) closureFollows() bool { return p.at(LBrace) }
+
+func (p *parser) attachTrailingClosure(call *Call) Expr {
+	if p.at(LBrace) {
+		cl, err := p.parseClosure()
+		if err == nil {
+			call.Args = append(call.Args, cl)
+		}
+	}
+	return call
+}
+
+func (p *parser) parseParenArgs(call *Call) error {
+	if _, err := p.expect(LParen); err != nil {
+		return err
+	}
+	if p.at(RParen) {
+		p.next()
+		return nil
+	}
+	if err := p.parseArgListInto(call, true); err != nil {
+		return err
+	}
+	_, err := p.expect(RParen)
+	return err
+}
+
+// parseArgListInto parses a comma-separated argument list with optional
+// named arguments. When paren is false the list ends at a statement
+// boundary (NEWLINE/Semi/EOF/RBrace/closing tokens).
+func (p *parser) parseArgListInto(call *Call, paren bool) error {
+	for {
+		p.skipNewlines()
+		// Named argument `name: value`.
+		if (p.at(IDENT) || p.at(STRING) || p.at(GSTRING)) && p.peek(1).Kind == Colon {
+			keyTok := p.next()
+			p.next() // colon
+			p.skipNewlines()
+			v, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			call.Named = append(call.Named, MapEntry{
+				Key:   &StrLit{Value: keyTok.Text, Pos_: keyTok.Pos},
+				Value: v,
+			})
+		} else {
+			v, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			call.Args = append(call.Args, v)
+		}
+		if p.at(Comma) {
+			p.next()
+			continue
+		}
+		if paren {
+			p.skipNewlines()
+			if p.at(Comma) {
+				p.next()
+				continue
+			}
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseClosure() (Expr, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	cl := &ClosureExpr{Pos_: lb.Pos}
+	// Detect a parameter list: idents (optionally typed, with defaults)
+	// followed by '->'.
+	save := p.pos
+	params, ok := p.tryParseClosureParams()
+	if ok {
+		cl.Params = params
+	} else {
+		p.pos = save
+	}
+	body := &Block{Pos_: lb.Pos}
+	for {
+		p.skipSeparators()
+		if p.at(RBrace) {
+			p.next()
+			cl.Body = body
+			return cl, nil
+		}
+		if p.at(EOF) {
+			return nil, p.errf("unexpected EOF in closure")
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			body.Stmts = append(body.Stmts, st)
+		}
+	}
+}
+
+func (p *parser) tryParseClosureParams() ([]Param, bool) {
+	var params []Param
+	p.skipNewlines()
+	for {
+		if p.at(Arrow) {
+			p.next()
+			return params, true
+		}
+		if !p.at(IDENT) && !p.at(KwDef) {
+			return nil, false
+		}
+		if p.at(KwDef) {
+			p.next()
+		}
+		if p.at(IDENT) && p.peek(1).Kind == IDENT {
+			p.next() // type name
+		}
+		if !p.at(IDENT) {
+			return nil, false
+		}
+		params = append(params, Param{Name: p.next().Text})
+		switch p.cur().Kind {
+		case Comma:
+			p.next()
+			p.skipNewlines()
+		case Arrow:
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case IDENT:
+		p.next()
+		return &Ident{Name: t.Text, Pos_: t.Pos}, nil
+	case NUMBER:
+		p.next()
+		return parseNumLit(t)
+	case STRING:
+		p.next()
+		return &StrLit{Value: t.Text, Pos_: t.Pos}, nil
+	case GSTRING:
+		p.next()
+		return parseGString(t)
+	case KwTrue:
+		p.next()
+		return &BoolLit{Value: true, Pos_: t.Pos}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{Value: false, Pos_: t.Pos}, nil
+	case KwNull:
+		p.next()
+		return &NullLit{Pos_: t.Pos}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case LBracket:
+		return p.parseListOrMap()
+	case LBrace:
+		return p.parseClosure()
+	case KwNew:
+		p.next()
+		ty, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		// Qualified type names: new java.util.Date()
+		name := ty.Text
+		for p.at(Dot) && p.peek(1).Kind == IDENT {
+			p.next()
+			name += "." + p.next().Text
+		}
+		ne := &NewExpr{Type: name, Pos_: t.Pos}
+		if p.at(LParen) {
+			call := &Call{Method: name, Pos_: t.Pos}
+			if err := p.parseParenArgs(call); err != nil {
+				return nil, err
+			}
+			ne.Args = call.Args
+		}
+		return ne, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+func parseNumLit(t Token) (Expr, error) {
+	if strings.Contains(t.Text, ".") {
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: "invalid number literal " + t.Text}
+		}
+		return &NumLit{Raw: t.Text, Float: f, Pos_: t.Pos}, nil
+	}
+	i, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return nil, &ParseError{Pos: t.Pos, Msg: "invalid number literal " + t.Text}
+	}
+	return &NumLit{Raw: t.Text, Int: i, IsInt: true, Pos_: t.Pos}, nil
+}
+
+// parseGString splits a GSTRING token into literal and interpolated parts.
+func parseGString(t Token) (Expr, error) {
+	g := &GStringLit{Pos_: t.Pos}
+	s := t.Text
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			g.Parts = append(g.Parts, GStringPart{Text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for i := 0; i < len(s); {
+		if s[i] == '\\' && i+1 < len(s) && s[i+1] == '$' {
+			lit.WriteByte('$')
+			i += 2
+			continue
+		}
+		if s[i] == '$' && i+1 < len(s) && s[i+1] == '{' {
+			// Find the matching close brace.
+			depth := 1
+			j := i + 2
+			for j < len(s) && depth > 0 {
+				switch s[j] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, &ParseError{Pos: t.Pos, Msg: "unterminated ${...} interpolation"}
+			}
+			inner := s[i+2 : j-1]
+			ex, err := parseInterpolatedExpr(inner, t.Pos)
+			if err != nil {
+				return nil, err
+			}
+			flush()
+			g.Parts = append(g.Parts, GStringPart{Expr: ex})
+			i = j
+			continue
+		}
+		if s[i] == '$' && i+1 < len(s) && isIdentStart(rune(s[i+1])) {
+			// $ident(.ident)* interpolation.
+			j := i + 1
+			for j < len(s) && isIdentPart(rune(s[j])) {
+				j++
+			}
+			for j < len(s) && s[j] == '.' && j+1 < len(s) && isIdentStart(rune(s[j+1])) {
+				j++
+				for j < len(s) && isIdentPart(rune(s[j])) {
+					j++
+				}
+			}
+			ex, err := parseInterpolatedExpr(s[i+1:j], t.Pos)
+			if err != nil {
+				return nil, err
+			}
+			flush()
+			g.Parts = append(g.Parts, GStringPart{Expr: ex})
+			i = j
+			continue
+		}
+		lit.WriteByte(s[i])
+		i++
+	}
+	flush()
+	if len(g.Parts) == 0 {
+		g.Parts = append(g.Parts, GStringPart{Text: ""})
+	}
+	return g, nil
+}
+
+func parseInterpolatedExpr(src string, pos Pos) (Expr, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, &ParseError{Pos: pos, Msg: "bad interpolation: " + err.Error()}
+	}
+	pp := &parser{toks: toks}
+	ex, err := pp.parseExpr()
+	if err != nil {
+		return nil, &ParseError{Pos: pos, Msg: "bad interpolation: " + err.Error()}
+	}
+	return ex, nil
+}
+
+// parseListOrMap parses [a,b] list, [k:v] map, or [:] empty map literals.
+func (p *parser) parseListOrMap() (Expr, error) {
+	lb, err := p.expect(LBracket)
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	// Empty map [:].
+	if p.at(Colon) && p.peek(1).Kind == RBracket {
+		p.next()
+		p.next()
+		return &MapLit{Pos_: lb.Pos}, nil
+	}
+	// Empty list [].
+	if p.at(RBracket) {
+		p.next()
+		return &ListLit{Pos_: lb.Pos}, nil
+	}
+	// Decide map vs list: a key followed by ':' means map.
+	isMap := (p.at(IDENT) || p.at(STRING) || p.at(GSTRING) || p.at(NUMBER)) && p.peek(1).Kind == Colon
+	if isMap {
+		m := &MapLit{Pos_: lb.Pos}
+		for {
+			p.skipNewlines()
+			keyTok := p.cur()
+			var key Expr
+			switch keyTok.Kind {
+			case IDENT, STRING:
+				key = &StrLit{Value: keyTok.Text, Pos_: keyTok.Pos}
+				p.next()
+			case GSTRING:
+				p.next()
+				k, err := parseGString(keyTok)
+				if err != nil {
+					return nil, err
+				}
+				key = k
+			case NUMBER:
+				p.next()
+				k, err := parseNumLit(keyTok)
+				if err != nil {
+					return nil, err
+				}
+				key = k
+			case LParen:
+				p.next()
+				k, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(RParen); err != nil {
+					return nil, err
+				}
+				key = k
+			default:
+				return nil, p.errf("bad map key %s", keyTok)
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			p.skipNewlines()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Entries = append(m.Entries, MapEntry{Key: key, Value: v})
+			p.skipNewlines()
+			if p.at(Comma) {
+				p.next()
+				p.skipNewlines()
+				if p.at(RBracket) {
+					break
+				}
+				continue
+			}
+			break
+		}
+		p.skipNewlines()
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	l := &ListLit{Pos_: lb.Pos}
+	for {
+		p.skipNewlines()
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		l.Elems = append(l.Elems, v)
+		p.skipNewlines()
+		if p.at(Comma) {
+			p.next()
+			p.skipNewlines()
+			if p.at(RBracket) {
+				break
+			}
+			continue
+		}
+		break
+	}
+	p.skipNewlines()
+	if _, err := p.expect(RBracket); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

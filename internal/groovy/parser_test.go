@@ -1,0 +1,557 @@
+package groovy
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return s
+}
+
+const comfortTV = `
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch"
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+`
+
+func TestParseComfortTV(t *testing.T) {
+	s := mustParse(t, comfortTV)
+	for _, m := range []string{"installed", "updated", "onHandler", "turnOnWindow"} {
+		if s.Method(m) == nil {
+			t.Errorf("method %q not found", m)
+		}
+	}
+	inputs := s.TopLevelCalls("input")
+	if len(inputs) != 4 {
+		t.Fatalf("expected 4 input calls, got %d", len(inputs))
+	}
+	// First input: positional args "tv1", "capability.switch"; named title.
+	in := inputs[0]
+	if len(in.Args) != 2 {
+		t.Fatalf("input args = %d, want 2", len(in.Args))
+	}
+	if g, ok := in.Args[0].(*GStringLit); !ok || g.PlainText() != "tv1" {
+		t.Errorf("first arg = %#v, want GString tv1", in.Args[0])
+	}
+	if in.NamedArg("title") == nil {
+		t.Error("title named arg missing")
+	}
+}
+
+func TestParseSubscribe(t *testing.T) {
+	s := mustParse(t, comfortTV)
+	subs := FindCalls(s, "subscribe")
+	if len(subs) != 2 {
+		t.Fatalf("expected 2 subscribe calls, got %d", len(subs))
+	}
+	c := subs[0]
+	if len(c.Args) != 3 {
+		t.Fatalf("subscribe args = %d, want 3", len(c.Args))
+	}
+	if id, ok := c.Args[0].(*Ident); !ok || id.Name != "tv1" {
+		t.Errorf("subscribe device arg = %#v", c.Args[0])
+	}
+	if h, ok := c.Args[2].(*Ident); !ok || h.Name != "onHandler" {
+		t.Errorf("subscribe handler arg = %#v", c.Args[2])
+	}
+}
+
+func TestParseNestedIfCondition(t *testing.T) {
+	s := mustParse(t, comfortTV)
+	h := s.Method("onHandler")
+	ifStmt, ok := h.Body.Stmts[1].(*IfStmt)
+	if !ok {
+		t.Fatalf("second stmt = %T, want *IfStmt", h.Body.Stmts[1])
+	}
+	and, ok := ifStmt.Cond.(*Binary)
+	if !ok || and.Op != AndAnd {
+		t.Fatalf("cond = %#v, want && binary", ifStmt.Cond)
+	}
+	eq, ok := and.L.(*Binary)
+	if !ok || eq.Op != Eq {
+		t.Fatalf("left = %#v, want == binary", and.L)
+	}
+	pg, ok := eq.L.(*PropertyGet)
+	if !ok || pg.Name != "value" {
+		t.Fatalf("evt.value access = %#v", eq.L)
+	}
+}
+
+func TestParseCommandCallNoParens(t *testing.T) {
+	s := mustParse(t, `
+def handler(evt) {
+    log.debug "something happened"
+    sendSms phone1, "alert!"
+    runIn 60, laterHandler
+}
+`)
+	h := s.Method("handler")
+	if len(h.Body.Stmts) != 3 {
+		t.Fatalf("stmts = %d, want 3", len(h.Body.Stmts))
+	}
+	c0 := h.Body.Stmts[0].(*ExprStmt).X.(*Call)
+	if c0.Method != "debug" {
+		t.Errorf("c0.Method = %q", c0.Method)
+	}
+	if recv, ok := c0.Receiver.(*Ident); !ok || recv.Name != "log" {
+		t.Errorf("c0.Receiver = %#v", c0.Receiver)
+	}
+	c1 := h.Body.Stmts[1].(*ExprStmt).X.(*Call)
+	if c1.Method != "sendSms" || len(c1.Args) != 2 {
+		t.Errorf("c1 = %#v", c1)
+	}
+	c2 := h.Body.Stmts[2].(*ExprStmt).X.(*Call)
+	if c2.Method != "runIn" || len(c2.Args) != 2 {
+		t.Errorf("c2 = %#v", c2)
+	}
+}
+
+func TestParsePreferencesClosure(t *testing.T) {
+	s := mustParse(t, `
+preferences {
+    section("Pick devices") {
+        input "switches", "capability.switch", multiple: true
+        input "threshold", "number", defaultValue: 30
+    }
+}
+`)
+	inputs := FindCalls(s, "input")
+	if len(inputs) != 2 {
+		t.Fatalf("inputs = %d, want 2", len(inputs))
+	}
+	if inputs[1].NamedArg("defaultValue") == nil {
+		t.Error("defaultValue named arg missing")
+	}
+	sections := FindCalls(s, "section")
+	if len(sections) != 1 {
+		t.Fatalf("sections = %d, want 1", len(sections))
+	}
+}
+
+func TestParseDefinitionCall(t *testing.T) {
+	s := mustParse(t, `
+definition(
+    name: "Comfort TV",
+    namespace: "repro",
+    author: "x",
+    description: "Opens the window when the TV is on and it is hot.",
+    category: "Convenience")
+`)
+	defs := s.TopLevelCalls("definition")
+	if len(defs) != 1 {
+		t.Fatalf("definition calls = %d", len(defs))
+	}
+	name := defs[0].NamedArg("name")
+	if g, ok := name.(*GStringLit); !ok || g.PlainText() != "Comfort TV" {
+		t.Errorf("name = %#v", name)
+	}
+}
+
+func TestParseSwitchStatement(t *testing.T) {
+	s := mustParse(t, `
+def handler(evt) {
+    switch (evt.value) {
+        case "on":
+            doOn()
+            break
+        case "off":
+            doOff()
+            break
+        default:
+            doOther()
+    }
+}
+`)
+	h := s.Method("handler")
+	sw := h.Body.Stmts[0].(*SwitchStmt)
+	if len(sw.Cases) != 2 {
+		t.Fatalf("cases = %d, want 2", len(sw.Cases))
+	}
+	if sw.Default == nil {
+		t.Fatal("default missing")
+	}
+	if len(sw.Cases[0].Body.Stmts) != 2 {
+		t.Errorf("case body stmts = %d, want 2 (call + break)", len(sw.Cases[0].Body.Stmts))
+	}
+}
+
+func TestParseTernaryAndElvis(t *testing.T) {
+	s := mustParse(t, `
+def f() {
+    def a = x > 5 ? "hi" : "lo"
+    def b = y ?: 10
+}
+`)
+	f := s.Method("f")
+	d0 := f.Body.Stmts[0].(*DeclStmt)
+	if _, ok := d0.Init.(*Ternary); !ok {
+		t.Errorf("a init = %#v, want ternary", d0.Init)
+	}
+	d1 := f.Body.Stmts[1].(*DeclStmt)
+	if _, ok := d1.Init.(*ElvisExpr); !ok {
+		t.Errorf("b init = %#v, want elvis", d1.Init)
+	}
+}
+
+func TestParseClosures(t *testing.T) {
+	s := mustParse(t, `
+def f() {
+    devices.each { dev ->
+        dev.on()
+    }
+    list.each { it.off() }
+    values.findAll { v -> v > 3 }
+}
+`)
+	f := s.Method("f")
+	c0 := f.Body.Stmts[0].(*ExprStmt).X.(*Call)
+	if c0.Method != "each" || len(c0.Args) != 1 {
+		t.Fatalf("each call = %#v", c0)
+	}
+	cl := c0.Args[0].(*ClosureExpr)
+	if len(cl.Params) != 1 || cl.Params[0].Name != "dev" {
+		t.Errorf("closure params = %#v", cl.Params)
+	}
+	c1 := f.Body.Stmts[1].(*ExprStmt).X.(*Call)
+	cl1 := c1.Args[0].(*ClosureExpr)
+	if len(cl1.Params) != 0 {
+		t.Errorf("implicit-it closure should have no params: %#v", cl1.Params)
+	}
+}
+
+func TestParseMapAndListLiterals(t *testing.T) {
+	s := mustParse(t, `
+def f() {
+    def m = [devRefStr: "tv1", devRef: tv1]
+    def l = [[a: 1], [a: 2]]
+    def e = [:]
+    def xs = [1, 2, 3]
+}
+`)
+	f := s.Method("f")
+	m := f.Body.Stmts[0].(*DeclStmt).Init.(*MapLit)
+	if len(m.Entries) != 2 {
+		t.Fatalf("map entries = %d", len(m.Entries))
+	}
+	l := f.Body.Stmts[1].(*DeclStmt).Init.(*ListLit)
+	if len(l.Elems) != 2 {
+		t.Fatalf("list elems = %d", len(l.Elems))
+	}
+	if _, ok := l.Elems[0].(*MapLit); !ok {
+		t.Errorf("nested map lit = %#v", l.Elems[0])
+	}
+	e := f.Body.Stmts[2].(*DeclStmt).Init.(*MapLit)
+	if len(e.Entries) != 0 {
+		t.Errorf("empty map entries = %d", len(e.Entries))
+	}
+	xs := f.Body.Stmts[3].(*DeclStmt).Init.(*ListLit)
+	if len(xs.Elems) != 3 {
+		t.Errorf("list elems = %d", len(xs.Elems))
+	}
+}
+
+func TestParseGStringInterpolation(t *testing.T) {
+	s := mustParse(t, `
+def f() {
+    def uri = "http://my.com/appname:${appname}/"
+    def msg = "value is $evt.value now"
+}
+`)
+	f := s.Method("f")
+	g := f.Body.Stmts[0].(*DeclStmt).Init.(*GStringLit)
+	if g.IsPlain() {
+		t.Fatal("expected interpolation")
+	}
+	if len(g.Parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(g.Parts))
+	}
+	if g.Parts[0].Text != "http://my.com/appname:" {
+		t.Errorf("part0 = %q", g.Parts[0].Text)
+	}
+	if id, ok := g.Parts[1].Expr.(*Ident); !ok || id.Name != "appname" {
+		t.Errorf("part1 = %#v", g.Parts[1].Expr)
+	}
+	g2 := f.Body.Stmts[1].(*DeclStmt).Init.(*GStringLit)
+	var sawProp bool
+	for _, part := range g2.Parts {
+		if pg, ok := part.Expr.(*PropertyGet); ok && pg.Name == "value" {
+			sawProp = true
+		}
+	}
+	if !sawProp {
+		t.Errorf("$evt.value interpolation not parsed: %#v", g2.Parts)
+	}
+}
+
+func TestParseForLoops(t *testing.T) {
+	s := mustParse(t, `
+def f() {
+    for (d in devices) { d.on() }
+    for (int i = 0; i < 5; i++) { log.debug "i" }
+    while (x < 10) { x = x + 1 }
+}
+`)
+	f := s.Method("f")
+	fi := f.Body.Stmts[0].(*ForStmt)
+	if !fi.IsForIn() || fi.Var != "d" {
+		t.Errorf("for-in = %#v", fi)
+	}
+	fc := f.Body.Stmts[1].(*ForStmt)
+	if fc.IsForIn() || fc.Cond == nil || fc.Post == nil {
+		t.Errorf("c-style for = %#v", fc)
+	}
+	if _, ok := f.Body.Stmts[2].(*WhileStmt); !ok {
+		t.Errorf("while = %#v", f.Body.Stmts[2])
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	s := mustParse(t, `
+def f(evt) {
+    if (evt.value == "on") {
+        a()
+    } else if (evt.value == "off") {
+        b()
+    } else {
+        c()
+    }
+}
+`)
+	f := s.Method("f")
+	ifStmt := f.Body.Stmts[0].(*IfStmt)
+	elif, ok := ifStmt.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else branch = %T, want *IfStmt", ifStmt.Else)
+	}
+	if _, ok := elif.Else.(*Block); !ok {
+		t.Fatalf("final else = %T, want *Block", elif.Else)
+	}
+}
+
+func TestParseElseOnNextLine(t *testing.T) {
+	s := mustParse(t, "def f() {\n  if (x) { a() }\n  else { b() }\n}")
+	f := s.Method("f")
+	ifStmt := f.Body.Stmts[0].(*IfStmt)
+	if ifStmt.Else == nil {
+		t.Fatal("else on next line not attached")
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	s := mustParse(t, `
+def f() {
+    x = 1
+    state.count = state.count + 1
+    m["k"] = 2
+    y += 3
+    i++
+}
+`)
+	f := s.Method("f")
+	if len(f.Body.Stmts) != 5 {
+		t.Fatalf("stmts = %d", len(f.Body.Stmts))
+	}
+	a1 := f.Body.Stmts[1].(*AssignStmt)
+	if _, ok := a1.Target.(*PropertyGet); !ok {
+		t.Errorf("state.count target = %#v", a1.Target)
+	}
+	a2 := f.Body.Stmts[2].(*AssignStmt)
+	if _, ok := a2.Target.(*IndexGet); !ok {
+		t.Errorf("index target = %#v", a2.Target)
+	}
+	a3 := f.Body.Stmts[3].(*AssignStmt)
+	if a3.Op != PlusAssign {
+		t.Errorf("op = %v", a3.Op)
+	}
+	a4, ok := f.Body.Stmts[4].(*AssignStmt)
+	if !ok {
+		t.Fatalf("i++ = %T", f.Body.Stmts[4])
+	}
+	if b, ok := a4.Value.(*Binary); !ok || b.Op != Plus {
+		t.Errorf("i++ value = %#v", a4.Value)
+	}
+}
+
+func TestParseMethodWithParams(t *testing.T) {
+	s := mustParse(t, `
+def collectConfigInfo(appname, devices, values) { }
+private def helper(Map options = [:]) { }
+`)
+	m := s.Method("collectConfigInfo")
+	if len(m.Params) != 3 {
+		t.Fatalf("params = %d", len(m.Params))
+	}
+	h := s.Method("helper")
+	if h == nil {
+		t.Fatal("private def not parsed")
+	}
+	if len(h.Params) != 1 || h.Params[0].Default == nil {
+		t.Errorf("helper params = %#v", h.Params)
+	}
+}
+
+func TestParseImportSkipped(t *testing.T) {
+	s := mustParse(t, "import groovy.transform.Field\ndef x = 1")
+	if len(s.Stmts) != 1 {
+		t.Fatalf("stmts = %d, want 1 (import skipped)", len(s.Stmts))
+	}
+}
+
+func TestParseNewExpr(t *testing.T) {
+	s := mustParse(t, `def f() { def d = new Date() }`)
+	f := s.Method("f")
+	ne, ok := f.Body.Stmts[0].(*DeclStmt).Init.(*NewExpr)
+	if !ok || ne.Type != "Date" {
+		t.Fatalf("new expr = %#v", f.Body.Stmts[0].(*DeclStmt).Init)
+	}
+}
+
+func TestParseAsCast(t *testing.T) {
+	s := mustParse(t, `def f() { def n = threshold as Integer }`)
+	f := s.Method("f")
+	c, ok := f.Body.Stmts[0].(*DeclStmt).Init.(*Call)
+	if !ok || c.Method != "asType" {
+		t.Fatalf("as cast = %#v", f.Body.Stmts[0].(*DeclStmt).Init)
+	}
+}
+
+func TestParseTypedDeclaration(t *testing.T) {
+	s := mustParse(t, `def f() { String s = "x"
+int i = 0 }`)
+	f := s.Method("f")
+	d0, ok := f.Body.Stmts[0].(*DeclStmt)
+	if !ok || d0.Name != "s" {
+		t.Fatalf("typed decl = %#v", f.Body.Stmts[0])
+	}
+	d1, ok := f.Body.Stmts[1].(*DeclStmt)
+	if !ok || d1.Name != "i" {
+		t.Fatalf("typed decl = %#v", f.Body.Stmts[1])
+	}
+}
+
+func TestParseErrorReporting(t *testing.T) {
+	_, err := Parse("def f() { if (x { } }")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, ok := err.(*ParseError); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	s := mustParse(t, `def f() { def x = 1 + 2 * 3 - 4 / 2 }`)
+	f := s.Method("f")
+	// 1 + 2*3 - 4/2: top is Minus.
+	top, ok := f.Body.Stmts[0].(*DeclStmt).Init.(*Binary)
+	if !ok || top.Op != Minus {
+		t.Fatalf("top = %#v", f.Body.Stmts[0].(*DeclStmt).Init)
+	}
+	add, ok := top.L.(*Binary)
+	if !ok || add.Op != Plus {
+		t.Fatalf("left = %#v", top.L)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != Star {
+		t.Fatalf("add.R = %#v", add.R)
+	}
+}
+
+func TestParsePrecedenceLogic(t *testing.T) {
+	s := mustParse(t, `def f() { def x = a == 1 && b > 2 || c }`)
+	top, ok := s.Method("f").Body.Stmts[0].(*DeclStmt).Init.(*Binary)
+	if !ok || top.Op != OrOr {
+		t.Fatalf("top = %#v", s.Method("f").Body.Stmts[0].(*DeclStmt).Init)
+	}
+	and, ok := top.L.(*Binary)
+	if !ok || and.Op != AndAnd {
+		t.Fatalf("top.L = %#v", top.L)
+	}
+}
+
+func TestParseChainedPropertyAccess(t *testing.T) {
+	s := mustParse(t, `def f() { def v = location.mode }`)
+	pg, ok := s.Method("f").Body.Stmts[0].(*DeclStmt).Init.(*PropertyGet)
+	if !ok || pg.Name != "mode" {
+		t.Fatalf("prop = %#v", s.Method("f").Body.Stmts[0].(*DeclStmt).Init)
+	}
+	if id, ok := pg.Receiver.(*Ident); !ok || id.Name != "location" {
+		t.Fatalf("receiver = %#v", pg.Receiver)
+	}
+}
+
+func TestParseSingleStatementIfBody(t *testing.T) {
+	s := mustParse(t, comfortTV)
+	m := s.Method("turnOnWindow")
+	ifStmt := m.Body.Stmts[0].(*IfStmt)
+	if len(ifStmt.Then.Stmts) != 1 {
+		t.Fatalf("then stmts = %d", len(ifStmt.Then.Stmts))
+	}
+	call := ifStmt.Then.Stmts[0].(*ExprStmt).X.(*Call)
+	if call.Method != "on" {
+		t.Errorf("call = %#v", call)
+	}
+	if recv, ok := call.Receiver.(*Ident); !ok || recv.Name != "window1" {
+		t.Errorf("receiver = %#v", call.Receiver)
+	}
+}
+
+func TestParseInstrumentedListing3(t *testing.T) {
+	src := `
+input "patchedphone", "phone", required: true, title: "Phone number?"
+def updated() {
+    def appname = "ComfortTV"
+    def devices = [[devRefStr:"tv1", devRef:tv1], [devRefStr:"tSensor", devRef:tSensor]]
+    def values = [[varStr:"threshold1", var:threshold1]]
+    collectConfigInfo(appname, devices, values)
+}
+def collectConfigInfo(appname, devices, values) {
+    def uri = "http://my.com/appname:${appname}/"
+    devices.each { dev ->
+        uri = uri + dev.devRefStr + ":" + dev.devRef.getId() + "/"
+    }
+    values.each { val ->
+        uri = uri + val.varStr + ":" + val.var + "/"
+    }
+    sendSmsMessage(patchedphone, uri)
+}
+`
+	s := mustParse(t, src)
+	cci := s.Method("collectConfigInfo")
+	if cci == nil || len(cci.Params) != 3 {
+		t.Fatalf("collectConfigInfo = %#v", cci)
+	}
+	if len(FindCalls(s, "each")) != 2 {
+		t.Errorf("each calls = %d", len(FindCalls(s, "each")))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("def f() {")
+}

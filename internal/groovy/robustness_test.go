@@ -1,0 +1,139 @@
+package groovy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// corpusLike is a representative source exercised by the mutation tests.
+const corpusLike = `
+definition(name: "X", namespace: "n", author: "a", description: "d", category: "c")
+input "tv1", "capability.switch", title: "Which TV?"
+input "threshold1", "number", defaultValue: 30
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(tv1, "switch.on", onHandler)
+    schedule("0 0 22 * * ?", nightly)
+}
+def onHandler(evt) {
+    def t = tv1.currentValue("level")
+    if ((evt.value == "on") && (t > threshold1)) {
+        tv1.off()
+    } else if (t < 5) {
+        runIn(60, later)
+    }
+    switch (evt.value) {
+        case "on": state.n = state.n + 1; break
+        default: log.debug "other ${evt.value}"
+    }
+    [1, 2, 3].each { x -> state.sum = state.sum + x }
+}
+def later() { tv1.on() }
+def nightly() { tv1.off() }
+`
+
+// TestParserNeverPanicsOnMutations: random byte-level mutations of a valid
+// source must produce either a parse or an error — never a panic. This is
+// the property the extractor relies on when users submit custom apps.
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	base := []byte(corpusLike)
+	alphabet := []byte("{}()[]\"'.,;:$ \nabcdef0123456789=<>!&|?-+*/")
+	for trial := 0; trial < 3000; trial++ {
+		src := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			switch rng.Intn(3) {
+			case 0: // substitute
+				src[rng.Intn(len(src))] = alphabet[rng.Intn(len(alphabet))]
+			case 1: // delete
+				i := rng.Intn(len(src))
+				src = append(src[:i], src[i+1:]...)
+			case 2: // insert
+				i := rng.Intn(len(src))
+				src = append(src[:i], append([]byte{alphabet[rng.Intn(len(alphabet))]}, src[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input: %v\nsource:\n%s", r, src)
+				}
+			}()
+			_, _ = Parse(string(src))
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnRandomInput: entirely random token soup.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{
+		"def", "if", "else", "switch", "case", "default", "return", "{", "}",
+		"(", ")", "[", "]", ",", ";", ":", ".", "==", "&&", "||", "!", "?",
+		"input", "subscribe", "x", "y", "\"s\"", "'t'", "1", "2.5", "->",
+		"each", "in", "for", "while", "true", "false", "null", "\n",
+	}
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(40)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += words[rng.Intn(len(words))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on random input: %v\nsource: %s", r, src)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	// Nested parens/brackets must not blow the stack at sane depths.
+	src := "def f() { def x = "
+	for i := 0; i < 200; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < 200; i++ {
+		src += ")"
+	}
+	src += " }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep nesting should parse: %v", err)
+	}
+}
+
+func TestVeryLongStatementList(t *testing.T) {
+	src := "def f() {\n"
+	for i := 0; i < 5000; i++ {
+		src += "    state.x = state.x + 1\n"
+	}
+	src += "}"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Method("f").Body.Stmts) != 5000 {
+		t.Errorf("stmts = %d", len(s.Method("f").Body.Stmts))
+	}
+}
+
+func BenchmarkParseComfortTV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(comfortTV); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(corpusLike); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package groovy implements a lexer, AST and recursive-descent parser for
+// the subset of the Groovy language used by SmartThings SmartApps.
+//
+// SmartApps run in a sandbox that forbids almost all of Groovy's dynamic
+// features (see the SmartThings code review guidelines), so the language
+// accepted here is deliberately a subset: scripts are sequences of
+// statements and method declarations; expressions cover literals
+// (including GStrings with ${...} interpolation), map and list literals,
+// closures, property access, index access, method calls (both
+// parenthesised and paren-free "command" syntax such as
+// `input "tv1", "capability.switch", title: "Which TV?"`), and the usual
+// arithmetic, comparison, logical, ternary and elvis operators.
+package groovy
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT
+	NUMBER  // integer or decimal literal
+	STRING  // single-quoted string (no interpolation)
+	GSTRING // double-quoted string; may contain ${...} interpolation
+
+	// Keywords.
+	KwDef
+	KwIf
+	KwElse
+	KwSwitch
+	KwCase
+	KwDefault
+	KwReturn
+	KwTrue
+	KwFalse
+	KwNull
+	KwFor
+	KwWhile
+	KwBreak
+	KwContinue
+	KwIn
+	KwNew
+	KwImport
+	KwInstanceof
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Dot      // .
+	SafeDot  // ?.
+	Arrow    // ->
+	Range    // ..
+
+	Assign      // =
+	PlusAssign  // +=
+	MinusAssign // -=
+	StarAssign  // *=
+	SlashAssign // /=
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Power   // **
+
+	Eq      // ==
+	NotEq   // !=
+	Lt      // <
+	LtEq    // <=
+	Gt      // >
+	GtEq    // >=
+	Compare // <=>
+
+	AndAnd // &&
+	OrOr   // ||
+	Not    // !
+
+	Question // ?
+	Elvis    // ?:
+
+	Incr // ++
+	Decr // --
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", NEWLINE: "NEWLINE", IDENT: "IDENT", NUMBER: "NUMBER",
+	STRING: "STRING", GSTRING: "GSTRING",
+	KwDef: "def", KwIf: "if", KwElse: "else", KwSwitch: "switch",
+	KwCase: "case", KwDefault: "default", KwReturn: "return",
+	KwTrue: "true", KwFalse: "false", KwNull: "null", KwFor: "for",
+	KwWhile: "while", KwBreak: "break", KwContinue: "continue",
+	KwIn: "in", KwNew: "new", KwImport: "import", KwInstanceof: "instanceof",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semi: ";", Colon: ":",
+	Dot: ".", SafeDot: "?.", Arrow: "->", Range: "..",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=",
+	Plus:        "+", Minus: "-", Star: "*", Slash: "/", Percent: "%", Power: "**",
+	Eq: "==", NotEq: "!=", Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+	Compare: "<=>", AndAnd: "&&", OrOr: "||", Not: "!",
+	Question: "?", Elvis: "?:", Incr: "++", Decr: "--",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"def": KwDef, "if": KwIf, "else": KwElse, "switch": KwSwitch,
+	"case": KwCase, "default": KwDefault, "return": KwReturn,
+	"true": KwTrue, "false": KwFalse, "null": KwNull, "for": KwFor,
+	"while": KwWhile, "break": KwBreak, "continue": KwContinue,
+	"in": KwIn, "new": KwNew, "import": KwImport, "instanceof": KwInstanceof,
+}
+
+// Pos is a position in the source text, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // raw text; for STRING/GSTRING the unquoted content
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, STRING, GSTRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

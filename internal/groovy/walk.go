@@ -1,0 +1,170 @@
+package groovy
+
+// Inspect traverses the AST rooted at n in depth-first order, calling f
+// for every node. If f returns false for a node, its children are not
+// visited. Nil nodes are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Ident, *StrLit, *NumLit, *BoolLit, *NullLit, *BreakStmt, *ContinueStmt:
+	case *GStringLit:
+		for _, p := range x.Parts {
+			if p.Expr != nil {
+				Inspect(p.Expr, f)
+			}
+		}
+	case *ListLit:
+		for _, e := range x.Elems {
+			Inspect(e, f)
+		}
+	case *MapLit:
+		for _, e := range x.Entries {
+			Inspect(e.Key, f)
+			Inspect(e.Value, f)
+		}
+	case *RangeLit:
+		Inspect(x.Lo, f)
+		Inspect(x.Hi, f)
+	case *PropertyGet:
+		Inspect(x.Receiver, f)
+	case *IndexGet:
+		Inspect(x.Receiver, f)
+		Inspect(x.Index, f)
+	case *Call:
+		if x.Receiver != nil {
+			Inspect(x.Receiver, f)
+		}
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+		for _, e := range x.Named {
+			Inspect(e.Key, f)
+			Inspect(e.Value, f)
+		}
+	case *ClosureExpr:
+		for _, p := range x.Params {
+			if p.Default != nil {
+				Inspect(p.Default, f)
+			}
+		}
+		Inspect(x.Body, f)
+	case *Unary:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *Ternary:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *ElvisExpr:
+		Inspect(x.Cond, f)
+		Inspect(x.Else, f)
+	case *NewExpr:
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *DeclStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *AssignStmt:
+		Inspect(x.Target, f)
+		Inspect(x.Value, f)
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *SwitchStmt:
+		Inspect(x.Subject, f)
+		for _, c := range x.Cases {
+			Inspect(c.Value, f)
+			Inspect(c.Body, f)
+		}
+		if x.Default != nil {
+			Inspect(x.Default, f)
+		}
+	case *ReturnStmt:
+		if x.Value != nil {
+			Inspect(x.Value, f)
+		}
+	case *ForStmt:
+		if x.Iterable != nil {
+			Inspect(x.Iterable, f)
+		}
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *WhileStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *MethodDecl:
+		for _, p := range x.Params {
+			if p.Default != nil {
+				Inspect(p.Default, f)
+			}
+		}
+		Inspect(x.Body, f)
+	}
+}
+
+// isNilNode guards against typed-nil interface values.
+func isNilNode(n Node) bool {
+	switch v := n.(type) {
+	case *Block:
+		return v == nil
+	case *IfStmt:
+		return v == nil
+	}
+	return false
+}
+
+// InspectScript traverses every top-level statement of a script.
+func InspectScript(s *Script, f func(Node) bool) {
+	for _, st := range s.Stmts {
+		Inspect(st, f)
+	}
+}
+
+// FindCalls returns every call (at any nesting depth, including inside
+// closures) whose method name matches name.
+func FindCalls(s *Script, name string) []*Call {
+	var out []*Call
+	InspectScript(s, func(n Node) bool {
+		if c, ok := n.(*Call); ok && c.Method == name {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// NamedArg returns the named argument value for key, or nil.
+func (c *Call) NamedArg(key string) Expr {
+	for _, e := range c.Named {
+		if k, ok := e.Key.(*StrLit); ok && k.Value == key {
+			return e.Value
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package instrument implements HomeGuard's SmartApp code instrumentation
+// (Sec. VII, Listing 3): a fully automatic source-to-source transformation
+// that collects the configuration information (device bindings and user
+// values) inside updated() and ships it to the HomeGuard frontend app as a
+// URI over SMS or HTTP. It also provides the URI codec.
+package instrument
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"homeguard/internal/groovy"
+	"homeguard/internal/symexec"
+)
+
+// Instrument rewrites a SmartApp source per Listing 3:
+//   - adds the patchedphone input,
+//   - inserts configuration-collection code into updated() (creating the
+//     method when absent),
+//   - appends the collectConfigInfo helper.
+//
+// The transformation reuses the rule extractor's preference scan to find
+// the app name and every input, so it is completely automatic.
+func Instrument(src string) (string, error) {
+	script, err := groovy.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("instrument: %w", err)
+	}
+	info := symexec.ScanPreferences(script)
+
+	var devItems, valItems []string
+	for _, in := range info.Inputs {
+		if in.IsDevice() {
+			devItems = append(devItems, fmt.Sprintf("[devRefStr:%q, devRef:%s]", in.Name, in.Name))
+		} else {
+			valItems = append(valItems, fmt.Sprintf("[varStr:%q, var:%s]", in.Name, in.Name))
+		}
+	}
+	inserted := fmt.Sprintf(`    // inserted by HomeGuard
+    def appname = %q
+    def devices = [%s]
+    def values = [%s]
+    collectConfigInfo(appname, devices, values)
+`, info.Name, strings.Join(devItems, ", "), strings.Join(valItems, ", "))
+
+	lines := strings.Split(src, "\n")
+
+	// Insert the collection code right after updated()'s opening brace.
+	// Splitting at the brace's column handles single-line bodies like
+	// `def updated() { unsubscribe(); initialize() }`.
+	if m := script.Method("updated"); m != nil {
+		pos := m.Body.Position() // 1-based line/col of '{'
+		line := lines[pos.Line-1]
+		col := pos.Col
+		if col > len(line) {
+			col = len(line)
+		}
+		head := line[:col] // includes the '{'
+		tail := line[col:]
+		out := make([]string, 0, len(lines)+8)
+		out = append(out, lines[:pos.Line-1]...)
+		out = append(out, head, inserted+tail)
+		out = append(out, lines[pos.Line:]...)
+		lines = out
+	} else {
+		lines = append(lines,
+			"def updated() {",
+			inserted,
+			"}")
+	}
+
+	var sb strings.Builder
+	sb.WriteString("// Instrumented by HomeGuard (configuration collection)\n")
+	sb.WriteString(`input "patchedphone", "phone", required: true, title: "Phone number?"` + "\n")
+	sb.WriteString(strings.Join(lines, "\n"))
+	sb.WriteString(`
+def collectConfigInfo(appname, devices, values) {
+    def uri = "homeguard://appname:${appname}/"
+    devices.each { dev ->
+        uri = uri + dev.devRefStr + ":" + dev.devRef.getId() + "/"
+    }
+    values.each { val ->
+        uri = uri + val.varStr + ":" + val.var + "/"
+    }
+    sendSmsMessage(patchedphone, uri)
+}
+`)
+	instrumented := sb.String()
+	// The instrumented app must still parse.
+	if _, err := groovy.Parse(instrumented); err != nil {
+		return "", fmt.Errorf("instrument: output does not parse: %w", err)
+	}
+	return instrumented, nil
+}
+
+// ConfigInfo is the decoded configuration payload.
+type ConfigInfo struct {
+	AppName string
+	Devices map[string]string // input name -> device ID
+	Values  map[string]string // input name -> raw value
+	// Order preserves the URI segment order for round-tripping.
+	Order []string
+}
+
+// EncodeConfigURI builds the HomeGuard config URI
+// (homeguard://appname:X/dev:ID/.../var:value/...).
+func EncodeConfigURI(appName string, devices, values map[string]string) string {
+	var sb strings.Builder
+	sb.WriteString("homeguard://appname:")
+	sb.WriteString(url.PathEscape(appName))
+	sb.WriteString("/")
+	for _, k := range sortedKeys(devices) {
+		sb.WriteString(url.PathEscape(k))
+		sb.WriteString(":")
+		sb.WriteString(url.PathEscape(devices[k]))
+		sb.WriteString("/")
+	}
+	for _, k := range sortedKeys(values) {
+		sb.WriteString(url.PathEscape(k))
+		sb.WriteString(":")
+		sb.WriteString(url.PathEscape(values[k]))
+		sb.WriteString("/")
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseConfigURI decodes a config URI produced by EncodeConfigURI or by
+// the instrumented app. Device IDs are recognised as segments whose value
+// looks like a device identifier; the caller disambiguates using the app's
+// input declarations via Classify.
+func ParseConfigURI(uri string) (*ConfigInfo, error) {
+	const scheme = "homeguard://"
+	if !strings.HasPrefix(uri, scheme) {
+		return nil, fmt.Errorf("instrument: bad scheme in %q", uri)
+	}
+	body := strings.TrimPrefix(uri, scheme)
+	segs := strings.Split(strings.Trim(body, "/"), "/")
+	info := &ConfigInfo{Devices: map[string]string{}, Values: map[string]string{}}
+	for i, seg := range segs {
+		colon := strings.IndexByte(seg, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("instrument: bad segment %q", seg)
+		}
+		key, err := url.PathUnescape(seg[:colon])
+		if err != nil {
+			return nil, fmt.Errorf("instrument: bad key in %q", seg)
+		}
+		val, err := url.PathUnescape(seg[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("instrument: bad value in %q", seg)
+		}
+		if i == 0 {
+			if key != "appname" {
+				return nil, fmt.Errorf("instrument: first segment must be appname, got %q", key)
+			}
+			info.AppName = val
+			continue
+		}
+		info.Order = append(info.Order, key)
+		// Provisionally store everything in Values; Classify moves device
+		// bindings based on input declarations.
+		info.Values[key] = val
+	}
+	return info, nil
+}
+
+// Classify splits the parsed segments into device bindings and values
+// using the app's input declarations.
+func (c *ConfigInfo) Classify(app symexec.AppInfo) {
+	for name, v := range c.Values {
+		if in := app.Input(name); in != nil && in.IsDevice() {
+			c.Devices[name] = v
+			delete(c.Values, name)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/groovy"
+	"homeguard/internal/symexec"
+)
+
+const listing1 = `
+definition(name: "ComfortTV", namespace: "repro", author: "x",
+    description: "Open the window when the TV turns on and it is hot.", category: "Convenience")
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch"
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+`
+
+func TestInstrumentListing3Shape(t *testing.T) {
+	out, err := Instrument(listing1)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	// Inserted pieces of Listing 3.
+	for _, want := range []string{
+		`input "patchedphone", "phone", required: true`,
+		`def appname = "ComfortTV"`,
+		`devRefStr:"tv1", devRef:tv1`,
+		`devRefStr:"tSensor", devRef:tSensor`,
+		`devRefStr:"window1", devRef:window1`,
+		`varStr:"threshold1", var:threshold1`,
+		`collectConfigInfo(appname, devices, values)`,
+		`def collectConfigInfo(appname, devices, values)`,
+		`sendSmsMessage(patchedphone, uri)`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instrumented source missing %q", want)
+		}
+	}
+}
+
+func TestInstrumentedSourceParses(t *testing.T) {
+	out, err := Instrument(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := groovy.Parse(out)
+	if err != nil {
+		t.Fatalf("instrumented source does not parse: %v", err)
+	}
+	if script.Method("collectConfigInfo") == nil {
+		t.Error("collectConfigInfo method missing")
+	}
+	// Original behaviour preserved.
+	if script.Method("onHandler") == nil || script.Method("turnOnWindow") == nil {
+		t.Error("original methods lost")
+	}
+	info := symexec.ScanPreferences(script)
+	if info.Input("patchedphone") == nil {
+		t.Error("patchedphone input missing")
+	}
+}
+
+func TestInstrumentedRulesUnchanged(t *testing.T) {
+	// Instrumentation must not alter the extracted automation rules.
+	before, err := symexec.Extract(listing1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Instrument(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := symexec.Extract(out, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The instrumented app adds a sendSmsMessage sink inside updated()'s
+	// collection path but no subscription-driven rules change.
+	var autoBefore, autoAfter int
+	for _, r := range before.Rules.Rules {
+		if r.Trigger.Subject != "time" {
+			autoBefore++
+		}
+	}
+	for _, r := range after.Rules.Rules {
+		if r.Trigger.Subject != "time" && r.Action.Command != "sendSmsMessage" {
+			autoAfter++
+		}
+	}
+	if autoBefore != autoAfter {
+		t.Errorf("automation rules changed: before=%d after=%d", autoBefore, autoAfter)
+	}
+}
+
+func TestInstrumentAppWithoutUpdated(t *testing.T) {
+	src := `
+definition(name: "NoUpdated", namespace: "x", author: "x", description: "d", category: "c")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch", h) }
+def h(evt) { }
+`
+	out, err := Instrument(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := groovy.Parse(out)
+	if err != nil {
+		t.Fatalf("does not parse: %v", err)
+	}
+	if script.Method("updated") == nil {
+		t.Error("updated() should have been created")
+	}
+}
+
+func TestConfigURIRoundTrip(t *testing.T) {
+	devices := map[string]string{
+		"tv1":     "0e0b1111-2222-3333-4444-55556666741b",
+		"window1": "aaaa1111-2222-3333-4444-555566667777",
+	}
+	values := map[string]string{"threshold1": "30"}
+	uri := EncodeConfigURI("ComfortTV", devices, values)
+	if !strings.HasPrefix(uri, "homeguard://appname:ComfortTV/") {
+		t.Fatalf("uri = %q", uri)
+	}
+	info, err := ParseConfigURI(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AppName != "ComfortTV" {
+		t.Errorf("app = %q", info.AppName)
+	}
+	// Before classification everything is in Values.
+	if info.Values["tv1"] != devices["tv1"] || info.Values["threshold1"] != "30" {
+		t.Errorf("values = %v", info.Values)
+	}
+	script := groovy.MustParse(listing1)
+	info.Classify(symexec.ScanPreferences(script))
+	if info.Devices["tv1"] != devices["tv1"] {
+		t.Errorf("devices after classify = %v", info.Devices)
+	}
+	if _, still := info.Values["tv1"]; still {
+		t.Error("tv1 should have moved to Devices")
+	}
+	if info.Values["threshold1"] != "30" {
+		t.Errorf("threshold1 = %q", info.Values["threshold1"])
+	}
+}
+
+func TestParseConfigURIErrors(t *testing.T) {
+	if _, err := ParseConfigURI("http://x/"); err == nil {
+		t.Error("bad scheme should fail")
+	}
+	if _, err := ParseConfigURI("homeguard://nope:x/"); err == nil {
+		t.Error("missing appname should fail")
+	}
+	if _, err := ParseConfigURI("homeguard://appname:A/garbage/"); err == nil {
+		t.Error("segment without colon should fail")
+	}
+}
+
+func TestEncodeEscapesSpecials(t *testing.T) {
+	uri := EncodeConfigURI("My App/2", nil, map[string]string{"msg": "a:b/c"})
+	info, err := ParseConfigURI(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AppName != "My App/2" || info.Values["msg"] != "a:b/c" {
+		t.Errorf("round trip: %+v", info)
+	}
+}

@@ -1,0 +1,47 @@
+package interp
+
+import (
+	"testing"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/platform"
+)
+
+func BenchmarkInstallComfortTV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := platform.NewHome(1)
+		h.AddDevice(&platform.Device{ID: "dev-tv", Capabilities: []string{"switch"}, Type: envmodel.TV})
+		h.AddDevice(&platform.Device{ID: "dev-window", Capabilities: []string{"switch"}, Type: envmodel.WindowOpener})
+		h.AddDevice(&platform.Device{ID: "dev-temp", Capabilities: []string{"temperatureMeasurement"}})
+		cfg := NewConfig().
+			Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+			Set("threshold1", 30)
+		if _, err := Install(h, comfortTVSrc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandlerDispatch(b *testing.B) {
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "dev-tv", Capabilities: []string{"switch"}, Type: envmodel.TV})
+	h.AddDevice(&platform.Device{ID: "dev-window", Capabilities: []string{"switch"}, Type: envmodel.WindowOpener})
+	h.AddDevice(&platform.Device{ID: "dev-temp", Capabilities: []string{"temperatureMeasurement"}})
+	h.InjectSensor("dev-temp", "temperature", platform.IntValue(35))
+	cfg := NewConfig().
+		Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+		Set("threshold1", 30)
+	if _, err := Install(h, comfortTVSrc, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate TV state so every command is a change event.
+		if i%2 == 0 {
+			h.Command("dev-tv", "on")
+		} else {
+			h.Command("dev-tv", "off")
+		}
+		h.Step(5)
+	}
+}

@@ -1,0 +1,909 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"homeguard/internal/groovy"
+	"homeguard/internal/platform"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+func (a *App) eval(x groovy.Expr, e *env) any {
+	switch n := x.(type) {
+	case *groovy.Ident:
+		return a.evalIdent(n.Name, e)
+	case *groovy.StrLit:
+		return n.Value
+	case *groovy.GStringLit:
+		var sb strings.Builder
+		for _, p := range n.Parts {
+			if p.Expr != nil {
+				sb.WriteString(str(a.eval(p.Expr, e)))
+			} else {
+				sb.WriteString(p.Text)
+			}
+		}
+		return sb.String()
+	case *groovy.NumLit:
+		if n.IsInt {
+			return n.Int
+		}
+		return int64(n.Float)
+	case *groovy.BoolLit:
+		return n.Value
+	case *groovy.NullLit:
+		return nil
+	case *groovy.ListLit:
+		out := make([]any, len(n.Elems))
+		for i, el := range n.Elems {
+			out[i] = a.eval(el, e)
+		}
+		return out
+	case *groovy.MapLit:
+		m := map[string]any{}
+		for _, en := range n.Entries {
+			m[str(a.eval(en.Key, e))] = a.eval(en.Value, e)
+		}
+		return m
+	case *groovy.RangeLit:
+		lo, _ := toInt(a.eval(n.Lo, e))
+		hi, _ := toInt(a.eval(n.Hi, e))
+		var out []any
+		for i := lo; i <= hi && len(out) < loopCap; i++ {
+			out = append(out, i)
+		}
+		return out
+	case *groovy.PropertyGet:
+		return a.evalProperty(n, e)
+	case *groovy.IndexGet:
+		recv := a.eval(n.Receiver, e)
+		idx := a.eval(n.Index, e)
+		switch r := recv.(type) {
+		case map[string]any:
+			return r[str(idx)]
+		case []any:
+			if i, ok := toInt(idx); ok && i >= 0 && int(i) < len(r) {
+				return r[i]
+			}
+		case string:
+			if i, ok := toInt(idx); ok && i >= 0 && int(i) < len(r) {
+				return string(r[i])
+			}
+		}
+		return nil
+	case *groovy.Call:
+		return a.evalCall(n, e)
+	case *groovy.ClosureExpr:
+		return &closureObj{cl: n, env: e}
+	case *groovy.Unary:
+		v := a.eval(n.X, e)
+		switch n.Op {
+		case groovy.Not:
+			return !truthy(v)
+		case groovy.Minus:
+			if i, ok := toInt(v); ok {
+				return -i
+			}
+		}
+		return nil
+	case *groovy.Binary:
+		if n.Op == groovy.AndAnd {
+			return truthy(a.eval(n.L, e)) && truthy(a.eval(n.R, e))
+		}
+		if n.Op == groovy.OrOr {
+			return truthy(a.eval(n.L, e)) || truthy(a.eval(n.R, e))
+		}
+		return binop(n.Op, a.eval(n.L, e), a.eval(n.R, e))
+	case *groovy.Ternary:
+		if truthy(a.eval(n.Cond, e)) {
+			return a.eval(n.Then, e)
+		}
+		return a.eval(n.Else, e)
+	case *groovy.ElvisExpr:
+		v := a.eval(n.Cond, e)
+		if truthy(v) {
+			return v
+		}
+		return a.eval(n.Else, e)
+	case *groovy.NewExpr:
+		return map[string]any{"type": n.Type}
+	}
+	return nil
+}
+
+func (a *App) evalIdent(name string, e *env) any {
+	if v, ok := e.get(name); ok {
+		return v
+	}
+	if in := a.info.Input(name); in != nil {
+		return a.inputValue(in)
+	}
+	switch name {
+	case "location":
+		return locObj{app: a}
+	case "state", "atomicState":
+		return stateObj{app: a}
+	case "settings":
+		m := map[string]any{}
+		for i := range a.info.Inputs {
+			in := &a.info.Inputs[i]
+			m[in.Name] = a.inputValue(in)
+		}
+		return m
+	case "app":
+		return map[string]any{"name": a.Name, "label": a.Name}
+	case "it":
+		return nil
+	}
+	// A bare reference to a user-defined method acts as a method pointer
+	// (handler references in subscribe/runIn calls).
+	if a.script.Method(name) != nil {
+		return name
+	}
+	return nil
+}
+
+// inputValue resolves a bound input: device refs for device inputs,
+// configured (or default) values otherwise.
+func (a *App) inputValue(in *symexec.InputDecl) any {
+	if in.IsDevice() {
+		return &devRef{app: a, in: in, ids: a.cfg.Devices[in.Name]}
+	}
+	if v, ok := a.cfg.Values[in.Name]; ok {
+		return normValue(v)
+	}
+	switch d := in.Default.(type) {
+	case rule.IntVal:
+		return int64(d)
+	case rule.StrVal:
+		return string(d)
+	case rule.BoolVal:
+		return bool(d)
+	}
+	return nil
+}
+
+func normValue(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case []string:
+		out := make([]any, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out
+	}
+	return v
+}
+
+// ---------- property access ----------
+
+func (a *App) evalProperty(n *groovy.PropertyGet, e *env) any {
+	recv := a.eval(n.Receiver, e)
+	switch r := recv.(type) {
+	case *devRef:
+		return a.deviceProperty(r, n.Name)
+	case *evtObj:
+		return r.property(n.Name)
+	case locObj:
+		switch n.Name {
+		case "mode", "currentMode":
+			return a.home.Mode()
+		case "name":
+			return "Home"
+		case "timeZone":
+			return map[string]any{"id": "UTC"}
+		}
+		return nil
+	case stateObj:
+		return r.app.state[n.Name]
+	case map[string]any:
+		return r[n.Name]
+	case []any:
+		switch n.Name {
+		case "size":
+			return int64(len(r))
+		case "first":
+			if len(r) > 0 {
+				return r[0]
+			}
+		case "last":
+			if len(r) > 0 {
+				return r[len(r)-1]
+			}
+		}
+	case string:
+		if n.Name == "length" || n.Name == "size" {
+			return int64(len(r))
+		}
+	}
+	return nil
+}
+
+// deviceProperty reads device attributes: currentSwitch, id, label, ...
+// For multi-device refs the first device's reading is returned (Groovy
+// returns a list; apps in the corpus read single devices).
+func (a *App) deviceProperty(d *devRef, name string) any {
+	if len(d.ids) == 0 {
+		return nil
+	}
+	dev, ok := a.home.Device(d.ids[0])
+	if !ok {
+		return nil
+	}
+	switch name {
+	case "id":
+		return string(dev.ID)
+	case "label", "displayName", "name":
+		return dev.Name
+	case "size":
+		return int64(len(d.ids))
+	}
+	if attr, found := strings.CutPrefix(name, "current"); found && attr != "" {
+		return attrValue(dev, lowerFirst(attr))
+	}
+	return attrValue(dev, name)
+}
+
+func attrValue(dev *platform.Device, attr string) any {
+	v, ok := dev.Attr(attr)
+	if !ok {
+		return nil
+	}
+	if v.IsInt {
+		return v.Int
+	}
+	return v.Str
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// property resolves evt.* reads.
+func (o *evtObj) property(name string) any {
+	switch name {
+	case "value", "stringValue":
+		return o.ev.Value.String()
+	case "doubleValue", "integerValue", "numberValue", "numericValue", "floatValue", "longValue":
+		if o.ev.Value.IsInt {
+			return o.ev.Value.Int
+		}
+		if i, err := strconv.ParseInt(o.ev.Value.Str, 10, 64); err == nil {
+			return i
+		}
+		return int64(0)
+	case "name":
+		return o.ev.Attribute
+	case "device":
+		// Wrap the source device as a single-device ref.
+		if o.ev.Source == "location" || o.ev.Source == "app" {
+			return nil
+		}
+		return &devRef{app: o.app, ids: []platform.DeviceID{platform.DeviceID(o.ev.Source)}}
+	case "deviceId":
+		return o.ev.Source
+	case "isStateChange", "physical":
+		return true
+	case "date":
+		return o.ev.Time
+	}
+	return nil
+}
+
+// ---------- calls ----------
+
+func (a *App) evalCall(n *groovy.Call, e *env) any {
+	// Evaluate arguments eagerly (closures stay lazy as closureObj).
+	args := make([]any, len(n.Args))
+	for i, arg := range n.Args {
+		args[i] = a.eval(arg, e)
+	}
+	named := map[string]any{}
+	for _, en := range n.Named {
+		named[str(a.eval(en.Key, e))] = a.eval(en.Value, e)
+	}
+
+	if n.Receiver == nil {
+		return a.callBare(n.Method, args, named, e)
+	}
+	recv := a.eval(n.Receiver, e)
+	switch r := recv.(type) {
+	case *devRef:
+		return a.callDevice(r, n.Method, args)
+	case *evtObj:
+		return r.property(strings.TrimPrefix(n.Method, "get"))
+	case locObj:
+		switch n.Method {
+		case "setMode":
+			if len(args) > 0 {
+				a.home.SetMode(str(args[0]))
+			}
+			return nil
+		case "getMode":
+			return a.home.Mode()
+		}
+		return nil
+	case *closureObj:
+		if n.Method == "call" {
+			return a.callClosure(r, args)
+		}
+	case []any:
+		return a.callList(r, n.Method, args)
+	case map[string]any:
+		switch n.Method {
+		case "get":
+			if len(args) >= 1 {
+				return r[str(args[0])]
+			}
+		case "containsKey":
+			if len(args) >= 1 {
+				_, ok := r[str(args[0])]
+				return ok
+			}
+		case "each":
+			return a.callList(iterate(r), "each", args)
+		}
+		return nil
+	case string:
+		return callString(r, n.Method, args)
+	case int64:
+		switch n.Method {
+		case "toInteger", "toLong", "intValue", "asType":
+			return r
+		case "toString":
+			return str(r)
+		}
+		return nil
+	}
+	return nil
+}
+
+// callDevice issues device commands or reads attribute methods.
+func (a *App) callDevice(d *devRef, method string, args []any) any {
+	switch method {
+	case "currentValue", "latestValue":
+		if len(args) >= 1 && len(d.ids) > 0 {
+			if dev, ok := a.home.Device(d.ids[0]); ok {
+				return attrValue(dev, str(args[0]))
+			}
+		}
+		return nil
+	case "currentState", "latestState":
+		if len(args) >= 1 && len(d.ids) > 0 {
+			if dev, ok := a.home.Device(d.ids[0]); ok {
+				return map[string]any{"value": attrValue(dev, str(args[0]))}
+			}
+		}
+		return nil
+	case "getId":
+		if len(d.ids) > 0 {
+			return string(d.ids[0])
+		}
+		return nil
+	case "each", "findAll", "find", "collect", "any", "every":
+		return a.callList(iterate(d), method, args)
+	}
+	if attr, found := strings.CutPrefix(method, "current"); found && attr != "" && len(args) == 0 {
+		return a.deviceProperty(d, method)
+	}
+	// Device command: issue to every bound device.
+	vals := make([]platform.Value, len(args))
+	for i, arg := range args {
+		vals[i] = toPlatformValue(arg)
+	}
+	for _, id := range d.ids {
+		_ = a.home.Command(id, method, vals...) // unsupported commands are ignored
+	}
+	return nil
+}
+
+func toPlatformValue(v any) platform.Value {
+	if i, ok := toInt(v); ok {
+		return platform.IntValue(i)
+	}
+	return platform.StrValue(str(v))
+}
+
+// callList implements Groovy collection methods with closures.
+func (a *App) callList(list []any, method string, args []any) any {
+	var cl *closureObj
+	for _, arg := range args {
+		if c, ok := arg.(*closureObj); ok {
+			cl = c
+		}
+	}
+	switch method {
+	case "each":
+		if cl != nil {
+			for _, el := range list {
+				a.callClosure(cl, []any{el})
+			}
+		}
+		return list
+	case "collect":
+		var out []any
+		if cl != nil {
+			for _, el := range list {
+				out = append(out, a.callClosure(cl, []any{el}))
+			}
+		}
+		return out
+	case "find":
+		if cl != nil {
+			for _, el := range list {
+				if truthy(a.callClosure(cl, []any{el})) {
+					return el
+				}
+			}
+		}
+		return nil
+	case "findAll":
+		var out []any
+		if cl != nil {
+			for _, el := range list {
+				if truthy(a.callClosure(cl, []any{el})) {
+					out = append(out, el)
+				}
+			}
+		}
+		return out
+	case "any":
+		if cl != nil {
+			for _, el := range list {
+				if truthy(a.callClosure(cl, []any{el})) {
+					return true
+				}
+			}
+		}
+		return false
+	case "every":
+		if cl != nil {
+			for _, el := range list {
+				if !truthy(a.callClosure(cl, []any{el})) {
+					return false
+				}
+			}
+		}
+		return true
+	case "size":
+		return int64(len(list))
+	case "contains":
+		if len(args) >= 1 {
+			for _, el := range list {
+				if valueEq(el, args[0]) {
+					return true
+				}
+			}
+		}
+		return false
+	case "sum":
+		var s int64
+		for _, el := range list {
+			if i, ok := toInt(el); ok {
+				s += i
+			}
+		}
+		return s
+	case "join":
+		sep := ","
+		if len(args) >= 1 {
+			sep = str(args[0])
+		}
+		parts := make([]string, len(list))
+		for i, el := range list {
+			parts[i] = str(el)
+		}
+		return strings.Join(parts, sep)
+	}
+	return nil
+}
+
+func (a *App) callClosure(c *closureObj, args []any) any {
+	inner := newEnv(c.env)
+	if len(c.cl.Params) == 0 {
+		if len(args) > 0 {
+			inner.define("it", args[0])
+		}
+	} else {
+		for i, p := range c.cl.Params {
+			if i < len(args) {
+				inner.define(p.Name, args[i])
+			} else {
+				inner.define(p.Name, nil)
+			}
+		}
+	}
+	ctl := &control{}
+	a.execBlock(c.cl.Body, inner, ctl)
+	return ctl.retVal
+}
+
+func callString(s, method string, args []any) any {
+	switch method {
+	case "toInteger", "toLong":
+		if i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64); err == nil {
+			return i
+		}
+		return int64(0)
+	case "toUpperCase":
+		return strings.ToUpper(s)
+	case "toLowerCase":
+		return strings.ToLower(s)
+	case "trim":
+		return strings.TrimSpace(s)
+	case "contains":
+		if len(args) >= 1 {
+			return strings.Contains(s, str(args[0]))
+		}
+	case "startsWith":
+		if len(args) >= 1 {
+			return strings.HasPrefix(s, str(args[0]))
+		}
+	case "endsWith":
+		if len(args) >= 1 {
+			return strings.HasSuffix(s, str(args[0]))
+		}
+	case "equals", "equalsIgnoreCase":
+		if len(args) >= 1 {
+			if method == "equalsIgnoreCase" {
+				return strings.EqualFold(s, str(args[0]))
+			}
+			return s == str(args[0])
+		}
+	case "split":
+		if len(args) >= 1 {
+			parts := strings.Split(s, str(args[0]))
+			out := make([]any, len(parts))
+			for i, p := range parts {
+				out[i] = p
+			}
+			return out
+		}
+	case "replace", "replaceAll":
+		if len(args) >= 2 {
+			return strings.ReplaceAll(s, str(args[0]), str(args[1]))
+		}
+	case "size", "length":
+		return int64(len(s))
+	case "toString":
+		return s
+	}
+	return nil
+}
+
+// callBare dispatches implicit-this calls: SmartThings APIs first, then
+// user-defined methods.
+func (a *App) callBare(method string, args []any, named map[string]any, e *env) any {
+	switch method {
+	case "subscribe":
+		a.apiSubscribe(args)
+		return nil
+	case "unsubscribe":
+		a.home.UnsubscribeAll(a.subIDs)
+		a.subIDs = nil
+		return nil
+	case "unschedule":
+		return nil // simulator tasks are one-shot closures; nothing to cancel
+	case "runIn":
+		if len(args) >= 2 {
+			delay, _ := toInt(args[0])
+			name := handlerNameOf(args[1])
+			a.home.Schedule(delay, a.Name+"."+name, func() { a.invokeByName(name) })
+		}
+		return nil
+	case "runOnce":
+		if len(args) >= 2 {
+			name := handlerNameOf(args[1])
+			a.home.Schedule(60, a.Name+"."+name, func() { a.invokeByName(name) })
+		}
+		return nil
+	case "schedule":
+		if len(args) >= 2 {
+			name := handlerNameOf(args[1])
+			var rearm func()
+			rearm = func() {
+				a.invokeByName(name)
+				a.home.Schedule(86400, a.Name+"."+name, rearm)
+			}
+			a.home.Schedule(86400, a.Name+"."+name, rearm)
+		}
+		return nil
+	case "runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
+		"runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours":
+		if len(args) >= 1 {
+			name := handlerNameOf(args[0])
+			period := periodSeconds(method)
+			var rearm func()
+			rearm = func() {
+				a.invokeByName(name)
+				a.home.Schedule(period, a.Name+"."+name, rearm)
+			}
+			a.home.Schedule(period, a.Name+"."+name, rearm)
+		}
+		return nil
+	case "setLocationMode":
+		if len(args) >= 1 {
+			a.home.SetMode(str(args[0]))
+		}
+		return nil
+	case "sendSms", "sendSmsMessage":
+		if len(args) >= 2 {
+			a.home.SendSms(str(args[0]), str(args[1]))
+		}
+		return nil
+	case "sendPush", "sendPushMessage", "sendNotification", "sendNotificationEvent":
+		if len(args) >= 1 {
+			a.home.SendSms("push", str(args[0]))
+		}
+		return nil
+	case "httpGet", "httpPost", "httpPut", "httpDelete", "httpHead",
+		"httpPostJson", "httpPutJson":
+		a.home.Messages = append(a.home.Messages, "http:"+method)
+		return nil
+	case "sendHubCommand":
+		a.home.Messages = append(a.home.Messages, "hub:"+fmt.Sprint(args))
+		return nil
+	case "now":
+		return a.home.Clock() * 1000
+	case "timeOfDayIsBetween":
+		// Concrete check over the simulated time of day.
+		if len(args) >= 2 {
+			from, _ := toInt(args[0])
+			to, _ := toInt(args[1])
+			tod := a.home.Env().TimeOfDay
+			return tod >= from && tod <= to
+		}
+		return false
+	case "getSunriseAndSunset":
+		return map[string]any{"sunrise": int64(6 * 60), "sunset": int64(19 * 60)}
+	case "log":
+		return nil
+	case "pause":
+		return nil
+	}
+	if strings.HasPrefix(method, "log") {
+		return nil
+	}
+	// User-defined method.
+	if m := a.script.Method(method); m != nil {
+		return a.invoke(m, args)
+	}
+	return nil
+}
+
+func periodSeconds(api string) int64 {
+	switch api {
+	case "runEvery1Minute":
+		return 60
+	case "runEvery5Minutes":
+		return 300
+	case "runEvery10Minutes":
+		return 600
+	case "runEvery15Minutes":
+		return 900
+	case "runEvery30Minutes":
+		return 1800
+	case "runEvery1Hour":
+		return 3600
+	case "runEvery3Hours":
+		return 10800
+	}
+	return 3600
+}
+
+func handlerNameOf(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case *closureObj:
+		return ""
+	}
+	return str(v)
+}
+
+// apiSubscribe wires subscribe(dev, "attr[.value]", handler) to the bus.
+func (a *App) apiSubscribe(args []any) {
+	if len(args) < 2 {
+		return
+	}
+	var sources []string
+	attr, filter := "", ""
+	handler := ""
+	switch src := args[0].(type) {
+	case *devRef:
+		for _, id := range src.ids {
+			sources = append(sources, string(id))
+		}
+	case locObj:
+		sources = []string{"location"}
+		attr = "mode"
+	case map[string]any:
+		sources = []string{"app"}
+		attr = "touch"
+	default:
+		if s := str(src); s == "app" {
+			sources = []string{"app"}
+			attr = "touch"
+		}
+	}
+	if len(args) == 2 {
+		handler = str(args[1])
+		if _, isApp := args[0].(map[string]any); isApp || attr == "touch" {
+			sources = []string{"app"}
+			attr = "touch"
+		}
+	} else {
+		spec := str(args[1])
+		handler = str(args[2])
+		if dot := strings.IndexByte(spec, '.'); dot >= 0 {
+			attr, filter = spec[:dot], spec[dot+1:]
+		} else {
+			attr = spec
+		}
+	}
+	if handler == "" || attr == "" {
+		return
+	}
+	h := handler
+	for _, src := range sources {
+		id := a.home.Subscribe(src, attr, filter, func(ev platform.Event) {
+			a.invokeByName(h, &evtObj{ev: ev, app: a})
+		})
+		a.subIDs = append(a.subIDs, id)
+	}
+}
+
+// ---------- helpers ----------
+
+func truthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case string:
+		return x != ""
+	case []any:
+		return len(x) > 0
+	case map[string]any:
+		return len(x) > 0
+	case *devRef:
+		return len(x.ids) > 0
+	}
+	return true
+}
+
+func str(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case *devRef:
+		if len(x.ids) > 0 {
+			return string(x.ids[0])
+		}
+		return ""
+	}
+	return fmt.Sprint(v)
+}
+
+func toInt(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case string:
+		if i, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64); err == nil {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func valueEq(a, b any) bool {
+	if ai, ok := toInt(a); ok {
+		if bi, ok2 := toInt(b); ok2 {
+			return ai == bi
+		}
+	}
+	return str(a) == str(b)
+}
+
+func binop(op groovy.Kind, l, r any) any {
+	switch op {
+	case groovy.Plus:
+		if li, ok := toInt(l); ok {
+			if ri, ok2 := toInt(r); ok2 {
+				return li + ri
+			}
+		}
+		return str(l) + str(r)
+	case groovy.Minus:
+		li, _ := toInt(l)
+		ri, _ := toInt(r)
+		return li - ri
+	case groovy.Star:
+		li, _ := toInt(l)
+		ri, _ := toInt(r)
+		return li * ri
+	case groovy.Slash:
+		li, _ := toInt(l)
+		ri, _ := toInt(r)
+		if ri == 0 {
+			return int64(0)
+		}
+		return li / ri
+	case groovy.Percent:
+		li, _ := toInt(l)
+		ri, _ := toInt(r)
+		if ri == 0 {
+			return int64(0)
+		}
+		return li % ri
+	case groovy.Eq:
+		return valueEq(l, r)
+	case groovy.NotEq:
+		return !valueEq(l, r)
+	case groovy.Lt, groovy.LtEq, groovy.Gt, groovy.GtEq:
+		li, lok := toInt(l)
+		ri, rok := toInt(r)
+		if lok && rok {
+			switch op {
+			case groovy.Lt:
+				return li < ri
+			case groovy.LtEq:
+				return li <= ri
+			case groovy.Gt:
+				return li > ri
+			case groovy.GtEq:
+				return li >= ri
+			}
+		}
+		ls, rs := str(l), str(r)
+		switch op {
+		case groovy.Lt:
+			return ls < rs
+		case groovy.LtEq:
+			return ls <= rs
+		case groovy.Gt:
+			return ls > rs
+		case groovy.GtEq:
+			return ls >= rs
+		}
+	case groovy.KwIn:
+		if list, ok := r.([]any); ok {
+			for _, el := range list {
+				if valueEq(l, el) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+	return nil
+}

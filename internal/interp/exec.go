@@ -1,0 +1,218 @@
+package interp
+
+import (
+	"homeguard/internal/groovy"
+	"homeguard/internal/platform"
+)
+
+// loopCap bounds concrete loop iterations defensively.
+const loopCap = 100000
+
+func (a *App) execBlock(b *groovy.Block, e *env, ctl *control) {
+	for _, s := range b.Stmts {
+		a.execStmt(s, e, ctl)
+		if ctl.stop() {
+			return
+		}
+	}
+}
+
+func (a *App) execStmt(s groovy.Stmt, e *env, ctl *control) {
+	switch n := s.(type) {
+	case *groovy.ExprStmt:
+		a.eval(n.X, e)
+	case *groovy.DeclStmt:
+		var v any
+		if n.Init != nil {
+			v = a.eval(n.Init, e)
+		}
+		e.define(n.Name, v)
+	case *groovy.AssignStmt:
+		a.execAssign(n, e)
+	case *groovy.IfStmt:
+		if truthy(a.eval(n.Cond, e)) {
+			a.execBlock(n.Then, newEnv(e), ctl)
+		} else if n.Else != nil {
+			a.execStmt(n.Else, newEnv(e), ctl)
+		}
+	case *groovy.Block:
+		a.execBlock(n, newEnv(e), ctl)
+	case *groovy.SwitchStmt:
+		a.execSwitch(n, e, ctl)
+	case *groovy.ReturnStmt:
+		if n.Value != nil {
+			ctl.retVal = a.eval(n.Value, e)
+		}
+		ctl.ret = true
+	case *groovy.BreakStmt:
+		ctl.brk = true
+	case *groovy.ContinueStmt:
+		ctl.cont = true
+	case *groovy.WhileStmt:
+		for i := 0; i < loopCap && truthy(a.eval(n.Cond, e)); i++ {
+			a.execBlock(n.Body, newEnv(e), ctl)
+			if ctl.cont {
+				ctl.cont = false
+				continue
+			}
+			if ctl.brk {
+				ctl.brk = false
+				return
+			}
+			if ctl.ret {
+				return
+			}
+		}
+	case *groovy.ForStmt:
+		a.execFor(n, e, ctl)
+	case *groovy.MethodDecl:
+		// nothing at runtime
+	}
+}
+
+func (a *App) execAssign(n *groovy.AssignStmt, e *env) {
+	var v any
+	if n.Op == groovy.Assign {
+		v = a.eval(n.Value, e)
+	} else {
+		cur := a.eval(n.Target, e)
+		rhs := a.eval(n.Value, e)
+		op := map[groovy.Kind]groovy.Kind{
+			groovy.PlusAssign:  groovy.Plus,
+			groovy.MinusAssign: groovy.Minus,
+			groovy.StarAssign:  groovy.Star,
+			groovy.SlashAssign: groovy.Slash,
+		}[n.Op]
+		v = binop(op, cur, rhs)
+	}
+	switch t := n.Target.(type) {
+	case *groovy.Ident:
+		e.set(t.Name, v)
+	case *groovy.PropertyGet:
+		recv := a.eval(t.Receiver, e)
+		switch r := recv.(type) {
+		case stateObj:
+			r.app.state[t.Name] = v
+		case map[string]any:
+			r[t.Name] = v
+		}
+	case *groovy.IndexGet:
+		recv := a.eval(t.Receiver, e)
+		idx := a.eval(t.Index, e)
+		switch r := recv.(type) {
+		case map[string]any:
+			r[str(idx)] = v
+		case []any:
+			if i, ok := toInt(idx); ok && i >= 0 && int(i) < len(r) {
+				r[i] = v
+			}
+		}
+	}
+}
+
+// execSwitch implements Groovy/Java fallthrough semantics: execution
+// starts at the first matching case and continues until break/return.
+func (a *App) execSwitch(n *groovy.SwitchStmt, e *env, ctl *control) {
+	subj := a.eval(n.Subject, e)
+	matched := false
+	run := func(b *groovy.Block) bool {
+		a.execBlock(b, newEnv(e), ctl)
+		if ctl.brk {
+			ctl.brk = false
+			return true // stop
+		}
+		return ctl.ret
+	}
+	for _, cs := range n.Cases {
+		if !matched {
+			cv := a.eval(cs.Value, e)
+			if valueEq(subj, cv) {
+				matched = true
+			}
+		}
+		if matched {
+			if run(cs.Body) {
+				return
+			}
+		}
+	}
+	// Reaching this point means either no case matched, or a matching case
+	// fell through without break/return — both execute the default.
+	if n.Default != nil {
+		run(n.Default)
+	}
+}
+
+func (a *App) execFor(n *groovy.ForStmt, e *env, ctl *control) {
+	if n.IsForIn() {
+		it := a.eval(n.Iterable, e)
+		for _, el := range iterate(it) {
+			inner := newEnv(e)
+			inner.define(n.Var, el)
+			a.execBlock(n.Body, inner, ctl)
+			if ctl.cont {
+				ctl.cont = false
+				continue
+			}
+			if ctl.brk {
+				ctl.brk = false
+				return
+			}
+			if ctl.ret {
+				return
+			}
+		}
+		return
+	}
+	inner := newEnv(e)
+	if n.Init != nil {
+		a.execStmt(n.Init, inner, ctl)
+	}
+	for i := 0; i < loopCap; i++ {
+		if n.Cond != nil && !truthy(a.eval(n.Cond, inner)) {
+			return
+		}
+		a.execBlock(n.Body, newEnv(inner), ctl)
+		if ctl.cont {
+			ctl.cont = false
+		}
+		if ctl.brk {
+			ctl.brk = false
+			return
+		}
+		if ctl.ret {
+			return
+		}
+		if n.Post != nil {
+			a.execStmt(n.Post, inner, ctl)
+		}
+	}
+}
+
+// iterate converts a value into a concrete element sequence.
+func iterate(v any) []any {
+	switch x := v.(type) {
+	case []any:
+		return x
+	case []string:
+		out := make([]any, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out
+	case *devRef:
+		// Iterating a device collection yields single-device refs.
+		out := make([]any, len(x.ids))
+		for i, id := range x.ids {
+			out[i] = &devRef{app: x.app, in: x.in, ids: []platform.DeviceID{id}}
+		}
+		return out
+	case map[string]any:
+		out := make([]any, 0, len(x))
+		for k, val := range x {
+			out = append(out, map[string]any{"key": k, "value": val})
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Package interp is a concrete interpreter for SmartApp Groovy: it
+// installs apps into the platform simulator and executes their handlers
+// with real values, so CAI threats discovered statically can be verified
+// dynamically (the paper's exploitation experiments, Sec. VIII-A).
+package interp
+
+import (
+	"fmt"
+
+	"homeguard/internal/groovy"
+	"homeguard/internal/platform"
+	"homeguard/internal/symexec"
+)
+
+// Config binds an app's inputs at installation.
+type Config struct {
+	// Devices maps device-input names to one or more device IDs
+	// (multiple-select inputs bind several).
+	Devices map[string][]platform.DeviceID
+	// Values maps value-input names to concrete values (int64, string,
+	// bool, []string).
+	Values map[string]any
+}
+
+// NewConfig returns an empty binding.
+func NewConfig() *Config {
+	return &Config{Devices: map[string][]platform.DeviceID{}, Values: map[string]any{}}
+}
+
+// Bind adds a single-device binding.
+func (c *Config) Bind(input string, ids ...platform.DeviceID) *Config {
+	c.Devices[input] = ids
+	return c
+}
+
+// Set adds a value binding.
+func (c *Config) Set(input string, v any) *Config {
+	c.Values[input] = v
+	return c
+}
+
+// App is one installed, running SmartApp.
+type App struct {
+	Name   string
+	script *groovy.Script
+	info   symexec.AppInfo
+	home   *platform.Home
+	cfg    *Config
+	state  map[string]any
+	subIDs []int
+}
+
+// Install parses src, binds cfg and runs the app's installed() lifecycle
+// method against the home.
+func Install(home *platform.Home, src string, cfg *Config) (*App, error) {
+	script, err := groovy.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	info := symexec.ScanPreferences(script)
+	if cfg == nil {
+		cfg = NewConfig()
+	}
+	app := &App{
+		Name:   info.Name,
+		script: script,
+		info:   info,
+		home:   home,
+		cfg:    cfg,
+		state:  map[string]any{},
+	}
+	if m := script.Method("installed"); m != nil {
+		app.invoke(m, nil)
+	}
+	return app, nil
+}
+
+// Update re-runs the updated() lifecycle method (after configuration
+// changes).
+func (a *App) Update() {
+	if m := a.script.Method("updated"); m != nil {
+		a.invoke(m, nil)
+	}
+}
+
+// Touch simulates tapping the app button: SmartThings fires an app event.
+func (a *App) Touch() { a.home.AppTouch() }
+
+// State exposes the app's persistent state for assertions.
+func (a *App) State() map[string]any { return a.state }
+
+// invoke runs a method with arguments, returning its return value.
+func (a *App) invoke(m *groovy.MethodDecl, args []any) any {
+	env := newEnv(nil)
+	for i, p := range m.Params {
+		if i < len(args) {
+			env.define(p.Name, args[i])
+		} else if p.Default != nil {
+			env.define(p.Name, a.eval(p.Default, env))
+		} else {
+			env.define(p.Name, nil)
+		}
+	}
+	ctl := &control{}
+	a.execBlock(m.Body, env, ctl)
+	return ctl.retVal
+}
+
+// invokeByName runs a named method (for handlers and scheduled methods).
+func (a *App) invokeByName(name string, args ...any) {
+	if m := a.script.Method(name); m != nil {
+		a.invoke(m, args)
+	}
+}
+
+// ---------- runtime structures ----------
+
+type env struct {
+	vars   map[string]any
+	parent *env
+}
+
+func newEnv(parent *env) *env { return &env{vars: map[string]any{}, parent: parent} }
+
+func (e *env) get(name string) (any, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) set(name string, v any) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+func (e *env) define(name string, v any) { e.vars[name] = v }
+
+// control carries return/break/continue signals.
+type control struct {
+	ret    bool
+	retVal any
+	brk    bool
+	cont   bool
+}
+
+func (c *control) stop() bool { return c.ret || c.brk || c.cont }
+
+// devRef is a bound device input (possibly multiple devices).
+type devRef struct {
+	app *App
+	in  *symexec.InputDecl
+	ids []platform.DeviceID
+}
+
+// evtObj is the event passed to handlers.
+type evtObj struct {
+	ev  platform.Event
+	app *App
+}
+
+// closureObj is a closure with its captured environment.
+type closureObj struct {
+	cl  *groovy.ClosureExpr
+	env *env
+}
+
+// locObj is the `location` object.
+type locObj struct{ app *App }
+
+// stateObj is the `state` map.
+type stateObj struct{ app *App }

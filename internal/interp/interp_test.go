@@ -1,0 +1,414 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/platform"
+)
+
+const comfortTVSrc = `
+definition(name: "ComfortTV", namespace: "repro", author: "x",
+    description: "Open the window when the TV turns on and it is hot.", category: "Convenience")
+input "tv1", "capability.switch"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number"
+input "window1", "capability.switch"
+def installed() { subscribe(tv1, "switch", onHandler) }
+def updated() { unsubscribe(); subscribe(tv1, "switch", onHandler) }
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+`
+
+const coldDefenderSrc = `
+definition(name: "ColdDefender", namespace: "repro", author: "x",
+    description: "Close the window when the TV is on while it rains.", category: "Safety")
+input "tv1", "capability.switch"
+input "window1", "capability.switch"
+input "weather", "enum", options: ["sunny", "rainy", "cloudy"]
+def installed() { subscribe(tv1, "switch.on", onHandler) }
+def onHandler(evt) {
+    if (weather == "rainy") {
+        window1.off()
+    }
+}
+`
+
+func demoHome(seed int64) (*platform.Home, *platform.Device, *platform.Device, *platform.Device) {
+	h := platform.NewHome(seed)
+	tv := h.AddDevice(&platform.Device{
+		ID: "dev-tv", Name: "living room tv",
+		Capabilities: []string{"switch"}, Type: envmodel.TV, WattsOn: 120,
+	})
+	win := h.AddDevice(&platform.Device{
+		ID: "dev-window", Name: "window opener",
+		Capabilities: []string{"switch"}, Type: envmodel.WindowOpener, WattsOn: 10,
+	})
+	temp := h.AddDevice(&platform.Device{
+		ID: "dev-temp", Name: "temp sensor",
+		Capabilities: []string{"temperatureMeasurement"},
+	})
+	return h, tv, win, temp
+}
+
+func TestComfortTVOpensWindowWhenHot(t *testing.T) {
+	h, _, win, _ := demoHome(1)
+	h.InjectSensor("dev-temp", "temperature", platform.IntValue(35))
+	cfg := NewConfig().
+		Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+		Set("threshold1", 30)
+	if _, err := Install(h, comfortTVSrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	h.Command("dev-tv", "on")
+	if v, _ := win.Attr("switch"); v.Str != "on" {
+		t.Errorf("window = %v, want on (hot room, TV on)", v)
+	}
+}
+
+func TestComfortTVIgnoresWhenCool(t *testing.T) {
+	h, _, win, _ := demoHome(1)
+	h.InjectSensor("dev-temp", "temperature", platform.IntValue(20))
+	cfg := NewConfig().
+		Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+		Set("threshold1", 30)
+	if _, err := Install(h, comfortTVSrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	h.Command("dev-tv", "on")
+	if v, _ := win.Attr("switch"); v.Str != "off" {
+		t.Errorf("window = %v, want off (room is cool)", v)
+	}
+}
+
+// TestExploitActuatorRace reproduces the Sec. VIII-A verification: with
+// both apps installed on the same window, the final state varies across
+// seeds — the paper observed on-only, off-only, on-then-off, off-then-on.
+func TestExploitActuatorRace(t *testing.T) {
+	finals := map[string]int{}
+	seqs := map[string]bool{}
+	for seed := int64(0); seed < 60; seed++ {
+		h, _, win, _ := demoHome(seed)
+		h.InjectSensor("dev-temp", "temperature", platform.IntValue(35))
+		cfg1 := NewConfig().
+			Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+			Set("threshold1", 30)
+		if _, err := Install(h, comfortTVSrc, cfg1); err != nil {
+			t.Fatal(err)
+		}
+		cfg2 := NewConfig().
+			Bind("tv1", "dev-tv").Bind("window1", "dev-window").
+			Set("weather", "rainy")
+		if _, err := Install(h, coldDefenderSrc, cfg2); err != nil {
+			t.Fatal(err)
+		}
+		h.Command("dev-tv", "on")
+		v, _ := win.Attr("switch")
+		finals[v.Str]++
+		seq := ""
+		for _, ev := range h.EventLog() {
+			if ev.Source == "dev-window" && ev.Attribute == "switch" {
+				seq += ev.Value.Str + ";"
+			}
+		}
+		seqs[seq] = true
+	}
+	if len(finals) < 2 {
+		t.Errorf("final window state should be unpredictable, got %v", finals)
+	}
+	if len(seqs) < 2 {
+		t.Errorf("event sequences should vary, got %v", seqs)
+	}
+}
+
+// TestExploitCovertTriggering reproduces Fig. 4: CatchLiveShow's remote
+// TV-on covertly opens the window through ComfortTV.
+func TestExploitCovertTriggering(t *testing.T) {
+	const catchLiveShow = `
+definition(name: "CatchLiveShow", namespace: "repro", author: "x",
+    description: "Turn on the TV on app touch on Thursdays.", category: "Fun")
+input "tv1", "capability.switch"
+input "dayOfWeek", "enum", options: ["Monday","Thursday","Sunday"]
+def installed() { subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (dayOfWeek == "Thursday") {
+        tv1.on()
+    }
+}
+`
+	h, tv, win, _ := demoHome(3)
+	h.InjectSensor("dev-temp", "temperature", platform.IntValue(35))
+	cfg1 := NewConfig().
+		Bind("tv1", "dev-tv").Bind("tSensor", "dev-temp").Bind("window1", "dev-window").
+		Set("threshold1", 30)
+	if _, err := Install(h, comfortTVSrc, cfg1); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := NewConfig().Bind("tv1", "dev-tv").Set("dayOfWeek", "Thursday")
+	app2, err := Install(h, catchLiveShow, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2.Touch() // voice message / remote tap
+	if v, _ := tv.Attr("switch"); v.Str != "on" {
+		t.Fatalf("tv = %v, want on", v)
+	}
+	if v, _ := win.Attr("switch"); v.Str != "on" {
+		t.Errorf("window = %v, want on — the covert rule opened it before the user is home", v)
+	}
+}
+
+// TestExploitDisablingCondition reproduces Fig. 5: NightCare turns the
+// lamp off, so BurglarFinder's lamp-on condition is false when the burglar
+// moves — a missed alarm.
+func TestExploitDisablingCondition(t *testing.T) {
+	const burglarFinder = `
+definition(name: "BurglarFinder", namespace: "repro", author: "x",
+    description: "Alarm on motion while the floor lamp is on at night.", category: "Safety")
+input "motion1", "capability.motionSensor"
+input "lamp1", "capability.switch"
+input "alarm1", "capability.alarm"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (lamp1.currentSwitch == "on" && location.mode == "Night") {
+        alarm1.siren()
+    }
+}
+`
+	const nightCare = `
+definition(name: "NightCare", namespace: "repro", author: "x",
+    description: "Turn the lamp off 5 minutes after it turns on at night.", category: "Green Living")
+input "lamp1", "capability.switch"
+def installed() { subscribe(lamp1, "switch.on", onLamp) }
+def onLamp(evt) {
+    if (location.mode == "Night") {
+        runIn(300, lampOff)
+    }
+}
+def lampOff() {
+    lamp1.off()
+}
+`
+	h := platform.NewHome(5)
+	lamp := h.AddDevice(&platform.Device{
+		ID: "dev-lamp", Name: "floor lamp",
+		Capabilities: []string{"switch"}, Type: envmodel.LightDev, WattsOn: 60,
+	})
+	h.AddDevice(&platform.Device{ID: "dev-motion", Name: "motion", Capabilities: []string{"motionSensor"}})
+	alarm := h.AddDevice(&platform.Device{ID: "dev-alarm", Name: "siren", Capabilities: []string{"alarm"}})
+
+	if _, err := Install(h, burglarFinder,
+		NewConfig().Bind("motion1", "dev-motion").Bind("lamp1", "dev-lamp").Bind("alarm1", "dev-alarm")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(h, nightCare, NewConfig().Bind("lamp1", "dev-lamp")); err != nil {
+		t.Fatal(err)
+	}
+	h.SetMode("Night")
+	h.Command("dev-lamp", "on") // homeowner leaves the lamp on as a trap
+
+	// Sanity: with the lamp on, a burglar would trip the alarm.
+	h.InjectSensor("dev-motion", "motion", platform.StrValue("active"))
+	if v, _ := alarm.Attr("alarm"); v.Str != "siren" {
+		t.Fatalf("pre-check: alarm = %v, want siren while lamp is on", v)
+	}
+	h.Command("dev-alarm", "off")
+	h.InjectSensor("dev-motion", "motion", platform.StrValue("inactive"))
+
+	// NightCare turns the lamp off 5 minutes later...
+	h.Step(400)
+	if v, _ := lamp.Attr("switch"); v.Str != "off" {
+		t.Fatalf("lamp = %v, want off after NightCare's delayed action", v)
+	}
+	// ...so the burglar's motion no longer raises the alarm.
+	h.InjectSensor("dev-motion", "motion", platform.StrValue("active"))
+	if v, _ := alarm.Attr("alarm"); v.Str != "off" {
+		t.Errorf("alarm = %v — BurglarFinder should have been silently disabled", v)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	const src = `
+definition(name: "FallThrough", namespace: "x", author: "x", description: "d", category: "c")
+input "sensor1", "capability.contactSensor"
+input "light1", "capability.switch"
+def installed() { subscribe(sensor1, "contact", handler) }
+def handler(evt) {
+    switch (evt.value) {
+        case "open":
+            light1.on()
+        case "closed":
+            state.reached = 1
+            break
+        default:
+            state.reached = 2
+    }
+}
+`
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "c1", Name: "contact", Capabilities: []string{"contactSensor"}})
+	light := h.AddDevice(&platform.Device{ID: "l1", Name: "light", Capabilities: []string{"switch"}, Type: envmodel.LightDev})
+	app, err := Install(h, src, NewConfig().Bind("sensor1", "c1").Bind("light1", "l1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.InjectSensor("c1", "contact", platform.StrValue("open"))
+	if v, _ := light.Attr("switch"); v.Str != "on" {
+		t.Fatalf("light = %v", v)
+	}
+	// Fallthrough from "open" into "closed" body sets state.reached = 1.
+	if got, _ := app.State()["reached"].(int64); got != 1 {
+		t.Errorf("state.reached = %v, want 1 (fallthrough)", app.State()["reached"])
+	}
+}
+
+func TestMultiDeviceEach(t *testing.T) {
+	const src = `
+definition(name: "AllOn", namespace: "x", author: "x", description: "d", category: "c")
+input "switches", "capability.switch", multiple: true
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion.active", go) }
+def go(evt) {
+    switches.each { s -> s.on() }
+}
+`
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "m1", Name: "motion", Capabilities: []string{"motionSensor"}})
+	s1 := h.AddDevice(&platform.Device{ID: "s1", Name: "a", Capabilities: []string{"switch"}})
+	s2 := h.AddDevice(&platform.Device{ID: "s2", Name: "b", Capabilities: []string{"switch"}})
+	if _, err := Install(h, src, NewConfig().Bind("switches", "s1", "s2").Bind("motion1", "m1")); err != nil {
+		t.Fatal(err)
+	}
+	h.InjectSensor("m1", "motion", platform.StrValue("active"))
+	for _, d := range []*platform.Device{s1, s2} {
+		if v, _ := d.Attr("switch"); v.Str != "on" {
+			t.Errorf("%s = %v, want on", d.ID, v)
+		}
+	}
+}
+
+func TestCommandOnCollectionWithoutEach(t *testing.T) {
+	const src = `
+definition(name: "AllOff", namespace: "x", author: "x", description: "d", category: "c")
+input "switches", "capability.switch", multiple: true
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion.inactive", go) }
+def go(evt) { switches.off() }
+`
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "m1", Name: "motion", Capabilities: []string{"motionSensor"}})
+	s1 := h.AddDevice(&platform.Device{ID: "s1", Name: "a", Capabilities: []string{"switch"}})
+	s2 := h.AddDevice(&platform.Device{ID: "s2", Name: "b", Capabilities: []string{"switch"}})
+	h.Command("s1", "on")
+	h.Step(10)
+	h.Command("s2", "on")
+	if _, err := Install(h, src, NewConfig().Bind("switches", "s1", "s2").Bind("motion1", "m1")); err != nil {
+		t.Fatal(err)
+	}
+	h.Step(10)
+	h.InjectSensor("m1", "motion", platform.StrValue("active"))
+	h.InjectSensor("m1", "motion", platform.StrValue("inactive"))
+	for _, d := range []*platform.Device{s1, s2} {
+		if v, _ := d.Attr("switch"); v.Str != "off" {
+			t.Errorf("%s = %v, want off", d.ID, v)
+		}
+	}
+}
+
+func TestModeSubscriptionAndSetLocationMode(t *testing.T) {
+	const src = `
+definition(name: "ModeWatcher", namespace: "x", author: "x", description: "d", category: "c")
+input "locks", "capability.lock", multiple: true
+def installed() { subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value == "Away") {
+        locks.lock()
+    }
+}
+`
+	h := platform.NewHome(1)
+	lock := h.AddDevice(&platform.Device{ID: "l1", Name: "door", Capabilities: []string{"lock"}})
+	h.Command("l1", "unlock")
+	if _, err := Install(h, src, NewConfig().Bind("locks", "l1")); err != nil {
+		t.Fatal(err)
+	}
+	h.SetMode("Away")
+	if v, _ := lock.Attr("lock"); v.Str != "locked" {
+		t.Errorf("lock = %v, want locked", v)
+	}
+}
+
+func TestSendSmsRecorded(t *testing.T) {
+	const src = `
+definition(name: "Notifier", namespace: "x", author: "x", description: "d", category: "c")
+input "door1", "capability.contactSensor"
+input "phone1", "phone"
+def installed() { subscribe(door1, "contact.open", go) }
+def go(evt) { sendSms(phone1, "door opened at ${evt.name}") }
+`
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "c1", Name: "door", Capabilities: []string{"contactSensor"}})
+	if _, err := Install(h, src, NewConfig().Bind("door1", "c1").Set("phone1", "5551234")); err != nil {
+		t.Fatal(err)
+	}
+	h.InjectSensor("c1", "contact", platform.StrValue("open"))
+	if len(h.Messages) != 1 || !strings.Contains(h.Messages[0], "5551234") {
+		t.Errorf("messages = %v", h.Messages)
+	}
+	if !strings.Contains(h.Messages[0], "contact") {
+		t.Errorf("GString interpolation failed: %v", h.Messages)
+	}
+}
+
+func TestStatePersistsAcrossInvocations(t *testing.T) {
+	const src = `
+definition(name: "Counter", namespace: "x", author: "x", description: "d", category: "c")
+input "button1", "capability.contactSensor"
+def installed() {
+    state.count = 0
+    subscribe(button1, "contact", go)
+}
+def go(evt) { state.count = state.count + 1 }
+`
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "c1", Name: "c", Capabilities: []string{"contactSensor"}})
+	app, err := Install(h, src, NewConfig().Bind("button1", "c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.InjectSensor("c1", "contact", platform.StrValue("open"))
+	h.InjectSensor("c1", "contact", platform.StrValue("closed"))
+	h.InjectSensor("c1", "contact", platform.StrValue("open"))
+	if got, _ := app.State()["count"].(int64); got != 3 {
+		t.Errorf("state.count = %v, want 3", app.State()["count"])
+	}
+}
+
+func TestRunEveryPeriodic(t *testing.T) {
+	const src = `
+definition(name: "Periodic", namespace: "x", author: "x", description: "d", category: "c")
+input "light1", "capability.switch"
+def installed() {
+    state.n = 0
+    runEvery5Minutes(tick)
+}
+def tick() { state.n = state.n + 1 }
+`
+	h := platform.NewHome(1)
+	h.AddDevice(&platform.Device{ID: "l1", Name: "l", Capabilities: []string{"switch"}})
+	app, err := Install(h, src, NewConfig().Bind("light1", "l1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Step(3 * 300)
+	if got, _ := app.State()["n"].(int64); got < 2 {
+		t.Errorf("periodic tick ran %v times in 15 min, want >= 2", app.State()["n"])
+	}
+}

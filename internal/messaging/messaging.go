@@ -1,0 +1,150 @@
+// Package messaging simulates the two deployment channels of Sec. VII-B
+// that relay the configuration URI from the SmartThings cloud to the
+// HomeGuard frontend app: SMS (sendSmsMessage) and HTTP push through a
+// Firebase-style relay. Latencies follow the paper's measurements —
+// 27 ms cloud-side processing, then ≈3120 ms for SMS or ≈1058 ms for HTTP
+// — sampled from a seeded distribution so experiments are reproducible
+// without wall-clock sleeping.
+package messaging
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Paper-measured latency parameters.
+const (
+	CloudProcessing = 27 * time.Millisecond
+	SMSMeanLatency  = 3120 * time.Millisecond
+	HTTPMeanLatency = 1058 * time.Millisecond
+)
+
+// Delivery is one message arrival at the frontend.
+type Delivery struct {
+	Payload string
+	// Latency is the simulated end-to-end delay (cloud processing plus
+	// transport).
+	Latency time.Duration
+}
+
+// Channel relays payloads from the (simulated) cloud to the frontend.
+type Channel interface {
+	// Send enqueues a payload and returns its simulated delivery record.
+	Send(payload string) (Delivery, error)
+	// Name identifies the transport.
+	Name() string
+}
+
+// Inbox collects deliveries for the frontend app.
+type Inbox struct {
+	mu         sync.Mutex
+	deliveries []Delivery
+}
+
+// Receive appends a delivery.
+func (in *Inbox) Receive(d Delivery) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.deliveries = append(in.deliveries, d)
+}
+
+// Deliveries snapshots received messages.
+func (in *Inbox) Deliveries() []Delivery {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Delivery(nil), in.deliveries...)
+}
+
+// smsChannel simulates carrier SMS: high, variable latency; works only
+// with a configured phone number (and "abroad" disables it, as the paper
+// notes).
+type smsChannel struct {
+	phone  string
+	abroad bool
+	rng    *rand.Rand
+	inbox  *Inbox
+	mu     sync.Mutex
+}
+
+// NewSMS creates an SMS channel to the given phone.
+func NewSMS(phone string, inbox *Inbox, seed int64) Channel {
+	return &smsChannel{phone: phone, rng: rand.New(rand.NewSource(seed)), inbox: inbox}
+}
+
+// NewSMSAbroad creates an SMS channel that fails (user travelling abroad).
+func NewSMSAbroad(phone string, inbox *Inbox, seed int64) Channel {
+	return &smsChannel{phone: phone, abroad: true, rng: rand.New(rand.NewSource(seed)), inbox: inbox}
+}
+
+// ErrUnreachable indicates the transport cannot deliver.
+var ErrUnreachable = errors.New("messaging: transport unreachable")
+
+func (c *smsChannel) Name() string { return "sms" }
+
+func (c *smsChannel) Send(payload string) (Delivery, error) {
+	if c.phone == "" || c.abroad {
+		return Delivery{}, ErrUnreachable
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.NormFloat64() * float64(400*time.Millisecond))
+	c.mu.Unlock()
+	lat := CloudProcessing + SMSMeanLatency + jitter
+	if lat < CloudProcessing {
+		lat = CloudProcessing
+	}
+	d := Delivery{Payload: payload, Latency: lat}
+	c.inbox.Receive(d)
+	return d, nil
+}
+
+// httpChannel simulates the FCM-relayed HTTP push: lower latency, requires
+// a registration token, works internationally.
+type httpChannel struct {
+	token string
+	rng   *rand.Rand
+	inbox *Inbox
+	mu    sync.Mutex
+}
+
+// NewHTTP creates an HTTP/FCM channel to the frontend identified by its
+// registration token.
+func NewHTTP(token string, inbox *Inbox, seed int64) Channel {
+	return &httpChannel{token: token, rng: rand.New(rand.NewSource(seed)), inbox: inbox}
+}
+
+func (c *httpChannel) Name() string { return "http" }
+
+func (c *httpChannel) Send(payload string) (Delivery, error) {
+	if c.token == "" {
+		return Delivery{}, ErrUnreachable
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.NormFloat64() * float64(150*time.Millisecond))
+	c.mu.Unlock()
+	lat := CloudProcessing + HTTPMeanLatency + jitter
+	if lat < CloudProcessing {
+		lat = CloudProcessing
+	}
+	d := Delivery{Payload: payload, Latency: lat}
+	c.inbox.Receive(d)
+	return d, nil
+}
+
+// MeasureMean sends n payloads and returns the mean simulated latency —
+// the Sec. VIII-C configuration-collection measurement (100 trials).
+func MeasureMean(c Channel, n int) (time.Duration, error) {
+	if n <= 0 {
+		n = 100
+	}
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		d, err := c.Send("probe")
+		if err != nil {
+			return 0, err
+		}
+		total += d.Latency
+	}
+	return total / time.Duration(n), nil
+}

@@ -1,0 +1,96 @@
+package messaging
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSMSDelivery(t *testing.T) {
+	inbox := &Inbox{}
+	ch := NewSMS("5551234", inbox, 1)
+	d, err := ch.Send("homeguard://appname:X/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Payload != "homeguard://appname:X/" {
+		t.Errorf("payload = %q", d.Payload)
+	}
+	got := inbox.Deliveries()
+	if len(got) != 1 {
+		t.Fatalf("inbox = %d", len(got))
+	}
+	if d.Latency < CloudProcessing {
+		t.Errorf("latency %v below cloud processing floor", d.Latency)
+	}
+}
+
+func TestHTTPFasterThanSMSOnAverage(t *testing.T) {
+	// The paper's Sec. VIII-C measurement: SMS 3120 ms vs HTTP 1058 ms
+	// over 100 trials.
+	inbox := &Inbox{}
+	sms := NewSMS("5551234", inbox, 42)
+	http := NewHTTP("fcm-token", inbox, 43)
+	smsMean, err := MeasureMean(sms, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpMean, err := MeasureMean(http, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpMean >= smsMean {
+		t.Errorf("HTTP (%v) should beat SMS (%v)", httpMean, smsMean)
+	}
+	// Means should land near the paper's numbers (generous tolerance).
+	if smsMean < 2500*time.Millisecond || smsMean > 3800*time.Millisecond {
+		t.Errorf("SMS mean = %v, want ≈3120ms", smsMean)
+	}
+	if httpMean < 800*time.Millisecond || httpMean > 1400*time.Millisecond {
+		t.Errorf("HTTP mean = %v, want ≈1058ms", httpMean)
+	}
+}
+
+func TestSMSFailsAbroad(t *testing.T) {
+	inbox := &Inbox{}
+	ch := NewSMSAbroad("5551234", inbox, 1)
+	if _, err := ch.Send("x"); err == nil {
+		t.Error("SMS abroad should fail (the paper's stated limitation)")
+	}
+	if len(inbox.Deliveries()) != 0 {
+		t.Error("no delivery expected")
+	}
+}
+
+func TestChannelsRequireAddress(t *testing.T) {
+	inbox := &Inbox{}
+	if _, err := NewSMS("", inbox, 1).Send("x"); err == nil {
+		t.Error("SMS without phone should fail")
+	}
+	if _, err := NewHTTP("", inbox, 1).Send("x"); err == nil {
+		t.Error("HTTP without token should fail")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, _ := NewSMS("p", &Inbox{}, 7).Send("x")
+	b, _ := NewSMS("p", &Inbox{}, 7).Send("x")
+	if a.Latency != b.Latency {
+		t.Errorf("same seed should give same latency: %v vs %v", a.Latency, b.Latency)
+	}
+}
+
+func TestChannelNames(t *testing.T) {
+	if NewSMS("p", &Inbox{}, 1).Name() != "sms" || NewHTTP("t", &Inbox{}, 1).Name() != "http" {
+		t.Error("channel names")
+	}
+}
+
+func TestMeasureMeanDefaultsTo100(t *testing.T) {
+	inbox := &Inbox{}
+	if _, err := MeasureMean(NewHTTP("t", inbox, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox.Deliveries()) != 100 {
+		t.Errorf("trials = %d, want 100", len(inbox.Deliveries()))
+	}
+}

@@ -1,0 +1,466 @@
+// Package nlp implements the natural-language pipeline the paper needs in
+// two places: (1) extracting TCA rules from template/recipe text on
+// platforms like IFTTT that define rules outside program code (Sec.
+// VIII-D, Table IV), and (2) classifying capability.switch devices into
+// physical types from app descriptions, which the Fig. 8 store audit uses
+// to avoid false device merging. Everything is hand-rolled on stdlib:
+// tokenizer, phrase lexicon, pattern matching, tf keyword scoring.
+package nlp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+// Tokenize lower-cases and splits text into word tokens, keeping numbers.
+func Tokenize(text string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		case r == '\'':
+			// drop apostrophes (it's -> its)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// ---------- recipe → rule extraction ----------
+
+// deviceLexicon maps noun phrases to (device name, capability, attribute).
+var deviceLexicon = []struct {
+	nouns      []string
+	device     string
+	capability string
+}{
+	{[]string{"fan"}, "fan", "switch"},
+	{[]string{"light", "lights", "lamp", "bulb"}, "light", "switch"},
+	{[]string{"heater"}, "heater", "switch"},
+	{[]string{"air", "conditioner", "ac"}, "ac", "switch"},
+	{[]string{"tv", "television"}, "tv", "switch"},
+	{[]string{"window"}, "window", "switch"},
+	{[]string{"door"}, "door", "lock"},
+	{[]string{"lock"}, "door", "lock"},
+	{[]string{"valve"}, "valve", "valve"},
+	{[]string{"camera"}, "camera", "videoCamera"},
+	{[]string{"coffee", "maker"}, "coffeeMaker", "switch"},
+	{[]string{"alarm", "siren"}, "alarm", "alarm"},
+	{[]string{"thermostat"}, "thermostat", "thermostat"},
+	{[]string{"outlet", "plug"}, "outlet", "switch"},
+	{[]string{"shade", "curtain", "blind", "blinds"}, "shade", "windowShade"},
+}
+
+// sensorLexicon maps sensed phenomena to (sensor name, capability,
+// attribute, numeric?).
+var sensorLexicon = []struct {
+	nouns     []string
+	device    string
+	attribute string
+	numeric   bool
+}{
+	{[]string{"temperature"}, "tempSensor", "temperature", true},
+	{[]string{"humidity"}, "humSensor", "humidity", true},
+	{[]string{"illuminance", "brightness", "luminance"}, "luxSensor", "illuminance", true},
+	{[]string{"power", "electricity", "usage"}, "powerMeter", "power", true},
+	{[]string{"energy"}, "energyMeter", "energy", true},
+	{[]string{"motion", "movement"}, "motionSensor", "motion", false},
+	{[]string{"presence"}, "presenceSensor", "presence", false},
+	{[]string{"contact"}, "contactSensor", "contact", false},
+	{[]string{"smoke"}, "smokeDetector", "smoke", false},
+	{[]string{"water", "leak", "moisture"}, "waterSensor", "water", false},
+	{[]string{"sound", "noise"}, "soundSensor", "sound", false},
+	{[]string{"co2"}, "co2Sensor", "carbonDioxide", true},
+}
+
+// commandLexicon maps verb phrases to (command, value-for-attribute).
+var commandLexicon = []struct {
+	verbs []string
+	cmd   string
+}{
+	{[]string{"turn on", "switch on", "power on", "start", "enable"}, "on"},
+	{[]string{"turn off", "switch off", "power off", "stop", "disable"}, "off"},
+	{[]string{"open"}, "open"},
+	{[]string{"close", "shut"}, "close"},
+	{[]string{"lock"}, "lock"},
+	{[]string{"unlock"}, "unlock"},
+	{[]string{"dim"}, "setLevel"},
+	{[]string{"sound", "ring"}, "siren"},
+}
+
+// RecipeRule is the extraction result with provenance.
+type RecipeRule struct {
+	Rule   *rule.Rule
+	Source string
+}
+
+// ParseRecipe extracts a TCA rule from IFTTT-style recipe text, e.g.
+//
+//	"If the temperature rises above 80 then turn on the fan"
+//	"When motion is detected and the mode is Night, turn on the light"
+//	"If the door opens, send me a notification"
+//
+// It returns an error when no trigger or action can be recognised.
+func ParseRecipe(app, text string) (*RecipeRule, error) {
+	// Split on the raw (lower-cased) text so comma separators survive,
+	// then normalise each clause through the tokenizer.
+	rawTrig, rawAct := splitRecipe(" " + strings.ToLower(text) + " ")
+	if rawAct == "" {
+		return nil, fmt.Errorf("nlp: no action clause in %q", text)
+	}
+	trigPart := " " + strings.Join(Tokenize(rawTrig), " ") + " "
+	actPart := " " + strings.Join(Tokenize(rawAct), " ") + " "
+
+	r := &rule.Rule{App: app}
+
+	// Trigger: numeric comparison or state phrase.
+	trig, cond, err := parseTriggerClause(trigPart)
+	if err != nil {
+		return nil, fmt.Errorf("nlp: %w in %q", err, text)
+	}
+	r.Trigger = trig
+	// The comparison over the triggering event value is the trigger
+	// constraint (consistent with the symbolic executor's partitioning).
+	r.Trigger.Constraint = cond
+
+	// Extra conditions joined by "and".
+	for _, c := range parseConditions(trigPart) {
+		r.Condition.Predicates = append(r.Condition.Predicates, c)
+	}
+
+	act, err := parseActionClause(actPart)
+	if err != nil {
+		return nil, fmt.Errorf("nlp: %w in %q", err, text)
+	}
+	r.Action = act
+	return &RecipeRule{Rule: r, Source: text}, nil
+}
+
+func splitRecipe(lower string) (trig, act string) {
+	for _, sep := range []string{" then ", ", ", " do "} {
+		if i := strings.Index(lower, sep); i > 0 {
+			return lower[:i], lower[i+len(sep):]
+		}
+	}
+	return lower, ""
+}
+
+// parseTriggerClause recognises the triggering phenomenon.
+func parseTriggerClause(s string) (rule.Trigger, rule.Constraint, error) {
+	// Numeric sensor triggers: "<sensor> rises above N" / "drops below N"
+	// / "is above N" / "exceeds N".
+	for _, sl := range sensorLexicon {
+		for _, noun := range sl.nouns {
+			idx := strings.Index(s, " "+noun+" ")
+			if idx < 0 {
+				continue
+			}
+			tr := rule.Trigger{Subject: sl.device, Attribute: sl.attribute, Capability: capabilityFor(sl.attribute)}
+			rest := s[idx+len(noun)+1:]
+			if sl.numeric {
+				if op, n, ok := numericComparison(rest); ok {
+					ev := rule.Var{Name: tr.EventVar(), Kind: rule.VarEvent, Type: rule.TypeInt}
+					return tr, rule.Cmp{Op: op, L: ev, R: rule.IntVal(n)}, nil
+				}
+				return tr, nil, nil
+			}
+			// Stateful sensors: detected/active/open/...
+			ev := rule.Var{Name: tr.EventVar(), Kind: rule.VarEvent, Type: rule.TypeString}
+			if val := statePhrase(rest, sl.attribute); val != "" {
+				return tr, rule.Cmp{Op: rule.OpEq, L: ev, R: rule.StrVal(val)}, nil
+			}
+			return tr, nil, nil
+		}
+	}
+	// Device-state triggers: "the tv turns on", "the door opens".
+	for _, dl := range deviceLexicon {
+		for _, noun := range dl.nouns {
+			idx := strings.Index(s, " "+noun+" ")
+			if idx < 0 {
+				continue
+			}
+			attr := mainAttr(dl.capability)
+			tr := rule.Trigger{Subject: dl.device, Attribute: attr, Capability: dl.capability}
+			rest := s[idx+len(noun)+1:]
+			ev := rule.Var{Name: tr.EventVar(), Kind: rule.VarEvent, Type: rule.TypeString}
+			if val := statePhrase(rest, attr); val != "" {
+				return tr, rule.Cmp{Op: rule.OpEq, L: ev, R: rule.StrVal(val)}, nil
+			}
+			return tr, nil, nil
+		}
+	}
+	return rule.Trigger{}, nil, fmt.Errorf("no trigger recognised")
+}
+
+func capabilityFor(attr string) string {
+	switch attr {
+	case "temperature":
+		return "temperatureMeasurement"
+	case "humidity":
+		return "relativeHumidityMeasurement"
+	case "illuminance":
+		return "illuminanceMeasurement"
+	case "power":
+		return "powerMeter"
+	case "energy":
+		return "energyMeter"
+	case "motion":
+		return "motionSensor"
+	case "presence":
+		return "presenceSensor"
+	case "contact":
+		return "contactSensor"
+	case "smoke":
+		return "smokeDetector"
+	case "water":
+		return "waterSensor"
+	case "sound":
+		return "soundSensor"
+	}
+	return ""
+}
+
+func mainAttr(capName string) string {
+	switch capName {
+	case "lock":
+		return "lock"
+	case "valve":
+		return "valve"
+	case "videoCamera":
+		return "camera"
+	case "windowShade":
+		return "windowShade"
+	case "thermostat":
+		return "thermostatMode"
+	case "alarm":
+		return "alarm"
+	}
+	return "switch"
+}
+
+// numericComparison parses "rises above 80", "exceeds 100", "drops below
+// 20", "is over 30".
+func numericComparison(s string) (rule.CmpOp, int64, bool) {
+	toks := strings.Fields(s)
+	for i, t := range toks {
+		var op rule.CmpOp
+		switch t {
+		case "above", "over", "exceeds", "rises":
+			op = rule.OpGt
+		case "below", "under", "drops", "falls":
+			op = rule.OpLt
+		case "reaches":
+			op = rule.OpGe
+		default:
+			continue
+		}
+		// Find the first number after the keyword.
+		for j := i + 1; j < len(toks) && j < i+4; j++ {
+			if n, err := strconv.ParseInt(toks[j], 10, 64); err == nil {
+				return op, n, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// statePhrase recognises state verbs near the subject.
+func statePhrase(s, attr string) string {
+	pairs := []struct {
+		kw  string
+		val map[string]string // attribute -> value
+	}{
+		{"detected", map[string]string{"motion": "active", "smoke": "detected", "water": "wet", "sound": "detected"}},
+		{"active", map[string]string{"motion": "active"}},
+		{"inactive", map[string]string{"motion": "inactive"}},
+		{"opens", map[string]string{"contact": "open", "switch": "on", "lock": "unlocked", "valve": "open", "windowShade": "open"}},
+		{"open", map[string]string{"contact": "open", "valve": "open", "windowShade": "open"}},
+		{"closes", map[string]string{"contact": "closed", "valve": "closed", "windowShade": "closed"}},
+		{"closed", map[string]string{"contact": "closed"}},
+		{"on", map[string]string{"switch": "on", "camera": "on"}},
+		{"off", map[string]string{"switch": "off", "camera": "off"}},
+		{"locked", map[string]string{"lock": "locked"}},
+		{"unlocked", map[string]string{"lock": "unlocked"}},
+		{"arrives", map[string]string{"presence": "present"}},
+		{"present", map[string]string{"presence": "present"}},
+		{"leaves", map[string]string{"presence": "not present"}},
+		{"away", map[string]string{"presence": "not present"}},
+		{"wet", map[string]string{"water": "wet"}},
+		{"dry", map[string]string{"water": "dry"}},
+	}
+	toks := strings.Fields(s)
+	limit := 6
+	if len(toks) < limit {
+		limit = len(toks)
+	}
+	for _, t := range toks[:limit] {
+		for _, p := range pairs {
+			if t == p.kw {
+				if v, ok := p.val[attr]; ok {
+					return v
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// parseConditions finds "mode is X" style side conditions.
+func parseConditions(s string) []rule.Constraint {
+	var out []rule.Constraint
+	if i := strings.Index(s, "mode is "); i >= 0 {
+		rest := strings.Fields(s[i+len("mode is "):])
+		if len(rest) > 0 {
+			out = append(out, rule.Cmp{
+				Op: rule.OpEq,
+				L:  rule.Var{Name: "location.mode", Kind: rule.VarDeviceAttr, Type: rule.TypeString},
+				R:  rule.StrVal(title(rest[0])),
+			})
+		}
+	}
+	return out
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// parseActionClause recognises "turn on the fan", "lock the door",
+// "send me a notification".
+func parseActionClause(s string) (rule.Action, error) {
+	s = " " + strings.TrimSpace(s) + " "
+	if strings.Contains(s, "notification") || strings.Contains(s, "notify") ||
+		strings.Contains(s, "text me") || strings.Contains(s, "sms") {
+		return rule.Action{Subject: "sendSms", Command: "sendSms"}, nil
+	}
+	// Find the command verb.
+	var cmd string
+	cmdPos := -1
+	for _, cl := range commandLexicon {
+		for _, verb := range cl.verbs {
+			if i := strings.Index(s, " "+verb+" "); i >= 0 {
+				if cmdPos == -1 || i < cmdPos {
+					cmd, cmdPos = cl.cmd, i
+				}
+			}
+		}
+	}
+	if cmd == "" {
+		return rule.Action{}, fmt.Errorf("no action verb recognised")
+	}
+	// Find the target device after (or before) the verb.
+	for _, dl := range deviceLexicon {
+		for _, noun := range dl.nouns {
+			if strings.Contains(s, " "+noun+" ") {
+				command := normaliseCommand(cmd, dl.capability)
+				return rule.Action{
+					Subject:    dl.device,
+					Capability: dl.capability,
+					Command:    command,
+				}, nil
+			}
+		}
+	}
+	return rule.Action{}, fmt.Errorf("no target device recognised")
+}
+
+// normaliseCommand adapts generic verbs to the capability's command set
+// (e.g. "open" on a switch-controlled window opener is on()).
+func normaliseCommand(cmd, capName string) string {
+	switch capName {
+	case "switch":
+		switch cmd {
+		case "open", "unlock":
+			return "on"
+		case "close", "lock":
+			return "off"
+		case "siren":
+			return "on"
+		}
+	case "lock":
+		switch cmd {
+		case "close", "off":
+			return "lock"
+		case "open", "on":
+			return "unlock"
+		}
+	case "valve", "windowShade":
+		switch cmd {
+		case "on":
+			return "open"
+		case "off":
+			return "close"
+		}
+	case "alarm":
+		if cmd == "on" || cmd == "sound" {
+			return "siren"
+		}
+	}
+	return cmd
+}
+
+// ---------- description-based switch classification ----------
+
+// typeKeywords is the tf lexicon for classifying capability.switch devices
+// from app description text.
+var typeKeywords = map[envmodel.DeviceType][]string{
+	envmodel.LightDev:       {"light", "lights", "lamp", "lamps", "bulb", "bulbs", "lighting", "dim", "dimmer", "nightlight"},
+	envmodel.TV:             {"tv", "television", "show", "channel"},
+	envmodel.Heater:         {"heater", "heat", "heating", "warm", "warmer"},
+	envmodel.AirConditioner: {"air", "conditioner", "cool", "cooling", "ac"},
+	envmodel.Fan:            {"fan", "fans", "ventilation", "ventilate"},
+	envmodel.WindowOpener:   {"window", "windows", "opener"},
+	envmodel.Shade:          {"shade", "shades", "curtain", "curtains", "blind", "blinds"},
+	envmodel.CoffeeMaker:    {"coffee", "kettle", "brew"},
+	envmodel.Humidifier:     {"humidifier", "humidify"},
+	envmodel.Dehumidifier:   {"dehumidifier"},
+	envmodel.Speaker:        {"speaker", "music", "sound", "audio", "radio"},
+	envmodel.Outlet:         {"outlet", "outlets", "plug", "plugs", "appliance", "appliances", "curling", "iron"},
+	envmodel.Sprinkler:      {"sprinkler", "irrigation", "garden"},
+	envmodel.Oven:           {"oven", "stove", "cooker"},
+	envmodel.Siren:          {"siren", "alarm", "strobe"},
+	envmodel.Camera:         {"camera", "record"},
+	envmodel.WaterValveDev:  {"valve", "water"},
+}
+
+// ClassifySwitch scores description text against the type lexicon and
+// returns the best-matching device type (Generic when nothing matches).
+func ClassifySwitch(description string) envmodel.DeviceType {
+	toks := Tokenize(description)
+	counts := map[string]int{}
+	for _, t := range toks {
+		counts[t]++
+	}
+	best := envmodel.Generic
+	bestScore := 0
+	for dt, kws := range typeKeywords {
+		score := 0
+		for _, kw := range kws {
+			score += counts[kw]
+		}
+		if score > bestScore || (score == bestScore && score > 0 && string(dt) < string(best)) {
+			best, bestScore = dt, score
+		}
+	}
+	if bestScore == 0 {
+		return envmodel.Generic
+	}
+	return best
+}

@@ -1,0 +1,163 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("If the Temperature rises above 80, turn-on the fan! (It's hot)")
+	want := []string{"if", "the", "temperature", "rises", "above", "80", "turn", "on", "the", "fan", "its", "hot"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func mustParse(t *testing.T, text string) *rule.Rule {
+	t.Helper()
+	rr, err := ParseRecipe("ifttt", text)
+	if err != nil {
+		t.Fatalf("ParseRecipe(%q): %v", text, err)
+	}
+	return rr.Rule
+}
+
+func TestNumericTriggerRecipe(t *testing.T) {
+	r := mustParse(t, "If the temperature rises above 80 then turn on the fan")
+	if r.Trigger.Subject != "tempSensor" || r.Trigger.Attribute != "temperature" {
+		t.Errorf("trigger = %+v", r.Trigger)
+	}
+	c, ok := r.Trigger.Constraint.(rule.Cmp)
+	if !ok || c.Op != rule.OpGt {
+		t.Fatalf("constraint = %v", r.Trigger.Constraint)
+	}
+	if v, ok := c.R.(rule.IntVal); !ok || v != 80 {
+		t.Errorf("threshold = %v", c.R)
+	}
+	if r.Action.Subject != "fan" || r.Action.Command != "on" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestDropsBelowRecipe(t *testing.T) {
+	r := mustParse(t, "When the temperature drops below 15, turn on the heater")
+	c := r.Trigger.Constraint.(rule.Cmp)
+	if c.Op != rule.OpLt {
+		t.Errorf("op = %v", c.Op)
+	}
+	if r.Action.Subject != "heater" || r.Action.Command != "on" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestMotionRecipe(t *testing.T) {
+	r := mustParse(t, "If motion is detected then turn on the light")
+	if r.Trigger.Subject != "motionSensor" {
+		t.Errorf("trigger = %+v", r.Trigger)
+	}
+	if !strings.Contains(r.Trigger.Constraint.String(), "active") {
+		t.Errorf("constraint = %v", r.Trigger.Constraint)
+	}
+	if r.Action.Subject != "light" || r.Action.Command != "on" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestLockRecipeNormalisesCommand(t *testing.T) {
+	r := mustParse(t, "When presence leaves, lock the door")
+	if r.Trigger.Subject != "presenceSensor" {
+		t.Errorf("trigger = %+v", r.Trigger)
+	}
+	if r.Action.Subject != "door" || r.Action.Command != "lock" || r.Action.Capability != "lock" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestNotificationRecipe(t *testing.T) {
+	r := mustParse(t, "If smoke is detected, send me a notification")
+	if r.Action.Command != "sendSms" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestModeCondition(t *testing.T) {
+	r := mustParse(t, "If motion is detected and the mode is night then turn on the light")
+	found := false
+	for _, p := range r.Condition.Predicates {
+		if strings.Contains(p.String(), "location.mode") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mode condition missing: %+v", r.Condition.Predicates)
+	}
+}
+
+func TestShadeRecipe(t *testing.T) {
+	r := mustParse(t, "When the illuminance drops below 100 then open the curtain")
+	if r.Action.Capability != "windowShade" || r.Action.Command != "open" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestUnparseableRecipes(t *testing.T) {
+	for _, text := range []string{
+		"hello world",
+		"If the frobnicator blorps then defragment the hyperdrive",
+		"turn on the fan", // no trigger clause separator
+	} {
+		if _, err := ParseRecipe("x", text); err == nil {
+			t.Errorf("expected error for %q", text)
+		}
+	}
+}
+
+func TestRecipeRuleFeedsDetector(t *testing.T) {
+	// The extracted rule uses the same representation as Groovy-extracted
+	// rules, so it can flow into the detector (cross-platform detection).
+	r := mustParse(t, "If the power exceeds 2000 then turn off the heater")
+	if r.Trigger.EventVar() != "powerMeter.power" {
+		t.Errorf("event var = %q", r.Trigger.EventVar())
+	}
+	f := r.TriggerConditionFormula()
+	if f == nil {
+		t.Fatal("formula should not be nil")
+	}
+}
+
+func TestClassifySwitch(t *testing.T) {
+	tests := []struct {
+		desc string
+		want envmodel.DeviceType
+	}{
+		{"Turns on the lights when motion is detected.", envmodel.LightDev},
+		{"Turn your TV on when you arrive to catch a live show.", envmodel.TV},
+		{"Keep the room warm by controlling a space heater.", envmodel.Heater},
+		{"Turns off the curling iron outlet after 30 minutes.", envmodel.Outlet},
+		{"Open and close your window opener based on weather.", envmodel.WindowOpener},
+		{"Start brewing coffee when you wake up.", envmodel.CoffeeMaker},
+		{"Runs the bathroom fan while the shower is hot.", envmodel.Fan},
+		{"Something entirely unrelated.", envmodel.Generic},
+	}
+	for _, tt := range tests {
+		if got := ClassifySwitch(tt.desc); got != tt.want {
+			t.Errorf("ClassifySwitch(%q) = %v, want %v", tt.desc, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyPrefersStrongerSignal(t *testing.T) {
+	// "light" appears twice, "fan" once.
+	got := ClassifySwitch("Light up the room: the light turns on with the ceiling fan.")
+	if got != envmodel.LightDev {
+		t.Errorf("got %v, want light", got)
+	}
+}

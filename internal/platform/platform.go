@@ -1,0 +1,535 @@
+// Package platform is an event-driven smart-home runtime modeled after the
+// SmartThings cloud + hub: devices with capability-defined attributes, an
+// event bus with subscriptions, a virtual-clock scheduler, environment
+// dynamics (temperature, illuminance, humidity, power, noise) influenced by
+// actuator states, and seeded nondeterminism in event delivery — enough to
+// reproduce the paper's exploitation experiments (Sec. VIII-A), including
+// the unpredictable final states of actuator races.
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"homeguard/internal/capability"
+	"homeguard/internal/envmodel"
+)
+
+// DeviceID identifies a device (the SmartThings 128-bit ID).
+type DeviceID string
+
+// Value is a concrete attribute value.
+type Value struct {
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// IntValue makes a numeric value.
+func IntValue(v int64) Value { return Value{Int: v, IsInt: true} }
+
+// StrValue makes a string value.
+func StrValue(s string) Value { return Value{Str: s} }
+
+func (v Value) String() string {
+	if v.IsInt {
+		return fmt.Sprintf("%d", v.Int)
+	}
+	return v.Str
+}
+
+// Equal compares two values.
+func (v Value) Equal(o Value) bool {
+	if v.IsInt != o.IsInt {
+		return false
+	}
+	if v.IsInt {
+		return v.Int == o.Int
+	}
+	return v.Str == o.Str
+}
+
+// Device is a simulated physical device.
+type Device struct {
+	ID           DeviceID
+	Name         string
+	Capabilities []string
+	Type         envmodel.DeviceType
+	// WattsOn is the power draw when the device's switch is on.
+	WattsOn int64
+
+	attrs map[string]Value
+	// busyUntil models the actuator's transition window: a command that
+	// arrives while the device is still transitioning may be dropped by
+	// the radio (the paper observed on-only/off-only outcomes in races).
+	busyUntil int64
+}
+
+// Attr reads an attribute value.
+func (d *Device) Attr(name string) (Value, bool) {
+	v, ok := d.attrs[name]
+	return v, ok
+}
+
+// SupportsCommand reports whether any of the device's capabilities defines
+// the command.
+func (d *Device) SupportsCommand(cmd string) bool {
+	for _, cn := range d.Capabilities {
+		if c, ok := capability.Get(cn); ok && c.Cmd(cmd) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Event is a state-change notification.
+type Event struct {
+	Source    string // device ID, "location", or "app"
+	Attribute string
+	Value     Value
+	Time      int64 // virtual seconds
+}
+
+// Handler receives events.
+type Handler func(Event)
+
+type subscription struct {
+	source  string
+	attr    string
+	filter  string // required value ("" = any change)
+	handler Handler
+	id      int
+}
+
+type scheduledTask struct {
+	at   int64
+	seq  int
+	run  func()
+	name string
+}
+
+// Environment is the measurable home context.
+type Environment struct {
+	OutdoorTemp int64
+	IndoorTemp  int64
+	Illuminance int64
+	Humidity    int64
+	BasePower   int64 // standing load in watts
+	Noise       int64
+	TimeOfDay   int64 // minutes since midnight
+}
+
+// Home is one simulated smart home.
+type Home struct {
+	devices map[DeviceID]*Device
+	order   []DeviceID
+	mode    string
+	env     Environment
+	clock   int64
+	rng     *rand.Rand
+	subs    []subscription
+	nextSub int
+	tasks   []scheduledTask
+	nextSeq int
+	log     []Event
+	// Messages records sendSms/sendPush payloads.
+	Messages []string
+
+	// TransitionWindow is the busy window (seconds) after a command during
+	// which a second command may be dropped; DropProbability controls how
+	// often.
+	TransitionWindow int64
+	DropProbability  float64
+}
+
+// NewHome creates a home with the given nondeterminism seed.
+func NewHome(seed int64) *Home {
+	return &Home{
+		devices: map[DeviceID]*Device{},
+		mode:    "Home",
+		env: Environment{
+			OutdoorTemp: 15,
+			IndoorTemp:  22,
+			Illuminance: 300,
+			Humidity:    45,
+			BasePower:   120,
+			TimeOfDay:   12 * 60,
+		},
+		rng:              rand.New(rand.NewSource(seed)),
+		TransitionWindow: 2,
+		DropProbability:  0.5,
+	}
+}
+
+// Clock returns the current virtual time in seconds.
+func (h *Home) Clock() int64 { return h.clock }
+
+// Mode returns the location mode.
+func (h *Home) Mode() string { return h.mode }
+
+// Env returns the current environment snapshot.
+func (h *Home) Env() Environment { return h.env }
+
+// EventLog returns all fired events.
+func (h *Home) EventLog() []Event { return h.log }
+
+// AddDevice registers a device and initialises default attributes from its
+// capabilities.
+func (h *Home) AddDevice(d *Device) *Device {
+	if d.attrs == nil {
+		d.attrs = map[string]Value{}
+	}
+	for _, cn := range d.Capabilities {
+		c, ok := capability.Get(cn)
+		if !ok {
+			continue
+		}
+		for _, a := range c.Attributes {
+			if _, exists := d.attrs[a.Name]; exists {
+				continue
+			}
+			switch a.Kind {
+			case capability.Enum:
+				if len(a.Values) > 0 {
+					d.attrs[a.Name] = StrValue(defaultEnum(a))
+				}
+			case capability.Number:
+				d.attrs[a.Name] = IntValue(a.Min)
+			}
+		}
+	}
+	h.devices[d.ID] = d
+	h.order = append(h.order, d.ID)
+	return d
+}
+
+// defaultEnum picks the "inactive" flavour of an enum where recognisable.
+func defaultEnum(a capability.Attribute) string {
+	prefer := map[string]bool{
+		"off": true, "closed": true, "locked": true, "inactive": true,
+		"clear": true, "dry": true, "not present": true, "stopped": true,
+		"idle": true, "unmuted": true, "disarmed": true,
+	}
+	for _, v := range a.Values {
+		if prefer[v] {
+			return v
+		}
+	}
+	return a.Values[0]
+}
+
+// Device returns a registered device.
+func (h *Home) Device(id DeviceID) (*Device, bool) {
+	d, ok := h.devices[id]
+	return d, ok
+}
+
+// Devices lists devices in registration order.
+func (h *Home) Devices() []*Device {
+	out := make([]*Device, 0, len(h.order))
+	for _, id := range h.order {
+		out = append(out, h.devices[id])
+	}
+	return out
+}
+
+// Subscribe registers a handler for events from source/attribute. filter
+// restricts to a specific value ("" = any change). Returns a subscription
+// id usable with Unsubscribe.
+func (h *Home) Subscribe(source, attr, filter string, fn Handler) int {
+	h.nextSub++
+	h.subs = append(h.subs, subscription{
+		source: source, attr: attr, filter: filter, handler: fn, id: h.nextSub,
+	})
+	return h.nextSub
+}
+
+// Unsubscribe removes a subscription by id.
+func (h *Home) Unsubscribe(id int) {
+	for i := range h.subs {
+		if h.subs[i].id == id {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// UnsubscribeAll removes all subscriptions registered through fnOwner ids.
+func (h *Home) UnsubscribeAll(ids []int) {
+	for _, id := range ids {
+		h.Unsubscribe(id)
+	}
+}
+
+// Schedule runs fn at clock+delay seconds.
+func (h *Home) Schedule(delay int64, name string, fn func()) {
+	h.nextSeq++
+	h.tasks = append(h.tasks, scheduledTask{
+		at: h.clock + delay, seq: h.nextSeq, run: fn, name: name,
+	})
+}
+
+// fire dispatches an event to matching subscribers in seeded-random order
+// (the delivery-order nondeterminism behind actuator races).
+func (h *Home) fire(ev Event) {
+	ev.Time = h.clock
+	h.log = append(h.log, ev)
+	var matched []subscription
+	for _, s := range h.subs {
+		if s.source != ev.Source || s.attr != ev.Attribute {
+			continue
+		}
+		if s.filter != "" && s.filter != ev.Value.String() {
+			continue
+		}
+		matched = append(matched, s)
+	}
+	h.rng.Shuffle(len(matched), func(i, j int) {
+		matched[i], matched[j] = matched[j], matched[i]
+	})
+	for _, s := range matched {
+		s.handler(ev)
+	}
+}
+
+// Command issues a device command, applying its capability effects and
+// firing change events. Commands landing inside a device's transition
+// window may be dropped (seeded).
+func (h *Home) Command(id DeviceID, cmd string, params ...Value) error {
+	d, ok := h.devices[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown device %q", id)
+	}
+	ref := h.findCommand(d, cmd)
+	if ref == nil {
+		return fmt.Errorf("platform: device %q does not support command %q", id, cmd)
+	}
+	if h.clock < d.busyUntil && h.rng.Float64() < h.DropProbability {
+		return nil // radio dropped the command mid-transition
+	}
+	d.busyUntil = h.clock + h.TransitionWindow
+	for _, e := range ref.Command.Effects {
+		var nv Value
+		if e.FromParam >= 0 {
+			if e.FromParam >= len(params) {
+				continue
+			}
+			nv = params[e.FromParam]
+		} else {
+			nv = StrValue(e.Value)
+		}
+		h.setAttr(d, e.Attribute, nv)
+	}
+	return nil
+}
+
+func (h *Home) findCommand(d *Device, cmd string) *capability.CommandRef {
+	for _, cn := range d.Capabilities {
+		if c, ok := capability.Get(cn); ok {
+			if k := c.Cmd(cmd); k != nil {
+				return &capability.CommandRef{Capability: c, Command: k}
+			}
+		}
+	}
+	return nil
+}
+
+// setAttr updates an attribute and fires a change event.
+func (h *Home) setAttr(d *Device, attr string, v Value) {
+	old, had := d.attrs[attr]
+	if had && old.Equal(v) {
+		return
+	}
+	d.attrs[attr] = v
+	h.fire(Event{Source: string(d.ID), Attribute: attr, Value: v})
+}
+
+// SetMode changes the location mode, firing a location event.
+func (h *Home) SetMode(mode string) {
+	if h.mode == mode {
+		return
+	}
+	h.mode = mode
+	h.fire(Event{Source: "location", Attribute: "mode", Value: StrValue(mode)})
+}
+
+// AppTouch fires an app-touch event (tapping the SmartApp button).
+func (h *Home) AppTouch() {
+	h.fire(Event{Source: "app", Attribute: "touch", Value: StrValue("touched")})
+}
+
+// InjectSensor overrides a sensor attribute directly (spoofing a reading,
+// e.g. the CO2-laser motion attack of Sec. VIII-B).
+func (h *Home) InjectSensor(id DeviceID, attr string, v Value) error {
+	d, ok := h.devices[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown device %q", id)
+	}
+	h.setAttr(d, attr, v)
+	return nil
+}
+
+// Step advances the virtual clock by seconds, running due scheduled tasks
+// and environment dynamics minute by minute.
+func (h *Home) Step(seconds int64) {
+	target := h.clock + seconds
+	for h.clock < target {
+		step := int64(60)
+		if target-h.clock < step {
+			step = target - h.clock
+		}
+		h.clock += step
+		h.env.TimeOfDay = (h.env.TimeOfDay + step/60) % 1440
+		h.runDueTasks()
+		h.stepEnvironment(step)
+	}
+}
+
+func (h *Home) runDueTasks() {
+	sort.SliceStable(h.tasks, func(i, j int) bool {
+		if h.tasks[i].at != h.tasks[j].at {
+			return h.tasks[i].at < h.tasks[j].at
+		}
+		return h.tasks[i].seq < h.tasks[j].seq
+	})
+	var pending []scheduledTask
+	due := make([]scheduledTask, 0)
+	for _, t := range h.tasks {
+		if t.at <= h.clock {
+			due = append(due, t)
+		} else {
+			pending = append(pending, t)
+		}
+	}
+	h.tasks = pending
+	for _, t := range due {
+		t.run()
+	}
+}
+
+// stepEnvironment evolves environment features from actuator states and
+// refreshes sensor readings.
+func (h *Home) stepEnvironment(seconds int64) {
+	minutes := seconds / 60
+	if minutes == 0 {
+		minutes = 1
+	}
+	heat, cool := int64(0), int64(0)
+	illum := int64(50) // ambient daylight baseline handled below
+	power := h.env.BasePower
+	humidity := h.env.Humidity
+	noise := int64(0)
+
+	if h.env.TimeOfDay >= 7*60 && h.env.TimeOfDay <= 19*60 {
+		illum = 250 // daylight through windows
+	} else {
+		illum = 5
+	}
+
+	for _, id := range h.order {
+		d := h.devices[id]
+		on := false
+		if sw, ok := d.attrs["switch"]; ok && sw.Str == "on" {
+			on = true
+		}
+		if on {
+			power += d.WattsOn
+		}
+		switch d.Type {
+		case envmodel.Heater:
+			if on {
+				heat += 2
+			}
+		case envmodel.AirConditioner:
+			if on {
+				cool += 2
+			}
+		case envmodel.Fan:
+			if on {
+				cool++
+				noise += 10
+			}
+		case envmodel.LightDev:
+			if on {
+				illum += 200
+				if lv, ok := d.attrs["level"]; ok && lv.IsInt {
+					illum += lv.Int
+				}
+			}
+		case envmodel.WindowOpener:
+			open := on
+			if w, ok := d.attrs["windowShade"]; ok && w.Str == "open" {
+				open = true
+			}
+			if open {
+				// Window vents toward outdoor temperature.
+				if h.env.IndoorTemp > h.env.OutdoorTemp {
+					cool++
+				} else if h.env.IndoorTemp < h.env.OutdoorTemp {
+					heat++
+				}
+				noise += 5
+			}
+		case envmodel.Shade:
+			if w, ok := d.attrs["windowShade"]; ok && w.Str != "open" {
+				illum -= 100
+			}
+		case envmodel.TV, envmodel.Speaker:
+			if on {
+				noise += 20
+			}
+		case envmodel.Humidifier:
+			if on {
+				humidity += minutes
+			}
+		case envmodel.Dehumidifier:
+			if on {
+				humidity -= minutes
+			}
+		}
+	}
+	h.env.IndoorTemp += (heat - cool) * minutes
+	h.env.IndoorTemp = clamp(h.env.IndoorTemp, -10, 45)
+	if illum < 0 {
+		illum = 0
+	}
+	h.env.Illuminance = illum
+	h.env.Humidity = clamp(humidity, 0, 100)
+	h.env.Noise = noise
+
+	// Sensor devices report environment readings as attribute changes.
+	for _, id := range h.order {
+		d := h.devices[id]
+		for _, cn := range d.Capabilities {
+			switch cn {
+			case "temperatureMeasurement":
+				h.setAttr(d, "temperature", IntValue(h.env.IndoorTemp))
+			case "illuminanceMeasurement":
+				h.setAttr(d, "illuminance", IntValue(h.env.Illuminance))
+			case "relativeHumidityMeasurement":
+				h.setAttr(d, "humidity", IntValue(h.env.Humidity))
+			case "powerMeter":
+				h.setAttr(d, "power", IntValue(power))
+			case "energyMeter":
+				prev, _ := d.attrs["energy"]
+				h.setAttr(d, "energy", IntValue(prev.Int+power*minutes/60))
+			}
+		}
+	}
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SendSms records an outbound message (the messaging sink).
+func (h *Home) SendSms(to, body string) {
+	h.Messages = append(h.Messages, to+": "+body)
+}

@@ -1,0 +1,429 @@
+// Package rule defines the automation-rule representation extracted from
+// IoT apps (the paper's Listing 2): trigger–condition–action tuples whose
+// constraints are quantifier-free first-order formulas over symbolic
+// variables (device attributes, user inputs, environment features).
+package rule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VarKind classifies a symbolic variable by its source.
+type VarKind string
+
+// Variable kinds.
+const (
+	VarDeviceAttr VarKind = "device" // e.g. tv1.switch — a device attribute (symbolic input #DevState)
+	VarUserInput  VarKind = "input"  // e.g. threshold1 — configured at install time
+	VarEnvFeature VarKind = "env"    // e.g. env.time — environment measurement
+	VarLocal      VarKind = "local"  // app-local variable bound by a data constraint
+	VarState      VarKind = "state"  // SmartApp state.* storage
+	VarEvent      VarKind = "event"  // the triggering event's value
+)
+
+// ValueType is the domain type of a term.
+type ValueType string
+
+// Value types.
+const (
+	TypeInt    ValueType = "int"
+	TypeString ValueType = "string" // finite enumeration (e.g. on/off)
+	TypeBool   ValueType = "bool"
+)
+
+// Term is a symbolic term: a variable or a constant.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var is a symbolic variable.
+type Var struct {
+	Name string // canonical name, e.g. "tv1.switch", "threshold1", "env.temperature"
+	Kind VarKind
+	Type ValueType
+}
+
+// IntVal is an integer constant.
+type IntVal int64
+
+// StrVal is a string (enumeration) constant such as "on".
+type StrVal string
+
+// BoolVal is a boolean constant.
+type BoolVal bool
+
+func (Var) isTerm()     {}
+func (IntVal) isTerm()  {}
+func (StrVal) isTerm()  {}
+func (BoolVal) isTerm() {}
+
+func (v Var) String() string     { return v.Name }
+func (v IntVal) String() string  { return fmt.Sprintf("%d", int64(v)) }
+func (v StrVal) String() string  { return fmt.Sprintf("%q", string(v)) }
+func (v BoolVal) String() string { return fmt.Sprintf("%t", bool(v)) }
+
+// CmpOp is a comparison operator.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpEq CmpOp = "=="
+	OpNe CmpOp = "!="
+	OpLt CmpOp = "<"
+	OpLe CmpOp = "<="
+	OpGt CmpOp = ">"
+	OpGe CmpOp = ">="
+)
+
+// Negate returns the complementary operator.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return op
+}
+
+// Flip returns the operator with operands swapped (a op b ⇔ b flip(op) a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+// Constraint is a quantifier-free first-order formula.
+type Constraint interface {
+	isConstraint()
+	String() string
+}
+
+// Cmp is an atomic comparison L op R.
+type Cmp struct {
+	Op   CmpOp
+	L, R Term
+}
+
+// And is a conjunction.
+type And struct{ Cs []Constraint }
+
+// Or is a disjunction.
+type Or struct{ Cs []Constraint }
+
+// Not is a negation.
+type Not struct{ C Constraint }
+
+// Lit is a constant truth value.
+type Lit bool
+
+// TrueC and FalseC are the constant formulas.
+var (
+	TrueC  = Lit(true)
+	FalseC = Lit(false)
+)
+
+func (Cmp) isConstraint() {}
+func (And) isConstraint() {}
+func (Or) isConstraint()  {}
+func (Not) isConstraint() {}
+func (Lit) isConstraint() {}
+
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+func (c And) String() string {
+	if len(c.Cs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.Cs))
+	for i, sub := range c.Cs {
+		parts[i] = sub.String()
+	}
+	return "(" + strings.Join(parts, " && ") + ")"
+}
+
+func (c Or) String() string {
+	if len(c.Cs) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(c.Cs))
+	for i, sub := range c.Cs {
+		parts[i] = sub.String()
+	}
+	return "(" + strings.Join(parts, " || ") + ")"
+}
+
+func (c Not) String() string { return "!(" + c.C.String() + ")" }
+
+func (c Lit) String() string {
+	if bool(c) {
+		return "true"
+	}
+	return "false"
+}
+
+// Conj builds a conjunction, flattening nested Ands and dropping
+// true-literals. It returns TrueC for an empty conjunction and FalseC if
+// any conjunct is the false literal.
+func Conj(cs ...Constraint) Constraint {
+	var flat []Constraint
+	for _, c := range cs {
+		switch x := c.(type) {
+		case nil:
+			continue
+		case Lit:
+			if !bool(x) {
+				return FalseC
+			}
+		case And:
+			flat = append(flat, x.Cs...)
+		default:
+			flat = append(flat, c)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return TrueC
+	case 1:
+		return flat[0]
+	}
+	return And{Cs: flat}
+}
+
+// Disj builds a disjunction, flattening nested Ors and dropping
+// false-literals.
+func Disj(cs ...Constraint) Constraint {
+	var flat []Constraint
+	for _, c := range cs {
+		switch x := c.(type) {
+		case nil:
+			continue
+		case Lit:
+			if bool(x) {
+				return TrueC
+			}
+		case Or:
+			flat = append(flat, x.Cs...)
+		default:
+			flat = append(flat, c)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return FalseC
+	case 1:
+		return flat[0]
+	}
+	return Or{Cs: flat}
+}
+
+// Negate returns the logical negation of c, pushed through one level.
+func Negate(c Constraint) Constraint {
+	switch x := c.(type) {
+	case Lit:
+		return Lit(!bool(x))
+	case Cmp:
+		return Cmp{Op: x.Op.Negate(), L: x.L, R: x.R}
+	case Not:
+		return x.C
+	case And:
+		neg := make([]Constraint, len(x.Cs))
+		for i, sub := range x.Cs {
+			neg[i] = Negate(sub)
+		}
+		return Disj(neg...)
+	case Or:
+		neg := make([]Constraint, len(x.Cs))
+		for i, sub := range x.Cs {
+			neg[i] = Negate(sub)
+		}
+		return Conj(neg...)
+	}
+	return Not{C: c}
+}
+
+// Vars returns the set of variable names referenced by c, sorted.
+func Vars(c Constraint) []string {
+	set := map[string]bool{}
+	collectVars(c, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectVars(c Constraint, set map[string]bool) {
+	switch x := c.(type) {
+	case Cmp:
+		if v, ok := x.L.(Var); ok {
+			set[v.Name] = true
+		}
+		if v, ok := x.R.(Var); ok {
+			set[v.Name] = true
+		}
+	case And:
+		for _, sub := range x.Cs {
+			collectVars(sub, set)
+		}
+	case Or:
+		for _, sub := range x.Cs {
+			collectVars(sub, set)
+		}
+	case Not:
+		collectVars(x.C, set)
+	}
+}
+
+// VarSet returns the variables (with kind/type metadata) referenced by c,
+// keyed by name.
+func VarSet(c Constraint) map[string]Var {
+	out := map[string]Var{}
+	collectVarSet(c, out)
+	return out
+}
+
+func collectVarSet(c Constraint, out map[string]Var) {
+	switch x := c.(type) {
+	case Cmp:
+		if v, ok := x.L.(Var); ok {
+			out[v.Name] = v
+		}
+		if v, ok := x.R.(Var); ok {
+			out[v.Name] = v
+		}
+	case And:
+		for _, sub := range x.Cs {
+			collectVarSet(sub, out)
+		}
+	case Or:
+		for _, sub := range x.Cs {
+			collectVarSet(sub, out)
+		}
+	case Not:
+		collectVarSet(x.C, out)
+	}
+}
+
+// Substitute returns c with every occurrence of variables found in bind
+// replaced by the bound term. Substitution is applied repeatedly (up to a
+// small depth) so chains like t -> tSensor.temperature resolve fully.
+func Substitute(c Constraint, bind map[string]Term) Constraint {
+	if len(bind) == 0 {
+		return c
+	}
+	for i := 0; i < 8; i++ {
+		next, changed := substituteOnce(c, bind)
+		c = next
+		if !changed {
+			break
+		}
+	}
+	return c
+}
+
+func substituteOnce(c Constraint, bind map[string]Term) (Constraint, bool) {
+	switch x := c.(type) {
+	case Cmp:
+		l, lc := substTerm(x.L, bind)
+		r, rc := substTerm(x.R, bind)
+		if lc || rc {
+			return Cmp{Op: x.Op, L: l, R: r}, true
+		}
+		return x, false
+	case And:
+		out := make([]Constraint, len(x.Cs))
+		changed := false
+		for i, sub := range x.Cs {
+			s, ch := substituteOnce(sub, bind)
+			out[i] = s
+			changed = changed || ch
+		}
+		if changed {
+			return And{Cs: out}, true
+		}
+		return x, false
+	case Or:
+		out := make([]Constraint, len(x.Cs))
+		changed := false
+		for i, sub := range x.Cs {
+			s, ch := substituteOnce(sub, bind)
+			out[i] = s
+			changed = changed || ch
+		}
+		if changed {
+			return Or{Cs: out}, true
+		}
+		return x, false
+	case Not:
+		s, ch := substituteOnce(x.C, bind)
+		if ch {
+			return Not{C: s}, true
+		}
+		return x, false
+	}
+	return c, false
+}
+
+func substTerm(t Term, bind map[string]Term) (Term, bool) {
+	v, ok := t.(Var)
+	if !ok {
+		return t, false
+	}
+	if b, ok := bind[v.Name]; ok {
+		return b, true
+	}
+	return t, false
+}
+
+// RenameVars returns c with variable names rewritten by rename. Variables
+// not present in the map are kept. Kind and type are preserved.
+func RenameVars(c Constraint, rename func(Var) Var) Constraint {
+	switch x := c.(type) {
+	case Cmp:
+		l := x.L
+		if v, ok := l.(Var); ok {
+			l = rename(v)
+		}
+		r := x.R
+		if v, ok := r.(Var); ok {
+			r = rename(v)
+		}
+		return Cmp{Op: x.Op, L: l, R: r}
+	case And:
+		out := make([]Constraint, len(x.Cs))
+		for i, sub := range x.Cs {
+			out[i] = RenameVars(sub, rename)
+		}
+		return And{Cs: out}
+	case Or:
+		out := make([]Constraint, len(x.Cs))
+		for i, sub := range x.Cs {
+			out[i] = RenameVars(sub, rename)
+		}
+		return Or{Cs: out}
+	case Not:
+		return Not{C: RenameVars(x.C, rename)}
+	}
+	return c
+}

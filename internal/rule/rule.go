@@ -1,0 +1,179 @@
+package rule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sum is the linear term X + K (K may be negative). It appears when an app
+// computes a threshold arithmetically, e.g. `t > threshold - 5`.
+type Sum struct {
+	X Var
+	K int64
+}
+
+func (Sum) isTerm() {}
+
+func (s Sum) String() string {
+	if s.K < 0 {
+		return fmt.Sprintf("%s - %d", s.X.Name, -s.K)
+	}
+	return fmt.Sprintf("%s + %d", s.X.Name, s.K)
+}
+
+// DataConstraint records how a local variable is assigned a value along an
+// execution path, e.g. t = tSensor.temperature.
+type DataConstraint struct {
+	Var  string
+	Term Term
+}
+
+func (d DataConstraint) String() string { return fmt.Sprintf("%s = %s", d.Var, d.Term) }
+
+// Trigger is the event that fires a rule.
+type Trigger struct {
+	// Subject is the subscribed entity: a device reference name (e.g.
+	// "tv1"), "location" for mode events, "app" for app-touch, or "time"
+	// for scheduled rules.
+	Subject string
+	// Attribute is the subscribed attribute (e.g. "switch", "mode").
+	// For scheduled rules it is "schedule".
+	Attribute string
+	// Capability is the capability through which Subject was granted
+	// (e.g. "switch", "temperatureMeasurement"); empty for non-device
+	// subjects.
+	Capability string
+	// Constraint restricts the event value (e.g. tv1.switch == "on").
+	// nil means the rule fires on any state change of the attribute.
+	Constraint Constraint
+}
+
+// AnyChange reports whether the trigger fires on any value change.
+func (t Trigger) AnyChange() bool { return t.Constraint == nil }
+
+// EventVar is the canonical variable that holds the triggering attribute's
+// value, e.g. "tv1.switch".
+func (t Trigger) EventVar() string { return t.Subject + "." + t.Attribute }
+
+func (t Trigger) String() string {
+	s := fmt.Sprintf("(%s).(%s)", t.Subject, t.Attribute)
+	if t.Constraint != nil {
+		s += " where " + t.Constraint.String()
+	}
+	return s
+}
+
+// Condition is the set of constraints that must hold to take the action.
+type Condition struct {
+	Data       []DataConstraint
+	Predicates []Constraint // conjunction; empty means always satisfied
+}
+
+// Formula returns the condition's predicates as one conjunction with data
+// constraints substituted in, so the formula ranges only over device
+// attributes, user inputs and environment features.
+func (c Condition) Formula() Constraint {
+	conj := Conj(c.Predicates...)
+	bind := map[string]Term{}
+	for _, d := range c.Data {
+		bind[d.Var] = d.Term
+	}
+	return Substitute(conj, bind)
+}
+
+// Always reports whether the condition holds unconditionally.
+func (c Condition) Always() bool { return len(c.Predicates) == 0 }
+
+func (c Condition) String() string {
+	var parts []string
+	for _, d := range c.Data {
+		parts = append(parts, d.String())
+	}
+	for _, p := range c.Predicates {
+		parts = append(parts, p.String())
+	}
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Action is a command issued to an actuator (or a sensitive platform API).
+type Action struct {
+	// Subject is the target device reference name; for platform APIs such
+	// as setLocationMode it is "location"; for messaging sinks it is the
+	// API name (e.g. "sendSms").
+	Subject string
+	// Capability is the capability defining Command (empty for APIs).
+	Capability string
+	// Command is the command or API name (e.g. "on", "setLevel",
+	// "setLocationMode", "httpPost").
+	Command string
+	// Params are the command parameters (resolved to terms).
+	Params []Term
+	// Data holds quantitative constraints involving command parameters.
+	Data []Constraint
+	// When is the scheduled delay in seconds (0 = immediately).
+	When int
+	// Period is the repetition interval in seconds (0 = once).
+	Period int
+}
+
+func (a Action) String() string {
+	s := fmt.Sprintf("(%s)->(%s)", a.Subject, a.Command)
+	if len(a.Params) > 0 {
+		ps := make([]string, len(a.Params))
+		for i, p := range a.Params {
+			ps[i] = p.String()
+		}
+		s += "(" + strings.Join(ps, ", ") + ")"
+	}
+	if a.When != 0 {
+		s += fmt.Sprintf(" when=%ds", a.When)
+	}
+	if a.Period != 0 {
+		s += fmt.Sprintf(" period=%ds", a.Period)
+	}
+	return s
+}
+
+// Rule is one trigger–condition–action automation rule.
+type Rule struct {
+	App       string // app name the rule was extracted from
+	ID        string // unique within the app, e.g. "r1"
+	Trigger   Trigger
+	Condition Condition
+	Action    Action
+}
+
+// QualifiedID returns "app/id".
+func (r *Rule) QualifiedID() string { return r.App + "/" + r.ID }
+
+func (r *Rule) String() string {
+	return fmt.Sprintf("[%s] when %s if %s then %s",
+		r.QualifiedID(), r.Trigger, r.Condition, r.Action)
+}
+
+// TriggerConditionFormula returns trigger-constraint ∧ condition-formula —
+// the situation under which the rule executes its action.
+func (r *Rule) TriggerConditionFormula() Constraint {
+	return Conj(r.Trigger.Constraint, r.Condition.Formula())
+}
+
+// RuleSet is the rules extracted from one app.
+type RuleSet struct {
+	App   string
+	Rules []*Rule
+}
+
+// NumberRules assigns sequential IDs r1, r2, ... to rules missing one.
+func (rs *RuleSet) NumberRules() {
+	for i, r := range rs.Rules {
+		if r.ID == "" {
+			r.ID = fmt.Sprintf("r%d", i+1)
+		}
+		if r.App == "" {
+			r.App = rs.App
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package solver
+
+import (
+	"testing"
+
+	"homeguard/internal/rule"
+)
+
+// benchOverlapProblem builds the Fig. 3 overlap query — the exact shape
+// the detector solves per candidate pair.
+func benchOverlapProblem() *Problem {
+	p := NewProblem()
+	p.AddEnumVar("dev-tv.switch", []string{"on", "off"})
+	p.AddIntVar("dev-temp.temperature", -40, 150)
+	p.AddEnumVar("weather", []string{"sunny", "rainy", "cloudy"})
+	p.AddEnumVar("dev-window.switch", []string{"on", "off"})
+	p.AddConstraint(rule.Cmp{Op: rule.OpEq,
+		L: rule.Var{Name: "dev-tv.switch", Type: rule.TypeString}, R: rule.StrVal("on")})
+	p.AddConstraint(rule.Cmp{Op: rule.OpGt,
+		L: rule.Var{Name: "dev-temp.temperature", Type: rule.TypeInt}, R: rule.IntVal(30)})
+	p.AddConstraint(rule.Cmp{Op: rule.OpEq,
+		L: rule.Var{Name: "dev-window.switch", Type: rule.TypeString}, R: rule.StrVal("off")})
+	p.AddConstraint(rule.Cmp{Op: rule.OpEq,
+		L: rule.Var{Name: "weather", Type: rule.TypeString}, R: rule.StrVal("rainy")})
+	return p
+}
+
+func BenchmarkSolveOverlapSAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchOverlapProblem()
+		_, sat, err := p.Solve()
+		if err != nil || !sat {
+			b.Fatal("expected SAT")
+		}
+	}
+}
+
+func BenchmarkSolveUNSAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewProblem()
+		p.AddIntVar("x", 0, 100000)
+		p.AddIntVar("y", 0, 100000)
+		p.AddConstraint(rule.Cmp{Op: rule.OpLt,
+			L: rule.Var{Name: "x", Type: rule.TypeInt},
+			R: rule.Var{Name: "y", Type: rule.TypeInt}})
+		p.AddConstraint(rule.Cmp{Op: rule.OpLt,
+			L: rule.Var{Name: "y", Type: rule.TypeInt},
+			R: rule.Var{Name: "x", Type: rule.TypeInt}})
+		_, sat, err := p.Solve()
+		if err != nil || sat {
+			b.Fatal("expected UNSAT")
+		}
+	}
+}
+
+func BenchmarkSolveDisjunctive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewProblem()
+		p.AddIntVar("x", 0, 1000)
+		p.AddConstraint(rule.Or{Cs: []rule.Constraint{
+			rule.Cmp{Op: rule.OpLt, L: rule.Var{Name: "x", Type: rule.TypeInt}, R: rule.IntVal(10)},
+			rule.Cmp{Op: rule.OpGt, L: rule.Var{Name: "x", Type: rule.TypeInt}, R: rule.IntVal(990)},
+		}})
+		p.AddConstraint(rule.Cmp{Op: rule.OpGt,
+			L: rule.Var{Name: "x", Type: rule.TypeInt}, R: rule.IntVal(5)})
+		if _, sat, err := p.Solve(); err != nil || !sat {
+			b.Fatal("expected SAT")
+		}
+	}
+}

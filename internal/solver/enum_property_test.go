@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"homeguard/internal/rule"
+)
+
+// TestEnumSolverAgreesWithBruteForce checks the enum fragment (the device-
+// state comparisons the detector emits) against exhaustive enumeration.
+func TestEnumSolverAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	valuePool := [][]string{
+		{"on", "off"},
+		{"open", "closed"},
+		{"locked", "unlocked", "unknown"},
+		{"on", "off", "auto"},
+	}
+	names := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		domains := map[string][]string{}
+		for _, n := range names {
+			domains[n] = valuePool[rng.Intn(len(valuePool))]
+		}
+		var formulas []rule.Constraint
+		nAtoms := 1 + rng.Intn(4)
+		for i := 0; i < nAtoms; i++ {
+			formulas = append(formulas, randEnumFormula(rng, names, domains, 2))
+		}
+		all := rule.Conj(formulas...)
+
+		p := NewProblem()
+		for _, n := range names {
+			p.AddEnumVar(n, domains[n])
+		}
+		p.AddConstraint(all)
+		m, sat, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v (%v)", trial, err, all)
+		}
+		want := bruteEnumSat(domains, names, all)
+		if sat != want {
+			t.Fatalf("trial %d: solver=%v brute=%v\nformula: %v\ndomains: %v",
+				trial, sat, want, all, domains)
+		}
+		if sat {
+			assign := map[string]string{}
+			for _, n := range names {
+				assign[n] = m[n].Enum
+			}
+			if !evalEnum(all, assign) {
+				t.Fatalf("trial %d: witness %v violates %v", trial, assign, all)
+			}
+		}
+	}
+}
+
+func randEnumFormula(rng *rand.Rand, names []string, domains map[string][]string, depth int) rule.Constraint {
+	atom := func() rule.Constraint {
+		n := names[rng.Intn(len(names))]
+		v := rule.Var{Name: n, Kind: rule.VarDeviceAttr, Type: rule.TypeString}
+		op := rule.OpEq
+		if rng.Intn(2) == 0 {
+			op = rule.OpNe
+		}
+		if rng.Intn(4) == 0 {
+			// var-var comparison
+			n2 := names[rng.Intn(len(names))]
+			return rule.Cmp{Op: op, L: v,
+				R: rule.Var{Name: n2, Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+		}
+		// Sometimes compare against a value outside the domain.
+		pool := domains[n]
+		val := pool[rng.Intn(len(pool))]
+		if rng.Intn(6) == 0 {
+			val = "bogus"
+		}
+		return rule.Cmp{Op: op, L: v, R: rule.StrVal(val)}
+	}
+	if depth == 0 || rng.Intn(3) == 0 {
+		return atom()
+	}
+	a := randEnumFormula(rng, names, domains, depth-1)
+	b := randEnumFormula(rng, names, domains, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return rule.And{Cs: []rule.Constraint{a, b}}
+	case 1:
+		return rule.Or{Cs: []rule.Constraint{a, b}}
+	default:
+		return rule.Not{C: a}
+	}
+}
+
+func bruteEnumSat(domains map[string][]string, names []string, c rule.Constraint) bool {
+	assign := map[string]string{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(names) {
+			return evalEnum(c, assign)
+		}
+		for _, v := range domains[names[i]] {
+			assign[names[i]] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func evalEnum(c rule.Constraint, assign map[string]string) bool {
+	switch x := c.(type) {
+	case rule.Cmp:
+		l := enumTermVal(x.L, assign)
+		r := enumTermVal(x.R, assign)
+		switch x.Op {
+		case rule.OpEq:
+			return l == r
+		case rule.OpNe:
+			return l != r
+		}
+		return false
+	case rule.And:
+		for _, sub := range x.Cs {
+			if !evalEnum(sub, assign) {
+				return false
+			}
+		}
+		return true
+	case rule.Or:
+		for _, sub := range x.Cs {
+			if evalEnum(sub, assign) {
+				return true
+			}
+		}
+		return false
+	case rule.Not:
+		return !evalEnum(x.C, assign)
+	case rule.Lit:
+		return bool(x)
+	}
+	return false
+}
+
+func enumTermVal(t rule.Term, assign map[string]string) string {
+	switch x := t.(type) {
+	case rule.Var:
+		return assign[x.Name]
+	case rule.StrVal:
+		return string(x)
+	}
+	return ""
+}

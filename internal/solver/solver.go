@@ -1,0 +1,801 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"homeguard/internal/rule"
+)
+
+// DefaultIntMin and DefaultIntMax bound auto-declared integer variables.
+const (
+	DefaultIntMin = -1_000_000
+	DefaultIntMax = 1_000_000
+)
+
+// ErrSearchLimit is returned when the search exceeds its node budget —
+// in practice never hit by rule-interference formulas.
+var ErrSearchLimit = errors.New("solver: search node limit exceeded")
+
+// Value is a model value for one variable.
+type Value struct {
+	Int  int64
+	Enum string // non-empty for enum variables
+}
+
+func (v Value) String() string {
+	if v.Enum != "" {
+		return v.Enum
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// Model is a satisfying assignment.
+type Model map[string]Value
+
+// variable is the solver-internal variable record.
+type variable struct {
+	name string
+	enum []string // enum value names; nil for integer variables
+	dom  Domain
+}
+
+// Problem is one satisfiability query under construction.
+type Problem struct {
+	vars     map[string]*variable
+	order    []string // declaration order for deterministic models
+	formulas []rule.Constraint
+	nodeCap  int
+
+	// lastSolution is captured by the search on success; Problem is not
+	// safe for concurrent use.
+	lastSolution *store
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem {
+	return &Problem{vars: map[string]*variable{}, nodeCap: 200_000}
+}
+
+// AddIntVar declares an integer variable with domain [min, max].
+// Redeclaring narrows the existing domain.
+func (p *Problem) AddIntVar(name string, min, max int64) {
+	if v, ok := p.vars[name]; ok {
+		if v.enum == nil {
+			v.dom = v.dom.Intersect(NewDomain(min, max))
+		}
+		return
+	}
+	p.vars[name] = &variable{name: name, dom: NewDomain(min, max)}
+	p.order = append(p.order, name)
+}
+
+// AddEnumVar declares an enumeration variable with the given values.
+func (p *Problem) AddEnumVar(name string, values []string) {
+	if _, ok := p.vars[name]; ok {
+		return
+	}
+	vals := append([]string(nil), values...)
+	p.vars[name] = &variable{
+		name: name,
+		enum: vals,
+		dom:  NewDomain(0, int64(len(vals)-1)),
+	}
+	p.order = append(p.order, name)
+}
+
+// AddBoolVar declares a boolean variable (an enum of false/true).
+func (p *Problem) AddBoolVar(name string) {
+	p.AddEnumVar(name, []string{"false", "true"})
+}
+
+// HasVar reports whether the variable is declared.
+func (p *Problem) HasVar(name string) bool {
+	_, ok := p.vars[name]
+	return ok
+}
+
+// EnumValues returns the declared values of an enum variable (nil for
+// integer variables or unknown names).
+func (p *Problem) EnumValues(name string) []string {
+	if v, ok := p.vars[name]; ok {
+		return v.enum
+	}
+	return nil
+}
+
+// AddConstraint records a formula that the model must satisfy. Variables
+// referenced but not declared are auto-declared: integer variables with
+// the default bounds when compared against integers, enum variables with
+// the observed string values otherwise.
+func (p *Problem) AddConstraint(c rule.Constraint) {
+	if c == nil {
+		return
+	}
+	p.autoDeclare(c)
+	p.formulas = append(p.formulas, c)
+}
+
+func (p *Problem) autoDeclare(c rule.Constraint) {
+	switch x := c.(type) {
+	case rule.Cmp:
+		p.autoDeclareTerm(x.L, x.R)
+		p.autoDeclareTerm(x.R, x.L)
+	case rule.And:
+		for _, sub := range x.Cs {
+			p.autoDeclare(sub)
+		}
+	case rule.Or:
+		for _, sub := range x.Cs {
+			p.autoDeclare(sub)
+		}
+	case rule.Not:
+		p.autoDeclare(x.C)
+	}
+}
+
+func (p *Problem) autoDeclareTerm(t, other rule.Term) {
+	var v rule.Var
+	switch x := t.(type) {
+	case rule.Var:
+		v = x
+	case rule.Sum:
+		v = x.X
+	default:
+		return
+	}
+	if p.HasVar(v.Name) {
+		return
+	}
+	switch o := other.(type) {
+	case rule.StrVal:
+		// Enum variable whose value set is unknown: declare with the
+		// observed value plus a distinguished "other" value so both == and
+		// != are satisfiable.
+		p.AddEnumVar(v.Name, []string{string(o), "\x00other"})
+	case rule.BoolVal:
+		p.AddBoolVar(v.Name)
+	default:
+		if v.Type == rule.TypeString {
+			p.AddEnumVar(v.Name, []string{"\x00other"})
+			return
+		}
+		p.AddIntVar(v.Name, DefaultIntMin, DefaultIntMax)
+	}
+}
+
+// ---------- atoms ----------
+
+// atomKind distinguishes unary (var-vs-const) and binary (var-vs-var)
+// comparisons after normalization.
+type atom struct {
+	op rule.CmpOp
+	x  string // left variable
+	// Exactly one of the following is used:
+	isConst bool
+	c       int64  // constant right side
+	y       string // right variable
+	k       int64  // offset: x op y + k
+}
+
+// store is the propagation state: current domains plus pending binary
+// atoms.
+type store struct {
+	doms map[string]Domain
+	bins []atom
+}
+
+func (s *store) clone() *store {
+	d := make(map[string]Domain, len(s.doms))
+	for k, v := range s.doms {
+		d[k] = v
+	}
+	b := append([]atom(nil), s.bins...)
+	return &store{doms: d, bins: b}
+}
+
+// Solve decides satisfiability of the conjunction of all added formulas.
+// It returns a witness model when satisfiable.
+func (p *Problem) Solve() (Model, bool, error) {
+	st := &store{doms: map[string]Domain{}}
+	for _, name := range p.order {
+		st.doms[name] = p.vars[name].dom
+	}
+	budget := p.nodeCap
+	ok, err := p.search(p.formulas, st, &budget)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	// st mutated in place on success path? search uses clones; to extract
+	// the model we re-run with a captured store.
+	return p.model(p.lastSolution), true, nil
+}
+
+// lastSolution is captured by search on success.
+// (Problem is not safe for concurrent use.)
+func (p *Problem) model(st *store) Model {
+	m := Model{}
+	for _, name := range p.order {
+		v := p.vars[name]
+		dom := st.doms[name]
+		if dom.Empty() {
+			continue
+		}
+		val := dom.Min()
+		if v.enum != nil {
+			idx := int(val)
+			if idx >= 0 && idx < len(v.enum) {
+				m[name] = Value{Enum: v.enum[idx], Int: val}
+				continue
+			}
+		}
+		m[name] = Value{Int: val}
+	}
+	return m
+}
+
+// search processes the formula worklist depth-first, branching on
+// disjunctions, then labels variables.
+func (p *Problem) search(formulas []rule.Constraint, st *store, budget *int) (bool, error) {
+	*budget--
+	if *budget <= 0 {
+		return false, ErrSearchLimit
+	}
+	for len(formulas) > 0 {
+		f := formulas[0]
+		formulas = formulas[1:]
+		switch x := f.(type) {
+		case nil:
+			continue
+		case rule.Lit:
+			if !bool(x) {
+				return false, nil
+			}
+		case rule.And:
+			formulas = append(append([]rule.Constraint(nil), x.Cs...), formulas...)
+		case rule.Not:
+			formulas = append([]rule.Constraint{rule.Negate(x.C)}, formulas...)
+		case rule.Or:
+			for _, alt := range x.Cs {
+				sub := append([]rule.Constraint{alt}, formulas...)
+				ok, err := p.search(sub, st.clone(), budget)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			}
+			return false, nil
+		case rule.Cmp:
+			ok, err := p.assertCmp(x, st)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		default:
+			return false, fmt.Errorf("solver: unsupported constraint %T", f)
+		}
+	}
+	if !propagate(st) {
+		return false, nil
+	}
+	return p.label(st, budget)
+}
+
+// assertCmp translates one comparison into domain narrowing and/or a
+// pending binary atom. Returns false when immediately unsatisfiable.
+func (p *Problem) assertCmp(c rule.Cmp, st *store) (bool, error) {
+	l, lOK := p.resolveTerm(c.L)
+	r, rOK := p.resolveTerm(c.R)
+	if !lOK || !rOK {
+		return false, fmt.Errorf("solver: unresolvable term in %s", c)
+	}
+	// const-const
+	if l.isConst && r.isConst {
+		if l.isStrConst() || r.isStrConst() {
+			eq := l.isStrConst() && r.isStrConst() && l.name == r.name
+			switch c.Op {
+			case rule.OpEq:
+				return eq, nil
+			case rule.OpNe:
+				return !eq, nil
+			default:
+				return false, fmt.Errorf("solver: ordered comparison on string constants in %s", c)
+			}
+		}
+		return evalConst(c.Op, l.c, r.c), nil
+	}
+	// const op var → flip
+	if l.isConst {
+		if l.isStrConst() {
+			return p.assertStrCmp(c.Op.Flip(), r, l.name, st)
+		}
+		return p.assertVarConst(c.Op.Flip(), r, l.c, st)
+	}
+	if r.isConst {
+		if r.isStrConst() {
+			return p.assertStrCmp(c.Op, l, r.name, st)
+		}
+		return p.assertVarConst(c.Op, l, r.c, st)
+	}
+	return p.assertVarVar(c.Op, l, r, st)
+}
+
+// resolved is a normalized term: constant, or variable + offset.
+type resolved struct {
+	isConst bool
+	c       int64
+	name    string
+	off     int64
+	enum    []string // enum table when the variable is enumerated
+}
+
+func (p *Problem) resolveTerm(t rule.Term) (resolved, bool) {
+	switch x := t.(type) {
+	case rule.IntVal:
+		return resolved{isConst: true, c: int64(x)}, true
+	case rule.BoolVal:
+		if bool(x) {
+			return resolved{isConst: true, c: 1}, true
+		}
+		return resolved{isConst: true, c: 0}, true
+	case rule.StrVal:
+		// String constants resolve against the other side's enum table in
+		// assertVarConst; carry the raw string via name with a marker.
+		return resolved{isConst: true, c: -1, name: string(x), enum: []string{}}, true
+	case rule.Var:
+		v, ok := p.vars[x.Name]
+		if !ok {
+			return resolved{}, false
+		}
+		return resolved{name: x.Name, enum: v.enum}, true
+	case rule.Sum:
+		v, ok := p.vars[x.X.Name]
+		if !ok {
+			return resolved{}, false
+		}
+		return resolved{name: x.X.Name, off: x.K, enum: v.enum}, true
+	}
+	return resolved{}, false
+}
+
+// isStrConst reports whether r is a string constant carrier.
+func (r resolved) isStrConst() bool { return r.isConst && r.enum != nil }
+
+func evalConst(op rule.CmpOp, a, b int64) bool {
+	switch op {
+	case rule.OpEq:
+		return a == b
+	case rule.OpNe:
+		return a != b
+	case rule.OpLt:
+		return a < b
+	case rule.OpLe:
+		return a <= b
+	case rule.OpGt:
+		return a > b
+	case rule.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// assertVarConst narrows var (+off) op const.
+func (p *Problem) assertVarConst(op rule.CmpOp, v resolved, c int64, st *store) (bool, error) {
+	dom, ok := st.doms[v.name]
+	if !ok {
+		return false, fmt.Errorf("solver: unknown variable %q", v.name)
+	}
+	// x + off op c  ⇔  x op c - off
+	c -= v.off
+	switch op {
+	case rule.OpEq:
+		dom = dom.Only(c)
+	case rule.OpNe:
+		dom = dom.Remove(c)
+	case rule.OpLt:
+		dom = dom.ClampMax(c - 1)
+	case rule.OpLe:
+		dom = dom.ClampMax(c)
+	case rule.OpGt:
+		dom = dom.ClampMin(c + 1)
+	case rule.OpGe:
+		dom = dom.ClampMin(c)
+	}
+	st.doms[v.name] = dom
+	return !dom.Empty(), nil
+}
+
+// assertStrCmp narrows an enum variable against a string constant.
+func (p *Problem) assertStrCmp(op rule.CmpOp, v resolved, s string, st *store) (bool, error) {
+	pv := p.vars[v.name]
+	if pv == nil {
+		return false, fmt.Errorf("solver: unknown variable %q", v.name)
+	}
+	if pv.enum == nil {
+		return false, fmt.Errorf("solver: comparing integer variable %q to string %q", v.name, s)
+	}
+	idx := int64(-1)
+	for i, val := range pv.enum {
+		if val == s {
+			idx = int64(i)
+			break
+		}
+	}
+	switch op {
+	case rule.OpEq:
+		if idx < 0 {
+			st.doms[v.name] = Domain{}
+			return false, nil
+		}
+		return p.assertVarConst(rule.OpEq, v, idx, st)
+	case rule.OpNe:
+		if idx < 0 {
+			return true, nil // always distinct
+		}
+		return p.assertVarConst(rule.OpNe, v, idx, st)
+	default:
+		return false, fmt.Errorf("solver: ordered comparison %s on enum variable %q", op, v.name)
+	}
+}
+
+// assertVarVar records x op y + k as a pending binary atom.
+func (p *Problem) assertVarVar(op rule.CmpOp, l, r resolved, st *store) (bool, error) {
+	// Two enum variables: only ==/!= are meaningful; translate to a
+	// disjunction over shared value names.
+	lv, rv := p.vars[l.name], p.vars[r.name]
+	if lv.enum != nil || rv.enum != nil {
+		if lv.enum == nil || rv.enum == nil {
+			return false, fmt.Errorf("solver: comparing enum %q with integer %q", l.name, r.name)
+		}
+		return p.assertEnumVarVar(op, l, r, st)
+	}
+	// x + lo op y + ro  ⇔  x op y + (ro - lo)
+	st.bins = append(st.bins, atom{op: op, x: l.name, y: r.name, k: r.off - l.off})
+	return narrowBinary(st, st.bins[len(st.bins)-1]), nil
+}
+
+func (p *Problem) assertEnumVarVar(op rule.CmpOp, l, r resolved, st *store) (bool, error) {
+	lv, rv := p.vars[l.name], p.vars[r.name]
+	switch op {
+	case rule.OpEq, rule.OpNe:
+	default:
+		return false, fmt.Errorf("solver: ordered comparison %s between enum variables", op)
+	}
+	// Build index correspondence over shared value names.
+	common := map[int64]int64{} // l index → r index
+	for i, lval := range lv.enum {
+		for j, rval := range rv.enum {
+			if lval == rval {
+				common[int64(i)] = int64(j)
+			}
+		}
+	}
+	if op == rule.OpEq {
+		// Disjunction over shared values; encode directly by trimming
+		// both domains to shared values and linking via bins with offset
+		// — offsets differ per value, so fall back to explicit search:
+		// keep it simple and sound by enumerating.
+		ld, rd := st.doms[l.name], st.doms[r.name]
+		var lKeep, rKeep []int64
+		for li, ri := range common {
+			if ld.Contains(li) && rd.Contains(ri) {
+				lKeep = append(lKeep, li)
+				rKeep = append(rKeep, ri)
+			}
+		}
+		if len(lKeep) == 0 {
+			st.doms[l.name] = Domain{}
+			return false, nil
+		}
+		st.doms[l.name] = keepOnly(ld, lKeep)
+		st.doms[r.name] = keepOnly(rd, rKeep)
+		// Record the correspondence so labeling respects it: encode each
+		// pair as a conditional; with tiny enum domains, add a pending
+		// enum-equality atom checked at labeling time.
+		st.bins = append(st.bins, atom{op: "enumEq", x: l.name, y: r.name})
+		return true, nil
+	}
+	// != between enums: satisfied unless both are pinned to the same name.
+	st.bins = append(st.bins, atom{op: "enumNe", x: l.name, y: r.name})
+	return true, nil
+}
+
+func keepOnly(d Domain, vals []int64) Domain {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := Domain{}
+	for _, v := range vals {
+		if d.Contains(v) {
+			out.ivs = append(out.ivs, Interval{v, v})
+		}
+	}
+	// merge adjacent
+	var merged []Interval
+	for _, iv := range out.ivs {
+		if n := len(merged); n > 0 && merged[n-1].Hi+1 >= iv.Lo {
+			if iv.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return Domain{ivs: merged}
+}
+
+// narrowBinary applies bounds propagation for one binary atom.
+// Returns false when a domain becomes empty.
+func narrowBinary(st *store, a atom) bool {
+	if a.op == "enumEq" || a.op == "enumNe" {
+		return true // handled at labeling
+	}
+	dx, okx := st.doms[a.x]
+	dy, oky := st.doms[a.y]
+	if !okx || !oky || dx.Empty() || dy.Empty() {
+		return false
+	}
+	fail := func() bool {
+		st.doms[a.x] = dx
+		st.doms[a.y] = dy
+		return false
+	}
+	// x op y + k
+	switch a.op {
+	case rule.OpEq:
+		dx = dx.Intersect(shift(dy, a.k))
+		if dx.Empty() {
+			return fail()
+		}
+		dy = dy.Intersect(shift(dx, -a.k))
+	case rule.OpNe:
+		if dy.Singleton() {
+			dx = dx.Remove(dy.Min() + a.k)
+		}
+		if dx.Singleton() {
+			dy = dy.Remove(dx.Min() - a.k)
+		}
+	case rule.OpLt:
+		dx = dx.ClampMax(dy.Max() + a.k - 1)
+		if dx.Empty() {
+			return fail()
+		}
+		dy = dy.ClampMin(dx.Min() - a.k + 1)
+	case rule.OpLe:
+		dx = dx.ClampMax(dy.Max() + a.k)
+		if dx.Empty() {
+			return fail()
+		}
+		dy = dy.ClampMin(dx.Min() - a.k)
+	case rule.OpGt:
+		dx = dx.ClampMin(dy.Min() + a.k + 1)
+		if dx.Empty() {
+			return fail()
+		}
+		dy = dy.ClampMax(dx.Max() - a.k - 1)
+	case rule.OpGe:
+		dx = dx.ClampMin(dy.Min() + a.k)
+		if dx.Empty() {
+			return fail()
+		}
+		dy = dy.ClampMax(dx.Max() - a.k)
+	}
+	st.doms[a.x] = dx
+	st.doms[a.y] = dy
+	return !dx.Empty() && !dy.Empty()
+}
+
+func shift(d Domain, k int64) Domain {
+	out := Domain{ivs: make([]Interval, len(d.ivs))}
+	for i, iv := range d.ivs {
+		out.ivs[i] = Interval{iv.Lo + k, iv.Hi + k}
+	}
+	return out
+}
+
+// propagate runs the binary atoms toward fixpoint. Progress is detected
+// via a cheap per-variable fingerprint (size, min, max, interval count):
+// every narrowing step strictly shrinks some domain, so the fingerprint
+// changes. Rounds are capped: cyclic strict inequalities (x < y ∧ y < x
+// over large ranges) converge only one unit per round, so after the cap we
+// return early and let the bisection search finish the refutation —
+// stopping before fixpoint is sound, merely less eager.
+func propagate(st *store) bool {
+	if len(st.bins) == 0 {
+		return true
+	}
+	const maxRounds = 64
+	for iter := 0; iter < maxRounds; iter++ {
+		before := fingerprint(st)
+		for _, a := range st.bins {
+			if !narrowBinary(st, a) {
+				return false
+			}
+		}
+		if fingerprint(st) == before {
+			return true
+		}
+	}
+	return true
+}
+
+func fingerprint(st *store) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, a := range st.bins {
+		for _, n := range []string{a.x, a.y} {
+			d := st.doms[n]
+			if d.Empty() {
+				mix(0xdead)
+				continue
+			}
+			mix(uint64(d.Size()))
+			mix(uint64(d.Min()))
+			mix(uint64(d.Max()))
+			mix(uint64(len(d.ivs)))
+		}
+	}
+	return h
+}
+
+// diffUnsat runs a Bellman–Ford negative-cycle check over the difference
+// constraints in the store (every ordering/equality atom is of the form
+// x ≤ y + k). Cyclic systems such as x < y ∧ y < x are refuted instantly
+// here, where bounds propagation would converge one unit per round.
+func diffUnsat(st *store) bool {
+	idx := map[string]int{}
+	names := []string{}
+	node := func(n string) int {
+		if i, ok := idx[n]; ok {
+			return i
+		}
+		idx[n] = len(names) + 1
+		names = append(names, n)
+		return idx[n]
+	}
+	type edge struct {
+		from, to int
+		w        int64
+	}
+	var edges []edge
+	for _, a := range st.bins {
+		switch a.op {
+		case rule.OpLe: // x ≤ y + k
+			edges = append(edges, edge{node(a.y), node(a.x), a.k})
+		case rule.OpLt: // x ≤ y + k - 1
+			edges = append(edges, edge{node(a.y), node(a.x), a.k - 1})
+		case rule.OpGe: // y ≤ x - k
+			edges = append(edges, edge{node(a.x), node(a.y), -a.k})
+		case rule.OpGt: // y ≤ x - k - 1
+			edges = append(edges, edge{node(a.x), node(a.y), -a.k - 1})
+		case rule.OpEq: // both directions
+			edges = append(edges,
+				edge{node(a.y), node(a.x), a.k},
+				edge{node(a.x), node(a.y), -a.k})
+		}
+	}
+	if len(edges) == 0 {
+		return false
+	}
+	// Domain bounds: x ≤ max (origin→x) and -x ≤ -min (x→origin).
+	for name, i := range idx {
+		d, ok := st.doms[name]
+		if !ok || d.Empty() {
+			return true
+		}
+		edges = append(edges, edge{0, i, d.Max()}, edge{i, 0, -d.Min()})
+	}
+	n := len(names) + 1
+	dist := make([]int64, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for _, e := range edges {
+			if nd := dist[e.from] + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true // still relaxing after |V| rounds ⇒ negative cycle
+}
+
+// label assigns constraint-involved variables until all binary atoms are
+// decided, backtracking on failure.
+func (p *Problem) label(st *store, budget *int) (bool, error) {
+	*budget--
+	if *budget <= 0 {
+		return false, ErrSearchLimit
+	}
+	if !propagate(st) {
+		return false, nil
+	}
+	if diffUnsat(st) {
+		return false, nil
+	}
+	// Check enum equality atoms and find an undecided variable.
+	pick := ""
+	var pickSize int64
+	for _, a := range st.bins {
+		dx, dy := st.doms[a.x], st.doms[a.y]
+		if dx.Empty() || dy.Empty() {
+			return false, nil
+		}
+		if dx.Singleton() && dy.Singleton() {
+			if !p.atomHolds(a, dx.Min(), dy.Min()) {
+				return false, nil
+			}
+			continue
+		}
+		for _, n := range []string{a.x, a.y} {
+			d := st.doms[n]
+			if !d.Singleton() && (pick == "" || d.Size() < pickSize) {
+				pick, pickSize = n, d.Size()
+			}
+		}
+	}
+	if pick == "" {
+		p.lastSolution = st
+		return true, nil
+	}
+	d := st.doms[pick]
+	// Small domains: enumerate values; large: bisect.
+	if d.Size() <= 8 {
+		for v := d.Min(); v <= d.Max(); v++ {
+			if !d.Contains(v) {
+				continue
+			}
+			child := st.clone()
+			child.doms[pick] = NewDomain(v, v)
+			ok, err := p.label(child, budget)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	lo, hi := d.Split()
+	for _, half := range []Domain{lo, hi} {
+		if half.Empty() {
+			continue
+		}
+		child := st.clone()
+		child.doms[pick] = half
+		ok, err := p.label(child, budget)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// atomHolds checks a decided binary atom.
+func (p *Problem) atomHolds(a atom, xv, yv int64) bool {
+	switch a.op {
+	case "enumEq":
+		return p.enumName(a.x, xv) == p.enumName(a.y, yv)
+	case "enumNe":
+		return p.enumName(a.x, xv) != p.enumName(a.y, yv)
+	default:
+		return evalConst(a.op, xv, yv+a.k)
+	}
+}
+
+func (p *Problem) enumName(varName string, idx int64) string {
+	v := p.vars[varName]
+	if v == nil || v.enum == nil || idx < 0 || idx >= int64(len(v.enum)) {
+		return fmt.Sprintf("#%d", idx)
+	}
+	return v.enum[idx]
+}

@@ -1,0 +1,509 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"homeguard/internal/rule"
+)
+
+func iv(name string) rule.Var {
+	return rule.Var{Name: name, Kind: rule.VarDeviceAttr, Type: rule.TypeInt}
+}
+
+func sv(name string) rule.Var {
+	return rule.Var{Name: name, Kind: rule.VarDeviceAttr, Type: rule.TypeString}
+}
+
+func cmp(op rule.CmpOp, l, r rule.Term) rule.Constraint { return rule.Cmp{Op: op, L: l, R: r} }
+
+func solve(t *testing.T, p *Problem) (Model, bool) {
+	t.Helper()
+	m, ok, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return m, ok
+}
+
+func TestSatSimpleEnum(t *testing.T) {
+	p := NewProblem()
+	p.AddEnumVar("tv1.switch", []string{"on", "off"})
+	p.AddConstraint(cmp(rule.OpEq, sv("tv1.switch"), rule.StrVal("on")))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m["tv1.switch"].Enum != "on" {
+		t.Errorf("model = %v", m)
+	}
+}
+
+func TestUnsatContradictoryEnum(t *testing.T) {
+	p := NewProblem()
+	p.AddEnumVar("d.switch", []string{"on", "off"})
+	p.AddConstraint(cmp(rule.OpEq, sv("d.switch"), rule.StrVal("on")))
+	p.AddConstraint(cmp(rule.OpEq, sv("d.switch"), rule.StrVal("off")))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestSatIntRange(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("temp", -40, 150)
+	p.AddConstraint(cmp(rule.OpGt, iv("temp"), rule.IntVal(30)))
+	p.AddConstraint(cmp(rule.OpLt, iv("temp"), rule.IntVal(35)))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	v := m["temp"].Int
+	if v <= 30 || v >= 35 {
+		t.Errorf("witness %d outside (30,35)", v)
+	}
+}
+
+func TestUnsatIntRange(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("temp", -40, 150)
+	p.AddConstraint(cmp(rule.OpGt, iv("temp"), rule.IntVal(30)))
+	p.AddConstraint(cmp(rule.OpLt, iv("temp"), rule.IntVal(20)))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestPaperOverlapExample(t *testing.T) {
+	// Rule 1: tv on && temperature > 30 (threshold1=30)
+	// Rule 2: tv on && weather == rainy
+	// Overlap: raining and >30°C — SAT.
+	p := NewProblem()
+	p.AddEnumVar("tv1.switch", []string{"on", "off"})
+	p.AddIntVar("tSensor.temperature", -40, 150)
+	p.AddEnumVar("env.weather", []string{"sunny", "rainy", "cloudy"})
+	p.AddConstraint(cmp(rule.OpEq, sv("tv1.switch"), rule.StrVal("on")))
+	p.AddConstraint(cmp(rule.OpGt, iv("tSensor.temperature"), rule.IntVal(30)))
+	p.AddConstraint(cmp(rule.OpEq, sv("env.weather"), rule.StrVal("rainy")))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT (the paper's Fig. 3 overlapping situation)")
+	}
+	if m["env.weather"].Enum != "rainy" || m["tSensor.temperature"].Int <= 30 {
+		t.Errorf("model = %v", m)
+	}
+}
+
+func TestVarVarOrdering(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("a", 0, 10)
+	p.AddIntVar("b", 0, 10)
+	p.AddConstraint(cmp(rule.OpLt, iv("a"), iv("b")))
+	p.AddConstraint(cmp(rule.OpGe, iv("a"), rule.IntVal(9)))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT: a=9, b=10")
+	}
+	if !(m["a"].Int < m["b"].Int) {
+		t.Errorf("model violates a < b: %v", m)
+	}
+}
+
+func TestVarVarUnsat(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("a", 0, 10)
+	p.AddIntVar("b", 0, 10)
+	p.AddConstraint(cmp(rule.OpLt, iv("a"), iv("b")))
+	p.AddConstraint(cmp(rule.OpLt, iv("b"), iv("a")))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT: a<b and b<a")
+	}
+}
+
+func TestSumTermOffset(t *testing.T) {
+	// a > b - 5 with a in [0,3], b in [9, 10] → a > 4..5 - impossible.
+	p := NewProblem()
+	p.AddIntVar("a", 0, 3)
+	p.AddIntVar("b", 9, 10)
+	p.AddConstraint(cmp(rule.OpGt, iv("a"), rule.Sum{X: iv("b"), K: -5}))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT")
+	}
+	// widen a → SAT.
+	p2 := NewProblem()
+	p2.AddIntVar("a", 0, 6)
+	p2.AddIntVar("b", 9, 10)
+	p2.AddConstraint(cmp(rule.OpGt, iv("a"), rule.Sum{X: iv("b"), K: -5}))
+	m, ok := solve(t, p2)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if !(m["a"].Int > m["b"].Int-5) {
+		t.Errorf("model violates constraint: %v", m)
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("x", 0, 100)
+	p.AddConstraint(rule.Or{Cs: []rule.Constraint{
+		cmp(rule.OpLt, iv("x"), rule.IntVal(-5)), // impossible given domain
+		cmp(rule.OpEq, iv("x"), rule.IntVal(42)),
+	}})
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT via second disjunct")
+	}
+	if m["x"].Int != 42 {
+		t.Errorf("x = %d, want 42", m["x"].Int)
+	}
+}
+
+func TestNegationPushing(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("x", 0, 10)
+	// !(x < 5 || x > 7) ⇔ x in [5,7]
+	p.AddConstraint(rule.Not{C: rule.Or{Cs: []rule.Constraint{
+		cmp(rule.OpLt, iv("x"), rule.IntVal(5)),
+		cmp(rule.OpGt, iv("x"), rule.IntVal(7)),
+	}}})
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m["x"].Int < 5 || m["x"].Int > 7 {
+		t.Errorf("x = %d, want in [5,7]", m["x"].Int)
+	}
+}
+
+func TestEnumVarVarEquality(t *testing.T) {
+	p := NewProblem()
+	p.AddEnumVar("a.switch", []string{"on", "off"})
+	p.AddEnumVar("b.switch", []string{"off", "on"}) // different order on purpose
+	p.AddConstraint(cmp(rule.OpEq, sv("a.switch"), sv("b.switch")))
+	p.AddConstraint(cmp(rule.OpEq, sv("a.switch"), rule.StrVal("on")))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m["b.switch"].Enum != "on" {
+		t.Errorf("b.switch = %v, want on", m["b.switch"])
+	}
+}
+
+func TestEnumVarVarInequalityUnsat(t *testing.T) {
+	p := NewProblem()
+	p.AddEnumVar("a.lock", []string{"locked", "unlocked"})
+	p.AddEnumVar("b.lock", []string{"locked", "unlocked"})
+	p.AddConstraint(cmp(rule.OpNe, sv("a.lock"), sv("b.lock")))
+	p.AddConstraint(cmp(rule.OpEq, sv("a.lock"), rule.StrVal("locked")))
+	p.AddConstraint(cmp(rule.OpEq, sv("b.lock"), rule.StrVal("locked")))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEnumNoSharedValues(t *testing.T) {
+	p := NewProblem()
+	p.AddEnumVar("a", []string{"on", "off"})
+	p.AddEnumVar("b", []string{"open", "closed"})
+	p.AddConstraint(cmp(rule.OpEq, sv("a"), sv("b")))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT: no shared value names")
+	}
+}
+
+func TestStringNotInEnum(t *testing.T) {
+	p := NewProblem()
+	p.AddEnumVar("d.switch", []string{"on", "off"})
+	p.AddConstraint(cmp(rule.OpEq, sv("d.switch"), rule.StrVal("open")))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("expected UNSAT: 'open' not a switch value")
+	}
+	p2 := NewProblem()
+	p2.AddEnumVar("d.switch", []string{"on", "off"})
+	p2.AddConstraint(cmp(rule.OpNe, sv("d.switch"), rule.StrVal("open")))
+	if _, ok := solve(t, p2); !ok {
+		t.Fatal("!= against foreign value should be trivially SAT")
+	}
+}
+
+func TestAutoDeclare(t *testing.T) {
+	p := NewProblem()
+	p.AddConstraint(cmp(rule.OpGt, iv("threshold"), rule.IntVal(10)))
+	p.AddConstraint(cmp(rule.OpEq, sv("mode"), rule.StrVal("Home")))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT with auto-declared vars")
+	}
+	if m["threshold"].Int <= 10 {
+		t.Errorf("threshold = %v", m["threshold"])
+	}
+	if m["mode"].Enum != "Home" {
+		t.Errorf("mode = %v", m["mode"])
+	}
+}
+
+func TestBoolConstants(t *testing.T) {
+	p := NewProblem()
+	p.AddBoolVar("flag")
+	p.AddConstraint(cmp(rule.OpEq, rule.Var{Name: "flag", Type: rule.TypeBool}, rule.BoolVal(true)))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m["flag"].Enum != "true" {
+		t.Errorf("flag = %v", m["flag"])
+	}
+}
+
+func TestConstConstFormulas(t *testing.T) {
+	p := NewProblem()
+	p.AddConstraint(cmp(rule.OpLt, rule.IntVal(1), rule.IntVal(2)))
+	if _, ok := solve(t, p); !ok {
+		t.Fatal("1 < 2 should be SAT")
+	}
+	p2 := NewProblem()
+	p2.AddConstraint(cmp(rule.OpEq, rule.StrVal("on"), rule.StrVal("off")))
+	if _, ok := solve(t, p2); ok {
+		t.Fatal(`"on" == "off" should be UNSAT`)
+	}
+}
+
+func TestLiteralConstraints(t *testing.T) {
+	p := NewProblem()
+	p.AddConstraint(rule.TrueC)
+	if _, ok := solve(t, p); !ok {
+		t.Fatal("true should be SAT")
+	}
+	p2 := NewProblem()
+	p2.AddConstraint(rule.FalseC)
+	if _, ok := solve(t, p2); ok {
+		t.Fatal("false should be UNSAT")
+	}
+}
+
+func TestLargeDomainDisequality(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("a", 0, 100000)
+	p.AddIntVar("b", 0, 100000)
+	p.AddConstraint(cmp(rule.OpNe, iv("a"), iv("b")))
+	p.AddConstraint(cmp(rule.OpEq, iv("a"), iv("b")))
+	if _, ok := solve(t, p); ok {
+		t.Fatal("a==b && a!=b should be UNSAT even on large domains")
+	}
+}
+
+func TestDeepDisjunctionTree(t *testing.T) {
+	p := NewProblem()
+	p.AddIntVar("x", 0, 1000)
+	// (x<10 || x>990) && (x>5) && (x<995) — SAT at e.g. 6..9 or 991..994.
+	p.AddConstraint(rule.Or{Cs: []rule.Constraint{
+		cmp(rule.OpLt, iv("x"), rule.IntVal(10)),
+		cmp(rule.OpGt, iv("x"), rule.IntVal(990)),
+	}})
+	p.AddConstraint(cmp(rule.OpGt, iv("x"), rule.IntVal(5)))
+	p.AddConstraint(cmp(rule.OpLt, iv("x"), rule.IntVal(995)))
+	m, ok := solve(t, p)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	x := m["x"].Int
+	if !((x > 5 && x < 10) || (x > 990 && x < 995)) {
+		t.Errorf("x = %d outside both windows", x)
+	}
+}
+
+// ---- property-based testing against a brute-force oracle ----
+
+// bruteSat exhaustively checks satisfiability of a conjunction of atoms
+// over small integer domains.
+func bruteSat(domains map[string][2]int64, atoms []rule.Constraint) bool {
+	names := make([]string, 0, len(domains))
+	for n := range domains {
+		names = append(names, n)
+	}
+	// deterministic order
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	assign := map[string]int64{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(names) {
+			for _, a := range atoms {
+				if !evalAtom(a, assign) {
+					return false
+				}
+			}
+			return true
+		}
+		d := domains[names[i]]
+		for v := d[0]; v <= d[1]; v++ {
+			assign[names[i]] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func evalAtom(c rule.Constraint, assign map[string]int64) bool {
+	switch x := c.(type) {
+	case rule.Cmp:
+		l := evalTerm(x.L, assign)
+		r := evalTerm(x.R, assign)
+		return evalConst(x.Op, l, r)
+	case rule.And:
+		for _, sub := range x.Cs {
+			if !evalAtom(sub, assign) {
+				return false
+			}
+		}
+		return true
+	case rule.Or:
+		for _, sub := range x.Cs {
+			if evalAtom(sub, assign) {
+				return true
+			}
+		}
+		return false
+	case rule.Not:
+		return !evalAtom(x.C, assign)
+	case rule.Lit:
+		return bool(x)
+	}
+	return false
+}
+
+func evalTerm(t rule.Term, assign map[string]int64) int64 {
+	switch x := t.(type) {
+	case rule.IntVal:
+		return int64(x)
+	case rule.Var:
+		return assign[x.Name]
+	case rule.Sum:
+		return assign[x.X.Name] + x.K
+	}
+	return 0
+}
+
+func randAtom(rng *rand.Rand, names []string) rule.Constraint {
+	ops := []rule.CmpOp{rule.OpEq, rule.OpNe, rule.OpLt, rule.OpLe, rule.OpGt, rule.OpGe}
+	op := ops[rng.Intn(len(ops))]
+	l := iv(names[rng.Intn(len(names))])
+	var r rule.Term
+	switch rng.Intn(3) {
+	case 0:
+		r = rule.IntVal(rng.Int63n(8))
+	case 1:
+		r = iv(names[rng.Intn(len(names))])
+	default:
+		r = rule.Sum{X: iv(names[rng.Intn(len(names))]), K: rng.Int63n(5) - 2}
+	}
+	return rule.Cmp{Op: op, L: l, R: r}
+}
+
+func randFormula(rng *rand.Rand, names []string, depth int) rule.Constraint {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return randAtom(rng, names)
+	}
+	n := 2 + rng.Intn(2)
+	cs := make([]rule.Constraint, n)
+	for i := range cs {
+		cs[i] = randFormula(rng, names, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return rule.And{Cs: cs}
+	}
+	return rule.Or{Cs: cs}
+}
+
+func TestSolverAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"a", "b", "c"}
+	for trial := 0; trial < 400; trial++ {
+		domains := map[string][2]int64{}
+		for _, n := range names {
+			lo := rng.Int63n(4)
+			hi := lo + rng.Int63n(5)
+			domains[n] = [2]int64{lo, hi}
+		}
+		var formulas []rule.Constraint
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			formulas = append(formulas, randFormula(rng, names, 2))
+		}
+		p := NewProblem()
+		for _, n := range names {
+			p.AddIntVar(n, domains[n][0], domains[n][1])
+		}
+		all := rule.Conj(formulas...)
+		p.AddConstraint(all)
+		got, ok, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v (formula %v)", trial, err, all)
+		}
+		want := bruteSat(domains, []rule.Constraint{all})
+		if ok != want {
+			t.Fatalf("trial %d: solver=%v brute=%v\nformula: %v\ndomains: %v",
+				trial, ok, want, all, domains)
+		}
+		if ok {
+			// Witness must actually satisfy the formula.
+			assign := map[string]int64{}
+			for _, n := range names {
+				assign[n] = got[n].Int
+			}
+			if !evalAtom(all, assign) {
+				t.Fatalf("trial %d: witness %v does not satisfy %v", trial, got, all)
+			}
+		}
+	}
+}
+
+func TestDomainOperations(t *testing.T) {
+	d := NewDomain(0, 10)
+	d = d.Remove(5)
+	if d.Contains(5) || !d.Contains(4) || !d.Contains(6) {
+		t.Errorf("Remove: %v", d)
+	}
+	if d.Size() != 10 {
+		t.Errorf("Size = %d, want 10", d.Size())
+	}
+	d2 := d.ClampMin(3).ClampMax(7)
+	if d2.Min() != 3 || d2.Max() != 7 || d2.Contains(5) {
+		t.Errorf("clamped: %v", d2)
+	}
+	i := d2.Intersect(NewDomain(6, 20))
+	if i.Min() != 6 || i.Max() != 7 {
+		t.Errorf("Intersect: %v", i)
+	}
+	if !NewDomain(3, 3).Singleton() {
+		t.Error("singleton detection")
+	}
+	if !NewDomain(5, 4).Empty() {
+		t.Error("inverted bounds should be empty")
+	}
+	lo, hi := NewDomain(0, 9).Split()
+	if lo.Max() != 4 || hi.Min() != 5 {
+		t.Errorf("Split: %v %v", lo, hi)
+	}
+	if NewDomain(1, 2).String() == "" || (Domain{}).String() != "∅" {
+		t.Error("String rendering")
+	}
+	if (Domain{}).Size() != 0 {
+		t.Error("empty size")
+	}
+	if NewDomain(1, 3).Only(2).Min() != 2 {
+		t.Error("Only")
+	}
+	if !NewDomain(1, 3).Only(9).Empty() {
+		t.Error("Only outside domain should be empty")
+	}
+}

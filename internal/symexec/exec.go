@@ -1,0 +1,666 @@
+package symexec
+
+import (
+	"homeguard/internal/capability"
+	"homeguard/internal/groovy"
+	"homeguard/internal/rule"
+)
+
+// execBlock executes statements in order, forking on branches. It returns
+// the set of states that flow past the end of the block (states that hit
+// `return` are marked st.ret and also returned — callers decide whether a
+// return terminates the path or only the inlined method).
+func (ex *executor) execBlock(stmts []groovy.Stmt, st *state) []*state {
+	states := []*state{st}
+	for _, s := range stmts {
+		var next []*state
+		for _, cur := range states {
+			if cur.ret {
+				next = append(next, cur)
+				continue
+			}
+			next = append(next, ex.execStmt(s, cur)...)
+			if len(next) > ex.lim.MaxPaths {
+				ex.warnf("path limit reached; truncating exploration")
+				next = next[:ex.lim.MaxPaths]
+			}
+		}
+		states = next
+	}
+	return states
+}
+
+// execStmt executes one statement, returning the continuing states.
+func (ex *executor) execStmt(s groovy.Stmt, st *state) []*state {
+	switch n := s.(type) {
+	case *groovy.ExprStmt:
+		return ex.execExprStmt(n.X, st)
+	case *groovy.DeclStmt:
+		return ex.execDecl(n, st)
+	case *groovy.AssignStmt:
+		return ex.execAssign(n, st)
+	case *groovy.IfStmt:
+		return ex.execIf(n, st)
+	case *groovy.SwitchStmt:
+		return ex.execSwitch(n, st)
+	case *groovy.ReturnStmt:
+		if n.Value != nil {
+			st.retVal = ex.eval(n.Value, st)
+		}
+		st.ret = true
+		return []*state{st}
+	case *groovy.ForStmt:
+		return ex.execLoop(n.Var, n.Iterable, n.Body, st)
+	case *groovy.WhileStmt:
+		// Bounded abstraction: execute the body once under the loop
+		// condition (sinks inside loops are discovered; iteration counts
+		// are not modeled).
+		if c, ok := asConstraint(ex.eval(n.Cond, st)); ok {
+			body := st.fork()
+			body.assume(c)
+			skip := st
+			skip.assume(rule.Negate(c))
+			return append(ex.execBlock(n.Body.Stmts, body), skip)
+		}
+		return append(ex.execBlock(n.Body.Stmts, st.fork()), st)
+	case *groovy.Block:
+		return ex.execBlock(n.Stmts, st)
+	case *groovy.BreakStmt, *groovy.ContinueStmt:
+		return []*state{st}
+	case *groovy.MethodDecl:
+		return []*state{st} // nested decl: nothing to execute
+	}
+	return []*state{st}
+}
+
+// execExprStmt handles statement-position expressions: sinks, user-method
+// calls (inlined with full forking), scheduling APIs, and ignorable calls.
+func (ex *executor) execExprStmt(e groovy.Expr, st *state) []*state {
+	call, ok := e.(*groovy.Call)
+	if !ok {
+		ex.eval(e, st) // evaluate for completeness (may record warnings)
+		return []*state{st}
+	}
+	return ex.execCall(call, st)
+}
+
+// execCall executes a call in statement position with path forking.
+func (ex *executor) execCall(call *groovy.Call, st *state) []*state {
+	// Scheduling APIs re-enter a scheduled method with a delay/period.
+	if call.Receiver == nil && capability.SchedulingAPIs[call.Method] {
+		return ex.execSchedulingCall(call, st)
+	}
+	// Sink APIs (messaging, HTTP, mode changes).
+	if call.Receiver == nil && ex.isAPISink(call.Method) {
+		ex.emitAPISink(call, st)
+		// httpGet-style calls take a response closure: execute it.
+		for _, a := range call.Args {
+			if cl, ok := a.(*groovy.ClosureExpr); ok {
+				return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{unknownVal{"http response"}}, st)
+			}
+		}
+		return []*state{st}
+	}
+	// Device commands and device-collection iteration.
+	if call.Receiver != nil {
+		recv := ex.eval(call.Receiver, st)
+		switch r := recv.(type) {
+		case deviceVal:
+			return ex.execDeviceCall(r, call, st)
+		case locationVal:
+			if call.Method == "setMode" {
+				ex.emitLocationMode(call, st)
+				return []*state{st}
+			}
+		case listVal, mapVal, unknownVal, stateVal:
+			// Collection iteration with closures.
+			if isIterMethod(call.Method) {
+				return ex.execIterCall(recv, call, st)
+			}
+		case closureVal:
+			if call.Method == "call" {
+				return ex.execClosure(&r, nil, st)
+			}
+		}
+		// Unknown receiver method: evaluate args for nested closures.
+		for _, a := range call.Args {
+			if cl, ok := a.(*groovy.ClosureExpr); ok {
+				return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{unknownVal{"iter"}}, st)
+			}
+		}
+		return []*state{st}
+	}
+	// setLocationMode("Night")
+	if call.Method == "setLocationMode" {
+		ex.emitLocationMode(call, st)
+		return []*state{st}
+	}
+	// sendEvent / logging / UI — ignorable.
+	if ignorableAPI(call.Method) {
+		return []*state{st}
+	}
+	// User-defined method: inline with forking.
+	if m := ex.script.Method(call.Method); m != nil {
+		return ex.inlineMethod(m, call, st)
+	}
+	// Bare closure-taking call (e.g. a find with side effects).
+	for _, a := range call.Args {
+		if cl, ok := a.(*groovy.ClosureExpr); ok {
+			return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{unknownVal{"iter"}}, st)
+		}
+	}
+	ex.warnf("unmodeled API call %q", call.Method)
+	return []*state{st}
+}
+
+// execSchedulingCall models runIn/runOnce/schedule/runEvery*.
+func (ex *executor) execSchedulingCall(call *groovy.Call, st *state) []*state {
+	var handler string
+	delay := 0
+	period := 0
+	switch call.Method {
+	case "runIn":
+		if len(call.Args) < 2 {
+			return []*state{st}
+		}
+		delay = -1 // symbolic unless a constant resolves
+		if t, ok := asTerm(ex.eval(call.Args[0], st)); ok {
+			if iv, ok := t.(rule.IntVal); ok {
+				delay = int(iv)
+			}
+		}
+		handler = handlerName(call.Args[1])
+	case "runOnce", "schedule":
+		if len(call.Args) < 2 {
+			return []*state{st}
+		}
+		handler = handlerName(call.Args[1])
+		if call.Method == "schedule" {
+			period = 86400
+		}
+	default: // runEvery*
+		if len(call.Args) < 1 {
+			return []*state{st}
+		}
+		handler = handlerName(call.Args[0])
+		period = periodOf(call.Method)
+	}
+	m := ex.script.Method(handler)
+	if m == nil {
+		ex.warnf("scheduled handler %q not found", handler)
+		return []*state{st}
+	}
+	if st.depth >= ex.lim.MaxCallDepth {
+		return []*state{st}
+	}
+	// Trace into the scheduled method: successive sinks inherit the delay.
+	sub := st.fork()
+	sub.depth++
+	if delay > 0 && sub.when >= 0 {
+		sub.when += delay
+	} else if delay < 0 {
+		sub.when = -1
+	}
+	if period > 0 {
+		sub.period = period
+	}
+	sub.env = newScope(nil)
+	outs := ex.execBlock(m.Body.Stmts, sub)
+	// The caller's own path continues unaffected (scheduling is async);
+	// returned states carry any constraints found inside for path counting
+	// but the caller state proceeds.
+	_ = outs
+	return []*state{st}
+}
+
+// execDeviceCall handles method calls on device references: capability
+// commands become sinks; attribute-ish methods are handled in eval.
+func (ex *executor) execDeviceCall(dev deviceVal, call *groovy.Call, st *state) []*state {
+	if isIterMethod(call.Method) {
+		// devices.each { d -> ... } — bind the closure parameter to the
+		// same (collection) device.
+		if len(call.Args) == 1 {
+			if cl, ok := call.Args[0].(*groovy.ClosureExpr); ok {
+				return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{dev}, st)
+			}
+		}
+		return []*state{st}
+	}
+	if cmdRef := resolveCommand(dev.in.Capability, call.Method); cmdRef != nil {
+		ex.emitDeviceSink(dev, cmdRef, call, st)
+		return []*state{st}
+	}
+	// Not a command (e.g. currentValue in statement position): evaluate.
+	ex.evalCall(call, st)
+	return []*state{st}
+}
+
+// resolveCommand finds the command definition: first within the granted
+// capability, then anywhere in the registry (devices usually support more
+// capabilities than the one they were granted through).
+func resolveCommand(capName, cmd string) *capability.CommandRef {
+	if c, ok := capability.Get(capName); ok {
+		if k := c.Cmd(cmd); k != nil {
+			return &capability.CommandRef{Capability: c, Command: k}
+		}
+	}
+	refs := capability.CommandsNamed(cmd)
+	if len(refs) > 0 {
+		return &refs[0]
+	}
+	return nil
+}
+
+// inlineMethod executes a user-defined method body with full forking.
+func (ex *executor) inlineMethod(m *groovy.MethodDecl, call *groovy.Call, st *state) []*state {
+	if st.depth >= ex.lim.MaxCallDepth {
+		ex.warnf("call depth limit at %q", m.Name)
+		return []*state{st}
+	}
+	callerEnv := st.env
+	st.depth++
+	st.env = newScope(nil)
+	for i, p := range m.Params {
+		var v value = unknownVal{"arg"}
+		if i < len(call.Args) {
+			v = ex.evalIn(call.Args[i], callerEnv, st)
+		} else if p.Default != nil {
+			v = ex.evalIn(p.Default, callerEnv, st)
+		}
+		st.env.define(p.Name, v)
+	}
+	outs := ex.execBlock(m.Body.Stmts, st)
+	for _, o := range outs {
+		o.ret = false // return ends the method, not the handler
+		o.depth--
+		o.env = callerEnv
+	}
+	return outs
+}
+
+// execClosure executes a closure body binding its parameters.
+func (ex *executor) execClosure(cv *closureVal, args []value, st *state) []*state {
+	env := cv.env
+	if env == nil {
+		env = st.env
+	}
+	inner := newScope(env)
+	if len(cv.cl.Params) == 0 {
+		if len(args) > 0 {
+			inner.define("it", args[0])
+		}
+	} else {
+		for i, p := range cv.cl.Params {
+			if i < len(args) {
+				inner.define(p.Name, args[i])
+			} else {
+				inner.define(p.Name, unknownVal{"closure arg"})
+			}
+		}
+	}
+	saved := st.env
+	st.env = inner
+	outs := ex.execBlock(cv.cl.Body.Stmts, st)
+	for _, o := range outs {
+		o.env = saved
+		o.ret = false
+	}
+	return outs
+}
+
+// execIterCall runs collection iteration (each/find/findAll/collect/any/
+// every) over a symbolic collection: the closure body executes once with a
+// symbolic element.
+func (ex *executor) execIterCall(recv value, call *groovy.Call, st *state) []*state {
+	var elem value = unknownVal{"element"}
+	if l, ok := recv.(listVal); ok && len(l.elems) > 0 {
+		elem = l.elems[0]
+	}
+	for _, a := range call.Args {
+		if cl, ok := a.(*groovy.ClosureExpr); ok {
+			return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{elem}, st)
+		}
+	}
+	return []*state{st}
+}
+
+func isIterMethod(m string) bool {
+	switch m {
+	case "each", "eachWithIndex", "find", "findAll", "collect", "any",
+		"every", "sort", "findResult":
+		return true
+	}
+	return false
+}
+
+func ignorableAPI(m string) bool {
+	switch m {
+	case "log", "debug", "trace", "info", "warn", "error",
+		"sendEvent", "createEvent",
+		"unsubscribe", "unschedule", "pause",
+		"getChildDevices", "refresh", "poll", "ping",
+		"section", "paragraph", "href", "label", "mode", "page",
+		"dynamicPage", "preferences", "definition", "input",
+		"metadata", "simulator", "tiles", "subscribeToCommand",
+		"updateSetting", "addChildDevice":
+		return true
+	}
+	return false
+}
+
+// execDecl handles `def x = expr`, including ternary forking.
+func (ex *executor) execDecl(n *groovy.DeclStmt, st *state) []*state {
+	if n.Init == nil {
+		st.env.define(n.Name, unknownVal{"uninitialised"})
+		return []*state{st}
+	}
+	if tern, ok := n.Init.(*groovy.Ternary); ok {
+		return ex.forkTernary(tern, st, func(s *state, v value) {
+			s.env.define(n.Name, v)
+			if t, ok := asTerm(v); ok {
+				s.data = append(s.data, rule.DataConstraint{Var: n.Name, Term: t})
+			}
+		})
+	}
+	v := ex.eval(n.Init, st)
+	if t, ok := asTerm(v); ok {
+		st.data = append(st.data, rule.DataConstraint{Var: n.Name, Term: t})
+	}
+	st.env.define(n.Name, v)
+	return []*state{st}
+}
+
+// execAssign handles assignments and op-assignments.
+func (ex *executor) execAssign(n *groovy.AssignStmt, st *state) []*state {
+	if tern, ok := n.Value.(*groovy.Ternary); ok && n.Op == groovy.Assign {
+		return ex.forkTernary(tern, st, func(s *state, v value) {
+			ex.assignTo(n.Target, v, s)
+		})
+	}
+	var v value
+	if n.Op == groovy.Assign {
+		v = ex.eval(n.Value, st)
+	} else {
+		// x op= v  →  x = x op v
+		op := map[groovy.Kind]groovy.Kind{
+			groovy.PlusAssign:  groovy.Plus,
+			groovy.MinusAssign: groovy.Minus,
+			groovy.StarAssign:  groovy.Star,
+			groovy.SlashAssign: groovy.Slash,
+		}[n.Op]
+		v = ex.evalBinary(op, ex.eval(n.Target, st), ex.eval(n.Value, st))
+	}
+	ex.assignTo(n.Target, v, st)
+	return []*state{st}
+}
+
+func (ex *executor) assignTo(target groovy.Expr, v value, st *state) {
+	switch t := target.(type) {
+	case *groovy.Ident:
+		if tm, ok := asTerm(v); ok {
+			st.data = append(st.data, rule.DataConstraint{Var: t.Name, Term: tm})
+		}
+		st.env.set(t.Name, v)
+	case *groovy.PropertyGet:
+		// state.x = v — track within this execution.
+		if recv := ex.eval(t.Receiver, st); recv != nil {
+			if _, isState := recv.(stateVal); isState {
+				st.env.set("state."+t.Name, v)
+				return
+			}
+		}
+	case *groovy.IndexGet:
+		// m["k"] = v — untracked.
+	}
+}
+
+// forkTernary evaluates cond ? a : b by forking the path.
+func (ex *executor) forkTernary(t *groovy.Ternary, st *state, apply func(*state, value)) []*state {
+	c, ok := asConstraint(ex.eval(t.Cond, st))
+	thenSt := st.fork()
+	elseSt := st
+	if ok {
+		thenSt.assume(c)
+		elseSt.assume(rule.Negate(c))
+	}
+	apply(thenSt, ex.eval(t.Then, thenSt))
+	apply(elseSt, ex.eval(t.Else, elseSt))
+	return []*state{thenSt, elseSt}
+}
+
+// execIf forks on the condition.
+func (ex *executor) execIf(n *groovy.IfStmt, st *state) []*state {
+	cond := ex.eval(n.Cond, st)
+	c, ok := asConstraint(cond)
+	thenSt := st.fork()
+	elseSt := st
+	if ok {
+		thenSt.assume(c)
+		elseSt.assume(rule.Negate(c))
+	} else {
+		ex.warnf("untracked branch condition; exploring both branches")
+	}
+	out := ex.execBlock(n.Then.Stmts, thenSt)
+	if n.Else != nil {
+		out = append(out, ex.execStmt(n.Else, elseSt)...)
+	} else {
+		out = append(out, elseSt)
+	}
+	return out
+}
+
+// execSwitch forks per case arm (Groovy fallthrough is not modeled: the
+// SmartThings review guidelines require a terminated case per GString
+// value, and corpus apps follow it).
+func (ex *executor) execSwitch(n *groovy.SwitchStmt, st *state) []*state {
+	subj := ex.eval(n.Subject, st)
+	subjTerm, hasTerm := asTerm(subj)
+	var out []*state
+	var negations []rule.Constraint
+	for _, cs := range n.Cases {
+		arm := st.fork()
+		if hasTerm {
+			if caseTerm, ok := asTerm(ex.eval(cs.Value, arm)); ok {
+				eq := rule.Cmp{Op: rule.OpEq, L: subjTerm, R: caseTerm}
+				arm.assume(eq)
+				negations = append(negations, rule.Negate(eq))
+			}
+		}
+		out = append(out, ex.execBlock(cs.Body.Stmts, arm)...)
+	}
+	dflt := st
+	for _, neg := range negations {
+		dflt.assume(neg)
+	}
+	if n.Default != nil {
+		out = append(out, ex.execBlock(n.Default.Stmts, dflt)...)
+	} else {
+		out = append(out, dflt)
+	}
+	return out
+}
+
+// execLoop executes for-in / C-style loops with single-iteration
+// abstraction.
+func (ex *executor) execLoop(varName string, iterable groovy.Expr, body *groovy.Block, st *state) []*state {
+	if iterable != nil {
+		it := ex.eval(iterable, st)
+		var elem value = unknownVal{"element"}
+		switch l := it.(type) {
+		case listVal:
+			if len(l.elems) > 0 {
+				elem = l.elems[0]
+			}
+		case deviceVal:
+			elem = l
+		}
+		inner := st.fork()
+		inner.env = newScope(st.env)
+		inner.env.define(varName, elem)
+		outs := ex.execBlock(body.Stmts, inner)
+		for _, o := range outs {
+			o.env = st.env
+		}
+		return append(outs, st)
+	}
+	return append(ex.execBlock(body.Stmts, st.fork()), st)
+}
+
+// ---------- sink emission ----------
+
+// emitDeviceSink records a rule for a capability command.
+func (ex *executor) emitDeviceSink(dev deviceVal, ref *capability.CommandRef, call *groovy.Call, st *state) {
+	act := rule.Action{
+		Subject:    dev.in.Name,
+		Capability: ref.Capability.Name,
+		Command:    ref.Command.Name,
+		When:       maxInt(st.when, 0),
+		Period:     st.period,
+	}
+	if st.when < 0 {
+		act.When = -1 // symbolic delay
+	}
+	for i, a := range call.Args {
+		v := ex.eval(a, st)
+		if t, ok := asTerm(v); ok {
+			act.Params = append(act.Params, t)
+			if _, isConst := t.(rule.Var); isConst {
+				act.Data = append(act.Data, rule.Cmp{
+					Op: rule.OpEq,
+					L:  rule.Var{Name: paramVar(dev.in.Name, ref.Command.Name, i), Kind: rule.VarLocal, Type: rule.TypeInt},
+					R:  t,
+				})
+			}
+		} else {
+			act.Params = append(act.Params, rule.StrVal("?"))
+		}
+	}
+	ex.emitRule(act, st)
+}
+
+func paramVar(dev, cmd string, i int) string {
+	return dev + "." + cmd + ".arg" + string(rune('0'+i))
+}
+
+// emitLocationMode records a setLocationMode/location.setMode sink.
+func (ex *executor) emitLocationMode(call *groovy.Call, st *state) {
+	act := rule.Action{
+		Subject: "location",
+		Command: "setLocationMode",
+		When:    maxInt(st.when, 0),
+		Period:  st.period,
+	}
+	if len(call.Args) > 0 {
+		if t, ok := asTerm(ex.eval(call.Args[0], st)); ok {
+			act.Params = append(act.Params, t)
+		}
+	}
+	ex.emitRule(act, st)
+}
+
+// isAPISink reports whether the bare API is a non-scheduling sink.
+func (ex *executor) isAPISink(name string) bool {
+	if capability.SchedulingAPIs[name] {
+		return false
+	}
+	return capability.IsSinkAPI(name) || capability.MessagingSinks[name]
+}
+
+// emitAPISink records messaging/HTTP/hub-command sinks.
+func (ex *executor) emitAPISink(call *groovy.Call, st *state) {
+	act := rule.Action{
+		Subject: call.Method,
+		Command: call.Method,
+		When:    maxInt(st.when, 0),
+		Period:  st.period,
+	}
+	for _, a := range call.Args {
+		if t, ok := asTerm(ex.eval(a, st)); ok {
+			act.Params = append(act.Params, t)
+		}
+	}
+	ex.emitRule(act, st)
+}
+
+// emitRule snapshots the current path into a rule, splitting event-value
+// comparisons out of the path condition into the trigger constraint.
+func (ex *executor) emitRule(act rule.Action, st *state) {
+	tr := st.trigger
+	evVar := tr.EventVar()
+	var trigCs []rule.Constraint
+	if tr.Constraint != nil {
+		trigCs = append(trigCs, tr.Constraint)
+	}
+	var condCs []rule.Constraint
+	for _, p := range st.preds {
+		for _, conj := range splitConj(p) {
+			vars := rule.Vars(conj)
+			if len(vars) >= 1 && onlyEventVar(conj, evVar) {
+				trigCs = append(trigCs, conj)
+			} else {
+				condCs = append(condCs, conj)
+			}
+		}
+	}
+	tr.Constraint = nil
+	if len(trigCs) > 0 {
+		tr.Constraint = rule.Conj(dedupConstraints(trigCs)...)
+	}
+	r := &rule.Rule{
+		App:     ex.app.Name,
+		Trigger: tr,
+		Condition: rule.Condition{
+			Data:       append([]rule.DataConstraint(nil), st.data...),
+			Predicates: dedupConstraints(condCs),
+		},
+		Action: act,
+	}
+	ex.rules = append(ex.rules, r)
+}
+
+// splitConj flattens a top-level conjunction into its conjuncts.
+func splitConj(c rule.Constraint) []rule.Constraint {
+	if and, ok := c.(rule.And); ok {
+		var out []rule.Constraint
+		for _, sub := range and.Cs {
+			out = append(out, splitConj(sub)...)
+		}
+		return out
+	}
+	return []rule.Constraint{c}
+}
+
+// onlyEventVar reports whether c compares the triggering event's value
+// (the paper: "the comparison in terms of the event's value is regarded as
+// part of the trigger constraint"). Comparisons of the event value against
+// user inputs or constants qualify; constraints not mentioning the event
+// variable do not.
+func onlyEventVar(c rule.Constraint, evVar string) bool {
+	vars := rule.VarSet(c)
+	for _, v := range vars {
+		if v.Kind == rule.VarEvent && v.Name == evVar {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupConstraints(cs []rule.Constraint) []rule.Constraint {
+	var out []rule.Constraint
+	seen := map[string]bool{}
+	for _, c := range cs {
+		k := c.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

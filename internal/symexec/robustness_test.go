@@ -1,0 +1,120 @@
+package symexec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"homeguard/internal/groovy"
+)
+
+// TestExtractNeverPanicsOnMutations: any source that parses must extract
+// without panicking (custom user apps go through this path online).
+func TestExtractNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := []byte(comfortTV)
+	alphabet := []byte("{}()[]\"'.,;: \nabcdef0123456789=<>!&|?-+*/")
+	parsed := 0
+	for trial := 0; trial < 2000; trial++ {
+		src := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				src[rng.Intn(len(src))] = alphabet[rng.Intn(len(alphabet))]
+			case 1:
+				i := rng.Intn(len(src))
+				src = append(src[:i], src[i+1:]...)
+			case 2:
+				i := rng.Intn(len(src))
+				src = append(src[:i], append([]byte{alphabet[rng.Intn(len(alphabet))]}, src[i:]...)...)
+			}
+		}
+		text := string(src)
+		if _, err := groovy.Parse(text); err != nil {
+			continue
+		}
+		parsed++
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic during extraction: %v\nsource:\n%s", r, text)
+				}
+			}()
+			_, _ = Extract(text, "")
+		}()
+	}
+	if parsed < 50 {
+		t.Logf("note: only %d mutants parsed (mutations are harsh)", parsed)
+	}
+}
+
+// TestPathLimitRespected: a pathological app with many sequential branches
+// must stay within the exploration budget rather than exploding.
+func TestPathLimitRespected(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`
+input "d", "capability.switch"
+input "s", "capability.motionSensor"
+def installed() { subscribe(s, "motion", h) }
+def h(evt) {
+`)
+	// 2^24 syntactic paths without a limit.
+	for i := 0; i < 24; i++ {
+		sb.WriteString("    if (d.currentSwitch == \"on\") { d.off() } else { d.on() }\n")
+	}
+	sb.WriteString("}\n")
+	res, err := ExtractScript(groovy.MustParse(sb.String()), "Pathological", Limits{MaxPaths: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths > 512 {
+		t.Errorf("paths = %d exceeds the limit", res.Paths)
+	}
+	warned := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "path limit") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("expected a path-limit warning")
+	}
+}
+
+// TestRecursionBounded: mutually recursive helper methods terminate via
+// the call-depth limit.
+func TestRecursionBounded(t *testing.T) {
+	src := `
+input "d", "capability.switch"
+input "s", "capability.motionSensor"
+def installed() { subscribe(s, "motion.active", h) }
+def h(evt) { a() }
+def a() { b() }
+def b() { a()
+    d.on()
+}
+`
+	res, err := Extract(src, "Recursive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules.Rules) == 0 {
+		t.Error("sink below the recursion should still be found")
+	}
+}
+
+func BenchmarkExtractComfortTV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(comfortTV, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShallowExtract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ShallowExtract(comfortTV, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

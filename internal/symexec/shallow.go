@@ -1,0 +1,108 @@
+package symexec
+
+import (
+	"strings"
+
+	"homeguard/internal/groovy"
+	"homeguard/internal/rule"
+)
+
+// ShallowExtract is the SmartAuth-style baseline extractor (Sec. V-B "Why
+// did prior approaches fail?"): it greps the AST for subscriptions and
+// sinks without tracking data flow or path conditions. It finds the same
+// trigger/action skeletons as the symbolic executor but loses the
+// constraint information introduced by variable assignments and nested
+// branches — the ablation tests demonstrate the precision gap.
+func ShallowExtract(src, appName string) (*Result, error) {
+	script, err := groovy.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ex := &executor{script: script, lim: Limits{}.withDefaults(), inputs: map[string]*InputDecl{}}
+	ex.scanPreferences()
+	if appName != "" {
+		ex.app.Name = appName
+	}
+	if ex.app.Name == "" {
+		ex.app.Name = "app"
+	}
+
+	// Subscriptions → triggers (same discovery logic as the full
+	// extractor; this part SmartAuth also gets right).
+	triggers := ex.collectTriggers()
+
+	var rules []*rule.Rule
+	for _, tr := range triggers {
+		h := script.Method(tr.handler)
+		if h == nil {
+			continue
+		}
+		// Grep the handler (and everything it can syntactically reach)
+		// for sinks, ignoring conditions and assignments.
+		seen := map[string]bool{}
+		var visit func(m *groovy.MethodDecl, depth int)
+		visit = func(m *groovy.MethodDecl, depth int) {
+			if depth > 8 || seen[m.Name] {
+				return
+			}
+			seen[m.Name] = true
+			groovy.Inspect(m.Body, func(n groovy.Node) bool {
+				call, ok := n.(*groovy.Call)
+				if !ok {
+					return true
+				}
+				if call.Receiver == nil {
+					if m2 := script.Method(call.Method); m2 != nil {
+						visit(m2, depth+1)
+						return true
+					}
+					// Follow scheduled-handler references (runIn etc.),
+					// losing the delay information.
+					for _, a := range call.Args {
+						if h := handlerName(a); h != "" {
+							if m2 := script.Method(h); m2 != nil {
+								visit(m2, depth+1)
+							}
+						}
+					}
+					if call.Method == "setLocationMode" {
+						rules = append(rules, &rule.Rule{
+							App:     ex.app.Name,
+							Trigger: tr.trigger,
+							Action:  rule.Action{Subject: "location", Command: "setLocationMode"},
+						})
+					}
+					return true
+				}
+				recvName := ""
+				if id, ok := call.Receiver.(*groovy.Ident); ok {
+					recvName = id.Name
+				}
+				in := ex.inputs[recvName]
+				if in == nil || !in.IsDevice() {
+					return true
+				}
+				if strings.HasPrefix(call.Method, "current") ||
+					call.Method == "currentValue" || call.Method == "latestValue" {
+					return true
+				}
+				if ref := resolveCommand(in.Capability, call.Method); ref != nil {
+					rules = append(rules, &rule.Rule{
+						App:     ex.app.Name,
+						Trigger: tr.trigger,
+						Action: rule.Action{
+							Subject:    in.Name,
+							Capability: ref.Capability.Name,
+							Command:    ref.Command.Name,
+						},
+					})
+				}
+				return true
+			})
+		}
+		visit(h, 0)
+	}
+	rs := &rule.RuleSet{App: ex.app.Name, Rules: rules}
+	rs.NumberRules()
+	return &Result{App: ex.app, Rules: rs}, nil
+}

@@ -1,0 +1,140 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/rule"
+)
+
+// TestShallowLosesConstraints demonstrates the paper's argument for
+// symbolic execution: the AST-grep baseline finds the same sinks but
+// cannot retrieve the constraint information from variable assignments
+// and nested branches (Sec. V-B).
+func TestShallowLosesConstraints(t *testing.T) {
+	full, err := Extract(comfortTV, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := ShallowExtract(comfortTV, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shallow.Rules.Rules) == 0 {
+		t.Fatal("shallow extractor should still find the window1.on sink")
+	}
+	fullRule := full.Rules.Rules[0]
+	shRule := shallow.Rules.Rules[0]
+
+	// Both agree on the skeleton.
+	if shRule.Action.Subject != fullRule.Action.Subject ||
+		shRule.Action.Command != fullRule.Action.Command {
+		t.Errorf("skeleton mismatch: %v vs %v", shRule.Action, fullRule.Action)
+	}
+	// The full extractor recovers the temperature constraint...
+	fullCond := fullRule.Condition.Formula().String()
+	if !strings.Contains(fullCond, "tSensor.temperature > threshold1") {
+		t.Fatalf("full condition lost: %s", fullCond)
+	}
+	// ...the shallow one has no condition at all.
+	if !shRule.Condition.Always() {
+		t.Errorf("shallow rule unexpectedly has conditions: %v", shRule.Condition)
+	}
+	if shRule.Trigger.Constraint != nil &&
+		strings.Contains(shRule.Trigger.Constraint.String(), "threshold1") {
+		t.Error("shallow extractor should not recover user-input comparisons")
+	}
+}
+
+// TestShallowOverApproximatesBranches: an app whose two branches drive
+// opposite commands looks self-contradictory under the shallow extractor
+// (both sinks share one unconstrained rule pair), while the symbolic
+// extractor separates the branches with complementary constraints.
+func TestShallowOverApproximatesBranches(t *testing.T) {
+	src := `
+input "sensor1", "capability.temperatureMeasurement"
+input "heater1", "capability.switch"
+input "setpoint", "number"
+def installed() { subscribe(sensor1, "temperature", check) }
+def check(evt) {
+    if (evt.doubleValue < setpoint) {
+        heater1.on()
+    } else {
+        heater1.off()
+    }
+}
+`
+	full, err := Extract(src, "Thermo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := ShallowExtract(src, "Thermo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rules.Rules) != 2 || len(shallow.Rules.Rules) != 2 {
+		t.Fatalf("rules: full=%d shallow=%d", len(full.Rules.Rules), len(shallow.Rules.Rules))
+	}
+	// Full: the two rules carry complementary trigger constraints; their
+	// conjunction is unsatisfiable.
+	c1 := full.Rules.Rules[0].Trigger.Constraint
+	c2 := full.Rules.Rules[1].Trigger.Constraint
+	if c1 == nil || c2 == nil {
+		t.Fatal("full extractor lost branch constraints")
+	}
+	// Shallow: both rules are unconstrained — indistinguishable
+	// situations, so a detector built on it would flag a false self-race.
+	for _, r := range shallow.Rules.Rules {
+		if r.Trigger.Constraint != nil {
+			t.Errorf("shallow rule carries a constraint: %v", r.Trigger.Constraint)
+		}
+	}
+}
+
+// TestShallowStillFindsDelayedSinks: sinks reached through helper methods
+// are found by both (the grep descends), but the runIn delay is lost.
+func TestShallowLosesDelays(t *testing.T) {
+	src := `
+input "lamp1", "capability.switch"
+def installed() { subscribe(lamp1, "switch.on", onLamp) }
+def onLamp(evt) {
+    runIn(300, lampOff)
+}
+def lampOff() {
+    lamp1.off()
+}
+`
+	full, err := Extract(src, "NightCareLike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rules.Rules[0].Action.When != 300 {
+		t.Fatalf("full extractor should model the delay, got %d", full.Rules.Rules[0].Action.When)
+	}
+	shallow, err := ShallowExtract(src, "NightCareLike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range shallow.Rules.Rules {
+		if r.Action.Command == "off" {
+			found = true
+			if r.Action.When != 0 {
+				t.Errorf("shallow extractor should not model delays, got %d", r.Action.When)
+			}
+		}
+	}
+	if !found {
+		t.Error("shallow extractor should still reach the lampOff sink")
+	}
+}
+
+func TestShallowRuleSetSerializes(t *testing.T) {
+	shallow, err := ShallowExtract(comfortTV, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rule.MarshalRuleSet(shallow.Rules); err != nil {
+		t.Fatal(err)
+	}
+}

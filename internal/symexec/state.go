@@ -1,0 +1,198 @@
+package symexec
+
+import (
+	"homeguard/internal/groovy"
+	"homeguard/internal/rule"
+)
+
+// value is a symbolic value flowing through the interpreter.
+type value interface{ isValue() }
+
+// termVal wraps a solver-tracked term (variable or constant).
+type termVal struct{ t rule.Term }
+
+// boolVal is a boolean-valued expression represented as a formula.
+type boolVal struct{ c rule.Constraint }
+
+// deviceVal is a device reference (or device collection) granted via input.
+type deviceVal struct{ in *InputDecl }
+
+// eventVal is the event object passed to a handler.
+type eventVal struct{}
+
+// devStateVal is the object returned by device.currentState("attr"): its
+// .value property reads the attribute.
+type devStateVal struct {
+	dev  string
+	attr string
+	typ  rule.ValueType
+}
+
+// listVal is a (partially) known list.
+type listVal struct{ elems []value }
+
+// mapVal is a (partially) known map.
+type mapVal struct{ entries map[string]value }
+
+// closureVal is a closure literal with its defining scope.
+type closureVal struct {
+	cl  *groovy.ClosureExpr
+	env *scope
+}
+
+// locationVal is the `location` object.
+type locationVal struct{}
+
+// stateVal is the `state` / `atomicState` object (cross-execution storage,
+// treated as symbolic input on first read).
+type stateVal struct{ atomic bool }
+
+// unknownVal is a value the executor cannot track; operations on it
+// degrade gracefully.
+type unknownVal struct{ why string }
+
+func (termVal) isValue()     {}
+func (boolVal) isValue()     {}
+func (deviceVal) isValue()   {}
+func (eventVal) isValue()    {}
+func (devStateVal) isValue() {}
+func (listVal) isValue()     {}
+func (mapVal) isValue()      {}
+func (closureVal) isValue()  {}
+func (locationVal) isValue() {}
+func (stateVal) isValue()    {}
+func (unknownVal) isValue()  {}
+
+// scope is one lexical scope in the chain.
+type scope struct {
+	vars   map[string]value
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: map[string]value{}, parent: parent}
+}
+
+func (s *scope) get(name string) (value, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// set assigns to the scope where name is defined, or defines it locally.
+func (s *scope) set(name string, v value) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if _, ok := sc.vars[name]; ok {
+			sc.vars[name] = v
+			return
+		}
+	}
+	s.vars[name] = v
+}
+
+// define creates name in this scope.
+func (s *scope) define(name string, v value) { s.vars[name] = v }
+
+// clone deep-copies the scope chain (maps copied, values shared).
+func (s *scope) clone() *scope {
+	if s == nil {
+		return nil
+	}
+	c := &scope{vars: make(map[string]value, len(s.vars)), parent: s.parent.clone()}
+	for k, v := range s.vars {
+		c.vars[k] = v
+	}
+	return c
+}
+
+// state is one symbolic execution path.
+type state struct {
+	env     *scope
+	data    []rule.DataConstraint
+	preds   []rule.Constraint
+	trigger rule.Trigger
+	when    int // accumulated runIn delay (seconds); -1 when symbolic
+	period  int
+	depth   int  // method-inlining depth
+	ret     bool // a return statement ended the current method
+	retVal  value
+}
+
+func newState(tr rule.Trigger) *state {
+	return &state{env: newScope(nil), trigger: tr}
+}
+
+// fork clones the path state (environment copied, constraint slices
+// shared-then-appended safely via full copies).
+func (st *state) fork() *state {
+	c := &state{
+		env:     st.env.clone(),
+		data:    append([]rule.DataConstraint(nil), st.data...),
+		preds:   append([]rule.Constraint(nil), st.preds...),
+		trigger: st.trigger,
+		when:    st.when,
+		period:  st.period,
+		depth:   st.depth,
+	}
+	return c
+}
+
+// assume appends a path predicate.
+func (st *state) assume(c rule.Constraint) {
+	if c == nil {
+		return
+	}
+	if lit, ok := c.(rule.Lit); ok && bool(lit) {
+		return
+	}
+	st.preds = append(st.preds, c)
+}
+
+// bind records a data constraint var := term and updates the environment.
+func (st *state) bind(name string, t rule.Term) {
+	st.data = append(st.data, rule.DataConstraint{Var: name, Term: t})
+	st.env.set(name, termVal{t: t})
+}
+
+// asTerm converts a value to a rule term when possible.
+func asTerm(v value) (rule.Term, bool) {
+	switch x := v.(type) {
+	case termVal:
+		return x.t, true
+	case devStateVal:
+		return deviceAttrVar(x.dev, x.attr, x.typ), true
+	case boolVal:
+		// A formula used as a value has no term representation.
+		return nil, false
+	}
+	return nil, false
+}
+
+// asConstraint converts a value used in boolean context into a formula.
+// Unknown values yield (nil, false): the caller explores both branches
+// unconstrained.
+func asConstraint(v value) (rule.Constraint, bool) {
+	switch x := v.(type) {
+	case boolVal:
+		return x.c, true
+	case termVal:
+		switch t := x.t.(type) {
+		case rule.BoolVal:
+			return rule.Lit(bool(t)), true
+		case rule.Var:
+			if t.Type == rule.TypeBool {
+				return rule.Cmp{Op: rule.OpEq, L: t, R: rule.BoolVal(true)}, true
+			}
+			// Groovy truth on a symbolic non-bool value: unknown.
+			return nil, false
+		case rule.StrVal:
+			return rule.Lit(string(t) != ""), true
+		case rule.IntVal:
+			return rule.Lit(int64(t) != 0), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,553 @@
+// Package symexec implements symbolic execution over SmartApp Groovy ASTs
+// to extract automation rules completely and precisely (Sec. V-B of the
+// paper). It explores every execution path from the lifecycle entry points
+// (installed/updated), treating device references, user inputs, device
+// attribute reads, HTTP responses and State as symbolic inputs; each path
+// ends at a sink (capability-protected device command or sensitive
+// SmartThings API), yielding one trigger–condition–action rule.
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"homeguard/internal/capability"
+	"homeguard/internal/groovy"
+	"homeguard/internal/rule"
+)
+
+// InputDecl describes one `input` declaration (a symbolic source bound at
+// install time).
+type InputDecl struct {
+	Name       string
+	Type       string // raw type string: "capability.switch", "number", "enum", ...
+	Capability string // capability name when Type is a capability grant
+	Multiple   bool
+	Required   bool
+	Title      string
+	Options    []string  // enum options when declared
+	Default    rule.Term // defaultValue when declared
+}
+
+// IsDevice reports whether the input grants device access.
+func (d *InputDecl) IsDevice() bool { return d.Capability != "" }
+
+// AppInfo is the metadata gathered from definition() and preferences.
+type AppInfo struct {
+	Name        string
+	Namespace   string
+	Description string
+	Category    string
+	Inputs      []InputDecl
+}
+
+// Input returns the named input declaration, or nil.
+func (a *AppInfo) Input(name string) *InputDecl {
+	for i := range a.Inputs {
+		if a.Inputs[i].Name == name {
+			return &a.Inputs[i]
+		}
+	}
+	return nil
+}
+
+// DeviceInputs returns the inputs that grant device capabilities.
+func (a *AppInfo) DeviceInputs() []*InputDecl {
+	var out []*InputDecl
+	for i := range a.Inputs {
+		if a.Inputs[i].IsDevice() {
+			out = append(out, &a.Inputs[i])
+		}
+	}
+	return out
+}
+
+// ValueInputs returns the non-device inputs (user-provided values).
+func (a *AppInfo) ValueInputs() []*InputDecl {
+	var out []*InputDecl
+	for i := range a.Inputs {
+		if !a.Inputs[i].IsDevice() {
+			out = append(out, &a.Inputs[i])
+		}
+	}
+	return out
+}
+
+// Result is the output of rule extraction on one app.
+type Result struct {
+	App      AppInfo
+	Rules    *rule.RuleSet
+	Warnings []string
+	Paths    int // number of explored execution paths
+}
+
+// Limits bound the symbolic exploration. Zero values select defaults.
+type Limits struct {
+	MaxPaths     int // maximum explored paths per app (default 4096)
+	MaxCallDepth int // maximum method-inlining depth (default 24)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxPaths == 0 {
+		l.MaxPaths = 4096
+	}
+	if l.MaxCallDepth == 0 {
+		l.MaxCallDepth = 24
+	}
+	return l
+}
+
+// ScanPreferences parses only the metadata of a script: definition()
+// fields and input declarations. The concrete interpreter and the
+// instrumenter reuse it.
+func ScanPreferences(script *groovy.Script) AppInfo {
+	ex := &executor{script: script, inputs: map[string]*InputDecl{}}
+	ex.scanPreferences()
+	return ex.app
+}
+
+// Extract parses src and extracts rules. appName overrides the name from
+// definition() when non-empty.
+func Extract(src, appName string) (*Result, error) {
+	script, err := groovy.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	return ExtractScript(script, appName, Limits{})
+}
+
+// ExtractScript extracts rules from a parsed script.
+func ExtractScript(script *groovy.Script, appName string, lim Limits) (*Result, error) {
+	ex := &executor{
+		script: script,
+		lim:    lim.withDefaults(),
+		inputs: map[string]*InputDecl{},
+	}
+	ex.scanPreferences()
+	if appName != "" {
+		ex.app.Name = appName
+	}
+	if ex.app.Name == "" {
+		ex.app.Name = "app"
+	}
+	ex.run()
+	rs := &rule.RuleSet{App: ex.app.Name, Rules: ex.rules}
+	rs.NumberRules()
+	sort.Strings(ex.warns)
+	return &Result{App: ex.app, Rules: rs, Warnings: dedupe(ex.warns), Paths: ex.paths}, nil
+}
+
+func dedupe(in []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// executor drives the symbolic exploration of one app.
+type executor struct {
+	script *groovy.Script
+	app    AppInfo
+	inputs map[string]*InputDecl
+	lim    Limits
+
+	rules []*rule.Rule
+	warns []string
+	paths int
+}
+
+func (ex *executor) warnf(format string, args ...any) {
+	ex.warns = append(ex.warns, fmt.Sprintf(format, args...))
+}
+
+// scanPreferences collects definition() metadata and input declarations.
+func (ex *executor) scanPreferences() {
+	for _, def := range groovy.FindCalls(ex.script, "definition") {
+		if v := stringArg(def.NamedArg("name")); v != "" {
+			ex.app.Name = v
+		}
+		if v := stringArg(def.NamedArg("namespace")); v != "" {
+			ex.app.Namespace = v
+		}
+		if v := stringArg(def.NamedArg("description")); v != "" {
+			ex.app.Description = v
+		}
+		if v := stringArg(def.NamedArg("category")); v != "" {
+			ex.app.Category = v
+		}
+	}
+	for _, in := range groovy.FindCalls(ex.script, "input") {
+		decl := parseInputCall(in)
+		if decl == nil {
+			continue
+		}
+		if _, dup := ex.inputs[decl.Name]; dup {
+			continue
+		}
+		ex.app.Inputs = append(ex.app.Inputs, *decl)
+		ex.inputs[decl.Name] = &ex.app.Inputs[len(ex.app.Inputs)-1]
+	}
+	// Re-point the map at the final slice backing array.
+	ex.inputs = map[string]*InputDecl{}
+	for i := range ex.app.Inputs {
+		ex.inputs[ex.app.Inputs[i].Name] = &ex.app.Inputs[i]
+	}
+}
+
+func parseInputCall(in *groovy.Call) *InputDecl {
+	// input "name", "type", named...  (or named-only form with name:/type:)
+	var name, typ string
+	if len(in.Args) >= 1 {
+		name = stringArg(in.Args[0])
+	}
+	if len(in.Args) >= 2 {
+		typ = stringArg(in.Args[1])
+	}
+	if name == "" {
+		name = stringArg(in.NamedArg("name"))
+	}
+	if typ == "" {
+		typ = stringArg(in.NamedArg("type"))
+	}
+	if name == "" || typ == "" {
+		return nil
+	}
+	decl := &InputDecl{Name: name, Type: typ, Title: stringArg(in.NamedArg("title"))}
+	if strings.HasPrefix(typ, "capability.") {
+		decl.Capability = strings.TrimPrefix(typ, "capability.")
+	} else if strings.HasPrefix(typ, "device.") {
+		// Non-standard device types (the paper's Feed My Pet / Sleepy Time
+		// special cases) — treated as a generic actuator capability.
+		decl.Capability = strings.TrimPrefix(typ, "device.")
+		if _, ok := capability.Get(decl.Capability); !ok {
+			decl.Capability = "switch"
+		}
+	}
+	if b, ok := boolArg(in.NamedArg("multiple")); ok {
+		decl.Multiple = b
+	}
+	if b, ok := boolArg(in.NamedArg("required")); ok {
+		decl.Required = b
+	}
+	if opts := in.NamedArg("options"); opts != nil {
+		if l, ok := opts.(*groovy.ListLit); ok {
+			for _, e := range l.Elems {
+				if s := stringArg(e); s != "" {
+					decl.Options = append(decl.Options, s)
+				}
+			}
+		}
+	}
+	if dv := in.NamedArg("defaultValue"); dv != nil {
+		decl.Default = litTerm(dv)
+	}
+	return decl
+}
+
+// stringArg extracts a constant string from an expression, or "".
+func stringArg(e groovy.Expr) string {
+	switch x := e.(type) {
+	case *groovy.StrLit:
+		return x.Value
+	case *groovy.GStringLit:
+		if x.IsPlain() {
+			return x.PlainText()
+		}
+	}
+	return ""
+}
+
+func boolArg(e groovy.Expr) (bool, bool) {
+	if b, ok := e.(*groovy.BoolLit); ok {
+		return b.Value, true
+	}
+	return false, false
+}
+
+// litTerm converts a literal expression to a rule term, or nil.
+func litTerm(e groovy.Expr) rule.Term {
+	switch x := e.(type) {
+	case *groovy.StrLit:
+		return rule.StrVal(x.Value)
+	case *groovy.GStringLit:
+		if x.IsPlain() {
+			return rule.StrVal(x.PlainText())
+		}
+	case *groovy.NumLit:
+		if x.IsInt {
+			return rule.IntVal(x.Int)
+		}
+		return rule.IntVal(int64(x.Float)) // integral approximation
+	case *groovy.BoolLit:
+		return rule.BoolVal(x.Value)
+	}
+	return nil
+}
+
+// run discovers triggers from the entry points and symbolically executes
+// each handler.
+func (ex *executor) run() {
+	triggers := ex.collectTriggers()
+	for _, tr := range triggers {
+		h := ex.script.Method(tr.handler)
+		if h == nil {
+			ex.warnf("handler %s not found", tr.handler)
+			continue
+		}
+		st := newState(tr.trigger)
+		st.period = tr.period
+		// Bind the handler's event parameter.
+		if len(h.Params) > 0 {
+			st.env.set(h.Params[0].Name, eventVal{})
+		}
+		ends := ex.execBlock(h.Body.Stmts, st)
+		ex.paths += len(ends)
+	}
+}
+
+// discoveredTrigger pairs a trigger with its handler method name.
+type discoveredTrigger struct {
+	trigger rule.Trigger
+	handler string
+	period  int
+}
+
+// collectTriggers abstractly evaluates the lifecycle entry points,
+// inlining helper calls, to find subscribe()/schedule()/runEvery*() calls.
+// Only `updated` (falling back to `installed`) is evaluated, mirroring the
+// app lifecycle: updated() re-subscribes everything.
+func (ex *executor) collectTriggers() []discoveredTrigger {
+	var out []discoveredTrigger
+	seen := map[string]bool{}
+	entry := ex.script.Method("updated")
+	if entry == nil {
+		entry = ex.script.Method("installed")
+	}
+	if entry == nil {
+		ex.warnf("no lifecycle entry point (installed/updated)")
+		return nil
+	}
+	var walkMethod func(m *groovy.MethodDecl, depth int)
+	walkMethod = func(m *groovy.MethodDecl, depth int) {
+		if depth > ex.lim.MaxCallDepth {
+			return
+		}
+		groovy.Inspect(m.Body, func(n groovy.Node) bool {
+			call, ok := n.(*groovy.Call)
+			if !ok {
+				return true
+			}
+			switch call.Method {
+			case "subscribe":
+				if tr, ok := ex.parseSubscribe(call); ok {
+					key := tr.trigger.Subject + "." + tr.trigger.Attribute + "->" + tr.handler
+					if tr.trigger.Constraint != nil {
+						key += tr.trigger.Constraint.String()
+					}
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, tr)
+					}
+				}
+			case "schedule", "runOnce":
+				if len(call.Args) >= 2 {
+					if h := handlerName(call.Args[1]); h != "" {
+						tr := discoveredTrigger{
+							trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
+							handler: h,
+							period:  86400,
+						}
+						if call.Method == "runOnce" {
+							tr.period = 0
+						}
+						key := "time->" + h
+						if !seen[key] {
+							seen[key] = true
+							out = append(out, tr)
+						}
+					}
+				}
+			case "runDaily":
+				// Undocumented API used by Camera Power Scheduler; modeled
+				// after the paper reported adding it (Sec. VIII-B).
+				if len(call.Args) >= 1 {
+					if h := handlerName(call.Args[0]); h != "" {
+						key := "time->" + h
+						if !seen[key] {
+							seen[key] = true
+							out = append(out, discoveredTrigger{
+								trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
+								handler: h,
+								period:  86400,
+							})
+						}
+					}
+				}
+			case "runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
+				"runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours":
+				if len(call.Args) >= 1 {
+					if h := handlerName(call.Args[0]); h != "" {
+						key := "time->" + h
+						if !seen[key] {
+							seen[key] = true
+							out = append(out, discoveredTrigger{
+								trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
+								handler: h,
+								period:  periodOf(call.Method),
+							})
+						}
+					}
+				}
+			default:
+				// Inline helper methods (initialize() etc.).
+				if call.Receiver == nil {
+					if m2 := ex.script.Method(call.Method); m2 != nil {
+						walkMethod(m2, depth+1)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walkMethod(entry, 0)
+	return out
+}
+
+func periodOf(api string) int {
+	switch api {
+	case "runEvery1Minute":
+		return 60
+	case "runEvery5Minutes":
+		return 300
+	case "runEvery10Minutes":
+		return 600
+	case "runEvery15Minutes":
+		return 900
+	case "runEvery30Minutes":
+		return 1800
+	case "runEvery1Hour":
+		return 3600
+	case "runEvery3Hours":
+		return 10800
+	}
+	return 0
+}
+
+func handlerName(e groovy.Expr) string {
+	switch x := e.(type) {
+	case *groovy.Ident:
+		return x.Name
+	case *groovy.StrLit:
+		return x.Value
+	case *groovy.GStringLit:
+		if x.IsPlain() {
+			return x.PlainText()
+		}
+	}
+	return ""
+}
+
+// parseSubscribe decodes one subscribe(...) call into a trigger.
+func (ex *executor) parseSubscribe(call *groovy.Call) (discoveredTrigger, bool) {
+	if len(call.Args) < 2 {
+		return discoveredTrigger{}, false
+	}
+	var tr rule.Trigger
+	// Subject.
+	switch subj := call.Args[0].(type) {
+	case *groovy.Ident:
+		switch subj.Name {
+		case "location":
+			tr.Subject = "location"
+		case "app":
+			tr.Subject = "app"
+		default:
+			in := ex.inputs[subj.Name]
+			if in == nil || !in.IsDevice() {
+				ex.warnf("subscribe on unknown device %q", subj.Name)
+				return discoveredTrigger{}, false
+			}
+			tr.Subject = subj.Name
+			tr.Capability = in.Capability
+		}
+	default:
+		return discoveredTrigger{}, false
+	}
+	// Attribute (and optional ".value" constraint) + handler.
+	var handler string
+	if len(call.Args) == 2 {
+		// subscribe(app, appTouch) / subscribe(location, modeChangeHandler)
+		handler = handlerName(call.Args[1])
+		switch tr.Subject {
+		case "app":
+			tr.Attribute = "touch"
+		case "location":
+			tr.Attribute = "mode"
+		default:
+			return discoveredTrigger{}, false
+		}
+	} else {
+		attr := stringArg(call.Args[1])
+		handler = handlerName(call.Args[2])
+		if attr == "" {
+			ex.warnf("non-constant subscription attribute")
+			return discoveredTrigger{}, false
+		}
+		if dot := strings.IndexByte(attr, '.'); dot >= 0 {
+			tr.Attribute = attr[:dot]
+			val := attr[dot+1:]
+			tr.Constraint = rule.Cmp{
+				Op: rule.OpEq,
+				L:  eventVar(tr.Subject, tr.Attribute, ex.attrType(tr.Capability, tr.Attribute)),
+				R:  rule.StrVal(val),
+			}
+		} else {
+			tr.Attribute = attr
+		}
+		if tr.Subject == "location" && tr.Attribute == "" {
+			tr.Attribute = "mode"
+		}
+	}
+	if handler == "" {
+		return discoveredTrigger{}, false
+	}
+	return discoveredTrigger{trigger: tr, handler: handler}, true
+}
+
+// attrType returns the value type of an attribute within a capability
+// (falling back to a registry-wide lookup).
+func (ex *executor) attrType(capName, attr string) rule.ValueType {
+	var a *capability.Attribute
+	if c, ok := capability.Get(capName); ok {
+		a = c.Attr(attr)
+	}
+	if a == nil {
+		a = capability.AttrByName(attr)
+	}
+	if a == nil {
+		return rule.TypeString
+	}
+	switch a.Kind {
+	case capability.Number:
+		return rule.TypeInt
+	default:
+		return rule.TypeString
+	}
+}
+
+// eventVar names the symbolic variable carrying the triggering event's
+// value: "<subject>.<attribute>".
+func eventVar(subject, attr string, t rule.ValueType) rule.Var {
+	return rule.Var{Name: subject + "." + attr, Kind: rule.VarEvent, Type: t}
+}
+
+// deviceAttrVar names a device attribute read: "<device>.<attribute>".
+func deviceAttrVar(dev, attr string, t rule.ValueType) rule.Var {
+	return rule.Var{Name: dev + "." + attr, Kind: rule.VarDeviceAttr, Type: t}
+}

@@ -1,0 +1,679 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/rule"
+)
+
+// comfortTV is Listing 1 of the paper (Rule 1 / Fig. 3).
+const comfortTV = `
+definition(
+    name: "ComfortTV",
+    namespace: "repro",
+    author: "x",
+    description: "Open the window when the TV turns on and it is hot inside.",
+    category: "Convenience")
+
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch"
+
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+`
+
+func extract(t *testing.T, src, name string) *Result {
+	t.Helper()
+	res, err := Extract(src, name)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	return res
+}
+
+func TestTable2ComfortTV(t *testing.T) {
+	res := extract(t, comfortTV, "")
+	if res.App.Name != "ComfortTV" {
+		t.Errorf("app name = %q", res.App.Name)
+	}
+	if len(res.Rules.Rules) != 1 {
+		for _, r := range res.Rules.Rules {
+			t.Logf("rule: %s", r)
+		}
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+
+	// Trigger (Table II column 1).
+	if r.Trigger.Subject != "tv1" || r.Trigger.Attribute != "switch" {
+		t.Errorf("trigger = %+v", r.Trigger)
+	}
+	if r.Trigger.Constraint == nil {
+		t.Fatal("trigger constraint missing")
+	}
+	if got := r.Trigger.Constraint.String(); !strings.Contains(got, `tv1.switch == "on"`) {
+		t.Errorf("trigger constraint = %s", got)
+	}
+
+	// Condition (Table II column 2): data constraint t = tSensor.temperature,
+	// predicates t > threshold1 (resolved) and window1.switch == off.
+	foundData := false
+	for _, d := range r.Condition.Data {
+		if d.Var == "t" {
+			if v, ok := d.Term.(rule.Var); ok && v.Name == "tSensor.temperature" {
+				foundData = true
+			}
+		}
+	}
+	if !foundData {
+		t.Errorf("data constraints = %v", r.Condition.Data)
+	}
+	condStr := r.Condition.Formula().String()
+	if !strings.Contains(condStr, "tSensor.temperature > threshold1") {
+		t.Errorf("condition missing temperature predicate: %s", condStr)
+	}
+	if !strings.Contains(condStr, `window1.switch == "off"`) {
+		t.Errorf("condition missing window state predicate: %s", condStr)
+	}
+
+	// Action (Table II column 3).
+	a := r.Action
+	if a.Subject != "window1" || a.Command != "on" || a.When != 0 || a.Period != 0 {
+		t.Errorf("action = %+v", a)
+	}
+	if a.Capability != "switch" {
+		t.Errorf("action capability = %q", a.Capability)
+	}
+}
+
+func TestInputsCollected(t *testing.T) {
+	res := extract(t, comfortTV, "")
+	if len(res.App.Inputs) != 4 {
+		t.Fatalf("inputs = %d, want 4", len(res.App.Inputs))
+	}
+	tv := res.App.Input("tv1")
+	if tv == nil || tv.Capability != "switch" || !tv.IsDevice() {
+		t.Errorf("tv1 input = %+v", tv)
+	}
+	th := res.App.Input("threshold1")
+	if th == nil || th.IsDevice() || th.Type != "number" {
+		t.Errorf("threshold1 input = %+v", th)
+	}
+	if len(res.App.DeviceInputs()) != 3 || len(res.App.ValueInputs()) != 1 {
+		t.Errorf("device/value split = %d/%d",
+			len(res.App.DeviceInputs()), len(res.App.ValueInputs()))
+	}
+}
+
+// coldDefender implements Rule 2 of Fig. 3: close the window when the TV
+// turns on while it is raining.
+const coldDefender = `
+definition(name: "ColdDefender", namespace: "repro", author: "x",
+    description: "Close the window when the TV is on and it rains.", category: "Safety")
+input "tv1", "capability.switch"
+input "window1", "capability.switch"
+input "weather", "enum", options: ["sunny", "rainy", "cloudy"]
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(tv1, "switch.on", onHandler)
+}
+def onHandler(evt) {
+    if (weather == "rainy") {
+        window1.off()
+    }
+}
+`
+
+func TestSubscribeWithValueConstraint(t *testing.T) {
+	res := extract(t, coldDefender, "")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Trigger.Constraint == nil ||
+		!strings.Contains(r.Trigger.Constraint.String(), `tv1.switch == "on"`) {
+		t.Errorf("trigger constraint = %v", r.Trigger.Constraint)
+	}
+	if r.Action.Command != "off" || r.Action.Subject != "window1" {
+		t.Errorf("action = %+v", r.Action)
+	}
+	cond := rule.Conj(r.Condition.Predicates...).String()
+	if !strings.Contains(cond, `weather == "rainy"`) {
+		t.Errorf("condition = %s", cond)
+	}
+}
+
+func TestInitializeInlining(t *testing.T) {
+	// ColdDefender subscribes inside initialize(), reached from updated().
+	res := extract(t, coldDefender, "")
+	if len(res.Rules.Rules) == 0 {
+		t.Fatal("subscription inside initialize() not discovered")
+	}
+}
+
+const catchLiveShow = `
+definition(name: "CatchLiveShow", namespace: "repro", author: "x",
+    description: "Turn on the TV when a voice message arrives on Thursdays.", category: "Fun")
+input "tv1", "capability.switch"
+input "dayOfWeek", "enum", options: ["Monday","Thursday","Sunday"]
+def installed() { subscribe(app, appTouch) }
+def updated() { subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (dayOfWeek == "Thursday") {
+        tv1.on()
+    }
+}
+`
+
+func TestAppTouchTrigger(t *testing.T) {
+	res := extract(t, catchLiveShow, "")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Trigger.Subject != "app" || r.Trigger.Attribute != "touch" {
+		t.Errorf("trigger = %+v", r.Trigger)
+	}
+	if r.Action.Subject != "tv1" || r.Action.Command != "on" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+const nightCare = `
+definition(name: "NightCare", namespace: "repro", author: "x",
+    description: "Turn off the floor lamp 5 minutes after it is turned on while sleeping.", category: "Green Living")
+input "lamp", "capability.switch"
+def installed() { subscribe(lamp, "switch.on", lampOn) }
+def updated() { unsubscribe(); subscribe(lamp, "switch.on", lampOn) }
+def lampOn(evt) {
+    if (location.mode == "sleep") {
+        runIn(300, turnOffLamp)
+    }
+}
+def turnOffLamp() {
+    lamp.off()
+}
+`
+
+func TestRunInDelayedAction(t *testing.T) {
+	res := extract(t, nightCare, "")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1 (delayed off)", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Action.Command != "off" || r.Action.When != 300 {
+		t.Errorf("action = %+v, want off with when=300", r.Action)
+	}
+	cond := rule.Conj(r.Condition.Predicates...).String()
+	if !strings.Contains(cond, `location.mode == "sleep"`) {
+		t.Errorf("condition = %s", cond)
+	}
+}
+
+const burglarFinder = `
+definition(name: "BurglarFinder", namespace: "repro", author: "x",
+    description: "Sound the alarm when the floor lamp turns on at midnight with motion.", category: "Safety")
+input "lamp", "capability.switch"
+input "motion1", "capability.motionSensor"
+input "alarm1", "capability.alarm"
+def installed() { subscribe(lamp, "switch.on", lampOn) }
+def updated() { unsubscribe(); subscribe(lamp, "switch.on", lampOn) }
+def lampOn(evt) {
+    if (motion1.currentMotion == "active" && location.mode == "Night") {
+        alarm1.siren()
+    }
+}
+`
+
+func TestBurglarFinder(t *testing.T) {
+	res := extract(t, burglarFinder, "")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Action.Subject != "alarm1" || r.Action.Command != "siren" || r.Action.Capability != "alarm" {
+		t.Errorf("action = %+v", r.Action)
+	}
+	cond := rule.Conj(r.Condition.Predicates...).String()
+	for _, want := range []string{`motion1.motion == "active"`, `location.mode == "Night"`} {
+		if !strings.Contains(cond, want) {
+			t.Errorf("condition missing %q: %s", want, cond)
+		}
+	}
+}
+
+func TestSwitchStatementBranches(t *testing.T) {
+	src := `
+input "sensor1", "capability.contactSensor"
+input "light1", "capability.switch"
+input "siren1", "capability.alarm"
+def installed() { subscribe(sensor1, "contact", handler) }
+def handler(evt) {
+    switch (evt.value) {
+        case "open":
+            light1.on()
+            break
+        case "closed":
+            light1.off()
+            break
+        default:
+            siren1.siren()
+    }
+}
+`
+	res := extract(t, src, "SwitchApp")
+	if len(res.Rules.Rules) != 3 {
+		for _, r := range res.Rules.Rules {
+			t.Logf("rule: %s", r)
+		}
+		t.Fatalf("rules = %d, want 3", len(res.Rules.Rules))
+	}
+	// The case comparisons involve the event var only → trigger constraints.
+	var onRule, offRule, defRule *rule.Rule
+	for _, r := range res.Rules.Rules {
+		switch {
+		case r.Action.Command == "on":
+			onRule = r
+		case r.Action.Command == "off":
+			offRule = r
+		case r.Action.Command == "siren":
+			defRule = r
+		}
+	}
+	if onRule == nil || offRule == nil || defRule == nil {
+		t.Fatal("missing expected rules")
+	}
+	if !strings.Contains(onRule.Trigger.Constraint.String(), `"open"`) {
+		t.Errorf("on-rule trigger = %v", onRule.Trigger.Constraint)
+	}
+	if !strings.Contains(offRule.Trigger.Constraint.String(), `"closed"`) {
+		t.Errorf("off-rule trigger = %v", offRule.Trigger.Constraint)
+	}
+	// Default arm carries the negations.
+	if defRule.Trigger.Constraint == nil ||
+		!strings.Contains(defRule.Trigger.Constraint.String(), "!=") {
+		t.Errorf("default-rule trigger = %v", defRule.Trigger.Constraint)
+	}
+}
+
+func TestEachClosureOverDevices(t *testing.T) {
+	src := `
+input "switches", "capability.switch", multiple: true
+input "motion1", "capability.motionSensor"
+def installed() { subscribe(motion1, "motion.active", handler) }
+def handler(evt) {
+    switches.each { s ->
+        s.on()
+    }
+}
+`
+	res := extract(t, src, "EachApp")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Action.Subject != "switches" || r.Action.Command != "on" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestLocationModeTriggerAndSink(t *testing.T) {
+	src := `
+input "locks", "capability.lock", multiple: true
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Away") {
+        locks.lock()
+        setLocationMode("Secure")
+    }
+}
+`
+	res := extract(t, src, "ModeApp")
+	if len(res.Rules.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (lock + setLocationMode)", len(res.Rules.Rules))
+	}
+	var lockRule, modeRule *rule.Rule
+	for _, r := range res.Rules.Rules {
+		if r.Action.Command == "lock" {
+			lockRule = r
+		}
+		if r.Action.Command == "setLocationMode" {
+			modeRule = r
+		}
+	}
+	if lockRule == nil || modeRule == nil {
+		t.Fatal("missing rules")
+	}
+	if lockRule.Trigger.Subject != "location" || lockRule.Trigger.Attribute != "mode" {
+		t.Errorf("trigger = %+v", lockRule.Trigger)
+	}
+	if !strings.Contains(lockRule.Trigger.Constraint.String(), `"Away"`) {
+		t.Errorf("trigger constraint = %v", lockRule.Trigger.Constraint)
+	}
+	if len(modeRule.Action.Params) != 1 {
+		t.Errorf("setLocationMode params = %v", modeRule.Action.Params)
+	}
+}
+
+func TestScheduledTrigger(t *testing.T) {
+	src := `
+input "lights", "capability.switch", multiple: true
+def installed() { schedule("0 0 22 * * ?", nightly) }
+def updated() { unschedule(); schedule("0 0 22 * * ?", nightly) }
+def nightly() {
+    lights.off()
+}
+`
+	res := extract(t, src, "Scheduler")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Trigger.Subject != "time" || r.Trigger.Attribute != "schedule" {
+		t.Errorf("trigger = %+v", r.Trigger)
+	}
+	if r.Action.Period != 86400 {
+		t.Errorf("period = %d, want 86400 (daily)", r.Action.Period)
+	}
+}
+
+func TestRunEveryTrigger(t *testing.T) {
+	src := `
+input "meter", "capability.powerMeter"
+input "heavyLoads", "capability.switch", multiple: true
+input "maxPower", "number"
+def installed() { runEvery5Minutes(checkPower) }
+def checkPower() {
+    if (meter.currentPower > maxPower) {
+        heavyLoads.off()
+    }
+}
+`
+	res := extract(t, src, "PowerCheck")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Action.Period != 300 {
+		t.Errorf("period = %d, want 300", r.Action.Period)
+	}
+	cond := r.Condition.Formula().String()
+	if !strings.Contains(cond, "meter.power > maxPower") {
+		t.Errorf("condition = %s", cond)
+	}
+}
+
+func TestSendSmsSink(t *testing.T) {
+	src := `
+input "door1", "capability.contactSensor"
+input "phone1", "phone"
+def installed() { subscribe(door1, "contact.open", opened) }
+def opened(evt) {
+    sendSms(phone1, "door opened")
+}
+`
+	res := extract(t, src, "Notifier")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	r := res.Rules.Rules[0]
+	if r.Action.Subject != "sendSms" || r.Action.Command != "sendSms" {
+		t.Errorf("action = %+v", r.Action)
+	}
+}
+
+func TestElseBranchRule(t *testing.T) {
+	src := `
+input "sensor1", "capability.temperatureMeasurement"
+input "heater1", "capability.switch"
+input "setpoint", "number"
+def installed() { subscribe(sensor1, "temperature", check) }
+def check(evt) {
+    if (evt.doubleValue < setpoint) {
+        heater1.on()
+    } else {
+        heater1.off()
+    }
+}
+`
+	res := extract(t, src, "ThermostatLike")
+	if len(res.Rules.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(res.Rules.Rules))
+	}
+	for _, r := range res.Rules.Rules {
+		c := r.Trigger.Constraint
+		if c == nil {
+			t.Errorf("rule %s: trigger constraint missing (numeric event comparison)", r.ID)
+			continue
+		}
+		s := c.String()
+		if r.Action.Command == "on" && !strings.Contains(s, "<") {
+			t.Errorf("on-rule constraint = %s", s)
+		}
+		if r.Action.Command == "off" && !strings.Contains(s, ">=") {
+			t.Errorf("off-rule (negated) constraint = %s", s)
+		}
+	}
+}
+
+func TestTernaryForking(t *testing.T) {
+	src := `
+input "sensor1", "capability.illuminanceMeasurement"
+input "dimmer1", "capability.switchLevel"
+input "darkLevel", "number"
+def installed() { subscribe(sensor1, "illuminance", adjust) }
+def adjust(evt) {
+    def level = evt.integerValue < darkLevel ? 100 : 20
+    dimmer1.setLevel(level)
+}
+`
+	res := extract(t, src, "Dimmer")
+	if len(res.Rules.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (ternary forks the path)", len(res.Rules.Rules))
+	}
+	params := map[string]bool{}
+	for _, r := range res.Rules.Rules {
+		if len(r.Action.Params) == 1 {
+			params[r.Action.Params[0].String()] = true
+		}
+	}
+	if !params["100"] || !params["20"] {
+		t.Errorf("setLevel params = %v, want 100 and 20", params)
+	}
+}
+
+func TestStateTracking(t *testing.T) {
+	src := `
+input "button1", "capability.button"
+input "light1", "capability.switch"
+def installed() { subscribe(button1, "button.pushed", toggle) }
+def toggle(evt) {
+    if (state.lastOn == 1) {
+        light1.off()
+        state.lastOn = 0
+    } else {
+        light1.on()
+        state.lastOn = 1
+    }
+}
+`
+	res := extract(t, src, "Toggle")
+	if len(res.Rules.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(res.Rules.Rules))
+	}
+	// The state.lastOn read is a symbolic input appearing in conditions.
+	var found bool
+	for _, r := range res.Rules.Rules {
+		for _, p := range r.Condition.Predicates {
+			if strings.Contains(p.String(), "state.lastOn") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("state.lastOn should appear as a symbolic condition input")
+	}
+}
+
+func TestTimeOfDayWindow(t *testing.T) {
+	src := `
+input "motion1", "capability.motionSensor"
+input "light1", "capability.switch"
+input "fromTime", "time"
+input "toTime", "time"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (timeOfDayIsBetween(fromTime, toTime, new Date(), location.timeZone)) {
+        light1.on()
+    }
+}
+`
+	res := extract(t, src, "NightLight")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	cond := rule.Conj(res.Rules.Rules[0].Condition.Predicates...).String()
+	if !strings.Contains(cond, "env.timeOfDay >= fromTime") ||
+		!strings.Contains(cond, "env.timeOfDay <= toTime") {
+		t.Errorf("condition = %s", cond)
+	}
+}
+
+func TestWebServiceAppHasNoRules(t *testing.T) {
+	src := `
+definition(name: "WebThing", namespace: "x", author: "x",
+    description: "Expose endpoints.", category: "SmartThings Labs")
+input "switches", "capability.switch", multiple: true
+mappings {
+    path("/switches") { action: [GET: "listSwitches"] }
+}
+def installed() { }
+def updated() { }
+def listSwitches() {
+    switches.on()
+}
+`
+	res := extract(t, src, "")
+	// No subscriptions → no automation rules (the request handler's logic
+	// is outside TCA automation; Sec. VIII-B excludes such apps).
+	if len(res.Rules.Rules) != 0 {
+		t.Errorf("web-service app rules = %d, want 0", len(res.Rules.Rules))
+	}
+}
+
+func TestArithmeticInConditions(t *testing.T) {
+	src := `
+input "meter", "capability.powerMeter"
+input "loads", "capability.switch", multiple: true
+input "limit", "number"
+def installed() { subscribe(meter, "power", check) }
+def check(evt) {
+    def margin = limit - 50
+    if (evt.doubleValue > margin) {
+        loads.off()
+    }
+}
+`
+	res := extract(t, src, "Margin")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d", len(res.Rules.Rules))
+	}
+	// margin = limit - 50 appears as a Sum term in the trigger constraint
+	// (evt comparison) after resolution.
+	r := res.Rules.Rules[0]
+	full := r.TriggerConditionFormula().String()
+	if !strings.Contains(full, "limit - 50") {
+		t.Errorf("sum term missing: %s", full)
+	}
+}
+
+func TestMultipleSubscriptionsMultipleRules(t *testing.T) {
+	src := `
+input "door1", "capability.contactSensor"
+input "motion1", "capability.motionSensor"
+input "light1", "capability.switch"
+def installed() {
+    subscribe(door1, "contact.open", onOpen)
+    subscribe(motion1, "motion.active", onMotion)
+}
+def onOpen(evt) { light1.on() }
+def onMotion(evt) { light1.on() }
+`
+	res := extract(t, src, "TwoTriggers")
+	if len(res.Rules.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(res.Rules.Rules))
+	}
+	subjects := map[string]bool{}
+	for _, r := range res.Rules.Rules {
+		subjects[r.Trigger.Subject] = true
+	}
+	if !subjects["door1"] || !subjects["motion1"] {
+		t.Errorf("trigger subjects = %v", subjects)
+	}
+}
+
+func TestPathCountReported(t *testing.T) {
+	res := extract(t, comfortTV, "")
+	if res.Paths < 2 {
+		t.Errorf("paths = %d, want >= 2 (two nested branches)", res.Paths)
+	}
+}
+
+func TestUnknownHandlerWarning(t *testing.T) {
+	src := `
+input "d", "capability.switch"
+def installed() { subscribe(d, "switch", missingHandler) }
+`
+	res := extract(t, src, "Broken")
+	if len(res.Warnings) == 0 {
+		t.Error("expected a warning for the missing handler")
+	}
+}
+
+func TestRuleIDsAssigned(t *testing.T) {
+	res := extract(t, comfortTV, "")
+	for _, r := range res.Rules.Rules {
+		if r.ID == "" || r.App == "" {
+			t.Errorf("rule missing id/app: %+v", r)
+		}
+	}
+}
+
+func TestElvisDefault(t *testing.T) {
+	src := `
+input "motion1", "capability.motionSensor"
+input "light1", "capability.switch"
+input "delayMin", "number", required: false
+def installed() { subscribe(motion1, "motion.inactive", onStop) }
+def onStop(evt) {
+    def d = delayMin ?: 10
+    runIn(60 * d, lightsOut)
+}
+def lightsOut() { light1.off() }
+`
+	res := extract(t, src, "Elvis")
+	if len(res.Rules.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(res.Rules.Rules))
+	}
+	// Delay is symbolic (depends on user input) → When = -1.
+	if res.Rules.Rules[0].Action.When != -1 {
+		t.Errorf("when = %d, want -1 (symbolic)", res.Rules.Rules[0].Action.When)
+	}
+}
