@@ -1,0 +1,388 @@
+// Command homeguardd is the HomeGuard fleet daemon: an HTTP/JSON service
+// that runs install-time CAI detection for many homes at once, sharing
+// one content-addressed extraction cache across the fleet.
+//
+// Usage:
+//
+//	homeguardd [-addr :8080] [-shards 16]
+//
+// API:
+//
+//	POST /homes/{id}/install      body {"source": "..."} or {"corpus": "AppName"},
+//	                              optional "config"; returns the install
+//	                              result (rules, threats, chains, report)
+//	POST /homes/{id}/reconfigure  body {"app": "AppName", "config": {...}};
+//	                              returns threats under the new config;
+//	                              omitting config keeps the current one
+//	POST /homes/{id}/accept       body {"threats": [0, 2]} — accept
+//	                              threats by log index so later installs
+//	                              report chains through them (Sec. VI-D)
+//	GET  /homes/{id}/threats      every threat reported for the home
+//	GET  /homes/{id}/apps         installed app names
+//	GET  /metrics                 fleet metrics: homes, installs, cache
+//	                              hit rate, p50/p99 install latency,
+//	                              per-threat-kind counts
+//	GET  /healthz                 liveness probe
+//
+// The config object has four optional maps:
+//
+//	{
+//	  "devices":     {"inputName": "device-id"},
+//	  "values":      {"inputName": "string or number or bool"},
+//	  "valueLists":  {"inputName": ["a", "b"]},
+//	  "deviceTypes": {"inputName": "heater"}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"time"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/fleet"
+	"homeguard/internal/frontend"
+	"homeguard/internal/rule"
+)
+
+// maxBodyBytes caps request bodies (SmartApp sources are a few KB; 4 MiB
+// leaves generous headroom while keeping one request from exhausting the
+// daemon's memory).
+const maxBodyBytes = 4 << 20
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 16, "home-map shard count")
+	flag.Parse()
+
+	srv := newServer(fleet.Options{Shards: *shards})
+	log.Printf("homeguardd: fleet daemon listening on %s", *addr)
+	// Explicit timeouts: the default zero-timeout server lets stalled
+	// peers hold connections (and their goroutines) forever.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+type server struct {
+	fleet *fleet.Fleet
+	mux   *http.ServeMux
+}
+
+func newServer(opts fleet.Options) *server {
+	s := &server{fleet: fleet.New(opts), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /homes/{id}/install", s.handleInstall)
+	s.mux.HandleFunc("POST /homes/{id}/reconfigure", s.handleReconfigure)
+	s.mux.HandleFunc("POST /homes/{id}/accept", s.handleAccept)
+	s.mux.HandleFunc("GET /homes/{id}/threats", s.handleThreats)
+	s.mux.HandleFunc("GET /homes/{id}/apps", s.handleApps)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ---------- request/response shapes ----------
+
+type configJSON struct {
+	Devices     map[string]string   `json:"devices,omitempty"`
+	Values      map[string]any      `json:"values,omitempty"`
+	ValueLists  map[string][]string `json:"valueLists,omitempty"`
+	DeviceTypes map[string]string   `json:"deviceTypes,omitempty"`
+}
+
+func (c *configJSON) toConfig() (*detect.Config, error) {
+	if c == nil {
+		return nil, nil
+	}
+	cfg := detect.NewConfig()
+	for k, v := range c.Devices {
+		cfg.Devices[k] = v
+	}
+	for k, v := range c.Values {
+		switch x := v.(type) {
+		case string:
+			cfg.Values[k] = rule.StrVal(x)
+		case float64:
+			if x != math.Trunc(x) {
+				return nil, fmt.Errorf("config value %q: %v is not an integer (the rule domain is integral)", k, x)
+			}
+			// Out-of-range float→int64 conversion is implementation-
+			// dependent in Go; reject instead of storing garbage.
+			// (float64(1<<63) is exactly 2^63; anything below fits.)
+			if x < math.MinInt64 || x >= float64(1<<63) {
+				return nil, fmt.Errorf("config value %q: %v overflows the integer domain", k, x)
+			}
+			cfg.Values[k] = rule.IntVal(int64(x))
+		case bool:
+			cfg.Values[k] = rule.BoolVal(x)
+		default:
+			return nil, fmt.Errorf("config value %q: unsupported type %T", k, v)
+		}
+	}
+	for k, v := range c.ValueLists {
+		cfg.ValueLists[k] = v
+	}
+	for k, v := range c.DeviceTypes {
+		cfg.DeviceTypes[k] = envmodel.DeviceType(v)
+	}
+	return cfg, nil
+}
+
+type installRequest struct {
+	// Source is raw SmartApp Groovy; Corpus names a built-in corpus app.
+	// Exactly one must be set.
+	Source string      `json:"source,omitempty"`
+	Corpus string      `json:"corpus,omitempty"`
+	Config *configJSON `json:"config,omitempty"`
+}
+
+type threatJSON struct {
+	// Index is this threat's position in the home's threat log, usable
+	// with POST /homes/{id}/accept. -1 in responses that don't carry
+	// log positions.
+	Index    int    `json:"index"`
+	Kind     string `json:"kind"`
+	Class    string `json:"class"`
+	Rule1    string `json:"rule1"`
+	Rule2    string `json:"rule2"`
+	Property string `json:"property,omitempty"`
+	Note     string `json:"note,omitempty"`
+	Text     string `json:"text"`
+}
+
+func toThreatJSON(t detect.Threat, index int) threatJSON {
+	return threatJSON{
+		Index:    index,
+		Kind:     string(t.Kind),
+		Class:    t.Kind.Class(),
+		Rule1:    t.R1.QualifiedID(),
+		Rule2:    t.R2.QualifiedID(),
+		Property: string(t.Property),
+		Note:     t.Note,
+		Text:     frontend.DescribeThreat(t),
+	}
+}
+
+// toThreatsJSON renders threats with log indices starting at logBase;
+// pass a negative logBase for responses without log positions.
+func toThreatsJSON(ts []detect.Threat, logBase int) []threatJSON {
+	out := make([]threatJSON, 0, len(ts))
+	for i, t := range ts {
+		idx := -1
+		if logBase >= 0 {
+			idx = logBase + i
+		}
+		out = append(out, toThreatJSON(t, idx))
+	}
+	return out
+}
+
+type installResponse struct {
+	HomeID   string       `json:"homeId"`
+	App      string       `json:"app"`
+	Rules    []string     `json:"rules"`
+	Threats  []threatJSON `json:"threats"`
+	Chains   []string     `json:"chains,omitempty"`
+	Report   string       `json:"report"`
+	Warnings []string     `json:"warnings,omitempty"`
+}
+
+// ---------- handlers ----------
+
+func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	homeID := r.PathValue("id")
+	var req installRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	src := req.Source
+	switch {
+	case src != "" && req.Corpus != "":
+		httpError(w, http.StatusBadRequest, "set exactly one of source and corpus")
+		return
+	case src == "" && req.Corpus == "":
+		httpError(w, http.StatusBadRequest, "set exactly one of source and corpus")
+		return
+	case req.Corpus != "":
+		app, ok := corpus.Get(req.Corpus)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown corpus app %q", req.Corpus)
+			return
+		}
+		src = app.Source
+	}
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.fleet.Install(homeID, src, cfg)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, fleet.ErrAppInstalled) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	resp := installResponse{
+		HomeID:   res.HomeID,
+		App:      res.App.Name,
+		Rules:    make([]string, 0, len(res.Rules)),
+		Threats:  toThreatsJSON(res.Threats, res.ThreatLogBase),
+		Report:   res.Report,
+		Warnings: res.Warnings,
+	}
+	for _, ru := range res.Rules {
+		resp.Rules = append(resp.Rules, frontend.DescribeRule(ru))
+	}
+	for _, c := range res.Chains {
+		resp.Chains = append(resp.Chains, frontend.DescribeChain(c))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type reconfigureRequest struct {
+	App    string      `json:"app"`
+	Config *configJSON `json:"config,omitempty"`
+}
+
+func (s *server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	homeID := r.PathValue("id")
+	var req reconfigureRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.App == "" {
+		httpError(w, http.StatusBadRequest, "app is required")
+		return
+	}
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	threats, logBase, err := s.fleet.Reconfigure(homeID, req.App, cfg)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, fleet.ErrUnknownHome) || errors.Is(err, fleet.ErrAppNotInstalled) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"homeId":  homeID,
+		"app":     req.App,
+		"threats": toThreatsJSON(threats, logBase),
+	})
+}
+
+type acceptRequest struct {
+	// Threats are indices into the home's threat log (the "index" field
+	// of install and threat-log responses).
+	Threats []int `json:"threats"`
+}
+
+func (s *server) handleAccept(w http.ResponseWriter, r *http.Request) {
+	homeID := r.PathValue("id")
+	var req acceptRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Threats) == 0 {
+		httpError(w, http.StatusBadRequest, "threats (log indices) is required")
+		return
+	}
+	if err := s.fleet.AcceptByIndex(homeID, req.Threats...); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, fleet.ErrUnknownHome) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"homeId": homeID, "accepted": len(req.Threats)})
+}
+
+func (s *server) handleThreats(w http.ResponseWriter, r *http.Request) {
+	homeID := r.PathValue("id")
+	threats, err := s.fleet.Threats(homeID)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"homeId":  homeID,
+		"threats": toThreatsJSON(threats, 0),
+	})
+}
+
+func (s *server) handleApps(w http.ResponseWriter, r *http.Request) {
+	homeID := r.PathValue("id")
+	apps, err := s.fleet.Apps(homeID)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"homeId": homeID, "apps": apps})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.fleet.Metrics()
+	kinds := map[string]uint64{}
+	for k, v := range m.ThreatsByKind {
+		kinds[string(k)] = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"homes":            m.Homes,
+		"installs":         m.Installs,
+		"installErrors":    m.InstallErrors,
+		"installConflicts": m.InstallConflicts,
+		"reconfigures":     m.Reconfigures,
+		"threatsByKind":    kinds,
+		"installP50Ms":     float64(m.InstallP50.Microseconds()) / 1000.0,
+		"installP99Ms":     float64(m.InstallP99.Microseconds()) / 1000.0,
+		"cacheLookups":     m.Cache.Lookups,
+		"cacheHits":        m.Cache.Hits,
+		"cacheMisses":      m.Cache.Misses,
+		"cacheEntries":     m.Cache.Entries,
+		"cacheHitRate":     m.Cache.HitRate(),
+		"distinctApps":     m.Cache.Entries,
+		"extractionsRun":   m.Cache.Misses,
+	})
+}
+
+// ---------- helpers ----------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("homeguardd: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"homeguard/internal/fleet"
+)
+
+func doJSON(t *testing.T, srv *server, method, path string, body any) (int, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	w := httptest.NewRecorder()
+	srv.mux.ServeHTTP(w, req)
+	var out map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q: %v", method, path, w.Body.String(), err)
+	}
+	return w.Code, out
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+
+	// First install into a fresh home: no threats.
+	code, resp := doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "ComfortTV"})
+	if code != http.StatusOK {
+		t.Fatalf("install ComfortTV: status %d, resp %v", code, resp)
+	}
+	if app := resp["app"]; app != "ComfortTV" {
+		t.Errorf("app = %v, want ComfortTV", app)
+	}
+	if n := len(resp["threats"].([]any)); n != 0 {
+		t.Errorf("first install reported %d threats", n)
+	}
+
+	// Second install: the Fig. 3 interference appears.
+	code, resp = doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "ColdDefender"})
+	if code != http.StatusOK {
+		t.Fatalf("install ColdDefender: status %d, resp %v", code, resp)
+	}
+	threats := resp["threats"].([]any)
+	if len(threats) == 0 {
+		t.Fatal("ColdDefender install reported no threats")
+	}
+	first := threats[0].(map[string]any)
+	for _, field := range []string{"kind", "class", "rule1", "rule2", "text"} {
+		if first[field] == "" || first[field] == nil {
+			t.Errorf("threat JSON missing %q: %v", field, first)
+		}
+	}
+
+	// Threat log endpoint agrees, with accept-usable indices.
+	code, resp = doJSON(t, srv, "GET", "/homes/h1/threats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("threats: status %d", code)
+	}
+	logged := resp["threats"].([]any)
+	if len(logged) != len(threats) {
+		t.Errorf("GET threats = %d entries, want %d", len(logged), len(threats))
+	}
+	for i, raw := range logged {
+		if idx := raw.(map[string]any)["index"].(float64); int(idx) != i {
+			t.Errorf("threat log entry %d has index %v", i, idx)
+		}
+	}
+
+	// Accept the first threat by its log index.
+	code, resp = doJSON(t, srv, "POST", "/homes/h1/accept",
+		map[string]any{"threats": []int{0}})
+	if code != http.StatusOK {
+		t.Fatalf("accept: status %d, resp %v", code, resp)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/accept",
+		map[string]any{"threats": []int{99}})
+	if code != http.StatusBadRequest {
+		t.Errorf("accept out-of-range index: status %d, want 400", code)
+	}
+
+	// Re-installing an app the home already has is a conflict, not a
+	// silent duplicate.
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "ComfortTV"})
+	if code != http.StatusConflict {
+		t.Errorf("duplicate install: status %d, want 409", code)
+	}
+
+	// Reconfigure the installed app under an explicit empty config.
+	code, resp = doJSON(t, srv, "POST", "/homes/h1/reconfigure",
+		map[string]any{"app": "ColdDefender", "config": map[string]any{}})
+	if code != http.StatusOK {
+		t.Fatalf("reconfigure: status %d, resp %v", code, resp)
+	}
+	reThreats := resp["threats"].([]any)
+	if len(reThreats) != len(threats) {
+		t.Errorf("reconfigure reported %d threats, want %d", len(reThreats), len(threats))
+	}
+	// Reconfigure threats carry real log indices (appended after the
+	// install-reported ones), so clients can accept them directly.
+	for i, raw := range reThreats {
+		if idx := raw.(map[string]any)["index"].(float64); int(idx) != len(threats)+i {
+			t.Errorf("reconfigure threat %d has index %v, want %d", i, idx, len(threats)+i)
+		}
+	}
+
+	// Apps endpoint.
+	code, resp = doJSON(t, srv, "GET", "/homes/h1/apps", nil)
+	if code != http.StatusOK || len(resp["apps"].([]any)) != 2 {
+		t.Errorf("apps: status %d resp %v, want 2 apps", code, resp)
+	}
+
+	// Metrics reflect the work: 2 installs, 2 distinct extractions.
+	code, resp = doJSON(t, srv, "GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if got := resp["installs"].(float64); got != 2 {
+		t.Errorf("metrics installs = %v, want 2", got)
+	}
+	if got := resp["cacheMisses"].(float64); got != 2 {
+		t.Errorf("metrics cacheMisses = %v, want 2", got)
+	}
+	if got := resp["homes"].(float64); got != 1 {
+		t.Errorf("metrics homes = %v, want 1", got)
+	}
+	if _, ok := resp["cacheHitRate"]; !ok {
+		t.Error("metrics missing cacheHitRate")
+	}
+	if _, ok := resp["installP99Ms"]; !ok {
+		t.Error("metrics missing installP99Ms")
+	}
+	kinds := resp["threatsByKind"].(map[string]any)
+	if len(kinds) == 0 {
+		t.Error("metrics threatsByKind is empty after a threat-reporting install")
+	}
+}
+
+func TestDaemonBadRequests(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+
+	code, _ := doJSON(t, srv, "POST", "/homes/h1/install", map[string]any{})
+	if code != http.StatusBadRequest {
+		t.Errorf("install with neither source nor corpus: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"source": "x", "corpus": "y"})
+	if code != http.StatusBadRequest {
+		t.Errorf("install with both source and corpus: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "NoSuchApp"})
+	if code != http.StatusNotFound {
+		t.Errorf("install unknown corpus app: status %d, want 404", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"source": "not groovy {{{"})
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("install unparseable source: status %d, want 422", code)
+	}
+	code, _ = doJSON(t, srv, "GET", "/homes/ghost/threats", nil)
+	if code != http.StatusNotFound {
+		t.Errorf("threats of unknown home: status %d, want 404", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/ghost/reconfigure",
+		map[string]any{"app": "X"})
+	if code != http.StatusNotFound {
+		t.Errorf("reconfigure unknown home: status %d, want 404", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/reconfigure", map[string]any{})
+	if code != http.StatusBadRequest {
+		t.Errorf("reconfigure without app: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/ghost/accept", map[string]any{"threats": []int{0}})
+	if code != http.StatusNotFound {
+		t.Errorf("accept in unknown home: status %d, want 404", code)
+	}
+	code, _ = doJSON(t, srv, "POST", "/homes/ghost/accept", map[string]any{})
+	if code != http.StatusBadRequest {
+		t.Errorf("accept without indices: status %d, want 400", code)
+	}
+	// Config values must be string/number/bool.
+	code, _ = doJSON(t, srv, "POST", "/homes/h1/install", map[string]any{
+		"corpus": "ComfortTV",
+		"config": map[string]any{"values": map[string]any{"x": []any{1}}},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("install with bad config value type: status %d, want 400", code)
+	}
+	// Non-integral numbers are rejected rather than silently truncated.
+	code, resp := doJSON(t, srv, "POST", "/homes/h1/install", map[string]any{
+		"corpus": "ComfortTV",
+		"config": map[string]any{"values": map[string]any{"threshold1": 72.5}},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("install with non-integral value: status %d resp %v, want 400", code, resp)
+	}
+	// Integral but beyond int64: rejected, not silently wrapped.
+	code, resp = doJSON(t, srv, "POST", "/homes/h1/install", map[string]any{
+		"corpus": "ComfortTV",
+		"config": map[string]any{"values": map[string]any{"threshold1": 1e300}},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("install with overflowing value: status %d resp %v, want 400", code, resp)
+	}
+}
+
+func TestDaemonConfigParsing(t *testing.T) {
+	cj := &configJSON{
+		Devices:     map[string]string{"tv1": "dev-1"},
+		Values:      map[string]any{"threshold1": float64(30), "name": "x", "on": true},
+		ValueLists:  map[string][]string{"modes": {"Home", "Away"}},
+		DeviceTypes: map[string]string{"sw": "heater"},
+	}
+	cfg, err := cj.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Devices["tv1"] != "dev-1" {
+		t.Errorf("device binding lost: %v", cfg.Devices)
+	}
+	if len(cfg.Values) != 3 || len(cfg.ValueLists["modes"]) != 2 {
+		t.Errorf("values lost: %v %v", cfg.Values, cfg.ValueLists)
+	}
+	if string(cfg.DeviceTypes["sw"]) != "heater" {
+		t.Errorf("device type lost: %v", cfg.DeviceTypes)
+	}
+	var nilCfg *configJSON
+	if got, err := nilCfg.toConfig(); err != nil || got != nil {
+		t.Errorf("nil config → (%v, %v), want (nil, nil)", got, err)
+	}
+}

@@ -1,0 +1,63 @@
+package homeguard_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"homeguard"
+	"homeguard/internal/corpus"
+)
+
+// TestFleetPublicAPI drives the re-exported Fleet through the public
+// package surface the way a service embedding homeguard would: shared
+// cache, concurrent homes, metrics.
+func TestFleetPublicAPI(t *testing.T) {
+	comfort, _ := corpus.Get("ComfortTV")
+	cold, _ := corpus.Get("ColdDefender")
+
+	cache := homeguard.NewExtractionCache()
+	f := homeguard.NewFleet(homeguard.FleetOptions{Cache: cache})
+
+	const homes = 16
+	var wg sync.WaitGroup
+	threatsPerHome := make([]int, homes)
+	for i := 0; i < homes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("home-%d", i)
+			if _, err := f.Install(id, comfort.Source, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := f.Install(id, cold.Source, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			threatsPerHome[i] = len(res.Threats)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, n := range threatsPerHome {
+		if n == 0 {
+			t.Errorf("home %d: ComfortTV/ColdDefender pair reported no threats", i)
+		}
+		if n != threatsPerHome[0] {
+			t.Errorf("home %d found %d threats, home 0 found %d; homes must be deterministic",
+				i, n, threatsPerHome[0])
+		}
+	}
+	if s := cache.Stats(); s.Misses != 2 {
+		t.Errorf("cache ran %d extractions for 2 distinct apps across %d homes", s.Misses, homes)
+	}
+	m := f.Metrics()
+	if m.Homes != homes || m.Installs != homes*2 {
+		t.Errorf("metrics = %+v, want %d homes and %d installs", m, homes, homes*2)
+	}
+	if len(m.ThreatsByKind) == 0 {
+		t.Error("metrics reported no threat kinds")
+	}
+}

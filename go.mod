@@ -1,0 +1,3 @@
+module homeguard
+
+go 1.24

@@ -13,6 +13,32 @@
 //	fmt.Println(res.Report)                 // human-readable dialog
 //	home.Accept(res.Threats...)             // the user keeps the app
 //
+// # Deployment at scale
+//
+// A production deployment serves install-time detection for a whole
+// population of homes from one service. The Fleet type is the entry
+// point: a sharded, goroutine-safe manager of many homes in which
+// per-home operations serialize (the detector's requirement) while
+// distinct homes proceed in parallel across cores:
+//
+//	f := homeguard.NewFleet(homeguard.FleetOptions{})
+//	res, err := f.Install("home-42", src, nil) // safe from any goroutine
+//	ts, err  := f.Threats("home-42")
+//	m := f.Metrics()                           // installs, latency, cache
+//
+// All homes share one content-addressed extraction cache keyed by the
+// SHA-256 of the app source, with singleflight deduplication: an app
+// store SmartApp installed into a million homes is symbolically executed
+// exactly once per daemon process, and concurrent cold-start installs of
+// the same app coalesce onto a single extraction. Fleet metrics expose
+// install counts, cache hit rate, p50/p99 install latency and per-kind
+// threat counts for dashboards.
+//
+// cmd/homeguardd wraps a Fleet in an HTTP/JSON daemon (POST
+// /homes/{id}/install, POST /homes/{id}/reconfigure, GET
+// /homes/{id}/threats, GET /metrics); see its package documentation for
+// the wire format.
+//
 // Lower-level building blocks (the Groovy parser, the symbolic executor,
 // the constraint solver, the platform simulator and the app corpus) live
 // under internal/.
@@ -23,6 +49,8 @@ import (
 
 	"homeguard/internal/detect"
 	"homeguard/internal/envmodel"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/fleet"
 	"homeguard/internal/frontend"
 	"homeguard/internal/instrument"
 	"homeguard/internal/nlp"
@@ -47,7 +75,27 @@ type (
 	ExtractionResult = symexec.Result
 	// DeviceType classifies a device's physical role.
 	DeviceType = envmodel.DeviceType
+	// Fleet is a sharded, goroutine-safe manager of many homes sharing
+	// one extraction cache (see "Deployment at scale" above).
+	Fleet = fleet.Fleet
+	// FleetOptions tune a Fleet (shard count, detector options, cache).
+	FleetOptions = fleet.Options
+	// FleetInstallResult is what Fleet.Install returns.
+	FleetInstallResult = fleet.InstallResult
+	// FleetMetrics is a snapshot of fleet-wide service metrics.
+	FleetMetrics = fleet.MetricsSnapshot
+	// ExtractionCache is a content-addressed, singleflight-deduplicated
+	// cache of extraction results, shareable between fleets and tools.
+	ExtractionCache = extractcache.Cache
 )
+
+// NewFleet creates an empty fleet of homes. The zero FleetOptions value
+// selects 16 shards, default detector options and a fresh cache.
+func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
+
+// NewExtractionCache returns an empty extraction cache backed by the
+// symbolic executor, for sharing across fleets or batch tools.
+func NewExtractionCache() *ExtractionCache { return extractcache.New() }
 
 // Threat kinds (Table I).
 const (
@@ -118,10 +166,7 @@ func (h *Home) InstallApp(src string, cfg *Config) (*InstallResult, error) {
 	ia := detect.NewInstalledApp(res, cfg)
 	threats := h.det.Install(ia)
 	chains := h.det.FindChains(threats, 4)
-	report := frontend.InstallReport(res.App.Name, res.Rules.Rules, threats)
-	for _, c := range chains {
-		report += "  ⛓ " + frontend.DescribeChain(c) + "\n"
-	}
+	report := frontend.InstallDialog(res.App.Name, res.Rules.Rules, threats, chains)
 	return &InstallResult{
 		App:      res.App,
 		Rules:    res.Rules.Rules,

@@ -13,17 +13,31 @@ import (
 
 // Detector holds the home's installed apps and detects CAI threats as new
 // apps arrive (the online part of HomeGuard).
+//
+// Concurrency contract: a Detector is NOT safe for concurrent use. Every
+// exported method — Install, Reconfigure, Accept, FindChains, DetectPair,
+// Stats, Apps — mutates or reads satCache, stats, curKind, inputOptions,
+// apps or accepted without internal locking; the caller must serialize
+// all calls on one Detector instance. internal/fleet does exactly that:
+// it wraps each home's Detector behind one per-home mutex held for the
+// full duration of any call, so those fields are guarded by the fleet's
+// per-home lock boundary while distinct homes run in parallel. The
+// Detector only ever READS the *rule.RuleSet and AppInfo inside an
+// InstalledApp, so extraction results may be shared across detectors
+// (the extractcache relies on this; see symexec.Result).
 type Detector struct {
 	apps  []*InstalledApp
 	modes []string
 	opts  Options
 	stats Stats
 	// curKind attributes solver time to the threat kind being detected
-	// (Fig. 9 instrumentation). Detector is not safe for concurrent use.
+	// (Fig. 9 instrumentation). Guarded by the caller's serialization
+	// (the fleet's per-home lock).
 	curKind Kind
 
 	// satCache memoises overlapping-condition solving results so CT/SD/LT
-	// reuse the AR merge and DC reuses EC (Fig. 9 green arrows).
+	// reuse the AR merge and DC reuses EC (Fig. 9 green arrows). Guarded
+	// by the caller's serialization (the fleet's per-home lock).
 	satCache map[string]satResult
 
 	// inputOptions maps canonical input-variable names ("app!input") to

@@ -1,0 +1,161 @@
+// Package extractcache is a content-addressed cache of rule-extraction
+// results shared across homes. A SmartApp popular on the app store is
+// installed into thousands of homes; its source is identical everywhere,
+// so its symbolic execution is too. The cache keys extraction output by
+// the SHA-256 of the source (plus the name override) so the fleet runs
+// symexec once per distinct app, not once per install.
+//
+// Concurrent requests for the same uncached source are deduplicated with
+// a singleflight discipline: the first caller executes, later callers
+// block on the in-flight entry and share its result. This matters at
+// fleet cold-start, when many homes install the same hot app at once.
+//
+// A cached *symexec.Result is immutable after extraction (see the Result
+// documentation in internal/symexec) and is therefore handed out to every
+// caller without copying; callers must treat it as read-only.
+package extractcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"homeguard/internal/symexec"
+)
+
+// Key is the content address of one extraction: SHA-256 over the app
+// source and the name override.
+type Key [sha256.Size]byte
+
+// KeyOf computes the content address for a source/name pair.
+func KeyOf(src, appName string) Key {
+	h := sha256.New()
+	h.Write([]byte(src))
+	h.Write([]byte{0}) // domain-separate source from name override
+	h.Write([]byte(appName))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// entry is one cache slot. done is closed by the extracting goroutine
+// once res/err are set; waiters block on it (singleflight).
+type entry struct {
+	done chan struct{}
+	res  *symexec.Result
+	err  error
+}
+
+// Stats are cumulative cache counters. HitRate is derived.
+type Stats struct {
+	// Lookups counts Extract calls.
+	Lookups uint64
+	// Hits counts lookups served from a completed or in-flight entry
+	// (an in-flight join still means the caller did no symexec work).
+	Hits uint64
+	// Misses counts lookups that ran symbolic execution themselves.
+	Misses uint64
+	// Entries is the current number of cached results.
+	Entries int
+}
+
+// HitRate returns Hits/Lookups, or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is a goroutine-safe content-addressed extraction cache. The zero
+// value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lookups uint64
+	hits    uint64
+	misses  uint64
+
+	// extract is the extraction function; replaceable in tests.
+	extract func(src, appName string) (*symexec.Result, error)
+}
+
+// New returns an empty cache backed by symexec.Extract.
+func New() *Cache {
+	return &Cache{
+		entries: map[Key]*entry{},
+		extract: symexec.Extract,
+	}
+}
+
+// NewWithExtractor returns a cache backed by a custom extraction function
+// (used by tests to count and delay extractions).
+func NewWithExtractor(fn func(src, appName string) (*symexec.Result, error)) *Cache {
+	return &Cache{entries: map[Key]*entry{}, extract: fn}
+}
+
+// Extract returns the extraction result for src, running symbolic
+// execution at most once per distinct (src, appName) no matter how many
+// goroutines ask concurrently. Errors are cached too: extraction is
+// deterministic, so a source that fails to parse fails for every home.
+func (c *Cache) Extract(src, appName string) (*symexec.Result, error) {
+	k := KeyOf(src, appName)
+
+	c.mu.Lock()
+	c.lookups++
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[k] = e
+	c.misses++
+	c.mu.Unlock()
+
+	// Close done even if the extractor panics: an unclosed entry would
+	// wedge every later Extract of this key forever. The panic is
+	// converted to a cached error so waiters fail too instead of
+	// blocking, then re-raised for this caller.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("extractcache: extraction panic: %v", r)
+				close(e.done)
+				panic(r)
+			}
+			close(e.done)
+		}()
+		e.res, e.err = c.extract(src, appName)
+	}()
+	return e.res, e.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Lookups: c.lookups,
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Entries: len(c.entries),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached entry (counters are kept). In-flight
+// extractions complete and are returned to their waiters but are no
+// longer cached for later callers.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[Key]*entry{}
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"homeguard/internal/corpus"
+)
+
+// BenchmarkFleetInstall measures fleet-scale install throughput: each
+// iteration is one new home installing the five demo apps (Figs. 3–5),
+// with iterations spread across GOMAXPROCS goroutines the way daemon
+// requests would be. The shared extraction cache means the five apps are
+// symbolically executed once for the whole run no matter how many homes
+// install them; the reported hit-ratio and extractions metrics prove it.
+//
+// Run with e.g.:
+//
+//	go test ./internal/fleet -bench FleetInstall -benchtime 1000x
+//
+// for the 1k-home configuration.
+func BenchmarkFleetInstall(b *testing.B) {
+	demo := corpus.ByCategory(corpus.Demo)
+	if len(demo) == 0 {
+		b.Fatal("empty demo corpus")
+	}
+	f := New(Options{Shards: 64})
+	var homeSeq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
+			for _, app := range demo {
+				if _, err := f.Install(id, app.Source, nil); err != nil {
+					b.Fatalf("%s: install %s: %v", id, app.Name, err)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+
+	cs := f.Cache().Stats()
+	if int(cs.Misses) != len(demo) {
+		b.Fatalf("cache misses = %d, want one extraction per distinct app (%d): the cache benefit is gone",
+			cs.Misses, len(demo))
+	}
+	m := f.Metrics()
+	b.ReportMetric(cs.HitRate(), "hit-ratio")
+	b.ReportMetric(float64(cs.Misses), "extractions")
+	b.ReportMetric(float64(m.InstallP99.Microseconds()), "p99-µs")
+}
+
+// BenchmarkFleetInstallNoCacheSharing is the contrast case: every home
+// uses a private cache, so extraction re-runs per home — the single-home
+// baseline the fleet design removes. Compare ns/op against
+// BenchmarkFleetInstall for the cache benefit.
+func BenchmarkFleetInstallNoCacheSharing(b *testing.B) {
+	demo := corpus.ByCategory(corpus.Demo)
+	var homeSeq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// A one-home fleet with its own cache: no cross-home reuse.
+			f := New(Options{Shards: 1})
+			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
+			for _, app := range demo {
+				if _, err := f.Install(id, app.Source, nil); err != nil {
+					b.Fatalf("%s: install %s: %v", id, app.Name, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,356 @@
+// Package fleet scales HomeGuard from one home to many: it manages a
+// sharded, goroutine-safe collection of Home instances so one daemon
+// process can serve install-time detection for a whole deployment.
+//
+// # Concurrency model
+//
+// The underlying detect.Detector is deliberately single-threaded (see the
+// package documentation of internal/detect): its satCache, stats and
+// curKind fields assume serialized calls. The fleet preserves that
+// contract with a two-level locking scheme:
+//
+//   - homes live in a sharded map (FNV-1a of the home ID picks the
+//     shard); each shard has its own RWMutex, so home lookup/creation
+//     scales across cores;
+//   - every Home carries one mutex that is held for the full duration of
+//     any detector call (Install, Reconfigure, FindChains, Accept).
+//     Within a home, operations serialize; across homes they run in
+//     parallel.
+//
+// Rule extraction — the dominant cost of an install — happens *outside*
+// the per-home lock through a shared content-addressed extractcache.Cache,
+// so a hot app store SmartApp is symbolically executed once for the whole
+// fleet and concurrent installs of distinct homes never contend.
+// Shard and home locks are never held while extracting, and the shard
+// lock is never held while a home lock is held, so there is no lock-order
+// cycle.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/frontend"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+// Sentinel errors, matchable with errors.Is, so callers (the daemon) can
+// map them to statuses without parsing message text.
+var (
+	// ErrUnknownHome reports an operation on a home the fleet has never
+	// seen (Install creates homes; the read/update paths do not).
+	ErrUnknownHome = errors.New("unknown home")
+	// ErrAppNotInstalled reports a reconfigure of an app absent from the
+	// target home.
+	ErrAppNotInstalled = errors.New("app not installed")
+	// ErrAppInstalled reports an install of an app name the home already
+	// has: a retried/duplicated install must not pair an app against its
+	// own copy or corrupt the home's threat log.
+	ErrAppInstalled = errors.New("app already installed")
+	// ErrBadThreatIndex reports an AcceptByIndex index outside the
+	// home's threat log.
+	ErrBadThreatIndex = errors.New("threat index out of range")
+)
+
+// Options tune a Fleet.
+type Options struct {
+	// Shards is the number of home-map shards (default 16).
+	Shards int
+	// Detector is applied to every home's detector (modes, ablations).
+	Detector detect.Options
+	// Cache is the shared extraction cache; a fresh one is created when
+	// nil. Passing a cache lets several fleets (or a fleet plus batch
+	// tooling) share extraction work.
+	Cache *extractcache.Cache
+	// MaxChainLen bounds chained-threat search at install (default 4).
+	MaxChainLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.MaxChainLen <= 0 {
+		o.MaxChainLen = 4
+	}
+	if o.Cache == nil {
+		o.Cache = extractcache.New()
+	}
+	return o
+}
+
+// Fleet is a goroutine-safe manager of many HomeGuard homes.
+type Fleet struct {
+	opts    Options
+	shards  []*shard
+	cache   *extractcache.Cache
+	metrics *metrics
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	homes map[string]*home
+}
+
+// home is one managed smart home. mu serializes every detector call; the
+// detector itself is not safe for concurrent use.
+type home struct {
+	mu      sync.Mutex
+	id      string
+	det     *detect.Detector
+	threats []detect.Threat // every threat reported for this home, in order
+}
+
+// New creates an empty fleet.
+func New(opts Options) *Fleet {
+	opts = opts.withDefaults()
+	f := &Fleet{
+		opts:    opts,
+		shards:  make([]*shard, opts.Shards),
+		cache:   opts.Cache,
+		metrics: newMetrics(),
+	}
+	for i := range f.shards {
+		f.shards[i] = &shard{homes: map[string]*home{}}
+	}
+	return f
+}
+
+func (f *Fleet) shardFor(homeID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(homeID))
+	return f.shards[h.Sum32()%uint32(len(f.shards))]
+}
+
+// homeFor returns the home, creating it on first use.
+func (f *Fleet) homeFor(homeID string) *home {
+	s := f.shardFor(homeID)
+	s.mu.RLock()
+	h := s.homes[homeID]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = s.homes[homeID]; h != nil {
+		return h
+	}
+	h = &home{id: homeID, det: detect.New(f.opts.Detector)}
+	s.homes[homeID] = h
+	f.metrics.homeCreated()
+	return h
+}
+
+// lookup returns the home or nil without creating it.
+func (f *Fleet) lookup(homeID string) *home {
+	s := f.shardFor(homeID)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.homes[homeID]
+}
+
+// InstallResult is what an install returns to the frontend; it mirrors
+// the single-home homeguard.InstallResult.
+type InstallResult struct {
+	HomeID  string
+	App     symexec.AppInfo
+	Rules   []*rule.Rule
+	Threats []detect.Threat
+	// ThreatLogBase is the index of Threats[0] in the home's threat log
+	// (AcceptByIndex addressing): Threats[i] is log entry ThreatLogBase+i.
+	ThreatLogBase int
+	// Chains are multi-hop interference chains through previously
+	// accepted threats (Sec. VI-D).
+	Chains []detect.Chain
+	// Report is the rendered installation dialog.
+	Report string
+	// Warnings are extraction diagnostics.
+	Warnings []string
+}
+
+// Install extracts src (through the shared cache) and runs CAI detection
+// against every app already installed in the identified home, creating
+// the home on first use. cfg may be nil (type-level device identity).
+// Installing an app name the home already has fails with ErrAppInstalled
+// (retried requests must not duplicate the app); use Reconfigure to
+// change an installed app's configuration.
+func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult, error) {
+	start := time.Now()
+	res, err := f.cache.Extract(src, "")
+	if err != nil {
+		f.metrics.installFailed()
+		return nil, fmt.Errorf("fleet: home %s: %w", homeID, err)
+	}
+	h := f.homeFor(homeID)
+
+	h.mu.Lock()
+	for _, a := range h.det.Apps() {
+		if a.Info.Name == res.App.Name {
+			h.mu.Unlock()
+			// A retried/duplicated request, not a service failure: count
+			// it apart from extraction errors so dashboards alerting on
+			// InstallErrors don't fire on ordinary client retries.
+			f.metrics.installConflicted()
+			return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppInstalled, res.App.Name)
+		}
+	}
+	ia := detect.NewInstalledApp(res, cfg)
+	threats := h.det.Install(ia)
+	chains := h.det.FindChains(threats, f.opts.MaxChainLen)
+	logBase := len(h.threats)
+	h.threats = append(h.threats, threats...)
+	h.mu.Unlock()
+
+	report := frontend.InstallDialog(res.App.Name, res.Rules.Rules, threats, chains)
+	f.metrics.installDone(time.Since(start), threats)
+	return &InstallResult{
+		HomeID:        homeID,
+		App:           res.App,
+		Rules:         res.Rules.Rules,
+		Threats:       threats,
+		ThreatLogBase: logBase,
+		Chains:        chains,
+		Report:        report,
+		Warnings:      res.Warnings,
+	}, nil
+}
+
+// Reconfigure updates an installed app's configuration in one home and
+// re-runs detection. It returns the threats under the new configuration
+// plus their base index in the home's threat log (threats[i] is log
+// entry logBase+i, usable with AcceptByIndex). A nil cfg keeps the app's
+// current configuration and just re-runs detection — it does NOT reset
+// the bindings (pass detect.NewConfig() explicitly to clear them).
+func (f *Fleet) Reconfigure(homeID, appName string, cfg *detect.Config) (threats []detect.Threat, logBase int, err error) {
+	h := f.lookup(homeID)
+	if h == nil {
+		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	var target *detect.InstalledApp
+	for _, a := range h.det.Apps() {
+		if a.Info.Name == appName {
+			target = a
+			break
+		}
+	}
+	if target == nil {
+		h.mu.Unlock()
+		return nil, 0, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppNotInstalled, appName)
+	}
+	if cfg == nil {
+		cfg = target.Config // keep bindings; detect.Reconfigure would reset them
+	}
+	threats = h.det.Reconfigure(appName, cfg)
+	logBase = len(h.threats)
+	h.threats = append(h.threats, threats...)
+	h.mu.Unlock()
+	f.metrics.reconfigureDone()
+	return threats, logBase, nil
+}
+
+// Accept records user-approved threats in one home so later installs
+// report chains through them.
+func (f *Fleet) Accept(homeID string, ts ...detect.Threat) error {
+	h := f.lookup(homeID)
+	if h == nil {
+		return fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range ts {
+		h.det.Accept(t)
+	}
+	return nil
+}
+
+// AcceptByIndex records user-approved threats addressed by their index
+// in the home's threat log (the order Threats returns). This is the
+// wire-API form of Accept: HTTP clients hold log indices, not
+// detect.Threat values.
+func (f *Fleet) AcceptByIndex(homeID string, indices ...int) error {
+	h := f.lookup(homeID)
+	if h == nil {
+		return fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, i := range indices {
+		if i < 0 || i >= len(h.threats) {
+			return fmt.Errorf("fleet: home %s: %w: %d (log has %d)", homeID, ErrBadThreatIndex, i, len(h.threats))
+		}
+	}
+	for _, i := range indices {
+		h.det.Accept(h.threats[i])
+	}
+	return nil
+}
+
+// Threats returns every threat ever reported for the home, in report
+// order. The slice is a copy; the caller owns it.
+func (f *Fleet) Threats(homeID string) ([]detect.Threat, error) {
+	h := f.lookup(homeID)
+	if h == nil {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]detect.Threat(nil), h.threats...), nil
+}
+
+// Apps returns the names of the apps installed in the home, in
+// installation order.
+func (f *Fleet) Apps(homeID string) ([]string, error) {
+	h := f.lookup(homeID)
+	if h == nil {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var names []string
+	for _, a := range h.det.Apps() {
+		names = append(names, a.Info.Name)
+	}
+	return names, nil
+}
+
+// HomeIDs returns the IDs of every home in the fleet, sorted.
+func (f *Fleet) HomeIDs() []string {
+	var ids []string
+	for _, s := range f.shards {
+		s.mu.RLock()
+		for id := range s.homes {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NumHomes returns the number of homes in the fleet.
+func (f *Fleet) NumHomes() int {
+	n := 0
+	for _, s := range f.shards {
+		s.mu.RLock()
+		n += len(s.homes)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Cache exposes the shared extraction cache (for stats and pre-warming).
+func (f *Fleet) Cache() *extractcache.Cache { return f.cache }
+
+// Metrics returns a snapshot of fleet-wide service metrics.
+func (f *Fleet) Metrics() MetricsSnapshot {
+	return f.metrics.snapshot(f.cache.Stats())
+}

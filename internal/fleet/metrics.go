@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/extractcache"
+)
+
+// The install-latency histogram has 40 exponential buckets whose upper
+// bounds start at 1µs and double per bucket (the last bucket is
+// effectively unbounded). A histogram keeps observation cost O(1) and
+// bounded memory at fleet scale, at the price of quantiles quantized to
+// bucket bounds — fine for service dashboards.
+const (
+	latencyBucketCount = 40
+	latencyBucketBase  = time.Microsecond
+)
+
+type latencyHist struct {
+	counts [latencyBucketCount]uint64
+	total  uint64
+}
+
+func bucketIndex(d time.Duration) int {
+	if d < latencyBucketBase {
+		return 0
+	}
+	i := 0
+	for b := latencyBucketBase; b < d && i < latencyBucketCount-1; b <<= 1 {
+		i++
+	}
+	return i
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.counts[bucketIndex(d)]++
+	h.total++
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// observation (0 < q <= 1), or 0 when empty. Nearest-rank with ceiling,
+// so p99 of 10 observations is the 10th (the tail is never understated).
+func (h *latencyHist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return latencyBucketBase << uint(i)
+		}
+	}
+	return latencyBucketBase << uint(latencyBucketCount-1)
+}
+
+// metrics aggregates fleet-wide counters behind one mutex. Every field is
+// guarded by mu; detector-level stats stay per-home behind home locks.
+type metrics struct {
+	mu               sync.Mutex
+	homes            uint64
+	installs         uint64
+	installErrors    uint64
+	installConflicts uint64
+	reconfigures     uint64
+	threats          map[detect.Kind]uint64
+	installLat       latencyHist
+}
+
+func newMetrics() *metrics {
+	return &metrics{threats: map[detect.Kind]uint64{}}
+}
+
+func (m *metrics) homeCreated() {
+	m.mu.Lock()
+	m.homes++
+	m.mu.Unlock()
+}
+
+func (m *metrics) installDone(d time.Duration, threats []detect.Threat) {
+	m.mu.Lock()
+	m.installs++
+	m.installLat.observe(d)
+	for _, t := range threats {
+		m.threats[t.Kind]++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) installFailed() {
+	m.mu.Lock()
+	m.installErrors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) installConflicted() {
+	m.mu.Lock()
+	m.installConflicts++
+	m.mu.Unlock()
+}
+
+// reconfigureDone deliberately does not feed ThreatsByKind: a reconfigure
+// re-reports threats over the same rule pairs, and re-counting them would
+// inflate the per-kind totals with every no-op reconfigure.
+func (m *metrics) reconfigureDone() {
+	m.mu.Lock()
+	m.reconfigures++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is a point-in-time view of fleet service metrics.
+type MetricsSnapshot struct {
+	Homes         uint64
+	Installs      uint64
+	InstallErrors uint64
+	// InstallConflicts counts duplicate-app installs (client retries
+	// rejected with ErrAppInstalled) — expected traffic, kept separate
+	// from InstallErrors so error alerting stays meaningful.
+	InstallConflicts uint64
+	Reconfigures     uint64
+	// ThreatsByKind counts threats reported by installs fleet-wide per
+	// Table I kind (reconfigure re-detections are not re-counted).
+	ThreatsByKind map[detect.Kind]uint64
+	// InstallP50/InstallP99 are histogram-quantized install latencies
+	// (extraction + detection + reporting).
+	InstallP50 time.Duration
+	InstallP99 time.Duration
+	// Cache is the shared extraction cache state.
+	Cache extractcache.Stats
+}
+
+func (m *metrics) snapshot(cache extractcache.Stats) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kinds := make(map[detect.Kind]uint64, len(m.threats))
+	for k, v := range m.threats {
+		kinds[k] = v
+	}
+	return MetricsSnapshot{
+		Homes:            m.homes,
+		Installs:         m.installs,
+		InstallErrors:    m.installErrors,
+		InstallConflicts: m.installConflicts,
+		Reconfigures:     m.reconfigures,
+		ThreatsByKind:    kinds,
+		InstallP50:       m.installLat.quantile(0.50),
+		InstallP99:       m.installLat.quantile(0.99),
+		Cache:            cache,
+	}
+}

@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantileCoversTail(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 9; i++ {
+		h.observe(time.Millisecond)
+	}
+	h.observe(2 * time.Second) // the outlier p99 exists to surface
+
+	p99 := h.quantile(0.99)
+	if p99 < 2*time.Second {
+		t.Errorf("p99 = %v with a 2s outlier in 10 observations; nearest-rank must take the ceiling", p99)
+	}
+	p50 := h.quantile(0.50)
+	if p50 > 10*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms bucket", p50)
+	}
+	if p50 > p99 {
+		t.Errorf("p50 %v > p99 %v", p50, p99)
+	}
+}
+
+func TestLatencyQuantileEmptyAndBounds(t *testing.T) {
+	var h latencyHist
+	if got := h.quantile(0.99); got != 0 {
+		t.Errorf("quantile of empty histogram = %v, want 0", got)
+	}
+	h.observe(0)                    // below the first bucket bound
+	h.observe(365 * 24 * time.Hour) // far beyond the last bucket bound
+	if got := h.quantile(1.0); got == 0 {
+		t.Error("quantile(1.0) = 0 after observations")
+	}
+	if h.total != 2 {
+		t.Errorf("total = %d, want 2", h.total)
+	}
+}

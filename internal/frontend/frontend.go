@@ -304,3 +304,14 @@ func InstallReport(appName string, rules []*rule.Rule, threats []detect.Threat) 
 	sb.WriteString("Keep the app, remove it, or change its configuration.\n")
 	return sb.String()
 }
+
+// InstallDialog renders the installation dialog including chained-threat
+// lines — the complete text both the library (homeguard.Home) and the
+// fleet service show at install time.
+func InstallDialog(appName string, rules []*rule.Rule, threats []detect.Threat, chains []detect.Chain) string {
+	report := InstallReport(appName, rules, threats)
+	for _, c := range chains {
+		report += "  ⛓ " + DescribeChain(c) + "\n"
+	}
+	return report
+}

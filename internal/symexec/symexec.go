@@ -75,6 +75,14 @@ func (a *AppInfo) ValueInputs() []*InputDecl {
 }
 
 // Result is the output of rule extraction on one app.
+//
+// A Result is immutable once Extract returns: the executor hands it off
+// and nothing in this module writes to it (or to the Rules and Inputs it
+// points at) afterwards — detection only reads rule structure. That makes
+// a Result safe to share across goroutines and across homes without
+// copying, which internal/extractcache exploits to run symbolic execution
+// once per distinct app fleet-wide. Code that needs a modified variant
+// must build a new Result rather than editing a shared one.
 type Result struct {
 	App      AppInfo
 	Rules    *rule.RuleSet
