@@ -19,8 +19,10 @@
 //	                              report chains through them (Sec. VI-D)
 //	GET  /homes/{id}/threats      every threat reported for the home
 //	GET  /homes/{id}/apps         installed app names
-//	GET  /metrics                 fleet metrics: homes, installs, cache
-//	                              hit rate, p50/p99 install latency,
+//	GET  /metrics                 fleet metrics: homes, installs,
+//	                              extraction and pair-verdict cache hit
+//	                              rates, footprint-prune and solver-call
+//	                              counters, p50/p99 install latency,
 //	                              per-threat-kind counts
 //	GET  /healthz                 liveness probe
 //
@@ -368,6 +370,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"cacheHitRate":     m.Cache.HitRate(),
 		"distinctApps":     m.Cache.Entries,
 		"extractionsRun":   m.Cache.Misses,
+		// Pair-verdict cache: app-pair detection verdicts shared across
+		// homes, so a catalog is solved once per distinct pair fleet-wide.
+		"pairCacheLookups": m.PairVerdicts.Lookups,
+		"pairCacheHits":    m.PairVerdicts.Hits,
+		"pairCacheMisses":  m.PairVerdicts.Misses,
+		"pairCacheEntries": m.PairVerdicts.Entries,
+		"pairCacheHitRate": m.PairVerdicts.HitRate(),
+		// Detector work fleet-wide: rule pairs checked, pairs skipped by
+		// the footprint prune, and solver invocations actually run.
+		"pairsChecked": m.Detectors.PairsChecked,
+		"pairsPruned":  m.Detectors.PairsPruned,
+		"solverCalls":  m.Detectors.SolverCalls,
 	})
 }
 

@@ -144,6 +144,19 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if len(kinds) == 0 {
 		t.Error("metrics threatsByKind is empty after a threat-reporting install")
 	}
+	// Pair-verdict cache and detector-work counters are surfaced too.
+	for _, key := range []string{"pairCacheLookups", "pairCacheHits", "pairCacheMisses",
+		"pairCacheEntries", "pairCacheHitRate", "pairsChecked", "pairsPruned", "solverCalls"} {
+		if _, ok := resp[key].(float64); !ok {
+			t.Errorf("metrics missing numeric %s", key)
+		}
+	}
+	if got, _ := resp["pairCacheLookups"].(float64); got == 0 {
+		t.Error("metrics pairCacheLookups = 0 after pair-checking installs")
+	}
+	if got, _ := resp["solverCalls"].(float64); got == 0 {
+		t.Error("metrics solverCalls = 0 after a threat-reporting install")
+	}
 }
 
 func TestDaemonBadRequests(t *testing.T) {

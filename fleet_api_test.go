@@ -17,7 +17,8 @@ func TestFleetPublicAPI(t *testing.T) {
 	cold, _ := corpus.Get("ColdDefender")
 
 	cache := homeguard.NewExtractionCache()
-	f := homeguard.NewFleet(homeguard.FleetOptions{Cache: cache})
+	verdicts := homeguard.NewPairVerdictCache()
+	f := homeguard.NewFleet(homeguard.FleetOptions{Cache: cache, Verdicts: verdicts})
 
 	const homes = 16
 	var wg sync.WaitGroup
@@ -59,5 +60,14 @@ func TestFleetPublicAPI(t *testing.T) {
 	}
 	if len(m.ThreatsByKind) == 0 {
 		t.Error("metrics reported no threat kinds")
+	}
+	// The caller-provided pair-verdict cache absorbed the repeated solving:
+	// every home after the first is served the pair's verdict from cache.
+	if s := verdicts.Stats(); s.Hits == 0 || s.Misses == 0 || s.Misses*homes != s.Lookups {
+		t.Errorf("pair-verdict stats = %+v across %d identical homes; want one home's worth of misses",
+			s, homes)
+	}
+	if m.PairVerdicts.Lookups == 0 || m.Detectors.SolverCalls == 0 {
+		t.Errorf("fleet metrics miss verdict-cache or detector counters: %+v", m)
 	}
 }

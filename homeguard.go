@@ -30,9 +30,28 @@
 // SHA-256 of the app source, with singleflight deduplication: an app
 // store SmartApp installed into a million homes is symbolically executed
 // exactly once per daemon process, and concurrent cold-start installs of
-// the same app coalesce onto a single extraction. Fleet metrics expose
-// install counts, cache hit rate, p50/p99 install latency and per-kind
-// threat counts for dashboards.
+// the same app coalesce onto a single extraction.
+//
+// Detection solving is deduplicated the same way by a fleet-shared
+// pair-verdict cache. Every app pair's verdict (the full set of CAI
+// threats between the two rule sets) is content-addressed by the SHA-256
+// of both apps' canonical rule sets, their configuration bindings and the
+// home's mode list — everything pair detection reads — so two homes that
+// installed the same two apps with the same configurations provably share
+// the verdict, and the constraint solver runs once per distinct pair for
+// the whole fleet. Concurrent misses on one key coalesce singleflight:
+// the first home computes under its own home lock while joining homes
+// wait holding only their own locks, which cannot deadlock because the
+// computation never touches another home's lock. Cached verdicts are
+// immutable and shared without copying. In front of the cache, a
+// per-app read/write footprint index prunes pairs with no interference
+// channel at all (no shared device attribute, mode or environment
+// property that either side writes) before any hashing or solving
+// happens.
+//
+// Fleet metrics expose install counts, extraction and pair-verdict cache
+// hit rates, footprint-prune and solver-call counters, p50/p99 install
+// latency and per-kind threat counts for dashboards.
 //
 // cmd/homeguardd wraps a Fleet in an HTTP/JSON daemon (POST
 // /homes/{id}/install, POST /homes/{id}/reconfigure, GET
@@ -54,6 +73,7 @@ import (
 	"homeguard/internal/frontend"
 	"homeguard/internal/instrument"
 	"homeguard/internal/nlp"
+	"homeguard/internal/pairverdict"
 	"homeguard/internal/rule"
 	"homeguard/internal/symexec"
 )
@@ -87,6 +107,13 @@ type (
 	// ExtractionCache is a content-addressed, singleflight-deduplicated
 	// cache of extraction results, shareable between fleets and tools.
 	ExtractionCache = extractcache.Cache
+	// PairVerdictCache is a content-addressed, singleflight-deduplicated
+	// cache of app-pair detection verdicts, shareable between fleets (see
+	// "Deployment at scale" above).
+	PairVerdictCache = pairverdict.Cache
+	// FleetDetectorTotals aggregates per-home detector counters
+	// fleet-wide (pairs checked/pruned, solver calls, verdict hits).
+	FleetDetectorTotals = fleet.DetectorTotals
 )
 
 // NewFleet creates an empty fleet of homes. The zero FleetOptions value
@@ -96,6 +123,19 @@ func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
 // NewExtractionCache returns an empty extraction cache backed by the
 // symbolic executor, for sharing across fleets or batch tools.
 func NewExtractionCache() *ExtractionCache { return extractcache.New() }
+
+// NewPairVerdictCache returns an empty, unbounded pair-verdict cache,
+// for sharing detection verdicts across fleets (FleetOptions.Verdicts).
+func NewPairVerdictCache() *PairVerdictCache { return pairverdict.New() }
+
+// NewBoundedPairVerdictCache returns a pair-verdict cache holding at most
+// limit verdicts, evicting arbitrary completed entries on overflow. Use
+// it for long-running services: reconfigures re-key an app's pairs, so an
+// unbounded shared cache grows with config churn. Fleets created without
+// an explicit cache default to this bound (fleet.DefaultVerdictEntries).
+func NewBoundedPairVerdictCache(limit int) *PairVerdictCache {
+	return pairverdict.NewBounded(limit)
+}
 
 // Threat kinds (Table I).
 const (
@@ -121,10 +161,11 @@ func NewConfig() *Config { return detect.NewConfig() }
 type Options struct {
 	// Modes is the home's mode universe (default Home/Away/Night).
 	Modes []string
-	// DisableFiltering and DisableReuse are ablation switches; leave
-	// false in production.
+	// DisableFiltering, DisableReuse and DisablePruning are ablation
+	// switches; leave false in production.
 	DisableFiltering bool
 	DisableReuse     bool
+	DisablePruning   bool
 }
 
 // Home is one smart home protected by HomeGuard.
@@ -138,6 +179,7 @@ func NewHome(opts Options) *Home {
 		Modes:            opts.Modes,
 		DisableFiltering: opts.DisableFiltering,
 		DisableReuse:     opts.DisableReuse,
+		DisablePruning:   opts.DisablePruning,
 	})}
 }
 

@@ -52,6 +52,10 @@ type Detector struct {
 type satResult struct {
 	sat     bool
 	witness solver.Model
+	// apps are the (up to) two app names whose rules produced the cached
+	// formulas, recorded so Reconfigure can evict exactly the entries a
+	// config change invalidates.
+	apps [2]string
 }
 
 // New returns a detector for one smart home.
@@ -86,23 +90,73 @@ func (d *Detector) Install(app *InstalledApp) []Threat {
 			d.inputOptions[app.Info.Name+"!"+in.Name] = in.Options
 		}
 	}
+	// Compute the app's footprint and verdict signature once per install.
+	d.prepare(app)
 	var threats []Threat
 	// Intra-app pairs (rules within one app can interfere too).
-	rules := app.Rules.Rules
-	for i := 0; i < len(rules); i++ {
-		for j := i + 1; j < len(rules); j++ {
-			threats = append(threats, d.DetectPair(app, rules[i], app, rules[j])...)
-		}
-	}
+	threats = append(threats, d.appPairThreats(app, app)...)
 	for _, old := range d.apps {
-		for _, r1 := range old.Rules.Rules {
-			for _, r2 := range app.Rules.Rules {
-				threats = append(threats, d.DetectPair(old, r1, app, r2)...)
-			}
-		}
+		threats = append(threats, d.appPairThreats(old, app)...)
 	}
 	d.apps = append(d.apps, app)
 	return threats
+}
+
+// appPairThreats detects every threat between appA's and appB's rules
+// (intra-app when appA == appB), going through the footprint prune and,
+// when configured, the fleet-shared pair-verdict cache.
+func (d *Detector) appPairThreats(appA, appB *InstalledApp) []Threat {
+	nPairs := len(appA.Rules.Rules) * len(appB.Rules.Rules)
+	if appA == appB {
+		n := len(appA.Rules.Rules)
+		nPairs = n * (n - 1) / 2
+	}
+	if nPairs == 0 {
+		return nil
+	}
+	// Footprint prune: when neither app's writes touch anything the other
+	// app reads or writes, no interference channel exists and the whole
+	// pair is skipped — no solving, no cache traffic. Intra-app pairs are
+	// never pruned (a rule set trivially shares its own footprint).
+	if !d.opts.DisablePruning && appA != appB && !appA.fp.SharesChannel(appB.fp) {
+		d.stats.PairsPruned += nPairs
+		return nil
+	}
+	if d.opts.Verdicts == nil {
+		return d.detectAppPair(appA, appB)
+	}
+	threats, hit := d.opts.Verdicts.Detect(d.pairKey(appA, appB), func() []Threat {
+		return d.detectAppPair(appA, appB)
+	})
+	if hit {
+		d.stats.PairVerdictHits++
+		// Keep PairsChecked meaning "rule pairs whose verdict this home
+		// obtained" whether solved locally or served from the cache.
+		d.stats.PairsChecked += nPairs
+	} else {
+		d.stats.PairVerdictMisses++
+	}
+	return threats
+}
+
+// detectAppPair runs DetectPair over every rule pair of the two apps.
+func (d *Detector) detectAppPair(appA, appB *InstalledApp) []Threat {
+	var out []Threat
+	if appA == appB {
+		rules := appA.Rules.Rules
+		for i := 0; i < len(rules); i++ {
+			for j := i + 1; j < len(rules); j++ {
+				out = append(out, d.DetectPair(appA, rules[i], appA, rules[j])...)
+			}
+		}
+		return out
+	}
+	for _, r1 := range appA.Rules.Rules {
+		for _, r2 := range appB.Rules.Rules {
+			out = append(out, d.DetectPair(appA, r1, appB, r2)...)
+		}
+	}
+	return out
 }
 
 // Accept records that the user decided to keep an interfering pair; later
@@ -130,29 +184,25 @@ func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
 	}
 	target.Config = cfg
 	// Drop cached solving results involving the app: config substitutions
-	// change the formulas behind the cached keys.
-	prefix := appName + "/"
-	for k := range d.satCache {
-		if strings.Contains(k, prefix) {
+	// change the formulas behind the cached keys. Entries record their
+	// participant apps exactly, so only keys the new binding invalidates
+	// go — substring matching over keys would both over-evict (app "Lock"
+	// clearing entries of "Auto Lock") and rot if the key format changed.
+	for k, r := range d.satCache {
+		if r.apps[0] == appName || r.apps[1] == appName {
 			delete(d.satCache, k)
 		}
 	}
+	// The new bindings change the app's canonical footprint and its
+	// verdict signature; recompute both before re-pairing.
+	d.prepare(target)
 	var threats []Threat
-	rules := target.Rules.Rules
-	for i := 0; i < len(rules); i++ {
-		for j := i + 1; j < len(rules); j++ {
-			threats = append(threats, d.DetectPair(target, rules[i], target, rules[j])...)
-		}
-	}
+	threats = append(threats, d.appPairThreats(target, target)...)
 	for _, other := range d.apps {
 		if other == target {
 			continue
 		}
-		for _, r1 := range other.Rules.Rules {
-			for _, r2 := range target.Rules.Rules {
-				threats = append(threats, d.DetectPair(other, r1, target, r2)...)
-			}
-		}
+		threats = append(threats, d.appPairThreats(other, target)...)
 	}
 	return threats
 }
@@ -229,8 +279,10 @@ func (d *Detector) track(k Kind) func() {
 	}
 }
 
-// solveSAT decides satisfiability of a conjunction, caching by key.
-func (d *Detector) solveSAT(key string, formulas ...rule.Constraint) (solver.Model, bool) {
+// solveSAT decides satisfiability of a conjunction, caching by key. apps
+// names the (up to) two apps whose rules produced the formulas; Reconfigure
+// uses it to evict exactly the entries a config change invalidates.
+func (d *Detector) solveSAT(key string, apps [2]string, formulas ...rule.Constraint) (solver.Model, bool) {
 	if !d.opts.DisableReuse && key != "" {
 		if r, ok := d.satCache[key]; ok {
 			d.stats.SolverCacheHits++
@@ -255,10 +307,14 @@ func (d *Detector) solveSAT(key string, formulas ...rule.Constraint) (solver.Mod
 		m, sat = nil, true
 	}
 	if !d.opts.DisableReuse && key != "" {
-		d.satCache[key] = satResult{sat: sat, witness: m}
+		d.satCache[key] = satResult{sat: sat, witness: m, apps: apps}
 	}
 	return m, sat
 }
+
+// pairApps names the two participant apps of a rule pair for satCache
+// eviction bookkeeping.
+func pairApps(r1, r2 *rule.Rule) [2]string { return [2]string{r1.App, r2.App} }
 
 // overlapKey identifies the merged-situation query for a rule pair
 // (unordered), enabling the AR→CT/SD/LT reuse.
@@ -283,7 +339,7 @@ func condKey(r1, r2 *rule.Rule) string {
 func (d *Detector) situationsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (solver.Model, bool) {
 	f1 := d.situationFormula(appA, r1)
 	f2 := d.situationFormula(appB, r2)
-	return d.solveSAT(overlapKey(r1, r2), f1, f2)
+	return d.solveSAT(overlapKey(r1, r2), pairApps(r1, r2), f1, f2)
 }
 
 // conditionsOverlap checks SAT(C1 ∧ C2) for Trigger-Interference. When the
@@ -299,7 +355,7 @@ func (d *Detector) conditionsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *In
 	}
 	f1 := d.conditionFormula(appA, r1)
 	f2 := d.conditionFormula(appB, r2)
-	return d.solveSAT(condKey(r1, r2), f1, f2)
+	return d.solveSAT(condKey(r1, r2), pairApps(r1, r2), f1, f2)
 }
 
 // ---------- AR ----------
@@ -455,7 +511,7 @@ func (d *Detector) triggerChannel(appA *InstalledApp, r1 *rule.Rule, appB *Insta
 		}
 		// Check the trigger constraint against the effect value.
 		f := d.canonFormula(appB, t2.Constraint)
-		_, sat := d.solveSAT("", f, eff.constraint())
+		_, sat := d.solveSAT("", [2]string{}, f, eff.constraint())
 		if sat {
 			return "", fmt.Sprintf("action %s(%s) sets %s to the triggering value",
 				r1.Action.Subject, r1.Action.Command, t2Var)
@@ -588,7 +644,7 @@ func (d *Detector) detectCondInterference(appA *InstalledApp, r1 *rule.Rule, app
 	if !touched {
 		if d.opts.DisableFiltering {
 			key := "ec:" + r1.QualifiedID() + "|" + r2.QualifiedID()
-			d.solveSAT(key, condF) // ablation: solve anyway
+			d.solveSAT(key, pairApps(r1, r2), condF) // ablation: solve anyway
 		}
 		return Threat{}, false
 	}
@@ -597,7 +653,7 @@ func (d *Detector) detectCondInterference(appA *InstalledApp, r1 *rule.Rule, app
 	// Merge the effect constraints with C2: SAT ⇒ may enable (EC);
 	// UNSAT ⇒ disables (DC).
 	key := "ec:" + r1.QualifiedID() + "|" + r2.QualifiedID()
-	witness, sat := d.solveSAT(key, append([]rule.Constraint{condF}, effectCs...)...)
+	witness, sat := d.solveSAT(key, pairApps(r1, r2), append([]rule.Constraint{condF}, effectCs...)...)
 	if sat {
 		d.stats.Found[EnablingCondition]++
 		return Threat{

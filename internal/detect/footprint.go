@@ -1,0 +1,252 @@
+package detect
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+// This file builds the per-app footprint index and the content addresses
+// behind the fleet-shared pair-verdict cache. Both are computed once per
+// app at Install/Reconfigure time (prepare) and depend only on the app's
+// extracted rules, its input declarations and its installation config —
+// never on other detector state — so an InstalledApp reused across
+// detectors carries the same values.
+
+// prepare fills the app's canonical footprint and, when a verdict cache
+// is configured, its verdict signature. The signature (a rule-set
+// marshal plus SHA-256) is only ever read by pairKey, so detectors
+// without a cache skip it on the install hot path.
+func (d *Detector) prepare(app *InstalledApp) {
+	app.fp = d.footprintOf(app)
+	if d.opts.Verdicts != nil {
+		app.sig = appSignature(app)
+	}
+}
+
+// propKey namespaces an environment property apart from canonical variable
+// names (variable names never contain NUL).
+func propKey(p envmodel.Property) string { return "prop\x00" + string(p) }
+
+// footprintOf computes the app's read/write footprint in canonical names.
+//
+// Reads cover every variable of every rule's situation formula, the
+// trigger subscription variable (an any-change trigger never appears in
+// the formula but is still a covert-triggering channel), and the
+// environment property behind each sensed attribute. Writes cover every
+// device-attribute effect of each action plus every environment property
+// the action drives. Each Table I detection needs a name written by one
+// rule and read or written by the other (see rule.Footprint), so two apps
+// whose footprints share no such channel cannot interfere.
+func (d *Detector) footprintOf(app *InstalledApp) *rule.Footprint {
+	fp := rule.NewFootprint()
+	for _, r := range app.Rules.Rules {
+		if f := d.situationFormula(app, r); f != nil {
+			for name := range rule.VarSet(f) {
+				addReadName(fp, name)
+			}
+		}
+		if t := r.Trigger; t.Subject != "app" && t.Subject != "time" {
+			addReadName(fp, d.canonTriggerVar(app, r))
+			if p, ok := envmodel.AttributeProperty(t.Attribute); ok {
+				fp.AddRead(propKey(p))
+			}
+		}
+		for _, eff := range d.actionEffects(app, r) {
+			fp.AddWrite(eff.varName)
+		}
+		for p, sign := range d.envEffects(app, r) {
+			if sign != envmodel.None {
+				fp.AddWrite(propKey(p))
+			}
+		}
+	}
+	return fp
+}
+
+// addReadName records a read of a canonical variable plus the environment
+// property its attribute suffix senses (the EC/DC and CT environment
+// channels match on properties, not variable names).
+func addReadName(fp *rule.Footprint, name string) {
+	fp.AddRead(name)
+	attr := name
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		attr = name[dot+1:]
+	}
+	if p, ok := envmodel.AttributeProperty(attr); ok {
+		fp.AddRead(propKey(p))
+	}
+}
+
+// PairKey is the content address of an app-pair detection verdict:
+// SHA-256 over both apps' canonical rule sets and configuration bindings
+// plus the home's mode list. Two homes that installed the same two app
+// sources with the same configurations under the same mode universe get
+// the same key — and provably the same verdict, since the key covers every
+// input the pair detections read.
+type PairKey [sha256.Size]byte
+
+// pairKey derives the verdict address for the ordered pair (appA, appB).
+// The pair is kept ordered (installation order) so cached threats carry
+// R1/R2 in the exact orientation local detection would produce — a
+// deliberate tradeoff: homes that reach the same pair in opposite orders
+// cache the two orientations separately (at most doubling entries per
+// unordered pair) in exchange for sharing verdicts verbatim with no
+// threat-rewriting on retrieval. A
+// relation tag separates the intra-app domain from the cross-app one:
+// two content-identical apps installed as separate instances have equal
+// signatures, but their cross verdict (n*n rule pairs, including each
+// rule against its own duplicate) differs from the single instance's
+// intra verdict (n(n-1)/2 pairs).
+func (d *Detector) pairKey(appA, appB *InstalledApp) PairKey {
+	h := sha256.New()
+	if appA == appB {
+		h.Write([]byte{'i'})
+	} else {
+		h.Write([]byte{'x'})
+	}
+	h.Write(appA.sig)
+	h.Write([]byte{0})
+	h.Write(appB.sig)
+	h.Write([]byte{0})
+	for _, m := range d.modes {
+		// Length-prefixed for the same no-aliasing reason as appSignature.
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(m)))
+		h.Write(n[:])
+		h.Write([]byte(m))
+	}
+	var k PairKey
+	h.Sum(k[:0])
+	return k
+}
+
+// appSignature hashes everything about one installed app that pair
+// detection reads: its name (the canonical variable prefix), its input
+// declarations (capabilities pick device keys and solver domains, titles
+// feed device-type guessing), its full rule set, and its installation
+// configuration (device bindings, value substitutions, device types).
+func appSignature(app *InstalledApp) []byte {
+	h := sha256.New()
+	// Every string is length-prefixed: configs arrive verbatim from the
+	// JSON API and may contain any byte, so delimiter framing would let
+	// crafted strings slide across key/value boundaries and alias two
+	// different configurations onto one fleet-shared verdict key.
+	wr := func(s string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	wr(app.Info.Name)
+	for _, in := range app.Info.Inputs {
+		wr(in.Name)
+		wr(in.Type)
+		wr(in.Capability)
+		wr(in.Title)
+		wr(strconv.FormatBool(in.Multiple))
+		// Tag bytes fence the variable-length fields so field contents
+		// cannot alias across boundaries (Options ["x"] + no default must
+		// hash apart from no options + default "x" — options feed solver
+		// enum domains, so the two are detection-distinct).
+		h.Write([]byte{6})
+		for _, o := range in.Options {
+			wr(o)
+		}
+		h.Write([]byte{7})
+		if in.Default != nil {
+			wr(in.Default.String())
+		}
+		h.Write([]byte{1})
+	}
+	rsig := ruleSetSig(app.Rules)
+	h.Write(rsig[:])
+	h.Write([]byte{2})
+	cfg := app.Config
+	for _, k := range sortedKeys(cfg.Devices) {
+		wr(k)
+		wr(cfg.Devices[k])
+	}
+	h.Write([]byte{3})
+	for _, k := range sortedKeys(cfg.Values) {
+		wr(k)
+		wr(cfg.Values[k].String())
+	}
+	h.Write([]byte{4})
+	for _, k := range sortedKeys(cfg.ValueLists) {
+		wr(k)
+		for _, v := range cfg.ValueLists[k] {
+			wr(v)
+		}
+		// Terminate each list: {"a": ["b"]} must not alias {"a": [], "b": []}.
+		h.Write([]byte{6})
+	}
+	h.Write([]byte{5})
+	for _, k := range sortedKeys(cfg.DeviceTypes) {
+		wr(k)
+		wr(string(cfg.DeviceTypes[k]))
+	}
+	return h.Sum(nil)
+}
+
+// ruleSetSigs memoizes each rule set's content hash by pointer identity:
+// extraction results are cached and shared read-only across homes, so the
+// same *RuleSet recurs once per home install and marshaling it each time
+// would put an O(rule-set) serialization on the hot path the verdict
+// cache exists to flatten. Rule sets are immutable after extraction (the
+// contract the whole caching layer rests on). The map is bounded — each
+// entry strong-references its rule set, so an unbounded memo would pin
+// every app version a long-running process ever saw; on overflow,
+// arbitrary entries are dropped and simply recomputed on next use.
+const ruleSetSigLimit = 1 << 16
+
+var ruleSetSigs = struct {
+	sync.Mutex
+	m map[*rule.RuleSet][sha256.Size]byte
+}{m: map[*rule.RuleSet][sha256.Size]byte{}}
+
+func ruleSetSig(rs *rule.RuleSet) [sha256.Size]byte {
+	ruleSetSigs.Lock()
+	sum, ok := ruleSetSigs.m[rs]
+	ruleSetSigs.Unlock()
+	if ok {
+		return sum
+	}
+	h := sha256.New()
+	if b, err := rule.MarshalRuleSet(rs); err == nil {
+		h.Write(b)
+	} else {
+		// Extraction output always marshals; hand-built rule sets that
+		// somehow don't still hash via their renderings.
+		for _, r := range rs.Rules {
+			h.Write([]byte(r.String()))
+			h.Write([]byte{0})
+		}
+	}
+	h.Sum(sum[:0])
+	ruleSetSigs.Lock()
+	for k := range ruleSetSigs.m {
+		if len(ruleSetSigs.m) < ruleSetSigLimit {
+			break
+		}
+		delete(ruleSetSigs.m, k)
+	}
+	ruleSetSigs.m[rs] = sum
+	ruleSetSigs.Unlock()
+	return sum
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

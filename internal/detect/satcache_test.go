@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"testing"
+
+	"homeguard/internal/solver"
+)
+
+// Three apps driving one shared light. "Lock" and "Auto Lock" are named so
+// that one is a substring of the other: the old substring-based satCache
+// eviction would clear "Auto Lock" entries when "Lock" is reconfigured.
+
+const lockSrc = `
+definition(name: "Lock", namespace: "repro", author: "x",
+    description: "Turn the light on at a tap.", category: "Convenience")
+input "light1", "capability.switch"
+def installed() { subscribe(app, appTouch) }
+def updated() { subscribe(app, appTouch) }
+def appTouch(evt) { light1.on() }
+`
+
+const autoLockSrc = `
+definition(name: "Auto Lock", namespace: "repro", author: "x",
+    description: "Turn the light off at a tap.", category: "Green Living")
+input "light1", "capability.switch"
+def installed() { subscribe(app, appTouch) }
+def updated() { subscribe(app, appTouch) }
+def appTouch(evt) { light1.off() }
+`
+
+const guardSrc = `
+definition(name: "Guard", namespace: "repro", author: "x",
+    description: "Turn the light on at a tap.", category: "Safety")
+input "light1", "capability.switch"
+def installed() { subscribe(app, appTouch) }
+def updated() { subscribe(app, appTouch) }
+def appTouch(evt) { light1.on() }
+`
+
+func sharedLightConfig() *Config {
+	cfg := NewConfig()
+	cfg.Devices["light1"] = "dev-light"
+	return cfg
+}
+
+// TestReconfigureEvictsExactlyTargetSatEntries: reconfiguring an app must
+// recompute every satCache entry the app participates in (stale verdicts
+// cannot survive a binding change) while leaving every other entry alone —
+// including entries of an app whose name merely contains the reconfigured
+// app's name, which substring matching on cache keys used to over-evict.
+//
+// The test poisons every entry with a sentinel witness before the
+// reconfigure: an entry that still carries the sentinel afterwards was
+// kept, one that lost it was evicted and recomputed.
+func TestReconfigureEvictsExactlyTargetSatEntries(t *testing.T) {
+	d := New(Options{})
+	installApp(t, d, lockSrc, sharedLightConfig())
+	installApp(t, d, autoLockSrc, sharedLightConfig())
+	installApp(t, d, guardSrc, sharedLightConfig())
+
+	involves := func(r satResult, app string) bool {
+		return r.apps[0] == app || r.apps[1] == app
+	}
+	var withLock, withoutLock int
+	sentinel := solver.Model{"__sentinel__": solver.Value{}}
+	for k, r := range d.satCache {
+		if involves(r, "Lock") {
+			withLock++
+		} else {
+			withoutLock++
+		}
+		r.witness = sentinel
+		d.satCache[k] = r
+	}
+	if withLock == 0 || withoutLock == 0 {
+		t.Fatalf("need entries both with and without Lock to test eviction precision, got %d/%d",
+			withLock, withoutLock)
+	}
+
+	d.Reconfigure("Lock", sharedLightConfig())
+
+	for k, r := range d.satCache {
+		_, stale := r.witness["__sentinel__"]
+		if involves(r, "Lock") && stale {
+			t.Errorf("entry %q involves Lock but survived its reconfigure", k)
+		}
+		if !involves(r, "Lock") && !stale {
+			t.Errorf("entry %q (apps %v) does not involve Lock but was evicted", k, r.apps)
+		}
+	}
+}

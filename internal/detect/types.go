@@ -101,6 +101,17 @@ type InstalledApp struct {
 	Info   symexec.AppInfo
 	Rules  *rule.RuleSet
 	Config *Config
+
+	// fp and sig are filled by the owning detector at Install/Reconfigure
+	// (see prepare): the app's canonical read/write footprint and its
+	// verdict-cache signature. Both are pure functions of the exported
+	// fields, so an InstalledApp installed into several detectors gets the
+	// same values each time — but the writes are unsynchronized, so one
+	// instance must not be installed into different detectors
+	// concurrently (build a fresh InstalledApp per home, as the fleet
+	// does).
+	fp  *rule.Footprint
+	sig []byte
 }
 
 // NewInstalledApp wraps an extraction result. A nil config selects
@@ -120,8 +131,30 @@ type Options struct {
 	// DisableReuse disables constraint-solving result reuse across threat
 	// kinds (ablation for the Fig. 9 green arrows).
 	DisableReuse bool
+	// DisablePruning disables the footprint-disjointness pair prune
+	// (ablation): every app pair goes through full detection even when the
+	// two rule sets share no interference channel.
+	DisablePruning bool
 	// Modes is the home's mode universe (defaults to Home/Away/Night).
 	Modes []string
+	// Verdicts, when non-nil, shares whole app-pair detection verdicts
+	// across detectors (internal/pairverdict implements it). The detector
+	// addresses each unpruned app pair by a content hash of both apps'
+	// canonical rule sets, configurations and the mode list; a hit skips
+	// every solver call for the pair.
+	Verdicts PairVerdictCache
+}
+
+// PairVerdictCache caches app-pair detection verdicts across homes.
+// Detect returns the threats cached under key when present; otherwise it
+// runs compute (at most once per key, fleet-wide — concurrent callers
+// coalesce), stores the result and returns it. The boolean reports a hit.
+// Implementations must be goroutine-safe; compute runs while the calling
+// detector's lock is held, so it must not acquire detector locks itself.
+// Cached threats are shared between homes and must be treated as
+// immutable by callers.
+type PairVerdictCache interface {
+	Detect(key PairKey, compute func() []Threat) ([]Threat, bool)
 }
 
 // Stats counts detector work for the efficiency evaluation (Fig. 9).
@@ -129,8 +162,19 @@ type Stats struct {
 	PairsChecked    int
 	SolverCalls     int
 	SolverCacheHits int
-	Candidates      map[Kind]int
-	Found           map[Kind]int
+	// PairsPruned counts rule pairs skipped outright by the footprint
+	// prune (disjoint interference channels — provably no threat).
+	PairsPruned int
+	// PairVerdictHits and PairVerdictMisses count app-pair lookups in the
+	// shared verdict cache. Hits skip all solving for the pair: the rule
+	// pairs served still count into PairsChecked ("verdict obtained"), but
+	// Candidates, Found and the Filter/Solve timings record only work this
+	// detector ran itself — a home fed from the cache reports threats
+	// without growing Found, by design.
+	PairVerdictHits   int
+	PairVerdictMisses int
+	Candidates        map[Kind]int
+	Found             map[Kind]int
 	// FilterNS and SolveNS accumulate per-kind candidate-filtering and
 	// constraint-solving time in nanoseconds (Fig. 9's two components).
 	FilterNS map[Kind]int64

@@ -24,6 +24,17 @@
 // Shard and home locks are never held while extracting, and the shard
 // lock is never held while a home lock is held, so there is no lock-order
 // cycle.
+//
+// Detection solving gets the same treatment through a shared
+// pairverdict.Cache: each app pair's verdict is content-addressed by both
+// apps' canonical rule sets, configurations and mode list, so a catalog
+// installed into a million homes is solved once per distinct pair
+// fleet-wide. Unlike extraction, the verdict computation runs *under* the
+// computing home's lock (detection reads that home's detector state); a
+// home that joins an in-flight entry therefore waits, holding only its own
+// home lock, for another home's computation. That cannot deadlock: the
+// computation touches exactly one home's lock (its own, already held) and
+// never a shard lock, so no cycle through the cache is possible.
 package fleet
 
 import (
@@ -37,6 +48,7 @@ import (
 	"homeguard/internal/detect"
 	"homeguard/internal/extractcache"
 	"homeguard/internal/frontend"
+	"homeguard/internal/pairverdict"
 	"homeguard/internal/rule"
 	"homeguard/internal/symexec"
 )
@@ -59,6 +71,12 @@ var (
 	ErrBadThreatIndex = errors.New("threat index out of range")
 )
 
+// DefaultVerdictEntries bounds the auto-created pair-verdict cache: about
+// a million cached verdicts, a few hundred MB worst-case, far above any
+// working set a single daemon's live catalog produces but a hard ceiling
+// for reconfigure-churn garbage.
+const DefaultVerdictEntries = 1 << 20
+
 // Options tune a Fleet.
 type Options struct {
 	// Shards is the number of home-map shards (default 16).
@@ -69,6 +87,21 @@ type Options struct {
 	// nil. Passing a cache lets several fleets (or a fleet plus batch
 	// tooling) share extraction work.
 	Cache *extractcache.Cache
+	// Verdicts is the shared pair-verdict cache: app-pair detection
+	// results content-addressed by both apps' rule sets, configurations
+	// and mode list, so a catalog installed into many homes is solved once
+	// fleet-wide. When nil (and DisablePairVerdicts is unset) a cache
+	// bounded at DefaultVerdictEntries is created — reconfigure churn
+	// re-keys pairs and would otherwise grow the cache without limit.
+	// Passing one shares verdicts between fleets the way Cache shares
+	// extractions (use pairverdict.New for an unbounded cache). A cache
+	// preset in Detector.Verdicts takes precedence over this field (see
+	// withDefaults); set only one of the two.
+	Verdicts *pairverdict.Cache
+	// DisablePairVerdicts runs every home's detection without the shared
+	// verdict cache (ablation / benchmark contrast). It wins over a
+	// supplied Verdicts cache, including one preset in Detector.Verdicts.
+	DisablePairVerdicts bool
 	// MaxChainLen bounds chained-threat search at install (default 4).
 	MaxChainLen int
 }
@@ -83,15 +116,42 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil {
 		o.Cache = extractcache.New()
 	}
+	// Resolve the verdict-cache precedence once, for both layers: after
+	// this block o.Verdicts is what the fleet reports (Verdicts() and
+	// metrics) and o.Detector.Verdicts is what homes use, and the two can
+	// never disagree.
+	if o.DisablePairVerdicts {
+		// The ablation flag wins over a supplied cache: a contrast run
+		// constructed with both set must actually run cache-less.
+		o.Verdicts = nil
+		o.Detector.Verdicts = nil
+	} else if dv := o.Detector.Verdicts; dv != nil {
+		// A cache preset at the detector layer is the cache every home
+		// will actually use — it wins even over an Options.Verdicts also
+		// set, so Verdicts() and metrics always report the live cache. A
+		// foreign PairVerdictCache implementation can't be adopted — the
+		// fleet then owns no cache and reports none.
+		if pc, ok := dv.(*pairverdict.Cache); ok {
+			o.Verdicts = pc
+		} else {
+			o.Verdicts = nil
+		}
+	} else {
+		if o.Verdicts == nil {
+			o.Verdicts = pairverdict.NewBounded(DefaultVerdictEntries)
+		}
+		o.Detector.Verdicts = o.Verdicts
+	}
 	return o
 }
 
 // Fleet is a goroutine-safe manager of many HomeGuard homes.
 type Fleet struct {
-	opts    Options
-	shards  []*shard
-	cache   *extractcache.Cache
-	metrics *metrics
+	opts     Options
+	shards   []*shard
+	cache    *extractcache.Cache
+	verdicts *pairverdict.Cache // nil when DisablePairVerdicts is set
+	metrics  *metrics
 }
 
 type shard struct {
@@ -106,16 +166,31 @@ type home struct {
 	id      string
 	det     *detect.Detector
 	threats []detect.Threat // every threat reported for this home, in order
+	// detSeen is the detector-counter high-water mark already folded into
+	// fleet metrics (see takeDetectorDelta). Guarded by mu.
+	detSeen DetectorTotals
+}
+
+// takeDetectorDelta returns the home detector's counter growth since the
+// last call and advances the high-water mark. Callers hold h.mu; the
+// delta is folded into fleet metrics after the lock is released so a
+// metrics scrape never waits on a home lock.
+func (h *home) takeDetectorDelta() DetectorTotals {
+	cur := detectorTotalsOf(h.det.Stats())
+	delta := cur.minus(h.detSeen)
+	h.detSeen = cur
+	return delta
 }
 
 // New creates an empty fleet.
 func New(opts Options) *Fleet {
 	opts = opts.withDefaults()
 	f := &Fleet{
-		opts:    opts,
-		shards:  make([]*shard, opts.Shards),
-		cache:   opts.Cache,
-		metrics: newMetrics(),
+		opts:     opts,
+		shards:   make([]*shard, opts.Shards),
+		cache:    opts.Cache,
+		verdicts: opts.Verdicts,
+		metrics:  newMetrics(),
 	}
 	for i := range f.shards {
 		f.shards[i] = &shard{homes: map[string]*home{}}
@@ -143,6 +218,9 @@ func (f *Fleet) homeFor(homeID string) *home {
 	if h = s.homes[homeID]; h != nil {
 		return h
 	}
+	// opts.Detector was fully resolved by withDefaults (verdict-cache
+	// precedence applied there, in one place), so homes and the reporting
+	// layer can never disagree about which cache is in use.
 	h = &home{id: homeID, det: detect.New(f.opts.Detector)}
 	s.homes[homeID] = h
 	f.metrics.homeCreated()
@@ -191,25 +269,42 @@ func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult,
 	}
 	h := f.homeFor(homeID)
 
-	h.mu.Lock()
-	for _, a := range h.det.Apps() {
-		if a.Info.Name == res.App.Name {
-			h.mu.Unlock()
-			// A retried/duplicated request, not a service failure: count
-			// it apart from extraction errors so dashboards alerting on
-			// InstallErrors don't fire on ordinary client retries.
-			f.metrics.installConflicted()
-			return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppInstalled, res.App.Name)
+	// The locked section runs in a closure so a detection panic (which
+	// pairverdict.Cache deliberately re-raises after releasing its
+	// waiters) unlocks the home on the way out: net/http recovers handler
+	// panics, and a mutex left locked would wedge the home forever.
+	var (
+		threats []detect.Threat
+		chains  []detect.Chain
+		logBase int
+		det     DetectorTotals
+		dup     bool
+	)
+	func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for _, a := range h.det.Apps() {
+			if a.Info.Name == res.App.Name {
+				dup = true
+				return
+			}
 		}
+		threats = h.det.Install(detect.NewInstalledApp(res, cfg))
+		chains = h.det.FindChains(threats, f.opts.MaxChainLen)
+		logBase = len(h.threats)
+		h.threats = append(h.threats, threats...)
+		det = h.takeDetectorDelta()
+	}()
+	if dup {
+		// A retried/duplicated request, not a service failure: count it
+		// apart from extraction errors so dashboards alerting on
+		// InstallErrors don't fire on ordinary client retries.
+		f.metrics.installConflicted()
+		return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppInstalled, res.App.Name)
 	}
-	ia := detect.NewInstalledApp(res, cfg)
-	threats := h.det.Install(ia)
-	chains := h.det.FindChains(threats, f.opts.MaxChainLen)
-	logBase := len(h.threats)
-	h.threats = append(h.threats, threats...)
-	h.mu.Unlock()
 
 	report := frontend.InstallDialog(res.App.Name, res.Rules.Rules, threats, chains)
+	f.metrics.detectorDelta(det)
 	f.metrics.installDone(time.Since(start), threats)
 	return &InstallResult{
 		HomeID:        homeID,
@@ -234,25 +329,37 @@ func (f *Fleet) Reconfigure(homeID, appName string, cfg *detect.Config) (threats
 	if h == nil {
 		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
 	}
-	h.mu.Lock()
-	var target *detect.InstalledApp
-	for _, a := range h.det.Apps() {
-		if a.Info.Name == appName {
-			target = a
-			break
+	// Closure + defer for the same panic-safety reason as Install.
+	var (
+		det     DetectorTotals
+		missing bool
+	)
+	func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		var target *detect.InstalledApp
+		for _, a := range h.det.Apps() {
+			if a.Info.Name == appName {
+				target = a
+				break
+			}
 		}
-	}
-	if target == nil {
-		h.mu.Unlock()
+		if target == nil {
+			missing = true
+			return
+		}
+		if cfg == nil {
+			cfg = target.Config // keep bindings; detect.Reconfigure would reset them
+		}
+		threats = h.det.Reconfigure(appName, cfg)
+		logBase = len(h.threats)
+		h.threats = append(h.threats, threats...)
+		det = h.takeDetectorDelta()
+	}()
+	if missing {
 		return nil, 0, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppNotInstalled, appName)
 	}
-	if cfg == nil {
-		cfg = target.Config // keep bindings; detect.Reconfigure would reset them
-	}
-	threats = h.det.Reconfigure(appName, cfg)
-	logBase = len(h.threats)
-	h.threats = append(h.threats, threats...)
-	h.mu.Unlock()
+	f.metrics.detectorDelta(det)
 	f.metrics.reconfigureDone()
 	return threats, logBase, nil
 }
@@ -350,7 +457,15 @@ func (f *Fleet) NumHomes() int {
 // Cache exposes the shared extraction cache (for stats and pre-warming).
 func (f *Fleet) Cache() *extractcache.Cache { return f.cache }
 
+// Verdicts exposes the shared pair-verdict cache, or nil when the fleet
+// was created with DisablePairVerdicts.
+func (f *Fleet) Verdicts() *pairverdict.Cache { return f.verdicts }
+
 // Metrics returns a snapshot of fleet-wide service metrics.
 func (f *Fleet) Metrics() MetricsSnapshot {
-	return f.metrics.snapshot(f.cache.Stats())
+	var pv pairverdict.Stats
+	if f.verdicts != nil {
+		pv = f.verdicts.Stats()
+	}
+	return f.metrics.snapshot(f.cache.Stats(), pv)
 }

@@ -7,6 +7,7 @@ import (
 
 	"homeguard/internal/detect"
 	"homeguard/internal/extractcache"
+	"homeguard/internal/pairverdict"
 )
 
 // The install-latency histogram has 40 exponential buckets whose upper
@@ -65,7 +66,10 @@ func (h *latencyHist) quantile(q float64) time.Duration {
 }
 
 // metrics aggregates fleet-wide counters behind one mutex. Every field is
-// guarded by mu; detector-level stats stay per-home behind home locks.
+// guarded by mu; detector-level stats stay per-home behind home locks and
+// are folded in as deltas when each install/reconfigure completes, so
+// reading a snapshot never touches a home lock (a wedged or long-running
+// install must not stall /metrics, and scrapes stay O(1) at fleet scale).
 type metrics struct {
 	mu               sync.Mutex
 	homes            uint64
@@ -75,6 +79,7 @@ type metrics struct {
 	reconfigures     uint64
 	threats          map[detect.Kind]uint64
 	installLat       latencyHist
+	det              DetectorTotals
 }
 
 func newMetrics() *metrics {
@@ -109,6 +114,21 @@ func (m *metrics) installConflicted() {
 	m.mu.Unlock()
 }
 
+// detectorDelta folds one home's detector-counter growth into the
+// fleet-wide totals. The caller computes the delta under the home's lock
+// (detector counters only grow, so cur - prev is exact) and reports it
+// here afterwards.
+func (m *metrics) detectorDelta(d DetectorTotals) {
+	m.mu.Lock()
+	m.det.PairsChecked += d.PairsChecked
+	m.det.PairsPruned += d.PairsPruned
+	m.det.SolverCalls += d.SolverCalls
+	m.det.SolverCacheHits += d.SolverCacheHits
+	m.det.PairVerdictHits += d.PairVerdictHits
+	m.det.PairVerdictMisses += d.PairVerdictMisses
+	m.mu.Unlock()
+}
+
 // reconfigureDone deliberately does not feed ThreatsByKind: a reconfigure
 // re-reports threats over the same rule pairs, and re-counting them would
 // inflate the per-kind totals with every no-op reconfigure.
@@ -137,9 +157,53 @@ type MetricsSnapshot struct {
 	InstallP99 time.Duration
 	// Cache is the shared extraction cache state.
 	Cache extractcache.Stats
+	// PairVerdicts is the shared pair-verdict cache state (all zero when
+	// the fleet runs with DisablePairVerdicts).
+	PairVerdicts pairverdict.Stats
+	// Detectors aggregates per-home detector counters fleet-wide: how
+	// many rule pairs were checked, how many the footprint prune skipped,
+	// and how much solving the verdict cache absorbed. Totals include
+	// completed installs/reconfigures only — work in flight shows up once
+	// its operation finishes.
+	Detectors DetectorTotals
 }
 
-func (m *metrics) snapshot(cache extractcache.Stats) MetricsSnapshot {
+// DetectorTotals are per-home detect.Stats counters accumulated over
+// every completed install and reconfigure in the fleet.
+type DetectorTotals struct {
+	PairsChecked      uint64
+	PairsPruned       uint64
+	SolverCalls       uint64
+	SolverCacheHits   uint64
+	PairVerdictHits   uint64
+	PairVerdictMisses uint64
+}
+
+// detectorTotalsOf projects the scalar counters of one detector's stats.
+func detectorTotalsOf(st detect.Stats) DetectorTotals {
+	return DetectorTotals{
+		PairsChecked:      uint64(st.PairsChecked),
+		PairsPruned:       uint64(st.PairsPruned),
+		SolverCalls:       uint64(st.SolverCalls),
+		SolverCacheHits:   uint64(st.SolverCacheHits),
+		PairVerdictHits:   uint64(st.PairVerdictHits),
+		PairVerdictMisses: uint64(st.PairVerdictMisses),
+	}
+}
+
+// minus returns the counter growth from prev to t.
+func (t DetectorTotals) minus(prev DetectorTotals) DetectorTotals {
+	return DetectorTotals{
+		PairsChecked:      t.PairsChecked - prev.PairsChecked,
+		PairsPruned:       t.PairsPruned - prev.PairsPruned,
+		SolverCalls:       t.SolverCalls - prev.SolverCalls,
+		SolverCacheHits:   t.SolverCacheHits - prev.SolverCacheHits,
+		PairVerdictHits:   t.PairVerdictHits - prev.PairVerdictHits,
+		PairVerdictMisses: t.PairVerdictMisses - prev.PairVerdictMisses,
+	}
+}
+
+func (m *metrics) snapshot(cache extractcache.Stats, verdicts pairverdict.Stats) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	kinds := make(map[detect.Kind]uint64, len(m.threats))
@@ -156,5 +220,7 @@ func (m *metrics) snapshot(cache extractcache.Stats) MetricsSnapshot {
 		InstallP50:       m.installLat.quantile(0.50),
 		InstallP99:       m.installLat.quantile(0.99),
 		Cache:            cache,
+		PairVerdicts:     verdicts,
+		Detectors:        m.det,
 	}
 }

@@ -1,0 +1,200 @@
+// Package pairverdict is a content-addressed cache of app-pair detection
+// verdicts shared across homes. The online phase pair-checks every newly
+// installed app against all apps already in the home, so each install is
+// O(n) solver-heavy pair analyses — and fleet-wide, the same (appA, appB,
+// config, modes) pair is re-solved in every home that installs the same
+// catalog. The detector addresses each pair by the SHA-256 of both apps'
+// canonical rule sets plus their configuration bindings and the home's
+// mode list (detect.PairKey); that key covers every input pair detection
+// reads, so homes that share a key provably share the verdict and the
+// solver runs once per distinct pair for the whole fleet.
+//
+// Concurrent requests for the same uncached pair are deduplicated with a
+// singleflight discipline mirroring internal/extractcache: the first
+// caller computes while later callers block on the in-flight entry and
+// share its result. The compute callback runs under the computing home's
+// lock; it only reads that home's detector and the two apps' immutable
+// extraction results, and never takes another home's lock, so waiting on
+// an in-flight entry cannot deadlock.
+//
+// Cached []detect.Threat slices are handed out to every caller without
+// copying; callers must treat them as immutable. Threat values reference
+// shared *rule.Rule and solver.Model data that detection never mutates
+// after reporting (the same read-only contract the extraction cache
+// relies on).
+package pairverdict
+
+import (
+	"sync"
+
+	"homeguard/internal/detect"
+)
+
+// Key is the content address of one app-pair verdict (see detect.PairKey).
+type Key = detect.PairKey
+
+// entry is one cache slot. done is closed by the computing goroutine once
+// threats is set; waiters block on it (singleflight).
+type entry struct {
+	done    chan struct{}
+	threats []detect.Threat
+	// failed marks an entry whose compute panicked; waiters recompute
+	// locally instead of trusting an empty verdict.
+	failed bool
+}
+
+// Stats are cumulative cache counters. HitRate is derived.
+type Stats struct {
+	// Lookups counts Detect calls.
+	Lookups uint64
+	// Hits counts lookups served from a completed or in-flight entry
+	// (an in-flight join still means the caller ran no solver).
+	Hits uint64
+	// Misses counts lookups that computed the verdict themselves.
+	Misses uint64
+	// Entries is the current number of cached verdicts.
+	Entries int
+}
+
+// HitRate returns Hits/Lookups, or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is a goroutine-safe content-addressed pair-verdict cache. It
+// implements detect.PairVerdictCache. The zero value is not usable; call
+// New or NewBounded.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	limit   int // max completed entries kept; 0 = unbounded
+	lookups uint64
+	hits    uint64
+	misses  uint64
+}
+
+// Cache satisfies the detector's cache plug-in point.
+var _ detect.PairVerdictCache = (*Cache)(nil)
+
+// New returns an empty, unbounded cache.
+func New() *Cache {
+	return &Cache{entries: map[Key]*entry{}}
+}
+
+// NewBounded returns an empty cache that holds at most limit verdicts.
+// Reconfigures re-key an app's pairs (the signature covers the config),
+// so a long-running fleet with config churn strands superseded entries;
+// the bound caps that growth by evicting arbitrary completed entries on
+// overflow — correctness is unaffected since every entry is recomputable,
+// only the hit rate dips. A limit <= 0 means unbounded.
+func NewBounded(limit int) *Cache {
+	return &Cache{entries: map[Key]*entry{}, limit: limit}
+}
+
+// Detect returns the verdict cached under k, computing and caching it via
+// compute on a miss. compute runs at most once per key no matter how many
+// goroutines ask concurrently; the boolean reports whether the caller was
+// served without computing (a hit).
+func (c *Cache) Detect(k Key, compute func() []detect.Threat) ([]detect.Threat, bool) {
+	c.mu.Lock()
+	c.lookups++
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		if e.failed {
+			// The computing home panicked mid-detection. Recompute locally
+			// rather than report a bogus empty verdict, and re-book the
+			// join as a miss since this caller did the solver work.
+			c.mu.Lock()
+			c.hits--
+			c.misses++
+			c.mu.Unlock()
+			return compute(), false
+		}
+		return e.threats, true
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[k] = e
+	c.misses++
+	c.evictOverflowLocked()
+	c.mu.Unlock()
+
+	// Close done even if compute panics: an unclosed entry would wedge
+	// every later Detect of this key forever. The entry is marked failed
+	// and dropped from the map so waiters and future callers recompute,
+	// then the panic is re-raised for this caller.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.failed = true
+				c.mu.Lock()
+				// Drop only our own slot: a concurrent Purge may have
+				// replaced the map and a newer in-flight entry may already
+				// own this key.
+				if c.entries[k] == e {
+					delete(c.entries, k)
+				}
+				c.mu.Unlock()
+				close(e.done)
+				panic(r)
+			}
+			close(e.done)
+		}()
+		e.threats = compute()
+	}()
+	return e.threats, false
+}
+
+// evictOverflowLocked drops arbitrary completed entries until the cache
+// fits its limit. In-flight entries are never victims (waiters hold a
+// reference; this also protects the just-inserted entry, whose done
+// channel is still open). Callers hold c.mu. Map iteration order gives a
+// cheap pseudo-random victim choice; an LRU would be fairer but costs
+// per-hit bookkeeping on the path every install takes.
+func (c *Cache) evictOverflowLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for k, e := range c.entries {
+		if len(c.entries) <= c.limit {
+			return
+		}
+		select {
+		case <-e.done:
+			delete(c.entries, k)
+		default: // in flight
+		}
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Lookups: c.lookups,
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Entries: len(c.entries),
+	}
+}
+
+// Len returns the number of cached verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached verdict (counters are kept). In-flight
+// computations complete and are returned to their waiters but are no
+// longer cached for later callers.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[Key]*entry{}
+}

@@ -1,0 +1,179 @@
+package pairverdict
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"homeguard/internal/detect"
+)
+
+func keyN(n byte) Key {
+	var k Key
+	k[0] = n
+	return k
+}
+
+func TestDetectCachesVerdict(t *testing.T) {
+	c := New()
+	var computes atomic.Int64
+	compute := func() []detect.Threat {
+		computes.Add(1)
+		return []detect.Threat{{Kind: detect.ActuatorRace, Note: "x"}}
+	}
+	ts, hit := c.Detect(keyN(1), compute)
+	if hit || len(ts) != 1 {
+		t.Fatalf("first lookup: hit=%v threats=%d, want miss with 1 threat", hit, len(ts))
+	}
+	ts, hit = c.Detect(keyN(1), compute)
+	if !hit || len(ts) != 1 {
+		t.Fatalf("second lookup: hit=%v threats=%d, want hit with 1 threat", hit, len(ts))
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	s := c.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 lookups, 1 hit, 1 miss, 1 entry", s)
+	}
+	if r := s.HitRate(); r != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", r)
+	}
+}
+
+func TestDetectNilVerdictIsCached(t *testing.T) {
+	c := New()
+	var computes atomic.Int64
+	compute := func() []detect.Threat { computes.Add(1); return nil }
+	for i := 0; i < 3; i++ {
+		if ts, _ := c.Detect(keyN(2), compute); ts != nil {
+			t.Fatalf("lookup %d: threats = %v, want nil", i, ts)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1 (empty verdicts cache too)", got)
+	}
+}
+
+// TestDetectSingleflight: concurrent misses on one key coalesce onto a
+// single computation whose result every caller shares.
+func TestDetectSingleflight(t *testing.T) {
+	c := New()
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func() []detect.Threat {
+		computes.Add(1)
+		<-release
+		return []detect.Threat{{Kind: detect.GoalConflict}}
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]detect.Threat, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			ts, _ := c.Detect(keyN(3), compute)
+			results[i] = ts
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", got)
+	}
+	for i, ts := range results {
+		if len(ts) != 1 || ts[0].Kind != detect.GoalConflict {
+			t.Errorf("caller %d got %v, want the shared GC verdict", i, ts)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", s, callers-1)
+	}
+}
+
+// TestDetectComputePanic: a panicking computation must not wedge waiters
+// or cache a bogus empty verdict.
+func TestDetectComputePanic(t *testing.T) {
+	c := New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic was swallowed")
+			}
+		}()
+		c.Detect(keyN(4), func() []detect.Threat { panic("boom") })
+	}()
+	// The failed entry is gone; the next caller recomputes cleanly.
+	ts, hit := c.Detect(keyN(4), func() []detect.Threat {
+		return []detect.Threat{{Kind: detect.CovertTriggering}}
+	})
+	if hit || len(ts) != 1 {
+		t.Fatalf("post-panic lookup: hit=%v threats=%d, want clean miss with 1 threat", hit, len(ts))
+	}
+}
+
+// TestBoundedEviction: a bounded cache holds the line at its limit by
+// dropping completed entries, and the freshly inserted key survives.
+func TestBoundedEviction(t *testing.T) {
+	c := NewBounded(4)
+	for i := byte(0); i < 10; i++ {
+		c.Detect(keyN(i), func() []detect.Threat { return nil })
+		if c.Len() > 4 {
+			t.Fatalf("after insert %d: len = %d, want <= 4", i, c.Len())
+		}
+	}
+	// The last key inserted is never the eviction victim of its own
+	// overflow pass.
+	var computes atomic.Int64
+	c.Detect(keyN(9), func() []detect.Threat { computes.Add(1); return nil })
+	if computes.Load() != 0 {
+		t.Error("just-inserted entry was evicted by its own insert")
+	}
+	// In-flight entries are never evicted even under overflow.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Detect(keyN(100), func() []detect.Threat {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	for i := byte(101); i < 120; i++ {
+		c.Detect(keyN(i), func() []detect.Threat { return nil })
+	}
+	c.mu.Lock()
+	_, inFlightKept := c.entries[keyN(100)]
+	c.mu.Unlock()
+	close(release)
+	if !inFlightKept {
+		t.Error("overflow evicted an in-flight entry")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New()
+	c.Detect(keyN(5), func() []detect.Threat { return nil })
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d, want 0", c.Len())
+	}
+	var computes atomic.Int64
+	c.Detect(keyN(5), func() []detect.Threat { computes.Add(1); return nil })
+	if computes.Load() != 1 {
+		t.Error("purged entry was still served")
+	}
+}

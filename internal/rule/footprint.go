@@ -1,0 +1,81 @@
+package rule
+
+import (
+	"sort"
+	"strings"
+)
+
+// Footprint is the read/write footprint of one app's rule set over
+// canonical names: the variables its triggers and conditions read and the
+// variables (device attributes, modes, environment properties) its actions
+// write. Names are opaque strings — the detector supplies canonical
+// device-attribute names plus namespaced environment-property keys — so
+// the type stays independent of the detection layer.
+//
+// The footprint powers pair pruning: every CAI detection in Table I needs
+// a channel in which one rule's action writes something the other rule
+// reads or writes (a shared actuator attribute for AR, a shared goal
+// property for GC, a written trigger/condition variable or sensed property
+// for CT/SD/LT/EC/DC). When neither app's write set intersects the other
+// app's read∪write set, no such channel exists and the solver-heavy pair
+// analysis can be skipped without changing findings.
+type Footprint struct {
+	// Reads holds the canonical names the rule set's triggers and
+	// conditions observe (including environment-property keys derived from
+	// sensed attributes).
+	Reads map[string]struct{}
+	// Writes holds the canonical names the rule set's actions modify
+	// (device attributes, location mode, environment-property keys).
+	Writes map[string]struct{}
+}
+
+// NewFootprint returns an empty footprint.
+func NewFootprint() *Footprint {
+	return &Footprint{Reads: map[string]struct{}{}, Writes: map[string]struct{}{}}
+}
+
+// AddRead records a name observed by a trigger or condition.
+func (f *Footprint) AddRead(name string) { f.Reads[name] = struct{}{} }
+
+// AddWrite records a name modified by an action.
+func (f *Footprint) AddWrite(name string) { f.Writes[name] = struct{}{} }
+
+// SharesChannel reports whether an interference channel can exist between
+// the two rule sets: some name one side writes that the other side reads
+// or writes. When false, the pair provably has no Actuator-Race,
+// Goal-Conflict, Trigger-Interference or Condition-Interference threat
+// (each of those requires exactly such a written-and-shared name), so
+// detection may prune the pair.
+func (f *Footprint) SharesChannel(g *Footprint) bool {
+	if f == nil || g == nil {
+		// An unknown footprint can't justify pruning.
+		return true
+	}
+	return writesTouch(f.Writes, g) || writesTouch(g.Writes, f)
+}
+
+func writesTouch(writes map[string]struct{}, g *Footprint) bool {
+	for w := range writes {
+		if _, ok := g.Reads[w]; ok {
+			return true
+		}
+		if _, ok := g.Writes[w]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the footprint with sorted names (debugging and tests).
+func (f *Footprint) String() string {
+	return "reads{" + joinSorted(f.Reads) + "} writes{" + joinSorted(f.Writes) + "}"
+}
+
+func joinSorted(set map[string]struct{}) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,88 @@
+package rule
+
+import "testing"
+
+func fpOf(reads, writes []string) *Footprint {
+	fp := NewFootprint()
+	for _, r := range reads {
+		fp.AddRead(r)
+	}
+	for _, w := range writes {
+		fp.AddWrite(w)
+	}
+	return fp
+}
+
+// TestSharesChannel enumerates the channel cases of Table I: a channel
+// needs a name one side writes that the other reads or writes; read-read
+// overlap alone is not one.
+func TestSharesChannel(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Footprint
+		want bool
+	}{
+		{
+			name: "disjoint",
+			a:    fpOf([]string{"x.motion"}, []string{"y.switch"}),
+			b:    fpOf([]string{"z.temperature"}, []string{"w.lock"}),
+			want: false,
+		},
+		{
+			name: "write-write (AR/GC channel)",
+			a:    fpOf(nil, []string{"win.switch"}),
+			b:    fpOf(nil, []string{"win.switch"}),
+			want: true,
+		},
+		{
+			name: "a writes what b reads (CT/EC channel)",
+			a:    fpOf(nil, []string{"tv.switch"}),
+			b:    fpOf([]string{"tv.switch"}, []string{"win.switch"}),
+			want: true,
+		},
+		{
+			name: "b writes what a reads (direction-symmetric)",
+			a:    fpOf([]string{"tv.switch"}, []string{"win.switch"}),
+			b:    fpOf(nil, []string{"tv.switch"}),
+			want: true,
+		},
+		{
+			name: "read-read overlap only is no channel",
+			a:    fpOf([]string{"sensor.temperature"}, []string{"a.switch"}),
+			b:    fpOf([]string{"sensor.temperature"}, []string{"b.switch"}),
+			want: false,
+		},
+		{
+			name: "empty footprints",
+			a:    NewFootprint(),
+			b:    NewFootprint(),
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.a.SharesChannel(tc.b); got != tc.want {
+			t.Errorf("%s: SharesChannel = %v, want %v (a=%s b=%s)",
+				tc.name, got, tc.want, tc.a, tc.b)
+		}
+		// The relation is symmetric by construction.
+		if got := tc.b.SharesChannel(tc.a); got != tc.want {
+			t.Errorf("%s (swapped): SharesChannel = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSharesChannelNil: an unknown footprint can never justify pruning.
+func TestSharesChannelNil(t *testing.T) {
+	fp := fpOf([]string{"r"}, []string{"w"})
+	if !fp.SharesChannel(nil) || !(*Footprint)(nil).SharesChannel(fp) {
+		t.Error("nil footprints must conservatively report a shared channel")
+	}
+}
+
+func TestFootprintString(t *testing.T) {
+	fp := fpOf([]string{"b.motion", "a.switch"}, []string{"c.lock"})
+	want := "reads{a.switch, b.motion} writes{c.lock}"
+	if got := fp.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
