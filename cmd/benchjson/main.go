@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON and gates allocation regressions against a committed baseline.
+//
+// Convert (stdin → stdout):
+//
+//	go test -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//
+// The output maps benchmark name → {ns_per_op, bytes_per_op,
+// allocs_per_op, extra} under "benchmarks", where extra collects custom
+// b.ReportMetric units (hit-ratio, solver-calls, ...). Sub-benchmarks
+// keep their full slash-separated names; the GOMAXPROCS "-N" suffix is
+// stripped so keys are stable across machines.
+//
+// Gate (allocation regression):
+//
+//	go test -bench BenchmarkDetectPair -benchmem ./internal/detect \
+//	  | go run ./cmd/benchjson -gate BenchmarkDetectPair \
+//	      -baseline BENCH_pr3.json -max-regress 0.10
+//
+// reads the named benchmark from stdin, looks it up under "benchmarks" in
+// the baseline file, and exits non-zero when allocs/op exceeds the
+// baseline by more than -max-regress (a fraction; 0.10 = +10%).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// File is the on-disk schema of BENCH_*.json. BaselinePrePR carries the
+// pre-optimization numbers a perf PR measured against, so the trajectory
+// (before → after) stays readable from one artifact.
+type File struct {
+	Schema        string            `json:"schema"`
+	Benchmarks    map[string]Result `json:"benchmarks"`
+	BaselinePrePR map[string]Result `json:"baseline_pre_pr,omitempty"`
+}
+
+func main() {
+	gate := flag.String("gate", "", "benchmark name to gate instead of converting")
+	baseline := flag.String("baseline", "", "baseline JSON file for -gate")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op regression for -gate")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("parse bench output: %v", err)
+	}
+	if *gate == "" {
+		out := File{Schema: "homeguard-bench/v1", Benchmarks: results}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("encode: %v", err)
+		}
+		return
+	}
+
+	got, ok := results[*gate]
+	if !ok {
+		fatalf("benchmark %q not found in input (have: %s)", *gate, names(results))
+	}
+	if *baseline == "" {
+		fatalf("-gate requires -baseline")
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baseline, err)
+	}
+	want, ok := base.Benchmarks[*gate]
+	if !ok {
+		fatalf("benchmark %q not in baseline %s (have: %s)", *gate, *baseline, names(base.Benchmarks))
+	}
+	limit := want.AllocsPerOp * (1 + *maxRegress)
+	fmt.Printf("gate %s: allocs/op = %.0f, baseline = %.0f, limit = %.1f\n",
+		*gate, got.AllocsPerOp, want.AllocsPerOp, limit)
+	if got.AllocsPerOp > limit {
+		fatalf("allocation regression: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
+			got.AllocsPerOp, want.AllocsPerOp, *maxRegress*100)
+	}
+	fmt.Println("gate passed")
+}
+
+func names(m map[string]Result) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseBench reads standard testing.B output lines, e.g.
+//
+//	BenchmarkDetectPair-16  2190181  1120 ns/op  0 B/op  0 allocs/op
+//	BenchmarkFleetInstall-16  1000  1.2e6 ns/op  0.999 hit-ratio  5 extractions
+func parseBench(f *os.File) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS so keys compare across machines;
+		// sub-benchmark slashes are kept.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // header or summary line
+		}
+		r := Result{Iterations: iters}
+		// The remainder alternates value / unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = val
+			}
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}

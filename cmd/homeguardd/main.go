@@ -4,7 +4,18 @@
 //
 // Usage:
 //
-//	homeguardd [-addr :8080] [-shards 16]
+//	homeguardd [-addr :8080] [-shards 16] [-pprof-addr 127.0.0.1:6060]
+//
+// -pprof-addr, when set, serves Go's net/http/pprof profiling endpoints
+// (/debug/pprof/...) on a SEPARATE listener so profiling is never exposed
+// on the public API address. Bind it to localhost (or an internal
+// interface) and profile a live daemon with e.g.:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//
+// The endpoints are off by default; an empty -pprof-addr starts no
+// profiling listener at all.
 //
 // API:
 //
@@ -44,6 +55,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"homeguard/internal/corpus"
@@ -62,9 +74,14 @@ const maxBodyBytes = 4 << 20
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 16, "home-map shard count")
+	pprofAddr := flag.String("pprof-addr", "",
+		"optional address for net/http/pprof profiling endpoints (empty = disabled); bind to localhost")
 	flag.Parse()
 
 	srv := newServer(fleet.Options{Shards: *shards})
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 	log.Printf("homeguardd: fleet daemon listening on %s", *addr)
 	// Explicit timeouts: the default zero-timeout server lets stalled
 	// peers hold connections (and their goroutines) forever.
@@ -77,6 +94,30 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 	log.Fatal(hs.ListenAndServe())
+}
+
+// servePprof runs the profiling listener. A dedicated mux (rather than
+// http.DefaultServeMux, which net/http/pprof auto-registers on) keeps the
+// endpoints off the API mux even if other code ever serves the default
+// mux, and a dedicated server keeps profiling traffic off the API
+// listener's timeouts — a 30s CPU profile would trip a WriteTimeout
+// sized for JSON responses.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("homeguardd: pprof endpoints on %s/debug/pprof/", addr)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		log.Printf("homeguardd: pprof listener: %v", err)
+	}
 }
 
 type server struct {
@@ -382,6 +423,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"pairsChecked": m.Detectors.PairsChecked,
 		"pairsPruned":  m.Detectors.PairsPruned,
 		"solverCalls":  m.Detectors.SolverCalls,
+		// Nonzero means solver budgets were exhausted and some verdicts
+		// degraded to the conservative "potential threat" form.
+		"solverLimitHits": m.Detectors.SearchLimitHits,
 	})
 }
 

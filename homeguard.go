@@ -56,7 +56,46 @@
 // cmd/homeguardd wraps a Fleet in an HTTP/JSON daemon (POST
 // /homes/{id}/install, POST /homes/{id}/reconfigure, GET
 // /homes/{id}/threats, GET /metrics); see its package documentation for
-// the wire format.
+// the wire format. For production profiling the daemon can expose Go's
+// net/http/pprof endpoints on a separate, localhost-bound listener via
+// -pprof-addr (disabled by default).
+//
+// # Performance architecture
+//
+// The detection pipeline is organized so that all repeatable work happens
+// once, and the remaining per-pair work runs on precompiled artifacts:
+//
+//   - Compile-once rule sets. At install/reconfigure each app is compiled
+//     into an immutable CompiledRuleSet: canonical formulas (variables
+//     renamed to home-global form, configured values substituted), solver
+//     variable declaration plans, action effects with pre-rendered
+//     constraints, trigger metadata, the read/write footprint and the
+//     verdict signature. A pair check therefore does no canonicalization
+//     at all — before this layer it re-canonicalized both rules' formulas
+//     for every one of the O(rules²) pairs. Compilations are themselves
+//     shared fleet-wide through a content-addressed compile cache (same
+//     extraction result + content-equal configuration = one compilation),
+//     the same discipline as the extraction cache.
+//
+//   - An interned, slice-backed solver core. The finite-domain solver
+//     interns variable names to dense indices at declaration; domains,
+//     pending binary atoms and the difference-constraint graph are flat
+//     slices indexed by variable id, propagation-state clones come from a
+//     sync.Pool and are recycled on backtracking, and no-op domain
+//     narrowings return their receiver without allocating. A
+//     constant-folding pre-pass collapses comparisons between constants
+//     (common after configuration substitution) so trivially-UNSAT
+//     queries never enter the search.
+//
+//   - Layered caches from the coarsest grain down: the extraction cache
+//     (one symbolic execution per distinct app source fleet-wide), the
+//     pair-verdict cache (one solved verdict per distinct app pair,
+//     content-addressed by the compiled signatures), the footprint prune
+//     (disjoint pairs skipped before any hashing or solving), and the
+//     per-home satCache (solving-result reuse across threat kinds within
+//     a pair, the paper's Fig. 9 green arrows). A cache hit at any layer
+//     short-circuits everything below it; the compiled representation is
+//     what makes the remaining misses cheap.
 //
 // Lower-level building blocks (the Groovy parser, the symbolic executor,
 // the constraint solver, the platform simulator and the app corpus) live

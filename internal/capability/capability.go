@@ -10,6 +10,7 @@ package capability
 import (
 	"sort"
 	"strings"
+	"sync"
 )
 
 // AttrKind is the value domain of an attribute or command parameter.
@@ -97,14 +98,50 @@ func Get(name string) (*Capability, bool) {
 	return c, ok
 }
 
-// All returns every registered capability sorted by name.
-func All() []*Capability {
-	out := make([]*Capability, 0, len(registry))
+// The registry is populated exclusively by init-time register() calls and
+// never mutated afterwards, so derived views (the sorted listing and the
+// by-name lookup tables behind AttrByName/CommandsNamed, both on the
+// detector's compile path) are built once on first use. Callers must
+// treat the returned slices as read-only.
+var derived struct {
+	once          sync.Once
+	all           []*Capability
+	attrByName    map[string]*Attribute
+	commandsNamed map[string][]CommandRef
+}
+
+func buildDerived() {
+	all := make([]*Capability, 0, len(registry))
 	for _, c := range registry {
-		out = append(out, c)
+		all = append(all, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	attrs := map[string]*Attribute{}
+	cmds := map[string][]CommandRef{}
+	for _, c := range all {
+		for i := range c.Attributes {
+			a := &c.Attributes[i]
+			// First declaration in sorted capability order wins, matching
+			// the linear scan AttrByName used to run per call.
+			if _, ok := attrs[a.Name]; !ok {
+				attrs[a.Name] = a
+			}
+		}
+		for i := range c.Commands {
+			k := &c.Commands[i]
+			cmds[k.Name] = append(cmds[k.Name], CommandRef{Capability: c, Command: k})
+		}
+	}
+	derived.all = all
+	derived.attrByName = attrs
+	derived.commandsNamed = cmds
+}
+
+// All returns every registered capability sorted by name. The slice is
+// shared; do not modify it.
+func All() []*Capability {
+	derived.once.Do(buildDerived)
+	return derived.all
 }
 
 // CommandCount returns the total number of registered device commands.
@@ -124,14 +161,11 @@ type CommandRef struct {
 
 // CommandsNamed returns every (capability, command) pair whose command
 // name matches; command names such as on/off recur across capabilities.
+// Pairs are ordered by capability name. The slice is shared; do not
+// modify it.
 func CommandsNamed(cmd string) []CommandRef {
-	var out []CommandRef
-	for _, c := range All() {
-		if k := c.Cmd(cmd); k != nil {
-			out = append(out, CommandRef{Capability: c, Command: k})
-		}
-	}
-	return out
+	derived.once.Do(buildDerived)
+	return derived.commandsNamed[cmd]
 }
 
 // IsDeviceCommand reports whether name is a registered device command in
@@ -157,14 +191,11 @@ func CapabilitiesWithAttribute(attr string) []*Capability {
 }
 
 // AttrByName finds an attribute declaration anywhere in the registry —
-// useful when only a subscription attribute name is known.
+// useful when only a subscription attribute name is known. Ties across
+// capabilities resolve to the first declaring capability in name order.
 func AttrByName(attr string) *Attribute {
-	for _, c := range All() {
-		if a := c.Attr(attr); a != nil {
-			return a
-		}
-	}
-	return nil
+	derived.once.Do(buildDerived)
+	return derived.attrByName[attr]
 }
 
 // SinkAPIs is the set of SmartThings-provided SmartApp APIs treated as

@@ -89,39 +89,31 @@ func (d *Detector) configBindings(app *InstalledApp) map[string]rule.Term {
 	return bind
 }
 
-// canonFormula canonicalises a constraint: rename variables, then apply
-// configured value substitutions.
-func (d *Detector) canonFormula(app *InstalledApp, c rule.Constraint) rule.Constraint {
+// canonFormulaBind canonicalises a constraint against precomputed config
+// bindings: rename variables, then apply configured value substitutions.
+// Canonicalization runs once per rule at compile time (see compile.go);
+// pair checks consume the compiled formulas.
+func (d *Detector) canonFormulaBind(app *InstalledApp, c rule.Constraint, bind map[string]rule.Term) rule.Constraint {
 	if c == nil {
 		return nil
 	}
 	renamed := rule.RenameVars(c, func(v rule.Var) rule.Var { return d.canonVar(app, v) })
-	return rule.Substitute(renamed, d.configBindings(app))
+	return rule.Substitute(renamed, bind)
 }
 
-// situationFormula is trigger-constraint ∧ condition for a rule, in
-// canonical variables.
-func (d *Detector) situationFormula(app *InstalledApp, r *rule.Rule) rule.Constraint {
-	return d.canonFormula(app, r.TriggerConditionFormula())
-}
-
-// conditionFormula is the rule's condition only, canonicalised.
-func (d *Detector) conditionFormula(app *InstalledApp, r *rule.Rule) rule.Constraint {
-	return d.canonFormula(app, r.Condition.Formula())
-}
-
-// canonTerm canonicalises a term (action parameter).
-func (d *Detector) canonTerm(app *InstalledApp, t rule.Term) rule.Term {
+// canonTermBind canonicalises a term (action parameter) against
+// precomputed config bindings.
+func (d *Detector) canonTermBind(app *InstalledApp, t rule.Term, bind map[string]rule.Term) rule.Term {
 	switch x := t.(type) {
 	case rule.Var:
 		cv := d.canonVar(app, x)
-		if b, ok := d.configBindings(app)[cv.Name]; ok {
+		if b, ok := bind[cv.Name]; ok {
 			return b
 		}
 		return cv
 	case rule.Sum:
 		cv := d.canonVar(app, x.X)
-		if b, ok := d.configBindings(app)[cv.Name]; ok {
+		if b, ok := bind[cv.Name]; ok {
 			if iv, ok := b.(rule.IntVal); ok {
 				return rule.IntVal(int64(iv) + x.K)
 			}
@@ -137,47 +129,12 @@ func (d *Detector) canonTerm(app *InstalledApp, t rule.Term) rule.Term {
 // device attributes get their capability-declared domains; location.mode
 // gets the home's mode universe; env features get physical ranges; other
 // enum-ish variables get the set of string values observed anywhere in the
-// formulas.
+// formulas. This is the walk-everything path used for ad-hoc formula sets
+// (effect merges, setpoint bounds); the hot pair queries declare from
+// precompiled plans instead (declareGroups in compile.go).
 func (d *Detector) declareVars(p *solver.Problem, formulas ...rule.Constraint) {
-	observed := map[string]map[string]bool{} // var -> string values compared against
-	var collect func(c rule.Constraint)
-	collect = func(c rule.Constraint) {
-		switch x := c.(type) {
-		case rule.Cmp:
-			if v, ok := x.L.(rule.Var); ok {
-				if s, ok := x.R.(rule.StrVal); ok {
-					addObserved(observed, v.Name, string(s))
-				}
-			}
-			if v, ok := x.R.(rule.Var); ok {
-				if s, ok := x.L.(rule.StrVal); ok {
-					addObserved(observed, v.Name, string(s))
-				}
-			}
-		case rule.And:
-			for _, sub := range x.Cs {
-				collect(sub)
-			}
-		case rule.Or:
-			for _, sub := range x.Cs {
-				collect(sub)
-			}
-		case rule.Not:
-			collect(x.C)
-		}
-	}
-	vars := map[string]rule.Var{}
-	for _, f := range formulas {
-		if f == nil {
-			continue
-		}
-		collect(f)
-		for name, v := range rule.VarSet(f) {
-			vars[name] = v
-		}
-	}
-	for name, v := range vars {
-		d.declareVar(p, name, v, observed[name])
+	for _, dec := range compileDecls(rule.Conj(formulas...)) {
+		d.declareVar(p, dec.name, dec.v, dec.observed)
 	}
 }
 
@@ -188,29 +145,17 @@ func addObserved(m map[string]map[string]bool, varName, val string) {
 	m[varName][val] = true
 }
 
-func (d *Detector) declareVar(p *solver.Problem, name string, v rule.Var, observed map[string]bool) {
+func (d *Detector) declareVar(p *solver.Problem, name string, v rule.Var, observed []string) {
 	if p.HasVar(name) {
 		return
 	}
 	// Enum inputs declared with options get their declared domain.
 	if opts, ok := d.inputOptions[name]; ok {
-		vals := append([]string(nil), opts...)
-		for o := range observed {
-			if !containsStr(vals, o) {
-				vals = append(vals, o)
-			}
-		}
-		p.AddEnumVar(name, vals)
+		p.AddEnumVar(name, extendVals(opts, observed))
 		return
 	}
 	if name == "location.mode" {
-		vals := append([]string(nil), d.modes...)
-		for o := range observed {
-			if !containsStr(vals, o) {
-				vals = append(vals, o)
-			}
-		}
-		p.AddEnumVar(name, vals)
+		p.AddEnumVar(name, extendVals(d.modes, observed))
 		return
 	}
 	if strings.HasPrefix(name, "env.") {
@@ -226,13 +171,7 @@ func (d *Detector) declareVar(p *solver.Problem, name string, v rule.Var, observ
 	if a := capability.AttrByName(attr); a != nil {
 		switch a.Kind {
 		case capability.Enum:
-			vals := append([]string(nil), a.Values...)
-			for o := range observed {
-				if !containsStr(vals, o) {
-					vals = append(vals, o)
-				}
-			}
-			p.AddEnumVar(name, vals)
+			p.AddEnumVar(name, extendVals(a.Values, observed))
 			return
 		case capability.Number:
 			p.AddIntVar(name, a.Min, a.Max)
@@ -241,10 +180,8 @@ func (d *Detector) declareVar(p *solver.Problem, name string, v rule.Var, observ
 	}
 	// Fallback: enum over observed strings, or a default int.
 	if len(observed) > 0 || v.Type == rule.TypeString {
-		var vals []string
-		for o := range observed {
-			vals = append(vals, o)
-		}
+		vals := make([]string, 0, len(observed)+1)
+		vals = append(vals, observed...)
 		vals = append(vals, "\x00other")
 		p.AddEnumVar(name, vals)
 		return
@@ -254,6 +191,26 @@ func (d *Detector) declareVar(p *solver.Problem, name string, v rule.Var, observ
 		return
 	}
 	p.AddIntVar(name, solver.DefaultIntMin, solver.DefaultIntMax)
+}
+
+// extendVals appends the observed values missing from base, copying only
+// when an extension is needed (AddEnumVar copies its argument anyway, so
+// the unextended common case passes base through without an extra copy).
+func extendVals(base, observed []string) []string {
+	vals := base
+	extended := false
+	for _, o := range observed {
+		if containsStr(vals, o) {
+			continue
+		}
+		if !extended {
+			vals = append(append(make([]string, 0, len(base)+len(observed)), base...), o)
+			extended = true
+			continue
+		}
+		vals = append(vals, o)
+	}
+	return vals
 }
 
 func containsStr(xs []string, s string) bool {
@@ -296,13 +253,15 @@ type deviceEffect struct {
 	attr    string
 }
 
-// actionEffects computes the device-state effects of a rule's action.
-func (d *Detector) actionEffects(app *InstalledApp, r *rule.Rule) []deviceEffect {
+// actionEffectsBind computes the device-state effects of a rule's action
+// against precomputed config bindings (compile-time; pair checks read
+// compiledRule.effects).
+func (d *Detector) actionEffectsBind(app *InstalledApp, r *rule.Rule, bind map[string]rule.Term) []deviceEffect {
 	act := r.Action
 	if act.Command == "setLocationMode" {
 		var v rule.Term = rule.StrVal("?")
 		if len(act.Params) > 0 {
-			v = d.canonTerm(app, act.Params[0])
+			v = d.canonTermBind(app, act.Params[0], bind)
 		}
 		return []deviceEffect{{varName: "location.mode", value: v, attr: "mode"}}
 	}
@@ -319,7 +278,7 @@ func (d *Detector) actionEffects(app *InstalledApp, r *rule.Rule) []deviceEffect
 	for _, e := range ref.Command.Effects {
 		de := deviceEffect{varName: key + "." + e.Attribute, attr: e.Attribute}
 		if e.FromParam >= 0 && e.FromParam < len(act.Params) {
-			de.value = d.canonTerm(app, act.Params[e.FromParam])
+			de.value = d.canonTermBind(app, act.Params[e.FromParam], bind)
 		} else if e.FromParam < 0 {
 			de.value = rule.StrVal(e.Value)
 			if a := ref.Capability.Attr(e.Attribute); a != nil && a.Kind == capability.Number {

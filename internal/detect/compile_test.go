@@ -1,0 +1,72 @@
+package detect
+
+import (
+	"testing"
+
+	"homeguard/internal/symexec"
+)
+
+// TestCompileSharedAcrossDetectors: two homes installing the same
+// extraction result under content-equal configurations share one
+// CompiledRuleSet (the fleet-wide compile cache), while a different
+// configuration compiles separately — and a content-equal rule set from a
+// *separate* extraction never shares (threats must report the caller's
+// own *rule.Rule pointers).
+func TestCompileSharedAcrossDetectors(t *testing.T) {
+	res, err := symexec.Extract(lockSrc, "")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+
+	d1, d2 := New(Options{}), New(Options{})
+	a1 := NewInstalledApp(res, sharedLightConfig())
+	a2 := NewInstalledApp(res, sharedLightConfig())
+	d1.Install(a1)
+	d2.Install(a2)
+	if a1.Compiled() == nil || a1.Compiled() != a2.Compiled() {
+		t.Fatal("same rule set + equal config must share one compilation")
+	}
+
+	// Different binding → different signature → separate compilation.
+	cfg := NewConfig()
+	cfg.Devices["light1"] = "dev-other"
+	a3 := NewInstalledApp(res, cfg)
+	New(Options{}).Install(a3)
+	if a3.Compiled() == a1.Compiled() {
+		t.Fatal("different config must not share a compilation")
+	}
+
+	// Content-identical rules from a second extraction: distinct pointers,
+	// distinct compilation, and threats keep referencing the installing
+	// app's own rules.
+	res2, err := symexec.Extract(lockSrc, "")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	a4 := NewInstalledApp(res2, sharedLightConfig())
+	New(Options{}).Install(a4)
+	if a4.Compiled() == a1.Compiled() {
+		t.Fatal("separate extractions must compile separately (rule identity)")
+	}
+
+	// Reconfigure recompiles: the app must see a fresh compiled set with
+	// the new bindings.
+	d5 := New(Options{})
+	a5 := NewInstalledApp(res, sharedLightConfig())
+	d5.Install(a5)
+	before := a5.Compiled()
+	newCfg := NewConfig()
+	newCfg.Devices["light1"] = "dev-rewired"
+	d5.Reconfigure(a5.Info.Name, newCfg)
+	after := a5.Compiled()
+	if after == before {
+		t.Fatal("Reconfigure must recompile the app")
+	}
+	if len(after.rules) != len(before.rules) {
+		t.Fatalf("recompile changed rule count: %d vs %d", len(after.rules), len(before.rules))
+	}
+	// The recompiled footprint reflects the new device binding.
+	if _, ok := after.fp.Writes["dev-rewired.switch"]; !ok {
+		t.Fatalf("recompiled footprint misses the new binding: %s", after.fp)
+	}
+}

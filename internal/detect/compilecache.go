@@ -1,0 +1,59 @@
+package detect
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"homeguard/internal/rule"
+)
+
+// The compile cache shares CompiledRuleSets across detectors, the way the
+// extraction cache shares symbolic execution and the pair-verdict cache
+// shares solving: a CompiledRuleSet is a pure function of the app's rule
+// set, input declarations and installation configuration, so every home
+// that installs the same extraction result under a content-equal config
+// can reuse one compilation (canonical formulas, declaration plans,
+// effects, footprint, signature).
+//
+// The key pairs the *RuleSet pointer with the app signature. The pointer
+// matters: compiled rules hold *rule.Rule references into their source
+// rule set, and threats report those pointers — two content-identical
+// rule sets from separate extractions must not swap rule identities, so
+// they compile separately. Fleet-scale sharing still works because the
+// extraction cache already dedups sources to one *RuleSet fleet-wide.
+// The signature covers everything else compilation reads (app name,
+// inputs, config bindings — see appSignature).
+//
+// Entries strong-reference their rule sets, so the map is bounded like
+// ruleSetSigs: on overflow arbitrary entries are dropped and recompiled
+// on next use.
+const compileCacheLimit = 1 << 14
+
+type compileKey struct {
+	rules *rule.RuleSet
+	sig   [sha256.Size]byte
+}
+
+var compileCache = struct {
+	sync.Mutex
+	m map[compileKey]*CompiledRuleSet
+}{m: map[compileKey]*CompiledRuleSet{}}
+
+func compileCacheGet(k compileKey) *CompiledRuleSet {
+	compileCache.Lock()
+	cs := compileCache.m[k]
+	compileCache.Unlock()
+	return cs
+}
+
+func compileCachePut(k compileKey, cs *CompiledRuleSet) {
+	compileCache.Lock()
+	for old := range compileCache.m {
+		if len(compileCache.m) < compileCacheLimit {
+			break
+		}
+		delete(compileCache.m, old)
+	}
+	compileCache.m[k] = cs
+	compileCache.Unlock()
+}

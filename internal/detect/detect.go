@@ -16,20 +16,29 @@ import (
 //
 // Concurrency contract: a Detector is NOT safe for concurrent use. Every
 // exported method — Install, Reconfigure, Accept, FindChains, DetectPair,
-// Stats, Apps — mutates or reads satCache, stats, curKind, inputOptions,
-// apps or accepted without internal locking; the caller must serialize
-// all calls on one Detector instance. internal/fleet does exactly that:
-// it wraps each home's Detector behind one per-home mutex held for the
-// full duration of any call, so those fields are guarded by the fleet's
-// per-home lock boundary while distinct homes run in parallel. The
-// Detector only ever READS the *rule.RuleSet and AppInfo inside an
+// CheckPair, Stats, Apps — mutates or reads satCache, stats, curKind,
+// inputOptions, apps or accepted without internal locking; the caller must
+// serialize all calls on one Detector instance. internal/fleet does
+// exactly that: it wraps each home's Detector behind one per-home mutex
+// held for the full duration of any call, so those fields are guarded by
+// the fleet's per-home lock boundary while distinct homes run in parallel.
+// The Detector only ever READS the *rule.RuleSet and AppInfo inside an
 // InstalledApp, so extraction results may be shared across detectors
-// (the extractcache relies on this; see symexec.Result).
+// (the extractcache relies on this; see symexec.Result). The compiled
+// rule set a detector attaches to an InstalledApp is a pure function of
+// the app's exported fields (see compile.go), so sharing an InstalledApp
+// across detectors is still sound — but the attach itself is an
+// unsynchronized write, so one instance must not be compiled by different
+// detectors concurrently (build a fresh InstalledApp per home, as the
+// fleet does).
 type Detector struct {
 	apps  []*InstalledApp
 	modes []string
-	opts  Options
-	stats Stats
+	// modesSig is the length-prefixed mode list rendering hashed into every
+	// PairKey, precomputed once (the modes never change after New).
+	modesSig []byte
+	opts     Options
+	stats    Stats
 	// curKind attributes solver time to the threat kind being detected
 	// (Fig. 9 instrumentation). Guarded by the caller's serialization
 	// (the fleet's per-home lock).
@@ -47,6 +56,11 @@ type Detector struct {
 
 	// accepted holds user-accepted interfering pairs for chained analysis.
 	accepted []Threat
+
+	// limitErr records a solver budget exhaustion during the current
+	// CheckPair call (see CheckPair); conservative detection continues, but
+	// error-aware callers get it surfaced instead of a silent verdict.
+	limitErr error
 }
 
 type satResult struct {
@@ -56,6 +70,11 @@ type satResult struct {
 	// formulas, recorded so Reconfigure can evict exactly the entries a
 	// config change invalidates.
 	apps [2]string
+	// limited marks a verdict degraded by solver budget exhaustion
+	// (conservatively satisfiable). Cache hits re-raise the degradation so
+	// CheckPair reports it on every call that consumed the entry, not just
+	// the one that solved it.
+	limited bool
 }
 
 // New returns a detector for one smart home.
@@ -66,6 +85,7 @@ func New(opts Options) *Detector {
 	}
 	return &Detector{
 		modes:        modes,
+		modesSig:     modesSignature(modes),
 		opts:         opts,
 		stats:        newStats(),
 		satCache:     map[string]satResult{},
@@ -90,7 +110,8 @@ func (d *Detector) Install(app *InstalledApp) []Threat {
 			d.inputOptions[app.Info.Name+"!"+in.Name] = in.Options
 		}
 	}
-	// Compute the app's footprint and verdict signature once per install.
+	// Compile the app once per install: canonical formulas, declaration
+	// plans, effects, footprint and verdict signature (see compile.go).
 	d.prepare(app)
 	var threats []Threat
 	// Intra-app pairs (rules within one app can interfere too).
@@ -139,21 +160,22 @@ func (d *Detector) appPairThreats(appA, appB *InstalledApp) []Threat {
 	return threats
 }
 
-// detectAppPair runs DetectPair over every rule pair of the two apps.
+// detectAppPair runs the pair detections over every rule pair of the two
+// apps, consuming their compiled rule sets.
 func (d *Detector) detectAppPair(appA, appB *InstalledApp) []Threat {
+	ca, cb := d.ensureCompiled(appA), d.ensureCompiled(appB)
 	var out []Threat
 	if appA == appB {
-		rules := appA.Rules.Rules
-		for i := 0; i < len(rules); i++ {
-			for j := i + 1; j < len(rules); j++ {
-				out = append(out, d.DetectPair(appA, rules[i], appA, rules[j])...)
+		for i := 0; i < len(ca.rules); i++ {
+			for j := i + 1; j < len(ca.rules); j++ {
+				out = append(out, d.detectPair(&ca.rules[i], &ca.rules[j])...)
 			}
 		}
 		return out
 	}
-	for _, r1 := range appA.Rules.Rules {
-		for _, r2 := range appB.Rules.Rules {
-			out = append(out, d.DetectPair(appA, r1, appB, r2)...)
+	for i := range ca.rules {
+		for j := range cb.rules {
+			out = append(out, d.detectPair(&ca.rules[i], &cb.rules[j])...)
 		}
 	}
 	return out
@@ -193,8 +215,8 @@ func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
 			delete(d.satCache, k)
 		}
 	}
-	// The new bindings change the app's canonical footprint and its
-	// verdict signature; recompute both before re-pairing.
+	// The new bindings change the app's compiled formulas, its canonical
+	// footprint and its verdict signature; recompile before re-pairing.
 	d.prepare(target)
 	var threats []Threat
 	threats = append(threats, d.appPairThreats(target, target)...)
@@ -208,23 +230,53 @@ func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
 }
 
 // DetectPair runs all seven detections over one ordered rule pair,
-// reporting any threats found.
+// reporting any threats found. Solver budget exhaustion degrades to a
+// conservative verdict (see CheckPair for the error-aware form).
 func (d *Detector) DetectPair(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) []Threat {
+	ts, _ := d.CheckPair(appA, r1, appB, r2)
+	return ts
+}
+
+// CheckPair runs all seven detections over one ordered rule pair. Unlike
+// DetectPair it surfaces solver budget exhaustion: when any constraint
+// query during the pair check exceeds the node budget
+// (Options.SolverNodeCap), the returned error wraps solver.ErrSearchLimit.
+// The threats are still the conservative verdict (a budget-limited query
+// counts as satisfiable, so potential threats are reported rather than
+// hidden) — but the caller knows the verdict was degraded instead of
+// mistaking it for a clean result. Degradation sticks: satCache entries
+// produced by a budget-limited solve re-surface the error on every later
+// CheckPair that consumes them. (Verdicts served from a fleet-shared
+// PairVerdictCache carry no such marker; fleet-level degradation is
+// monitored via Stats.SearchLimitHits / the fleet's SolverLimitHits
+// rollup instead.)
+func (d *Detector) CheckPair(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) ([]Threat, error) {
+	c1 := d.compiledFor(appA, r1)
+	c2 := d.compiledFor(appB, r2)
+	d.limitErr = nil
+	out := d.detectPair(c1, c2)
+	err := d.limitErr
+	d.limitErr = nil
+	return out, err
+}
+
+// detectPair is the compiled-pair core behind DetectPair/CheckPair.
+func (d *Detector) detectPair(c1, c2 *compiledRule) []Threat {
 	d.stats.PairsChecked++
 	var out []Threat
 
 	// --- Action-Interference: AR then GC ---
-	if t, ok := d.detectAR(appA, r1, appB, r2); ok {
+	if t, ok := d.detectAR(c1, c2); ok {
 		out = append(out, t)
 	}
-	if t, ok := d.detectGC(appA, r1, appB, r2); ok {
+	if t, ok := d.detectGC(c1, c2); ok {
 		out = append(out, t)
 	}
 
 	// --- Trigger-Interference: CT both directions, then SD / LT ---
-	ct12, okCT12 := d.detectCT(appA, r1, appB, r2)
-	ct21, okCT21 := d.detectCT(appB, r2, appA, r1)
-	arCand := d.contradictoryActions(appA, r1, appB, r2)
+	ct12, okCT12 := d.detectCT(c1, c2)
+	ct21, okCT21 := d.detectCT(c2, c1)
+	arCand := contradictoryActions(c1, c2)
 	if okCT12 {
 		out = append(out, ct12)
 	}
@@ -254,10 +306,10 @@ func (d *Detector) DetectPair(appA *InstalledApp, r1 *rule.Rule, appB *Installed
 	}
 
 	// --- Condition-Interference: EC/DC both directions ---
-	if t, ok := d.detectCondInterference(appA, r1, appB, r2); ok {
+	if t, ok := d.detectCondInterference(c1, c2); ok {
 		out = append(out, t)
 	}
-	if t, ok := d.detectCondInterference(appB, r2, appA, r1); ok {
+	if t, ok := d.detectCondInterference(c2, c1); ok {
 		out = append(out, t)
 	}
 	return out
@@ -265,69 +317,119 @@ func (d *Detector) DetectPair(appA *InstalledApp, r1 *rule.Rule, appB *Installed
 
 // ---------- shared solving with reuse ----------
 
-// track begins timing a detection stage for one threat kind; the returned
-// function finishes it, attributing solver time to SolveNS and the rest
-// (candidate filtering and formula construction) to FilterNS.
-func (d *Detector) track(k Kind) func() {
-	d.curKind = k
-	start := time.Now()
-	solve0 := d.stats.SolveNS[k]
-	return func() {
-		total := time.Since(start).Nanoseconds()
-		solved := d.stats.SolveNS[k] - solve0
-		d.stats.FilterNS[k] += total - solved
-	}
+// kindTimer times a detection stage for one threat kind without the
+// closure allocation a deferred func literal would cost on every stage of
+// every pair check; use as: defer d.endKind(d.beginKind(k)).
+type kindTimer struct {
+	k      Kind
+	start  time.Time
+	solve0 int64
 }
 
-// solveSAT decides satisfiability of a conjunction, caching by key. apps
-// names the (up to) two apps whose rules produced the formulas; Reconfigure
-// uses it to evict exactly the entries a config change invalidates.
-func (d *Detector) solveSAT(key string, apps [2]string, formulas ...rule.Constraint) (solver.Model, bool) {
+func (d *Detector) beginKind(k Kind) kindTimer {
+	d.curKind = k
+	return kindTimer{k: k, start: time.Now(), solve0: d.stats.SolveNS[k]}
+}
+
+// endKind finishes the stage, attributing solver time to SolveNS and the
+// rest (candidate filtering and formula construction) to FilterNS.
+func (d *Detector) endKind(t kindTimer) {
+	total := time.Since(t.start).Nanoseconds()
+	solved := d.stats.SolveNS[t.k] - t.solve0
+	d.stats.FilterNS[t.k] += total - solved
+}
+
+// solveCompiled decides satisfiability of the (up to) two compiled
+// formulas, caching by key and declaring variables from the precompiled
+// plans. apps names the participant apps for satCache eviction.
+func (d *Detector) solveCompiled(key string, apps [2]string, declsA, declsB []varDecl, f1, f2 rule.Constraint) (solver.Model, bool) {
 	if !d.opts.DisableReuse && key != "" {
 		if r, ok := d.satCache[key]; ok {
 			d.stats.SolverCacheHits++
+			d.noteLimited(r)
 			return r.witness, r.sat
 		}
 	}
-	d.stats.SolverCalls++
-	solveStart := time.Now()
-	defer func() {
-		d.stats.SolveNS[d.curKind] += time.Since(solveStart).Nanoseconds()
-	}()
+	p := solver.NewProblem()
+	d.declareGroups(p, declsA, declsB)
+	p.AddConstraint(f1)
+	p.AddConstraint(f2)
+	return d.runSolve(p, key, apps)
+}
+
+// solveWalk is solveCompiled for ad-hoc formula sets (effect merges,
+// setpoint bounds): variables are declared by walking the formulas.
+func (d *Detector) solveWalk(key string, apps [2]string, formulas ...rule.Constraint) (solver.Model, bool) {
+	if !d.opts.DisableReuse && key != "" {
+		if r, ok := d.satCache[key]; ok {
+			d.stats.SolverCacheHits++
+			d.noteLimited(r)
+			return r.witness, r.sat
+		}
+	}
 	p := solver.NewProblem()
 	d.declareVars(p, formulas...)
 	for _, f := range formulas {
 		p.AddConstraint(f)
 	}
+	return d.runSolve(p, key, apps)
+}
+
+// runSolve executes a prepared problem, times it against the current
+// threat kind, applies the conservative budget-exhaustion policy and
+// caches the result under key.
+func (d *Detector) runSolve(p *solver.Problem, key string, apps [2]string) (solver.Model, bool) {
+	d.stats.SolverCalls++
+	if d.opts.SolverNodeCap > 0 {
+		p.SetNodeCap(d.opts.SolverNodeCap)
+	}
+	solveStart := time.Now()
 	m, sat, err := p.Solve()
+	d.stats.SolveNS[d.curKind] += time.Since(solveStart).Nanoseconds()
+	limited := false
 	if err != nil {
 		// Search-limit exhaustion: be conservative and report
 		// satisfiable-without-witness (a potential threat is surfaced to
-		// the user rather than hidden).
-		m, sat = nil, true
+		// the user rather than hidden), and record the degradation so
+		// CheckPair can surface it as an error.
+		m, sat, limited = nil, true, true
+		d.stats.SearchLimitHits++
+		if d.limitErr == nil {
+			d.limitErr = fmt.Errorf("detect: pair (%s, %s): %w", apps[0], apps[1], err)
+		}
 	}
 	if !d.opts.DisableReuse && key != "" {
-		d.satCache[key] = satResult{sat: sat, witness: m, apps: apps}
+		d.satCache[key] = satResult{sat: sat, witness: m, apps: apps, limited: limited}
 	}
 	return m, sat
 }
 
-// pairApps names the two participant apps of a rule pair for satCache
-// eviction bookkeeping.
-func pairApps(r1, r2 *rule.Rule) [2]string { return [2]string{r1.App, r2.App} }
+// noteLimited re-raises the degradation of a budget-limited cached
+// verdict for the current CheckPair call (the cached answer is still the
+// conservative one the original solve produced).
+func (d *Detector) noteLimited(r satResult) {
+	if r.limited && d.limitErr == nil {
+		d.limitErr = fmt.Errorf("detect: pair (%s, %s): cached verdict was budget-degraded: %w",
+			r.apps[0], r.apps[1], solver.ErrSearchLimit)
+	}
+}
+
+// pairAppsC names the two participant apps of a compiled rule pair for
+// satCache eviction bookkeeping.
+func pairAppsC(c1, c2 *compiledRule) [2]string { return [2]string{c1.r.App, c2.r.App} }
 
 // overlapKey identifies the merged-situation query for a rule pair
 // (unordered), enabling the AR→CT/SD/LT reuse.
-func overlapKey(r1, r2 *rule.Rule) string {
-	a, b := r1.QualifiedID(), r2.QualifiedID()
+func overlapKey(c1, c2 *compiledRule) string {
+	a, b := c1.qid, c2.qid
 	if b < a {
 		a, b = b, a
 	}
 	return "overlap:" + a + "|" + b
 }
 
-func condKey(r1, r2 *rule.Rule) string {
-	a, b := r1.QualifiedID(), r2.QualifiedID()
+func condKey(c1, c2 *compiledRule) string {
+	a, b := c1.qid, c2.qid
 	if b < a {
 		a, b = b, a
 	}
@@ -336,26 +438,25 @@ func condKey(r1, r2 *rule.Rule) string {
 
 // situationsOverlap checks SAT(T1 ∧ C1 ∧ T2 ∧ C2) — the paper's
 // overlapping-condition detection for Action-Interference.
-func (d *Detector) situationsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (solver.Model, bool) {
-	f1 := d.situationFormula(appA, r1)
-	f2 := d.situationFormula(appB, r2)
-	return d.solveSAT(overlapKey(r1, r2), pairApps(r1, r2), f1, f2)
+func (d *Detector) situationsOverlap(c1, c2 *compiledRule) (solver.Model, bool) {
+	return d.solveCompiled(overlapKey(c1, c2), pairAppsC(c1, c2),
+		c1.situDecls, c2.situDecls, c1.situation, c2.situation)
 }
 
 // conditionsOverlap checks SAT(C1 ∧ C2) for Trigger-Interference. When the
 // merged-situation query for the same pair was already solved satisfiable
 // (the AR/GC check), its result is reused: T1∧C1∧T2∧C2 SAT implies
 // C1∧C2 SAT (the Fig. 9 AR→CT/SD/LT green arrow).
-func (d *Detector) conditionsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (solver.Model, bool) {
+func (d *Detector) conditionsOverlap(c1, c2 *compiledRule) (solver.Model, bool) {
 	if !d.opts.DisableReuse {
-		if r, ok := d.satCache[overlapKey(r1, r2)]; ok && r.sat {
+		if r, ok := d.satCache[overlapKey(c1, c2)]; ok && r.sat {
 			d.stats.SolverCacheHits++
+			d.noteLimited(r)
 			return r.witness, true
 		}
 	}
-	f1 := d.conditionFormula(appA, r1)
-	f2 := d.conditionFormula(appB, r2)
-	return d.solveSAT(condKey(r1, r2), pairApps(r1, r2), f1, f2)
+	return d.solveCompiled(condKey(c1, c2), pairAppsC(c1, c2),
+		c1.condDecls, c2.condDecls, c1.condition, c2.condition)
 }
 
 // ---------- AR ----------
@@ -363,11 +464,11 @@ func (d *Detector) conditionsOverlap(appA *InstalledApp, r1 *rule.Rule, appB *In
 // contradictoryActions reports whether two actions contradict on the same
 // actuator: contradictory commands, or the same command with conflicting
 // parameters.
-func (d *Detector) contradictoryActions(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) bool {
-	e1 := d.actionEffects(appA, r1)
-	e2 := d.actionEffects(appB, r2)
-	for _, a := range e1 {
-		for _, b := range e2 {
+func contradictoryActions(c1, c2 *compiledRule) bool {
+	for i := range c1.effects {
+		a := &c1.effects[i]
+		for j := range c2.effects {
+			b := &c2.effects[j]
 			if a.varName != b.varName {
 				continue
 			}
@@ -398,24 +499,24 @@ func (d *Detector) contradictoryActions(appA *InstalledApp, r1 *rule.Rule, appB 
 }
 
 // detectAR implements Actuator Race detection (Sec. VI-A).
-func (d *Detector) detectAR(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
-	defer d.track(ActuatorRace)()
-	if !d.contradictoryActions(appA, r1, appB, r2) {
+func (d *Detector) detectAR(c1, c2 *compiledRule) (Threat, bool) {
+	defer d.endKind(d.beginKind(ActuatorRace))
+	if !contradictoryActions(c1, c2) {
 		if d.opts.DisableFiltering {
-			d.situationsOverlap(appA, r1, appB, r2) // ablation: solve anyway
+			d.situationsOverlap(c1, c2) // ablation: solve anyway
 		}
 		return Threat{}, false
 	}
 	d.stats.Candidates[ActuatorRace]++
-	witness, sat := d.situationsOverlap(appA, r1, appB, r2)
+	witness, sat := d.situationsOverlap(c1, c2)
 	if !sat {
 		return Threat{}, false
 	}
 	d.stats.Found[ActuatorRace]++
 	return Threat{
-		Kind: ActuatorRace, R1: r1, R2: r2, Witness: witness,
+		Kind: ActuatorRace, R1: c1.r, R2: c2.r, Witness: witness,
 		Note: fmt.Sprintf("contradictory commands %s vs %s on the same actuator",
-			r1.Action.Command, r2.Action.Command),
+			c1.r.Action.Command, c2.r.Action.Command),
 	}, true
 }
 
@@ -423,18 +524,17 @@ func (d *Detector) detectAR(appA *InstalledApp, r1 *rule.Rule, appB *InstalledAp
 
 // detectGC implements Goal Conflict detection: opposite environment
 // effects on a shared goal property plus overlapping situations.
-func (d *Detector) detectGC(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
-	defer d.track(GoalConflict)()
-	ef1 := d.envEffects(appA, r1)
-	ef2 := d.envEffects(appB, r2)
+func (d *Detector) detectGC(c1, c2 *compiledRule) (Threat, bool) {
+	defer d.endKind(d.beginKind(GoalConflict))
+	ef1, ef2 := c1.envEffects, c2.envEffects
 	if len(ef1) == 0 || len(ef2) == 0 {
 		if d.opts.DisableFiltering {
-			d.situationsOverlap(appA, r1, appB, r2) // ablation: solve anyway
+			d.situationsOverlap(c1, c2) // ablation: solve anyway
 		}
 		return Threat{}, false
 	}
 	// Same-actuator contradictions are Actuator Races, not Goal Conflicts.
-	sameDevice := d.sameActionDevice(appA, r1, appB, r2)
+	sameDevice := sameActionDevice(c1, c2)
 	var prop envmodel.Property
 	for _, p := range envmodel.Properties {
 		if envmodel.Opposite(ef1[p], ef2[p]) && !sameDevice {
@@ -446,93 +546,91 @@ func (d *Detector) detectGC(appA *InstalledApp, r1 *rule.Rule, appB *InstalledAp
 		return Threat{}, false
 	}
 	d.stats.Candidates[GoalConflict]++
-	witness, sat := d.situationsOverlap(appA, r1, appB, r2)
+	witness, sat := d.situationsOverlap(c1, c2)
 	if !sat {
 		return Threat{}, false
 	}
 	d.stats.Found[GoalConflict]++
 	return Threat{
-		Kind: GoalConflict, R1: r1, R2: r2, Property: prop, Witness: witness,
+		Kind: GoalConflict, R1: c1.r, R2: c2.r, Property: prop, Witness: witness,
 		Note: fmt.Sprintf("%s(%s) and %s(%s) have opposite effects on %s",
-			r1.Action.Subject, r1.Action.Command, r2.Action.Subject, r2.Action.Command, prop),
+			c1.r.Action.Subject, c1.r.Action.Command, c2.r.Action.Subject, c2.r.Action.Command, prop),
 	}, true
 }
 
-func (d *Detector) sameActionDevice(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) bool {
-	inA := appA.Info.Input(r1.Action.Subject)
-	inB := appB.Info.Input(r2.Action.Subject)
-	if inA == nil || inB == nil {
-		return r1.Action.Subject == r2.Action.Subject
+// sameActionDevice reports whether both actions target the same physical
+// device, from the compiled device identities.
+func sameActionDevice(c1, c2 *compiledRule) bool {
+	if !c1.actionIsInput || !c2.actionIsInput {
+		return c1.r.Action.Subject == c2.r.Action.Subject
 	}
-	return d.deviceKey(appA, r1.Action.Subject) == d.deviceKey(appB, r2.Action.Subject)
+	return c1.actionDevKey == c2.actionDevKey
 }
 
 // ---------- CT ----------
 
 // detectCT implements directed Covert Triggering detection: R1's action
 // triggers R2 either directly (device state) or via the environment.
-func (d *Detector) detectCT(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
-	defer d.track(CovertTriggering)()
-	trigProp, channel := d.triggerChannel(appA, r1, appB, r2)
+func (d *Detector) detectCT(c1, c2 *compiledRule) (Threat, bool) {
+	defer d.endKind(d.beginKind(CovertTriggering))
+	trigProp, channel := d.triggerChannel(c1, c2)
 	if channel == "" {
 		if d.opts.DisableFiltering {
-			d.conditionsOverlap(appA, r1, appB, r2) // ablation: solve anyway
+			d.conditionsOverlap(c1, c2) // ablation: solve anyway
 		}
 		return Threat{}, false
 	}
 	d.stats.Candidates[CovertTriggering]++
-	witness, sat := d.conditionsOverlap(appA, r1, appB, r2)
+	witness, sat := d.conditionsOverlap(c1, c2)
 	if !sat {
 		return Threat{}, false
 	}
 	d.stats.Found[CovertTriggering]++
 	return Threat{
-		Kind: CovertTriggering, R1: r1, R2: r2, Property: trigProp, Witness: witness,
+		Kind: CovertTriggering, R1: c1.r, R2: c2.r, Property: trigProp, Witness: witness,
 		Note: channel,
 	}, true
 }
 
 // triggerChannel decides whether A1 can fire T2, returning a description
 // of the channel ("" when none).
-func (d *Detector) triggerChannel(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (envmodel.Property, string) {
-	t2 := r2.Trigger
-	if t2.Subject == "app" || t2.Subject == "time" {
+func (d *Detector) triggerChannel(c1, c2 *compiledRule) (envmodel.Property, string) {
+	if c2.trigSkip {
 		return "", "" // app-touch and schedules cannot be fired by actions
 	}
 	// Direct channel: A1 changes the very attribute T2 subscribes to.
-	t2Var := d.canonTriggerVar(appB, r2)
-	for _, eff := range d.actionEffects(appA, r1) {
+	t2Var := c2.trigVar
+	for i := range c1.effects {
+		eff := &c1.effects[i]
 		if eff.varName != t2Var {
 			continue
 		}
-		if t2.AnyChange() {
+		if c2.trigAnyChange {
 			return "", fmt.Sprintf("action %s(%s) changes %s which triggers the rule",
-				r1.Action.Subject, r1.Action.Command, t2Var)
+				c1.r.Action.Subject, c1.r.Action.Command, t2Var)
 		}
 		// Check the trigger constraint against the effect value.
-		f := d.canonFormula(appB, t2.Constraint)
-		_, sat := d.solveSAT("", [2]string{}, f, eff.constraint())
+		_, sat := d.solveWalk("", [2]string{}, c2.trigConstraint, c1.effectCs[i])
 		if sat {
 			return "", fmt.Sprintf("action %s(%s) sets %s to the triggering value",
-				r1.Action.Subject, r1.Action.Command, t2Var)
+				c1.r.Action.Subject, c1.r.Action.Command, t2Var)
 		}
 		return "", ""
 	}
 	// Environment channel: A1 shifts a property sensed by T2's subject.
-	prop, ok := envmodel.AttributeProperty(t2.Attribute)
-	if !ok {
+	if !c2.trigPropOK {
 		return "", ""
 	}
-	effects := d.envEffects(appA, r1)
-	sign := effects[prop]
+	prop := c2.trigProp
+	sign := c1.envEffects[prop]
 	if sign == envmodel.None {
 		return "", ""
 	}
-	if !d.signMatchesTrigger(appB, r2, sign) {
+	if !signMatchesTrigger(c2, sign) {
 		return "", ""
 	}
 	return prop, fmt.Sprintf("action %s(%s) drives %s (%s) sensed by %s",
-		r1.Action.Subject, r1.Action.Command, prop, sign, t2.Subject)
+		c1.r.Action.Subject, c1.r.Action.Command, prop, sign, c2.r.Trigger.Subject)
 }
 
 // canonTriggerVar is the canonical variable T2 subscribes to.
@@ -549,12 +647,11 @@ func (d *Detector) canonTriggerVar(app *InstalledApp, r *rule.Rule) string {
 
 // signMatchesTrigger checks whether an environment drift direction can
 // satisfy the trigger's one-sided bound (any-change triggers always match).
-func (d *Detector) signMatchesTrigger(app *InstalledApp, r *rule.Rule, sign envmodel.Sign) bool {
-	if r.Trigger.AnyChange() || sign == envmodel.Varies {
+func signMatchesTrigger(c *compiledRule, sign envmodel.Sign) bool {
+	if c.trigAnyChange || sign == envmodel.Varies {
 		return true
 	}
-	dir := boundDirection(r.Trigger.Constraint)
-	switch dir {
+	switch c.trigBoundDir {
 	case +1:
 		return sign == envmodel.Increase
 	case -1:
@@ -599,42 +696,32 @@ func boundDirection(c rule.Constraint) int {
 
 // detectCondInterference implements directed Enabling/Disabling-Condition
 // detection: does A1 change the satisfaction of C2?
-func (d *Detector) detectCondInterference(appA *InstalledApp, r1 *rule.Rule, appB *InstalledApp, r2 *rule.Rule) (Threat, bool) {
-	defer d.track(EnablingCondition)()
-	if r2.Condition.Always() {
+func (d *Detector) detectCondInterference(c1, c2 *compiledRule) (Threat, bool) {
+	defer d.endKind(d.beginKind(EnablingCondition))
+	if c2.condAlways {
 		return Threat{}, false
 	}
-	condF := d.conditionFormula(appB, r2)
-	condVars := rule.VarSet(condF)
+	condF := c2.condition
 
 	// Candidate check: A1 touches a device attribute in C2, or an
 	// environment property sensed by a variable in C2.
 	var effectCs []rule.Constraint
 	var prop envmodel.Property
 	touched := false
-	for _, eff := range d.actionEffects(appA, r1) {
-		if _, ok := condVars[eff.varName]; ok {
+	for i := range c1.effects {
+		if _, ok := c2.condVarSet[c1.effects[i].varName]; ok {
 			touched = true
-			effectCs = append(effectCs, eff.constraint())
+			effectCs = append(effectCs, c1.effectCs[i])
 		}
 	}
 	if !touched {
-		envEf := d.envEffects(appA, r1)
-		for name := range condVars {
-			attr := name
-			if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
-				attr = name[dot+1:]
-			}
-			p, ok := envmodel.AttributeProperty(attr)
-			if !ok {
-				continue
-			}
-			if envEf[p] != envmodel.None {
+		for _, ep := range c2.condEnvProps {
+			if c1.envEffects[ep.prop] != envmodel.None {
 				touched = true
-				prop = p
+				prop = ep.prop
 				// Setpoint-style parametrised effects produce a bound on
 				// the sensed variable (the paper's thermostat example).
-				if bc := d.setpointBound(appA, r1, name); bc != nil {
+				if bc := setpointBound(c1, ep.varName); bc != nil {
 					effectCs = append(effectCs, bc)
 				}
 				break
@@ -643,8 +730,8 @@ func (d *Detector) detectCondInterference(appA *InstalledApp, r1 *rule.Rule, app
 	}
 	if !touched {
 		if d.opts.DisableFiltering {
-			key := "ec:" + r1.QualifiedID() + "|" + r2.QualifiedID()
-			d.solveSAT(key, pairApps(r1, r2), condF) // ablation: solve anyway
+			key := "ec:" + c1.qid + "|" + c2.qid
+			d.solveWalk(key, pairAppsC(c1, c2), condF) // ablation: solve anyway
 		}
 		return Threat{}, false
 	}
@@ -652,36 +739,34 @@ func (d *Detector) detectCondInterference(appA *InstalledApp, r1 *rule.Rule, app
 
 	// Merge the effect constraints with C2: SAT ⇒ may enable (EC);
 	// UNSAT ⇒ disables (DC).
-	key := "ec:" + r1.QualifiedID() + "|" + r2.QualifiedID()
-	witness, sat := d.solveSAT(key, pairApps(r1, r2), append([]rule.Constraint{condF}, effectCs...)...)
+	key := "ec:" + c1.qid + "|" + c2.qid
+	witness, sat := d.solveWalk(key, pairAppsC(c1, c2), append([]rule.Constraint{condF}, effectCs...)...)
 	if sat {
 		d.stats.Found[EnablingCondition]++
 		return Threat{
-			Kind: EnablingCondition, R1: r1, R2: r2, Property: prop, Witness: witness,
+			Kind: EnablingCondition, R1: c1.r, R2: c2.r, Property: prop, Witness: witness,
 			Note: "action can make the other rule's condition satisfiable",
 		}, true
 	}
 	d.stats.Found[DisablingCond]++
 	return Threat{
-		Kind: DisablingCond, R1: r1, R2: r2, Property: prop,
+		Kind: DisablingCond, R1: c1.r, R2: c2.r, Property: prop,
 		Note: "action makes the other rule's condition unsatisfiable",
 	}, true
 }
 
 // setpointBound models parameterised thermostat-style effects: setting a
 // heating setpoint to T bounds the sensed temperature variable from below.
-func (d *Detector) setpointBound(app *InstalledApp, r *rule.Rule, sensedVar string) rule.Constraint {
-	cmd := r.Action.Command
-	if len(r.Action.Params) == 0 {
+func setpointBound(c *compiledRule, sensedVar string) rule.Constraint {
+	if c.setpointTerm == nil {
 		return nil
 	}
-	t := d.canonTerm(app, r.Action.Params[0])
 	v := rule.Var{Name: sensedVar, Kind: rule.VarDeviceAttr, Type: rule.TypeInt}
-	switch cmd {
+	switch c.r.Action.Command {
 	case "setHeatingSetpoint":
-		return rule.Cmp{Op: rule.OpGe, L: v, R: t}
+		return rule.Cmp{Op: rule.OpGe, L: v, R: c.setpointTerm}
 	case "setCoolingSetpoint":
-		return rule.Cmp{Op: rule.OpLe, L: v, R: t}
+		return rule.Cmp{Op: rule.OpLe, L: v, R: c.setpointTerm}
 	}
 	return nil
 }
@@ -712,6 +797,12 @@ func (c Chain) String() string {
 func (d *Detector) FindChains(newThreats []Threat, maxLen int) []Chain {
 	if maxLen <= 0 {
 		maxLen = 4
+	}
+	// Chains propagate only through trigger/condition interference; most
+	// installs report none (or only AR/GC), so skip the graph build — on
+	// the fleet's install path this runs for every install of every home.
+	if !hasChainEdges(d.accepted) && !hasChainEdges(newThreats) {
+		return nil
 	}
 	type edge struct {
 		to   *rule.Rule
@@ -761,6 +852,16 @@ func (d *Detector) FindChains(newThreats []Threat, maxLen int) []Chain {
 	}
 	sort.Slice(chains, func(i, j int) bool { return chains[i].String() < chains[j].String() })
 	return dedupeChains(chains)
+}
+
+func hasChainEdges(ts []Threat) bool {
+	for _, t := range ts {
+		switch t.Kind {
+		case CovertTriggering, SelfDisabling, LoopTriggering, EnablingCondition, DisablingCond:
+			return true
+		}
+	}
+	return false
 }
 
 func dedupeChains(in []Chain) []Chain {

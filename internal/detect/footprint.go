@@ -19,56 +19,42 @@ import (
 // never on other detector state — so an InstalledApp reused across
 // detectors carries the same values.
 
-// prepare fills the app's canonical footprint and, when a verdict cache
-// is configured, its verdict signature. The signature (a rule-set
-// marshal plus SHA-256) is only ever read by pairKey, so detectors
-// without a cache skip it on the install hot path.
+// prepare attaches the app's compiled rule set (canonical formulas,
+// declaration plans, effects, footprint and verdict signature — see
+// compile.go), reusing a fleet-shared compilation when another detector
+// already compiled the same rule set under a content-equal configuration
+// (see compilecache.go). The signature doubles as the cache key suffix,
+// so it is computed for every app — pairKey then reads it for free.
 func (d *Detector) prepare(app *InstalledApp) {
-	app.fp = d.footprintOf(app)
-	if d.opts.Verdicts != nil {
-		app.sig = appSignature(app)
+	sig := appSignature(app)
+	key := compileKey{rules: app.Rules}
+	copy(key.sig[:], sig)
+	comp := compileCacheGet(key)
+	if comp == nil {
+		comp = d.compile(app)
+		comp.sig = sig
+		compileCachePut(key, comp)
 	}
+	app.comp = comp
+	app.fp = comp.fp
+	app.sig = comp.sig
 }
 
 // propKey namespaces an environment property apart from canonical variable
 // names (variable names never contain NUL).
 func propKey(p envmodel.Property) string { return "prop\x00" + string(p) }
 
-// footprintOf computes the app's read/write footprint in canonical names.
-//
-// Reads cover every variable of every rule's situation formula, the
-// trigger subscription variable (an any-change trigger never appears in
-// the formula but is still a covert-triggering channel), and the
-// environment property behind each sensed attribute. Writes cover every
-// device-attribute effect of each action plus every environment property
-// the action drives. Each Table I detection needs a name written by one
-// rule and read or written by the other (see rule.Footprint), so two apps
-// whose footprints share no such channel cannot interfere.
-func (d *Detector) footprintOf(app *InstalledApp) *rule.Footprint {
-	fp := rule.NewFootprint()
-	for _, r := range app.Rules.Rules {
-		if f := d.situationFormula(app, r); f != nil {
-			for name := range rule.VarSet(f) {
-				addReadName(fp, name)
-			}
-		}
-		if t := r.Trigger; t.Subject != "app" && t.Subject != "time" {
-			addReadName(fp, d.canonTriggerVar(app, r))
-			if p, ok := envmodel.AttributeProperty(t.Attribute); ok {
-				fp.AddRead(propKey(p))
-			}
-		}
-		for _, eff := range d.actionEffects(app, r) {
-			fp.AddWrite(eff.varName)
-		}
-		for p, sign := range d.envEffects(app, r) {
-			if sign != envmodel.None {
-				fp.AddWrite(propKey(p))
-			}
-		}
-	}
-	return fp
-}
+// The app footprint covers, in canonical names: reads — every variable of
+// every rule's situation formula, the trigger subscription variable (an
+// any-change trigger never appears in the formula but is still a
+// covert-triggering channel), and the environment property behind each
+// sensed attribute; writes — every device-attribute effect of each action
+// plus every environment property the action drives. Each Table I
+// detection needs a name written by one rule and read or written by the
+// other (see rule.Footprint), so two apps whose footprints share no such
+// channel cannot interfere. The footprint is assembled from the compiled
+// rule set (footprintFromCompiled in compile.go), so it costs no extra
+// canonicalization pass.
 
 // addReadName records a read of a canonical variable plus the environment
 // property its attribute suffix senses (the EC/DC and CT environment
@@ -111,20 +97,31 @@ func (d *Detector) pairKey(appA, appB *InstalledApp) PairKey {
 	} else {
 		h.Write([]byte{'x'})
 	}
+	// The per-app signatures were precomputed at compile time (prepare),
+	// and the mode-list rendering once at New: keying a pair is three
+	// writes and one SHA-256 finalization, no re-serialization.
 	h.Write(appA.sig)
 	h.Write([]byte{0})
 	h.Write(appB.sig)
 	h.Write([]byte{0})
-	for _, m := range d.modes {
-		// Length-prefixed for the same no-aliasing reason as appSignature.
-		var n [4]byte
-		binary.BigEndian.PutUint32(n[:], uint32(len(m)))
-		h.Write(n[:])
-		h.Write([]byte(m))
-	}
+	h.Write(d.modesSig)
 	var k PairKey
 	h.Sum(k[:0])
 	return k
+}
+
+// modesSignature renders the home's mode universe for PairKey hashing,
+// each mode length-prefixed for the same no-aliasing reason as
+// appSignature.
+func modesSignature(modes []string) []byte {
+	var out []byte
+	for _, m := range modes {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(m)))
+		out = append(out, n[:]...)
+		out = append(out, m...)
+	}
+	return out
 }
 
 // appSignature hashes everything about one installed app that pair

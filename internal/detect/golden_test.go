@@ -1,0 +1,157 @@
+package detect
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/detect_golden.txt from the current detector output")
+
+// goldenTranscript runs a fixed install sequence — a deterministic slice
+// of the store corpus under type-level identity plus the demo apps under
+// explicit configurations (device bindings, value substitutions, device
+// types) — and renders everything the refactor must preserve byte for
+// byte: the threats found at each install (kind, rules, property, note),
+// the canonical variable names of each witness, and the verdict-cache
+// PairKey of every installed app pair.
+//
+// Witness *values* are deliberately excluded: enum domains accumulate
+// observed string values in unspecified order, so the solver's choice of
+// witness value is not part of the stability contract — the variable
+// names and the sat/unsat verdicts are.
+func goldenTranscript(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+
+	d := New(Options{Verdicts: nopVerdicts{}})
+	install := func(name string, res *symexec.Result, cfg *Config) {
+		ia := NewInstalledApp(res, cfg)
+		fmt.Fprintf(&b, "== install %s\n", name)
+		for _, th := range d.Install(ia) {
+			fmt.Fprintf(&b, "%s\n", th.String())
+			if len(th.Witness) > 0 {
+				names := make([]string, 0, len(th.Witness))
+				for n := range th.Witness {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				fmt.Fprintf(&b, "  witness-vars: %s\n", strings.Join(names, ","))
+			}
+		}
+	}
+
+	// Store slice, type-level identity (nil config).
+	store := corpus.StoreAudit()
+	if len(store) > 40 {
+		store = store[:40]
+	}
+	for _, a := range store {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			t.Fatalf("extract %s: %v", a.Name, err)
+		}
+		install(a.Name, res, nil)
+	}
+
+	// Demo apps under explicit configurations: shared device bindings and
+	// a substituted threshold, the Fig. 3-5 deployment.
+	demoCfg := map[string]func() *Config{
+		"ComfortTV": func() *Config {
+			cfg := NewConfig()
+			cfg.Devices["tv1"] = "dev-tv"
+			cfg.Devices["window1"] = "dev-window"
+			cfg.DeviceTypes["tv1"] = envmodel.TV
+			cfg.DeviceTypes["window1"] = envmodel.WindowOpener
+			cfg.Values["threshold1"] = rule.IntVal(30)
+			return cfg
+		},
+		"ColdDefender": func() *Config {
+			cfg := NewConfig()
+			cfg.Devices["tv1"] = "dev-tv"
+			cfg.Devices["window1"] = "dev-window"
+			return cfg
+		},
+		"ItsTooHot": func() *Config {
+			cfg := NewConfig()
+			cfg.Devices["ac1"] = "dev-ac"
+			cfg.DeviceTypes["ac1"] = envmodel.AirConditioner
+			return cfg
+		},
+		"EnergySaver": func() *Config {
+			cfg := NewConfig()
+			cfg.Devices["heavyLoads"] = "dev-ac"
+			cfg.DeviceTypes["heavyLoads"] = envmodel.AirConditioner
+			return cfg
+		},
+	}
+	for _, a := range corpus.ByCategory(corpus.Demo) {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			t.Fatalf("extract %s: %v", a.Name, err)
+		}
+		var cfg *Config
+		if mk := demoCfg[a.Name]; mk != nil {
+			cfg = mk()
+		}
+		install(a.Name, res, cfg)
+	}
+
+	// Verdict-cache content addresses for every installed pair, intra and
+	// cross: same apps + same configs + same modes must keep hashing to
+	// the same PairKey across the refactor.
+	apps := d.Apps()
+	for i := range apps {
+		for j := i; j < len(apps); j++ {
+			fmt.Fprintf(&b, "pairkey %s|%s %x\n",
+				apps[i].Info.Name, apps[j].Info.Name, d.pairKey(apps[i], apps[j]))
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenCorpusDetection pins the detector's observable output over a
+// fixed corpus: threats, canonical witness variable names and PairKeys
+// must be byte-identical across refactors of the detect/solver pipeline.
+// Regenerate with: go test ./internal/detect -run Golden -update-golden
+func TestGoldenCorpusDetection(t *testing.T) {
+	got := goldenTranscript(t)
+	path := filepath.Join("testdata", "detect_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("golden mismatch at line %d:\n  got:  %s\n  want: %s", i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

@@ -102,16 +102,18 @@ type InstalledApp struct {
 	Rules  *rule.RuleSet
 	Config *Config
 
-	// fp and sig are filled by the owning detector at Install/Reconfigure
-	// (see prepare): the app's canonical read/write footprint and its
-	// verdict-cache signature. Both are pure functions of the exported
-	// fields, so an InstalledApp installed into several detectors gets the
-	// same values each time — but the writes are unsynchronized, so one
-	// instance must not be installed into different detectors
-	// concurrently (build a fresh InstalledApp per home, as the fleet
-	// does).
-	fp  *rule.Footprint
-	sig []byte
+	// comp, fp and sig are filled by the owning detector at
+	// Install/Reconfigure (see prepare): the app's compiled rule set
+	// (canonical formulas, declaration plans, effects — compile.go), its
+	// canonical read/write footprint and its verdict-cache signature. All
+	// are pure functions of the exported fields, so an InstalledApp
+	// installed into several detectors gets the same values each time —
+	// but the writes are unsynchronized, so one instance must not be
+	// installed into different detectors concurrently (build a fresh
+	// InstalledApp per home, as the fleet does).
+	comp *CompiledRuleSet
+	fp   *rule.Footprint
+	sig  []byte
 }
 
 // NewInstalledApp wraps an extraction result. A nil config selects
@@ -137,6 +139,11 @@ type Options struct {
 	DisablePruning bool
 	// Modes is the home's mode universe (defaults to Home/Away/Night).
 	Modes []string
+	// SolverNodeCap overrides the constraint-search node budget per solver
+	// call (0 keeps the solver default of 200k). When a query exhausts the
+	// budget the detector reports it conservatively as satisfiable and
+	// CheckPair surfaces solver.ErrSearchLimit.
+	SolverNodeCap int
 	// Verdicts, when non-nil, shares whole app-pair detection verdicts
 	// across detectors (internal/pairverdict implements it). The detector
 	// addresses each unpruned app pair by a content hash of both apps'
@@ -162,6 +169,10 @@ type Stats struct {
 	PairsChecked    int
 	SolverCalls     int
 	SolverCacheHits int
+	// SearchLimitHits counts solver calls that exhausted their node budget
+	// and degraded to the conservative satisfiable-without-witness verdict
+	// (surfaced as an error by CheckPair).
+	SearchLimitHits int
 	// PairsPruned counts rule pairs skipped outright by the footprint
 	// prune (disjoint interference channels — provably no threat).
 	PairsPruned int

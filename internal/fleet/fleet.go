@@ -25,6 +25,15 @@
 // lock is never held while a home lock is held, so there is no lock-order
 // cycle.
 //
+// Rule compilation is deduplicated the same way: at install each home's
+// detector attaches a CompiledRuleSet (canonical formulas, declaration
+// plans, effects, footprint, verdict signature — detect/compile.go) that
+// is shared through a content-addressed compile cache keyed by the
+// extraction result and the configuration content, so a hot catalog app
+// is canonicalized once fleet-wide, not once per home. The compiled
+// signature is also what PairKey hashing consumes, so addressing a pair
+// verdict costs one SHA-256 finalization, not a rule-set serialization.
+//
 // Detection solving gets the same treatment through a shared
 // pairverdict.Cache: each app pair's verdict is content-addressed by both
 // apps' canonical rule sets, configurations and mode list, so a catalog

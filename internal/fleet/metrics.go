@@ -126,6 +126,7 @@ func (m *metrics) detectorDelta(d DetectorTotals) {
 	m.det.SolverCacheHits += d.SolverCacheHits
 	m.det.PairVerdictHits += d.PairVerdictHits
 	m.det.PairVerdictMisses += d.PairVerdictMisses
+	m.det.SearchLimitHits += d.SearchLimitHits
 	m.mu.Unlock()
 }
 
@@ -177,6 +178,11 @@ type DetectorTotals struct {
 	SolverCacheHits   uint64
 	PairVerdictHits   uint64
 	PairVerdictMisses uint64
+	// SearchLimitHits counts solver calls that exhausted their node budget
+	// and degraded to the conservative verdict — nonzero means detection
+	// quality is degraded somewhere in the fleet and the budget
+	// (detect.Options.SolverNodeCap) needs raising.
+	SearchLimitHits uint64
 }
 
 // detectorTotalsOf projects the scalar counters of one detector's stats.
@@ -188,6 +194,7 @@ func detectorTotalsOf(st detect.Stats) DetectorTotals {
 		SolverCacheHits:   uint64(st.SolverCacheHits),
 		PairVerdictHits:   uint64(st.PairVerdictHits),
 		PairVerdictMisses: uint64(st.PairVerdictMisses),
+		SearchLimitHits:   uint64(st.SearchLimitHits),
 	}
 }
 
@@ -200,6 +207,7 @@ func (t DetectorTotals) minus(prev DetectorTotals) DetectorTotals {
 		SolverCacheHits:   t.SolverCacheHits - prev.SolverCacheHits,
 		PairVerdictHits:   t.PairVerdictHits - prev.PairVerdictHits,
 		PairVerdictMisses: t.PairVerdictMisses - prev.PairVerdictMisses,
+		SearchLimitHits:   t.SearchLimitHits - prev.SearchLimitHits,
 	}
 }
 

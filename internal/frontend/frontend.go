@@ -11,6 +11,7 @@ import (
 
 	"homeguard/internal/detect"
 	"homeguard/internal/rule"
+	"homeguard/internal/solver"
 )
 
 // DescribeRule renders one rule as an English sentence.
@@ -181,44 +182,91 @@ func describeAction(a rule.Action) string {
 // dialog.
 func DescribeThreat(t detect.Threat) string {
 	var sb strings.Builder
-	sb.WriteString(fmt.Sprintf("[%s] %s: ", t.Kind, kindTitle(t.Kind)))
+	sb.Grow(160)
+	describeThreatInto(&sb, t)
+	return sb.String()
+}
+
+// describeThreatInto is the builder-writing core of DescribeThreat: the
+// install report renders every threat of every install, so the text is
+// assembled with direct writes instead of one fmt.Sprintf per clause.
+func describeThreatInto(sb *strings.Builder, t detect.Threat) {
+	sb.WriteString("[")
+	sb.WriteString(string(t.Kind))
+	sb.WriteString("] ")
+	sb.WriteString(kindTitle(t.Kind))
+	sb.WriteString(": ")
+	id1, id2 := t.R1.QualifiedID(), t.R2.QualifiedID()
 	switch t.Kind {
 	case detect.ActuatorRace:
-		sb.WriteString(fmt.Sprintf(
-			"rules %s and %s can run in the same situation and issue contradictory commands (%s vs %s) to the same device.",
-			t.R1.QualifiedID(), t.R2.QualifiedID(), t.R1.Action.Command, t.R2.Action.Command))
+		sb.WriteString("rules ")
+		sb.WriteString(id1)
+		sb.WriteString(" and ")
+		sb.WriteString(id2)
+		sb.WriteString(" can run in the same situation and issue contradictory commands (")
+		sb.WriteString(t.R1.Action.Command)
+		sb.WriteString(" vs ")
+		sb.WriteString(t.R2.Action.Command)
+		sb.WriteString(") to the same device.")
 	case detect.GoalConflict:
-		sb.WriteString(fmt.Sprintf(
-			"rules %s and %s work against each other on %s (%s(%s) vs %s(%s)).",
-			t.R1.QualifiedID(), t.R2.QualifiedID(), t.Property,
-			t.R1.Action.Subject, t.R1.Action.Command, t.R2.Action.Subject, t.R2.Action.Command))
+		sb.WriteString("rules ")
+		sb.WriteString(id1)
+		sb.WriteString(" and ")
+		sb.WriteString(id2)
+		sb.WriteString(" work against each other on ")
+		sb.WriteString(string(t.Property))
+		sb.WriteString(" (")
+		sb.WriteString(t.R1.Action.Subject)
+		sb.WriteString("(")
+		sb.WriteString(t.R1.Action.Command)
+		sb.WriteString(") vs ")
+		sb.WriteString(t.R2.Action.Subject)
+		sb.WriteString("(")
+		sb.WriteString(t.R2.Action.Command)
+		sb.WriteString(")).")
 	case detect.CovertTriggering:
-		sb.WriteString(fmt.Sprintf(
-			"rule %s's action can covertly trigger rule %s, forming the hidden rule: when %s, eventually %s.",
-			t.R1.QualifiedID(), t.R2.QualifiedID(),
-			describeTrigger(t.R1.Trigger), describeAction(t.R2.Action)))
+		sb.WriteString("rule ")
+		sb.WriteString(id1)
+		sb.WriteString("'s action can covertly trigger rule ")
+		sb.WriteString(id2)
+		sb.WriteString(", forming the hidden rule: when ")
+		sb.WriteString(describeTrigger(t.R1.Trigger))
+		sb.WriteString(", eventually ")
+		sb.WriteString(describeAction(t.R2.Action))
+		sb.WriteString(".")
 	case detect.SelfDisabling:
-		sb.WriteString(fmt.Sprintf(
-			"rule %s triggers rule %s, which immediately reverses %s's action.",
-			t.R1.QualifiedID(), t.R2.QualifiedID(), t.R1.QualifiedID()))
+		sb.WriteString("rule ")
+		sb.WriteString(id1)
+		sb.WriteString(" triggers rule ")
+		sb.WriteString(id2)
+		sb.WriteString(", which immediately reverses ")
+		sb.WriteString(id1)
+		sb.WriteString("'s action.")
 	case detect.LoopTriggering:
-		sb.WriteString(fmt.Sprintf(
-			"rules %s and %s trigger each other in a loop with contradictory actions — devices may oscillate.",
-			t.R1.QualifiedID(), t.R2.QualifiedID()))
+		sb.WriteString("rules ")
+		sb.WriteString(id1)
+		sb.WriteString(" and ")
+		sb.WriteString(id2)
+		sb.WriteString(" trigger each other in a loop with contradictory actions — devices may oscillate.")
 	case detect.EnablingCondition:
-		sb.WriteString(fmt.Sprintf(
-			"rule %s's action can enable rule %s's condition.",
-			t.R1.QualifiedID(), t.R2.QualifiedID()))
+		sb.WriteString("rule ")
+		sb.WriteString(id1)
+		sb.WriteString("'s action can enable rule ")
+		sb.WriteString(id2)
+		sb.WriteString("'s condition.")
 	case detect.DisablingCond:
-		sb.WriteString(fmt.Sprintf(
-			"rule %s's action disables rule %s's condition — %s may silently stop working.",
-			t.R1.QualifiedID(), t.R2.QualifiedID(), t.R2.App))
+		sb.WriteString("rule ")
+		sb.WriteString(id1)
+		sb.WriteString("'s action disables rule ")
+		sb.WriteString(id2)
+		sb.WriteString("'s condition — ")
+		sb.WriteString(t.R2.App)
+		sb.WriteString(" may silently stop working.")
 	}
 	if len(t.Witness) > 0 {
 		sb.WriteString(" Example situation: ")
-		sb.WriteString(witnessText(t))
+		witnessInto(sb, t)
 	}
-	return sb.String()
 }
 
 func kindTitle(k detect.Kind) string {
@@ -241,27 +289,46 @@ func kindTitle(k detect.Kind) string {
 	return string(k)
 }
 
-func witnessText(t detect.Threat) string {
-	var parts []string
+// witnessInto writes the example-situation clause: up to six variable
+// assignments sorted by variable name (variable names contain no spaces,
+// so name order and rendered "name = value" order coincide). One scratch
+// slice is the only allocation besides the builder's own growth.
+func witnessInto(sb *strings.Builder, t detect.Threat) {
+	type entry struct {
+		name string
+		v    solver.Value
+	}
+	entries := make([]entry, 0, len(t.Witness))
 	for name, v := range t.Witness {
 		if strings.HasPrefix(v.Enum, "\x00") {
 			continue
 		}
-		parts = append(parts, fmt.Sprintf("%s = %s", name, v))
+		entries = append(entries, entry{name, v})
 	}
-	sortStrings(parts)
-	if len(parts) > 6 {
-		parts = parts[:6]
-	}
-	return strings.Join(parts, ", ") + "."
-}
-
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].name < entries[j-1].name; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
 		}
 	}
+	if len(entries) > 6 {
+		entries = entries[:6]
+	}
+	for i, e := range entries {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.name)
+		sb.WriteString(" = ")
+		// Keep in lockstep with solver.Value.String — this is the same
+		// enum-name-else-integer rendering, written into the builder to
+		// avoid materializing the intermediate string per variable.
+		if e.v.Enum != "" {
+			sb.WriteString(e.v.Enum)
+		} else {
+			fmt.Fprintf(sb, "%d", e.v.Int)
+		}
+	}
+	sb.WriteString(".")
 }
 
 // DescribeChain renders a multi-hop interference chain (Sec. VI-D).
@@ -287,31 +354,45 @@ func DescribeChain(c detect.Chain) string {
 // followed by every discovered threat.
 func InstallReport(appName string, rules []*rule.Rule, threats []detect.Threat) string {
 	var sb strings.Builder
-	sb.WriteString("HomeGuard — installing " + appName + "\n")
-	sb.WriteString(strings.Repeat("=", 40) + "\n")
+	installReportInto(&sb, appName, rules, threats)
+	return sb.String()
+}
+
+func installReportInto(sb *strings.Builder, appName string, rules []*rule.Rule, threats []detect.Threat) {
+	sb.Grow(256)
+	sb.WriteString("HomeGuard — installing ")
+	sb.WriteString(appName)
+	sb.WriteString("\n")
+	sb.WriteString("========================================\n")
 	sb.WriteString("This app defines:\n")
 	for _, r := range rules {
-		sb.WriteString("  • " + DescribeRule(r) + "\n")
+		sb.WriteString("  • ")
+		sb.WriteString(DescribeRule(r))
+		sb.WriteString("\n")
 	}
 	if len(threats) == 0 {
 		sb.WriteString("No cross-app interference detected.\n")
-		return sb.String()
+		return
 	}
-	sb.WriteString(fmt.Sprintf("%d potential cross-app interference threat(s):\n", len(threats)))
+	fmt.Fprintf(sb, "%d potential cross-app interference threat(s):\n", len(threats))
 	for _, t := range threats {
-		sb.WriteString("  ⚠ " + DescribeThreat(t) + "\n")
+		sb.WriteString("  ⚠ ")
+		describeThreatInto(sb, t)
+		sb.WriteString("\n")
 	}
 	sb.WriteString("Keep the app, remove it, or change its configuration.\n")
-	return sb.String()
 }
 
 // InstallDialog renders the installation dialog including chained-threat
 // lines — the complete text both the library (homeguard.Home) and the
 // fleet service show at install time.
 func InstallDialog(appName string, rules []*rule.Rule, threats []detect.Threat, chains []detect.Chain) string {
-	report := InstallReport(appName, rules, threats)
+	var sb strings.Builder
+	installReportInto(&sb, appName, rules, threats)
 	for _, c := range chains {
-		report += "  ⛓ " + DescribeChain(c) + "\n"
+		sb.WriteString("  ⛓ ")
+		sb.WriteString(DescribeChain(c))
+		sb.WriteString("\n")
 	}
-	return report
+	return sb.String()
 }

@@ -7,7 +7,10 @@
 // canonical rule sets plus their configuration bindings and the home's
 // mode list (detect.PairKey); that key covers every input pair detection
 // reads, so homes that share a key provably share the verdict and the
-// solver runs once per distinct pair for the whole fleet.
+// solver runs once per distinct pair for the whole fleet. The per-app
+// halves of the key are the compiled rule sets' precomputed signatures
+// (detect/compile.go), so addressing a verdict never re-serializes a
+// rule set.
 //
 // Concurrent requests for the same uncached pair are deduplicated with a
 // singleflight discipline mirroring internal/extractcache: the first

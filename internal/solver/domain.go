@@ -71,6 +71,12 @@ func (d Domain) Contains(v int64) bool {
 
 // ClampMin returns the domain restricted to values >= lo.
 func (d Domain) ClampMin(lo int64) Domain {
+	// No-op fast path: propagation re-applies the same bounds until
+	// fixpoint, so most clamps change nothing — return d without
+	// allocating a new interval slice.
+	if d.Empty() || lo <= d.Min() {
+		return d
+	}
 	var out []Interval
 	for _, iv := range d.ivs {
 		if iv.Hi < lo {
@@ -86,6 +92,9 @@ func (d Domain) ClampMin(lo int64) Domain {
 
 // ClampMax returns the domain restricted to values <= hi.
 func (d Domain) ClampMax(hi int64) Domain {
+	if d.Empty() || hi >= d.Max() {
+		return d // no-op fast path (see ClampMin)
+	}
 	var out []Interval
 	for _, iv := range d.ivs {
 		if iv.Lo > hi {
@@ -101,6 +110,9 @@ func (d Domain) ClampMax(hi int64) Domain {
 
 // Remove returns the domain with value v removed.
 func (d Domain) Remove(v int64) Domain {
+	if !d.Contains(v) {
+		return d // no-op fast path (see ClampMin)
+	}
 	var out []Interval
 	for _, iv := range d.ivs {
 		switch {
@@ -128,6 +140,14 @@ func (d Domain) Only(v int64) Domain {
 
 // Intersect returns d ∩ o.
 func (d Domain) Intersect(o Domain) Domain {
+	// Containment fast path: a single interval of o spanning all of d
+	// leaves d unchanged (the common case during propagation fixpoints).
+	if d.Empty() {
+		return d
+	}
+	if len(o.ivs) == 1 && o.Min() <= d.Min() && o.Max() >= d.Max() {
+		return d
+	}
 	var out []Interval
 	i, j := 0, 0
 	for i < len(d.ivs) && j < len(o.ivs) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"homeguard/internal/rule"
 )
@@ -34,7 +35,10 @@ func (v Value) String() string {
 // Model is a satisfying assignment.
 type Model map[string]Value
 
-// variable is the solver-internal variable record.
+// variable is the solver-internal variable record. Variables are interned:
+// each declared name maps to a dense index into Problem.vars, and every
+// later structure (stores, atoms, the difference-constraint graph) works in
+// indices, never names — the string only resurfaces in the final Model.
 type variable struct {
 	name string
 	enum []string // enum value names; nil for integer variables
@@ -43,46 +47,73 @@ type variable struct {
 
 // Problem is one satisfiability query under construction.
 type Problem struct {
-	vars     map[string]*variable
-	order    []string // declaration order for deterministic models
+	vars     []variable     // indexed by variable id, in declaration order
+	index    map[string]int // name → id
 	formulas []rule.Constraint
 	nodeCap  int
+	// unsat is set when an added constraint constant-folds to false: the
+	// conjunction is trivially unsatisfiable and Solve skips the search.
+	unsat bool
 
-	// lastSolution is captured by the search on success; Problem is not
-	// safe for concurrent use.
+	// lastSolution is the store captured by the search at the moment every
+	// binary atom is decided. It is owned by the in-flight Solve call only:
+	// Solve extracts the witness model from it and immediately recycles the
+	// store, clearing the field before returning. It never aliases the root
+	// store of a previous Solve, because each Solve rebuilds its root from
+	// the declared domains in p.vars — search narrows domains only inside
+	// per-call stores, never in p.vars — which is what makes calling Solve
+	// repeatedly on one Problem deterministic. (Problem is still not safe
+	// for concurrent use.)
 	lastSolution *store
+
+	// Scratch buffers reused across the many diffUnsat calls one search
+	// performs (one per labeling node); see diffUnsat.
+	diffNode  []int32
+	diffEdges []diffEdge
+	diffDist  []int64
+	diffVars  []int32
 }
 
 // NewProblem returns an empty problem.
 func NewProblem() *Problem {
-	return &Problem{vars: map[string]*variable{}, nodeCap: 200_000}
+	return &Problem{index: map[string]int{}, nodeCap: 200_000}
+}
+
+// SetNodeCap overrides the search node budget (default 200k). Exhausting
+// the budget surfaces as ErrSearchLimit from Solve. A cap <= 0 is ignored.
+func (p *Problem) SetNodeCap(n int) {
+	if n > 0 {
+		p.nodeCap = n
+	}
 }
 
 // AddIntVar declares an integer variable with domain [min, max].
 // Redeclaring narrows the existing domain.
 func (p *Problem) AddIntVar(name string, min, max int64) {
-	if v, ok := p.vars[name]; ok {
+	if id, ok := p.index[name]; ok {
+		v := &p.vars[id]
 		if v.enum == nil {
 			v.dom = v.dom.Intersect(NewDomain(min, max))
 		}
 		return
 	}
-	p.vars[name] = &variable{name: name, dom: NewDomain(min, max)}
-	p.order = append(p.order, name)
+	p.index[name] = len(p.vars)
+	p.vars = append(p.vars, variable{name: name, dom: NewDomain(min, max)})
 }
 
-// AddEnumVar declares an enumeration variable with the given values.
+// AddEnumVar declares an enumeration variable with the given values. The
+// slice is retained, not copied — callers must not mutate it after the
+// call (the detector passes registry-owned or freshly built slices).
 func (p *Problem) AddEnumVar(name string, values []string) {
-	if _, ok := p.vars[name]; ok {
+	if _, ok := p.index[name]; ok {
 		return
 	}
-	vals := append([]string(nil), values...)
-	p.vars[name] = &variable{
+	p.index[name] = len(p.vars)
+	p.vars = append(p.vars, variable{
 		name: name,
-		enum: vals,
-		dom:  NewDomain(0, int64(len(vals)-1)),
-	}
-	p.order = append(p.order, name)
+		enum: values,
+		dom:  NewDomain(0, int64(len(values)-1)),
+	})
 }
 
 // AddBoolVar declares a boolean variable (an enum of false/true).
@@ -92,15 +123,15 @@ func (p *Problem) AddBoolVar(name string) {
 
 // HasVar reports whether the variable is declared.
 func (p *Problem) HasVar(name string) bool {
-	_, ok := p.vars[name]
+	_, ok := p.index[name]
 	return ok
 }
 
 // EnumValues returns the declared values of an enum variable (nil for
 // integer variables or unknown names).
 func (p *Problem) EnumValues(name string) []string {
-	if v, ok := p.vars[name]; ok {
-		return v.enum
+	if id, ok := p.index[name]; ok {
+		return p.vars[id].enum
 	}
 	return nil
 }
@@ -109,12 +140,139 @@ func (p *Problem) EnumValues(name string) []string {
 // referenced but not declared are auto-declared: integer variables with
 // the default bounds when compared against integers, enum variables with
 // the observed string values otherwise.
+//
+// Constraints are constant-folded on the way in: comparisons between two
+// constants collapse to literals, conjunctions and disjunctions simplify
+// around them, and a formula that folds to false marks the whole problem
+// trivially UNSAT so Solve never enters the search.
 func (p *Problem) AddConstraint(c rule.Constraint) {
 	if c == nil {
 		return
 	}
+	c = foldConstraint(c)
+	if lit, ok := c.(rule.Lit); ok {
+		if !bool(lit) {
+			p.unsat = true
+		}
+		return
+	}
 	p.autoDeclare(c)
+	// Top-level conjunctions are pre-split so the search worklist never
+	// re-flattens them (the common shape: one And per rule formula).
+	if a, ok := c.(rule.And); ok {
+		p.formulas = append(p.formulas, a.Cs...)
+		return
+	}
 	p.formulas = append(p.formulas, c)
+}
+
+// foldConstraint constant-folds a formula: const-const comparisons become
+// literals and And/Or/Not simplify around them. Comparisons it cannot
+// evaluate soundly (ordered string comparisons, unknown constraint types)
+// are left for the search, which reports them as errors exactly as before.
+func foldConstraint(c rule.Constraint) rule.Constraint {
+	out, _ := foldC(c)
+	return out
+}
+
+// Preboxed literal constraints: returning rule.Lit through the Constraint
+// interface would otherwise allocate on every fold.
+var (
+	litTrue  rule.Constraint = rule.TrueC
+	litFalse rule.Constraint = rule.FalseC
+)
+
+func boxLit(b bool) rule.Constraint {
+	if b {
+		return litTrue
+	}
+	return litFalse
+}
+
+func foldC(c rule.Constraint) (rule.Constraint, bool) {
+	switch x := c.(type) {
+	case rule.Cmp:
+		li, lInt := constInt(x.L)
+		ri, rInt := constInt(x.R)
+		if lInt && rInt {
+			return boxLit(evalConst(x.Op, li, ri)), true
+		}
+		ls, lStr := x.L.(rule.StrVal)
+		rs, rStr := x.R.(rule.StrVal)
+		// Any const pair with at least one string side: equal only when
+		// both are the same string (mirrors assertCmp's const-const
+		// handling; ordered string comparisons stay for the error path).
+		lConst, rConst := lInt || lStr, rInt || rStr
+		if lConst && rConst && (lStr || rStr) && (x.Op == rule.OpEq || x.Op == rule.OpNe) {
+			eq := lStr && rStr && ls == rs
+			if x.Op == rule.OpNe {
+				eq = !eq
+			}
+			return boxLit(eq), true
+		}
+		return x, false
+	case rule.And:
+		folded, changed := foldList(x.Cs)
+		if !changed {
+			return x, false
+		}
+		return rule.Conj(folded...), true
+	case rule.Or:
+		folded, changed := foldList(x.Cs)
+		if !changed {
+			return x, false
+		}
+		return rule.Disj(folded...), true
+	case rule.Not:
+		f, changed := foldC(x.C)
+		if lit, ok := f.(rule.Lit); ok {
+			return boxLit(!bool(lit)), true
+		}
+		if !changed {
+			return x, false
+		}
+		return rule.Not{C: f}, true
+	}
+	return c, false
+}
+
+// constInt extracts integer-valued constants (ints and bools).
+func constInt(t rule.Term) (int64, bool) {
+	switch x := t.(type) {
+	case rule.IntVal:
+		return int64(x), true
+	case rule.BoolVal:
+		if bool(x) {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func foldList(cs []rule.Constraint) ([]rule.Constraint, bool) {
+	changed := false
+	out := cs
+	for i, sub := range cs {
+		f, ch := foldC(sub)
+		if ch && !changed {
+			changed = true
+			out = append([]rule.Constraint(nil), cs...)
+		}
+		if changed {
+			out[i] = f
+		}
+	}
+	// A literal anywhere forces the Conj/Disj rebuild even when no child
+	// changed (a pre-existing Lit in the slice).
+	if !changed {
+		for _, sub := range cs {
+			if _, ok := sub.(rule.Lit); ok {
+				return append([]rule.Constraint(nil), cs...), true
+			}
+		}
+	}
+	return out, changed
 }
 
 func (p *Problem) autoDeclare(c rule.Constraint) {
@@ -167,61 +325,81 @@ func (p *Problem) autoDeclareTerm(t, other rule.Term) {
 
 // ---------- atoms ----------
 
-// atomKind distinguishes unary (var-vs-const) and binary (var-vs-var)
-// comparisons after normalization.
+// atom is a pending binary (var-vs-var) comparison after normalization:
+// x op y + k, with x and y variable ids. The ops "enumEq"/"enumNe" mark
+// enum correspondences checked at labeling time.
 type atom struct {
-	op rule.CmpOp
-	x  string // left variable
-	// Exactly one of the following is used:
-	isConst bool
-	c       int64  // constant right side
-	y       string // right variable
-	k       int64  // offset: x op y + k
+	op   rule.CmpOp
+	x, y int32
+	k    int64
 }
 
-// store is the propagation state: current domains plus pending binary
-// atoms.
+// store is the propagation state: current domains (indexed by variable
+// id) plus pending binary atoms. Stores are pooled: the search clones one
+// per branch and recycles failed branches, so the steady-state allocation
+// of a solve is the handful of stores live on the deepest branch — not
+// one map per node as in the map-backed predecessor.
 type store struct {
-	doms map[string]Domain
+	doms []Domain
 	bins []atom
 }
 
-func (s *store) clone() *store {
-	d := make(map[string]Domain, len(s.doms))
-	for k, v := range s.doms {
-		d[k] = v
-	}
-	b := append([]atom(nil), s.bins...)
-	return &store{doms: d, bins: b}
+var storePool = sync.Pool{New: func() any { return new(store) }}
+
+// cloneStore copies s into a pooled store. Domains are immutable values
+// (every Domain operation returns a fresh interval slice), so the shallow
+// copy shares interval backing arrays safely.
+func cloneStore(s *store) *store {
+	c := storePool.Get().(*store)
+	c.doms = append(c.doms[:0], s.doms...)
+	c.bins = append(c.bins[:0], s.bins...)
+	return c
+}
+
+func releaseStore(s *store) {
+	storePool.Put(s)
 }
 
 // Solve decides satisfiability of the conjunction of all added formulas.
 // It returns a witness model when satisfiable.
+//
+// Solve may be called repeatedly on one Problem and is deterministic: the
+// root store is rebuilt from the declared domains each call and the search
+// narrows domains only inside per-call stores, so no state from one call
+// leaks into the next (see lastSolution).
 func (p *Problem) Solve() (Model, bool, error) {
-	st := &store{doms: map[string]Domain{}}
-	for _, name := range p.order {
-		st.doms[name] = p.vars[name].dom
+	if p.unsat {
+		return nil, false, nil
+	}
+	st := storePool.Get().(*store)
+	st.doms = st.doms[:0]
+	st.bins = st.bins[:0]
+	for i := range p.vars {
+		st.doms = append(st.doms, p.vars[i].dom)
 	}
 	budget := p.nodeCap
 	ok, err := p.search(p.formulas, st, &budget)
-	if err != nil {
+	if err != nil || !ok {
+		releaseStore(st)
 		return nil, false, err
 	}
-	if !ok {
-		return nil, false, nil
+	// The search captured the deciding store (possibly a descendant clone
+	// of st) in lastSolution; extract the witness, then recycle both.
+	m := p.model(p.lastSolution)
+	if p.lastSolution != st {
+		releaseStore(p.lastSolution)
 	}
-	// st mutated in place on success path? search uses clones; to extract
-	// the model we re-run with a captured store.
-	return p.model(p.lastSolution), true, nil
+	releaseStore(st)
+	p.lastSolution = nil
+	return m, true, nil
 }
 
-// lastSolution is captured by search on success.
-// (Problem is not safe for concurrent use.)
+// model renders a witness from a decided store.
 func (p *Problem) model(st *store) Model {
 	m := Model{}
-	for _, name := range p.order {
-		v := p.vars[name]
-		dom := st.doms[name]
+	for i := range p.vars {
+		v := &p.vars[i]
+		dom := st.doms[i]
 		if dom.Empty() {
 			continue
 		}
@@ -229,17 +407,18 @@ func (p *Problem) model(st *store) Model {
 		if v.enum != nil {
 			idx := int(val)
 			if idx >= 0 && idx < len(v.enum) {
-				m[name] = Value{Enum: v.enum[idx], Int: val}
+				m[v.name] = Value{Enum: v.enum[idx], Int: val}
 				continue
 			}
 		}
-		m[name] = Value{Int: val}
+		m[v.name] = Value{Int: val}
 	}
 	return m
 }
 
 // search processes the formula worklist depth-first, branching on
-// disjunctions, then labels variables.
+// disjunctions, then labels variables. st is owned by the caller; search
+// never releases it, only clones it for branches.
 func (p *Problem) search(formulas []rule.Constraint, st *store, budget *int) (bool, error) {
 	*budget--
 	if *budget <= 0 {
@@ -262,13 +441,15 @@ func (p *Problem) search(formulas []rule.Constraint, st *store, budget *int) (bo
 		case rule.Or:
 			for _, alt := range x.Cs {
 				sub := append([]rule.Constraint{alt}, formulas...)
-				ok, err := p.search(sub, st.clone(), budget)
+				child := cloneStore(st)
+				ok, err := p.search(sub, child, budget)
 				if err != nil {
 					return false, err
 				}
 				if ok {
 					return true, nil
 				}
+				releaseStore(child)
 			}
 			return false, nil
 		case rule.Cmp:
@@ -283,7 +464,7 @@ func (p *Problem) search(formulas []rule.Constraint, st *store, budget *int) (bo
 			return false, fmt.Errorf("solver: unsupported constraint %T", f)
 		}
 	}
-	if !propagate(st) {
+	if !p.propagate(st) {
 		return false, nil
 	}
 	return p.label(st, budget)
@@ -299,8 +480,8 @@ func (p *Problem) assertCmp(c rule.Cmp, st *store) (bool, error) {
 	}
 	// const-const
 	if l.isConst && r.isConst {
-		if l.isStrConst() || r.isStrConst() {
-			eq := l.isStrConst() && r.isStrConst() && l.name == r.name
+		if l.isStr || r.isStr {
+			eq := l.isStr && r.isStr && l.str == r.str
 			switch c.Op {
 			case rule.OpEq:
 				return eq, nil
@@ -314,27 +495,28 @@ func (p *Problem) assertCmp(c rule.Cmp, st *store) (bool, error) {
 	}
 	// const op var → flip
 	if l.isConst {
-		if l.isStrConst() {
-			return p.assertStrCmp(c.Op.Flip(), r, l.name, st)
+		if l.isStr {
+			return p.assertStrCmp(c.Op.Flip(), r, l.str, st)
 		}
 		return p.assertVarConst(c.Op.Flip(), r, l.c, st)
 	}
 	if r.isConst {
-		if r.isStrConst() {
-			return p.assertStrCmp(c.Op, l, r.name, st)
+		if r.isStr {
+			return p.assertStrCmp(c.Op, l, r.str, st)
 		}
 		return p.assertVarConst(c.Op, l, r.c, st)
 	}
 	return p.assertVarVar(c.Op, l, r, st)
 }
 
-// resolved is a normalized term: constant, or variable + offset.
+// resolved is a normalized term: constant, or variable id + offset.
 type resolved struct {
 	isConst bool
+	isStr   bool
 	c       int64
-	name    string
+	str     string // string constant carrier
+	id      int32  // variable id
 	off     int64
-	enum    []string // enum table when the variable is enumerated
 }
 
 func (p *Problem) resolveTerm(t rule.Term) (resolved, bool) {
@@ -348,26 +530,23 @@ func (p *Problem) resolveTerm(t rule.Term) (resolved, bool) {
 		return resolved{isConst: true, c: 0}, true
 	case rule.StrVal:
 		// String constants resolve against the other side's enum table in
-		// assertVarConst; carry the raw string via name with a marker.
-		return resolved{isConst: true, c: -1, name: string(x), enum: []string{}}, true
+		// assertStrCmp.
+		return resolved{isConst: true, isStr: true, str: string(x)}, true
 	case rule.Var:
-		v, ok := p.vars[x.Name]
+		id, ok := p.index[x.Name]
 		if !ok {
 			return resolved{}, false
 		}
-		return resolved{name: x.Name, enum: v.enum}, true
+		return resolved{id: int32(id)}, true
 	case rule.Sum:
-		v, ok := p.vars[x.X.Name]
+		id, ok := p.index[x.X.Name]
 		if !ok {
 			return resolved{}, false
 		}
-		return resolved{name: x.X.Name, off: x.K, enum: v.enum}, true
+		return resolved{id: int32(id), off: x.K}, true
 	}
 	return resolved{}, false
 }
-
-// isStrConst reports whether r is a string constant carrier.
-func (r resolved) isStrConst() bool { return r.isConst && r.enum != nil }
 
 func evalConst(op rule.CmpOp, a, b int64) bool {
 	switch op {
@@ -389,10 +568,7 @@ func evalConst(op rule.CmpOp, a, b int64) bool {
 
 // assertVarConst narrows var (+off) op const.
 func (p *Problem) assertVarConst(op rule.CmpOp, v resolved, c int64, st *store) (bool, error) {
-	dom, ok := st.doms[v.name]
-	if !ok {
-		return false, fmt.Errorf("solver: unknown variable %q", v.name)
-	}
+	dom := st.doms[v.id]
 	// x + off op c  ⇔  x op c - off
 	c -= v.off
 	switch op {
@@ -409,18 +585,15 @@ func (p *Problem) assertVarConst(op rule.CmpOp, v resolved, c int64, st *store) 
 	case rule.OpGe:
 		dom = dom.ClampMin(c)
 	}
-	st.doms[v.name] = dom
+	st.doms[v.id] = dom
 	return !dom.Empty(), nil
 }
 
 // assertStrCmp narrows an enum variable against a string constant.
 func (p *Problem) assertStrCmp(op rule.CmpOp, v resolved, s string, st *store) (bool, error) {
-	pv := p.vars[v.name]
-	if pv == nil {
-		return false, fmt.Errorf("solver: unknown variable %q", v.name)
-	}
+	pv := &p.vars[v.id]
 	if pv.enum == nil {
-		return false, fmt.Errorf("solver: comparing integer variable %q to string %q", v.name, s)
+		return false, fmt.Errorf("solver: comparing integer variable %q to string %q", pv.name, s)
 	}
 	idx := int64(-1)
 	for i, val := range pv.enum {
@@ -432,7 +605,7 @@ func (p *Problem) assertStrCmp(op rule.CmpOp, v resolved, s string, st *store) (
 	switch op {
 	case rule.OpEq:
 		if idx < 0 {
-			st.doms[v.name] = Domain{}
+			st.doms[v.id] = Domain{}
 			return false, nil
 		}
 		return p.assertVarConst(rule.OpEq, v, idx, st)
@@ -442,7 +615,7 @@ func (p *Problem) assertStrCmp(op rule.CmpOp, v resolved, s string, st *store) (
 		}
 		return p.assertVarConst(rule.OpNe, v, idx, st)
 	default:
-		return false, fmt.Errorf("solver: ordered comparison %s on enum variable %q", op, v.name)
+		return false, fmt.Errorf("solver: ordered comparison %s on enum variable %q", op, pv.name)
 	}
 }
 
@@ -450,20 +623,20 @@ func (p *Problem) assertStrCmp(op rule.CmpOp, v resolved, s string, st *store) (
 func (p *Problem) assertVarVar(op rule.CmpOp, l, r resolved, st *store) (bool, error) {
 	// Two enum variables: only ==/!= are meaningful; translate to a
 	// disjunction over shared value names.
-	lv, rv := p.vars[l.name], p.vars[r.name]
+	lv, rv := &p.vars[l.id], &p.vars[r.id]
 	if lv.enum != nil || rv.enum != nil {
 		if lv.enum == nil || rv.enum == nil {
-			return false, fmt.Errorf("solver: comparing enum %q with integer %q", l.name, r.name)
+			return false, fmt.Errorf("solver: comparing enum %q with integer %q", lv.name, rv.name)
 		}
 		return p.assertEnumVarVar(op, l, r, st)
 	}
 	// x + lo op y + ro  ⇔  x op y + (ro - lo)
-	st.bins = append(st.bins, atom{op: op, x: l.name, y: r.name, k: r.off - l.off})
+	st.bins = append(st.bins, atom{op: op, x: l.id, y: r.id, k: r.off - l.off})
 	return narrowBinary(st, st.bins[len(st.bins)-1]), nil
 }
 
 func (p *Problem) assertEnumVarVar(op rule.CmpOp, l, r resolved, st *store) (bool, error) {
-	lv, rv := p.vars[l.name], p.vars[r.name]
+	lv, rv := &p.vars[l.id], &p.vars[r.id]
 	switch op {
 	case rule.OpEq, rule.OpNe:
 	default:
@@ -483,7 +656,7 @@ func (p *Problem) assertEnumVarVar(op rule.CmpOp, l, r resolved, st *store) (boo
 		// both domains to shared values and linking via bins with offset
 		// — offsets differ per value, so fall back to explicit search:
 		// keep it simple and sound by enumerating.
-		ld, rd := st.doms[l.name], st.doms[r.name]
+		ld, rd := st.doms[l.id], st.doms[r.id]
 		var lKeep, rKeep []int64
 		for li, ri := range common {
 			if ld.Contains(li) && rd.Contains(ri) {
@@ -492,19 +665,19 @@ func (p *Problem) assertEnumVarVar(op rule.CmpOp, l, r resolved, st *store) (boo
 			}
 		}
 		if len(lKeep) == 0 {
-			st.doms[l.name] = Domain{}
+			st.doms[l.id] = Domain{}
 			return false, nil
 		}
-		st.doms[l.name] = keepOnly(ld, lKeep)
-		st.doms[r.name] = keepOnly(rd, rKeep)
+		st.doms[l.id] = keepOnly(ld, lKeep)
+		st.doms[r.id] = keepOnly(rd, rKeep)
 		// Record the correspondence so labeling respects it: encode each
 		// pair as a conditional; with tiny enum domains, add a pending
 		// enum-equality atom checked at labeling time.
-		st.bins = append(st.bins, atom{op: "enumEq", x: l.name, y: r.name})
+		st.bins = append(st.bins, atom{op: "enumEq", x: l.id, y: r.id})
 		return true, nil
 	}
 	// != between enums: satisfied unless both are pinned to the same name.
-	st.bins = append(st.bins, atom{op: "enumNe", x: l.name, y: r.name})
+	st.bins = append(st.bins, atom{op: "enumNe", x: l.id, y: r.id})
 	return true, nil
 }
 
@@ -536,9 +709,8 @@ func narrowBinary(st *store, a atom) bool {
 	if a.op == "enumEq" || a.op == "enumNe" {
 		return true // handled at labeling
 	}
-	dx, okx := st.doms[a.x]
-	dy, oky := st.doms[a.y]
-	if !okx || !oky || dx.Empty() || dy.Empty() {
+	dx, dy := st.doms[a.x], st.doms[a.y]
+	if dx.Empty() || dy.Empty() {
 		return false
 	}
 	fail := func() bool {
@@ -592,6 +764,9 @@ func narrowBinary(st *store, a atom) bool {
 }
 
 func shift(d Domain, k int64) Domain {
+	if k == 0 {
+		return d
+	}
 	out := Domain{ivs: make([]Interval, len(d.ivs))}
 	for i, iv := range d.ivs {
 		out.ivs[i] = Interval{iv.Lo + k, iv.Hi + k}
@@ -606,7 +781,7 @@ func shift(d Domain, k int64) Domain {
 // over large ranges) converge only one unit per round, so after the cap we
 // return early and let the bisection search finish the refutation —
 // stopping before fixpoint is sound, merely less eager.
-func propagate(st *store) bool {
+func (p *Problem) propagate(st *store) bool {
 	if len(st.bins) == 0 {
 		return true
 	}
@@ -632,8 +807,8 @@ func fingerprint(st *store) uint64 {
 		h *= 1099511628211
 	}
 	for _, a := range st.bins {
-		for _, n := range []string{a.x, a.y} {
-			d := st.doms[n]
+		for _, id := range [2]int32{a.x, a.y} {
+			d := st.doms[id]
 			if d.Empty() {
 				mix(0xdead)
 				continue
@@ -647,55 +822,81 @@ func fingerprint(st *store) uint64 {
 	return h
 }
 
+type diffEdge struct {
+	from, to int32
+	w        int64
+}
+
 // diffUnsat runs a Bellman–Ford negative-cycle check over the difference
 // constraints in the store (every ordering/equality atom is of the form
 // x ≤ y + k). Cyclic systems such as x < y ∧ y < x are refuted instantly
-// here, where bounds propagation would converge one unit per round.
-func diffUnsat(st *store) bool {
-	idx := map[string]int{}
-	names := []string{}
-	node := func(n string) int {
-		if i, ok := idx[n]; ok {
-			return i
+// here, where bounds propagation would converge one unit per round. All
+// working storage lives in Problem-level scratch buffers: label calls
+// this once per search node, and the map-backed predecessor allocated
+// four structures per call.
+func (p *Problem) diffUnsat(st *store) bool {
+	if len(st.bins) == 0 {
+		return false
+	}
+	// diffNode maps variable id → node number (0 = absent; origin is node
+	// 0 in the distance array, variables start at 1).
+	if len(p.diffNode) < len(p.vars) {
+		p.diffNode = make([]int32, len(p.vars))
+	}
+	nodes := p.diffNode
+	for i := range nodes {
+		nodes[i] = 0
+	}
+	p.diffVars = p.diffVars[:0]
+	var next int32 = 1
+	node := func(id int32) int32 {
+		if nodes[id] == 0 {
+			nodes[id] = next
+			next++
+			p.diffVars = append(p.diffVars, id)
 		}
-		idx[n] = len(names) + 1
-		names = append(names, n)
-		return idx[n]
+		return nodes[id]
 	}
-	type edge struct {
-		from, to int
-		w        int64
-	}
-	var edges []edge
+	edges := p.diffEdges[:0]
 	for _, a := range st.bins {
 		switch a.op {
 		case rule.OpLe: // x ≤ y + k
-			edges = append(edges, edge{node(a.y), node(a.x), a.k})
+			edges = append(edges, diffEdge{node(a.y), node(a.x), a.k})
 		case rule.OpLt: // x ≤ y + k - 1
-			edges = append(edges, edge{node(a.y), node(a.x), a.k - 1})
+			edges = append(edges, diffEdge{node(a.y), node(a.x), a.k - 1})
 		case rule.OpGe: // y ≤ x - k
-			edges = append(edges, edge{node(a.x), node(a.y), -a.k})
+			edges = append(edges, diffEdge{node(a.x), node(a.y), -a.k})
 		case rule.OpGt: // y ≤ x - k - 1
-			edges = append(edges, edge{node(a.x), node(a.y), -a.k - 1})
+			edges = append(edges, diffEdge{node(a.x), node(a.y), -a.k - 1})
 		case rule.OpEq: // both directions
 			edges = append(edges,
-				edge{node(a.y), node(a.x), a.k},
-				edge{node(a.x), node(a.y), -a.k})
+				diffEdge{node(a.y), node(a.x), a.k},
+				diffEdge{node(a.x), node(a.y), -a.k})
 		}
 	}
 	if len(edges) == 0 {
+		p.diffEdges = edges
 		return false
 	}
 	// Domain bounds: x ≤ max (origin→x) and -x ≤ -min (x→origin).
-	for name, i := range idx {
-		d, ok := st.doms[name]
-		if !ok || d.Empty() {
+	for _, id := range p.diffVars {
+		d := st.doms[id]
+		if d.Empty() {
+			p.diffEdges = edges
 			return true
 		}
-		edges = append(edges, edge{0, i, d.Max()}, edge{i, 0, -d.Min()})
+		i := nodes[id]
+		edges = append(edges, diffEdge{0, i, d.Max()}, diffEdge{i, 0, -d.Min()})
 	}
-	n := len(names) + 1
-	dist := make([]int64, n)
+	p.diffEdges = edges
+	n := int(next)
+	if cap(p.diffDist) < n {
+		p.diffDist = make([]int64, n)
+	}
+	dist := p.diffDist[:n]
+	for i := range dist {
+		dist[i] = 0
+	}
 	for iter := 0; iter <= n; iter++ {
 		changed := false
 		for _, e := range edges {
@@ -712,20 +913,22 @@ func diffUnsat(st *store) bool {
 }
 
 // label assigns constraint-involved variables until all binary atoms are
-// decided, backtracking on failure.
+// decided, backtracking on failure. On success the deciding store is
+// captured in p.lastSolution for Solve to extract the model from; failed
+// branch stores are recycled into the pool.
 func (p *Problem) label(st *store, budget *int) (bool, error) {
 	*budget--
 	if *budget <= 0 {
 		return false, ErrSearchLimit
 	}
-	if !propagate(st) {
+	if !p.propagate(st) {
 		return false, nil
 	}
-	if diffUnsat(st) {
+	if p.diffUnsat(st) {
 		return false, nil
 	}
 	// Check enum equality atoms and find an undecided variable.
-	pick := ""
+	pick := int32(-1)
 	var pickSize int64
 	for _, a := range st.bins {
 		dx, dy := st.doms[a.x], st.doms[a.y]
@@ -738,14 +941,14 @@ func (p *Problem) label(st *store, budget *int) (bool, error) {
 			}
 			continue
 		}
-		for _, n := range []string{a.x, a.y} {
-			d := st.doms[n]
-			if !d.Singleton() && (pick == "" || d.Size() < pickSize) {
-				pick, pickSize = n, d.Size()
+		for _, id := range [2]int32{a.x, a.y} {
+			d := st.doms[id]
+			if !d.Singleton() && (pick < 0 || d.Size() < pickSize) {
+				pick, pickSize = id, d.Size()
 			}
 		}
 	}
-	if pick == "" {
+	if pick < 0 {
 		p.lastSolution = st
 		return true, nil
 	}
@@ -756,26 +959,28 @@ func (p *Problem) label(st *store, budget *int) (bool, error) {
 			if !d.Contains(v) {
 				continue
 			}
-			child := st.clone()
+			child := cloneStore(st)
 			child.doms[pick] = NewDomain(v, v)
 			ok, err := p.label(child, budget)
 			if err != nil || ok {
 				return ok, err
 			}
+			releaseStore(child)
 		}
 		return false, nil
 	}
 	lo, hi := d.Split()
-	for _, half := range []Domain{lo, hi} {
+	for _, half := range [2]Domain{lo, hi} {
 		if half.Empty() {
 			continue
 		}
-		child := st.clone()
+		child := cloneStore(st)
 		child.doms[pick] = half
 		ok, err := p.label(child, budget)
 		if err != nil || ok {
 			return ok, err
 		}
+		releaseStore(child)
 	}
 	return false, nil
 }
@@ -792,9 +997,9 @@ func (p *Problem) atomHolds(a atom, xv, yv int64) bool {
 	}
 }
 
-func (p *Problem) enumName(varName string, idx int64) string {
-	v := p.vars[varName]
-	if v == nil || v.enum == nil || idx < 0 || idx >= int64(len(v.enum)) {
+func (p *Problem) enumName(id int32, idx int64) string {
+	v := &p.vars[id]
+	if v.enum == nil || idx < 0 || idx >= int64(len(v.enum)) {
 		return fmt.Sprintf("#%d", idx)
 	}
 	return v.enum[idx]
