@@ -54,10 +54,25 @@ func BenchmarkTable3Malicious(b *testing.B) {
 	}
 }
 
-// BenchmarkFig8StoreAudit runs the full 90-app pairwise audit.
+// BenchmarkFig8StoreAudit runs the full 90-app pairwise audit on the
+// parallel audit engine (internal/audit): the ~4000 app pairs fan out
+// over a work-stealing worker pool, one detector per worker, so the
+// audit scales with GOMAXPROCS while producing byte-identical findings.
+// BenchmarkFig8StoreAuditSerial is the single-worker contrast run.
 func BenchmarkFig8StoreAudit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig8()
+		if r.TotalThreats == 0 {
+			b.Fatal("no threats found")
+		}
+	}
+}
+
+// BenchmarkFig8StoreAuditSerial pins the audit to one worker — the
+// GOMAXPROCS=1-equivalent contrast for the scaling measurement.
+func BenchmarkFig8StoreAuditSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8Workers(1)
 		if r.TotalThreats == 0 {
 			b.Fatal("no threats found")
 		}

@@ -21,8 +21,8 @@ import (
 	"strings"
 
 	"homeguard"
+	"homeguard/internal/audit"
 	"homeguard/internal/corpus"
-	"homeguard/internal/detect"
 	"homeguard/internal/experiments"
 	"homeguard/internal/frontend"
 	"homeguard/internal/rule"
@@ -219,21 +219,24 @@ func cmdAudit(args []string) error {
 			apps = append(apps, loaded{strings.TrimSuffix(filepath.Base(f), ".groovy"), string(b)})
 		}
 	}
-	d := detect.New(detect.Options{})
-	total := 0
+	// The all-pairs sweep runs on the parallel audit engine; findings come
+	// back in the serial install order, so output is deterministic.
+	inputs := make([]audit.App, 0, len(apps))
 	for _, a := range apps {
 		res, err := symexec.Extract(a.src, a.name)
 		if err != nil {
 			fmt.Printf("skip %s: %v\n", a.name, err)
 			continue
 		}
-		threats := d.Install(detect.NewInstalledApp(res, experiments.StoreConfig(res)))
-		for _, t := range threats {
-			fmt.Println("⚠", frontend.DescribeThreat(t))
-			total++
-		}
+		inputs = append(inputs, audit.App{Res: res, Config: experiments.StoreConfig(res)})
 	}
-	st := d.Stats()
+	ar := audit.Run(inputs, audit.Options{})
+	total := 0
+	for _, t := range ar.Threats() {
+		fmt.Println("⚠", frontend.DescribeThreat(t))
+		total++
+	}
+	st := ar.Stats
 	fmt.Printf("\n%d apps, %d pairs checked, %d threats, %d solver calls (%d reused)\n",
 		len(apps), st.PairsChecked, total, st.SolverCalls, st.SolverCacheHits)
 	return nil

@@ -408,6 +408,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"cacheHits":        m.Cache.Hits,
 		"cacheMisses":      m.Cache.Misses,
 		"cacheEntries":     m.Cache.Entries,
+		"cacheEvictions":   m.Cache.Evictions,
 		"cacheHitRate":     m.Cache.HitRate(),
 		"distinctApps":     m.Cache.Entries,
 		"extractionsRun":   m.Cache.Misses,

@@ -1,14 +1,16 @@
 // Store audit (Fig. 8): run pairwise CAI detection over the 90-app store
 // corpus with type-level device identity and NLP-classified switch types,
-// then print the per-group statistics and a sample of findings.
+// then print the per-group statistics and a sample of findings. The
+// pairwise sweep runs on the parallel audit engine (internal/audit), so
+// the 4005-pair audit uses every core.
 package main
 
 import (
 	"fmt"
 	"sort"
 
+	"homeguard/internal/audit"
 	"homeguard/internal/corpus"
-	"homeguard/internal/detect"
 	"homeguard/internal/experiments"
 	"homeguard/internal/frontend"
 	"homeguard/internal/symexec"
@@ -24,18 +26,21 @@ func main() {
 	fmt.Print(experiments.FormatFig8(res))
 
 	// Show a few concrete findings, echoing the paper's six case studies.
+	// One parallel audit run yields the same threats, in the same order,
+	// as the serial per-app install loop this example used to run.
 	fmt.Println("\nSample findings:")
-	d := detect.New(detect.Options{})
-	var sample []string
+	var inputs []audit.App
 	for _, a := range corpus.StoreAudit() {
 		r, err := symexec.Extract(a.Source, "")
 		if err != nil {
 			continue
 		}
-		threats := d.Install(detect.NewInstalledApp(r, experiments.StoreConfig(r)))
-		for _, t := range threats {
-			sample = append(sample, "  "+frontend.DescribeThreat(t))
-		}
+		inputs = append(inputs, audit.App{Res: r, Config: experiments.StoreConfig(r)})
+	}
+	ar := audit.Run(inputs, audit.Options{})
+	var sample []string
+	for _, t := range ar.Threats() {
+		sample = append(sample, "  "+frontend.DescribeThreat(t))
 	}
 	sort.Strings(sample)
 	seenPairs := map[string]bool{}

@@ -88,7 +88,8 @@
 //     queries never enter the search.
 //
 //   - Layered caches from the coarsest grain down: the extraction cache
-//     (one symbolic execution per distinct app source fleet-wide), the
+//     (one symbolic execution per distinct app source fleet-wide, bounded
+//     with eviction so source churn cannot grow it without limit), the
 //     pair-verdict cache (one solved verdict per distinct app pair,
 //     content-addressed by the compiled signatures), the footprint prune
 //     (disjoint pairs skipped before any hashing or solving), and the
@@ -96,6 +97,29 @@
 //     a pair, the paper's Fig. 9 green arrows). A cache hit at any layer
 //     short-circuits everything below it; the compiled representation is
 //     what makes the remaining misses cheap.
+//
+//   - An allocation-lean extraction cold path. The cache-miss cost of the
+//     layers above is a full parse plus symbolic execution, so both were
+//     rebuilt around reuse: the Groovy front end lexes byte-driven tokens
+//     that are substrings of the source (token buffers and parser shells
+//     recycle through pools), parser nodes come from per-type arenas and
+//     child slices from shared slabs; the symbolic executor forks paths
+//     with copy-on-write scope chains (a fork freezes the chain and a
+//     path copies only the frames it writes), shares constraint slices
+//     between fork siblings until either appends, merges indistinguishable
+//     forked states (preserving their multiplicity for path counts and
+//     rule emission), and interns the canonical variable names it shares
+//     with the detect compile step. One extraction now costs a few dozen
+//     allocations instead of a few hundred.
+//
+//   - A parallel all-pairs audit engine (the paper's Sec. VIII-B store
+//     audit). internal/audit fans the O(n²) app-pair checks out over a
+//     work-stealing worker pool — one detector per worker, apps compiled
+//     once and shared read-only — and reassembles results in serial
+//     install order, so the 90-app audit scales with GOMAXPROCS while
+//     reporting byte-identical findings. Fleet.InstallBatch uses the same
+//     idea at provisioning time: a batch's extractions run in parallel
+//     through the shared cache before the installs serialize on the home.
 //
 // Lower-level building blocks (the Groovy parser, the symbolic executor,
 // the constraint solver, the platform simulator and the app corpus) live
@@ -153,15 +177,28 @@ type (
 	// FleetDetectorTotals aggregates per-home detector counters
 	// fleet-wide (pairs checked/pruned, solver calls, verdict hits).
 	FleetDetectorTotals = fleet.DetectorTotals
+	// FleetBatchItem is one app of a Fleet.InstallBatch call.
+	FleetBatchItem = fleet.BatchItem
+	// FleetBatchResult is one batch item's outcome.
+	FleetBatchResult = fleet.BatchResult
 )
 
 // NewFleet creates an empty fleet of homes. The zero FleetOptions value
 // selects 16 shards, default detector options and a fresh cache.
 func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
 
-// NewExtractionCache returns an empty extraction cache backed by the
-// symbolic executor, for sharing across fleets or batch tools.
+// NewExtractionCache returns an empty, unbounded extraction cache backed
+// by the symbolic executor, for sharing across fleets or batch tools.
 func NewExtractionCache() *ExtractionCache { return extractcache.New() }
+
+// NewBoundedExtractionCache returns an extraction cache holding at most
+// limit results, evicting arbitrary completed entries on overflow. Use it
+// for long-running services fed unvetted sources; fleets created without
+// an explicit cache default to this bound (fleet.DefaultExtractEntries),
+// and evictions are surfaced in cache stats and the daemon's /metrics.
+func NewBoundedExtractionCache(limit int) *ExtractionCache {
+	return extractcache.NewBounded(limit)
+}
 
 // NewPairVerdictCache returns an empty, unbounded pair-verdict cache,
 // for sharing detection verdicts across fleets (FleetOptions.Verdicts).

@@ -1,0 +1,296 @@
+// Package audit is the parallel all-pairs detection engine: it runs the
+// paper's store-audit workload (every app against every other app, plus
+// each app against itself) across all cores while producing output that
+// is byte-identical to the serial install sequence.
+//
+// # Why pairs parallelize
+//
+// A serial audit installs apps one by one into a single detector; install
+// j checks the pairs (j,j), (0,j), …, (j−1,j). Every one of those pair
+// checks is independent: compiled rule sets are pure functions of the
+// apps, the solver's per-pair reuse cache is keyed by rule-pair identity
+// and never crosses pairs, and the only cross-app state a pair check
+// reads — the enum-input options declared by the pair's own two apps — is
+// recorded by the worker before checking. The engine therefore fans the
+// O(n²) pair list out over a work-stealing worker pool, one detector per
+// worker, and reassembles the per-pair results in exactly the serial
+// install order.
+//
+// # Concurrency model
+//
+// Extraction (when sources are given) runs first, in parallel, through an
+// optional shared extractcache. Compilation runs once per app,
+// single-threaded, before fan-out: the compiled-set attach is an
+// unsynchronized write on the InstalledApp, so it must finish before the
+// app is shared read-only across workers. During the pair phase workers
+// share only immutable data and write disjoint result slots; the deques
+// are mutex-protected. The engine is race-clean under -race.
+package audit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/symexec"
+)
+
+// App is one audit input: either an already-extracted result or a source
+// to extract.
+type App struct {
+	// Name overrides the app's definition() name (extraction-time only).
+	Name string
+	// Source is the SmartApp Groovy source; used when Res is nil.
+	Source string
+	// Res is a pre-extracted result; takes precedence over Source.
+	Res *symexec.Result
+	// Config carries installation-time bindings; nil means type-level
+	// device identity.
+	Config *detect.Config
+}
+
+// Options tune an audit run.
+type Options struct {
+	// Workers bounds the worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Detector is applied to every worker's detector (modes, ablations,
+	// shared verdict cache).
+	Detector detect.Options
+	// Extract, when non-nil, is the shared extraction cache sources run
+	// through (one symbolic execution per distinct source even across
+	// audit runs and fleets).
+	Extract *extractcache.Cache
+}
+
+// Result is the audit output.
+type Result struct {
+	// Installed holds the successfully extracted apps in input order
+	// (failed extractions are dropped, mirroring the serial audit loops).
+	Installed []*detect.InstalledApp
+	// PerInstall groups threats exactly as a serial install sequence
+	// would have reported them: PerInstall[j] is what Install of app j
+	// returns — the intra-app pair first, then (i, j) for every earlier
+	// app i, in order.
+	PerInstall [][]detect.Threat
+	// Errors records extraction failures by input index (nil entries for
+	// successes); len(Errors) == number of input apps.
+	Errors []error
+	// Stats aggregates every worker detector's counters.
+	Stats detect.Stats
+}
+
+// Threats flattens PerInstall in serial install order.
+func (r *Result) Threats() []detect.Threat {
+	var out []detect.Threat
+	for _, ts := range r.PerInstall {
+		out = append(out, ts...)
+	}
+	return out
+}
+
+// Run executes the all-pairs audit.
+func Run(apps []App, opts Options) *Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{Errors: make([]error, len(apps))}
+
+	// Phase 1: extraction, parallel over the inputs that need it.
+	extracted := make([]*symexec.Result, len(apps))
+	extract := func(i int) {
+		a := &apps[i]
+		if a.Res != nil {
+			extracted[i] = a.Res
+			return
+		}
+		var (
+			r   *symexec.Result
+			err error
+		)
+		if opts.Extract != nil {
+			r, err = opts.Extract.Extract(a.Source, a.Name)
+		} else {
+			r, err = symexec.Extract(a.Source, a.Name)
+		}
+		if err != nil {
+			res.Errors[i] = fmt.Errorf("audit: extract app %d (%s): %w", i, a.Name, err)
+			return
+		}
+		extracted[i] = r
+	}
+	runTasks(len(apps), workers, extract)
+
+	// Assemble the installed set in input order, dropping failures.
+	for i := range apps {
+		if extracted[i] == nil {
+			continue
+		}
+		res.Installed = append(res.Installed, detect.NewInstalledApp(extracted[i], apps[i].Config))
+	}
+	n := len(res.Installed)
+	if n == 0 {
+		res.Stats = detect.New(opts.Detector).Stats()
+		return res
+	}
+
+	// Phase 2: compile every app once, single-threaded, so the shared
+	// InstalledApps are immutable before fan-out.
+	compiler := detect.New(opts.Detector)
+	for _, ia := range res.Installed {
+		compiler.Precompile(ia)
+	}
+
+	// Phase 3: all-pairs detection over a work-stealing pool. Task k is
+	// one (i, j) pair, i <= j, laid out in serial install order:
+	// install j contributes tasks [(j,j), (0,j), ..., (j-1,j)].
+	type pairTask struct{ i, j int }
+	tasks := make([]pairTask, 0, n*(n+1)/2)
+	installBase := make([]int, n) // first task index of install j
+	for j := 0; j < n; j++ {
+		installBase[j] = len(tasks)
+		tasks = append(tasks, pairTask{j, j})
+		for i := 0; i < j; i++ {
+			tasks = append(tasks, pairTask{i, j})
+		}
+	}
+	pairThreats := make([][]detect.Threat, len(tasks))
+
+	dets := make([]*detect.Detector, workers)
+	for w := range dets {
+		dets[w] = detect.New(opts.Detector)
+	}
+	runTasksWorker(len(tasks), workers, func(w, k int) {
+		t := tasks[k]
+		pairThreats[k] = dets[w].DetectAppPair(res.Installed[t.i], res.Installed[t.j])
+	})
+
+	// Reassemble per-install groups and aggregate stats.
+	res.PerInstall = make([][]detect.Threat, n)
+	for j := 0; j < n; j++ {
+		end := len(tasks)
+		if j+1 < n {
+			end = installBase[j+1]
+		}
+		var ts []detect.Threat
+		for k := installBase[j]; k < end; k++ {
+			ts = append(ts, pairThreats[k]...)
+		}
+		res.PerInstall[j] = ts
+	}
+	res.Stats = compiler.Stats()
+	for _, d := range dets {
+		s := d.Stats()
+		res.Stats.Merge(s)
+	}
+	return res
+}
+
+// runTasks fans f out over [0, n) with a work-stealing pool.
+func runTasks(n, workers int, f func(i int)) {
+	runTasksWorker(n, workers, func(_, i int) { f(i) })
+}
+
+// runTasksWorker is the work-stealing pool core: tasks [0, n) are dealt
+// round-robin into per-worker deques; a worker pops from the tail of its
+// own deque and, when empty, steals half of the largest other deque.
+// Each f(w, i) call sees a stable worker id w, so callers can give each
+// worker private state without locking.
+func runTasksWorker(n, workers int, f func(w, i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for i := 0; i < n; i++ {
+		d := deques[i%workers]
+		d.tasks = append(d.tasks, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := deques[w]
+			for {
+				i, ok := own.pop()
+				if !ok {
+					if !own.stealFrom(deques, w) {
+						return
+					}
+					continue
+				}
+				f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// deque is one worker's mutex-protected task stack.
+type deque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	i := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return i, true
+}
+
+// stealFrom moves half of the largest victim deque into d. It returns
+// false when every deque is empty (the pool is drained: no worker can
+// produce new tasks, so empty-everywhere is a stable termination state).
+func (d *deque) stealFrom(all []*deque, self int) bool {
+	victim, most := -1, 0
+	for w, v := range all {
+		if w == self {
+			continue
+		}
+		v.mu.Lock()
+		l := len(v.tasks)
+		v.mu.Unlock()
+		if l > most {
+			victim, most = w, l
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	v := all[victim]
+	v.mu.Lock()
+	half := len(v.tasks) / 2
+	if half == 0 && len(v.tasks) > 0 {
+		half = len(v.tasks)
+	}
+	stolen := append([]int(nil), v.tasks[:half]...)
+	v.tasks = v.tasks[:copy(v.tasks, v.tasks[half:])]
+	v.mu.Unlock()
+	if len(stolen) == 0 {
+		return false
+	}
+	d.mu.Lock()
+	d.tasks = append(d.tasks, stolen...)
+	d.mu.Unlock()
+	return true
+}

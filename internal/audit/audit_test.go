@@ -1,0 +1,116 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"homeguard/internal/audit"
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/experiments"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/symexec"
+)
+
+// serialAudit is the reference implementation: one detector, apps
+// installed in order — exactly what examples/storeaudit and Fig8 did
+// before the engine existed.
+func serialAudit(t *testing.T, apps []corpus.App) (perInstall [][]detect.Threat, stats detect.Stats) {
+	t.Helper()
+	d := detect.New(detect.Options{})
+	for _, a := range apps {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			t.Fatalf("extract %s: %v", a.Name, err)
+		}
+		perInstall = append(perInstall, d.Install(detect.NewInstalledApp(res, experiments.StoreConfig(res))))
+	}
+	return perInstall, d.Stats()
+}
+
+func auditApps(apps []corpus.App) []audit.App {
+	out := make([]audit.App, 0, len(apps))
+	for _, a := range apps {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			continue
+		}
+		out = append(out, audit.App{Res: res, Config: experiments.StoreConfig(res)})
+	}
+	return out
+}
+
+func renderThreats(perInstall [][]detect.Threat) string {
+	var b strings.Builder
+	for j, ts := range perInstall {
+		for _, th := range ts {
+			b.WriteString(th.String())
+			if j >= 0 {
+				b.WriteByte('\n')
+			}
+		}
+		b.WriteString("--\n")
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSerial pins the engine's core contract: the parallel
+// audit's findings are byte-identical to the serial install sequence's —
+// same threats, same order, same per-install grouping — at any worker
+// count.
+func TestParallelMatchesSerial(t *testing.T) {
+	apps := corpus.StoreAudit()[:30]
+	serial, serialStats := serialAudit(t, apps)
+	want := renderThreats(serial)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		res := audit.Run(auditApps(apps), audit.Options{Workers: workers})
+		got := renderThreats(res.PerInstall)
+		if got != want {
+			t.Fatalf("workers=%d: parallel audit diverged from serial:\ngot:\n%s\nwant:\n%s", workers, got, want)
+		}
+		if res.Stats.PairsChecked != serialStats.PairsChecked {
+			t.Errorf("workers=%d: PairsChecked = %d, serial %d", workers, res.Stats.PairsChecked, serialStats.PairsChecked)
+		}
+		if res.Stats.PairsPruned != serialStats.PairsPruned {
+			t.Errorf("workers=%d: PairsPruned = %d, serial %d", workers, res.Stats.PairsPruned, serialStats.PairsPruned)
+		}
+		for k, v := range serialStats.Found {
+			if res.Stats.Found[k] != v {
+				t.Errorf("workers=%d: Found[%s] = %d, serial %d", workers, k, res.Stats.Found[k], v)
+			}
+		}
+	}
+}
+
+// TestRunExtractsSources exercises the engine's own extraction phase
+// (parallel, through a shared cache) including error slots.
+func TestRunExtractsSources(t *testing.T) {
+	cache := extractcache.New()
+	apps := []audit.App{
+		{Source: corpus.StoreAudit()[0].Source},
+		{Source: "def broken( {"},
+		{Source: corpus.StoreAudit()[1].Source},
+	}
+	res := audit.Run(apps, audit.Options{Workers: 4, Extract: cache})
+	if len(res.Errors) != 3 || res.Errors[1] == nil || res.Errors[0] != nil || res.Errors[2] != nil {
+		t.Fatalf("error slots wrong: %v", res.Errors)
+	}
+	if len(res.Installed) != 2 {
+		t.Fatalf("installed = %d, want 2", len(res.Installed))
+	}
+	if len(res.PerInstall) != 2 {
+		t.Fatalf("perInstall groups = %d, want 2", len(res.PerInstall))
+	}
+	if cache.Stats().Misses == 0 {
+		t.Fatal("shared cache unused")
+	}
+}
+
+// TestRunEmpty covers the degenerate inputs.
+func TestRunEmpty(t *testing.T) {
+	res := audit.Run(nil, audit.Options{})
+	if len(res.Installed) != 0 || len(res.Threats()) != 0 {
+		t.Fatal("empty run must produce nothing")
+	}
+}

@@ -168,6 +168,50 @@ func CommandsNamed(cmd string) []CommandRef {
 	return derived.commandsNamed[cmd]
 }
 
+// resolveMemo caches ResolveCommand results. The registry is immutable
+// after init, so entries never invalidate; misses are cached too (nil
+// refs), keeping repeated lookups of unknown methods allocation-free.
+var resolveMemo struct {
+	sync.RWMutex
+	m map[resolveKey]*CommandRef
+}
+
+type resolveKey struct{ capName, cmd string }
+
+// ResolveCommand finds the command definition a granted capability's
+// device would run for cmd: first within the capability itself, then
+// anywhere in the registry (devices usually support more capabilities
+// than the one they were granted through; ties resolve to the first
+// capability in name order). Returns nil when no capability declares cmd.
+// Results are memoized process-wide.
+func ResolveCommand(capName, cmd string) *CommandRef {
+	key := resolveKey{capName, cmd}
+	resolveMemo.RLock()
+	ref, ok := resolveMemo.m[key]
+	resolveMemo.RUnlock()
+	if ok {
+		return ref
+	}
+	var out *CommandRef
+	if c, found := Get(capName); found {
+		if k := c.Cmd(cmd); k != nil {
+			out = &CommandRef{Capability: c, Command: k}
+		}
+	}
+	if out == nil {
+		if refs := CommandsNamed(cmd); len(refs) > 0 {
+			out = &refs[0]
+		}
+	}
+	resolveMemo.Lock()
+	if resolveMemo.m == nil {
+		resolveMemo.m = map[resolveKey]*CommandRef{}
+	}
+	resolveMemo.m[key] = out
+	resolveMemo.Unlock()
+	return out
+}
+
 // IsDeviceCommand reports whether name is a registered device command in
 // any capability.
 func IsDeviceCommand(name string) bool {

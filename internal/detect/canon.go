@@ -56,27 +56,33 @@ func (d *Detector) deviceType(app *InstalledApp, in *symexec.InputDecl) envmodel
 //   - "state.x"                      → "<app>!state.x" (app-private)
 //   - bare input name                → "<app>!<input>" (substituted by
 //     config values where available)
+//
+// Renamed variables are interned through the same table the symbolic
+// executor uses for "<subject>.<attribute>" names (rule.InternDotted /
+// InternBanged): canonicalization re-derives the same home-global names at
+// every Install/Reconfigure compile, so repeat compiles of a hot catalog
+// app reuse one shared backing string instead of re-concatenating.
 func (d *Detector) canonVar(app *InstalledApp, v rule.Var) rule.Var {
 	name := v.Name
 	if strings.HasPrefix(name, "env.") || strings.HasPrefix(name, "location.") {
 		return v
 	}
 	if strings.HasPrefix(name, "state.") {
-		v.Name = app.Info.Name + "!" + name
+		v.Name = rule.InternBanged(app.Info.Name, name)
 		return v
 	}
 	if dot := strings.IndexByte(name, '.'); dot >= 0 {
 		ref := name[:dot]
-		rest := name[dot:]
+		rest := name[dot+1:]
 		if in := app.Info.Input(ref); in != nil && in.IsDevice() {
-			v.Name = d.deviceKey(app, ref) + rest
+			v.Name = rule.InternDotted(d.deviceKey(app, ref), rest)
 			return v
 		}
-		v.Name = app.Info.Name + "!" + name
+		v.Name = rule.InternBanged(app.Info.Name, name)
 		return v
 	}
 	// Bare input or local name.
-	v.Name = app.Info.Name + "!" + name
+	v.Name = rule.InternBanged(app.Info.Name, name)
 	return v
 }
 

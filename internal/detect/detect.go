@@ -103,13 +103,7 @@ func (d *Detector) Apps() []*InstalledApp { return d.apps }
 // installed app (and within the new app itself), then records the app as
 // installed. This mirrors the one-time decision point at app installation.
 func (d *Detector) Install(app *InstalledApp) []Threat {
-	// Record declared enum-input options for solver domains.
-	for i := range app.Info.Inputs {
-		in := &app.Info.Inputs[i]
-		if len(in.Options) > 0 {
-			d.inputOptions[app.Info.Name+"!"+in.Name] = in.Options
-		}
-	}
+	d.noteInputOptions(app)
 	// Compile the app once per install: canonical formulas, declaration
 	// plans, effects, footprint and verdict signature (see compile.go).
 	d.prepare(app)
@@ -121,6 +115,66 @@ func (d *Detector) Install(app *InstalledApp) []Threat {
 	}
 	d.apps = append(d.apps, app)
 	return threats
+}
+
+// noteInputOptions records an app's declared enum-input options for
+// solver domains (keyed by the app-qualified canonical input name, so
+// apps never interfere with each other's domains).
+func (d *Detector) noteInputOptions(app *InstalledApp) {
+	for i := range app.Info.Inputs {
+		in := &app.Info.Inputs[i]
+		if len(in.Options) > 0 {
+			d.inputOptions[rule.InternBanged(app.Info.Name, in.Name)] = in.Options
+		}
+	}
+}
+
+// Precompile attaches the app's compiled rule set without installing it.
+// Compilation is a pure function of the app's exported fields (see
+// compile.go), but the attach itself is an unsynchronized write — a
+// parallel audit engine precompiles every app once, single-threaded,
+// before sharing the InstalledApps read-only across worker detectors.
+func (d *Detector) Precompile(app *InstalledApp) { d.ensureCompiled(app) }
+
+// DetectAppPair runs the full pair detection between two apps — footprint
+// prune, optional shared verdict cache, all seven per-rule-pair checks —
+// without recording either app as installed. It reproduces exactly what
+// Install computes for the (appA, appB) pair: the enum-input options of
+// both apps are noted first, as Install would have by the time this pair
+// ran, and per-pair solving state (satCache keys are rule-pair-scoped)
+// never crosses pairs, so a pair's threats are identical whether computed
+// by a serial install sequence or an independent detector. appA must be
+// the earlier-installed side (intra-app pairs pass the same app twice).
+func (d *Detector) DetectAppPair(appA, appB *InstalledApp) []Threat {
+	d.noteInputOptions(appA)
+	if appB != appA {
+		d.noteInputOptions(appB)
+	}
+	return d.appPairThreats(appA, appB)
+}
+
+// Merge adds other's counters into s, for engines that aggregate several
+// worker detectors' stats into one audit-wide view.
+func (s *Stats) Merge(other Stats) {
+	s.PairsChecked += other.PairsChecked
+	s.SolverCalls += other.SolverCalls
+	s.SolverCacheHits += other.SolverCacheHits
+	s.SearchLimitHits += other.SearchLimitHits
+	s.PairsPruned += other.PairsPruned
+	s.PairVerdictHits += other.PairVerdictHits
+	s.PairVerdictMisses += other.PairVerdictMisses
+	for k, v := range other.Candidates {
+		s.Candidates[k] += v
+	}
+	for k, v := range other.Found {
+		s.Found[k] += v
+	}
+	for k, v := range other.FilterNS {
+		s.FilterNS[k] += v
+	}
+	for k, v := range other.SolveNS {
+		s.SolveNS[k] += v
+	}
 }
 
 // appPairThreats detects every threat between appA's and appB's rules

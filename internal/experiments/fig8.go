@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"homeguard/internal/audit"
 	"homeguard/internal/corpus"
 	"homeguard/internal/detect"
 	"homeguard/internal/symexec"
@@ -53,21 +54,27 @@ type ruleActionInfo struct {
 
 // Fig8 runs pairwise CAI detection over the 90-app store corpus using
 // type-level device identity and NLP-classified switch types (Sec.
-// VIII-B), returning the per-group, per-kind threat statistics.
-func Fig8() *Fig8Result {
+// VIII-B), returning the per-group, per-kind threat statistics. The
+// pairwise sweep runs on the parallel audit engine (internal/audit) and
+// scales with GOMAXPROCS; Fig8Workers selects a fixed worker count for
+// serial-contrast benchmarking.
+func Fig8() *Fig8Result { return Fig8Workers(0) }
+
+// Fig8Workers is Fig8 with an explicit audit worker count (0 = all cores).
+// The engine's findings are byte-identical to the serial install sequence
+// at any worker count, so the figure's numbers don't depend on it.
+func Fig8Workers(workers int) *Fig8Result {
 	apps := corpus.StoreAudit()
-	d := detect.New(detect.Options{})
-	installed := make([]*detect.InstalledApp, 0, len(apps))
-	var results []*symexec.Result
+	inputs := make([]audit.App, 0, len(apps))
 	for _, a := range apps {
 		res, err := symexec.Extract(a.Source, "")
 		if err != nil {
 			continue
 		}
-		ia := detect.NewInstalledApp(res, StoreConfig(res))
-		installed = append(installed, ia)
-		results = append(results, res)
+		inputs = append(inputs, audit.App{Res: res, Config: StoreConfig(res)})
 	}
+	ar := audit.Run(inputs, audit.Options{Workers: workers})
+	installed := ar.Installed
 	out := &Fig8Result{
 		Apps:         len(installed),
 		ThreatCounts: map[Group]map[detect.Kind]int{},
@@ -76,12 +83,8 @@ func Fig8() *Fig8Result {
 		out.ThreatCounts[g] = map[detect.Kind]int{}
 	}
 	appsInvolved := map[string]bool{}
-	var allThreats []detect.Threat
-	for _, ia := range installed {
-		threats := d.Install(ia)
-		allThreats = append(allThreats, threats...)
-	}
-	out.Pairs = d.Stats().PairsChecked
+	allThreats := ar.Threats()
+	out.Pairs = ar.Stats.PairsChecked
 	for _, t := range allThreats {
 		out.TotalThreats++
 		appsInvolved[t.R1.App] = true
@@ -94,8 +97,7 @@ func Fig8() *Fig8Result {
 		}
 	}
 	out.AppsWithThreats = len(appsInvolved)
-	out.Stats = d.Stats()
-	_ = results
+	out.Stats = ar.Stats
 	return out
 }
 

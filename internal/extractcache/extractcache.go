@@ -55,6 +55,10 @@ type Stats struct {
 	Hits uint64
 	// Misses counts lookups that ran symbolic execution themselves.
 	Misses uint64
+	// Evictions counts completed entries dropped by the entry bound
+	// (NewBounded); nonzero means the live catalog outgrew the cache and
+	// some apps are being re-extracted.
+	Evictions uint64
 	// Entries is the current number of cached results.
 	Entries int
 }
@@ -70,17 +74,19 @@ func (s Stats) HitRate() float64 {
 // Cache is a goroutine-safe content-addressed extraction cache. The zero
 // value is not usable; call New.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[Key]*entry
-	lookups uint64
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[Key]*entry
+	lookups   uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	limit     int // max completed entries kept; 0 = unbounded
 
 	// extract is the extraction function; replaceable in tests.
 	extract func(src, appName string) (*symexec.Result, error)
 }
 
-// New returns an empty cache backed by symexec.Extract.
+// New returns an empty unbounded cache backed by symexec.Extract.
 func New() *Cache {
 	return &Cache{
 		entries: map[Key]*entry{},
@@ -88,10 +94,29 @@ func New() *Cache {
 	}
 }
 
+// NewBounded returns an empty cache that holds at most limit extraction
+// results, evicting arbitrary completed entries on overflow (the same
+// discipline as pairverdict.NewBounded). A long-running daemon that sees
+// one-off app sources — user-modified copies, fuzzed installs — would
+// otherwise grow the cache without limit; under the bound a hot catalog
+// stays resident and only the hit rate of the long tail dips. A limit
+// <= 0 means unbounded.
+func NewBounded(limit int) *Cache {
+	return &Cache{entries: map[Key]*entry{}, limit: limit, extract: symexec.Extract}
+}
+
 // NewWithExtractor returns a cache backed by a custom extraction function
 // (used by tests to count and delay extractions).
 func NewWithExtractor(fn func(src, appName string) (*symexec.Result, error)) *Cache {
 	return &Cache{entries: map[Key]*entry{}, extract: fn}
+}
+
+// SetLimit adjusts the entry bound (0 = unbounded). Overflow is trimmed
+// on the next insert.
+func (c *Cache) SetLimit(limit int) {
+	c.mu.Lock()
+	c.limit = limit
+	c.mu.Unlock()
 }
 
 // Extract returns the extraction result for src, running symbolic
@@ -112,6 +137,7 @@ func (c *Cache) Extract(src, appName string) (*symexec.Result, error) {
 	e := &entry{done: make(chan struct{})}
 	c.entries[k] = e
 	c.misses++
+	c.evictOverflowLocked()
 	c.mu.Unlock()
 
 	// Close done even if the extractor panics: an unclosed entry would
@@ -132,15 +158,38 @@ func (c *Cache) Extract(src, appName string) (*symexec.Result, error) {
 	return e.res, e.err
 }
 
+// evictOverflowLocked drops arbitrary completed entries until the cache
+// fits its limit. In-flight entries are never victims (waiters block on
+// them; this also protects the just-inserted entry, whose done channel is
+// still open). Callers hold c.mu. Map iteration order gives a cheap
+// pseudo-random victim choice — the same trade pairverdict makes.
+func (c *Cache) evictOverflowLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for k, e := range c.entries {
+		if len(c.entries) <= c.limit {
+			return
+		}
+		select {
+		case <-e.done:
+			delete(c.entries, k)
+			c.evictions++
+		default: // in flight
+		}
+	}
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Lookups: c.lookups,
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Entries: len(c.entries),
+		Lookups:   c.lookups,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
 	}
 }
 

@@ -165,3 +165,42 @@ func TestPurge(t *testing.T) {
 		t.Errorf("misses = %d after purge+re-extract, want 2", s.Misses)
 	}
 }
+
+// TestBoundedEviction pins the entry cap: inserting past the limit evicts
+// completed entries, counts them, and evicted keys re-extract on return.
+func TestBoundedEviction(t *testing.T) {
+	calls := 0
+	c := NewWithExtractor(func(src, appName string) (*symexec.Result, error) {
+		calls++
+		return &symexec.Result{}, nil
+	})
+	c.SetLimit(2)
+	srcs := []string{"a", "b", "c", "d"}
+	for _, s := range srcs {
+		if _, err := c.Extract(s, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > 2 {
+		t.Fatalf("entries = %d, want <= 2", st.Entries)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if calls != 4 {
+		t.Fatalf("extractions = %d, want 4", calls)
+	}
+	// Evicted keys re-extract; re-inserting them may evict keys that the
+	// same sweep then misses again, so anywhere between the 2 originally
+	// evicted and all 4 can re-run — but never more.
+	before := calls
+	for _, s := range srcs {
+		if _, err := c.Extract(s, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if re := calls - before; re < 2 || re > 4 {
+		t.Fatalf("re-extractions = %d, want between 2 and 4", re)
+	}
+}

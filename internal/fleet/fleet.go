@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -85,6 +86,13 @@ var (
 // working set a single daemon's live catalog produces but a hard ceiling
 // for reconfigure-churn garbage.
 const DefaultVerdictEntries = 1 << 20
+
+// DefaultExtractEntries bounds the auto-created extraction cache: 64k
+// distinct app sources — far above any real catalog — so a daemon fed
+// one-off sources (user-edited copies, fuzzed installs) cannot grow the
+// cache without limit. Evictions are visible in the cache Stats and the
+// daemon's /metrics.
+const DefaultExtractEntries = 1 << 16
 
 // Options tune a Fleet.
 type Options struct {
@@ -123,7 +131,7 @@ func (o Options) withDefaults() Options {
 		o.MaxChainLen = 4
 	}
 	if o.Cache == nil {
-		o.Cache = extractcache.New()
+		o.Cache = extractcache.NewBounded(DefaultExtractEntries)
 	}
 	// Resolve the verdict-cache precedence once, for both layers: after
 	// this block o.Verdicts is what the fleet reports (Verdicts() and
@@ -325,6 +333,50 @@ func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult,
 		Report:        report,
 		Warnings:      res.Warnings,
 	}, nil
+}
+
+// BatchItem is one app of a batch install.
+type BatchItem struct {
+	Source string
+	Config *detect.Config
+}
+
+// BatchResult is one batch item's outcome, in input order.
+type BatchResult struct {
+	Result *InstallResult
+	Err    error
+}
+
+// InstallBatch installs several apps into one home. Extraction of every
+// distinct source runs first, in parallel, through the fleet's shared
+// extraction cache (bounded at GOMAXPROCS goroutines); the installs then
+// run in input order under the home lock. Per-home detection stays serial
+// — the detector's contract — but the dominant cold-start cost, symbolic
+// execution of each app, uses every core, so provisioning a home with a
+// catalog of N apps no longer pays N sequential extractions. An item that
+// fails records its error and does not stop the rest (extraction errors
+// are cached, so the failed pre-extraction and the install agree).
+func (f *Fleet) InstallBatch(homeID string, items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(src string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Warm the shared cache; Install below joins the entry. The
+			// error, if any, is cached and surfaces through Install.
+			_, _ = f.cache.Extract(src, "")
+		}(items[i].Source)
+	}
+	wg.Wait()
+	for i := range items {
+		r, err := f.Install(homeID, items[i].Source, items[i].Config)
+		out[i] = BatchResult{Result: r, Err: err}
+	}
+	return out
 }
 
 // Reconfigure updates an installed app's configuration in one home and

@@ -348,3 +348,41 @@ func TestFleetSharedCacheAcrossFleets(t *testing.T) {
 		t.Errorf("shared cache stats = %+v, want 1 miss / 1 hit across fleets", s)
 	}
 }
+
+// TestInstallBatch covers the parallel-extraction batch install: results
+// in input order, duplicate-app and parse errors in their slots, and all
+// extractions served through the shared cache.
+func TestInstallBatch(t *testing.T) {
+	f := New(Options{})
+	a1, _ := corpus.Get("ComfortTV")
+	a2, _ := corpus.Get("ColdDefender")
+	items := []BatchItem{
+		{Source: a1.Source},
+		{Source: "def broken( {"},
+		{Source: a2.Source},
+		{Source: a1.Source}, // duplicate of item 0 in the same home
+	}
+	out := f.InstallBatch("home-batch", items)
+	if len(out) != 4 {
+		t.Fatalf("got %d results, want 4", len(out))
+	}
+	if out[0].Err != nil || out[0].Result == nil {
+		t.Fatalf("item 0: unexpected error %v", out[0].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("item 1: want parse error")
+	}
+	if out[2].Err != nil {
+		t.Fatalf("item 2: unexpected error %v", out[2].Err)
+	}
+	if !errors.Is(out[3].Err, ErrAppInstalled) {
+		t.Fatalf("item 3: want ErrAppInstalled, got %v", out[3].Err)
+	}
+	apps, err := f.Apps("home-batch")
+	if err != nil || len(apps) != 2 {
+		t.Fatalf("installed apps = %v (%v), want 2", apps, err)
+	}
+	if st := f.Cache().Stats(); st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("batch did not go through the shared cache: %+v", st)
+	}
+}

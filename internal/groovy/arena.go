@@ -1,0 +1,105 @@
+package groovy
+
+// Node arenas for the parser. A SmartApp parse allocates a few thousand
+// small AST nodes; allocating each with new() costs one heap object (and
+// one GC scan root) per node. The parser instead carves nodes out of
+// per-type chunks: a chunk allocates a block of 64 nodes at a time and
+// hands out pointers into it, so the allocator runs once per 64 nodes and
+// the nodes of one script sit contiguously in memory. Pointers returned by
+// alloc stay valid forever — a full block is abandoned to the AST (which
+// references its nodes) and a fresh block started, never reallocated.
+//
+// Variable-length node fields (Call.Args, Block.Stmts, ...) come from slab
+// copies: the parser accumulates children on a scratch stack and copies the
+// finished slice into a shared backing slab, full-capped so a later append
+// (e.g. attaching a trailing closure) reallocates instead of clobbering a
+// neighbour.
+
+// Arena blocks start small — sized per node type to a typical small
+// SmartApp's usage, passed by each constructor — and quadruple up to a
+// cap, so tiny parses don't pay for big empty blocks while large parses
+// amortize to one allocation per 256 nodes.
+const chunkMax = 256
+
+// chunk is a bump allocator for nodes of one type.
+type chunk[T any] struct {
+	buf []T
+}
+
+// alloc returns a pointer to a zeroed T carved from the current block;
+// first sizes the initial block.
+func (c *chunk[T]) alloc(first int) *T {
+	if len(c.buf) == cap(c.buf) {
+		n := cap(c.buf) * 4
+		if n == 0 {
+			n = first
+		} else if n > chunkMax {
+			n = chunkMax
+		}
+		c.buf = make([]T, 0, n)
+	}
+	var zero T
+	c.buf = append(c.buf, zero)
+	return &c.buf[len(c.buf)-1]
+}
+
+// slab packs finished variable-length child slices into shared blocks.
+// Blocks grow like chunk blocks: small first, quadrupling to a cap.
+type slab[T any] struct {
+	buf []T
+}
+
+const (
+	slabFirst = 16
+	slabMax   = 256
+)
+
+// seal copies src into the slab and returns the stored, full-capped slice
+// (append on it reallocates, so callers may extend their slice safely).
+// Empty input returns nil, matching append-from-nil semantics.
+func (s *slab[T]) seal(src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	if len(s.buf)+len(src) > cap(s.buf) {
+		n := cap(s.buf) * 4
+		if n == 0 {
+			n = slabFirst
+		} else if n > slabMax {
+			n = slabMax
+		}
+		if len(src) > n {
+			n = len(src)
+		}
+		s.buf = make([]T, 0, n)
+	}
+	start := len(s.buf)
+	s.buf = append(s.buf, src...)
+	return s.buf[start:len(s.buf):len(s.buf)]
+}
+
+// nodeArena groups the per-type chunks of one parse.
+type nodeArena struct {
+	idents    chunk[Ident]
+	strs      chunk[StrLit]
+	nums      chunk[NumLit]
+	bools     chunk[BoolLit]
+	calls     chunk[Call]
+	props     chunk[PropertyGet]
+	binaries  chunk[Binary]
+	exprStmts chunk[ExprStmt]
+	blocks    chunk[Block]
+	decls     chunk[DeclStmt]
+	assigns   chunk[AssignStmt]
+	gstrings  chunk[GStringLit]
+	closures  chunk[ClosureExpr]
+	ifs       chunk[IfStmt]
+	returns   chunk[ReturnStmt]
+	methods   chunk[MethodDecl]
+
+	exprs   slab[Expr]
+	stmts   slab[Stmt]
+	entries slab[MapEntry]
+	parts   slab[GStringPart]
+	params  slab[Param]
+}

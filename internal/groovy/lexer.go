@@ -22,45 +22,52 @@ func (e *LexError) Error() string { return fmt.Sprintf("lex error at %s: %s", e.
 // end. Inside parentheses or brackets, and immediately after tokens that
 // cannot terminate an expression (operators, commas, dots, opening
 // delimiters), newlines are suppressed.
+//
+// The scanner is byte-driven: it walks src by offset, tracking only the
+// current line number and the offset of its first byte (column = offset −
+// line start + 1), so positions cost two integer updates per newline
+// instead of per byte. Identifier, keyword and escape-free string tokens
+// are substrings of src — the common paths allocate nothing per token.
 type Lexer struct {
-	src    string
-	off    int
-	line   int
-	col    int
-	parens int // depth of ( and [ nesting; newlines suppressed when > 0
+	src       string
+	off       int
+	line      int
+	lineStart int // offset of the current line's first byte
+	parens    int // depth of ( and [ nesting; newlines suppressed when > 0
 
-	lastKind    Kind
-	emittedAny  bool
-	pendingErrs []error
+	lastKind Kind
 }
 
 // NewLexer returns a lexer over src.
 func NewLexer(src string) *Lexer {
-	return &Lexer{src: src, line: 1, col: 1, lastKind: NEWLINE}
+	return &Lexer{src: src, line: 1, lastKind: NEWLINE}
 }
 
 // Tokenize lexes the entire input. It returns the token slice
 // (EOF-terminated) and the first error encountered, if any.
 func Tokenize(src string) ([]Token, error) {
-	lx := NewLexer(src)
-	var toks []Token
+	// One token per ~5 bytes of source is a slight overestimate for real
+	// SmartApps; a single allocation covers almost every script.
+	return appendTokens(make([]Token, 0, len(src)/5+8), src)
+}
+
+// appendTokens lexes src into dst (reusing its capacity), for callers
+// that recycle token buffers. The lexer lives on the caller's stack.
+func appendTokens(dst []Token, src string) ([]Token, error) {
+	if cap(dst) == 0 {
+		dst = make([]Token, 0, len(src)/5+8)
+	}
+	lx := Lexer{src: src, line: 1, lastKind: NEWLINE}
 	for {
 		t, err := lx.Next()
 		if err != nil {
-			return toks, err
+			return dst, err
 		}
-		toks = append(toks, t)
+		dst = append(dst, t)
 		if t.Kind == EOF {
-			return toks, nil
+			return dst, nil
 		}
 	}
-}
-
-func (lx *Lexer) peekByte() byte {
-	if lx.off >= len(lx.src) {
-		return 0
-	}
-	return lx.src[lx.off]
 }
 
 func (lx *Lexer) peekByteAt(n int) byte {
@@ -70,19 +77,13 @@ func (lx *Lexer) peekByteAt(n int) byte {
 	return lx.src[lx.off+n]
 }
 
-func (lx *Lexer) advance() byte {
-	c := lx.src[lx.off]
-	lx.off++
-	if c == '\n' {
-		lx.line++
-		lx.col = 1
-	} else {
-		lx.col++
-	}
-	return c
+// markLine records a newline at offset i (the '\n' byte's position).
+func (lx *Lexer) markLine(i int) {
+	lx.line++
+	lx.lineStart = i + 1
 }
 
-func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+func (lx *Lexer) pos() Pos { return Pos{Line: int32(lx.line), Col: int32(lx.off - lx.lineStart + 1)} }
 
 // newlineSignificant reports whether a newline after the previously
 // emitted token may terminate a statement.
@@ -100,38 +101,41 @@ func (lx *Lexer) newlineSignificant() bool {
 
 // Next returns the next token.
 func (lx *Lexer) Next() (Token, error) {
+	src := lx.src
 	for {
 		// Skip horizontal whitespace; handle newlines and comments.
-		for lx.off < len(lx.src) {
-			c := lx.peekByte()
+		for lx.off < len(src) {
+			c := src[lx.off]
 			if c == ' ' || c == '\t' || c == '\r' {
-				lx.advance()
+				lx.off++
 				continue
 			}
 			if c == '\\' && lx.peekByteAt(1) == '\n' {
-				lx.advance()
-				lx.advance()
+				lx.markLine(lx.off + 1)
+				lx.off += 2
 				continue
 			}
 			if c == '/' && lx.peekByteAt(1) == '/' {
-				for lx.off < len(lx.src) && lx.peekByte() != '\n' {
-					lx.advance()
+				for lx.off < len(src) && src[lx.off] != '\n' {
+					lx.off++
 				}
 				continue
 			}
 			if c == '/' && lx.peekByteAt(1) == '*' {
 				p := lx.pos()
-				lx.advance()
-				lx.advance()
+				lx.off += 2
 				closed := false
-				for lx.off < len(lx.src) {
-					if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
-						lx.advance()
-						lx.advance()
+				for lx.off < len(src) {
+					b := src[lx.off]
+					if b == '*' && lx.peekByteAt(1) == '/' {
+						lx.off += 2
 						closed = true
 						break
 					}
-					lx.advance()
+					if b == '\n' {
+						lx.markLine(lx.off)
+					}
+					lx.off++
 				}
 				if !closed {
 					return Token{}, &LexError{Pos: p, Msg: "unterminated block comment"}
@@ -140,12 +144,13 @@ func (lx *Lexer) Next() (Token, error) {
 			}
 			break
 		}
-		if lx.off >= len(lx.src) {
+		if lx.off >= len(src) {
 			return lx.emit(Token{Kind: EOF, Pos: lx.pos()}), nil
 		}
-		if lx.peekByte() == '\n' {
+		if src[lx.off] == '\n' {
 			p := lx.pos()
-			lx.advance()
+			lx.markLine(lx.off)
+			lx.off++
 			if lx.newlineSignificant() {
 				return lx.emit(Token{Kind: NEWLINE, Pos: p}), nil
 			}
@@ -157,16 +162,15 @@ func (lx *Lexer) Next() (Token, error) {
 
 func (lx *Lexer) emit(t Token) Token {
 	lx.lastKind = t.Kind
-	lx.emittedAny = true
 	return t
 }
 
 func (lx *Lexer) lexToken() (Token, error) {
 	p := lx.pos()
-	c := lx.peekByte()
+	c := lx.src[lx.off]
 
 	switch {
-	case isIdentStart(rune(c)):
+	case c == '_' || c == '$' || (c|0x20) >= 'a' && (c|0x20) <= 'z' || c >= utf8.RuneSelf && isIdentStart(firstRune(lx.src[lx.off:])):
 		return lx.lexIdent(p), nil
 	case c >= '0' && c <= '9':
 		return lx.lexNumber(p), nil
@@ -176,19 +180,8 @@ func (lx *Lexer) lexToken() (Token, error) {
 		return lx.lexDoubleString(p)
 	}
 
-	two := ""
-	if lx.off+1 < len(lx.src) {
-		two = lx.src[lx.off : lx.off+2]
-	}
-	three := ""
-	if lx.off+2 < len(lx.src) {
-		three = lx.src[lx.off : lx.off+3]
-	}
-
 	mk := func(k Kind, n int) (Token, error) {
-		for i := 0; i < n; i++ {
-			lx.advance()
-		}
+		lx.off += n
 		switch k {
 		case LParen, LBracket:
 			lx.parens++
@@ -200,47 +193,7 @@ func (lx *Lexer) lexToken() (Token, error) {
 		return lx.emit(Token{Kind: k, Pos: p}), nil
 	}
 
-	switch three {
-	case "<=>":
-		return mk(Compare, 3)
-	}
-	switch two {
-	case "?.":
-		return mk(SafeDot, 2)
-	case "->":
-		return mk(Arrow, 2)
-	case "..":
-		return mk(Range, 2)
-	case "==":
-		return mk(Eq, 2)
-	case "!=":
-		return mk(NotEq, 2)
-	case "<=":
-		return mk(LtEq, 2)
-	case ">=":
-		return mk(GtEq, 2)
-	case "&&":
-		return mk(AndAnd, 2)
-	case "||":
-		return mk(OrOr, 2)
-	case "?:":
-		return mk(Elvis, 2)
-	case "++":
-		return mk(Incr, 2)
-	case "--":
-		return mk(Decr, 2)
-	case "**":
-		return mk(Power, 2)
-	case "+=":
-		return mk(PlusAssign, 2)
-	case "-=":
-		return mk(MinusAssign, 2)
-	case "*=":
-		return mk(StarAssign, 2)
-	case "/=":
-		return mk(SlashAssign, 2)
-	}
-
+	c1 := lx.peekByteAt(1)
 	switch c {
 	case '(':
 		return mk(LParen, 1)
@@ -261,36 +214,107 @@ func (lx *Lexer) lexToken() (Token, error) {
 	case ':':
 		return mk(Colon, 1)
 	case '.':
+		if c1 == '.' {
+			return mk(Range, 2)
+		}
 		return mk(Dot, 1)
 	case '=':
+		if c1 == '=' {
+			return mk(Eq, 2)
+		}
 		return mk(Assign, 1)
 	case '+':
+		switch c1 {
+		case '+':
+			return mk(Incr, 2)
+		case '=':
+			return mk(PlusAssign, 2)
+		}
 		return mk(Plus, 1)
 	case '-':
+		switch c1 {
+		case '-':
+			return mk(Decr, 2)
+		case '=':
+			return mk(MinusAssign, 2)
+		case '>':
+			return mk(Arrow, 2)
+		}
 		return mk(Minus, 1)
 	case '*':
+		switch c1 {
+		case '*':
+			return mk(Power, 2)
+		case '=':
+			return mk(StarAssign, 2)
+		}
 		return mk(Star, 1)
 	case '/':
+		if c1 == '=' {
+			return mk(SlashAssign, 2)
+		}
 		return mk(Slash, 1)
 	case '%':
 		return mk(Percent, 1)
 	case '<':
+		if c1 == '=' {
+			if lx.peekByteAt(2) == '>' {
+				return mk(Compare, 3)
+			}
+			return mk(LtEq, 2)
+		}
 		return mk(Lt, 1)
 	case '>':
+		if c1 == '=' {
+			return mk(GtEq, 2)
+		}
 		return mk(Gt, 1)
 	case '!':
+		if c1 == '=' {
+			return mk(NotEq, 2)
+		}
 		return mk(Not, 1)
+	case '&':
+		if c1 == '&' {
+			return mk(AndAnd, 2)
+		}
+	case '|':
+		if c1 == '|' {
+			return mk(OrOr, 2)
+		}
 	case '?':
+		switch c1 {
+		case '.':
+			return mk(SafeDot, 2)
+		case ':':
+			return mk(Elvis, 2)
+		}
 		return mk(Question, 1)
 	case '@':
 		// Annotations (e.g. @Field) — lex the annotation name away.
-		lx.advance()
-		for lx.off < len(lx.src) && isIdentPart(rune(lx.peekByte())) {
-			lx.advance()
+		lx.off++
+		for lx.off < len(lx.src) && isIdentByteOrRune(lx.src, lx.off) {
+			lx.off++
 		}
 		return lx.Next()
 	}
 	return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func firstRune(s string) rune {
+	r, _ := utf8.DecodeRuneInString(s)
+	return r
+}
+
+// isIdentByteOrRune reports whether the byte at off continues an
+// identifier, treating multi-byte runes via utf8 only when needed.
+func isIdentByteOrRune(s string, off int) bool {
+	c := s[off]
+	if c < utf8.RuneSelf {
+		return c == '_' || c == '$' || (c|0x20) >= 'a' && (c|0x20) <= 'z' || c >= '0' && c <= '9'
+	}
+	r, _ := utf8.DecodeRuneInString(s[off:])
+	return isIdentPart(r)
 }
 
 func isIdentStart(r rune) bool {
@@ -302,17 +326,24 @@ func isIdentPart(r rune) bool {
 }
 
 func (lx *Lexer) lexIdent(p Pos) Token {
+	src := lx.src
 	start := lx.off
-	for lx.off < len(lx.src) {
-		r, sz := utf8.DecodeRuneInString(lx.src[lx.off:])
+	for lx.off < len(src) {
+		c := src[lx.off]
+		if c < utf8.RuneSelf {
+			if c == '_' || c == '$' || (c|0x20) >= 'a' && (c|0x20) <= 'z' || c >= '0' && c <= '9' {
+				lx.off++
+				continue
+			}
+			break
+		}
+		r, sz := utf8.DecodeRuneInString(src[lx.off:])
 		if !isIdentPart(r) {
 			break
 		}
-		for i := 0; i < sz; i++ {
-			lx.advance()
-		}
+		lx.off += sz
 	}
-	text := lx.src[start:lx.off]
+	text := src[start:lx.off]
 	if k, ok := keywords[text]; ok {
 		return lx.emit(Token{Kind: k, Text: text, Pos: p})
 	}
@@ -320,68 +351,160 @@ func (lx *Lexer) lexIdent(p Pos) Token {
 }
 
 func (lx *Lexer) lexNumber(p Pos) Token {
+	src := lx.src
 	start := lx.off
-	for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
-		lx.advance()
+	for lx.off < len(src) && isDigit(src[lx.off]) {
+		lx.off++
 	}
 	// Decimal part; be careful not to consume a range operator "..".
-	if lx.peekByte() == '.' && isDigit(lx.peekByteAt(1)) {
-		lx.advance()
-		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
-			lx.advance()
+	if lx.off < len(src) && src[lx.off] == '.' && isDigit(lx.peekByteAt(1)) {
+		lx.off++
+		for lx.off < len(src) && isDigit(src[lx.off]) {
+			lx.off++
 		}
 	}
-	// Type suffixes (L, G, f, d, etc.) — consume silently.
-	switch lx.peekByte() {
-	case 'L', 'l', 'G', 'g', 'F', 'f', 'D', 'd', 'I', 'i':
-		lx.advance()
+	end := lx.off
+	// Type suffixes (L, G, f, d, etc.) — consume without entering the text.
+	if lx.off < len(src) {
+		switch src[lx.off] {
+		case 'L', 'l', 'G', 'g', 'F', 'f', 'D', 'd', 'I', 'i':
+			lx.off++
+		}
 	}
-	return lx.emit(Token{Kind: NUMBER, Text: strings.TrimRight(lx.src[start:lx.off], "LlGgFfDdIi"), Pos: p})
+	return lx.emit(Token{Kind: NUMBER, Text: src[start:end], Pos: p})
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func (lx *Lexer) lexSingleString(p Pos) (Token, error) {
-	lx.advance() // opening quote
-	var sb strings.Builder
-	for {
-		if lx.off >= len(lx.src) {
-			return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+	src := lx.src
+	lx.off++ // opening quote
+	start := lx.off
+	// Fast path: no escapes — the token text is a substring of src.
+	for i := lx.off; i < len(src); i++ {
+		switch src[i] {
+		case '\'':
+			text := src[start:i]
+			for j := start; j < i; j++ {
+				if src[j] == '\n' {
+					lx.markLine(j)
+				}
+			}
+			lx.off = i + 1
+			return lx.emit(Token{Kind: STRING, Text: text, Pos: p}), nil
+		case '\\':
+			return lx.lexSingleStringSlow(p, start, i)
 		}
-		c := lx.advance()
+	}
+	return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+}
+
+// lexSingleStringSlow handles escapes; esc is the offset of the first '\\'.
+func (lx *Lexer) lexSingleStringSlow(p Pos, start, esc int) (Token, error) {
+	src := lx.src
+	var sb strings.Builder
+	// The fast path stopped at the escape without line accounting; count
+	// any newlines in the prefix it already scanned.
+	for j := start; j < esc; j++ {
+		if src[j] == '\n' {
+			lx.markLine(j)
+		}
+	}
+	sb.WriteString(src[start:esc])
+	i := esc
+	for i < len(src) {
+		c := src[i]
+		if c == '\n' {
+			lx.markLine(i)
+		}
+		i++
 		if c == '\'' {
+			lx.off = i
 			return lx.emit(Token{Kind: STRING, Text: sb.String(), Pos: p}), nil
 		}
 		if c == '\\' {
-			if lx.off >= len(lx.src) {
+			if i >= len(src) {
 				return Token{}, &LexError{Pos: p, Msg: "unterminated escape in string literal"}
 			}
-			sb.WriteByte(unescape(lx.advance()))
+			if src[i] == '\n' {
+				lx.markLine(i)
+			}
+			sb.WriteByte(unescape(src[i]))
+			i++
 			continue
 		}
 		sb.WriteByte(c)
 	}
+	return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
 }
 
 // lexDoubleString lexes a double-quoted GString. The token text preserves
-// ${...} interpolation markers verbatim; the parser splits them.
+// ${...} interpolation markers verbatim; the parser splits them. Without
+// escapes the token text is a substring of src.
 func (lx *Lexer) lexDoubleString(p Pos) (Token, error) {
-	lx.advance() // opening quote
-	var sb strings.Builder
+	src := lx.src
+	lx.off++ // opening quote
+	start := lx.off
 	depth := 0 // ${ ... } nesting
-	for {
-		if lx.off >= len(lx.src) {
-			return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+	for i := lx.off; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '"' && depth == 0:
+			text := src[start:i]
+			for j := start; j < i; j++ {
+				if src[j] == '\n' {
+					lx.markLine(j)
+				}
+			}
+			lx.off = i + 1
+			return lx.emit(Token{Kind: GSTRING, Text: text, Pos: p}), nil
+		case c == '\\' && depth == 0:
+			return lx.lexDoubleStringSlow(p, start, i, depth)
+		case c == '$' && i+1 < len(src) && src[i+1] == '{':
+			depth++
+			i++
+		case depth > 0 && c == '{':
+			depth++
+		case depth > 0 && c == '}':
+			depth--
 		}
-		c := lx.advance()
+	}
+	return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+}
+
+// lexDoubleStringSlow handles escaped GStrings; esc is the offset of the
+// first '\\' (encountered at interpolation depth 0).
+func (lx *Lexer) lexDoubleStringSlow(p Pos, start, esc, depth int) (Token, error) {
+	src := lx.src
+	var sb strings.Builder
+	// Count the newlines in the prefix the fast path scanned (see
+	// lexSingleStringSlow).
+	for j := start; j < esc; j++ {
+		if src[j] == '\n' {
+			lx.markLine(j)
+		}
+	}
+	sb.WriteString(src[start:esc])
+	i := esc
+	for i < len(src) {
+		c := src[i]
+		if c == '\n' {
+			lx.markLine(i)
+		}
+		i++
 		if c == '"' && depth == 0 {
+			lx.off = i
 			return lx.emit(Token{Kind: GSTRING, Text: sb.String(), Pos: p}), nil
 		}
 		if c == '\\' && depth == 0 {
-			if lx.off >= len(lx.src) {
+			if i >= len(src) {
 				return Token{}, &LexError{Pos: p, Msg: "unterminated escape in string literal"}
 			}
-			n := lx.advance()
+			n := src[i]
+			if n == '\n' {
+				lx.markLine(i)
+			}
+			i++
 			if n == '$' {
 				sb.WriteString("\\$") // keep escaped-$ distinguishable from interpolation
 			} else {
@@ -389,10 +512,11 @@ func (lx *Lexer) lexDoubleString(p Pos) (Token, error) {
 			}
 			continue
 		}
-		if c == '$' && lx.peekByte() == '{' {
+		if c == '$' && i < len(src) && src[i] == '{' {
 			depth++
 			sb.WriteByte(c)
-			sb.WriteByte(lx.advance())
+			sb.WriteByte(src[i])
+			i++
 			continue
 		}
 		if depth > 0 {
@@ -404,6 +528,7 @@ func (lx *Lexer) lexDoubleString(p Pos) (Token, error) {
 		}
 		sb.WriteByte(c)
 	}
+	return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
 }
 
 func unescape(c byte) byte {

@@ -231,3 +231,36 @@ func TestGStringNestedBraces(t *testing.T) {
 		t.Errorf("nested-brace interpolation mangled: %q", toks[0].Text)
 	}
 }
+
+// TestStringSlowPathLineTracking pins line accounting when a string
+// literal contains a newline BEFORE its first escape: the slow path must
+// count the fast-path-scanned prefix's newlines, or every later token's
+// position drifts.
+func TestStringSlowPathLineTracking(t *testing.T) {
+	src := "def m = 'line1\nline2\\t tail'\ndef after = 1\n"
+	toks := mustTokenize(t, src)
+	var afterTok *Token
+	for i := range toks {
+		if toks[i].Kind == IDENT && toks[i].Text == "after" {
+			afterTok = &toks[i]
+		}
+	}
+	if afterTok == nil {
+		t.Fatal("token 'after' not lexed")
+	}
+	if afterTok.Pos.Line != 3 {
+		t.Fatalf("'after' on line %d, want 3", afterTok.Pos.Line)
+	}
+	// Same for GStrings.
+	src = "def m = \"line1\nline2\\t tail\"\ndef after = 1\n"
+	toks = mustTokenize(t, src)
+	afterTok = nil
+	for i := range toks {
+		if toks[i].Kind == IDENT && toks[i].Text == "after" {
+			afterTok = &toks[i]
+		}
+	}
+	if afterTok == nil || afterTok.Pos.Line != 3 {
+		t.Fatalf("gstring: 'after' position wrong: %+v", afterTok)
+	}
+}

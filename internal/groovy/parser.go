@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // ParseError describes a syntax error with its source position.
@@ -14,14 +15,63 @@ type ParseError struct {
 
 func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
 
+// tokenPool recycles token buffers across parses: tokens are dead once
+// Parse returns (the AST references only substrings of src), so the
+// buffer — the largest single allocation of a parse — is reusable.
+var tokenPool sync.Pool
+
+// parserPool recycles parser shells: the token buffer slot and the
+// scratch stacks keep their capacity across parses. The arena is NOT
+// reused — putParser zeroes it, abandoning the blocks to the AST that
+// references them. (Carrying partially-filled blocks across parses was
+// measured slower: a block stays reachable while any AST using it lives,
+// so cross-parse blocks chain otherwise-dead ASTs together and inflate
+// the GC's live set.)
+var parserPool sync.Pool
+
+func getParser(toks []Token) *parser {
+	p, _ := parserPool.Get().(*parser)
+	if p == nil {
+		p = &parser{
+			exprScratch:  make([]Expr, 0, 16),
+			stmtScratch:  make([]Stmt, 0, 32),
+			entryScratch: make([]MapEntry, 0, 8),
+		}
+	}
+	p.toks = toks
+	p.pos = 0
+	return p
+}
+
+func putParser(p *parser) {
+	p.toks = nil
+	p.ast = nodeArena{}
+	p.exprScratch = p.exprScratch[:0]
+	p.stmtScratch = p.stmtScratch[:0]
+	p.entryScratch = p.entryScratch[:0]
+	p.partScratch = p.partScratch[:0]
+	p.paramScratch = p.paramScratch[:0]
+	parserPool.Put(p)
+}
+
 // Parse parses a SmartApp Groovy source file into a Script.
 func Parse(src string) (*Script, error) {
-	toks, err := Tokenize(src)
+	bufp, _ := tokenPool.Get().(*[]Token)
+	if bufp == nil {
+		bufp = new([]Token)
+	}
+	toks, err := appendTokens((*bufp)[:0], src)
+	*bufp = toks[:0]
+	defer tokenPool.Put(bufp)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	script := &Script{Methods: map[string]*MethodDecl{}}
+	p := getParser(toks)
+	defer putParser(p)
+	script := &Script{
+		Stmts:   make([]Stmt, 0, 24),
+		Methods: make(map[string]*MethodDecl, 8),
+	}
 	for !p.at(EOF) {
 		p.skipSeparators()
 		if p.at(EOF) {
@@ -52,9 +102,25 @@ func MustParse(src string) *Script {
 	return s
 }
 
+// parser consumes the token slice. Nodes come from the per-type arenas in
+// ast (see arena.go); variable-length children (argument lists, block
+// statement lists, map entries, GString parts) are accumulated on the
+// scratch stacks and sealed into slab-backed slices when complete, so a
+// parse performs a handful of block allocations instead of one per node.
+// Backtracking (p.pos = save) may abandon arena nodes; they are simply
+// dead space in their block.
 type parser struct {
 	toks []Token
 	pos  int
+
+	ast nodeArena
+
+	exprScratch  []Expr
+	stmtScratch  []Stmt
+	entryScratch []MapEntry
+	partScratch  []GStringPart
+	paramScratch []Param
+	gsBuf        []byte // escaped-$ segment accumulator for parseGString
 }
 
 func (p *parser) cur() Token     { return p.toks[p.pos] }
@@ -98,6 +164,44 @@ func (p *parser) skipNewlines() {
 	for p.at(NEWLINE) {
 		p.next()
 	}
+}
+
+// ---------- arena constructors ----------
+
+func (p *parser) newIdent(name string, pos Pos) *Ident {
+	n := p.ast.idents.alloc(24)
+	n.Name, n.Pos_ = name, pos
+	return n
+}
+
+func (p *parser) newStrLit(v string, pos Pos) *StrLit {
+	n := p.ast.strs.alloc(16)
+	n.Value, n.Pos_ = v, pos
+	return n
+}
+
+func (p *parser) newBoolLit(v bool, pos Pos) *BoolLit {
+	n := p.ast.bools.alloc(4)
+	n.Value, n.Pos_ = v, pos
+	return n
+}
+
+func (p *parser) newCall(pos Pos) *Call {
+	n := p.ast.calls.alloc(16)
+	n.Pos_ = pos
+	return n
+}
+
+func (p *parser) newBinary(op Kind, l, r Expr, pos Pos) *Binary {
+	n := p.ast.binaries.alloc(4)
+	n.Op, n.L, n.R, n.Pos_ = op, l, r, pos
+	return n
+}
+
+func (p *parser) newBlock(pos Pos) *Block {
+	n := p.ast.blocks.alloc(8)
+	n.Pos_ = pos
+	return n
 }
 
 // ---------- Statements ----------
@@ -193,7 +297,8 @@ func (p *parser) parseDeclAfterDef() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DeclStmt{Name: nameTok.Text, Pos_: nameTok.Pos}
+	d := p.ast.decls.alloc(4)
+	d.Name, d.Pos_ = nameTok.Text, nameTok.Pos
 	if p.at(Assign) {
 		p.next()
 		p.skipNewlines()
@@ -213,7 +318,11 @@ func (p *parser) parseMethodDecl() (Stmt, error) {
 	if _, err := p.expect(LParen); err != nil {
 		return nil, err
 	}
-	var params []Param
+	start := len(p.paramScratch)
+	bail := func(err error) (Stmt, error) {
+		p.paramScratch = p.paramScratch[:start]
+		return nil, err
+	}
 	for !p.at(RParen) {
 		p.skipNewlines()
 		// Optional type name before the parameter name.
@@ -222,30 +331,34 @@ func (p *parser) parseMethodDecl() (Stmt, error) {
 		}
 		pn, err := p.expect(IDENT)
 		if err != nil {
-			return nil, err
+			return bail(err)
 		}
 		param := Param{Name: pn.Text}
 		if p.at(Assign) {
 			p.next()
 			param.Default, err = p.parseExpr()
 			if err != nil {
-				return nil, err
+				return bail(err)
 			}
 		}
-		params = append(params, param)
+		p.paramScratch = append(p.paramScratch, param)
 		if p.at(Comma) {
 			p.next()
 		}
 	}
 	if _, err := p.expect(RParen); err != nil {
-		return nil, err
+		return bail(err)
 	}
 	p.skipNewlines()
+	params := p.ast.params.seal(p.paramScratch[start:])
+	p.paramScratch = p.paramScratch[:start]
 	body, err := p.parseBlock()
 	if err != nil {
 		return nil, err
 	}
-	return &MethodDecl{Name: nameTok.Text, Params: params, Body: body, Pos_: nameTok.Pos}, nil
+	m := p.ast.methods.alloc(8)
+	m.Name, m.Params, m.Body, m.Pos_ = nameTok.Text, params, body, nameTok.Pos
+	return m, nil
 }
 
 func (p *parser) parseBlock() (*Block, error) {
@@ -253,22 +366,27 @@ func (p *parser) parseBlock() (*Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	blk := &Block{Pos_: lb.Pos}
+	blk := p.newBlock(lb.Pos)
+	start := len(p.stmtScratch)
 	for {
 		p.skipSeparators()
 		if p.at(RBrace) {
 			p.next()
+			blk.Stmts = p.ast.stmts.seal(p.stmtScratch[start:])
+			p.stmtScratch = p.stmtScratch[:start]
 			return blk, nil
 		}
 		if p.at(EOF) {
+			p.stmtScratch = p.stmtScratch[:start]
 			return nil, p.errf("unexpected EOF in block")
 		}
 		st, err := p.parseStatement()
 		if err != nil {
+			p.stmtScratch = p.stmtScratch[:start]
 			return nil, err
 		}
 		if st != nil {
-			blk.Stmts = append(blk.Stmts, st)
+			p.stmtScratch = append(p.stmtScratch, st)
 		}
 	}
 }
@@ -284,8 +402,8 @@ func (p *parser) parseBlockOrSingle() (*Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	blk := &Block{Pos_: st.Position()}
-	blk.Stmts = []Stmt{st}
+	blk := p.newBlock(st.Position())
+	blk.Stmts = p.ast.stmts.seal([]Stmt{st})
 	return blk, nil
 }
 
@@ -305,7 +423,8 @@ func (p *parser) parseIf() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &IfStmt{Cond: cond, Then: then, Pos_: kw.Pos}
+	st := p.ast.ifs.alloc(4)
+	st.Cond, st.Then, st.Pos_ = cond, then, kw.Pos
 	// An `else` may follow on the same or the next line.
 	save := p.pos
 	p.skipSeparators()
@@ -386,25 +505,30 @@ func (p *parser) parseSwitch() (Stmt, error) {
 }
 
 func (p *parser) parseCaseBody() (*Block, error) {
-	blk := &Block{Pos_: p.cur().Pos}
+	blk := p.newBlock(p.cur().Pos)
+	start := len(p.stmtScratch)
 	for {
 		p.skipSeparators()
 		if p.at(KwCase) || p.at(KwDefault) || p.at(RBrace) || p.at(EOF) {
+			blk.Stmts = p.ast.stmts.seal(p.stmtScratch[start:])
+			p.stmtScratch = p.stmtScratch[:start]
 			return blk, nil
 		}
 		st, err := p.parseStatement()
 		if err != nil {
+			p.stmtScratch = p.stmtScratch[:start]
 			return nil, err
 		}
 		if st != nil {
-			blk.Stmts = append(blk.Stmts, st)
+			p.stmtScratch = append(p.stmtScratch, st)
 		}
 	}
 }
 
 func (p *parser) parseReturn() (Stmt, error) {
 	kw, _ := p.expect(KwReturn)
-	st := &ReturnStmt{Pos_: kw.Pos}
+	st := p.ast.returns.alloc(4)
+	st.Pos_ = kw.Pos
 	if p.at(NEWLINE) || p.at(Semi) || p.at(RBrace) || p.at(EOF) {
 		return st, nil
 	}
@@ -526,21 +650,24 @@ func (p *parser) parseSimpleStatement() (Stmt, error) {
 		default:
 			return nil, &ParseError{Pos: pos, Msg: "invalid assignment target"}
 		}
-		return &AssignStmt{Target: x, Op: op, Value: v, Pos_: pos}, nil
+		st := p.ast.assigns.alloc(4)
+		st.Target, st.Op, st.Value, st.Pos_ = x, op, v, pos
+		return st, nil
 	case Incr, Decr:
 		op := p.next().Kind
-		delta := &NumLit{Raw: "1", Int: 1, IsInt: true, Pos_: pos}
+		delta := p.ast.nums.alloc(8)
+		delta.Raw, delta.Int, delta.IsInt, delta.Pos_ = "1", 1, true, pos
 		binOp := Plus
 		if op == Decr {
 			binOp = Minus
 		}
-		return &AssignStmt{
-			Target: x, Op: Assign,
-			Value: &Binary{Op: binOp, L: x, R: delta, Pos_: pos},
-			Pos_:  pos,
-		}, nil
+		st := p.ast.assigns.alloc(4)
+		st.Target, st.Op, st.Value, st.Pos_ = x, Assign, p.newBinary(binOp, x, delta, pos), pos
+		return st, nil
 	}
-	return &ExprStmt{X: x, Pos_: pos}, nil
+	st := p.ast.exprStmts.alloc(12)
+	st.X, st.Pos_ = x, pos
+	return st, nil
 }
 
 // ---------- Expressions ----------
@@ -559,7 +686,7 @@ func (p *parser) parseCommandExpr() (Expr, error) {
 	if p.startsCommandArg() {
 		callee, ok := calleeOf(head)
 		if ok {
-			call := &Call{Pos_: head.Position()}
+			call := p.newCall(head.Position())
 			call.Receiver, call.Method = callee.recv, callee.name
 			if err := p.parseArgListInto(call, false); err != nil {
 				return nil, err
@@ -642,8 +769,10 @@ func (p *parser) continueBinary(left Expr, min int) (Expr, error) {
 			pos := p.cur().Pos
 			p.next()
 			ty := p.next().Text
-			left = &Call{Receiver: left, Method: "asType",
-				Args: []Expr{&StrLit{Value: ty, Pos_: pos}}, Pos_: pos}
+			call := p.newCall(pos)
+			call.Receiver, call.Method = left, "asType"
+			call.Args = p.ast.exprs.seal([]Expr{p.newStrLit(ty, pos)})
+			left = call
 			continue
 		}
 		prec := precOf(k)
@@ -670,8 +799,10 @@ func (p *parser) continueBinary(left Expr, min int) (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			left = &Call{Receiver: left, Method: "instanceOf",
-				Args: []Expr{&StrLit{Value: ty.Text, Pos_: ty.Pos}}, Pos_: opTok.Pos}
+			call := p.newCall(opTok.Pos)
+			call.Receiver, call.Method = left, "instanceOf"
+			call.Args = p.ast.exprs.seal([]Expr{p.newStrLit(ty.Text, ty.Pos)})
+			left = call
 			continue
 		}
 		right, err := p.parseUnary()
@@ -686,7 +817,7 @@ func (p *parser) continueBinary(left Expr, min int) (Expr, error) {
 		if k == KwIn {
 			op = KwIn
 		}
-		left = &Binary{Op: op, L: left, R: right, Pos_: opTok.Pos}
+		left = p.newBinary(op, left, right, opTok.Pos)
 	}
 	if min > 0 {
 		return left, nil
@@ -752,10 +883,13 @@ func (p *parser) parseUnary() (Expr, error) {
 		}
 		// Fold -number into a literal.
 		if n, ok := x.(*NumLit); ok && opTok.Kind == Minus {
+			lit := p.ast.nums.alloc(8)
 			if n.IsInt {
-				return &NumLit{Raw: "-" + n.Raw, Int: -n.Int, IsInt: true, Pos_: opTok.Pos}, nil
+				lit.Raw, lit.Int, lit.IsInt, lit.Pos_ = "-"+n.Raw, -n.Int, true, opTok.Pos
+			} else {
+				lit.Raw, lit.Float, lit.Pos_ = "-"+n.Raw, -n.Float, opTok.Pos
 			}
-			return &NumLit{Raw: "-" + n.Raw, Float: -n.Float, Pos_: opTok.Pos}, nil
+			return lit, nil
 		}
 		return &Unary{Op: opTok.Kind, X: x, Pos_: opTok.Pos}, nil
 	case Incr, Decr:
@@ -799,13 +933,15 @@ func (p *parser) parsePostfix() (Expr, error) {
 				return nil, p.errf("expected property name after '.', found %s", nameTok)
 			}
 			if p.at(LParen) {
-				call := &Call{Receiver: x, Method: name, Safe: safe, Pos_: nameTok.Pos}
+				call := p.newCall(nameTok.Pos)
+				call.Receiver, call.Method, call.Safe = x, name, safe
 				if err := p.parseParenArgs(call); err != nil {
 					return nil, err
 				}
 				x = p.attachTrailingClosure(call)
 			} else if p.at(LBrace) && p.closureFollows() {
-				call := &Call{Receiver: x, Method: name, Safe: safe, Pos_: nameTok.Pos}
+				call := p.newCall(nameTok.Pos)
+				call.Receiver, call.Method, call.Safe = x, name, safe
 				cl, err := p.parseClosure()
 				if err != nil {
 					return nil, err
@@ -813,7 +949,9 @@ func (p *parser) parsePostfix() (Expr, error) {
 				call.Args = append(call.Args, cl)
 				x = call
 			} else {
-				x = &PropertyGet{Receiver: x, Name: name, Safe: safe, Pos_: nameTok.Pos}
+				pg := p.ast.props.alloc(8)
+				pg.Receiver, pg.Name, pg.Safe, pg.Pos_ = x, name, safe, nameTok.Pos
+				x = pg
 			}
 		case LBracket:
 			lb := p.next()
@@ -830,7 +968,8 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if !ok {
 				return x, nil
 			}
-			call := &Call{Method: ident.Name, Pos_: ident.Pos_}
+			call := p.newCall(ident.Pos_)
+			call.Method = ident.Name
 			if err := p.parseParenArgs(call); err != nil {
 				return nil, err
 			}
@@ -841,7 +980,8 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if !ok || !p.closureFollows() {
 				return x, nil
 			}
-			call := &Call{Method: ident.Name, Pos_: ident.Pos_}
+			call := p.newCall(ident.Pos_)
+			call.Method = ident.Name
 			cl, err := p.parseClosure()
 			if err != nil {
 				return nil, err
@@ -886,8 +1026,22 @@ func (p *parser) parseParenArgs(call *Call) error {
 
 // parseArgListInto parses a comma-separated argument list with optional
 // named arguments. When paren is false the list ends at a statement
-// boundary (NEWLINE/Semi/EOF/RBrace/closing tokens).
+// boundary (NEWLINE/Semi/EOF/RBrace/closing tokens). Arguments accumulate
+// on the scratch stacks and are sealed into the call when the list ends.
 func (p *parser) parseArgListInto(call *Call, paren bool) error {
+	argStart := len(p.exprScratch)
+	namedStart := len(p.entryScratch)
+	err := p.parseArgList(paren)
+	if err == nil {
+		call.Args = p.ast.exprs.seal(p.exprScratch[argStart:])
+		call.Named = p.ast.entries.seal(p.entryScratch[namedStart:])
+	}
+	p.exprScratch = p.exprScratch[:argStart]
+	p.entryScratch = p.entryScratch[:namedStart]
+	return err
+}
+
+func (p *parser) parseArgList(paren bool) error {
 	for {
 		p.skipNewlines()
 		// Named argument `name: value`.
@@ -899,8 +1053,8 @@ func (p *parser) parseArgListInto(call *Call, paren bool) error {
 			if err != nil {
 				return err
 			}
-			call.Named = append(call.Named, MapEntry{
-				Key:   &StrLit{Value: keyTok.Text, Pos_: keyTok.Pos},
+			p.entryScratch = append(p.entryScratch, MapEntry{
+				Key:   p.newStrLit(keyTok.Text, keyTok.Pos),
 				Value: v,
 			})
 		} else {
@@ -908,7 +1062,7 @@ func (p *parser) parseArgListInto(call *Call, paren bool) error {
 			if err != nil {
 				return err
 			}
-			call.Args = append(call.Args, v)
+			p.exprScratch = append(p.exprScratch, v)
 		}
 		if p.at(Comma) {
 			p.next()
@@ -930,7 +1084,8 @@ func (p *parser) parseClosure() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &ClosureExpr{Pos_: lb.Pos}
+	cl := p.ast.closures.alloc(4)
+	cl.Pos_ = lb.Pos
 	// Detect a parameter list: idents (optionally typed, with defaults)
 	// followed by '->'.
 	save := p.pos
@@ -940,37 +1095,48 @@ func (p *parser) parseClosure() (Expr, error) {
 	} else {
 		p.pos = save
 	}
-	body := &Block{Pos_: lb.Pos}
+	body := p.newBlock(lb.Pos)
+	start := len(p.stmtScratch)
 	for {
 		p.skipSeparators()
 		if p.at(RBrace) {
 			p.next()
+			body.Stmts = p.ast.stmts.seal(p.stmtScratch[start:])
+			p.stmtScratch = p.stmtScratch[:start]
 			cl.Body = body
 			return cl, nil
 		}
 		if p.at(EOF) {
+			p.stmtScratch = p.stmtScratch[:start]
 			return nil, p.errf("unexpected EOF in closure")
 		}
 		st, err := p.parseStatement()
 		if err != nil {
+			p.stmtScratch = p.stmtScratch[:start]
 			return nil, err
 		}
 		if st != nil {
-			body.Stmts = append(body.Stmts, st)
+			p.stmtScratch = append(p.stmtScratch, st)
 		}
 	}
 }
 
 func (p *parser) tryParseClosureParams() ([]Param, bool) {
-	var params []Param
+	start := len(p.paramScratch)
+	fail := func() ([]Param, bool) {
+		p.paramScratch = p.paramScratch[:start]
+		return nil, false
+	}
 	p.skipNewlines()
 	for {
 		if p.at(Arrow) {
 			p.next()
+			params := p.ast.params.seal(p.paramScratch[start:])
+			p.paramScratch = p.paramScratch[:start]
 			return params, true
 		}
 		if !p.at(IDENT) && !p.at(KwDef) {
-			return nil, false
+			return fail()
 		}
 		if p.at(KwDef) {
 			p.next()
@@ -979,16 +1145,16 @@ func (p *parser) tryParseClosureParams() ([]Param, bool) {
 			p.next() // type name
 		}
 		if !p.at(IDENT) {
-			return nil, false
+			return fail()
 		}
-		params = append(params, Param{Name: p.next().Text})
+		p.paramScratch = append(p.paramScratch, Param{Name: p.next().Text})
 		switch p.cur().Kind {
 		case Comma:
 			p.next()
 			p.skipNewlines()
 		case Arrow:
 		default:
-			return nil, false
+			return fail()
 		}
 	}
 }
@@ -998,22 +1164,22 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.Kind {
 	case IDENT:
 		p.next()
-		return &Ident{Name: t.Text, Pos_: t.Pos}, nil
+		return p.newIdent(t.Text, t.Pos), nil
 	case NUMBER:
 		p.next()
-		return parseNumLit(t)
+		return p.parseNumLit(t)
 	case STRING:
 		p.next()
-		return &StrLit{Value: t.Text, Pos_: t.Pos}, nil
+		return p.newStrLit(t.Text, t.Pos), nil
 	case GSTRING:
 		p.next()
-		return parseGString(t)
+		return p.parseGString(t)
 	case KwTrue:
 		p.next()
-		return &BoolLit{Value: true, Pos_: t.Pos}, nil
+		return p.newBoolLit(true, t.Pos), nil
 	case KwFalse:
 		p.next()
-		return &BoolLit{Value: false, Pos_: t.Pos}, nil
+		return p.newBoolLit(false, t.Pos), nil
 	case KwNull:
 		p.next()
 		return &NullLit{Pos_: t.Pos}, nil
@@ -1045,7 +1211,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		ne := &NewExpr{Type: name, Pos_: t.Pos}
 		if p.at(LParen) {
-			call := &Call{Method: name, Pos_: t.Pos}
+			call := p.newCall(t.Pos)
+			call.Method = name
 			if err := p.parseParenArgs(call); err != nil {
 				return nil, err
 			}
@@ -1056,36 +1223,65 @@ func (p *parser) parsePrimary() (Expr, error) {
 	return nil, p.errf("unexpected token %s in expression", t)
 }
 
-func parseNumLit(t Token) (Expr, error) {
+func (p *parser) parseNumLit(t Token) (Expr, error) {
+	lit := p.ast.nums.alloc(8)
 	if strings.Contains(t.Text, ".") {
 		f, err := strconv.ParseFloat(t.Text, 64)
 		if err != nil {
 			return nil, &ParseError{Pos: t.Pos, Msg: "invalid number literal " + t.Text}
 		}
-		return &NumLit{Raw: t.Text, Float: f, Pos_: t.Pos}, nil
+		lit.Raw, lit.Float, lit.Pos_ = t.Text, f, t.Pos
+		return lit, nil
 	}
 	i, err := strconv.ParseInt(t.Text, 10, 64)
 	if err != nil {
 		return nil, &ParseError{Pos: t.Pos, Msg: "invalid number literal " + t.Text}
 	}
-	return &NumLit{Raw: t.Text, Int: i, IsInt: true, Pos_: t.Pos}, nil
+	lit.Raw, lit.Int, lit.IsInt, lit.Pos_ = t.Text, i, true, t.Pos
+	return lit, nil
+}
+
+// gsFlush appends the literal segment [segStart:end) of s as a GString
+// part; when pending, the segment continues escaped text accumulated in
+// p.gsBuf[base:] (the only case that copies bytes). base is this
+// GString's region of the shared buffer — interpolated expressions can
+// nest another parseGString, which stacks its own region on top.
+func (p *parser) gsFlush(s string, segStart, end int, base int, pending bool) {
+	if pending {
+		p.gsBuf = append(p.gsBuf, s[segStart:end]...)
+		p.partScratch = append(p.partScratch, GStringPart{Text: string(p.gsBuf[base:])})
+		p.gsBuf = p.gsBuf[:base]
+		return
+	}
+	if end > segStart {
+		p.partScratch = append(p.partScratch, GStringPart{Text: s[segStart:end]})
+	}
 }
 
 // parseGString splits a GSTRING token into literal and interpolated parts.
-func parseGString(t Token) (Expr, error) {
-	g := &GStringLit{Pos_: t.Pos}
+// Literal segments without escaped dollars are substrings of the token
+// text; parts accumulate on the scratch stack and seal into the slab.
+func (p *parser) parseGString(t Token) (Expr, error) {
+	g := p.ast.gstrings.alloc(8)
+	g.Pos_ = t.Pos
 	s := t.Text
-	var lit strings.Builder
-	flush := func() {
-		if lit.Len() > 0 {
-			g.Parts = append(g.Parts, GStringPart{Text: lit.String()})
-			lit.Reset()
-		}
+	// Fast path: no '$' anywhere (log messages, plain labels) — one
+	// literal part, no per-byte scan. '\\' only matters when escaping '$'.
+	if strings.IndexByte(s, '$') < 0 {
+		g.Parts = p.ast.parts.seal([]GStringPart{{Text: s}})
+		return g, nil
 	}
+	partStart := len(p.partScratch)
+	segStart := 0       // start of the current literal segment in s
+	litPending := false // true when p.gsBuf[gsBase:] holds segment text (escape seen)
+	gsBase := len(p.gsBuf)
 	for i := 0; i < len(s); {
 		if s[i] == '\\' && i+1 < len(s) && s[i+1] == '$' {
-			lit.WriteByte('$')
+			p.gsBuf = append(p.gsBuf, s[segStart:i]...)
+			p.gsBuf = append(p.gsBuf, '$')
+			litPending = true
 			i += 2
+			segStart = i
 			continue
 		}
 		if s[i] == '$' && i+1 < len(s) && s[i+1] == '{' {
@@ -1102,16 +1298,22 @@ func parseGString(t Token) (Expr, error) {
 				j++
 			}
 			if depth != 0 {
+				p.partScratch = p.partScratch[:partStart]
+				p.gsBuf = p.gsBuf[:gsBase]
 				return nil, &ParseError{Pos: t.Pos, Msg: "unterminated ${...} interpolation"}
 			}
 			inner := s[i+2 : j-1]
-			ex, err := parseInterpolatedExpr(inner, t.Pos)
+			ex, err := p.parseInterpolatedExpr(inner, t.Pos)
 			if err != nil {
+				p.partScratch = p.partScratch[:partStart]
+				p.gsBuf = p.gsBuf[:gsBase]
 				return nil, err
 			}
-			flush()
-			g.Parts = append(g.Parts, GStringPart{Expr: ex})
+			p.gsFlush(s, segStart, i, gsBase, litPending)
+			litPending = false
+			p.partScratch = append(p.partScratch, GStringPart{Expr: ex})
 			i = j
+			segStart = i
 			continue
 		}
 		if s[i] == '$' && i+1 < len(s) && isIdentStart(rune(s[i+1])) {
@@ -1126,32 +1328,91 @@ func parseGString(t Token) (Expr, error) {
 					j++
 				}
 			}
-			ex, err := parseInterpolatedExpr(s[i+1:j], t.Pos)
+			ex, err := p.parseInterpolatedExpr(s[i+1:j], t.Pos)
 			if err != nil {
+				p.partScratch = p.partScratch[:partStart]
+				p.gsBuf = p.gsBuf[:gsBase]
 				return nil, err
 			}
-			flush()
-			g.Parts = append(g.Parts, GStringPart{Expr: ex})
+			p.gsFlush(s, segStart, i, gsBase, litPending)
+			litPending = false
+			p.partScratch = append(p.partScratch, GStringPart{Expr: ex})
 			i = j
+			segStart = i
 			continue
 		}
-		lit.WriteByte(s[i])
 		i++
 	}
-	flush()
-	if len(g.Parts) == 0 {
-		g.Parts = append(g.Parts, GStringPart{Text: ""})
+	p.gsFlush(s, segStart, len(s), gsBase, litPending)
+	if len(p.partScratch) == partStart {
+		p.partScratch = append(p.partScratch, GStringPart{Text: ""})
 	}
+	g.Parts = p.ast.parts.seal(p.partScratch[partStart:])
+	p.partScratch = p.partScratch[:partStart]
 	return g, nil
 }
 
-func parseInterpolatedExpr(src string, pos Pos) (Expr, error) {
-	toks, err := Tokenize(src)
+// buildDottedPath builds the AST for a plain `ident(.ident)*`
+// interpolation directly — the overwhelmingly common form — producing
+// exactly the nodes (and interpolation-relative positions) the
+// tokenizer+parser pipeline would. Anything else (keywords, non-ASCII,
+// calls, operators) reports false and takes the full parse.
+func (p *parser) buildDottedPath(src string) (Expr, bool) {
+	var x Expr
+	segStart := 0
+	for i := 0; ; i++ {
+		if i < len(src) && src[i] != '.' {
+			c := src[i]
+			ok := c == '_' || c == '$' || (c|0x20) >= 'a' && (c|0x20) <= 'z' ||
+				(c >= '0' && c <= '9' && i > segStart)
+			if !ok {
+				return nil, false
+			}
+			continue
+		}
+		seg := src[segStart:i]
+		if seg == "" {
+			return nil, false
+		}
+		if _, kw := keywords[seg]; kw {
+			return nil, false
+		}
+		if x == nil {
+			x = p.newIdent(seg, Pos{Line: 1, Col: int32(segStart + 1)})
+		} else {
+			pg := p.ast.props.alloc(8)
+			pg.Receiver, pg.Name, pg.Pos_ = x, seg, Pos{Line: 1, Col: int32(segStart + 1)}
+			x = pg
+		}
+		if i == len(src) {
+			return x, true
+		}
+		segStart = i + 1
+	}
+}
+
+// parseInterpolatedExpr parses the expression inside a ${...} or $ident
+// interpolation by retargeting this parser at a freshly lexed token buffer
+// (pooled), so interpolations share the surrounding parse's arenas and
+// scratch stacks instead of building a parser per part.
+func (p *parser) parseInterpolatedExpr(src string, pos Pos) (Expr, error) {
+	if ex, ok := p.buildDottedPath(src); ok {
+		return ex, nil
+	}
+	bufp, _ := tokenPool.Get().(*[]Token)
+	if bufp == nil {
+		bufp = new([]Token)
+	}
+	toks, err := appendTokens((*bufp)[:0], src)
+	*bufp = toks[:0]
+	defer tokenPool.Put(bufp)
 	if err != nil {
 		return nil, &ParseError{Pos: pos, Msg: "bad interpolation: " + err.Error()}
 	}
-	pp := &parser{toks: toks}
-	ex, err := pp.parseExpr()
+	savedToks, savedPos := p.toks, p.pos
+	p.toks, p.pos = toks, 0
+	ex, err := p.parseExpr()
+	p.toks, p.pos = savedToks, savedPos
 	if err != nil {
 		return nil, &ParseError{Pos: pos, Msg: "bad interpolation: " + err.Error()}
 	}
@@ -1180,50 +1441,55 @@ func (p *parser) parseListOrMap() (Expr, error) {
 	isMap := (p.at(IDENT) || p.at(STRING) || p.at(GSTRING) || p.at(NUMBER)) && p.peek(1).Kind == Colon
 	if isMap {
 		m := &MapLit{Pos_: lb.Pos}
+		entryStart := len(p.entryScratch)
+		bail := func(err error) (Expr, error) {
+			p.entryScratch = p.entryScratch[:entryStart]
+			return nil, err
+		}
 		for {
 			p.skipNewlines()
 			keyTok := p.cur()
 			var key Expr
 			switch keyTok.Kind {
 			case IDENT, STRING:
-				key = &StrLit{Value: keyTok.Text, Pos_: keyTok.Pos}
+				key = p.newStrLit(keyTok.Text, keyTok.Pos)
 				p.next()
 			case GSTRING:
 				p.next()
-				k, err := parseGString(keyTok)
+				k, err := p.parseGString(keyTok)
 				if err != nil {
-					return nil, err
+					return bail(err)
 				}
 				key = k
 			case NUMBER:
 				p.next()
-				k, err := parseNumLit(keyTok)
+				k, err := p.parseNumLit(keyTok)
 				if err != nil {
-					return nil, err
+					return bail(err)
 				}
 				key = k
 			case LParen:
 				p.next()
 				k, err := p.parseExpr()
 				if err != nil {
-					return nil, err
+					return bail(err)
 				}
 				if _, err := p.expect(RParen); err != nil {
-					return nil, err
+					return bail(err)
 				}
 				key = k
 			default:
-				return nil, p.errf("bad map key %s", keyTok)
+				return bail(p.errf("bad map key %s", keyTok))
 			}
 			if _, err := p.expect(Colon); err != nil {
-				return nil, err
+				return bail(err)
 			}
 			p.skipNewlines()
 			v, err := p.parseExpr()
 			if err != nil {
-				return nil, err
+				return bail(err)
 			}
-			m.Entries = append(m.Entries, MapEntry{Key: key, Value: v})
+			p.entryScratch = append(p.entryScratch, MapEntry{Key: key, Value: v})
 			p.skipNewlines()
 			if p.at(Comma) {
 				p.next()
@@ -1237,18 +1503,25 @@ func (p *parser) parseListOrMap() (Expr, error) {
 		}
 		p.skipNewlines()
 		if _, err := p.expect(RBracket); err != nil {
-			return nil, err
+			return bail(err)
 		}
+		m.Entries = p.ast.entries.seal(p.entryScratch[entryStart:])
+		p.entryScratch = p.entryScratch[:entryStart]
 		return m, nil
 	}
 	l := &ListLit{Pos_: lb.Pos}
+	exprStart := len(p.exprScratch)
+	bail := func(err error) (Expr, error) {
+		p.exprScratch = p.exprScratch[:exprStart]
+		return nil, err
+	}
 	for {
 		p.skipNewlines()
 		v, err := p.parseExpr()
 		if err != nil {
-			return nil, err
+			return bail(err)
 		}
-		l.Elems = append(l.Elems, v)
+		p.exprScratch = append(p.exprScratch, v)
 		p.skipNewlines()
 		if p.at(Comma) {
 			p.next()
@@ -1262,7 +1535,9 @@ func (p *parser) parseListOrMap() (Expr, error) {
 	}
 	p.skipNewlines()
 	if _, err := p.expect(RBracket); err != nil {
-		return nil, err
+		return bail(err)
 	}
+	l.Elems = p.ast.exprs.seal(p.exprScratch[exprStart:])
+	p.exprScratch = p.exprScratch[:exprStart]
 	return l, nil
 }

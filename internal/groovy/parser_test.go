@@ -555,3 +555,33 @@ func TestMustParsePanics(t *testing.T) {
 	}()
 	MustParse("def f() {")
 }
+
+// TestNestedGStringEscapedDollar pins the shared escape buffer's stack
+// discipline: a GString with an escaped dollar whose interpolation
+// contains ANOTHER GString with an escaped dollar must not lose the
+// outer's accumulated literal text.
+func TestNestedGStringEscapedDollar(t *testing.T) {
+	script, err := Parse("def m = \"\\$5 off: ${fmt(\"x\\$y\")}\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl, ok := script.Stmts[0].(*DeclStmt)
+	if !ok {
+		t.Fatalf("want DeclStmt, got %T", script.Stmts[0])
+	}
+	g, ok := decl.Init.(*GStringLit)
+	if !ok {
+		t.Fatalf("want GStringLit, got %T", decl.Init)
+	}
+	if len(g.Parts) != 2 || g.Parts[0].Text != "$5 off: " || g.Parts[1].Expr == nil {
+		t.Fatalf("outer parts wrong: %+v", g.Parts)
+	}
+	call, ok := g.Parts[1].Expr.(*Call)
+	if !ok || call.Method != "fmt" || len(call.Args) != 1 {
+		t.Fatalf("inner call wrong: %+v", g.Parts[1].Expr)
+	}
+	inner, ok := call.Args[0].(*GStringLit)
+	if !ok || len(inner.Parts) != 1 || inner.Parts[0].Text != "x$y" {
+		t.Fatalf("inner gstring wrong: %+v", call.Args[0])
+	}
+}

@@ -128,10 +128,11 @@ var keywords = map[string]Kind{
 	"in": KwIn, "new": KwNew, "import": KwImport, "instanceof": KwInstanceof,
 }
 
-// Pos is a position in the source text, 1-based.
+// Pos is a position in the source text, 1-based. 32-bit fields keep
+// tokens and AST nodes compact (a position is copied into every one).
 type Pos struct {
-	Line int
-	Col  int
+	Line int32
+	Col  int32
 }
 
 // String renders the position as "line:col".

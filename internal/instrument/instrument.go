@@ -53,7 +53,7 @@ func Instrument(src string) (string, error) {
 	if m := script.Method("updated"); m != nil {
 		pos := m.Body.Position() // 1-based line/col of '{'
 		line := lines[pos.Line-1]
-		col := pos.Col
+		col := int(pos.Col)
 		if col > len(line) {
 			col = len(line)
 		}

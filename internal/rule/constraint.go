@@ -295,6 +295,37 @@ func collectVars(c Constraint, set map[string]bool) {
 	}
 }
 
+// MentionsEventVar reports whether c references the event variable named
+// name (Kind VarEvent) as a direct comparison operand — the same variables
+// VarSet would report, checked without allocating (this runs once per
+// path conjunct of every extracted rule).
+func MentionsEventVar(c Constraint, name string) bool {
+	switch x := c.(type) {
+	case Cmp:
+		if v, ok := x.L.(Var); ok && v.Kind == VarEvent && v.Name == name {
+			return true
+		}
+		if v, ok := x.R.(Var); ok && v.Kind == VarEvent && v.Name == name {
+			return true
+		}
+	case And:
+		for _, sub := range x.Cs {
+			if MentionsEventVar(sub, name) {
+				return true
+			}
+		}
+	case Or:
+		for _, sub := range x.Cs {
+			if MentionsEventVar(sub, name) {
+				return true
+			}
+		}
+	case Not:
+		return MentionsEventVar(x.C, name)
+	}
+	return false
+}
+
 // VarSet returns the variables (with kind/type metadata) referenced by c,
 // keyed by name.
 func VarSet(c Constraint) map[string]Var {

@@ -1,0 +1,63 @@
+package rule
+
+import "sync"
+
+// A process-wide intern table for the canonical variable names that both
+// the symbolic executor and the detect compile step construct by joining
+// two parts ("<subject>.<attribute>", "<app>!<input>", "<device>.<attr>").
+// These names are built on every evaluation of every path of every
+// extraction and every per-pair canonicalization; interning makes the
+// repeat constructions allocation-free and gives equal names one shared
+// backing string across both layers.
+//
+// The table is keyed two-level so a lookup never has to concatenate: the
+// joined string is built only on first sight of a pair. It grows with the
+// number of distinct (part, part) pairs — bounded by the app catalog's
+// device/attribute vocabulary, not by traffic — so no eviction is needed.
+var internTab = struct {
+	sync.RWMutex
+	dot  map[string]map[string]string // a.b
+	bang map[string]map[string]string // a!b
+}{
+	dot:  map[string]map[string]string{},
+	bang: map[string]map[string]string{},
+}
+
+// InternDotted returns the canonical "a.b" string, allocating only the
+// first time a pair is seen.
+func InternDotted(a, b string) string { return internJoin(a, b, '.') }
+
+// InternBanged returns the canonical "a!b" string (the app-qualified
+// input-variable form used by canonicalization), allocating only the
+// first time a pair is seen.
+func InternBanged(a, b string) string { return internJoin(a, b, '!') }
+
+func internJoin(a, b string, sep byte) string {
+	tab := internTab.dot
+	if sep == '!' {
+		tab = internTab.bang
+	}
+	internTab.RLock()
+	if m := tab[a]; m != nil {
+		if s, ok := m[b]; ok {
+			internTab.RUnlock()
+			return s
+		}
+	}
+	internTab.RUnlock()
+
+	joined := a + string(sep) + b
+	internTab.Lock()
+	m := tab[a]
+	if m == nil {
+		m = map[string]string{}
+		tab[a] = m
+	}
+	if s, ok := m[b]; ok {
+		joined = s
+	} else {
+		m[b] = joined
+	}
+	internTab.Unlock()
+	return joined
+}

@@ -1,0 +1,198 @@
+package symexec_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/symexec"
+)
+
+// These tests pin the copy-on-write fork semantics of the symbolic
+// executor's scope chain: forked sibling paths share frames until one
+// writes, and a write after the fork must never leak into the sibling.
+// CI runs this package under -race, which also exercises the parser and
+// executor pools from the concurrency test below.
+
+const cowHeader = `
+definition(name: "CowTest", namespace: "t", author: "t")
+preferences {
+    section {
+        input "sw1", "capability.switch"
+        input "light1", "capability.switchLevel"
+    }
+}
+def updated() { subscribe(sw1, "switch", handler) }
+`
+
+func extractRules(t *testing.T, body string) []string {
+	t.Helper()
+	res, err := symexec.Extract(cowHeader+body, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(res.Rules.Rules))
+	for _, r := range res.Rules.Rules {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+// TestCOWSiblingIsolation: a write in the then-branch must not be visible
+// on the else path that shares the pre-fork scope chain.
+func TestCOWSiblingIsolation(t *testing.T) {
+	rules := extractRules(t, `
+def handler(evt) {
+    def level = 10
+    if (sw1.currentSwitch == "on") {
+        level = 90
+        light1.setLevel(level)
+    } else {
+        light1.setLevel(level)
+    }
+}
+`)
+	if len(rules) != 2 {
+		t.Fatalf("want 2 rules, got %v", rules)
+	}
+	if !strings.Contains(rules[0], "(setLevel)(90)") {
+		t.Errorf("then-path rule lost its own write: %s", rules[0])
+	}
+	if !strings.Contains(rules[1], "(setLevel)(10)") {
+		t.Errorf("then-path write leaked into the else sibling: %s", rules[1])
+	}
+}
+
+// TestCOWWriteThroughSharedFrame: the write targets a frame ABOVE the
+// fork point (the handler scope, written from inside a loop body scope
+// pushed after the fork) — the thaw must copy the path to the written
+// frame, not just the leaf.
+func TestCOWWriteThroughSharedFrame(t *testing.T) {
+	rules := extractRules(t, `
+def handler(evt) {
+    def level = 10
+    if (sw1.currentSwitch == "on") {
+        for (x in [1]) {
+            level = 90
+        }
+        light1.setLevel(level)
+    } else {
+        light1.setLevel(level)
+    }
+}
+`)
+	if len(rules) < 2 {
+		t.Fatalf("want >= 2 rules, got %v", rules)
+	}
+	found90, found10 := false, false
+	for _, r := range rules {
+		if strings.Contains(r, "(setLevel)(90)") {
+			found90 = true
+		}
+		if strings.Contains(r, "(setLevel)(10)") {
+			found10 = true
+		}
+	}
+	if !found90 || !found10 {
+		t.Fatalf("want both setLevel(90) and an isolated setLevel(10): %v", rules)
+	}
+}
+
+// TestCOWNestedInlining: an inlined method gets a fresh scope — its
+// locals shadow nothing and leak nothing back to the caller, across the
+// forks the method body makes.
+func TestCOWNestedInlining(t *testing.T) {
+	rules := extractRules(t, `
+def handler(evt) {
+    def level = 10
+    helper()
+    light1.setLevel(level)
+}
+def helper() {
+    def level = 99
+    if (sw1.currentSwitch == "on") {
+        light1.setLevel(level)
+    }
+}
+`)
+	if len(rules) != 3 {
+		t.Fatalf("want 3 rules (helper sink + caller sink on both paths), got %v", rules)
+	}
+	if !strings.Contains(rules[0], "(setLevel)(99)") {
+		t.Errorf("helper lost its local: %s", rules[0])
+	}
+	for _, r := range rules[1:] {
+		if !strings.Contains(r, "(setLevel)(10)") {
+			t.Errorf("helper local leaked into the caller: %s", r)
+		}
+	}
+}
+
+// TestCOWTernaryForking: ternary assignment forks the path; each side
+// records its own binding.
+func TestCOWTernaryForking(t *testing.T) {
+	rules := extractRules(t, `
+def handler(evt) {
+    def lvl = (sw1.currentSwitch == "on") ? 90 : 10
+    light1.setLevel(lvl)
+}
+`)
+	if len(rules) != 2 {
+		t.Fatalf("want 2 rules, got %v", rules)
+	}
+	if !strings.Contains(rules[0], "(setLevel)(90)") || !strings.Contains(rules[1], "(setLevel)(10)") {
+		t.Fatalf("ternary fork bindings wrong: %v", rules)
+	}
+}
+
+// TestConcurrentExtraction runs many extractions in parallel over the
+// corpus. Under -race this exercises the shared parser/executor pools,
+// the command-resolution memo and the intern tables; results must match
+// the serial run exactly.
+func TestConcurrentExtraction(t *testing.T) {
+	apps := corpus.All()
+	want := make([]string, len(apps))
+	for i, a := range apps {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			t.Fatalf("extract %s: %v", a.Name, err)
+		}
+		want[i] = renderResult(res)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*len(apps))
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, a := range apps {
+				res, err := symexec.Extract(a.Source, "")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := renderResult(res); got != want[i] {
+					errs <- fmt.Errorf("app %s: concurrent extraction diverged", a.Name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func renderResult(res *symexec.Result) string {
+	var b strings.Builder
+	for _, r := range res.Rules.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "paths=%d warns=%v", res.Paths, res.Warnings)
+	return b.String()
+}

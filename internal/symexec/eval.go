@@ -13,24 +13,36 @@ func (ex *executor) eval(e groovy.Expr, st *state) value {
 	case *groovy.Ident:
 		return ex.evalIdent(n.Name, st)
 	case *groovy.StrLit:
-		return termVal{rule.StrVal(n.Value)}
+		if v, ok := ex.litMemo[e]; ok {
+			return v
+		}
+		return ex.memoizeLit(e, termVal{rule.StrVal(n.Value)})
 	case *groovy.GStringLit:
 		if n.IsPlain() {
-			return termVal{rule.StrVal(n.PlainText())}
+			if v, ok := ex.litMemo[e]; ok {
+				return v
+			}
+			return ex.memoizeLit(e, termVal{rule.StrVal(n.PlainText())})
 		}
 		// Interpolated strings: if it reduces to a single interpolation of
 		// a trackable term, use that; otherwise unknown.
 		if len(n.Parts) == 1 && n.Parts[0].Expr != nil {
 			return ex.eval(n.Parts[0].Expr, st)
 		}
-		return unknownVal{"interpolated string"}
+		return unkInterpString
 	case *groovy.NumLit:
-		if n.IsInt {
-			return termVal{rule.IntVal(n.Int)}
+		if v, ok := ex.litMemo[e]; ok {
+			return v
 		}
-		return termVal{rule.IntVal(int64(n.Float))}
+		if n.IsInt {
+			return ex.memoizeLit(e, termVal{rule.IntVal(n.Int)})
+		}
+		return ex.memoizeLit(e, termVal{rule.IntVal(int64(n.Float))})
 	case *groovy.BoolLit:
-		return termVal{rule.BoolVal(n.Value)}
+		if n.Value {
+			return valTrue
+		}
+		return valFalse
 	case *groovy.NullLit:
 		return termVal{rule.StrVal("null")}
 	case *groovy.ListLit:
@@ -48,7 +60,7 @@ func (ex *executor) eval(e groovy.Expr, st *state) value {
 		}
 		return m
 	case *groovy.RangeLit:
-		return unknownVal{"range"}
+		return unkRange
 	case *groovy.PropertyGet:
 		return ex.evalProperty(n, st)
 	case *groovy.IndexGet:
@@ -60,7 +72,7 @@ func (ex *executor) eval(e groovy.Expr, st *state) value {
 				}
 			}
 		}
-		return unknownVal{"index"}
+		return unkIndex
 	case *groovy.Call:
 		return ex.evalCall(n, st)
 	case *groovy.ClosureExpr:
@@ -72,7 +84,7 @@ func (ex *executor) eval(e groovy.Expr, st *state) value {
 	case *groovy.Ternary:
 		// Expression-position ternary without statement forking: value is
 		// untracked (assignments fork via forkTernary instead).
-		return unknownVal{"ternary"}
+		return unkTernary
 	case *groovy.ElvisExpr:
 		// a ?: b — the common pattern is defaulting an unset input; keep
 		// the primary value when trackable.
@@ -82,9 +94,22 @@ func (ex *executor) eval(e groovy.Expr, st *state) value {
 		}
 		return ex.eval(n.Else, st)
 	case *groovy.NewExpr:
-		return unknownVal{"new " + n.Type}
+		return unkNew
 	}
-	return unknownVal{"expr"}
+	return unkExpr
+}
+
+// memoizeLit records the boxed symbolic value of a literal AST node: the
+// same literal is re-evaluated on every path through its statement, and
+// boxing a term into the value interface allocates twice (term into
+// rule.Term, termVal into value). Values are immutable; the memo is keyed
+// by node pointer and cleared when the executor is released.
+func (ex *executor) memoizeLit(e groovy.Expr, v value) value {
+	if ex.litMemo == nil {
+		ex.litMemo = make(map[groovy.Expr]value, 16)
+	}
+	ex.litMemo[e] = v
+	return v
 }
 
 // evalIn evaluates an expression under a specific environment (used for
@@ -108,45 +133,62 @@ func (ex *executor) evalIdent(name string, st *state) value {
 	}
 	switch name {
 	case "location":
-		return locationVal{}
+		return valLocation
 	case "state":
-		return stateVal{}
+		return valState
 	case "atomicState":
-		return stateVal{atomic: true}
+		return valAtomicState
 	case "settings":
 		return mapVal{entries: ex.settingsMap()}
 	case "now":
-		return termVal{rule.Var{Name: "env.now", Kind: rule.VarEnvFeature, Type: rule.TypeInt}}
+		return valNow
 	case "it":
-		return unknownVal{"implicit it"}
+		return unkImplicitIt
 	case "app":
-		return unknownVal{"app object"}
+		return unkAppObject
 	}
-	return unknownVal{"ident " + name}
+	return unkIdent
 }
 
+// settingsMap returns the `settings` object's entries, built once per
+// executor (every evaluation of the `settings` ident used to rebuild it).
 func (ex *executor) settingsMap() map[string]value {
-	m := map[string]value{}
-	for i := range ex.app.Inputs {
-		in := &ex.app.Inputs[i]
-		m[in.Name] = ex.inputValue(in)
+	if ex.settingsVal.entries == nil {
+		m := make(map[string]value, len(ex.app.Inputs))
+		for i := range ex.app.Inputs {
+			in := &ex.app.Inputs[i]
+			m[in.Name] = ex.inputValue(in)
+		}
+		ex.settingsVal = mapVal{entries: m}
 	}
-	return m
+	return ex.settingsVal.entries
 }
 
-// inputValue converts an input declaration to its symbolic value.
+// inputValue converts an input declaration to its symbolic value. Values
+// are memoized per declaration: idents naming inputs are evaluated on
+// every path, and the boxed value is immutable.
 func (ex *executor) inputValue(in *InputDecl) value {
+	if v, ok := ex.inputVals[in]; ok {
+		return v
+	}
+	var v value
 	if in.IsDevice() {
-		return deviceVal{in: in}
+		v = deviceVal{in: in}
+	} else {
+		t := rule.TypeString
+		switch in.Type {
+		case "number", "decimal":
+			t = rule.TypeInt
+		case "bool", "boolean":
+			t = rule.TypeBool
+		}
+		v = termVal{rule.Var{Name: in.Name, Kind: rule.VarUserInput, Type: t}}
 	}
-	t := rule.TypeString
-	switch in.Type {
-	case "number", "decimal":
-		t = rule.TypeInt
-	case "bool", "boolean":
-		t = rule.TypeBool
+	if ex.inputVals == nil {
+		ex.inputVals = make(map[*InputDecl]value, len(ex.app.Inputs))
 	}
-	return termVal{rule.Var{Name: in.Name, Kind: rule.VarUserInput, Type: t}}
+	ex.inputVals[in] = v
+	return v
 }
 
 // evalProperty resolves property reads: evt.value, device.currentX,
@@ -161,11 +203,11 @@ func (ex *executor) evalProperty(n *groovy.PropertyGet, st *state) value {
 	case locationVal:
 		switch n.Name {
 		case "mode", "currentMode":
-			return termVal{rule.Var{Name: "location.mode", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+			return valLocationMode
 		case "modes":
-			return unknownVal{"location.modes"}
+			return unkLLocationModes
 		default:
-			return unknownVal{"location." + n.Name}
+			return unkLocationProp
 		}
 	case stateVal:
 		key := "state." + n.Name
@@ -177,7 +219,7 @@ func (ex *executor) evalProperty(n *groovy.PropertyGet, st *state) value {
 		if v, ok := r.entries[n.Name]; ok {
 			return v
 		}
-		return unknownVal{"map." + n.Name}
+		return unkMapProp
 	case devStateVal:
 		if n.Name == "value" || n.Name == "stringValue" {
 			return termVal{deviceAttrVar(r.dev, r.attr, r.typ)}
@@ -185,7 +227,7 @@ func (ex *executor) evalProperty(n *groovy.PropertyGet, st *state) value {
 		if n.Name == "integerValue" || n.Name == "numberValue" || n.Name == "doubleValue" {
 			return termVal{deviceAttrVar(r.dev, r.attr, rule.TypeInt)}
 		}
-		return unknownVal{"deviceState." + n.Name}
+		return unkDeviceStateProp
 	case listVal:
 		if n.Name == "size" {
 			return termVal{rule.IntVal(int64(len(r.elems)))}
@@ -194,7 +236,7 @@ func (ex *executor) evalProperty(n *groovy.PropertyGet, st *state) value {
 			return r.elems[0]
 		}
 	}
-	return unknownVal{"prop " + n.Name}
+	return unkProp
 }
 
 // evalEventProperty models the event object's properties.
@@ -210,19 +252,19 @@ func (ex *executor) evalEventProperty(name string, st *state) value {
 		if in, ok := ex.inputs[tr.Subject]; ok {
 			return deviceVal{in: in}
 		}
-		return unknownVal{"evt.device"}
+		return unkLEvtDevice
 	case "deviceId":
 		return termVal{rule.Var{Name: tr.Subject + ".id", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
 	case "name":
 		return termVal{rule.StrVal(tr.Attribute)}
 	case "displayName":
-		return unknownVal{"evt.displayName"}
+		return unkLEvtDisplayname
 	case "date", "isoDate":
-		return unknownVal{"evt.date"}
+		return unkLEvtDate
 	case "isStateChange", "physical", "digital":
-		return termVal{rule.BoolVal(true)}
+		return valTrue
 	}
-	return unknownVal{"evt." + name}
+	return unkEventProp
 }
 
 // evalDeviceProperty models device property reads (currentSwitch,
@@ -234,7 +276,7 @@ func (ex *executor) evalDeviceProperty(dev deviceVal, name string) value {
 	case "label", "displayName", "name":
 		return termVal{rule.StrVal(dev.in.Name)}
 	case "capabilities", "supportedAttributes", "supportedCommands":
-		return unknownVal{"device." + name}
+		return unkDeviceProp
 	}
 	if attr, ok := strings.CutPrefix(name, "current"); ok && attr != "" {
 		attrName := lowerFirst(attr)
@@ -244,7 +286,7 @@ func (ex *executor) evalDeviceProperty(dev deviceVal, name string) value {
 	if t := ex.attrType(dev.in.Capability, name); t != "" {
 		return termVal{deviceAttrVar(dev.in.Name, name, t)}
 	}
-	return unknownVal{"device." + name}
+	return unkDeviceProp
 }
 
 func lowerFirst(s string) string {
@@ -268,13 +310,13 @@ func (ex *executor) evalCall(call *groovy.Call, st *state) value {
 		return ex.evalEventProperty(strings.TrimSuffix(call.Method, "()"), st)
 	case locationVal:
 		if call.Method == "getMode" || call.Method == "currentMode" {
-			return termVal{rule.Var{Name: "location.mode", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+			return valLocationMode
 		}
 		if call.Method == "setMode" {
 			ex.emitLocationMode(call, st)
-			return unknownVal{"setMode"}
+			return unkLSetmode
 		}
-		return unknownVal{"location." + call.Method}
+		return unkLocationCall
 	case termVal:
 		return ex.evalScalarMethod(r, call, st)
 	case listVal:
@@ -282,13 +324,13 @@ func (ex *executor) evalCall(call *groovy.Call, st *state) value {
 		case "size":
 			return termVal{rule.IntVal(int64(len(r.elems)))}
 		case "contains":
-			return unknownVal{"contains"}
+			return unkLContains
 		case "sum", "max", "min":
-			return unknownVal{"aggregate"}
+			return unkLAggregate
 		}
 		if isIterMethod(call.Method) {
-			ex.execIterCall(r, call, st)
-			return unknownVal{"iter result"}
+			ex.execIterCall(r, call, st, nil)
+			return unkLIterResult
 		}
 	case mapVal:
 		if call.Method == "get" && len(call.Args) == 1 {
@@ -304,11 +346,11 @@ func (ex *executor) evalCall(call *groovy.Call, st *state) value {
 		}
 	case unknownVal, stateVal:
 		if isIterMethod(call.Method) {
-			ex.execIterCall(recv, call, st)
-			return unknownVal{"iter result"}
+			ex.execIterCall(recv, call, st, nil)
+			return unkLIterResult
 		}
 	}
-	return unknownVal{"call " + call.Method}
+	return unkCall
 }
 
 // evalDeviceCallExpr models device method calls in expression position.
@@ -320,33 +362,33 @@ func (ex *executor) evalDeviceCallExpr(dev deviceVal, call *groovy.Call, st *sta
 				return termVal{deviceAttrVar(dev.in.Name, attr, ex.attrType(dev.in.Capability, attr))}
 			}
 		}
-		return unknownVal{"currentValue"}
+		return unkLCurrentvalue
 	case "currentState", "latestState":
 		if len(call.Args) == 1 {
 			if attr := stringArg(call.Args[0]); attr != "" {
 				return devStateVal{dev: dev.in.Name, attr: attr, typ: ex.attrType(dev.in.Capability, attr)}
 			}
 		}
-		return unknownVal{"currentState"}
+		return unkLCurrentstate
 	case "getId":
 		return termVal{rule.Var{Name: dev.in.Name + ".id", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
 	case "getLabel", "getDisplayName", "getName":
 		return termVal{rule.StrVal(dev.in.Name)}
 	case "hasCapability", "hasCommand", "hasAttribute":
-		return unknownVal{"capability query"}
+		return unkLCapabilityQuery
 	case "events", "eventsSince", "statesSince":
-		return unknownVal{"history query"}
+		return unkLHistoryQuery
 	}
 	// A device command used in expression position is still a sink.
-	if ref := resolveCommand(dev.in.Capability, call.Method); ref != nil {
+	if ref := ex.resolveCommand(dev.in.Capability, call.Method); ref != nil {
 		ex.emitDeviceSink(dev, ref, call, st)
-		return unknownVal{"command result"}
+		return unkLCommandResult
 	}
 	if attr, ok := strings.CutPrefix(call.Method, "current"); ok && attr != "" {
 		attrName := lowerFirst(attr)
 		return termVal{deviceAttrVar(dev.in.Name, attrName, ex.attrType(dev.in.Capability, attrName))}
 	}
-	return unknownVal{"device call " + call.Method}
+	return unkDeviceCall
 }
 
 // evalScalarMethod models methods on scalar terms (toInteger, contains,
@@ -375,9 +417,9 @@ func (ex *executor) evalScalarMethod(v termVal, call *groovy.Call, st *state) va
 				return boolVal{rule.Cmp{Op: rule.OpEq, L: v.t, R: other}}
 			}
 		}
-		return unknownVal{"equals"}
+		return unkLEquals
 	case "contains", "startsWith", "endsWith", "matches", "isNumber":
-		return unknownVal{"string predicate"}
+		return unkLStringPredicate
 	case "plus":
 		if len(call.Args) == 1 {
 			return ex.evalBinary(groovy.Plus, v, ex.eval(call.Args[0], st))
@@ -387,14 +429,14 @@ func (ex *executor) evalScalarMethod(v termVal, call *groovy.Call, st *state) va
 			return ex.evalBinary(groovy.Minus, v, ex.eval(call.Args[0], st))
 		}
 	}
-	return unknownVal{"scalar " + call.Method}
+	return unkScalarCall
 }
 
 // evalBareCall evaluates implicit-this calls in expression position.
 func (ex *executor) evalBareCall(call *groovy.Call, st *state) value {
 	switch call.Method {
 	case "now":
-		return termVal{rule.Var{Name: "env.now", Kind: rule.VarEnvFeature, Type: rule.TypeInt}}
+		return valNow
 	case "timeOfDayIsBetween":
 		// timeOfDayIsBetween(from, to, date, tz) — model as a window
 		// constraint on env.timeOfDay.
@@ -409,27 +451,27 @@ func (ex *executor) evalBareCall(call *groovy.Call, st *state) value {
 				)}
 			}
 		}
-		return unknownVal{"timeOfDayIsBetween"}
+		return unkLTimeofdayisbetween
 	case "timeToday", "timeTodayAfter", "toDateTime":
 		if len(call.Args) >= 1 {
 			if t, ok := asTerm(ex.eval(call.Args[0], st)); ok {
 				return termVal{t}
 			}
 		}
-		return unknownVal{"timeToday"}
+		return unkLTimetoday
 	case "getSunriseAndSunset":
 		return mapVal{entries: map[string]value{
 			"sunrise": termVal{rule.Var{Name: "env.sunrise", Kind: rule.VarEnvFeature, Type: rule.TypeInt}},
 			"sunset":  termVal{rule.Var{Name: "env.sunset", Kind: rule.VarEnvFeature, Type: rule.TypeInt}},
 		}}
 	case "getLocation":
-		return locationVal{}
+		return valLocation
 	case "textToSpeech":
-		return unknownVal{"tts"}
+		return unkLTts
 	case "parseJson", "parseXml", "parseLanMessage":
-		return unknownVal{"parsed payload"}
+		return unkLParsedPayload
 	case "Math", "Makefile":
-		return unknownVal{call.Method}
+		return unkCall
 	}
 	// Math.* style calls arrive as receiver calls; bare max/min/abs:
 	switch call.Method {
@@ -439,15 +481,15 @@ func (ex *executor) evalBareCall(call *groovy.Call, st *state) value {
 				return termVal{t} // keep the first operand symbolically
 			}
 		}
-		return unknownVal{"math"}
+		return unkLMath
 	}
 	// User-defined method in expression position: inline along a single
 	// merged path (sinks inside are still discovered).
 	if m := ex.script.Method(call.Method); m != nil {
 		if st.depth >= ex.lim.MaxCallDepth {
-			return unknownVal{"depth limit"}
+			return unkLDepthLimit
 		}
-		outs := ex.inlineMethod(m, call, st)
+		outs := ex.inlineMethod(m, call, st, nil)
 		if len(outs) == 1 && outs[0].retVal != nil {
 			rv := outs[0].retVal
 			outs[0].retVal = nil
@@ -456,13 +498,13 @@ func (ex *executor) evalBareCall(call *groovy.Call, st *state) value {
 		if len(outs) > 1 {
 			ex.warnf("branching in expression-position call %q; result untracked", call.Method)
 		}
-		return unknownVal{"call " + call.Method}
+		return unkCall
 	}
 	if ex.isAPISink(call.Method) {
 		ex.emitAPISink(call, st)
-		return unknownVal{"sink result"}
+		return unkLSinkResult
 	}
-	return unknownVal{"api " + call.Method}
+	return unkAPICall
 }
 
 // evalUnary handles !, - on symbolic values.
@@ -473,16 +515,16 @@ func (ex *executor) evalUnary(n *groovy.Unary, st *state) value {
 		if c, ok := asConstraint(x); ok {
 			return boolVal{rule.Negate(c)}
 		}
-		return unknownVal{"!unknown"}
+		return unkLNotUnknown
 	case groovy.Minus:
 		if t, ok := asTerm(x); ok {
 			if iv, ok := t.(rule.IntVal); ok {
 				return termVal{rule.IntVal(-int64(iv))}
 			}
 		}
-		return unknownVal{"negate"}
+		return unkLNegate
 	}
-	return unknownVal{"unary"}
+	return unkLUnary
 }
 
 // evalBinary combines symbolic values under a binary operator.
@@ -504,26 +546,26 @@ func (ex *executor) evalBinary(op groovy.Kind, l, r value) value {
 		case rok:
 			return boolVal{rc}
 		}
-		return unknownVal{"&&"}
+		return unkLAndAnd
 	case groovy.OrOr:
 		lc, lok := asConstraint(l)
 		rc, rok := asConstraint(r)
 		if lok && rok {
 			return boolVal{rule.Disj(lc, rc)}
 		}
-		return unknownVal{"||"} // cannot over-approximate a disjunction soundly
+		return unkLOrOr // cannot over-approximate a disjunction soundly
 	case groovy.Eq, groovy.NotEq, groovy.Lt, groovy.LtEq, groovy.Gt, groovy.GtEq:
 		lt, lok := asTerm(l)
 		rt, rok := asTerm(r)
 		if !lok || !rok {
-			return unknownVal{"cmp"}
+			return unkLCmp
 		}
 		return boolVal{rule.Cmp{Op: cmpOp(op), L: lt, R: rt}}
 	case groovy.Plus, groovy.Minus:
 		lt, lok := asTerm(l)
 		rt, rok := asTerm(r)
 		if !lok || !rok {
-			return unknownVal{"arith"}
+			return unkLArith
 		}
 		return addTerms(lt, rt, op == groovy.Minus)
 	case groovy.Star, groovy.Slash, groovy.Percent, groovy.Power:
@@ -545,12 +587,12 @@ func (ex *executor) evalBinary(op groovy.Kind, l, r value) value {
 				}
 			}
 		}
-		return unknownVal{"mult"}
+		return unkLMult
 	case groovy.KwIn:
 		// x in [a, b, c] → disjunction of equalities.
 		lt, lok := asTerm(l)
 		if !lok {
-			return unknownVal{"in"}
+			return unkLIn
 		}
 		if list, ok := r.(listVal); ok {
 			var alts []rule.Constraint
@@ -567,9 +609,9 @@ func (ex *executor) evalBinary(op groovy.Kind, l, r value) value {
 			// membership in a symbolic multi-select input ≈ equality.
 			return boolVal{rule.Cmp{Op: rule.OpEq, L: lt, R: rt}}
 		}
-		return unknownVal{"in"}
+		return unkLIn
 	}
-	return unknownVal{"binop"}
+	return unkLBinop
 }
 
 func termInt(v value) (int64, bool) {
@@ -611,7 +653,7 @@ func addTerms(l, r rule.Term, minus bool) value {
 			return termVal{rule.StrVal(string(lt) + string(rt))}
 		}
 	}
-	return unknownVal{"sum"}
+	return unkLSum
 }
 
 func cmpOp(k groovy.Kind) rule.CmpOp {

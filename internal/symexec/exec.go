@@ -6,51 +6,153 @@ import (
 	"homeguard/internal/rule"
 )
 
-// execBlock executes statements in order, forking on branches. It returns
-// the set of states that flow past the end of the block (states that hit
-// `return` are marked st.ret and also returned — callers decide whether a
+// execBlock executes statements in order, forking on branches, and appends
+// the states that flow past the end of the block to out (states that hit
+// `return` are marked st.ret and also included — callers decide whether a
 // return terminates the path or only the inlined method).
-func (ex *executor) execBlock(stmts []groovy.Stmt, st *state) []*state {
-	states := []*state{st}
-	for _, s := range stmts {
-		var next []*state
-		for _, cur := range states {
+//
+// Continuing states are threaded through a local double buffer so the
+// per-statement state lists allocate only when a block actually forks;
+// execStmt appends into the buffer it is handed instead of returning fresh
+// slices. Indistinguishable fork siblings are merged after every statement
+// (see mergeAdjacent) so unconstrained branching cannot multiply identical
+// states; their multiplicity is preserved for path counts and emission.
+func (ex *executor) execBlock(stmts []groovy.Stmt, st *state, out []*state) []*state {
+	switch len(stmts) {
+	case 0:
+		return append(out, st)
+	case 1:
+		// Single-statement block (closure bodies, guard bodies): no
+		// intermediate state lists at all.
+		base := len(out)
+		out = ex.execStmt(stmts[0], st, out)
+		if countMult(out[base:]) > ex.lim.MaxPaths {
+			ex.warnf("path limit reached; truncating exploration")
+			out = truncMult(out, base, ex.lim.MaxPaths)
+		}
+		if len(out)-base > 1 {
+			out = mergeAdjacent(out, base)
+		}
+		return out
+	}
+	bufA := append(ex.getStateBuf(), st)
+	bufB := ex.getStateBuf()
+	for i, s := range stmts {
+		dst := bufB[:0]
+		base := 0
+		if i == len(stmts)-1 {
+			dst = out
+			base = len(out)
+		}
+		total := 0
+		for _, cur := range bufA {
 			if cur.ret {
-				next = append(next, cur)
+				dst = append(dst, cur)
+				total += cur.mult
 				continue
 			}
-			next = append(next, ex.execStmt(s, cur)...)
-			if len(next) > ex.lim.MaxPaths {
+			mark := len(dst)
+			dst = ex.execStmt(s, cur, dst)
+			total += countMult(dst[mark:])
+			if total > ex.lim.MaxPaths {
 				ex.warnf("path limit reached; truncating exploration")
-				next = next[:ex.lim.MaxPaths]
+				dst = truncMult(dst, base, ex.lim.MaxPaths)
+				total = ex.lim.MaxPaths
 			}
 		}
-		states = next
+		if len(dst)-base > 1 {
+			dst = mergeAdjacent(dst, base)
+		}
+		if i == len(stmts)-1 {
+			ex.putStateBuf(bufA)
+			ex.putStateBuf(bufB)
+			return dst
+		}
+		bufA, bufB = dst, bufA
+	}
+	return append(out, bufA...) // unreachable: the last statement returns
+}
+
+// getStateBuf / putStateBuf recycle the per-block state lists across the
+// (recursive) block executions of one extraction.
+func (ex *executor) getStateBuf() []*state {
+	if n := len(ex.stateBufs); n > 0 {
+		b := ex.stateBufs[n-1]
+		ex.stateBufs = ex.stateBufs[:n-1]
+		return b[:0]
+	}
+	return make([]*state, 0, 4)
+}
+
+func (ex *executor) putStateBuf(b []*state) {
+	ex.stateBufs = append(ex.stateBufs, b[:0])
+}
+
+// countMult sums the path multiplicities of states.
+func countMult(states []*state) int {
+	n := 0
+	for _, s := range states {
+		n += s.mult
+	}
+	return n
+}
+
+// truncMult trims states[base:] so their multiplicities sum to at most
+// limit, splitting the boundary state's multiplicity if needed.
+func truncMult(states []*state, base, limit int) []*state {
+	n := 0
+	for i := base; i < len(states); i++ {
+		if n+states[i].mult >= limit {
+			states[i].mult = limit - n
+			if states[i].mult == 0 {
+				return states[:i]
+			}
+			return states[:i+1]
+		}
+		n += states[i].mult
 	}
 	return states
 }
 
-// execStmt executes one statement, returning the continuing states.
-func (ex *executor) execStmt(s groovy.Stmt, st *state) []*state {
+// mergeAdjacent collapses runs of consecutive states that are
+// indistinguishable by construction (shared environment, shared constraint
+// backing, same path attributes — see sameFork) into one state carrying
+// their combined multiplicity. Only adjacent states merge, so the relative
+// emission order of distinct paths is preserved exactly.
+func mergeAdjacent(states []*state, base int) []*state {
+	w := base
+	for i := base; i < len(states); i++ {
+		if w > base && sameFork(states[w-1], states[i]) {
+			states[w-1].mult += states[i].mult
+			continue
+		}
+		states[w] = states[i]
+		w++
+	}
+	return states[:w]
+}
+
+// execStmt executes one statement, appending the continuing states to out.
+func (ex *executor) execStmt(s groovy.Stmt, st *state, out []*state) []*state {
 	switch n := s.(type) {
 	case *groovy.ExprStmt:
-		return ex.execExprStmt(n.X, st)
+		return ex.execExprStmt(n.X, st, out)
 	case *groovy.DeclStmt:
-		return ex.execDecl(n, st)
+		return ex.execDecl(n, st, out)
 	case *groovy.AssignStmt:
-		return ex.execAssign(n, st)
+		return ex.execAssign(n, st, out)
 	case *groovy.IfStmt:
-		return ex.execIf(n, st)
+		return ex.execIf(n, st, out)
 	case *groovy.SwitchStmt:
-		return ex.execSwitch(n, st)
+		return ex.execSwitch(n, st, out)
 	case *groovy.ReturnStmt:
 		if n.Value != nil {
 			st.retVal = ex.eval(n.Value, st)
 		}
 		st.ret = true
-		return []*state{st}
+		return append(out, st)
 	case *groovy.ForStmt:
-		return ex.execLoop(n.Var, n.Iterable, n.Body, st)
+		return ex.execLoop(n.Var, n.Iterable, n.Body, st, out)
 	case *groovy.WhileStmt:
 		// Bounded abstraction: execute the body once under the loop
 		// condition (sinks inside loops are discovered; iteration counts
@@ -60,35 +162,35 @@ func (ex *executor) execStmt(s groovy.Stmt, st *state) []*state {
 			body.assume(c)
 			skip := st
 			skip.assume(rule.Negate(c))
-			return append(ex.execBlock(n.Body.Stmts, body), skip)
+			return append(ex.execBlock(n.Body.Stmts, body, out), skip)
 		}
-		return append(ex.execBlock(n.Body.Stmts, st.fork()), st)
+		return append(ex.execBlock(n.Body.Stmts, st.fork(), out), st)
 	case *groovy.Block:
-		return ex.execBlock(n.Stmts, st)
+		return ex.execBlock(n.Stmts, st, out)
 	case *groovy.BreakStmt, *groovy.ContinueStmt:
-		return []*state{st}
+		return append(out, st)
 	case *groovy.MethodDecl:
-		return []*state{st} // nested decl: nothing to execute
+		return append(out, st) // nested decl: nothing to execute
 	}
-	return []*state{st}
+	return append(out, st)
 }
 
 // execExprStmt handles statement-position expressions: sinks, user-method
 // calls (inlined with full forking), scheduling APIs, and ignorable calls.
-func (ex *executor) execExprStmt(e groovy.Expr, st *state) []*state {
+func (ex *executor) execExprStmt(e groovy.Expr, st *state, out []*state) []*state {
 	call, ok := e.(*groovy.Call)
 	if !ok {
 		ex.eval(e, st) // evaluate for completeness (may record warnings)
-		return []*state{st}
+		return append(out, st)
 	}
-	return ex.execCall(call, st)
+	return ex.execCall(call, st, out)
 }
 
 // execCall executes a call in statement position with path forking.
-func (ex *executor) execCall(call *groovy.Call, st *state) []*state {
+func (ex *executor) execCall(call *groovy.Call, st *state, out []*state) []*state {
 	// Scheduling APIs re-enter a scheduled method with a delay/period.
 	if call.Receiver == nil && capability.SchedulingAPIs[call.Method] {
-		return ex.execSchedulingCall(call, st)
+		return ex.execSchedulingCall(call, st, out)
 	}
 	// Sink APIs (messaging, HTTP, mode changes).
 	if call.Receiver == nil && ex.isAPISink(call.Method) {
@@ -96,72 +198,74 @@ func (ex *executor) execCall(call *groovy.Call, st *state) []*state {
 		// httpGet-style calls take a response closure: execute it.
 		for _, a := range call.Args {
 			if cl, ok := a.(*groovy.ClosureExpr); ok {
-				return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{unknownVal{"http response"}}, st)
+				return ex.execClosure(closureVal{cl: cl, env: st.env}, unkHTTPResponse, st, out)
 			}
 		}
-		return []*state{st}
+		return append(out, st)
 	}
 	// Device commands and device-collection iteration.
 	if call.Receiver != nil {
 		recv := ex.eval(call.Receiver, st)
 		switch r := recv.(type) {
 		case deviceVal:
-			return ex.execDeviceCall(r, call, st)
+			return ex.execDeviceCall(r, call, st, out)
 		case locationVal:
 			if call.Method == "setMode" {
 				ex.emitLocationMode(call, st)
-				return []*state{st}
+				return append(out, st)
 			}
 		case listVal, mapVal, unknownVal, stateVal:
 			// Collection iteration with closures.
 			if isIterMethod(call.Method) {
-				return ex.execIterCall(recv, call, st)
+				return ex.execIterCall(recv, call, st, out)
 			}
 		case closureVal:
 			if call.Method == "call" {
-				return ex.execClosure(&r, nil, st)
+				return ex.execClosure(r, nil, st, out)
 			}
 		}
 		// Unknown receiver method: evaluate args for nested closures.
 		for _, a := range call.Args {
 			if cl, ok := a.(*groovy.ClosureExpr); ok {
-				return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{unknownVal{"iter"}}, st)
+				return ex.execClosure(closureVal{cl: cl, env: st.env}, unkIter, st, out)
 			}
 		}
-		return []*state{st}
+		return append(out, st)
 	}
 	// setLocationMode("Night")
 	if call.Method == "setLocationMode" {
 		ex.emitLocationMode(call, st)
-		return []*state{st}
+		return append(out, st)
 	}
 	// sendEvent / logging / UI — ignorable.
 	if ignorableAPI(call.Method) {
-		return []*state{st}
+		return append(out, st)
 	}
 	// User-defined method: inline with forking.
 	if m := ex.script.Method(call.Method); m != nil {
-		return ex.inlineMethod(m, call, st)
+		return ex.inlineMethod(m, call, st, out)
 	}
 	// Bare closure-taking call (e.g. a find with side effects).
 	for _, a := range call.Args {
 		if cl, ok := a.(*groovy.ClosureExpr); ok {
-			return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{unknownVal{"iter"}}, st)
+			return ex.execClosure(closureVal{cl: cl, env: st.env}, unkIter, st, out)
 		}
 	}
-	ex.warnf("unmodeled API call %q", call.Method)
-	return []*state{st}
+	// Plain concatenation: this diagnostic fires once per path through an
+	// unmodeled call, and Sprintf's boxing shows up in extraction profiles.
+	ex.warnf("unmodeled API call \"" + call.Method + "\"")
+	return append(out, st)
 }
 
 // execSchedulingCall models runIn/runOnce/schedule/runEvery*.
-func (ex *executor) execSchedulingCall(call *groovy.Call, st *state) []*state {
+func (ex *executor) execSchedulingCall(call *groovy.Call, st *state, out []*state) []*state {
 	var handler string
 	delay := 0
 	period := 0
 	switch call.Method {
 	case "runIn":
 		if len(call.Args) < 2 {
-			return []*state{st}
+			return append(out, st)
 		}
 		delay = -1 // symbolic unless a constant resolves
 		if t, ok := asTerm(ex.eval(call.Args[0], st)); ok {
@@ -172,7 +276,7 @@ func (ex *executor) execSchedulingCall(call *groovy.Call, st *state) []*state {
 		handler = handlerName(call.Args[1])
 	case "runOnce", "schedule":
 		if len(call.Args) < 2 {
-			return []*state{st}
+			return append(out, st)
 		}
 		handler = handlerName(call.Args[1])
 		if call.Method == "schedule" {
@@ -180,7 +284,7 @@ func (ex *executor) execSchedulingCall(call *groovy.Call, st *state) []*state {
 		}
 	default: // runEvery*
 		if len(call.Args) < 1 {
-			return []*state{st}
+			return append(out, st)
 		}
 		handler = handlerName(call.Args[0])
 		period = periodOf(call.Method)
@@ -188,10 +292,10 @@ func (ex *executor) execSchedulingCall(call *groovy.Call, st *state) []*state {
 	m := ex.script.Method(handler)
 	if m == nil {
 		ex.warnf("scheduled handler %q not found", handler)
-		return []*state{st}
+		return append(out, st)
 	}
 	if st.depth >= ex.lim.MaxCallDepth {
-		return []*state{st}
+		return append(out, st)
 	}
 	// Trace into the scheduled method: successive sinks inherit the delay.
 	sub := st.fork()
@@ -205,63 +309,53 @@ func (ex *executor) execSchedulingCall(call *groovy.Call, st *state) []*state {
 		sub.period = period
 	}
 	sub.env = newScope(nil)
-	outs := ex.execBlock(m.Body.Stmts, sub)
 	// The caller's own path continues unaffected (scheduling is async);
-	// returned states carry any constraints found inside for path counting
-	// but the caller state proceeds.
-	_ = outs
-	return []*state{st}
+	// the scheduled method's states are explored for their sinks and
+	// discarded.
+	ex.execBlock(m.Body.Stmts, sub, nil)
+	return append(out, st)
 }
 
 // execDeviceCall handles method calls on device references: capability
 // commands become sinks; attribute-ish methods are handled in eval.
-func (ex *executor) execDeviceCall(dev deviceVal, call *groovy.Call, st *state) []*state {
+func (ex *executor) execDeviceCall(dev deviceVal, call *groovy.Call, st *state, out []*state) []*state {
 	if isIterMethod(call.Method) {
 		// devices.each { d -> ... } — bind the closure parameter to the
 		// same (collection) device.
 		if len(call.Args) == 1 {
 			if cl, ok := call.Args[0].(*groovy.ClosureExpr); ok {
-				return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{dev}, st)
+				return ex.execClosure(closureVal{cl: cl, env: st.env}, dev, st, out)
 			}
 		}
-		return []*state{st}
+		return append(out, st)
 	}
-	if cmdRef := resolveCommand(dev.in.Capability, call.Method); cmdRef != nil {
+	if cmdRef := ex.resolveCommand(dev.in.Capability, call.Method); cmdRef != nil {
 		ex.emitDeviceSink(dev, cmdRef, call, st)
-		return []*state{st}
+		return append(out, st)
 	}
 	// Not a command (e.g. currentValue in statement position): evaluate.
 	ex.evalCall(call, st)
-	return []*state{st}
+	return append(out, st)
 }
 
-// resolveCommand finds the command definition: first within the granted
-// capability, then anywhere in the registry (devices usually support more
-// capabilities than the one they were granted through).
-func resolveCommand(capName, cmd string) *capability.CommandRef {
-	if c, ok := capability.Get(capName); ok {
-		if k := c.Cmd(cmd); k != nil {
-			return &capability.CommandRef{Capability: c, Command: k}
-		}
-	}
-	refs := capability.CommandsNamed(cmd)
-	if len(refs) > 0 {
-		return &refs[0]
-	}
-	return nil
+// resolveCommand finds the command definition for a device method call,
+// delegating to the process-wide memoized registry lookup: device
+// commands repeat across paths, rules, apps and extractions.
+func (ex *executor) resolveCommand(capName, cmd string) *capability.CommandRef {
+	return capability.ResolveCommand(capName, cmd)
 }
 
 // inlineMethod executes a user-defined method body with full forking.
-func (ex *executor) inlineMethod(m *groovy.MethodDecl, call *groovy.Call, st *state) []*state {
+func (ex *executor) inlineMethod(m *groovy.MethodDecl, call *groovy.Call, st *state, out []*state) []*state {
 	if st.depth >= ex.lim.MaxCallDepth {
 		ex.warnf("call depth limit at %q", m.Name)
-		return []*state{st}
+		return append(out, st)
 	}
 	callerEnv := st.env
 	st.depth++
 	st.env = newScope(nil)
 	for i, p := range m.Params {
-		var v value = unknownVal{"arg"}
+		var v value = unkArg
 		if i < len(call.Args) {
 			v = ex.evalIn(call.Args[i], callerEnv, st)
 		} else if p.Default != nil {
@@ -269,59 +363,73 @@ func (ex *executor) inlineMethod(m *groovy.MethodDecl, call *groovy.Call, st *st
 		}
 		st.env.define(p.Name, v)
 	}
-	outs := ex.execBlock(m.Body.Stmts, st)
-	for _, o := range outs {
+	base := len(out)
+	out = ex.execBlock(m.Body.Stmts, st, out)
+	for _, o := range out[base:] {
 		o.ret = false // return ends the method, not the handler
 		o.depth--
 		o.env = callerEnv
 	}
-	return outs
+	return out
 }
 
-// execClosure executes a closure body binding its parameters.
-func (ex *executor) execClosure(cv *closureVal, args []value, st *state) []*state {
+// execClosure executes a closure body binding its parameters. Closures in
+// this subset receive at most one argument (the iteration element, device
+// or response); arg is nil when there is none.
+func (ex *executor) execClosure(cv closureVal, arg value, st *state, out []*state) []*state {
 	env := cv.env
 	if env == nil {
 		env = st.env
 	}
 	inner := newScope(env)
 	if len(cv.cl.Params) == 0 {
-		if len(args) > 0 {
-			inner.define("it", args[0])
+		if arg != nil {
+			inner.define("it", arg)
 		}
 	} else {
 		for i, p := range cv.cl.Params {
-			if i < len(args) {
-				inner.define(p.Name, args[i])
+			if i == 0 && arg != nil {
+				inner.define(p.Name, arg)
 			} else {
-				inner.define(p.Name, unknownVal{"closure arg"})
+				inner.define(p.Name, unkClosureArg)
 			}
 		}
 	}
 	saved := st.env
+	popRestore := env == saved
 	st.env = inner
-	outs := ex.execBlock(cv.cl.Body.Stmts, st)
-	for _, o := range outs {
-		o.env = saved
+	base := len(out)
+	out = ex.execBlock(cv.cl.Body.Stmts, st, out)
+	for _, o := range out[base:] {
+		if popRestore {
+			// The closure runs over the current environment: pop the
+			// parameter frame so body writes that thawed outer frames
+			// stay visible on each path's own chain.
+			o.env = o.env.parent
+		} else {
+			// A stored closure carries its defining scope; the caller's
+			// environment is disconnected from it and restored as saved.
+			o.env = saved
+		}
 		o.ret = false
 	}
-	return outs
+	return out
 }
 
 // execIterCall runs collection iteration (each/find/findAll/collect/any/
 // every) over a symbolic collection: the closure body executes once with a
 // symbolic element.
-func (ex *executor) execIterCall(recv value, call *groovy.Call, st *state) []*state {
-	var elem value = unknownVal{"element"}
+func (ex *executor) execIterCall(recv value, call *groovy.Call, st *state, out []*state) []*state {
+	var elem value = unkElement
 	if l, ok := recv.(listVal); ok && len(l.elems) > 0 {
 		elem = l.elems[0]
 	}
 	for _, a := range call.Args {
 		if cl, ok := a.(*groovy.ClosureExpr); ok {
-			return ex.execClosure(&closureVal{cl: cl, env: st.env}, []value{elem}, st)
+			return ex.execClosure(closureVal{cl: cl, env: st.env}, elem, st, out)
 		}
 	}
-	return []*state{st}
+	return append(out, st)
 }
 
 func isIterMethod(m string) bool {
@@ -349,14 +457,14 @@ func ignorableAPI(m string) bool {
 }
 
 // execDecl handles `def x = expr`, including ternary forking.
-func (ex *executor) execDecl(n *groovy.DeclStmt, st *state) []*state {
+func (ex *executor) execDecl(n *groovy.DeclStmt, st *state, out []*state) []*state {
 	if n.Init == nil {
-		st.env.define(n.Name, unknownVal{"uninitialised"})
-		return []*state{st}
+		st.defineVar(n.Name, unkUninit)
+		return append(out, st)
 	}
 	if tern, ok := n.Init.(*groovy.Ternary); ok {
-		return ex.forkTernary(tern, st, func(s *state, v value) {
-			s.env.define(n.Name, v)
+		return ex.forkTernary(tern, st, out, func(s *state, v value) {
+			s.defineVar(n.Name, v)
 			if t, ok := asTerm(v); ok {
 				s.data = append(s.data, rule.DataConstraint{Var: n.Name, Term: t})
 			}
@@ -366,14 +474,14 @@ func (ex *executor) execDecl(n *groovy.DeclStmt, st *state) []*state {
 	if t, ok := asTerm(v); ok {
 		st.data = append(st.data, rule.DataConstraint{Var: n.Name, Term: t})
 	}
-	st.env.define(n.Name, v)
-	return []*state{st}
+	st.defineVar(n.Name, v)
+	return append(out, st)
 }
 
 // execAssign handles assignments and op-assignments.
-func (ex *executor) execAssign(n *groovy.AssignStmt, st *state) []*state {
+func (ex *executor) execAssign(n *groovy.AssignStmt, st *state, out []*state) []*state {
 	if tern, ok := n.Value.(*groovy.Ternary); ok && n.Op == groovy.Assign {
-		return ex.forkTernary(tern, st, func(s *state, v value) {
+		return ex.forkTernary(tern, st, out, func(s *state, v value) {
 			ex.assignTo(n.Target, v, s)
 		})
 	}
@@ -391,7 +499,7 @@ func (ex *executor) execAssign(n *groovy.AssignStmt, st *state) []*state {
 		v = ex.evalBinary(op, ex.eval(n.Target, st), ex.eval(n.Value, st))
 	}
 	ex.assignTo(n.Target, v, st)
-	return []*state{st}
+	return append(out, st)
 }
 
 func (ex *executor) assignTo(target groovy.Expr, v value, st *state) {
@@ -400,12 +508,12 @@ func (ex *executor) assignTo(target groovy.Expr, v value, st *state) {
 		if tm, ok := asTerm(v); ok {
 			st.data = append(st.data, rule.DataConstraint{Var: t.Name, Term: tm})
 		}
-		st.env.set(t.Name, v)
+		st.setVar(t.Name, v)
 	case *groovy.PropertyGet:
 		// state.x = v — track within this execution.
 		if recv := ex.eval(t.Receiver, st); recv != nil {
 			if _, isState := recv.(stateVal); isState {
-				st.env.set("state."+t.Name, v)
+				st.setVar("state."+t.Name, v)
 				return
 			}
 		}
@@ -415,7 +523,7 @@ func (ex *executor) assignTo(target groovy.Expr, v value, st *state) {
 }
 
 // forkTernary evaluates cond ? a : b by forking the path.
-func (ex *executor) forkTernary(t *groovy.Ternary, st *state, apply func(*state, value)) []*state {
+func (ex *executor) forkTernary(t *groovy.Ternary, st *state, out []*state, apply func(*state, value)) []*state {
 	c, ok := asConstraint(ex.eval(t.Cond, st))
 	thenSt := st.fork()
 	elseSt := st
@@ -425,11 +533,11 @@ func (ex *executor) forkTernary(t *groovy.Ternary, st *state, apply func(*state,
 	}
 	apply(thenSt, ex.eval(t.Then, thenSt))
 	apply(elseSt, ex.eval(t.Else, elseSt))
-	return []*state{thenSt, elseSt}
+	return append(out, thenSt, elseSt)
 }
 
 // execIf forks on the condition.
-func (ex *executor) execIf(n *groovy.IfStmt, st *state) []*state {
+func (ex *executor) execIf(n *groovy.IfStmt, st *state, out []*state) []*state {
 	cond := ex.eval(n.Cond, st)
 	c, ok := asConstraint(cond)
 	thenSt := st.fork()
@@ -440,9 +548,9 @@ func (ex *executor) execIf(n *groovy.IfStmt, st *state) []*state {
 	} else {
 		ex.warnf("untracked branch condition; exploring both branches")
 	}
-	out := ex.execBlock(n.Then.Stmts, thenSt)
+	out = ex.execBlock(n.Then.Stmts, thenSt, out)
 	if n.Else != nil {
-		out = append(out, ex.execStmt(n.Else, elseSt)...)
+		out = ex.execStmt(n.Else, elseSt, out)
 	} else {
 		out = append(out, elseSt)
 	}
@@ -452,10 +560,9 @@ func (ex *executor) execIf(n *groovy.IfStmt, st *state) []*state {
 // execSwitch forks per case arm (Groovy fallthrough is not modeled: the
 // SmartThings review guidelines require a terminated case per GString
 // value, and corpus apps follow it).
-func (ex *executor) execSwitch(n *groovy.SwitchStmt, st *state) []*state {
+func (ex *executor) execSwitch(n *groovy.SwitchStmt, st *state, out []*state) []*state {
 	subj := ex.eval(n.Subject, st)
 	subjTerm, hasTerm := asTerm(subj)
-	var out []*state
 	var negations []rule.Constraint
 	for _, cs := range n.Cases {
 		arm := st.fork()
@@ -466,14 +573,14 @@ func (ex *executor) execSwitch(n *groovy.SwitchStmt, st *state) []*state {
 				negations = append(negations, rule.Negate(eq))
 			}
 		}
-		out = append(out, ex.execBlock(cs.Body.Stmts, arm)...)
+		out = ex.execBlock(cs.Body.Stmts, arm, out)
 	}
 	dflt := st
 	for _, neg := range negations {
 		dflt.assume(neg)
 	}
 	if n.Default != nil {
-		out = append(out, ex.execBlock(n.Default.Stmts, dflt)...)
+		out = ex.execBlock(n.Default.Stmts, dflt, out)
 	} else {
 		out = append(out, dflt)
 	}
@@ -482,10 +589,10 @@ func (ex *executor) execSwitch(n *groovy.SwitchStmt, st *state) []*state {
 
 // execLoop executes for-in / C-style loops with single-iteration
 // abstraction.
-func (ex *executor) execLoop(varName string, iterable groovy.Expr, body *groovy.Block, st *state) []*state {
+func (ex *executor) execLoop(varName string, iterable groovy.Expr, body *groovy.Block, st *state, out []*state) []*state {
 	if iterable != nil {
 		it := ex.eval(iterable, st)
-		var elem value = unknownVal{"element"}
+		var elem value = unkElement
 		switch l := it.(type) {
 		case listVal:
 			if len(l.elems) > 0 {
@@ -495,15 +602,19 @@ func (ex *executor) execLoop(varName string, iterable groovy.Expr, body *groovy.
 			elem = l
 		}
 		inner := st.fork()
-		inner.env = newScope(st.env)
+		inner.env = newScope(inner.env)
 		inner.env.define(varName, elem)
-		outs := ex.execBlock(body.Stmts, inner)
-		for _, o := range outs {
-			o.env = st.env
+		base := len(out)
+		out = ex.execBlock(body.Stmts, inner, out)
+		for _, o := range out[base:] {
+			// Pop the loop frame rather than restoring the saved pointer:
+			// a body write to an outer variable thaws (copies) the outer
+			// frames on o's own chain, and o must keep those copies.
+			o.env = o.env.parent
 		}
-		return append(outs, st)
+		return append(out, st)
 	}
-	return append(ex.execBlock(body.Stmts, st.fork()), st)
+	return append(ex.execBlock(body.Stmts, st.fork(), out), st)
 }
 
 // ---------- sink emission ----------
@@ -583,27 +694,29 @@ func (ex *executor) emitAPISink(call *groovy.Call, st *state) {
 }
 
 // emitRule snapshots the current path into a rule, splitting event-value
-// comparisons out of the path condition into the trigger constraint.
+// comparisons out of the path condition into the trigger constraint. A
+// merged state (mult > 1) emits one rule per represented path, exactly as
+// the unmerged paths would have.
 func (ex *executor) emitRule(act rule.Action, st *state) {
 	tr := st.trigger
 	evVar := tr.EventVar()
-	var trigCs []rule.Constraint
+	ex.trigScratch = ex.trigScratch[:0]
+	ex.condScratch = ex.condScratch[:0]
 	if tr.Constraint != nil {
-		trigCs = append(trigCs, tr.Constraint)
+		ex.trigScratch = append(ex.trigScratch, tr.Constraint)
 	}
-	var condCs []rule.Constraint
+	// Classify each top-level conjunct of each predicate without building
+	// intermediate slices (splitConj allocated one per predicate).
 	for _, p := range st.preds {
-		for _, conj := range splitConj(p) {
-			vars := rule.Vars(conj)
-			if len(vars) >= 1 && onlyEventVar(conj, evVar) {
-				trigCs = append(trigCs, conj)
-			} else {
-				condCs = append(condCs, conj)
-			}
-		}
+		ex.classifyPred(p, evVar)
 	}
+	trigCs, condCs := ex.trigScratch, ex.condScratch
 	tr.Constraint = nil
-	if len(trigCs) > 0 {
+	switch len(trigCs) {
+	case 0:
+	case 1:
+		tr.Constraint = trigCs[0] // Conj of one constraint is itself
+	default:
 		tr.Constraint = rule.Conj(dedupConstraints(trigCs)...)
 	}
 	r := &rule.Rule{
@@ -615,47 +728,105 @@ func (ex *executor) emitRule(act rule.Action, st *state) {
 		},
 		Action: act,
 	}
+	if ex.rules == nil {
+		ex.rules = make([]*rule.Rule, 0, 4)
+	}
 	ex.rules = append(ex.rules, r)
+	// Re-expand merged identical paths: each would have emitted this rule.
+	for i := 1; i < st.mult; i++ {
+		cp := *r
+		cp.ID = ""
+		ex.rules = append(ex.rules, &cp)
+	}
 }
 
-// splitConj flattens a top-level conjunction into its conjuncts.
-func splitConj(c rule.Constraint) []rule.Constraint {
+// classifyPred routes each top-level conjunct of c into the trigger or
+// condition scratch list depending on whether it constrains the
+// triggering event's value (the paper: "the comparison in terms of the
+// event's value is regarded as part of the trigger constraint").
+// Comparisons of the event value against user inputs or constants become
+// trigger constraints; conjuncts not mentioning the event variable stay
+// path conditions.
+func (ex *executor) classifyPred(c rule.Constraint, evVar string) {
 	if and, ok := c.(rule.And); ok {
-		var out []rule.Constraint
 		for _, sub := range and.Cs {
-			out = append(out, splitConj(sub)...)
+			ex.classifyPred(sub, evVar)
 		}
-		return out
+		return
 	}
-	return []rule.Constraint{c}
+	if rule.MentionsEventVar(c, evVar) {
+		ex.trigScratch = append(ex.trigScratch, c)
+	} else {
+		ex.condScratch = append(ex.condScratch, c)
+	}
 }
 
-// onlyEventVar reports whether c compares the triggering event's value
-// (the paper: "the comparison in terms of the event's value is regarded as
-// part of the trigger constraint"). Comparisons of the event value against
-// user inputs or constants qualify; constraints not mentioning the event
-// variable do not.
-func onlyEventVar(c rule.Constraint, evVar string) bool {
-	vars := rule.VarSet(c)
-	for _, v := range vars {
-		if v.Kind == rule.VarEvent && v.Name == evVar {
-			return true
-		}
-	}
-	return false
-}
-
+// dedupConstraints removes duplicate constraints (by canonical rendering,
+// the historical dedup key), preserving first-occurrence order. The
+// dominant comparison-vs-comparison case is decided structurally without
+// rendering; only mixed or composite constraint kinds fall back to the
+// rendered strings.
 func dedupConstraints(cs []rule.Constraint) []rule.Constraint {
-	var out []rule.Constraint
-	seen := map[string]bool{}
-	for _, c := range cs {
-		k := c.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, c)
+	switch len(cs) {
+	case 0:
+		return nil
+	case 1:
+		return []rule.Constraint{cs[0]}
+	}
+	out := make([]rule.Constraint, 0, len(cs))
+outer:
+	for i, c := range cs {
+		for j := 0; j < i; j++ {
+			if renderEqual(cs[j], c) {
+				continue outer
+			}
 		}
+		out = append(out, c)
 	}
 	return out
+}
+
+// renderEqual reports whether a.String() == b.String() — the dedup
+// equivalence — without rendering when both sides are plain comparisons.
+func renderEqual(a, b rule.Constraint) bool {
+	ca, okA := a.(rule.Cmp)
+	cb, okB := b.(rule.Cmp)
+	if okA && okB {
+		return ca.Op == cb.Op && termRenderEqual(ca.L, cb.L) && termRenderEqual(ca.R, cb.R)
+	}
+	return a.String() == b.String()
+}
+
+// termRenderEqual matches Term.String() equality: same-kind terms compare
+// structurally (each kind's rendering is injective); mixed kinds fall
+// back to the rendered strings.
+func termRenderEqual(x, y rule.Term) bool {
+	switch xv := x.(type) {
+	case rule.Var:
+		if yv, ok := y.(rule.Var); ok {
+			return xv.Name == yv.Name // Var renders as its name only
+		}
+	case rule.StrVal:
+		if yv, ok := y.(rule.StrVal); ok {
+			return xv == yv
+		}
+	case rule.IntVal:
+		if yv, ok := y.(rule.IntVal); ok {
+			return xv == yv
+		}
+	case rule.BoolVal:
+		if yv, ok := y.(rule.BoolVal); ok {
+			return xv == yv
+		}
+	case rule.Sum:
+		if yv, ok := y.(rule.Sum); ok {
+			return xv.X.Name == yv.X.Name && xv.K == yv.K
+		}
+	}
+	if x == nil || y == nil {
+		return x == y
+	}
+	return x.String() == y.String()
 }
 
 func maxInt(a, b int) int {

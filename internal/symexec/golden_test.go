@@ -1,0 +1,86 @@
+package symexec_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/symexec"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/extract_golden.txt from the current extractor output")
+
+// extractionTranscript renders everything the extraction rewrite must
+// preserve byte for byte, for the full corpus (benign, demo, notification,
+// web-service and malicious apps): app metadata, every input declaration,
+// every extracted rule in emission order (rule IDs are assigned by that
+// order, so detection PairKeys depend on it), the explored path count and
+// the deduplicated warnings.
+func extractionTranscript(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, a := range corpus.All() {
+		res, err := symexec.Extract(a.Source, "")
+		if err != nil {
+			t.Fatalf("extract %s: %v", a.Name, err)
+		}
+		fmt.Fprintf(&b, "== %s (app %q ns %q cat %q)\n", a.Name, res.App.Name, res.App.Namespace, res.App.Category)
+		for i := range res.App.Inputs {
+			in := &res.App.Inputs[i]
+			def := ""
+			if in.Default != nil {
+				def = " default=" + in.Default.String()
+			}
+			fmt.Fprintf(&b, "input %s type=%q cap=%q multiple=%v required=%v title=%q options=%v%s\n",
+				in.Name, in.Type, in.Capability, in.Multiple, in.Required, in.Title, in.Options, def)
+		}
+		for _, r := range res.Rules.Rules {
+			fmt.Fprintf(&b, "rule %s\n", r)
+		}
+		fmt.Fprintf(&b, "paths %d\n", res.Paths)
+		for _, w := range res.Warnings {
+			fmt.Fprintf(&b, "warning %s\n", w)
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenExtractionCorpus pins the extractor's observable output over
+// the whole corpus: extracted rules, input declarations and path counts
+// must be byte-identical across rewrites of the groovy front end and the
+// symbolic executor. Regenerate with:
+//
+//	go test ./internal/symexec -run Golden -update-golden
+func TestGoldenExtractionCorpus(t *testing.T) {
+	got := extractionTranscript(t)
+	path := filepath.Join("testdata", "extract_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := min(len(gotLines), len(wantLines))
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("golden mismatch at line %d:\n  got:  %s\n  want: %s", i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

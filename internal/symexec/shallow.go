@@ -18,7 +18,9 @@ func ShallowExtract(src, appName string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex := &executor{script: script, lim: Limits{}.withDefaults(), inputs: map[string]*InputDecl{}}
+	// The shared construction path applies the same limit defaults the
+	// full extractor gets; the two modes cannot drift apart.
+	ex := newExecutor(script, Limits{})
 	ex.scanPreferences()
 	if appName != "" {
 		ex.app.Name = appName
@@ -86,7 +88,7 @@ func ShallowExtract(src, appName string) (*Result, error) {
 					call.Method == "currentValue" || call.Method == "latestValue" {
 					return true
 				}
-				if ref := resolveCommand(in.Capability, call.Method); ref != nil {
+				if ref := ex.resolveCommand(in.Capability, call.Method); ref != nil {
 					rules = append(rules, &rule.Rule{
 						App:     ex.app.Name,
 						Trigger: tr.trigger,

@@ -48,7 +48,9 @@ type locationVal struct{}
 type stateVal struct{ atomic bool }
 
 // unknownVal is a value the executor cannot track; operations on it
-// degrade gracefully.
+// degrade gracefully. The label is static documentation for debugger
+// inspection — nothing reads it, so hot paths share pre-boxed singletons
+// instead of rendering per-site detail.
 type unknownVal struct{ why string }
 
 func (termVal) isValue()     {}
@@ -63,14 +65,110 @@ func (locationVal) isValue() {}
 func (stateVal) isValue()    {}
 func (unknownVal) isValue()  {}
 
+// Pre-boxed singletons for the static values the evaluator returns on hot
+// paths: boxing a struct into the value interface allocates, and these
+// carry no per-site information.
+var (
+	unkExpr                value = unknownVal{"expr"}
+	unkRange               value = unknownVal{"range"}
+	unkTernary             value = unknownVal{"ternary"}
+	unkIndex               value = unknownVal{"index"}
+	unkElement             value = unknownVal{"element"}
+	unkInterpString        value = unknownVal{"interpolated string"}
+	unkArg                 value = unknownVal{"arg"}
+	unkClosureArg          value = unknownVal{"closure arg"}
+	unkIter                value = unknownVal{"iter"}
+	unkHTTPResponse        value = unknownVal{"http response"}
+	unkUninit              value = unknownVal{"uninitialised"}
+	unkImplicitIt          value = unknownVal{"implicit it"}
+	unkAppObject           value = unknownVal{"app object"}
+	unkLNotUnknown         value = unknownVal{"!unknown"}
+	unkLAndAnd             value = unknownVal{"&&"}
+	unkLAggregate          value = unknownVal{"aggregate"}
+	unkLArith              value = unknownVal{"arith"}
+	unkLBinop              value = unknownVal{"binop"}
+	unkLCapabilityQuery    value = unknownVal{"capability query"}
+	unkLCmp                value = unknownVal{"cmp"}
+	unkLCommandResult      value = unknownVal{"command result"}
+	unkLContains           value = unknownVal{"contains"}
+	unkLCurrentstate       value = unknownVal{"currentState"}
+	unkLCurrentvalue       value = unknownVal{"currentValue"}
+	unkLDepthLimit         value = unknownVal{"depth limit"}
+	unkLEquals             value = unknownVal{"equals"}
+	unkLEvtDate            value = unknownVal{"evt.date"}
+	unkLEvtDevice          value = unknownVal{"evt.device"}
+	unkLEvtDisplayname     value = unknownVal{"evt.displayName"}
+	unkLHistoryQuery       value = unknownVal{"history query"}
+	unkLIn                 value = unknownVal{"in"}
+	unkLIterResult         value = unknownVal{"iter result"}
+	unkLLocationModes      value = unknownVal{"location.modes"}
+	unkLMath               value = unknownVal{"math"}
+	unkLMult               value = unknownVal{"mult"}
+	unkLNegate             value = unknownVal{"negate"}
+	unkLParsedPayload      value = unknownVal{"parsed payload"}
+	unkLSetmode            value = unknownVal{"setMode"}
+	unkLSinkResult         value = unknownVal{"sink result"}
+	unkLStringPredicate    value = unknownVal{"string predicate"}
+	unkLSum                value = unknownVal{"sum"}
+	unkLTimeofdayisbetween value = unknownVal{"timeOfDayIsBetween"}
+	unkLTimetoday          value = unknownVal{"timeToday"}
+	unkLTts                value = unknownVal{"tts"}
+	unkLUnary              value = unknownVal{"unary"}
+	unkLOrOr               value = unknownVal{"||"}
+
+	valEvent           value = eventVal{}
+	valLocation        value = locationVal{}
+	valState           value = stateVal{}
+	valAtomicState     value = stateVal{atomic: true}
+	valTrue            value = termVal{rule.BoolVal(true)}
+	valFalse           value = termVal{rule.BoolVal(false)}
+	unkIdent           value = unknownVal{"ident"}
+	unkLocationProp    value = unknownVal{"location property"}
+	unkMapProp         value = unknownVal{"map property"}
+	unkDeviceStateProp value = unknownVal{"deviceState property"}
+	unkProp            value = unknownVal{"property"}
+	unkEventProp       value = unknownVal{"event property"}
+	unkDeviceProp      value = unknownVal{"device property"}
+	unkDeviceCall      value = unknownVal{"device call"}
+	unkCall            value = unknownVal{"call"}
+	unkLocationCall    value = unknownVal{"location call"}
+	unkScalarCall      value = unknownVal{"scalar call"}
+	unkAPICall         value = unknownVal{"api call"}
+	unkNew             value = unknownVal{"new"}
+	valNow             value = termVal{rule.Var{Name: "env.now", Kind: rule.VarEnvFeature, Type: rule.TypeInt}}
+	valLocationMode    value = termVal{rule.Var{Name: "location.mode", Kind: rule.VarDeviceAttr, Type: rule.TypeString}}
+)
+
 // scope is one lexical scope in the chain.
+//
+// Scopes are copy-on-write across path forks: fork marks every frame of
+// the chain frozen and shares the chain between the two paths, and the
+// first write a path performs through a frozen frame copies just the
+// frames between its leaf and the written frame (usually only the leaf).
+// Unfrozen frames always form a prefix of the chain — a frame is only ever
+// unfrozen when every frame below it is too — so freezing can stop at the
+// first frozen frame. A frozen frame is immutable forever: paths that
+// copied it keep reading the original through their copies' parent links.
 type scope struct {
 	vars   map[string]value
 	parent *scope
+	frozen bool
 }
 
+// newScope returns a fresh frame; its vars map is created on first write
+// (many frames — loop bodies, argument-less closures — never get one).
 func newScope(parent *scope) *scope {
-	return &scope{vars: map[string]value{}, parent: parent}
+	return &scope{parent: parent}
+}
+
+// define creates name directly in this frame. Only safe on a frame that
+// is known to be private (freshly created, never forked); forked states
+// must write through state.setVar/defineVar so copy-on-write applies.
+func (s *scope) define(name string, v value) {
+	if s.vars == nil {
+		s.vars = make(map[string]value, 4)
+	}
+	s.vars[name] = v
 }
 
 func (s *scope) get(name string) (value, bool) {
@@ -82,26 +180,9 @@ func (s *scope) get(name string) (value, bool) {
 	return nil, false
 }
 
-// set assigns to the scope where name is defined, or defines it locally.
-func (s *scope) set(name string, v value) {
-	for sc := s; sc != nil; sc = sc.parent {
-		if _, ok := sc.vars[name]; ok {
-			sc.vars[name] = v
-			return
-		}
-	}
-	s.vars[name] = v
-}
-
-// define creates name in this scope.
-func (s *scope) define(name string, v value) { s.vars[name] = v }
-
-// clone deep-copies the scope chain (maps copied, values shared).
-func (s *scope) clone() *scope {
-	if s == nil {
-		return nil
-	}
-	c := &scope{vars: make(map[string]value, len(s.vars)), parent: s.parent.clone()}
+// thaw returns a mutable copy of a frozen frame (same vars, same parent).
+func (s *scope) thaw() *scope {
+	c := &scope{vars: make(map[string]value, len(s.vars)+1), parent: s.parent}
 	for k, v := range s.vars {
 		c.vars[k] = v
 	}
@@ -109,6 +190,11 @@ func (s *scope) clone() *scope {
 }
 
 // state is one symbolic execution path.
+//
+// The constraint slices are shared with the path's fork siblings up to the
+// fork point: fork caps both sides' slices at their current length, so the
+// first append after a fork reallocates instead of clobbering a sibling's
+// shared backing array.
 type state struct {
 	env     *scope
 	data    []rule.DataConstraint
@@ -119,25 +205,85 @@ type state struct {
 	depth   int  // method-inlining depth
 	ret     bool // a return statement ended the current method
 	retVal  value
+	// mult counts how many identical explored paths this state stands for:
+	// indistinguishable fork siblings are merged (see mergeAdjacent) and
+	// re-expanded at rule emission and path counting.
+	mult int
 }
 
 func newState(tr rule.Trigger) *state {
-	return &state{env: newScope(nil), trigger: tr}
+	return &state{env: newScope(nil), trigger: tr, mult: 1}
 }
 
-// fork clones the path state (environment copied, constraint slices
-// shared-then-appended safely via full copies).
+// fork clones the path state in O(scope depth): the environment chain is
+// frozen and shared (copy-on-write), and the constraint slices are capped
+// so both sides copy lazily on their next append.
 func (st *state) fork() *state {
-	c := &state{
-		env:     st.env.clone(),
-		data:    append([]rule.DataConstraint(nil), st.data...),
-		preds:   append([]rule.Constraint(nil), st.preds...),
+	for sc := st.env; sc != nil && !sc.frozen; sc = sc.parent {
+		sc.frozen = true
+	}
+	st.data = st.data[:len(st.data):len(st.data)]
+	st.preds = st.preds[:len(st.preds):len(st.preds)]
+	return &state{
+		env:     st.env,
+		data:    st.data,
+		preds:   st.preds,
 		trigger: st.trigger,
 		when:    st.when,
 		period:  st.period,
 		depth:   st.depth,
+		mult:    st.mult,
 	}
-	return c
+}
+
+// setVar assigns to the scope frame where name is defined, or defines it
+// in the leaf frame, copying frozen frames on the way (copy-on-write).
+func (st *state) setVar(name string, v value) {
+	// Find the defining frame's depth.
+	d := 0
+	found := false
+	for sc := st.env; sc != nil; sc = sc.parent {
+		if _, ok := sc.vars[name]; ok {
+			found = true
+			break
+		}
+		d++
+	}
+	if !found {
+		d = 0
+	}
+	st.frameAt(d).define(name, v)
+}
+
+// defineVar creates name in the leaf frame.
+func (st *state) defineVar(name string, v value) {
+	st.frameAt(0).define(name, v)
+}
+
+// frameAt returns the frame at depth d, thawing the frozen frames on the
+// path from the leaf so the returned frame is mutable and private.
+func (st *state) frameAt(d int) *scope {
+	sc := st.env
+	if !sc.frozen && d == 0 {
+		return sc // fast path: private leaf write
+	}
+	var prev *scope
+	for i := 0; ; i++ {
+		if sc.frozen {
+			c := sc.thaw()
+			if prev == nil {
+				st.env = c
+			} else {
+				prev.parent = c
+			}
+			sc = c
+		}
+		if i == d {
+			return sc
+		}
+		prev = sc
+		sc = sc.parent
+	}
 }
 
 // assume appends a path predicate.
@@ -154,7 +300,32 @@ func (st *state) assume(c rule.Constraint) {
 // bind records a data constraint var := term and updates the environment.
 func (st *state) bind(name string, t rule.Term) {
 	st.data = append(st.data, rule.DataConstraint{Var: name, Term: t})
-	st.env.set(name, termVal{t: t})
+	st.setVar(name, termVal{t: t})
+}
+
+// sameFork reports whether two states are indistinguishable by
+// construction: they share the environment chain (no write since their
+// common fork), the same constraint-slice backing at the same length, and
+// the same scalar path attributes. Such states explore identical suffixes.
+func sameFork(a, b *state) bool {
+	return a.env == b.env &&
+		a.ret == b.ret && a.retVal == nil && b.retVal == nil &&
+		a.when == b.when && a.period == b.period && a.depth == b.depth &&
+		sameSlice(a.data, b.data) && samePreds(a.preds, b.preds)
+}
+
+func sameSlice(a, b []rule.DataConstraint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+func samePreds(a, b []rule.Constraint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
 }
 
 // asTerm converts a value to a rule term when possible.

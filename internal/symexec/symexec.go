@@ -9,8 +9,9 @@ package symexec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"homeguard/internal/capability"
 	"homeguard/internal/groovy"
@@ -110,9 +111,47 @@ func (l Limits) withDefaults() Limits {
 // fields and input declarations. The concrete interpreter and the
 // instrumenter reuse it.
 func ScanPreferences(script *groovy.Script) AppInfo {
-	ex := &executor{script: script, inputs: map[string]*InputDecl{}}
+	ex := newExecutor(script, Limits{})
 	ex.scanPreferences()
 	return ex.app
+}
+
+// executorPool recycles executor shells across extractions. Everything a
+// Result references (app info, rules, warnings) is abandoned at release;
+// the reusable parts are the maps (cleared, keeping capacity) and the
+// scratch/state buffers.
+var executorPool sync.Pool
+
+// newExecutor is the one construction path for executors: every entry
+// point (full extraction, preference scanning, the shallow baseline) goes
+// through it, so limit defaults are applied in exactly one place and
+// cannot drift between extraction modes.
+func newExecutor(script *groovy.Script, lim Limits) *executor {
+	ex, _ := executorPool.Get().(*executor)
+	if ex == nil {
+		ex = &executor{}
+	}
+	ex.script = script
+	ex.lim = lim.withDefaults()
+	return ex
+}
+
+// release returns the executor shell to the pool. Callers must be done
+// with every field that escapes into the Result (they are abandoned, not
+// reused; only map capacity and scratch buffers survive).
+func (ex *executor) release() {
+	ex.script = nil
+	ex.app = AppInfo{}
+	ex.rules = nil
+	ex.warns = nil
+	ex.paths = 0
+	clear(ex.inputs)
+	clear(ex.inputVals)
+	clear(ex.litMemo)
+	ex.settingsVal = mapVal{}
+	ex.trigScratch = ex.trigScratch[:0]
+	ex.condScratch = ex.condScratch[:0]
+	executorPool.Put(ex)
 }
 
 // Extract parses src and extracts rules. appName overrides the name from
@@ -127,11 +166,7 @@ func Extract(src, appName string) (*Result, error) {
 
 // ExtractScript extracts rules from a parsed script.
 func ExtractScript(script *groovy.Script, appName string, lim Limits) (*Result, error) {
-	ex := &executor{
-		script: script,
-		lim:    lim.withDefaults(),
-		inputs: map[string]*InputDecl{},
-	}
+	ex := newExecutor(script, lim)
 	ex.scanPreferences()
 	if appName != "" {
 		ex.app.Name = appName
@@ -142,16 +177,18 @@ func ExtractScript(script *groovy.Script, appName string, lim Limits) (*Result, 
 	ex.run()
 	rs := &rule.RuleSet{App: ex.app.Name, Rules: ex.rules}
 	rs.NumberRules()
-	sort.Strings(ex.warns)
-	return &Result{App: ex.app, Rules: rs, Warnings: dedupe(ex.warns), Paths: ex.paths}, nil
+	slices.Sort(ex.warns)
+	res := &Result{App: ex.app, Rules: rs, Warnings: dedupe(ex.warns), Paths: ex.paths}
+	ex.release()
+	return res, nil
 }
 
+// dedupe drops duplicates from a sorted list (callers sort first, so
+// duplicates are adjacent), returning nil for an empty input.
 func dedupe(in []string) []string {
 	var out []string
-	seen := map[string]bool{}
 	for _, s := range in {
-		if !seen[s] {
-			seen[s] = true
+		if len(out) == 0 || out[len(out)-1] != s {
 			out = append(out, s)
 		}
 	}
@@ -168,47 +205,83 @@ type executor struct {
 	rules []*rule.Rule
 	warns []string
 	paths int
+
+	// Per-executor memo tables and scratch buffers; extraction of one app
+	// is single-goroutine, so none of these need locking.
+	inputVals   map[*InputDecl]value  // symbolic value per input, built lazily
+	litMemo     map[groovy.Expr]value // boxed literal values per AST node
+	settingsVal mapVal                // the `settings` object, built lazily
+	trigScratch []rule.Constraint
+	condScratch []rule.Constraint
+	stateBufs   [][]*state // recycled execBlock state lists
+	endsScratch []*state   // recycled per-handler terminal-state list
 }
 
 func (ex *executor) warnf(format string, args ...any) {
+	if len(args) == 0 {
+		// Constant diagnostics (the common case on hot paths) skip the
+		// formatter entirely.
+		ex.warns = append(ex.warns, format)
+		return
+	}
 	ex.warns = append(ex.warns, fmt.Sprintf(format, args...))
 }
 
-// scanPreferences collects definition() metadata and input declarations.
+// scanPreferences collects definition() metadata and input declarations
+// in one AST pass (FindCalls per call name walked the script once per
+// name and allocated the intermediate call lists). Duplicate input names
+// are rejected by a linear scan — apps declare a handful of inputs, so a
+// set would cost more than it saves.
 func (ex *executor) scanPreferences() {
-	for _, def := range groovy.FindCalls(ex.script, "definition") {
-		if v := stringArg(def.NamedArg("name")); v != "" {
-			ex.app.Name = v
+	groovy.InspectScript(ex.script, func(n groovy.Node) bool {
+		call, ok := n.(*groovy.Call)
+		if !ok {
+			return true
 		}
-		if v := stringArg(def.NamedArg("namespace")); v != "" {
-			ex.app.Namespace = v
+		switch call.Method {
+		case "definition":
+			if v := stringArg(call.NamedArg("name")); v != "" {
+				ex.app.Name = v
+			}
+			if v := stringArg(call.NamedArg("namespace")); v != "" {
+				ex.app.Namespace = v
+			}
+			if v := stringArg(call.NamedArg("description")); v != "" {
+				ex.app.Description = v
+			}
+			if v := stringArg(call.NamedArg("category")); v != "" {
+				ex.app.Category = v
+			}
+		case "input":
+			decl, ok := parseInputCall(call)
+			if ok {
+				dup := false
+				for i := range ex.app.Inputs {
+					if ex.app.Inputs[i].Name == decl.Name {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					if ex.app.Inputs == nil {
+						ex.app.Inputs = make([]InputDecl, 0, 8)
+					}
+					ex.app.Inputs = append(ex.app.Inputs, decl)
+				}
+			}
 		}
-		if v := stringArg(def.NamedArg("description")); v != "" {
-			ex.app.Description = v
-		}
-		if v := stringArg(def.NamedArg("category")); v != "" {
-			ex.app.Category = v
-		}
+		return true
+	})
+	// Point the lookup map at the final slice backing array.
+	if ex.inputs == nil {
+		ex.inputs = make(map[string]*InputDecl, len(ex.app.Inputs))
 	}
-	for _, in := range groovy.FindCalls(ex.script, "input") {
-		decl := parseInputCall(in)
-		if decl == nil {
-			continue
-		}
-		if _, dup := ex.inputs[decl.Name]; dup {
-			continue
-		}
-		ex.app.Inputs = append(ex.app.Inputs, *decl)
-		ex.inputs[decl.Name] = &ex.app.Inputs[len(ex.app.Inputs)-1]
-	}
-	// Re-point the map at the final slice backing array.
-	ex.inputs = map[string]*InputDecl{}
 	for i := range ex.app.Inputs {
 		ex.inputs[ex.app.Inputs[i].Name] = &ex.app.Inputs[i]
 	}
 }
 
-func parseInputCall(in *groovy.Call) *InputDecl {
+func parseInputCall(in *groovy.Call) (InputDecl, bool) {
 	// input "name", "type", named...  (or named-only form with name:/type:)
 	var name, typ string
 	if len(in.Args) >= 1 {
@@ -224,9 +297,9 @@ func parseInputCall(in *groovy.Call) *InputDecl {
 		typ = stringArg(in.NamedArg("type"))
 	}
 	if name == "" || typ == "" {
-		return nil
+		return InputDecl{}, false
 	}
-	decl := &InputDecl{Name: name, Type: typ, Title: stringArg(in.NamedArg("title"))}
+	decl := InputDecl{Name: name, Type: typ, Title: stringArg(in.NamedArg("title"))}
 	if strings.HasPrefix(typ, "capability.") {
 		decl.Capability = strings.TrimPrefix(typ, "capability.")
 	} else if strings.HasPrefix(typ, "device.") {
@@ -255,7 +328,7 @@ func parseInputCall(in *groovy.Call) *InputDecl {
 	if dv := in.NamedArg("defaultValue"); dv != nil {
 		decl.Default = litTerm(dv)
 	}
-	return decl
+	return decl, true
 }
 
 // stringArg extracts a constant string from an expression, or "".
@@ -312,10 +385,11 @@ func (ex *executor) run() {
 		st.period = tr.period
 		// Bind the handler's event parameter.
 		if len(h.Params) > 0 {
-			st.env.set(h.Params[0].Name, eventVal{})
+			st.env.define(h.Params[0].Name, valEvent)
 		}
-		ends := ex.execBlock(h.Body.Stmts, st)
-		ex.paths += len(ends)
+		ends := ex.execBlock(h.Body.Stmts, st, ex.endsScratch[:0])
+		ex.paths += countMult(ends)
+		ex.endsScratch = ends
 	}
 }
 
@@ -324,15 +398,30 @@ type discoveredTrigger struct {
 	trigger rule.Trigger
 	handler string
 	period  int
+	// rawAttr is the subscription's raw attribute argument (including a
+	// ".value" constraint suffix when present): the dedup key component
+	// that distinguishes triggers without rendering their constraint.
+	rawAttr string
 }
 
 // collectTriggers abstractly evaluates the lifecycle entry points,
 // inlining helper calls, to find subscribe()/schedule()/runEvery*() calls.
 // Only `updated` (falling back to `installed`) is evaluated, mirroring the
 // app lifecycle: updated() re-subscribes everything.
+// trigKey identifies a discovered trigger without string concatenation or
+// constraint rendering (the former concatenated map keys allocated per
+// subscribe call visited). The attribute field carries the subscription's
+// raw attribute argument, whose optional ".value" suffix encodes the
+// trigger constraint one-to-one.
+type trigKey struct {
+	subject   string
+	attribute string
+	handler   string
+}
+
 func (ex *executor) collectTriggers() []discoveredTrigger {
-	var out []discoveredTrigger
-	seen := map[string]bool{}
+	out := make([]discoveredTrigger, 0, 4)
+	seen := make(map[trigKey]bool, 4)
 	entry := ex.script.Method("updated")
 	if entry == nil {
 		entry = ex.script.Method("installed")
@@ -341,89 +430,90 @@ func (ex *executor) collectTriggers() []discoveredTrigger {
 		ex.warnf("no lifecycle entry point (installed/updated)")
 		return nil
 	}
-	var walkMethod func(m *groovy.MethodDecl, depth int)
-	walkMethod = func(m *groovy.MethodDecl, depth int) {
-		if depth > ex.lim.MaxCallDepth {
-			return
+	// One shared visitor closure: helper inlining recurses by re-invoking
+	// groovy.Inspect with the same callback around a saved/restored depth,
+	// instead of building a fresh closure per visited method.
+	depth := 0
+	var visit func(n groovy.Node) bool
+	walkMethod := func(m *groovy.MethodDecl) {
+		groovy.Inspect(m.Body, visit)
+	}
+	visit = func(n groovy.Node) bool {
+		call, ok := n.(*groovy.Call)
+		if !ok {
+			return true
 		}
-		groovy.Inspect(m.Body, func(n groovy.Node) bool {
-			call, ok := n.(*groovy.Call)
-			if !ok {
-				return true
+		switch call.Method {
+		case "subscribe":
+			if tr, ok := ex.parseSubscribe(call); ok {
+				key := trigKey{subject: tr.trigger.Subject, attribute: tr.rawAttr, handler: tr.handler}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, tr)
+				}
 			}
-			switch call.Method {
-			case "subscribe":
-				if tr, ok := ex.parseSubscribe(call); ok {
-					key := tr.trigger.Subject + "." + tr.trigger.Attribute + "->" + tr.handler
-					if tr.trigger.Constraint != nil {
-						key += tr.trigger.Constraint.String()
+		case "schedule", "runOnce":
+			if len(call.Args) >= 2 {
+				if h := handlerName(call.Args[1]); h != "" {
+					tr := discoveredTrigger{
+						trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
+						handler: h,
+						period:  86400,
 					}
+					if call.Method == "runOnce" {
+						tr.period = 0
+					}
+					key := trigKey{subject: "time", handler: h}
 					if !seen[key] {
 						seen[key] = true
 						out = append(out, tr)
 					}
 				}
-			case "schedule", "runOnce":
-				if len(call.Args) >= 2 {
-					if h := handlerName(call.Args[1]); h != "" {
-						tr := discoveredTrigger{
+			}
+		case "runDaily":
+			// Undocumented API used by Camera Power Scheduler; modeled
+			// after the paper reported adding it (Sec. VIII-B).
+			if len(call.Args) >= 1 {
+				if h := handlerName(call.Args[0]); h != "" {
+					key := trigKey{subject: "time", handler: h}
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, discoveredTrigger{
 							trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
 							handler: h,
 							period:  86400,
-						}
-						if call.Method == "runOnce" {
-							tr.period = 0
-						}
-						key := "time->" + h
-						if !seen[key] {
-							seen[key] = true
-							out = append(out, tr)
-						}
-					}
-				}
-			case "runDaily":
-				// Undocumented API used by Camera Power Scheduler; modeled
-				// after the paper reported adding it (Sec. VIII-B).
-				if len(call.Args) >= 1 {
-					if h := handlerName(call.Args[0]); h != "" {
-						key := "time->" + h
-						if !seen[key] {
-							seen[key] = true
-							out = append(out, discoveredTrigger{
-								trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
-								handler: h,
-								period:  86400,
-							})
-						}
-					}
-				}
-			case "runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
-				"runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours":
-				if len(call.Args) >= 1 {
-					if h := handlerName(call.Args[0]); h != "" {
-						key := "time->" + h
-						if !seen[key] {
-							seen[key] = true
-							out = append(out, discoveredTrigger{
-								trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
-								handler: h,
-								period:  periodOf(call.Method),
-							})
-						}
-					}
-				}
-			default:
-				// Inline helper methods (initialize() etc.).
-				if call.Receiver == nil {
-					if m2 := ex.script.Method(call.Method); m2 != nil {
-						walkMethod(m2, depth+1)
+						})
 					}
 				}
 			}
-			return true
-		})
+		case "runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
+			"runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours":
+			if len(call.Args) >= 1 {
+				if h := handlerName(call.Args[0]); h != "" {
+					key := trigKey{subject: "time", handler: h}
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, discoveredTrigger{
+							trigger: rule.Trigger{Subject: "time", Attribute: "schedule"},
+							handler: h,
+							period:  periodOf(call.Method),
+						})
+					}
+				}
+			}
+		default:
+			// Inline helper methods (initialize() etc.).
+			if call.Receiver == nil {
+				if m2 := ex.script.Method(call.Method); m2 != nil && depth < ex.lim.MaxCallDepth {
+					depth++
+					walkMethod(m2)
+					depth--
+				}
+			}
+		}
+		return true
 	}
-	walkMethod(entry, 0)
+	walkMethod(entry)
 	return out
 }
 
@@ -489,6 +579,7 @@ func (ex *executor) parseSubscribe(call *groovy.Call) (discoveredTrigger, bool) 
 	}
 	// Attribute (and optional ".value" constraint) + handler.
 	var handler string
+	var rawAttr string
 	if len(call.Args) == 2 {
 		// subscribe(app, appTouch) / subscribe(location, modeChangeHandler)
 		handler = handlerName(call.Args[1])
@@ -502,6 +593,7 @@ func (ex *executor) parseSubscribe(call *groovy.Call) (discoveredTrigger, bool) 
 		}
 	} else {
 		attr := stringArg(call.Args[1])
+		rawAttr = attr
 		handler = handlerName(call.Args[2])
 		if attr == "" {
 			ex.warnf("non-constant subscription attribute")
@@ -525,7 +617,10 @@ func (ex *executor) parseSubscribe(call *groovy.Call) (discoveredTrigger, bool) 
 	if handler == "" {
 		return discoveredTrigger{}, false
 	}
-	return discoveredTrigger{trigger: tr, handler: handler}, true
+	if rawAttr == "" {
+		rawAttr = tr.Attribute // 2-arg forms: the implied attribute
+	}
+	return discoveredTrigger{trigger: tr, handler: handler, rawAttr: rawAttr}, true
 }
 
 // attrType returns the value type of an attribute within a capability
@@ -550,12 +645,15 @@ func (ex *executor) attrType(capName, attr string) rule.ValueType {
 }
 
 // eventVar names the symbolic variable carrying the triggering event's
-// value: "<subject>.<attribute>".
+// value: "<subject>.<attribute>". The name is interned: the same
+// subject/attribute pair is read on every path of every rule, and the
+// detect compile step interns through the same table, so equal names share
+// one string fleet-wide instead of being concatenated per evaluation.
 func eventVar(subject, attr string, t rule.ValueType) rule.Var {
-	return rule.Var{Name: subject + "." + attr, Kind: rule.VarEvent, Type: t}
+	return rule.Var{Name: rule.InternDotted(subject, attr), Kind: rule.VarEvent, Type: t}
 }
 
 // deviceAttrVar names a device attribute read: "<device>.<attribute>".
 func deviceAttrVar(dev, attr string, t rule.ValueType) rule.Var {
-	return rule.Var{Name: dev + "." + attr, Kind: rule.VarDeviceAttr, Type: t}
+	return rule.Var{Name: rule.InternDotted(dev, attr), Kind: rule.VarDeviceAttr, Type: t}
 }
