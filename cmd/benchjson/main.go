@@ -11,15 +11,20 @@
 // keep their full slash-separated names; the GOMAXPROCS "-N" suffix is
 // stripped so keys are stable across machines.
 //
-// Gate (allocation regression):
+// Gate (allocation and time regression):
 //
 //	go test -bench BenchmarkDetectPair -benchmem ./internal/detect \
 //	  | go run ./cmd/benchjson -gate BenchmarkDetectPair \
-//	      -baseline BENCH_pr3.json -max-regress 0.10
+//	      -baseline BENCH_pr3.json -max-regress 0.10 -max-ns-regress 0.20
 //
 // reads the named benchmark from stdin, looks it up under "benchmarks" in
 // the baseline file, and exits non-zero when allocs/op exceeds the
-// baseline by more than -max-regress (a fraction; 0.10 = +10%).
+// baseline by more than -max-regress (a fraction; 0.10 = +10%), or — when
+// -max-ns-regress is positive — when ns/op exceeds the baseline by more
+// than that fraction. Wall-clock gating is noisier than allocation
+// gating, so the ns bound should be generous (±20%); a run that comes in
+// 20% FASTER than baseline is reported as a hint to refresh the baseline
+// but does not fail the build.
 package main
 
 import (
@@ -55,6 +60,8 @@ func main() {
 	gate := flag.String("gate", "", "benchmark name to gate instead of converting")
 	baseline := flag.String("baseline", "", "baseline JSON file for -gate")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op regression for -gate")
+	maxNsRegress := flag.Float64("max-ns-regress", 0,
+		"allowed fractional ns/op regression for -gate (0 disables the time gate)")
 	flag.Parse()
 
 	results, err := parseBench(os.Stdin)
@@ -96,6 +103,19 @@ func main() {
 	if got.AllocsPerOp > limit {
 		fatalf("allocation regression: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
 			got.AllocsPerOp, want.AllocsPerOp, *maxRegress*100)
+	}
+	if *maxNsRegress > 0 {
+		nsLimit := want.NsPerOp * (1 + *maxNsRegress)
+		fmt.Printf("gate %s: ns/op = %.0f, baseline = %.0f, limit = %.1f\n",
+			*gate, got.NsPerOp, want.NsPerOp, nsLimit)
+		if got.NsPerOp > nsLimit {
+			fatalf("time regression: %.0f ns/op exceeds baseline %.0f by more than %.0f%%",
+				got.NsPerOp, want.NsPerOp, *maxNsRegress*100)
+		}
+		if want.NsPerOp > 0 && got.NsPerOp < want.NsPerOp*(1-*maxNsRegress) {
+			fmt.Printf("note: %.0f ns/op is more than %.0f%% below baseline %.0f — consider refreshing the baseline\n",
+				got.NsPerOp, *maxNsRegress*100, want.NsPerOp)
+		}
 	}
 	fmt.Println("gate passed")
 }

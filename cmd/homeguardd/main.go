@@ -5,6 +5,28 @@
 // Usage:
 //
 //	homeguardd [-addr :8080] [-shards 16] [-pprof-addr 127.0.0.1:6060]
+//	           [-snapshot-path /var/lib/homeguard/snapshot]
+//
+// # Warm-start snapshots
+//
+// -snapshot-path, when set, enables persistent warm-start: on boot the
+// daemon restores the extraction cache and the pair-verdict cache from
+// the named file (a missing file is a normal cold start; a corrupt or
+// version-skewed file is logged and ignored), and on graceful shutdown
+// (SIGINT/SIGTERM) it writes a fresh snapshot to a temp file and
+// atomically renames it into place. A restarted daemon therefore serves
+// its first install storm at warm-cache latency — repeat installs of a
+// snapshotted catalog run symexec zero times and hit solved pair
+// verdicts instead of invoking the solver.
+//
+// The snapshot file is two self-contained sections back to back, one per
+// cache, each in the internal/snapcodec framing: an 8-byte magic
+// ("HGXCSNP\x00" for extractions, "HGPVSNP\x00" for pair verdicts), a
+// big-endian uint32 format version, a stream of length-prefixed records
+// (32-byte content-address key followed by the JSON payload), a
+// 0xFFFFFFFF end sentinel, and a SHA-256 checksum of the whole section.
+// Restore rejects unknown versions and checksum mismatches with typed
+// errors rather than loading garbage.
 //
 // -pprof-addr, when set, serves Go's net/http/pprof profiling endpoints
 // (/debug/pprof/...) on a SEPARATE listener so profiling is never exposed
@@ -28,7 +50,12 @@
 //	POST /homes/{id}/accept       body {"threats": [0, 2]} — accept
 //	                              threats by log index so later installs
 //	                              report chains through them (Sec. VI-D)
-//	GET  /homes/{id}/threats      every threat reported for the home
+//	GET  /homes/{id}/threats      every threat reported for the home;
+//	                              ?active=true returns the incremental
+//	                              ledger's CURRENT set instead (latest
+//	                              verdict per app pair — reconfigure-
+//	                              resolved threats gone; entries carry no
+//	                              log indices)
 //	GET  /homes/{id}/apps         installed app names
 //	GET  /metrics                 fleet metrics: homes, installs,
 //	                              extraction and pair-verdict cache hit
@@ -48,14 +75,20 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"homeguard/internal/corpus"
@@ -76,9 +109,14 @@ func main() {
 	shards := flag.Int("shards", 16, "home-map shard count")
 	pprofAddr := flag.String("pprof-addr", "",
 		"optional address for net/http/pprof profiling endpoints (empty = disabled); bind to localhost")
+	snapshotPath := flag.String("snapshot-path", "",
+		"optional warm-start snapshot file: restored on boot, written on graceful shutdown (empty = disabled)")
 	flag.Parse()
 
 	srv := newServer(fleet.Options{Shards: *shards})
+	if *snapshotPath != "" {
+		loadSnapshot(*snapshotPath, srv.fleet)
+	}
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
@@ -93,7 +131,112 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	log.Fatal(hs.ListenAndServe())
+	// Serve until SIGINT/SIGTERM, then drain connections and persist the
+	// warm-start snapshot: a routine restart must not cost the fleet a
+	// cold extraction/solving storm.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("homeguardd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("homeguardd: shutdown: %v", err)
+	}
+	if *snapshotPath != "" {
+		if err := saveSnapshot(*snapshotPath, srv.fleet); err != nil {
+			log.Printf("homeguardd: snapshot save failed: %v", err)
+		}
+	}
+}
+
+// saveSnapshot writes both caches' sections to a temp file and atomically
+// renames it over path, so a crash mid-write can never leave a truncated
+// snapshot where the next boot will find it.
+func saveSnapshot(path string, f *fleet.Fleet) error {
+	tmp := path + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(file)
+	nx, err := f.Cache().Snapshot(w)
+	if err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return err
+	}
+	nv := 0
+	if v := f.Verdicts(); v != nil {
+		if nv, err = v.Snapshot(w); err != nil {
+			file.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := file.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	log.Printf("homeguardd: snapshot saved to %s (%d extractions, %d pair verdicts)", path, nx, nv)
+	return nil
+}
+
+// loadSnapshot restores both caches from path. Every failure mode — no
+// file yet, version skew, corruption — degrades to a cold (or partially
+// warm) start with a log line; a damaged snapshot must never stop the
+// daemon from serving.
+func loadSnapshot(path string, f *fleet.Fleet) {
+	file, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			log.Printf("homeguardd: no snapshot at %s, starting cold", path)
+		} else {
+			log.Printf("homeguardd: snapshot open failed, starting cold: %v", err)
+		}
+		return
+	}
+	defer file.Close()
+	r := bufio.NewReader(file)
+	nx, err := f.Cache().Restore(r)
+	if err != nil {
+		log.Printf("homeguardd: extraction-cache restore failed (%d entries kept): %v", nx, err)
+		return
+	}
+	nv := 0
+	if v := f.Verdicts(); v != nil {
+		// An older snapshot (or one from a verdict-less config) may end
+		// after the extraction section.
+		if _, err := r.Peek(1); err == io.EOF {
+			log.Printf("homeguardd: snapshot restored from %s (%d extractions, no verdict section)", path, nx)
+			return
+		}
+		if nv, err = v.Restore(r); err != nil {
+			log.Printf("homeguardd: pair-verdict restore failed (%d verdicts kept): %v", nv, err)
+			return
+		}
+	}
+	log.Printf("homeguardd: snapshot restored from %s (%d extractions, %d pair verdicts)", path, nx, nv)
 }
 
 // servePprof runs the profiling listener. A dedicated mux (rather than
@@ -368,6 +511,22 @@ func (s *server) handleAccept(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleThreats(w http.ResponseWriter, r *http.Request) {
 	homeID := r.PathValue("id")
+	if v := r.URL.Query().Get("active"); v == "true" || v == "1" {
+		// The incremental ledger's current set: latest verdict per app
+		// pair, reconfigure-resolved threats dropped. Ledger entries are
+		// not log positions, so no accept indices are attached.
+		threats, err := s.fleet.ActiveThreats(homeID)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"homeId":  homeID,
+			"active":  true,
+			"threats": toThreatsJSON(threats, -1),
+		})
+		return
+	}
 	threats, err := s.fleet.Threats(homeID)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
@@ -423,7 +582,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		// the footprint prune, and solver invocations actually run.
 		"pairsChecked": m.Detectors.PairsChecked,
 		"pairsPruned":  m.Detectors.PairsPruned,
-		"solverCalls":  m.Detectors.SolverCalls,
+		// Footprint-channel index effectiveness: candidate app pairs
+		// generated from posting lists vs rule pairs never generated at
+		// all (the sublinear-detection speedup in one ratio).
+		"pairsIndexed":        m.Detectors.PairsIndexed,
+		"pairsSkippedByIndex": m.Detectors.PairsSkippedByIndex,
+		"solverCalls":         m.Detectors.SolverCalls,
 		// Nonzero means solver budgets were exhausted and some verdicts
 		// degraded to the conservative "potential threat" form.
 		"solverLimitHits": m.Detectors.SearchLimitHits,

@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"homeguard/internal/fleet"
@@ -251,5 +254,161 @@ func TestDaemonConfigParsing(t *testing.T) {
 	var nilCfg *configJSON
 	if got, err := nilCfg.toConfig(); err != nil || got != nil {
 		t.Errorf("nil config → (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+// TestDaemonReconfigureUnknownApp404 is the regression test for the typed
+// not-found mapping: reconfiguring an app absent from an EXISTING home
+// must answer 404 (fleet.ErrAppNotInstalled), not a generic 422.
+func TestDaemonReconfigureUnknownApp404(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+	code, _ := doJSON(t, srv, "POST", "/homes/h1/install", map[string]any{"corpus": "ComfortTV"})
+	if code != http.StatusOK {
+		t.Fatalf("install: status %d", code)
+	}
+	code, resp := doJSON(t, srv, "POST", "/homes/h1/reconfigure",
+		map[string]any{"app": "NoSuchApp"})
+	if code != http.StatusNotFound {
+		t.Errorf("reconfigure unknown app: status %d resp %v, want 404", code, resp)
+	}
+}
+
+// TestDaemonActiveThreatsView: ?active=true serves the incremental
+// ledger — after a resolving reconfigure the active set is empty while
+// the plain log keeps history.
+func TestDaemonActiveThreatsView(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+	sharedCfg := map[string]any{"devices": map[string]any{"tv1": "tv-A", "window1": "win-1"}}
+	code, _ := doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "ComfortTV", "config": sharedCfg})
+	if code != http.StatusOK {
+		t.Fatalf("install ComfortTV: status %d", code)
+	}
+	code, resp := doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "ColdDefender", "config": sharedCfg})
+	if code != http.StatusOK || len(resp["threats"].([]any)) == 0 {
+		t.Fatalf("install ColdDefender: status %d, threats %v", code, resp["threats"])
+	}
+	nThreats := len(resp["threats"].([]any))
+
+	code, resp = doJSON(t, srv, "GET", "/homes/h1/threats?active=true", nil)
+	if code != http.StatusOK {
+		t.Fatalf("active threats: status %d", code)
+	}
+	if n := len(resp["threats"].([]any)); n != nThreats {
+		t.Errorf("active view has %d threats, want %d", n, nThreats)
+	}
+
+	// Rebind ColdDefender away from the shared window: the actuator race
+	// resolves (a cross-device goal conflict may remain — the active view
+	// must mirror exactly what the reconfigure reported).
+	code, resp = doJSON(t, srv, "POST", "/homes/h1/reconfigure", map[string]any{
+		"app":    "ColdDefender",
+		"config": map[string]any{"devices": map[string]any{"tv1": "tv-A", "window1": "win-ELSEWHERE"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("reconfigure: status %d", code)
+	}
+	kindsOf := func(list []any) map[string]int {
+		out := map[string]int{}
+		for _, x := range list {
+			out[x.(map[string]any)["kind"].(string)]++
+		}
+		return out
+	}
+	reKinds := kindsOf(resp["threats"].([]any))
+	if reKinds["AR"] != 0 {
+		t.Errorf("actuator race survived the rebinding: %v", reKinds)
+	}
+	code, resp = doJSON(t, srv, "GET", "/homes/h1/threats?active=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("active threats: status %d", code)
+	}
+	if got := kindsOf(resp["threats"].([]any)); fmt.Sprint(got) != fmt.Sprint(reKinds) {
+		t.Errorf("active view = %v, want the reconfigure verdict %v", got, reKinds)
+	}
+	code, resp = doJSON(t, srv, "GET", "/homes/h1/threats", nil)
+	if code != http.StatusOK || len(resp["threats"].([]any)) < nThreats {
+		t.Errorf("history log lost entries: %v", resp["threats"])
+	}
+}
+
+// TestDaemonSnapshotWarmBoot is the daemon-level warm-start exercise the
+// CI snapshot job runs: populate a fleet over the API, save a snapshot,
+// boot a fresh fleet from it, and require the repeat install storm to be
+// served entirely warm — an extraction-cache hit ratio of at least 0.99
+// and zero new symbolic executions or pair-verdict misses.
+func TestDaemonSnapshotWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot")
+
+	apps := []string{"ComfortTV", "ColdDefender", "MakeItSo", "AutoLockDoor", "EnergySaver"}
+	warm := newServer(fleet.Options{Shards: 4})
+	for _, app := range apps {
+		code, resp := doJSON(t, warm, "POST", "/homes/h1/install", map[string]any{"corpus": app})
+		if code != http.StatusOK {
+			t.Fatalf("install %s: status %d resp %v", app, code, resp)
+		}
+	}
+	if err := saveSnapshot(path, warm.fleet); err != nil {
+		t.Fatalf("saveSnapshot: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp snapshot file left behind")
+	}
+
+	cold := newServer(fleet.Options{Shards: 4})
+	loadSnapshot(path, cold.fleet)
+	before := cold.fleet.Metrics()
+	if before.Cache.Lookups != 0 {
+		t.Fatalf("restore counted %d cache lookups; restores must not skew hit ratios", before.Cache.Lookups)
+	}
+
+	// The repeat install storm: same catalog, different homes.
+	for i, app := range apps {
+		home := fmt.Sprintf("/homes/h%d/install", 100+i)
+		code, resp := doJSON(t, cold, "POST", home, map[string]any{"corpus": app})
+		if code != http.StatusOK {
+			t.Fatalf("warm install %s: status %d resp %v", app, code, resp)
+		}
+	}
+	m := cold.fleet.Metrics()
+	if m.Cache.Misses != 0 {
+		t.Errorf("warm boot ran %d extractions, want 0", m.Cache.Misses)
+	}
+	if hr := m.Cache.HitRate(); hr < 0.99 {
+		t.Errorf("warm-boot extraction hit ratio = %.3f, want >= 0.99", hr)
+	}
+	if m.PairVerdicts.Misses != 0 {
+		t.Errorf("warm boot solved %d pair verdicts, want 0 (all restored)", m.PairVerdicts.Misses)
+	}
+
+	// A second save/load cycle from the restored fleet stays intact.
+	if err := saveSnapshot(path, cold.fleet); err != nil {
+		t.Fatalf("re-save: %v", err)
+	}
+	again := newServer(fleet.Options{Shards: 4})
+	loadSnapshot(path, again.fleet)
+	code, resp := doJSON(t, again, "POST", "/homes/z/install", map[string]any{"corpus": "ComfortTV"})
+	if code != http.StatusOK {
+		t.Fatalf("install after re-load: status %d resp %v", code, resp)
+	}
+	if m := again.fleet.Metrics(); m.Cache.Misses != 0 {
+		t.Errorf("second warm boot ran %d extractions, want 0", m.Cache.Misses)
+	}
+
+	// Damage the file on disk: the daemon must boot cold, not crash.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	damaged := newServer(fleet.Options{Shards: 4})
+	loadSnapshot(path, damaged.fleet) // must not panic or fail the process
+	if code, _ := doJSON(t, damaged, "POST", "/homes/d/install", map[string]any{"corpus": "ComfortTV"}); code != http.StatusOK {
+		t.Errorf("daemon with damaged snapshot cannot serve: status %d", code)
 	}
 }

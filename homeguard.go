@@ -112,14 +112,55 @@
 //     with the detect compile step. One extraction now costs a few dozen
 //     allocations instead of a few hundred.
 //
-//   - A parallel all-pairs audit engine (the paper's Sec. VIII-B store
-//     audit). internal/audit fans the O(n²) app-pair checks out over a
-//     work-stealing worker pool — one detector per worker, apps compiled
-//     once and shared read-only — and reassembles results in serial
-//     install order, so the 90-app audit scales with GOMAXPROCS while
-//     reporting byte-identical findings. Fleet.InstallBatch uses the same
-//     idea at provisioning time: a batch's extractions run in parallel
-//     through the shared cache before the installs serialize on the home.
+//   - Sublinear candidate generation: an inverted footprint-channel
+//     index. Every canonical name an app's rules read or write is a
+//     channel; the detector keeps channel → posting-list-of-apps (each
+//     posting tagged with the app's read/write membership for that
+//     channel), and Install/Reconfigure query the
+//     postings of the new footprint's channels for candidate
+//     counterparts instead of enumerating every installed app. The
+//     candidate set equals exactly the set the per-pair footprint prune
+//     would have kept (a pinned property test compares against the
+//     brute-force all-pairs filter), so findings are byte-identical —
+//     but pairs with no shared channel are never generated at all, making
+//     candidate generation proportional to actual channel overlap rather
+//     than home or store size. Stats.PairsIndexed/PairsSkippedByIndex
+//     (surfaced in /metrics) report the effect.
+//
+//   - A parallel audit engine with index-driven work items (the paper's
+//     Sec. VIII-B store audit). internal/audit builds its pair tasks from
+//     the same posting lists — the sparse 1k-app synthetic audit drops
+//     from the quadratic pair grid to near-linear candidate generation
+//     (BENCH_pr5.json: 2.3x at 1k apps, 3.4x at 2k, the gap growing with
+//     scale) — and falls back to the grid when overlap density makes
+//     postings pointless. The tasks then fan out over a work-stealing
+//     worker pool — one detector per worker, apps compiled once and
+//     shared read-only — and results reassemble in serial install order,
+//     byte-identical to the grid and to the serial audit at any worker
+//     count. Fleet.InstallBatch uses the same idea at provisioning time:
+//     a batch's extractions run in parallel through the shared cache
+//     before the installs serialize on the home.
+//
+//   - An incremental per-home threat ledger. Each fleet home retains its
+//     current threat set grouped by app pair; Reconfigure re-solves only
+//     the pairs whose footprint intersects the changed app (the index's
+//     candidates, with its postings updated to the new bindings first)
+//     and splices the result into the retained ledger — replaced where
+//     re-detected, dropped where resolved, untouched elsewhere — rather
+//     than recomputing the home. Fleet.ActiveThreats (GET
+//     /homes/{id}/threats?active=true) serves that live view, while
+//     Threats remains the append-only history.
+//
+//   - Persistent warm-start snapshots. Both fleet-level caches persist:
+//     Snapshot/Restore on the extraction cache and the pair-verdict cache
+//     write a versioned, length-prefixed, SHA-256-checksummed binary
+//     stream (internal/snapcodec), and homeguardd's -snapshot-path wires
+//     them to load-on-boot and save-on-shutdown (atomic rename). A
+//     restarted daemon therefore serves a repeat install storm of its
+//     catalog with a ≥0.99 extraction-cache hit ratio and zero re-solved
+//     pair verdicts, instead of re-extracting the world. Version skew and
+//     corruption are rejected with typed errors and degrade to a cold
+//     start, never to loaded garbage.
 //
 // Lower-level building blocks (the Groovy parser, the symbolic executor,
 // the constraint solver, the platform simulator and the app corpus) live
@@ -233,6 +274,10 @@ func ExtractRules(src string) (*ExtractionResult, error) {
 // NewConfig returns an empty installation configuration.
 func NewConfig() *Config { return detect.NewConfig() }
 
+// ErrAppNotInstalled reports a reconfigure of an app that is not
+// installed in the home, matchable with errors.Is.
+var ErrAppNotInstalled = detect.ErrAppNotInstalled
+
 // Options tune a Home's detector.
 type Options struct {
 	// Modes is the home's mode universe (default Home/Away/Night).
@@ -305,8 +350,10 @@ func (h *Home) Accept(ts ...Threat) {
 
 // ReconfigureApp updates an installed app's configuration and re-runs
 // detection (the updated() lifecycle path): changing a device binding can
-// resolve — or introduce — interference.
-func (h *Home) ReconfigureApp(appName string, cfg *Config) []Threat {
+// resolve — or introduce — interference. An unknown app name fails with
+// an error matching ErrAppNotInstalled (previously it returned nil,
+// indistinguishable from "no threats").
+func (h *Home) ReconfigureApp(appName string, cfg *Config) ([]Threat, error) {
 	return h.det.Reconfigure(appName, cfg)
 }
 

@@ -12,9 +12,22 @@
 // and never crosses pairs, and the only cross-app state a pair check
 // reads — the enum-input options declared by the pair's own two apps — is
 // recorded by the worker before checking. The engine therefore fans the
-// O(n²) pair list out over a work-stealing worker pool, one detector per
+// pair tasks out over a work-stealing worker pool, one detector per
 // worker, and reassembles the per-pair results in exactly the serial
 // install order.
+//
+// # Index-driven work items
+//
+// By default the task list is not the n·(n−1)/2 grid: tasks are generated
+// from an inverted footprint-channel index (detect.FootprintIndex) built
+// incrementally in install order, so only app pairs sharing an
+// interference channel are ever materialized — the pairs skipped are
+// exactly those the grid's per-pair footprint prune would have rejected,
+// making the output byte-identical while candidate generation scales with
+// channel overlap instead of n². When overlap density exceeds
+// IndexDensityCutoff the engine falls back to the grid (postings buy
+// nothing on near-total overlap), and Options.DisableIndex or the
+// DisablePruning ablation force it.
 //
 // # Concurrency model
 //
@@ -62,7 +75,23 @@ type Options struct {
 	// through (one symbolic execution per distinct source even across
 	// audit runs and fleets).
 	Extract *extractcache.Cache
+	// DisableIndex forces the n·(n−1)/2 pair grid instead of generating
+	// work items from footprint-index postings (contrast runs and the
+	// indexed-equals-grid pin test). The index is also bypassed when
+	// Detector.DisablePruning is set: the ablation must solve every pair.
+	DisableIndex bool
+	// IndexDensityCutoff is the candidate-pair fraction of the full grid
+	// above which the engine falls back to the grid (posting-list
+	// generation buys nothing on near-total overlap and the grid avoids
+	// its bookkeeping). 0 selects DefaultIndexDensityCutoff; a value > 1
+	// never falls back.
+	IndexDensityCutoff float64
 }
+
+// DefaultIndexDensityCutoff is the fallback threshold: when more than
+// this fraction of all cross-app pairs are index candidates, the overlap
+// is dense enough that enumerating the grid outright is cheaper.
+const DefaultIndexDensityCutoff = 0.75
 
 // Result is the audit output.
 type Result struct {
@@ -79,6 +108,10 @@ type Result struct {
 	Errors []error
 	// Stats aggregates every worker detector's counters.
 	Stats detect.Stats
+	// UsedIndex reports whether work items came from footprint-index
+	// postings (false: the pair grid ran, by option, ablation or the
+	// density fallback).
+	UsedIndex bool
 }
 
 // Threats flattens PerInstall in serial install order.
@@ -144,19 +177,62 @@ func Run(apps []App, opts Options) *Result {
 		compiler.Precompile(ia)
 	}
 
-	// Phase 3: all-pairs detection over a work-stealing pool. Task k is
-	// one (i, j) pair, i <= j, laid out in serial install order:
-	// install j contributes tasks [(j,j), (0,j), ..., (j-1,j)].
+	// Phase 3: pair detection over a work-stealing pool. Task k is one
+	// (i, j) pair, i <= j, laid out in serial install order: install j
+	// contributes tasks [(j,j), <candidates of j in ascending i>] on the
+	// index path and [(j,j), (0,j), ..., (j-1,j)] on the grid. Candidate
+	// generation walks the footprint index's posting lists, so its cost —
+	// and the task count — scales with the actual channel overlap, not
+	// with n²; the pairs never generated are exactly those the grid's
+	// per-pair footprint prune would have rejected (they are folded into
+	// PairsPruned/PairsSkippedByIndex so the stats match the serial scan).
 	type pairTask struct{ i, j int }
-	tasks := make([]pairTask, 0, n*(n+1)/2)
+	var tasks []pairTask
 	installBase := make([]int, n) // first task index of install j
-	for j := 0; j < n; j++ {
-		installBase[j] = len(tasks)
-		tasks = append(tasks, pairTask{j, j})
-		for i := 0; i < j; i++ {
-			tasks = append(tasks, pairTask{i, j})
+	var skippedRulePairs, indexedPairs int
+	useIndex := !opts.DisableIndex && !opts.Detector.DisablePruning
+	if useIndex {
+		cutoff := opts.IndexDensityCutoff
+		if cutoff == 0 {
+			cutoff = DefaultIndexDensityCutoff
+		}
+		idx := detect.NewFootprintIndex()
+		var buf []int32
+		ruleN := make([]int, n)
+		sumRuleN := 0 // Σ ruleN[0..j-1], for O(1) skipped-pair accounting
+		tasks = make([]pairTask, 0, n*2)
+		for j := 0; j < n; j++ {
+			ruleN[j] = len(res.Installed[j].Rules.Rules)
+			installBase[j] = len(tasks)
+			tasks = append(tasks, pairTask{j, j})
+			fp := res.Installed[j].Footprint()
+			buf = idx.AppendCandidates(fp, buf[:0])
+			candRules := 0
+			for _, s := range buf {
+				tasks = append(tasks, pairTask{int(s), j})
+				candRules += ruleN[s]
+			}
+			indexedPairs += len(buf)
+			skippedRulePairs += (sumRuleN - candRules) * ruleN[j]
+			idx.Add(fp)
+			sumRuleN += ruleN[j]
+		}
+		if float64(indexedPairs) > cutoff*float64(n*(n-1))/2 {
+			useIndex = false // dense overlap: the grid is cheaper to run
+			tasks, skippedRulePairs, indexedPairs = nil, 0, 0
 		}
 	}
+	if !useIndex {
+		tasks = make([]pairTask, 0, n*(n+1)/2)
+		for j := 0; j < n; j++ {
+			installBase[j] = len(tasks)
+			tasks = append(tasks, pairTask{j, j})
+			for i := 0; i < j; i++ {
+				tasks = append(tasks, pairTask{i, j})
+			}
+		}
+	}
+	res.UsedIndex = useIndex
 	pairThreats := make([][]detect.Threat, len(tasks))
 
 	dets := make([]*detect.Detector, workers)
@@ -165,7 +241,14 @@ func Run(apps []App, opts Options) *Result {
 	}
 	runTasksWorker(len(tasks), workers, func(w, k int) {
 		t := tasks[k]
-		pairThreats[k] = dets[w].DetectAppPair(res.Installed[t.i], res.Installed[t.j])
+		a, b := res.Installed[t.i], res.Installed[t.j]
+		if useIndex {
+			// Candidates are known to share a channel (and intra pairs are
+			// never pruned), so skip the per-pair footprint walk.
+			pairThreats[k] = dets[w].DetectAppPairCandidate(a, b)
+			return
+		}
+		pairThreats[k] = dets[w].DetectAppPair(a, b)
 	})
 
 	// Reassemble per-install groups and aggregate stats.
@@ -186,6 +269,11 @@ func Run(apps []App, opts Options) *Result {
 		s := d.Stats()
 		res.Stats.Merge(s)
 	}
+	// Pairs the index never generated: counted exactly as the serial scan
+	// counts its footprint-pruned pairs, plus the index-specific counter.
+	res.Stats.PairsPruned += skippedRulePairs
+	res.Stats.PairsSkippedByIndex += skippedRulePairs
+	res.Stats.PairsIndexed += indexedPairs
 	return res
 }
 

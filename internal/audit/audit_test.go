@@ -107,6 +107,43 @@ func TestRunExtractsSources(t *testing.T) {
 	}
 }
 
+// TestIndexedAuditMatchesGrid pins the tentpole contract on the Fig. 8
+// corpus: the audit whose work items come from footprint-index postings
+// reports byte-identical findings — same threats, same order, same
+// per-install grouping — as the full n·(n−1)/2 pair grid, and the
+// pairs-checked/pruned accounting agrees between the two paths.
+func TestIndexedAuditMatchesGrid(t *testing.T) {
+	apps := auditApps(corpus.StoreAudit())
+	grid := audit.Run(apps, audit.Options{DisableIndex: true})
+	if grid.UsedIndex {
+		t.Fatal("DisableIndex run reports UsedIndex")
+	}
+	// Cutoff > 1 pins the index path even if corpus density drifts above
+	// the default fallback threshold.
+	indexed := audit.Run(apps, audit.Options{IndexDensityCutoff: 1.1})
+	if !indexed.UsedIndex {
+		t.Fatal("index run fell back to the grid")
+	}
+	if got, want := renderThreats(indexed.PerInstall), renderThreats(grid.PerInstall); got != want {
+		t.Fatalf("indexed audit diverged from grid audit:\nindexed:\n%s\ngrid:\n%s", got, want)
+	}
+	if indexed.Stats.PairsChecked != grid.Stats.PairsChecked {
+		t.Errorf("PairsChecked: indexed %d, grid %d", indexed.Stats.PairsChecked, grid.Stats.PairsChecked)
+	}
+	if indexed.Stats.PairsPruned != grid.Stats.PairsPruned {
+		t.Errorf("PairsPruned: indexed %d, grid %d", indexed.Stats.PairsPruned, grid.Stats.PairsPruned)
+	}
+	if indexed.Stats.PairsIndexed == 0 || indexed.Stats.PairsSkippedByIndex == 0 {
+		t.Errorf("index accounting inert: indexed=%d skipped=%d",
+			indexed.Stats.PairsIndexed, indexed.Stats.PairsSkippedByIndex)
+	}
+	for k, v := range grid.Stats.Found {
+		if indexed.Stats.Found[k] != v {
+			t.Errorf("Found[%s]: indexed %d, grid %d", k, indexed.Stats.Found[k], v)
+		}
+	}
+}
+
 // TestRunEmpty covers the degenerate inputs.
 func TestRunEmpty(t *testing.T) {
 	res := audit.Run(nil, audit.Options{})

@@ -99,6 +99,11 @@ type CompiledRuleSet struct {
 // Install/Reconfigure/CheckPair involving the app.
 func (app *InstalledApp) Compiled() *CompiledRuleSet { return app.comp }
 
+// Footprint returns the app's canonical read/write footprint, or nil
+// before the app was compiled (Precompile/Install/Reconfigure). The audit
+// engine feeds it to a FootprintIndex to generate candidate pairs.
+func (app *InstalledApp) Footprint() *rule.Footprint { return app.fp }
+
 // ensureCompiled compiles the app on first use by this or any detector
 // (DetectPair may be called on apps that were never installed; they get
 // the same compilation Install would produce).

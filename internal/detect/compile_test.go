@@ -57,7 +57,9 @@ func TestCompileSharedAcrossDetectors(t *testing.T) {
 	before := a5.Compiled()
 	newCfg := NewConfig()
 	newCfg.Devices["light1"] = "dev-rewired"
-	d5.Reconfigure(a5.Info.Name, newCfg)
+	if _, err := d5.Reconfigure(a5.Info.Name, newCfg); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
 	after := a5.Compiled()
 	if after == before {
 		t.Fatal("Reconfigure must recompile the app")

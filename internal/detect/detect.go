@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,11 @@ import (
 	"homeguard/internal/rule"
 	"homeguard/internal/solver"
 )
+
+// ErrAppNotInstalled reports a Reconfigure of an app name the detector has
+// never installed, matchable with errors.Is (the fleet and the daemon map
+// it to a not-found response).
+var ErrAppNotInstalled = errors.New("detect: app not installed")
 
 // Detector holds the home's installed apps and detects CAI threats as new
 // apps arrive (the online part of HomeGuard).
@@ -61,6 +67,19 @@ type Detector struct {
 	// CheckPair call (see CheckPair); conservative detection continues, but
 	// error-aware callers get it surfaced instead of a silent verdict.
 	limitErr error
+
+	// idx is the inverted footprint-channel index over the installed apps
+	// (slots aligned with d.apps). Install and Reconfigure query it for
+	// candidate counterparts instead of enumerating every installed app,
+	// so candidate generation scales with channel overlap, not home size.
+	// nil when DisablePruning is set (the ablation runs the full scan).
+	idx *FootprintIndex
+	// candBuf is the reusable candidate-slot buffer for index queries.
+	candBuf []int32
+	// totalRules is the rule count summed over installed apps, kept so the
+	// index path can charge skipped (never-generated) pairs to the prune
+	// counters in O(candidates) instead of walking every installed app.
+	totalRules int
 }
 
 type satResult struct {
@@ -83,7 +102,7 @@ func New(opts Options) *Detector {
 	if len(modes) == 0 {
 		modes = []string{"Home", "Away", "Night"}
 	}
-	return &Detector{
+	d := &Detector{
 		modes:        modes,
 		modesSig:     modesSignature(modes),
 		opts:         opts,
@@ -91,6 +110,10 @@ func New(opts Options) *Detector {
 		satCache:     map[string]satResult{},
 		inputOptions: map[string][]string{},
 	}
+	if !opts.DisablePruning {
+		d.idx = NewFootprintIndex()
+	}
+	return d
 }
 
 // Stats returns detector work counters.
@@ -102,6 +125,14 @@ func (d *Detector) Apps() []*InstalledApp { return d.apps }
 // Install detects CAI threats between the new app and every already
 // installed app (and within the new app itself), then records the app as
 // installed. This mirrors the one-time decision point at app installation.
+//
+// Counterpart candidates come from the inverted footprint-channel index
+// (see FootprintIndex): only apps sharing an interference channel with
+// the new app are paired; the rest are skipped without ever being
+// enumerated (counted in Stats.PairsSkippedByIndex as well as
+// Stats.PairsPruned, since the index skips exactly the pairs the scan
+// path's footprint prune would have rejected one by one). With
+// DisablePruning the full scan runs instead.
 func (d *Detector) Install(app *InstalledApp) []Threat {
 	d.noteInputOptions(app)
 	// Compile the app once per install: canonical formulas, declaration
@@ -110,10 +141,30 @@ func (d *Detector) Install(app *InstalledApp) []Threat {
 	var threats []Threat
 	// Intra-app pairs (rules within one app can interfere too).
 	threats = append(threats, d.appPairThreats(app, app)...)
-	for _, old := range d.apps {
-		threats = append(threats, d.appPairThreats(old, app)...)
+	if d.idx != nil {
+		// Candidate slots come back sorted, i.e. in installation order, so
+		// pairing them directly reproduces the scan path's threat order.
+		// The skipped remainder is charged to the prune counters from the
+		// running rule-count total — no per-app walk.
+		d.candBuf = d.idx.AppendCandidates(app.fp, d.candBuf[:0])
+		d.stats.PairsIndexed += len(d.candBuf)
+		candRules := 0
+		for _, s := range d.candBuf {
+			old := d.apps[s]
+			candRules += len(old.Rules.Rules)
+			threats = append(threats, d.appPairVerdict(old, app)...)
+		}
+		n := (d.totalRules - candRules) * len(app.Rules.Rules)
+		d.stats.PairsPruned += n
+		d.stats.PairsSkippedByIndex += n
+		d.idx.Add(app.fp) // slot == len(d.apps)
+	} else {
+		for _, old := range d.apps {
+			threats = append(threats, d.appPairThreats(old, app)...)
+		}
 	}
 	d.apps = append(d.apps, app)
+	d.totalRules += len(app.Rules.Rules)
 	return threats
 }
 
@@ -153,6 +204,19 @@ func (d *Detector) DetectAppPair(appA, appB *InstalledApp) []Threat {
 	return d.appPairThreats(appA, appB)
 }
 
+// DetectAppPairCandidate is DetectAppPair for pairs already known to
+// share a footprint channel (index-generated candidates, or intra-app
+// pairs): it skips the per-pair footprint prune walk that DetectAppPair
+// would re-run, which is the point of generating candidates from postings
+// in the first place.
+func (d *Detector) DetectAppPairCandidate(appA, appB *InstalledApp) []Threat {
+	d.noteInputOptions(appA)
+	if appB != appA {
+		d.noteInputOptions(appB)
+	}
+	return d.appPairVerdict(appA, appB)
+}
+
 // Merge adds other's counters into s, for engines that aggregate several
 // worker detectors' stats into one audit-wide view.
 func (s *Stats) Merge(other Stats) {
@@ -161,6 +225,8 @@ func (s *Stats) Merge(other Stats) {
 	s.SolverCacheHits += other.SolverCacheHits
 	s.SearchLimitHits += other.SearchLimitHits
 	s.PairsPruned += other.PairsPruned
+	s.PairsIndexed += other.PairsIndexed
+	s.PairsSkippedByIndex += other.PairsSkippedByIndex
 	s.PairVerdictHits += other.PairVerdictHits
 	s.PairVerdictMisses += other.PairVerdictMisses
 	for k, v := range other.Candidates {
@@ -179,22 +245,31 @@ func (s *Stats) Merge(other Stats) {
 
 // appPairThreats detects every threat between appA's and appB's rules
 // (intra-app when appA == appB), going through the footprint prune and,
-// when configured, the fleet-shared pair-verdict cache.
+// when configured, the fleet-shared pair-verdict cache. Index-driven
+// callers that already know the pair shares a channel use appPairVerdict
+// directly, skipping the per-pair footprint walk.
 func (d *Detector) appPairThreats(appA, appB *InstalledApp) []Threat {
+	// Footprint prune: when neither app's writes touch anything the other
+	// app reads or writes, no interference channel exists and the whole
+	// pair is skipped — no solving, no cache traffic. Intra-app pairs are
+	// never pruned (a rule set trivially shares its own footprint).
+	if !d.opts.DisablePruning && appA != appB && !appA.fp.SharesChannel(appB.fp) {
+		d.stats.PairsPruned += len(appA.Rules.Rules) * len(appB.Rules.Rules)
+		return nil
+	}
+	return d.appPairVerdict(appA, appB)
+}
+
+// appPairVerdict runs pair detection for a pair already known to share an
+// interference channel (or exempt from pruning), consulting the
+// fleet-shared pair-verdict cache when configured.
+func (d *Detector) appPairVerdict(appA, appB *InstalledApp) []Threat {
 	nPairs := len(appA.Rules.Rules) * len(appB.Rules.Rules)
 	if appA == appB {
 		n := len(appA.Rules.Rules)
 		nPairs = n * (n - 1) / 2
 	}
 	if nPairs == 0 {
-		return nil
-	}
-	// Footprint prune: when neither app's writes touch anything the other
-	// app reads or writes, no interference channel exists and the whole
-	// pair is skipped — no solving, no cache traffic. Intra-app pairs are
-	// never pruned (a rule set trivially shares its own footprint).
-	if !d.opts.DisablePruning && appA != appB && !appA.fp.SharesChannel(appB.fp) {
-		d.stats.PairsPruned += nPairs
 		return nil
 	}
 	if d.opts.Verdicts == nil {
@@ -243,17 +318,23 @@ func (d *Detector) Accept(t Threat) { d.accepted = append(d.accepted, t) }
 // lifecycle path: "whenever a new app is installed or the configuration of
 // an installed app is updated") and re-runs detection between that app and
 // every other installed app. It returns the threats under the new
-// configuration, or nil when the app is not installed.
-func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
+// configuration; an unknown app name fails with ErrAppNotInstalled.
+//
+// Like Install, counterpart candidates come from the footprint-channel
+// index: only pairs whose footprint intersects the reconfigured app are
+// re-solved — the index postings are updated to the app's new footprint
+// first, so candidates reflect the new bindings.
+func (d *Detector) Reconfigure(appName string, cfg *Config) ([]Threat, error) {
 	var target *InstalledApp
-	for _, a := range d.apps {
+	slot := -1
+	for i, a := range d.apps {
 		if a.Info.Name == appName {
-			target = a
+			target, slot = a, i
 			break
 		}
 	}
 	if target == nil {
-		return nil
+		return nil, fmt.Errorf("%w: %q", ErrAppNotInstalled, appName)
 	}
 	if cfg == nil {
 		cfg = NewConfig()
@@ -273,6 +354,30 @@ func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
 	// footprint and its verdict signature; recompile before re-pairing.
 	d.prepare(target)
 	var threats []Threat
+	if d.idx != nil {
+		d.idx.Update(slot, target.fp)
+		d.candBuf = d.idx.AppendCandidates(target.fp, d.candBuf[:0])
+		threats = append(threats, d.appPairThreats(target, target)...)
+		// Sorted candidate slots reproduce the scan path's pair order; the
+		// target's own slot is skipped (the intra pair already ran), and
+		// the never-generated remainder is charged to the prune counters
+		// from the running rule-count total.
+		tr := len(target.Rules.Rules)
+		candRules := 0
+		for _, s := range d.candBuf {
+			other := d.apps[s]
+			if other == target {
+				continue
+			}
+			d.stats.PairsIndexed++
+			candRules += len(other.Rules.Rules)
+			threats = append(threats, d.appPairVerdict(other, target)...)
+		}
+		n := (d.totalRules - tr - candRules) * tr
+		d.stats.PairsPruned += n
+		d.stats.PairsSkippedByIndex += n
+		return threats, nil
+	}
 	threats = append(threats, d.appPairThreats(target, target)...)
 	for _, other := range d.apps {
 		if other == target {
@@ -280,7 +385,7 @@ func (d *Detector) Reconfigure(appName string, cfg *Config) []Threat {
 		}
 		threats = append(threats, d.appPairThreats(other, target)...)
 	}
-	return threats
+	return threats, nil
 }
 
 // DetectPair runs all seven detections over one ordered rule pair,

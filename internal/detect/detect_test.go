@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"errors"
 	"testing"
 
 	"homeguard/internal/envmodel"
@@ -515,12 +516,18 @@ func TestReconfigureResolvesThreat(t *testing.T) {
 		t.Fatal("precondition: race expected")
 	}
 	// The user re-configures ColdDefender to control a different window.
-	after := d.Reconfigure("ColdDefender", sharedTVWindowConfig("dev-tv", "dev-OTHER-window"))
+	after, err := d.Reconfigure("ColdDefender", sharedTVWindowConfig("dev-tv", "dev-OTHER-window"))
+	if err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
 	if ar := hasKind(after, ActuatorRace); ar != nil {
 		t.Errorf("race should disappear after re-binding: %s", *ar)
 	}
 	// And back again.
-	again := d.Reconfigure("ColdDefender", sharedTVWindowConfig("dev-tv", "dev-window"))
+	again, err := d.Reconfigure("ColdDefender", sharedTVWindowConfig("dev-tv", "dev-window"))
+	if err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
 	if hasKind(again, ActuatorRace) == nil {
 		t.Error("race should return with the shared binding")
 	}
@@ -528,8 +535,12 @@ func TestReconfigureResolvesThreat(t *testing.T) {
 
 func TestReconfigureUnknownApp(t *testing.T) {
 	d := New(Options{})
-	if got := d.Reconfigure("NoSuchApp", nil); got != nil {
-		t.Errorf("unknown app should return nil, got %v", got)
+	got, err := d.Reconfigure("NoSuchApp", nil)
+	if !errors.Is(err, ErrAppNotInstalled) {
+		t.Errorf("unknown app: err = %v, want ErrAppNotInstalled", err)
+	}
+	if got != nil {
+		t.Errorf("unknown app should return nil threats, got %v", got)
 	}
 }
 

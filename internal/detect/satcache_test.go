@@ -77,7 +77,9 @@ func TestReconfigureEvictsExactlyTargetSatEntries(t *testing.T) {
 			withLock, withoutLock)
 	}
 
-	d.Reconfigure("Lock", sharedLightConfig())
+	if _, err := d.Reconfigure("Lock", sharedLightConfig()); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
 
 	for k, r := range d.satCache {
 		_, stale := r.witness["__sentinel__"]

@@ -1,0 +1,68 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+	"homeguard/internal/solver"
+)
+
+// This file is the wire codec for threat slices, used by the pair-verdict
+// cache's persistent snapshot: a cached verdict (the full []Threat of one
+// app pair) round-trips through MarshalThreats/UnmarshalThreats. Rules
+// serialize in the rule package's tagged JSON wire format; witnesses are
+// plain name→value maps (solver.Value has only exported scalar fields).
+// Restored threats reference freshly built *rule.Rule values rather than
+// the extraction-shared originals — everything detection and reporting
+// read from a cached verdict (kind, qualified rule IDs, rendered rules,
+// property, witness, note) is preserved byte for byte.
+
+type threatJSON struct {
+	Kind     Kind                    `json:"kind"`
+	R1       *rule.Rule              `json:"r1"`
+	R2       *rule.Rule              `json:"r2"`
+	Property string                  `json:"property,omitempty"`
+	Witness  map[string]solver.Value `json:"witness,omitempty"`
+	Note     string                  `json:"note,omitempty"`
+}
+
+// MarshalThreats serializes a detection verdict (order-preserving; an
+// empty or nil slice marshals to a valid empty verdict).
+func MarshalThreats(ts []Threat) ([]byte, error) {
+	out := make([]threatJSON, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, threatJSON{
+			Kind: t.Kind, R1: t.R1, R2: t.R2,
+			Property: string(t.Property),
+			Witness:  t.Witness,
+			Note:     t.Note,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalThreats parses a verdict produced by MarshalThreats.
+func UnmarshalThreats(b []byte) ([]Threat, error) {
+	var in []threatJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return nil, fmt.Errorf("detect: unmarshal threats: %w", err)
+	}
+	out := make([]Threat, 0, len(in))
+	for i, tj := range in {
+		if tj.R1 == nil || tj.R2 == nil {
+			return nil, fmt.Errorf("detect: unmarshal threats: entry %d missing a rule", i)
+		}
+		t := Threat{
+			Kind: tj.Kind, R1: tj.R1, R2: tj.R2,
+			Property: envmodel.Property(tj.Property),
+			Note:     tj.Note,
+		}
+		if len(tj.Witness) > 0 {
+			t.Witness = solver.Model(tj.Witness)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -176,6 +176,16 @@ type Stats struct {
 	// PairsPruned counts rule pairs skipped outright by the footprint
 	// prune (disjoint interference channels — provably no threat).
 	PairsPruned int
+	// PairsIndexed counts candidate app pairs the footprint-channel index
+	// generated (pairs that share at least one channel and therefore went
+	// through full detection or the verdict cache).
+	PairsIndexed int
+	// PairsSkippedByIndex counts rule pairs the index never generated as
+	// candidates (disjoint footprints). These pairs are also counted in
+	// PairsPruned — the index skips exactly the set the scan path's
+	// per-pair footprint check would have rejected — so the two counters
+	// stay comparable across the index and scan paths.
+	PairsSkippedByIndex int
 	// PairVerdictHits and PairVerdictMisses count app-pair lookups in the
 	// shared verdict cache. Hits skip all solving for the pair: the rule
 	// pairs served still count into PairsChecked ("verdict obtained"), but

@@ -116,6 +116,11 @@ func FormatFig8(r *Fig8Result) string {
 	sb.WriteString(fmt.Sprintf(
 		"Fig. 8 — Detection statistics on %d store apps (%d pairs, %d threat instances, %d apps involved)\n",
 		r.Apps, r.Pairs, r.TotalThreats, r.AppsWithThreats))
+	if r.Stats.PairsIndexed > 0 {
+		sb.WriteString(fmt.Sprintf(
+			"Candidate generation: %d app pairs from index postings, %d rule pairs never generated (of %d pruned)\n",
+			r.Stats.PairsIndexed, r.Stats.PairsSkippedByIndex, r.Stats.PairsPruned))
+	}
 	kinds := detect.AllKinds
 	sb.WriteString(fmt.Sprintf("%-8s", "Group"))
 	for _, k := range kinds {

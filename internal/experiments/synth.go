@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"homeguard/internal/audit"
+	"homeguard/internal/detect"
+	"homeguard/internal/rule"
+	"homeguard/internal/symexec"
+)
+
+// SyntheticSparseApps builds n single-rule apps over a shared pool of
+// devicePool lock devices, for store-audit scaling experiments where the
+// channel-overlap density is a controlled parameter instead of a corpus
+// accident. Each app subscribes to one random device's lock attribute
+// and locks/unlocks another random device; the install config binds both
+// inputs to concrete pool device IDs, so two apps share an interference
+// channel exactly when their device picks collide. Locks are the one
+// actuator class with no modeled environment effect (see
+// envmodel.effectsTable) — a powered device class would add shared
+// "prop:power"-style channels that overlap EVERY pair and destroy the
+// sparse regime. The probability that a given app pair overlaps is
+// ≈ 4/devicePool (either app's actuator matching either of the other's
+// two devices), so devicePool 80 yields the ~5% sparse regime of the
+// scaling benchmark.
+//
+// Results are deterministic in (n, devicePool, seed). The apps are built
+// directly as extraction results — the synthetic corpus exercises the
+// detection layers (index, compile, solve), not the Groovy front end.
+func SyntheticSparseApps(n, devicePool int, seed int64) []audit.App {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]audit.App, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("SynthApp%05d", i)
+		trigDev := rng.Intn(devicePool)
+		actDev := rng.Intn(devicePool)
+		trigState, actCmd := "locked", "unlock"
+		if rng.Intn(2) == 0 {
+			trigState, actCmd = "unlocked", "lock"
+		}
+		tr := rule.Trigger{Subject: "sensor1", Attribute: "lock", Capability: "lock"}
+		r := &rule.Rule{
+			App:     name,
+			Trigger: tr,
+			Action:  rule.Action{Subject: "actuator1", Capability: "lock", Command: actCmd},
+		}
+		r.Trigger.Constraint = rule.Cmp{
+			Op: rule.OpEq,
+			L:  rule.Var{Name: tr.EventVar(), Kind: rule.VarEvent, Type: rule.TypeString},
+			R:  rule.StrVal(trigState),
+		}
+		rs := &rule.RuleSet{App: name, Rules: []*rule.Rule{r}}
+		rs.NumberRules()
+		res := &symexec.Result{
+			App: symexec.AppInfo{
+				Name: name,
+				Inputs: []symexec.InputDecl{
+					{Name: "sensor1", Type: "capability.lock", Capability: "lock"},
+					{Name: "actuator1", Type: "capability.lock", Capability: "lock"},
+				},
+			},
+			Rules: rs,
+			Paths: 1,
+		}
+		cfg := detect.NewConfig()
+		cfg.Devices["sensor1"] = fmt.Sprintf("dev-%04d", trigDev)
+		cfg.Devices["actuator1"] = fmt.Sprintf("dev-%04d", actDev)
+		out = append(out, audit.App{Res: res, Config: cfg})
+	}
+	return out
+}

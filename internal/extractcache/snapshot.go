@@ -1,0 +1,247 @@
+// Persistent warm-start for the extraction cache: Snapshot serializes
+// every completed entry (results and cached errors) through the shared
+// snapcodec framing, Restore merges a snapshot back in. A restarted
+// daemon that restores its snapshot serves the first install storm of a
+// hot catalog at warm-cache latency instead of re-running symbolic
+// execution for the whole world.
+
+package extractcache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"homeguard/internal/rule"
+	"homeguard/internal/snapcodec"
+	"homeguard/internal/symexec"
+)
+
+// Snapshot format identity. Bump the version on any payload change: a
+// restored snapshot must either parse exactly or be rejected typed.
+const (
+	snapshotMagic   = "HGXCSNP\x00"
+	snapshotVersion = 1
+)
+
+// Re-exported so callers can match restore failures without importing the
+// codec package.
+var (
+	ErrSnapshotVersion = snapcodec.ErrVersion
+	ErrSnapshotCorrupt = snapcodec.ErrCorrupt
+)
+
+// inputDeclJSON mirrors symexec.InputDecl with the Default term in the
+// tagged wire format (a Term behind an interface does not round-trip
+// through plain encoding/json).
+type inputDeclJSON struct {
+	Name       string          `json:"name"`
+	Type       string          `json:"type,omitempty"`
+	Capability string          `json:"capability,omitempty"`
+	Multiple   bool            `json:"multiple,omitempty"`
+	Required   bool            `json:"required,omitempty"`
+	Title      string          `json:"title,omitempty"`
+	Options    []string        `json:"options,omitempty"`
+	Default    json.RawMessage `json:"default,omitempty"`
+}
+
+// entryJSON is one snapshot record's payload (the 32-byte key precedes it
+// in the raw record).
+type entryJSON struct {
+	Err         string          `json:"err,omitempty"`
+	HasResult   bool            `json:"hasResult,omitempty"`
+	Name        string          `json:"name,omitempty"`
+	Namespace   string          `json:"namespace,omitempty"`
+	Description string          `json:"description,omitempty"`
+	Category    string          `json:"category,omitempty"`
+	Inputs      []inputDeclJSON `json:"inputs,omitempty"`
+	Rules       json.RawMessage `json:"rules,omitempty"`
+	Warnings    []string        `json:"warnings,omitempty"`
+	Paths       int             `json:"paths,omitempty"`
+}
+
+func encodeEntry(k Key, res *symexec.Result, cacheErr error) ([]byte, error) {
+	e := entryJSON{}
+	if cacheErr != nil {
+		e.Err = cacheErr.Error()
+	}
+	if res != nil {
+		e.HasResult = true
+		e.Name = res.App.Name
+		e.Namespace = res.App.Namespace
+		e.Description = res.App.Description
+		e.Category = res.App.Category
+		e.Warnings = res.Warnings
+		e.Paths = res.Paths
+		for i := range res.App.Inputs {
+			in := &res.App.Inputs[i]
+			dj := inputDeclJSON{
+				Name: in.Name, Type: in.Type, Capability: in.Capability,
+				Multiple: in.Multiple, Required: in.Required, Title: in.Title,
+				Options: in.Options,
+			}
+			if in.Default != nil {
+				b, err := rule.MarshalTerm(in.Default)
+				if err != nil {
+					return nil, err
+				}
+				dj.Default = b
+			}
+			e.Inputs = append(e.Inputs, dj)
+		}
+		if res.Rules != nil {
+			b, err := rule.MarshalRuleSet(res.Rules)
+			if err != nil {
+				return nil, err
+			}
+			e.Rules = b
+		}
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]byte, 0, len(k)+len(payload))
+	rec = append(rec, k[:]...)
+	rec = append(rec, payload...)
+	return rec, nil
+}
+
+func decodeEntry(rec []byte) (Key, *symexec.Result, error, error) {
+	var k Key
+	if len(rec) < len(k) {
+		return k, nil, nil, fmt.Errorf("%w: record shorter than a key", ErrSnapshotCorrupt)
+	}
+	copy(k[:], rec)
+	var e entryJSON
+	if err := json.Unmarshal(rec[len(k):], &e); err != nil {
+		return k, nil, nil, fmt.Errorf("%w: entry payload: %v", ErrSnapshotCorrupt, err)
+	}
+	var cacheErr error
+	if e.Err != "" {
+		cacheErr = errors.New(e.Err)
+	}
+	if !e.HasResult {
+		return k, nil, cacheErr, nil
+	}
+	res := &symexec.Result{
+		App: symexec.AppInfo{
+			Name: e.Name, Namespace: e.Namespace,
+			Description: e.Description, Category: e.Category,
+		},
+		Warnings: e.Warnings,
+		Paths:    e.Paths,
+	}
+	for _, dj := range e.Inputs {
+		in := symexec.InputDecl{
+			Name: dj.Name, Type: dj.Type, Capability: dj.Capability,
+			Multiple: dj.Multiple, Required: dj.Required, Title: dj.Title,
+			Options: dj.Options,
+		}
+		if len(dj.Default) > 0 {
+			t, err := rule.UnmarshalTerm(dj.Default)
+			if err != nil {
+				return k, nil, nil, fmt.Errorf("%w: input default: %v", ErrSnapshotCorrupt, err)
+			}
+			in.Default = t
+		}
+		res.App.Inputs = append(res.App.Inputs, in)
+	}
+	if len(e.Rules) > 0 {
+		rs, err := rule.UnmarshalRuleSet(e.Rules)
+		if err != nil {
+			return k, nil, nil, fmt.Errorf("%w: rule set: %v", ErrSnapshotCorrupt, err)
+		}
+		res.Rules = rs
+	}
+	return k, res, cacheErr, nil
+}
+
+// Snapshot writes every completed cache entry (results and cached
+// errors) to w in the versioned, checksummed snapshot format, returning
+// the number of entries written. In-flight extractions are skipped — a
+// snapshot never blocks on a running symexec — and the entry set is
+// captured under the lock, then serialized outside it (cached results are
+// immutable), so concurrent Extract traffic proceeds during the write.
+func (c *Cache) Snapshot(w io.Writer) (int, error) {
+	type kv struct {
+		k Key
+		e *entry
+	}
+	c.mu.Lock()
+	done := make([]kv, 0, len(c.entries))
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			done = append(done, kv{k, e})
+		default: // in flight
+		}
+	}
+	c.mu.Unlock()
+
+	sw, err := snapcodec.NewWriter(w, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return 0, fmt.Errorf("extractcache: snapshot: %w", err)
+	}
+	for _, it := range done {
+		rec, err := encodeEntry(it.k, it.e.res, it.e.err)
+		if err != nil {
+			return 0, fmt.Errorf("extractcache: snapshot entry: %w", err)
+		}
+		if err := sw.Record(rec); err != nil {
+			return 0, fmt.Errorf("extractcache: snapshot: %w", err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return 0, fmt.Errorf("extractcache: snapshot: %w", err)
+	}
+	return len(done), nil
+}
+
+// Restore merges a snapshot produced by Snapshot into the cache,
+// returning the number of entries added. Keys already present (completed
+// or in flight) keep their live value — a restore never clobbers fresher
+// work. A wrong format version fails with ErrSnapshotVersion and damage
+// with ErrSnapshotCorrupt; both leave already-merged entries in place
+// (they are individually valid), so a caller may still serve what loaded.
+// Restored entries count toward the entry bound; overflow evicts as
+// usual on the next insert.
+func (c *Cache) Restore(r io.Reader) (int, error) {
+	sr, err := snapcodec.NewReader(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return 0, fmt.Errorf("extractcache: restore: %w", err)
+	}
+	added := 0
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return added, nil
+		}
+		if err != nil {
+			return added, fmt.Errorf("extractcache: restore: %w", err)
+		}
+		k, res, cacheErr, err := decodeEntry(rec)
+		if err != nil {
+			return added, fmt.Errorf("extractcache: restore: %w", err)
+		}
+		e := &entry{done: closedChan(), res: res, err: cacheErr}
+		c.mu.Lock()
+		if _, exists := c.entries[k]; !exists {
+			c.entries[k] = e
+			added++
+			c.evictOverflowLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// closedChan returns a pre-closed done channel for restored entries
+// (waiters must never block on them).
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func closedChan() chan struct{} { return closedDone }

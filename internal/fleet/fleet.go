@@ -183,9 +183,85 @@ type home struct {
 	id      string
 	det     *detect.Detector
 	threats []detect.Threat // every threat reported for this home, in order
+	// ledger is the home's incremental threat ledger: the CURRENT threat
+	// set, grouped by app pair in first-report order. Installs append the
+	// new app's pair groups; Reconfigure splices — only the entries whose
+	// pair involves the changed app are replaced (or dropped when the new
+	// config resolves them), everything else is retained verbatim, so the
+	// home's live view is maintained without ever recomputing unaffected
+	// pairs. The threats log above stays the append-only history.
+	// Guarded by mu.
+	ledger []ledgerEntry
 	// detSeen is the detector-counter high-water mark already folded into
 	// fleet metrics (see takeDetectorDelta). Guarded by mu.
 	detSeen DetectorTotals
+}
+
+// ledgerEntry is one app pair's current threats (a == b for intra-app
+// pairs; a <= b otherwise).
+type ledgerEntry struct {
+	a, b    string
+	threats []detect.Threat
+}
+
+// pairNames returns a threat's participant apps in canonical order.
+func pairNames(t detect.Threat) (string, string) {
+	a, b := t.R1.App, t.R2.App
+	if b < a {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// groupByPair folds a detection result into ledger entries, one per app
+// pair, in first-report order (directed threats of one pair — CT both
+// ways — land in the same unordered entry).
+func groupByPair(threats []detect.Threat) []ledgerEntry {
+	var out []ledgerEntry
+	idx := map[[2]string]int{}
+	for _, t := range threats {
+		a, b := pairNames(t)
+		k := [2]string{a, b}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, ledgerEntry{a: a, b: b})
+		}
+		out[i].threats = append(out[i].threats, t)
+	}
+	return out
+}
+
+// spliceLedger applies a reconfigure's re-detection result: entries
+// involving appName are replaced in place by the pair's new threats (or
+// dropped when the pair is now clean), untouched entries keep their
+// position, and newly threatening pairs append at the end. Callers hold
+// h.mu.
+func (h *home) spliceLedger(appName string, threats []detect.Threat) {
+	groups := groupByPair(threats)
+	gidx := map[[2]string]int{}
+	for i := range groups {
+		gidx[[2]string{groups[i].a, groups[i].b}] = i
+	}
+	used := make([]bool, len(groups))
+	out := h.ledger[:0]
+	for _, e := range h.ledger {
+		if e.a != appName && e.b != appName {
+			out = append(out, e)
+			continue
+		}
+		if i, ok := gidx[[2]string{e.a, e.b}]; ok {
+			used[i] = true
+			out = append(out, groups[i])
+		}
+	}
+	for i := range groups {
+		if !used[i] {
+			out = append(out, groups[i])
+		}
+	}
+	h.ledger = out
 }
 
 // takeDetectorDelta returns the home detector's counter growth since the
@@ -310,6 +386,9 @@ func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult,
 		chains = h.det.FindChains(threats, f.opts.MaxChainLen)
 		logBase = len(h.threats)
 		h.threats = append(h.threats, threats...)
+		// Every pair of an install involves the new app, so its groups are
+		// all fresh ledger entries.
+		h.ledger = append(h.ledger, groupByPair(threats)...)
 		det = h.takeDetectorDelta()
 	}()
 	if dup {
@@ -412,9 +491,13 @@ func (f *Fleet) Reconfigure(homeID, appName string, cfg *detect.Config) (threats
 		if cfg == nil {
 			cfg = target.Config // keep bindings; detect.Reconfigure would reset them
 		}
-		threats = h.det.Reconfigure(appName, cfg)
+		// detect.Reconfigure errors only on an unknown app, and the app
+		// was found above under the same lock, so the error is impossible
+		// here; the missing flag above is what carries not-found out.
+		threats, _ = h.det.Reconfigure(appName, cfg)
 		logBase = len(h.threats)
 		h.threats = append(h.threats, threats...)
+		h.spliceLedger(appName, threats)
 		det = h.takeDetectorDelta()
 	}()
 	if missing {
@@ -472,6 +555,26 @@ func (f *Fleet) Threats(homeID string) ([]detect.Threat, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]detect.Threat(nil), h.threats...), nil
+}
+
+// ActiveThreats returns the home's CURRENT threat set from the
+// incremental ledger: the latest verdict for every app pair, with
+// reconfigure-resolved threats gone and retained pairs untouched —
+// unlike Threats, which is the append-only report history. Threats are
+// grouped by app pair in first-report order. The slice is a copy; the
+// caller owns it.
+func (f *Fleet) ActiveThreats(homeID string) ([]detect.Threat, error) {
+	h := f.lookup(homeID)
+	if h == nil {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []detect.Threat
+	for _, e := range h.ledger {
+		out = append(out, e.threats...)
+	}
+	return out, nil
 }
 
 // Apps returns the names of the apps installed in the home, in

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"homeguard/internal/detect"
+)
+
+func bindingsFor(tv, window string) *detect.Config {
+	cfg := detect.NewConfig()
+	cfg.Devices["tv1"] = tv
+	cfg.Devices["window1"] = window
+	return cfg
+}
+
+// TestActiveThreatsLedger exercises the incremental per-home ledger:
+// installs append pair groups, a reconfigure that resolves a pair removes
+// exactly its entries from the active view (while the history log keeps
+// them), and a reconfigure that restores the binding brings them back.
+func TestActiveThreatsLedger(t *testing.T) {
+	f := New(Options{})
+	if _, err := f.Install("h", mustSource(t, "ComfortTV"), bindingsFor("tv-A", "win-1")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Install("h", mustSource(t, "ColdDefender"), bindingsFor("tv-A", "win-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threats) == 0 {
+		t.Fatal("precondition: shared window must interfere")
+	}
+
+	active, err := f.ActiveThreats("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kindsOf(active) != kindsOf(res.Threats) {
+		t.Fatalf("active = %s, want the install result %s", kindsOf(active), kindsOf(res.Threats))
+	}
+
+	// Re-binding ColdDefender to another window resolves the pair: the
+	// active view must drop its threats, the history must keep them.
+	resolved, _, err := f.Reconfigure("h", "ColdDefender", bindingsFor("tv-A", "win-OTHER"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err = f.ActiveThreats("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kindsOf(active) != kindsOf(resolved) {
+		t.Errorf("active after resolving reconfigure = %s, want %s", kindsOf(active), kindsOf(resolved))
+	}
+	if hist, _ := f.Threats("h"); len(hist) < len(res.Threats) {
+		t.Errorf("history shrank to %d entries; the log is append-only", len(hist))
+	}
+
+	// Restoring the shared binding brings the pair's threats back.
+	restored, _, err := f.Reconfigure("h", "ColdDefender", bindingsFor("tv-A", "win-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kindsOf(restored) != kindsOf(res.Threats) {
+		t.Fatalf("restore reconfigure = %s, want %s", kindsOf(restored), kindsOf(res.Threats))
+	}
+	active, err = f.ActiveThreats("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kindsOf(active) != kindsOf(res.Threats) {
+		t.Errorf("active after restore = %s, want %s", kindsOf(active), kindsOf(res.Threats))
+	}
+
+	if _, err := f.ActiveThreats("ghost"); !errors.Is(err, ErrUnknownHome) {
+		t.Errorf("ActiveThreats(unknown home): err = %v, want ErrUnknownHome", err)
+	}
+}
+
+// TestLedgerRetainsUntouchedPairs pins the splice contract: reconfiguring
+// one app must not disturb ledger entries of pairs it is not part of.
+func TestLedgerRetainsUntouchedPairs(t *testing.T) {
+	f := New(Options{})
+	if _, err := f.Install("h", mustSource(t, "ComfortTV"), bindingsFor("tv-A", "win-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Install("h", mustSource(t, "ColdDefender"), bindingsFor("tv-A", "win-1")); err != nil {
+		t.Fatal(err)
+	}
+	before, err := f.ActiveThreats("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("precondition: expected active threats")
+	}
+	// Install an unrelated third app bound to disjoint devices, then
+	// reconfigure it: the (ComfortTV, ColdDefender) entries must survive
+	// the splice byte-for-byte.
+	cfg := detect.NewConfig()
+	cfg.Devices["contact1"] = "dev-contact-far"
+	cfg.Devices["lock1"] = "dev-lock-far"
+	if _, err := f.Install("h", mustSource(t, "AutoLockDoor"), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Reconfigure("h", "AutoLockDoor", cfg); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.ActiveThreats("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kindsOf(after) != kindsOf(before) {
+		t.Errorf("reconfiguring an unrelated app changed the active set: %s -> %s",
+			kindsOf(before), kindsOf(after))
+	}
+}
+
+// TestReconfigureUnknownAppTyped is the regression test for the typed
+// not-found contract: an unknown app name fails with ErrAppNotInstalled
+// (matchable with errors.Is, mapped to 404 by homeguardd), and an unknown
+// home with ErrUnknownHome — never a generic error.
+func TestReconfigureUnknownAppTyped(t *testing.T) {
+	f := New(Options{})
+	if _, err := f.Install("h", mustSource(t, "ComfortTV"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Reconfigure("h", "NoSuchApp", nil); !errors.Is(err, ErrAppNotInstalled) {
+		t.Errorf("Reconfigure(unknown app): err = %v, want ErrAppNotInstalled", err)
+	}
+	if _, _, err := f.Reconfigure("ghost", "ComfortTV", nil); !errors.Is(err, ErrUnknownHome) {
+		t.Errorf("Reconfigure(unknown home): err = %v, want ErrUnknownHome", err)
+	}
+	// The detect layer reports the same condition with its own sentinel.
+	d := detect.New(detect.Options{})
+	if _, err := d.Reconfigure("NoSuchApp", nil); !errors.Is(err, detect.ErrAppNotInstalled) {
+		t.Errorf("detect.Reconfigure(unknown app): err = %v, want detect.ErrAppNotInstalled", err)
+	}
+}

@@ -122,6 +122,8 @@ func (m *metrics) detectorDelta(d DetectorTotals) {
 	m.mu.Lock()
 	m.det.PairsChecked += d.PairsChecked
 	m.det.PairsPruned += d.PairsPruned
+	m.det.PairsIndexed += d.PairsIndexed
+	m.det.PairsSkippedByIndex += d.PairsSkippedByIndex
 	m.det.SolverCalls += d.SolverCalls
 	m.det.SolverCacheHits += d.SolverCacheHits
 	m.det.PairVerdictHits += d.PairVerdictHits
@@ -172,12 +174,18 @@ type MetricsSnapshot struct {
 // DetectorTotals are per-home detect.Stats counters accumulated over
 // every completed install and reconfigure in the fleet.
 type DetectorTotals struct {
-	PairsChecked      uint64
-	PairsPruned       uint64
-	SolverCalls       uint64
-	SolverCacheHits   uint64
-	PairVerdictHits   uint64
-	PairVerdictMisses uint64
+	PairsChecked uint64
+	PairsPruned  uint64
+	// PairsIndexed counts candidate app pairs generated from the
+	// footprint-channel index's posting lists; PairsSkippedByIndex counts
+	// rule pairs the index never generated (also included in PairsPruned
+	// — see detect.Stats for the unit convention).
+	PairsIndexed        uint64
+	PairsSkippedByIndex uint64
+	SolverCalls         uint64
+	SolverCacheHits     uint64
+	PairVerdictHits     uint64
+	PairVerdictMisses   uint64
 	// SearchLimitHits counts solver calls that exhausted their node budget
 	// and degraded to the conservative verdict — nonzero means detection
 	// quality is degraded somewhere in the fleet and the budget
@@ -188,26 +196,30 @@ type DetectorTotals struct {
 // detectorTotalsOf projects the scalar counters of one detector's stats.
 func detectorTotalsOf(st detect.Stats) DetectorTotals {
 	return DetectorTotals{
-		PairsChecked:      uint64(st.PairsChecked),
-		PairsPruned:       uint64(st.PairsPruned),
-		SolverCalls:       uint64(st.SolverCalls),
-		SolverCacheHits:   uint64(st.SolverCacheHits),
-		PairVerdictHits:   uint64(st.PairVerdictHits),
-		PairVerdictMisses: uint64(st.PairVerdictMisses),
-		SearchLimitHits:   uint64(st.SearchLimitHits),
+		PairsChecked:        uint64(st.PairsChecked),
+		PairsPruned:         uint64(st.PairsPruned),
+		PairsIndexed:        uint64(st.PairsIndexed),
+		PairsSkippedByIndex: uint64(st.PairsSkippedByIndex),
+		SolverCalls:         uint64(st.SolverCalls),
+		SolverCacheHits:     uint64(st.SolverCacheHits),
+		PairVerdictHits:     uint64(st.PairVerdictHits),
+		PairVerdictMisses:   uint64(st.PairVerdictMisses),
+		SearchLimitHits:     uint64(st.SearchLimitHits),
 	}
 }
 
 // minus returns the counter growth from prev to t.
 func (t DetectorTotals) minus(prev DetectorTotals) DetectorTotals {
 	return DetectorTotals{
-		PairsChecked:      t.PairsChecked - prev.PairsChecked,
-		PairsPruned:       t.PairsPruned - prev.PairsPruned,
-		SolverCalls:       t.SolverCalls - prev.SolverCalls,
-		SolverCacheHits:   t.SolverCacheHits - prev.SolverCacheHits,
-		PairVerdictHits:   t.PairVerdictHits - prev.PairVerdictHits,
-		PairVerdictMisses: t.PairVerdictMisses - prev.PairVerdictMisses,
-		SearchLimitHits:   t.SearchLimitHits - prev.SearchLimitHits,
+		PairsChecked:        t.PairsChecked - prev.PairsChecked,
+		PairsPruned:         t.PairsPruned - prev.PairsPruned,
+		PairsIndexed:        t.PairsIndexed - prev.PairsIndexed,
+		PairsSkippedByIndex: t.PairsSkippedByIndex - prev.PairsSkippedByIndex,
+		SolverCalls:         t.SolverCalls - prev.SolverCalls,
+		SolverCacheHits:     t.SolverCacheHits - prev.SolverCacheHits,
+		PairVerdictHits:     t.PairVerdictHits - prev.PairVerdictHits,
+		PairVerdictMisses:   t.PairVerdictMisses - prev.PairVerdictMisses,
+		SearchLimitHits:     t.SearchLimitHits - prev.SearchLimitHits,
 	}
 }
 

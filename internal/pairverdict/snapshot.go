@@ -1,0 +1,120 @@
+package pairverdict
+
+import (
+	"fmt"
+	"io"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/snapcodec"
+)
+
+// Persistent warm-start for the pair-verdict cache: Snapshot serializes
+// every completed verdict through the shared snapcodec framing, Restore
+// merges a snapshot back in, so a restarted daemon answers its first
+// install storm from solved verdicts instead of re-running the solver
+// per pair. Failed (panicked) entries are never snapshotted.
+
+const (
+	snapshotMagic   = "HGPVSNP\x00"
+	snapshotVersion = 1
+)
+
+// Re-exported so callers can match restore failures without importing the
+// codec package.
+var (
+	ErrSnapshotVersion = snapcodec.ErrVersion
+	ErrSnapshotCorrupt = snapcodec.ErrCorrupt
+)
+
+// Snapshot writes every completed verdict to w in the versioned,
+// checksummed snapshot format, returning the number of entries written.
+// In-flight computations are skipped and the entry set is captured under
+// the lock, then serialized outside it (cached verdicts are immutable),
+// so concurrent Detect traffic proceeds during the write.
+func (c *Cache) Snapshot(w io.Writer) (int, error) {
+	type kv struct {
+		k Key
+		e *entry
+	}
+	c.mu.Lock()
+	done := make([]kv, 0, len(c.entries))
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			if !e.failed {
+				done = append(done, kv{k, e})
+			}
+		default: // in flight
+		}
+	}
+	c.mu.Unlock()
+
+	sw, err := snapcodec.NewWriter(w, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return 0, fmt.Errorf("pairverdict: snapshot: %w", err)
+	}
+	for _, it := range done {
+		payload, err := detect.MarshalThreats(it.e.threats)
+		if err != nil {
+			return 0, fmt.Errorf("pairverdict: snapshot entry: %w", err)
+		}
+		rec := make([]byte, 0, len(it.k)+len(payload))
+		rec = append(rec, it.k[:]...)
+		rec = append(rec, payload...)
+		if err := sw.Record(rec); err != nil {
+			return 0, fmt.Errorf("pairverdict: snapshot: %w", err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return 0, fmt.Errorf("pairverdict: snapshot: %w", err)
+	}
+	return len(done), nil
+}
+
+// Restore merges a snapshot produced by Snapshot into the cache,
+// returning the number of verdicts added. Keys already present keep
+// their live value. A wrong format version fails with ErrSnapshotVersion
+// and damage with ErrSnapshotCorrupt; entries merged before the failure
+// stay (each is individually valid). Restored entries count toward the
+// bound; overflow evicts as usual on the next insert.
+func (c *Cache) Restore(r io.Reader) (int, error) {
+	sr, err := snapcodec.NewReader(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return 0, fmt.Errorf("pairverdict: restore: %w", err)
+	}
+	added := 0
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return added, nil
+		}
+		if err != nil {
+			return added, fmt.Errorf("pairverdict: restore: %w", err)
+		}
+		var k Key
+		if len(rec) < len(k) {
+			return added, fmt.Errorf("pairverdict: restore: %w: record shorter than a key", ErrSnapshotCorrupt)
+		}
+		copy(k[:], rec)
+		threats, err := detect.UnmarshalThreats(rec[len(k):])
+		if err != nil {
+			return added, fmt.Errorf("pairverdict: restore: %w: %v", ErrSnapshotCorrupt, err)
+		}
+		e := &entry{done: closedDone, threats: threats}
+		c.mu.Lock()
+		if _, exists := c.entries[k]; !exists {
+			c.entries[k] = e
+			added++
+			c.evictOverflowLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// closedDone is the pre-closed done channel shared by restored entries
+// (waiters must never block on them).
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()

@@ -276,6 +276,24 @@ func (r *Rule) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// MarshalTerm serializes one term in the tagged wire format (nil terms
+// marshal to JSON null). The extraction-cache snapshot uses it for input
+// default values, which are Terms behind an interface and therefore not
+// round-trippable by plain encoding/json.
+func MarshalTerm(t Term) ([]byte, error) {
+	return json.Marshal(termToJSON(t))
+}
+
+// UnmarshalTerm parses a term produced by MarshalTerm (JSON null yields a
+// nil term).
+func UnmarshalTerm(b []byte) (Term, error) {
+	var j *termJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return nil, err
+	}
+	return termFromJSON(j)
+}
+
 // MarshalRuleSet serializes a rule set to indented JSON (the on-server
 // "rule file" format).
 func MarshalRuleSet(rs *RuleSet) ([]byte, error) {
