@@ -6,6 +6,35 @@
 //
 //	homeguardd [-addr :8080] [-shards 16] [-pprof-addr 127.0.0.1:6060]
 //	           [-snapshot-path /var/lib/homeguard/snapshot]
+//	           [-log-format text|json] [-trace-slow-ms 250]
+//
+// # Observability
+//
+// The daemon carries the process-wide obs.Observer (see the root package's
+// Observability section for the metric catalog and span stage names):
+//
+//   - GET /metrics serves the JSON snapshot it always has; adding
+//     ?format=prometheus serves the same counters in Prometheus text
+//     exposition format 0.0.4 under stable homeguard_* names, suitable
+//     for a scrape config with no client library in the loop.
+//   - GET /debug/requests serves the slow-request capture: the N slowest
+//     and M most recent traced request span trees as JSON, each tree
+//     carrying per-stage timings (extract, detect, compile, solve, ...).
+//   - -trace-slow-ms N enables pipeline span tracing and logs any traced
+//     request slower than N milliseconds as a structured slog record
+//     (level WARN, attrs span/duration/trace). 0 — the default — leaves
+//     tracing compiled in but disabled: span calls are nil no-ops and the
+//     hot detection path stays allocation-free.
+//   - -log-format selects text (default, human logs) or json (one slog
+//     JSON object per line, for log shippers).
+//
+// # Health probes
+//
+// GET /healthz is liveness: 200 while the process can serve, 503 once a
+// graceful drain has begun. GET /readyz is readiness: 503 until the
+// snapshot restore (if configured) has finished and the home shards are
+// initialized, 200 while serving, and 503 again during drain so load
+// balancers pull the instance before connections are forcibly closed.
 //
 // # Warm-start snapshots
 //
@@ -61,8 +90,13 @@
 //	                              extraction and pair-verdict cache hit
 //	                              rates, footprint-prune and solver-call
 //	                              counters, p50/p99 install latency,
-//	                              per-threat-kind counts
-//	GET  /healthz                 liveness probe
+//	                              per-threat-kind counts; add
+//	                              ?format=prometheus for text exposition
+//	GET  /debug/requests          slow-request capture: slowest + most
+//	                              recent traced span trees (JSON)
+//	GET  /healthz                 liveness probe (503 while draining)
+//	GET  /readyz                  readiness probe (503 before the snapshot
+//	                              restore completes and while draining)
 //
 // The config object has four optional maps:
 //
@@ -83,11 +117,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -96,6 +132,7 @@ import (
 	"homeguard/internal/envmodel"
 	"homeguard/internal/fleet"
 	"homeguard/internal/frontend"
+	"homeguard/internal/obs"
 	"homeguard/internal/rule"
 )
 
@@ -111,12 +148,34 @@ func main() {
 		"optional address for net/http/pprof profiling endpoints (empty = disabled); bind to localhost")
 	snapshotPath := flag.String("snapshot-path", "",
 		"optional warm-start snapshot file: restored on boot, written on graceful shutdown (empty = disabled)")
+	logFormat := flag.String("log-format", "text",
+		"structured log encoding: text (human-readable) or json (one object per line)")
+	traceSlowMs := flag.Int("trace-slow-ms", 0,
+		"enable pipeline span tracing and log requests slower than this many milliseconds (0 = tracing disabled)")
 	flag.Parse()
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("homeguardd: -log-format must be text or json, got %q", *logFormat)
+	}
+	slog.SetDefault(logger)
+
 	srv := newServer(fleet.Options{Shards: *shards})
+	srv.obs.Tracer.SetLogger(logger)
+	if *traceSlowMs > 0 {
+		srv.obs.Tracer.SetSlowThreshold(time.Duration(*traceSlowMs) * time.Millisecond)
+		srv.obs.Tracer.SetEnabled(true)
+		log.Printf("homeguardd: span tracing on, logging requests slower than %dms", *traceSlowMs)
+	}
 	if *snapshotPath != "" {
 		loadSnapshot(*snapshotPath, srv.fleet)
 	}
+	srv.markReady()
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
@@ -144,6 +203,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("homeguardd: shutting down")
+	// Flip the probes to 503 first so orchestrators stop routing new
+	// traffic while in-flight requests drain.
+	srv.startDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
@@ -265,21 +327,61 @@ func servePprof(addr string) {
 
 type server struct {
 	fleet *fleet.Fleet
+	obs   *obs.Observer
 	mux   *http.ServeMux
+	// ready flips true once boot (including any snapshot restore) is
+	// complete; draining flips true when graceful shutdown begins. Both
+	// are read by the health probes on every scrape.
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
+// newServer builds the daemon around one process-wide observability
+// bundle: the fleet registers its metric collector on opts.Obs (created
+// here when the caller left it nil), and the same bundle's tracer and
+// capture back /debug/requests and the slow-request log.
 func newServer(opts fleet.Options) *server {
-	s := &server{fleet: fleet.New(opts), mux: http.NewServeMux()}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewObserver()
+	}
+	s := &server{fleet: fleet.New(opts), obs: opts.Obs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /homes/{id}/install", s.handleInstall)
 	s.mux.HandleFunc("POST /homes/{id}/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("POST /homes/{id}/accept", s.handleAccept)
 	s.mux.HandleFunc("GET /homes/{id}/threats", s.handleThreats)
 	s.mux.HandleFunc("GET /homes/{id}/apps", s.handleApps)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
+}
+
+// markReady is called once boot completes (after the optional snapshot
+// restore); /readyz answers 503 until then.
+func (s *server) markReady() { s.ready.Store(true) }
+
+// startDrain flips both probes to 503 so orchestrators stop routing new
+// traffic while the HTTP server drains in-flight requests.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // ---------- request/response shapes ----------
@@ -418,7 +520,7 @@ func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.fleet.Install(homeID, src, cfg)
+	res, err := s.fleet.InstallCtx(r.Context(), homeID, src, cfg)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, fleet.ErrAppInstalled) {
@@ -465,7 +567,7 @@ func (s *server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	threats, logBase, err := s.fleet.Reconfigure(homeID, req.App, cfg)
+	threats, logBase, err := s.fleet.ReconfigureCtx(r.Context(), homeID, req.App, cfg)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, fleet.ErrUnknownHome) || errors.Is(err, fleet.ErrAppNotInstalled) {
@@ -548,7 +650,14 @@ func (s *server) handleApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"homeId": homeID, "apps": apps})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.obs.Registry.WritePrometheus(w); err != nil {
+			log.Printf("homeguardd: prometheus exposition: %v", err)
+		}
+		return
+	}
 	m := s.fleet.Metrics()
 	kinds := map[string]uint64{}
 	for k, v := range m.ThreatsByKind {
@@ -592,6 +701,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		// degraded to the conservative "potential threat" form.
 		"solverLimitHits": m.Detectors.SearchLimitHits,
 	})
+}
+
+// handleDebugRequests serves the slow-request capture: span trees for
+// the slowest and most recent traced requests. Empty (total 0) until
+// tracing is enabled with -trace-slow-ms.
+func (s *server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.obs.Capture.Snapshot())
 }
 
 // ---------- helpers ----------

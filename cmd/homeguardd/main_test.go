@@ -4,13 +4,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"homeguard/internal/fleet"
+	"homeguard/internal/obs"
 )
 
 func doJSON(t *testing.T, srv *server, method, path string, body any) (int, map[string]any) {
@@ -159,6 +164,205 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if got, _ := resp["solverCalls"].(float64); got == 0 {
 		t.Error("metrics solverCalls = 0 after a threat-reporting install")
+	}
+}
+
+// TestDaemonPrometheusExposition drives real traffic through the daemon
+// and requires /metrics?format=prometheus to serve parseable exposition
+// containing the stable homeguard_* catalog with sane values.
+func TestDaemonPrometheusExposition(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+	for _, app := range []string{"ComfortTV", "ColdDefender"} {
+		if code, resp := doJSON(t, srv, "POST", "/homes/h1/install",
+			map[string]any{"corpus": app}); code != http.StatusOK {
+			t.Fatalf("install %s: status %d resp %v", app, code, resp)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/metrics?format=prometheus", nil)
+	w := httptest.NewRecorder()
+	srv.mux.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("prometheus metrics: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition failed to parse: %v\n%s", err, w.Body.String())
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+	}
+	if got := byName["homeguard_installs_total"]; got != 2 {
+		t.Errorf("homeguard_installs_total = %v, want 2", got)
+	}
+	if got := byName["homeguard_homes"]; got != 1 {
+		t.Errorf("homeguard_homes = %v, want 1", got)
+	}
+	if got := byName["homeguard_extract_cache_misses_total"]; got != 2 {
+		t.Errorf("homeguard_extract_cache_misses_total = %v, want 2", got)
+	}
+	if got := byName["homeguard_install_duration_seconds_count"]; got != 2 {
+		t.Errorf("homeguard_install_duration_seconds_count = %v, want 2", got)
+	}
+	if got := byName["homeguard_solver_calls_total"]; got == 0 {
+		t.Error("homeguard_solver_calls_total = 0 after a threat-reporting install")
+	}
+	// The threat counter is labeled per kind; find at least one sample.
+	var threatKinds int
+	for _, s := range samples {
+		if s.Name == "homeguard_threats_total" {
+			threatKinds++
+			var hasKind bool
+			for _, l := range s.Labels {
+				hasKind = hasKind || (l.Name == "kind" && l.Value != "")
+			}
+			if !hasKind {
+				t.Errorf("homeguard_threats_total sample without kind label: %v", s)
+			}
+		}
+	}
+	if threatKinds == 0 {
+		t.Error("no homeguard_threats_total samples after a threat-reporting install")
+	}
+
+	// JSON /metrics still serves the original shape alongside.
+	if code, resp := doJSON(t, srv, "GET", "/metrics", nil); code != http.StatusOK || resp["installs"].(float64) != 2 {
+		t.Errorf("JSON metrics after prometheus scrape: status %d resp %v", code, resp)
+	}
+}
+
+// TestDaemonDebugRequestsAndSlowLog enables tracing, pushes installs
+// through, and requires /debug/requests to serve captured span trees
+// whose stages include the acceptance-criterion pipeline stages.
+func TestDaemonDebugRequestsAndSlowLog(t *testing.T) {
+	o := obs.NewObserver()
+	o.Tracer.SetEnabled(true)
+	var logBuf syncBuffer
+	o.Tracer.SetLogger(slog.New(slog.NewJSONHandler(&logBuf, nil)))
+	o.Tracer.SetSlowThreshold(time.Nanosecond) // everything is "slow"
+	srv := newServer(fleet.Options{Shards: 4, Obs: o})
+
+	for _, app := range []string{"ComfortTV", "ColdDefender"} {
+		if code, resp := doJSON(t, srv, "POST", "/homes/h1/install",
+			map[string]any{"corpus": app}); code != http.StatusOK {
+			t.Fatalf("install %s: status %d resp %v", app, code, resp)
+		}
+	}
+	if code, resp := doJSON(t, srv, "POST", "/homes/h1/reconfigure",
+		map[string]any{"app": "ColdDefender", "config": map[string]any{}}); code != http.StatusOK {
+		t.Fatalf("reconfigure: status %d resp %v", code, resp)
+	}
+
+	code, resp := doJSON(t, srv, "GET", "/debug/requests", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/requests: status %d", code)
+	}
+	if got := resp["total"].(float64); got != 3 {
+		t.Errorf("capture total = %v, want 3 traced requests", got)
+	}
+	recent := resp["recent"].([]any)
+	if len(recent) != 3 {
+		t.Fatalf("capture recent has %d trees, want 3", len(recent))
+	}
+	// recent is newest-first: reconfigure, then the two installs.
+	if name := recent[0].(map[string]any)["name"]; name != "reconfigure" {
+		t.Errorf("newest capture is %v, want reconfigure", name)
+	}
+	// The second install (ColdDefender, shares a channel with ComfortTV)
+	// must show the full pipeline: extract, detect w/ compile, solve.
+	tree := recent[1].(map[string]any)
+	if name := tree["name"]; name != "install" {
+		t.Fatalf("capture[1] is %v, want install", name)
+	}
+	stages := map[string]bool{}
+	var walk func(n map[string]any)
+	walk = func(n map[string]any) {
+		stages[n["name"].(string)] = true
+		if kids, ok := n["children"].([]any); ok {
+			for _, k := range kids {
+				walk(k.(map[string]any))
+			}
+		}
+	}
+	walk(tree)
+	for _, want := range []string{"install", "extract", "detect", "compile", "solve", "verdict"} {
+		if !stages[want] {
+			t.Errorf("captured install tree missing stage %q (have %v)", want, stages)
+		}
+	}
+	if slowest := resp["slowest"].([]any); len(slowest) == 0 {
+		t.Error("capture slowest is empty")
+	}
+
+	// Every request beat the 1ns threshold, so the slow log has JSON
+	// records with span/duration attrs.
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"span":"install"`) || !strings.Contains(logs, `"trace"`) {
+		t.Errorf("slow log missing span/trace attrs:\n%s", logs)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: slog handlers may be
+// invoked from request goroutines while the test reads the output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonHealthProbes pins the probe lifecycle: readyz is 503 until
+// markReady, both probes are 200 while serving, and both flip to 503
+// once a graceful drain begins.
+func TestDaemonHealthProbes(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+	get := func(path string) (int, string) {
+		w := httptest.NewRecorder()
+		srv.mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w.Code, strings.TrimSpace(w.Body.String())
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz before ready: status %d, want 200 (liveness != readiness)", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "starting" {
+		t.Errorf("readyz before ready: status %d body %q, want 503 starting", code, body)
+	}
+
+	srv.markReady()
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz while serving: status %d", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ok" {
+		t.Errorf("readyz while serving: status %d body %q", code, body)
+	}
+
+	srv.startDrain()
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Errorf("healthz during drain: status %d body %q, want 503 draining", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Errorf("readyz during drain: status %d body %q, want 503 draining", code, body)
+	}
+	// The API itself still serves while draining — Shutdown handles the
+	// connection lifecycle; the probes only steer the balancer.
+	if code, _ := doJSON(t, srv, "POST", "/homes/h1/install",
+		map[string]any{"corpus": "ComfortTV"}); code != http.StatusOK {
+		t.Errorf("install during drain: status %d, want 200", code)
 	}
 }
 

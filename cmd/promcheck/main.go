@@ -1,0 +1,66 @@
+// Command promcheck validates Prometheus text exposition format (0.0.4).
+//
+// Usage:
+//
+//	promcheck [-min-samples N] [url]
+//
+// With a url argument it GETs the endpoint (normally the daemon's
+// /metrics?format=prometheus) and parses the body; with no argument it
+// parses stdin. Exit status 0 means the input is well-formed exposition
+// with at least -min-samples samples; any malformed line — bad metric or
+// label name, broken escape, non-cumulative histogram buckets, a sample
+// preceding its TYPE — prints the parse error and exits 1.
+//
+// CI runs it against a live daemon so a collector change that emits a
+// malformed family is caught before a real scraper silently drops it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"homeguard/internal/obs"
+)
+
+func main() {
+	minSamples := flag.Int("min-samples", 1,
+		"fail unless the exposition carries at least this many samples")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "promcheck: at most one url argument")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		src = flag.Arg(0)
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: status %s\n", src, resp.Status)
+			os.Exit(1)
+		}
+		in = resp.Body
+	}
+
+	samples, err := obs.ParseExposition(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	if len(samples) < *minSamples {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %d samples, want >= %d\n", src, len(samples), *minSamples)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: %d samples OK\n", src, len(samples))
+}

@@ -162,6 +162,52 @@
 //     corruption are rejected with typed errors and degrade to a cold
 //     start, never to loaded garbage.
 //
+// # Observability
+//
+// The Observer type (FleetOptions.Obs) bundles the process-wide
+// observability state — a metrics registry, a span tracer and a
+// slow-request capture — and threads it through the whole pipeline with
+// zero third-party dependencies. A fleet given an Observer registers a
+// metrics collector on its registry; homeguardd creates one per process
+// and serves it.
+//
+// Metrics. Registry.WritePrometheus emits Prometheus text exposition
+// (format 0.0.4) alongside the JSON snapshot /metrics always served.
+// The stable catalog, all prefixed homeguard_:
+//
+//	homes (gauge)                                  homes managed
+//	installs_total, install_errors_total,
+//	install_conflicts_total, reconfigures_total    operation counters
+//	threats_total{kind=...}                        threats per Table I kind
+//	install_duration_seconds (histogram)           install latency
+//	extract_cache_{lookups,hits,misses,evictions}_total, extract_cache_entries
+//	verdict_cache_{lookups,hits,misses}_total, verdict_cache_entries
+//	detect_pairs_{checked,pruned,indexed,skipped_by_index}_total
+//	detect_verdict_{hits,misses}_total
+//	solver_calls_total, solver_cache_hits_total, solver_limit_hits_total
+//	audit_runs_total, audit_pairs_checked_total,
+//	audit_solver_calls_total, audit_threats_total  store-audit engine
+//
+// Tracing. With the tracer enabled, each fleet operation records a span
+// tree of per-stage timings. Root spans are install, reconfigure and
+// install_batch (whose per-item installs nest under it after a prewarm
+// stage); pipeline stages are extract (cache or symbolic execution),
+// detect (the per-home detector, containing compile — per-app rule
+// compilation — candidates — footprint-index candidate generation —
+// verdict — pair-verdict cache disposition, attr cache=hit|miss — and
+// solve — constraint solving for one pair), then chains, ledger or
+// splice, and report. The store-audit engine (internal/audit) records
+// extract, compile, candidates and pairs phases with one child span per
+// worker carrying busy_ns/pairs_checked/solver_calls. Disabled tracing
+// is free: every span call is a nil-receiver no-op and the hot detection
+// path stays allocation-free (pinned by benchmark gates in CI).
+//
+// Capture. Root spans that end while tracing is on enter a bounded
+// capture — the 32 slowest and 32 most recent trees, rendered to JSON at
+// insertion — served by homeguardd at GET /debug/requests. Spans slower
+// than the tracer's threshold (-trace-slow-ms) are additionally logged
+// as structured slog records (WARN, attrs span/duration/trace).
+//
 // Lower-level building blocks (the Groovy parser, the symbolic executor,
 // the constraint solver, the platform simulator and the app corpus) live
 // under internal/.
@@ -177,6 +223,7 @@ import (
 	"homeguard/internal/frontend"
 	"homeguard/internal/instrument"
 	"homeguard/internal/nlp"
+	"homeguard/internal/obs"
 	"homeguard/internal/pairverdict"
 	"homeguard/internal/rule"
 	"homeguard/internal/symexec"
@@ -222,11 +269,24 @@ type (
 	FleetBatchItem = fleet.BatchItem
 	// FleetBatchResult is one batch item's outcome.
 	FleetBatchResult = fleet.BatchResult
+	// Observer bundles the process-wide observability state — metrics
+	// registry, span tracer and slow-request capture (see
+	// "Observability" above). Pass one via FleetOptions.Obs.
+	Observer = obs.Observer
+	// ObsRegistry is the Prometheus-exposition metrics registry.
+	ObsRegistry = obs.Registry
+	// SpanCapture is the bounded slowest+recent span-tree capture.
+	SpanCapture = obs.Capture
 )
 
 // NewFleet creates an empty fleet of homes. The zero FleetOptions value
 // selects 16 shards, default detector options and a fresh cache.
 func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
+
+// NewObserver returns an observability bundle with a fresh registry, a
+// disabled tracer (span calls are no-ops until Tracer.SetEnabled(true))
+// and a default-sized slow-request capture.
+func NewObserver() *Observer { return obs.NewObserver() }
 
 // NewExtractionCache returns an empty, unbounded extraction cache backed
 // by the symbolic executor, for sharing across fleets or batch tools.

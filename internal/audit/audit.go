@@ -44,9 +44,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"homeguard/internal/detect"
 	"homeguard/internal/extractcache"
+	"homeguard/internal/obs"
 	"homeguard/internal/symexec"
 )
 
@@ -86,6 +88,17 @@ type Options struct {
 	// its bookkeeping). 0 selects DefaultIndexDensityCutoff; a value > 1
 	// never falls back.
 	IndexDensityCutoff float64
+	// Span, when non-nil, is the parent span under which the run records
+	// its phase spans (extract, compile, candidates, pairs) and one
+	// "worker" child per pool worker. Workers write only their own span
+	// slot and their own busy-time counter during fan-out, so the trace is
+	// race-clean; per-worker detector counters are merged onto the worker
+	// spans at reassembly. Nil (the default) records nothing.
+	Span *obs.Span
+	// Obs, when non-nil, publishes audit totals (runs, pairs checked,
+	// solver calls, threats) into Obs.Registry under the
+	// homeguard_audit_* names.
+	Obs *obs.Observer
 }
 
 // DefaultIndexDensityCutoff is the fallback threshold: when more than
@@ -155,7 +168,12 @@ func Run(apps []App, opts Options) *Result {
 		}
 		extracted[i] = r
 	}
+	xsp := opts.Span.Child("extract")
 	runTasks(len(apps), workers, extract)
+	if xsp != nil {
+		xsp.SetInt("apps", int64(len(apps)))
+		xsp.End()
+	}
 
 	// Assemble the installed set in input order, dropping failures.
 	for i := range apps {
@@ -167,15 +185,18 @@ func Run(apps []App, opts Options) *Result {
 	n := len(res.Installed)
 	if n == 0 {
 		res.Stats = detect.New(opts.Detector).Stats()
+		publishAuditMetrics(opts.Obs, res)
 		return res
 	}
 
 	// Phase 2: compile every app once, single-threaded, so the shared
 	// InstalledApps are immutable before fan-out.
+	csp := opts.Span.Child("compile")
 	compiler := detect.New(opts.Detector)
 	for _, ia := range res.Installed {
 		compiler.Precompile(ia)
 	}
+	csp.End()
 
 	// Phase 3: pair detection over a work-stealing pool. Task k is one
 	// (i, j) pair, i <= j, laid out in serial install order: install j
@@ -187,6 +208,7 @@ func Run(apps []App, opts Options) *Result {
 	// per-pair footprint prune would have rejected (they are folded into
 	// PairsPruned/PairsSkippedByIndex so the stats match the serial scan).
 	type pairTask struct{ i, j int }
+	gsp := opts.Span.Child("candidates")
 	var tasks []pairTask
 	installBase := make([]int, n) // first task index of install j
 	var skippedRulePairs, indexedPairs int
@@ -233,23 +255,65 @@ func Run(apps []App, opts Options) *Result {
 		}
 	}
 	res.UsedIndex = useIndex
+	if gsp != nil {
+		gsp.SetInt("tasks", int64(len(tasks)))
+		if useIndex {
+			gsp.SetStr("source", "index")
+		} else {
+			gsp.SetStr("source", "grid")
+		}
+		gsp.End()
+	}
 	pairThreats := make([][]detect.Threat, len(tasks))
 
 	dets := make([]*detect.Detector, workers)
 	for w := range dets {
 		dets[w] = detect.New(opts.Detector)
 	}
+	// Per-worker span buffers are created before fan-out so each worker
+	// owns exactly one span slot and one busy-time slot — spans are not
+	// safe for concurrent use, but disjoint ownership is race-free. The
+	// coordinator merges detector counters onto them at reassembly.
+	psp := opts.Span.Child("pairs")
+	var (
+		wspans []*obs.Span
+		busy   []int64
+	)
+	if psp != nil {
+		wspans = make([]*obs.Span, workers)
+		busy = make([]int64, workers)
+		for w := range wspans {
+			wspans[w] = psp.Child("worker")
+		}
+	}
 	runTasksWorker(len(tasks), workers, func(w, k int) {
+		var t0 time.Time
+		if busy != nil {
+			t0 = time.Now()
+		}
 		t := tasks[k]
 		a, b := res.Installed[t.i], res.Installed[t.j]
 		if useIndex {
 			// Candidates are known to share a channel (and intra pairs are
 			// never pruned), so skip the per-pair footprint walk.
 			pairThreats[k] = dets[w].DetectAppPairCandidate(a, b)
-			return
+		} else {
+			pairThreats[k] = dets[w].DetectAppPair(a, b)
 		}
-		pairThreats[k] = dets[w].DetectAppPair(a, b)
+		if busy != nil {
+			busy[w] += int64(time.Since(t0))
+		}
 	})
+	if psp != nil {
+		for w, d := range dets {
+			s := d.Stats()
+			wspans[w].SetInt("busy_ns", busy[w])
+			wspans[w].SetInt("pairs_checked", int64(s.PairsChecked))
+			wspans[w].SetInt("solver_calls", int64(s.SolverCalls))
+			wspans[w].End()
+		}
+		psp.End()
+	}
 
 	// Reassemble per-install groups and aggregate stats.
 	res.PerInstall = make([][]detect.Threat, n)
@@ -274,7 +338,26 @@ func Run(apps []App, opts Options) *Result {
 	res.Stats.PairsPruned += skippedRulePairs
 	res.Stats.PairsSkippedByIndex += skippedRulePairs
 	res.Stats.PairsIndexed += indexedPairs
+	publishAuditMetrics(opts.Obs, res)
 	return res
+}
+
+// publishAuditMetrics folds one run's totals into the registry's
+// homeguard_audit_* counters. Registration is idempotent by name, so
+// every Run may re-ask for its counters.
+func publishAuditMetrics(o *obs.Observer, res *Result) {
+	if o == nil {
+		return
+	}
+	r := o.Registry
+	r.Counter("homeguard_audit_runs_total", "Completed store-audit runs.").Inc()
+	r.Counter("homeguard_audit_pairs_checked_total", "Rule pairs checked across audit runs.").Add(uint64(res.Stats.PairsChecked))
+	r.Counter("homeguard_audit_solver_calls_total", "Solver invocations across audit runs.").Add(uint64(res.Stats.SolverCalls))
+	threats := 0
+	for _, ts := range res.PerInstall {
+		threats += len(ts)
+	}
+	r.Counter("homeguard_audit_threats_total", "Threats reported across audit runs.").Add(uint64(threats))
 }
 
 // runTasks fans f out over [0, n) with a work-stealing pool.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"homeguard/internal/envmodel"
+	"homeguard/internal/obs"
 	"homeguard/internal/rule"
 	"homeguard/internal/solver"
 )
@@ -54,6 +55,14 @@ type Detector struct {
 	// reuse the AR merge and DC reuses EC (Fig. 9 green arrows). Guarded
 	// by the caller's serialization (the fleet's per-home lock).
 	satCache map[string]satResult
+	// keysByApp indexes satCache keys by participant app so Reconfigure
+	// evicts exactly the entries a config change invalidates in
+	// O(entries involving the app) instead of scanning the whole cache —
+	// in a populated home the full scan dominated the steady-state
+	// reconfigure cost. Sets mirror satCache exactly: every cached key is
+	// in its (up to) two participants' sets and is removed from both on
+	// eviction, so the index never holds stale keys. Guarded like satCache.
+	keysByApp map[string]map[string]struct{}
 
 	// inputOptions maps canonical input-variable names ("app!input") to
 	// the enum options declared in the app's preferences, giving the
@@ -80,6 +89,15 @@ type Detector struct {
 	// index path can charge skipped (never-generated) pairs to the prune
 	// counters in O(candidates) instead of walking every installed app.
 	totalRules int
+
+	// span, when non-nil, is the parent under which Install/Reconfigure
+	// record their stage spans (compile, candidates, verdict, solve). Set
+	// by the caller around one operation (SetSpan) under the same
+	// serialization every other detector field relies on; nil — the
+	// default — costs only nil checks on the instrumented paths, never in
+	// the per-rule-pair core (detectPair is not instrumented, keeping
+	// DetectPair allocation-free).
+	span *obs.Span
 }
 
 type satResult struct {
@@ -108,6 +126,7 @@ func New(opts Options) *Detector {
 		opts:         opts,
 		stats:        newStats(),
 		satCache:     map[string]satResult{},
+		keysByApp:    map[string]map[string]struct{}{},
 		inputOptions: map[string][]string{},
 	}
 	if !opts.DisablePruning {
@@ -115,6 +134,13 @@ func New(opts Options) *Detector {
 	}
 	return d
 }
+
+// SetSpan sets (or, with nil, clears) the parent span under which the
+// next Install/Reconfigure records stage timings. The caller must hold
+// whatever serializes the detector (the fleet's per-home lock) and clear
+// the span when the operation ends — the detector never outlives one
+// operation's span.
+func (d *Detector) SetSpan(sp *obs.Span) { d.span = sp }
 
 // Stats returns detector work counters.
 func (d *Detector) Stats() Stats { return d.stats }
@@ -137,7 +163,9 @@ func (d *Detector) Install(app *InstalledApp) []Threat {
 	d.noteInputOptions(app)
 	// Compile the app once per install: canonical formulas, declaration
 	// plans, effects, footprint and verdict signature (see compile.go).
+	csp := d.span.Child("compile")
 	d.prepare(app)
+	csp.End()
 	var threats []Threat
 	// Intra-app pairs (rules within one app can interfere too).
 	threats = append(threats, d.appPairThreats(app, app)...)
@@ -146,7 +174,10 @@ func (d *Detector) Install(app *InstalledApp) []Threat {
 		// pairing them directly reproduces the scan path's threat order.
 		// The skipped remainder is charged to the prune counters from the
 		// running rule-count total — no per-app walk.
+		gsp := d.span.Child("candidates")
 		d.candBuf = d.idx.AppendCandidates(app.fp, d.candBuf[:0])
+		gsp.SetInt("candidates", int64(len(d.candBuf)))
+		gsp.End()
 		d.stats.PairsIndexed += len(d.candBuf)
 		candRules := 0
 		for _, s := range d.candBuf {
@@ -273,10 +304,22 @@ func (d *Detector) appPairVerdict(appA, appB *InstalledApp) []Threat {
 		return nil
 	}
 	if d.opts.Verdicts == nil {
-		return d.detectAppPair(appA, appB)
+		ssp := d.span.Child("solve")
+		out := d.detectAppPair(appA, appB)
+		if ssp != nil {
+			ssp.SetStr("a", appA.Info.Name)
+			ssp.SetStr("b", appB.Info.Name)
+			ssp.SetInt("pairs", int64(nPairs))
+			ssp.End()
+		}
+		return out
 	}
+	vsp := d.span.Child("verdict")
 	threats, hit := d.opts.Verdicts.Detect(d.pairKey(appA, appB), func() []Threat {
-		return d.detectAppPair(appA, appB)
+		ssp := vsp.Child("solve")
+		out := d.detectAppPair(appA, appB)
+		ssp.End()
+		return out
 	})
 	if hit {
 		d.stats.PairVerdictHits++
@@ -285,6 +328,16 @@ func (d *Detector) appPairVerdict(appA, appB *InstalledApp) []Threat {
 		d.stats.PairsChecked += nPairs
 	} else {
 		d.stats.PairVerdictMisses++
+	}
+	if vsp != nil {
+		vsp.SetStr("a", appA.Info.Name)
+		vsp.SetStr("b", appB.Info.Name)
+		if hit {
+			vsp.SetStr("cache", "hit")
+		} else {
+			vsp.SetStr("cache", "miss")
+		}
+		vsp.End()
 	}
 	return threats
 }
@@ -345,18 +398,36 @@ func (d *Detector) Reconfigure(appName string, cfg *Config) ([]Threat, error) {
 	// participant apps exactly, so only keys the new binding invalidates
 	// go — substring matching over keys would both over-evict (app "Lock"
 	// clearing entries of "Auto Lock") and rot if the key format changed.
-	for k, r := range d.satCache {
-		if r.apps[0] == appName || r.apps[1] == appName {
-			delete(d.satCache, k)
+	// The per-app key index walks exactly those entries; the counterpart
+	// app's index entry is dropped too, so the index stays an exact
+	// mirror of the cache.
+	for k := range d.keysByApp[appName] {
+		r, ok := d.satCache[k]
+		if !ok {
+			continue
+		}
+		delete(d.satCache, k)
+		other := r.apps[0]
+		if other == appName {
+			other = r.apps[1]
+		}
+		if other != appName && other != "" {
+			delete(d.keysByApp[other], k)
 		}
 	}
+	delete(d.keysByApp, appName)
 	// The new bindings change the app's compiled formulas, its canonical
 	// footprint and its verdict signature; recompile before re-pairing.
+	csp := d.span.Child("compile")
 	d.prepare(target)
+	csp.End()
 	var threats []Threat
 	if d.idx != nil {
+		gsp := d.span.Child("candidates")
 		d.idx.Update(slot, target.fp)
 		d.candBuf = d.idx.AppendCandidates(target.fp, d.candBuf[:0])
+		gsp.SetInt("candidates", int64(len(d.candBuf)))
+		gsp.End()
 		threats = append(threats, d.appPairThreats(target, target)...)
 		// Sorted candidate slots reproduce the scan path's pair order; the
 		// target's own slot is skipped (the intra pair already ran), and
@@ -559,8 +630,27 @@ func (d *Detector) runSolve(p *solver.Problem, key string, apps [2]string) (solv
 	}
 	if !d.opts.DisableReuse && key != "" {
 		d.satCache[key] = satResult{sat: sat, witness: m, apps: apps, limited: limited}
+		d.noteKey(apps[0], key)
+		if apps[1] != apps[0] {
+			d.noteKey(apps[1], key)
+		}
 	}
 	return m, sat
+}
+
+// noteKey records key in app's satCache key index (see keysByApp). Two
+// map writes on the solve path — noise next to an actual solver run —
+// buy O(1)-per-entry eviction on reconfigure.
+func (d *Detector) noteKey(app, key string) {
+	if app == "" {
+		return
+	}
+	s := d.keysByApp[app]
+	if s == nil {
+		s = map[string]struct{}{}
+		d.keysByApp[app] = s
+	}
+	s[key] = struct{}{}
 }
 
 // noteLimited re-raises the degradation of a budget-limited cached

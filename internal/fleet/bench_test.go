@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"homeguard/internal/corpus"
+	"homeguard/internal/obs"
 )
 
 // firstErr collects the first install error from RunParallel workers:
@@ -72,6 +73,45 @@ func BenchmarkFleetInstall(b *testing.B) {
 	b.ReportMetric(cs.HitRate(), "hit-ratio")
 	b.ReportMetric(float64(cs.Misses), "extractions")
 	b.ReportMetric(float64(m.InstallP99.Microseconds()), "p99-µs")
+}
+
+// BenchmarkFleetInstallTraced is BenchmarkFleetInstall with span tracing
+// enabled and every request captured: each install records its full
+// pipeline span tree (extract/detect/compile/solve/...) into the bounded
+// capture. Comparing against BenchmarkFleetInstall quantifies the
+// tracing-on overhead; BENCH_pr6.json records both. (Tracing-off
+// overhead is zero by construction — disabled spans are nil no-ops —
+// which the DetectPair allocation gate pins in CI.)
+func BenchmarkFleetInstallTraced(b *testing.B) {
+	demo := corpus.ByCategory(corpus.Demo)
+	if len(demo) == 0 {
+		b.Fatal("empty demo corpus")
+	}
+	o := obs.NewObserver()
+	o.Tracer.SetEnabled(true)
+	f := New(Options{Shards: 64, Obs: o})
+	var homeSeq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ferr firstErr
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
+			for _, app := range demo {
+				if _, err := f.Install(id, app.Source, nil); err != nil {
+					ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	if ferr.err != nil {
+		b.Fatal(ferr.err)
+	}
+	if total := o.Capture.Snapshot().Total; total == 0 {
+		b.Fatal("tracing-enabled run captured no span trees")
+	}
 }
 
 // BenchmarkFleetInstallSharedApps measures the pair-verdict cache on the

@@ -47,6 +47,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -58,6 +59,7 @@ import (
 	"homeguard/internal/detect"
 	"homeguard/internal/extractcache"
 	"homeguard/internal/frontend"
+	"homeguard/internal/obs"
 	"homeguard/internal/pairverdict"
 	"homeguard/internal/rule"
 	"homeguard/internal/symexec"
@@ -121,6 +123,14 @@ type Options struct {
 	DisablePairVerdicts bool
 	// MaxChainLen bounds chained-threat search at install (default 4).
 	MaxChainLen int
+	// Obs is the process-wide observability bundle. When set, the fleet
+	// registers a Collector that publishes every fleet/cache/detector
+	// counter into Obs.Registry under the homeguard_* names, and the
+	// install/reconfigure paths record per-stage spans through Obs.Tracer
+	// (free when the tracer is disabled — spans are nil and every span
+	// method no-ops). Nil disables both; the JSON MetricsSnapshot works
+	// either way.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +179,7 @@ type Fleet struct {
 	cache    *extractcache.Cache
 	verdicts *pairverdict.Cache // nil when DisablePairVerdicts is set
 	metrics  *metrics
+	obs      *obs.Observer // nil when Options.Obs unset
 }
 
 type shard struct {
@@ -195,6 +206,11 @@ type home struct {
 	// detSeen is the detector-counter high-water mark already folded into
 	// fleet metrics (see takeDetectorDelta). Guarded by mu.
 	detSeen DetectorTotals
+	// groupBuf and usedBuf are reusable scratch for groupRuns/spliceLedger
+	// (the ledger copies entry values out, so the buffers are free to reuse
+	// on the next operation). Guarded by mu.
+	groupBuf []ledgerEntry
+	usedBuf  []bool
 }
 
 // ledgerEntry is one app pair's current threats (a == b for intra-app
@@ -213,47 +229,78 @@ func pairNames(t detect.Threat) (string, string) {
 	return a, b
 }
 
-// groupByPair folds a detection result into ledger entries, one per app
-// pair, in first-report order (directed threats of one pair — CT both
-// ways — land in the same unordered entry).
-func groupByPair(threats []detect.Threat) []ledgerEntry {
-	var out []ledgerEntry
-	idx := map[[2]string]int{}
-	for _, t := range threats {
-		a, b := pairNames(t)
-		k := [2]string{a, b}
-		i, ok := idx[k]
-		if !ok {
-			i = len(out)
-			idx[k] = i
-			out = append(out, ledgerEntry{a: a, b: b})
-		}
-		out[i].threats = append(out[i].threats, t)
+// groupRuns folds a detection result into ledger entries, one per app
+// pair, in first-report order. It exploits the detector's output order —
+// the intra pair first, then each candidate counterpart's threats as one
+// contiguous run (candidates pair in ascending slot order and each pair
+// runs exactly once) — so grouping is a single boundary-detecting walk:
+// no per-pair map, no per-group slice. The entries subslice one defensive
+// copy of threats (the caller owns the original and may mutate it), and
+// land in h.groupBuf, which is reused across operations; callers must
+// copy the entry values out (appending to h.ledger does) before the next
+// call. Callers hold h.mu.
+func (h *home) groupRuns(threats []detect.Threat) []ledgerEntry {
+	out := h.groupBuf[:0]
+	defer func() { h.groupBuf = out }()
+	if len(threats) == 0 {
+		return out
 	}
+	own := append([]detect.Threat(nil), threats...)
+	start := 0
+	a0, b0 := pairNames(own[0])
+	for i := 1; i < len(own); i++ {
+		a, b := pairNames(own[i])
+		if a == a0 && b == b0 {
+			continue
+		}
+		out = append(out, ledgerEntry{a: a0, b: b0, threats: own[start:i:i]})
+		start, a0, b0 = i, a, b
+	}
+	out = append(out, ledgerEntry{a: a0, b: b0, threats: own[start:len(own):len(own)]})
 	return out
 }
 
 // spliceLedger applies a reconfigure's re-detection result: entries
 // involving appName are replaced in place by the pair's new threats (or
 // dropped when the pair is now clean), untouched entries keep their
-// position, and newly threatening pairs append at the end. Callers hold
-// h.mu.
+// position, and newly threatening pairs append at the end. The rewrite is
+// incremental per candidate pair: new groups come from one groupRuns walk
+// and are matched against the ledger with a cursor (detection re-pairs
+// candidates in the order they first reported, so the match is almost
+// always the cursor position and the scan fallback is a rare
+// near-miss), replacing the map rebuild that made dense-home
+// reconfigures allocate per pair. Callers hold h.mu.
 func (h *home) spliceLedger(appName string, threats []detect.Threat) {
-	groups := groupByPair(threats)
-	gidx := map[[2]string]int{}
-	for i := range groups {
-		gidx[[2]string{groups[i].a, groups[i].b}] = i
+	groups := h.groupRuns(threats)
+	used := h.usedBuf[:0]
+	for range groups {
+		used = append(used, false)
 	}
-	used := make([]bool, len(groups))
+	h.usedBuf = used
+	next := 0 // cursor into groups: first candidate not yet matched
 	out := h.ledger[:0]
 	for _, e := range h.ledger {
 		if e.a != appName && e.b != appName {
 			out = append(out, e)
 			continue
 		}
-		if i, ok := gidx[[2]string{e.a, e.b}]; ok {
-			used[i] = true
-			out = append(out, groups[i])
+		i := next
+		if i >= len(groups) || used[i] || groups[i].a != e.a || groups[i].b != e.b {
+			i = -1
+			for j := range groups {
+				if !used[j] && groups[j].a == e.a && groups[j].b == e.b {
+					i = j
+					break
+				}
+			}
+		}
+		if i < 0 {
+			continue // pair now clean: entry dropped
+		}
+		used[i] = true
+		out = append(out, groups[i])
+		for next < len(groups) && used[next] {
+			next++
 		}
 	}
 	for i := range groups {
@@ -284,9 +331,13 @@ func New(opts Options) *Fleet {
 		cache:    opts.Cache,
 		verdicts: opts.Verdicts,
 		metrics:  newMetrics(),
+		obs:      opts.Obs,
 	}
 	for i := range f.shards {
 		f.shards[i] = &shard{homes: map[string]*home{}}
+	}
+	if f.obs != nil {
+		f.registerCollector(f.obs.Registry)
 	}
 	return f
 }
@@ -347,6 +398,20 @@ type InstallResult struct {
 	Warnings []string
 }
 
+// opSpan returns the pipeline span for one fleet operation: a child of
+// the span carried by ctx when there is one (the daemon's HTTP handlers
+// root a request span there), else a fresh root span from the fleet's
+// tracer. Nil — and free — when tracing is off.
+func (f *Fleet) opSpan(ctx context.Context, name string) *obs.Span {
+	if parent := obs.Trace(ctx); parent != nil {
+		return parent.Child(name)
+	}
+	if f.obs != nil {
+		return f.obs.Tracer.Start(name)
+	}
+	return nil
+}
+
 // Install extracts src (through the shared cache) and runs CAI detection
 // against every app already installed in the identified home, creating
 // the home on first use. cfg may be nil (type-level device identity).
@@ -354,12 +419,27 @@ type InstallResult struct {
 // (retried requests must not duplicate the app); use Reconfigure to
 // change an installed app's configuration.
 func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult, error) {
+	return f.InstallCtx(context.Background(), homeID, src, cfg)
+}
+
+// InstallCtx is Install with request context: when ctx carries an
+// obs.Span (or the fleet's tracer is enabled), the install records
+// per-stage spans — extract, detect (with the detector's compile/
+// candidates/verdict/solve children), chains, ledger, report.
+func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.Config) (*InstallResult, error) {
 	start := time.Now()
+	sp := f.opSpan(ctx, "install")
+	defer sp.End()
+	sp.SetStr("home", homeID)
+
+	esp := sp.Child("extract")
 	res, err := f.cache.Extract(src, "")
+	esp.End()
 	if err != nil {
 		f.metrics.installFailed()
 		return nil, fmt.Errorf("fleet: home %s: %w", homeID, err)
 	}
+	sp.SetStr("app", res.App.Name)
 	h := f.homeFor(homeID)
 
 	// The locked section runs in a closure so a detection panic (which
@@ -382,13 +462,26 @@ func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult,
 				return
 			}
 		}
+		// The detector records its stage spans (compile, candidates,
+		// verdict, solve) as children of the detect span. SetSpan is
+		// legal here because the home lock serializes the detector; the
+		// deferred reset keeps a panic from leaking the span into the
+		// next operation.
+		dsp := sp.Child("detect")
+		h.det.SetSpan(dsp)
+		defer h.det.SetSpan(nil)
 		threats = h.det.Install(detect.NewInstalledApp(res, cfg))
+		dsp.End()
+		csp := sp.Child("chains")
 		chains = h.det.FindChains(threats, f.opts.MaxChainLen)
+		csp.End()
+		lsp := sp.Child("ledger")
 		logBase = len(h.threats)
 		h.threats = append(h.threats, threats...)
 		// Every pair of an install involves the new app, so its groups are
 		// all fresh ledger entries.
-		h.ledger = append(h.ledger, groupByPair(threats)...)
+		h.ledger = append(h.ledger, h.groupRuns(threats)...)
+		lsp.End()
 		det = h.takeDetectorDelta()
 	}()
 	if dup {
@@ -399,7 +492,9 @@ func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult,
 		return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppInstalled, res.App.Name)
 	}
 
+	rsp := sp.Child("report")
 	report := frontend.InstallDialog(res.App.Name, res.Rules.Rules, threats, chains)
+	rsp.End()
 	f.metrics.detectorDelta(det)
 	f.metrics.installDone(time.Since(start), threats)
 	return &InstallResult{
@@ -436,7 +531,22 @@ type BatchResult struct {
 // fails records its error and does not stop the rest (extraction errors
 // are cached, so the failed pre-extraction and the install agree).
 func (f *Fleet) InstallBatch(homeID string, items []BatchItem) []BatchResult {
+	return f.InstallBatchCtx(context.Background(), homeID, items)
+}
+
+// InstallBatchCtx is InstallBatch with request context: the whole batch
+// is one span ("install_batch") with a "prewarm" child covering the
+// parallel extraction phase and one "install" child per item.
+func (f *Fleet) InstallBatchCtx(ctx context.Context, homeID string, items []BatchItem) []BatchResult {
+	sp := f.opSpan(ctx, "install_batch")
+	defer sp.End()
+	sp.SetStr("home", homeID)
+	sp.SetInt("items", int64(len(items)))
+
 	out := make([]BatchResult, len(items))
+	// One span covers the whole parallel phase: spans are single-owner,
+	// so the warm goroutines never touch it.
+	wsp := sp.Child("prewarm")
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := range items {
@@ -451,8 +561,10 @@ func (f *Fleet) InstallBatch(homeID string, items []BatchItem) []BatchResult {
 		}(items[i].Source)
 	}
 	wg.Wait()
+	wsp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	for i := range items {
-		r, err := f.Install(homeID, items[i].Source, items[i].Config)
+		r, err := f.InstallCtx(ctx, homeID, items[i].Source, items[i].Config)
 		out[i] = BatchResult{Result: r, Err: err}
 	}
 	return out
@@ -465,6 +577,17 @@ func (f *Fleet) InstallBatch(homeID string, items []BatchItem) []BatchResult {
 // current configuration and just re-runs detection — it does NOT reset
 // the bindings (pass detect.NewConfig() explicitly to clear them).
 func (f *Fleet) Reconfigure(homeID, appName string, cfg *detect.Config) (threats []detect.Threat, logBase int, err error) {
+	return f.ReconfigureCtx(context.Background(), homeID, appName, cfg)
+}
+
+// ReconfigureCtx is Reconfigure with request context; like InstallCtx it
+// records per-stage spans (detect with the detector's children, splice).
+func (f *Fleet) ReconfigureCtx(ctx context.Context, homeID, appName string, cfg *detect.Config) (threats []detect.Threat, logBase int, err error) {
+	sp := f.opSpan(ctx, "reconfigure")
+	defer sp.End()
+	sp.SetStr("home", homeID)
+	sp.SetStr("app", appName)
+
 	h := f.lookup(homeID)
 	if h == nil {
 		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
@@ -491,13 +614,19 @@ func (f *Fleet) Reconfigure(homeID, appName string, cfg *detect.Config) (threats
 		if cfg == nil {
 			cfg = target.Config // keep bindings; detect.Reconfigure would reset them
 		}
+		dsp := sp.Child("detect")
+		h.det.SetSpan(dsp)
+		defer h.det.SetSpan(nil)
 		// detect.Reconfigure errors only on an unknown app, and the app
 		// was found above under the same lock, so the error is impossible
 		// here; the missing flag above is what carries not-found out.
 		threats, _ = h.det.Reconfigure(appName, cfg)
+		dsp.End()
+		ssp := sp.Child("splice")
 		logBase = len(h.threats)
 		h.threats = append(h.threats, threats...)
 		h.spliceLedger(appName, threats)
+		ssp.End()
 		det = h.takeDetectorDelta()
 	}()
 	if missing {
@@ -624,6 +753,10 @@ func (f *Fleet) Cache() *extractcache.Cache { return f.cache }
 // Verdicts exposes the shared pair-verdict cache, or nil when the fleet
 // was created with DisablePairVerdicts.
 func (f *Fleet) Verdicts() *pairverdict.Cache { return f.verdicts }
+
+// Observer exposes the observability bundle the fleet was created with,
+// or nil.
+func (f *Fleet) Observer() *obs.Observer { return f.obs }
 
 // Metrics returns a snapshot of fleet-wide service metrics.
 func (f *Fleet) Metrics() MetricsSnapshot {

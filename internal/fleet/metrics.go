@@ -1,75 +1,25 @@
 package fleet
 
 import (
-	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"homeguard/internal/detect"
 	"homeguard/internal/extractcache"
+	"homeguard/internal/obs"
 	"homeguard/internal/pairverdict"
 )
-
-// The install-latency histogram has 40 exponential buckets whose upper
-// bounds start at 1µs and double per bucket (the last bucket is
-// effectively unbounded). A histogram keeps observation cost O(1) and
-// bounded memory at fleet scale, at the price of quantiles quantized to
-// bucket bounds — fine for service dashboards.
-const (
-	latencyBucketCount = 40
-	latencyBucketBase  = time.Microsecond
-)
-
-type latencyHist struct {
-	counts [latencyBucketCount]uint64
-	total  uint64
-}
-
-func bucketIndex(d time.Duration) int {
-	if d < latencyBucketBase {
-		return 0
-	}
-	i := 0
-	for b := latencyBucketBase; b < d && i < latencyBucketCount-1; b <<= 1 {
-		i++
-	}
-	return i
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	h.counts[bucketIndex(d)]++
-	h.total++
-}
-
-// quantile returns the upper bound of the bucket containing the q-th
-// observation (0 < q <= 1), or 0 when empty. Nearest-rank with ceiling,
-// so p99 of 10 observations is the 10th (the tail is never understated).
-func (h *latencyHist) quantile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(h.total)))
-	if rank == 0 {
-		rank = 1
-	}
-	if rank > h.total {
-		rank = h.total
-	}
-	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			return latencyBucketBase << uint(i)
-		}
-	}
-	return latencyBucketBase << uint(latencyBucketCount-1)
-}
 
 // metrics aggregates fleet-wide counters behind one mutex. Every field is
 // guarded by mu; detector-level stats stay per-home behind home locks and
 // are folded in as deltas when each install/reconfigure completes, so
 // reading a snapshot never touches a home lock (a wedged or long-running
 // install must not stall /metrics, and scrapes stay O(1) at fleet scale).
+// The install-latency histogram is an obs.Histogram (40 exponential
+// buckets from 1µs, nearest-rank-ceiling quantiles); its atomics make it
+// safe to snapshot without mu, but writes still happen under mu with the
+// rest of the install bookkeeping.
 type metrics struct {
 	mu               sync.Mutex
 	homes            uint64
@@ -78,7 +28,7 @@ type metrics struct {
 	installConflicts uint64
 	reconfigures     uint64
 	threats          map[detect.Kind]uint64
-	installLat       latencyHist
+	installLat       obs.Histogram
 	det              DetectorTotals
 }
 
@@ -95,7 +45,7 @@ func (m *metrics) homeCreated() {
 func (m *metrics) installDone(d time.Duration, threats []detect.Threat) {
 	m.mu.Lock()
 	m.installs++
-	m.installLat.observe(d)
+	m.installLat.Observe(d)
 	for _, t := range threats {
 		m.threats[t.Kind]++
 	}
@@ -237,10 +187,61 @@ func (m *metrics) snapshot(cache extractcache.Stats, verdicts pairverdict.Stats)
 		InstallConflicts: m.installConflicts,
 		Reconfigures:     m.reconfigures,
 		ThreatsByKind:    kinds,
-		InstallP50:       m.installLat.quantile(0.50),
-		InstallP99:       m.installLat.quantile(0.99),
+		InstallP50:       m.installLat.Quantile(0.50),
+		InstallP99:       m.installLat.Quantile(0.99),
 		Cache:            cache,
 		PairVerdicts:     verdicts,
 		Detectors:        m.det,
 	}
+}
+
+// registerCollector publishes the fleet's counters into an obs.Registry
+// under the stable homeguard_* metric names (the catalog is documented in
+// the root package's Observability section). The collector reads one
+// MetricsSnapshot per scrape — the same lock discipline as the JSON
+// /metrics endpoint — so scraping never touches a home lock.
+func (f *Fleet) registerCollector(r *obs.Registry) {
+	r.RegisterCollector(func(e *obs.Emit) {
+		s := f.Metrics()
+		e.Gauge("homeguard_homes", "Homes managed by the fleet.", float64(s.Homes))
+		e.Counter("homeguard_installs_total", "Completed app installs.", float64(s.Installs))
+		e.Counter("homeguard_install_errors_total", "Installs failed by extraction errors.", float64(s.InstallErrors))
+		e.Counter("homeguard_install_conflicts_total", "Installs rejected as duplicate app names (client retries).", float64(s.InstallConflicts))
+		e.Counter("homeguard_reconfigures_total", "Completed app reconfigurations.", float64(s.Reconfigures))
+
+		kinds := make([]detect.Kind, 0, len(s.ThreatsByKind))
+		for k := range s.ThreatsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			e.Counter("homeguard_threats_total", "Threats reported by installs, per kind.",
+				float64(s.ThreatsByKind[k]), obs.Label{Name: "kind", Value: string(k)})
+		}
+
+		e.Histogram("homeguard_install_duration_seconds",
+			"Install latency (extraction + detection + reporting).", f.metrics.installLat.Snapshot())
+
+		e.Counter("homeguard_extract_cache_lookups_total", "Extraction cache lookups.", float64(s.Cache.Lookups))
+		e.Counter("homeguard_extract_cache_hits_total", "Extraction cache hits.", float64(s.Cache.Hits))
+		e.Counter("homeguard_extract_cache_misses_total", "Extraction cache misses.", float64(s.Cache.Misses))
+		e.Counter("homeguard_extract_cache_evictions_total", "Extraction cache evictions.", float64(s.Cache.Evictions))
+		e.Gauge("homeguard_extract_cache_entries", "Extraction cache resident entries.", float64(s.Cache.Entries))
+
+		e.Counter("homeguard_verdict_cache_lookups_total", "Pair-verdict cache lookups.", float64(s.PairVerdicts.Lookups))
+		e.Counter("homeguard_verdict_cache_hits_total", "Pair-verdict cache hits.", float64(s.PairVerdicts.Hits))
+		e.Counter("homeguard_verdict_cache_misses_total", "Pair-verdict cache misses.", float64(s.PairVerdicts.Misses))
+		e.Gauge("homeguard_verdict_cache_entries", "Pair-verdict cache resident entries.", float64(s.PairVerdicts.Entries))
+
+		d := s.Detectors
+		e.Counter("homeguard_detect_pairs_checked_total", "Rule pairs whose verdict a home obtained.", float64(d.PairsChecked))
+		e.Counter("homeguard_detect_pairs_pruned_total", "Rule pairs skipped by the footprint prune.", float64(d.PairsPruned))
+		e.Counter("homeguard_detect_pairs_indexed_total", "Candidate app pairs generated by the footprint index.", float64(d.PairsIndexed))
+		e.Counter("homeguard_detect_pairs_skipped_by_index_total", "Rule pairs the footprint index never generated.", float64(d.PairsSkippedByIndex))
+		e.Counter("homeguard_detect_verdict_hits_total", "Detector-side pair-verdict cache hits.", float64(d.PairVerdictHits))
+		e.Counter("homeguard_detect_verdict_misses_total", "Detector-side pair-verdict cache misses.", float64(d.PairVerdictMisses))
+		e.Counter("homeguard_solver_calls_total", "Constraint-solver invocations.", float64(d.SolverCalls))
+		e.Counter("homeguard_solver_cache_hits_total", "Per-home solving-reuse (satCache) hits.", float64(d.SolverCacheHits))
+		e.Counter("homeguard_solver_limit_hits_total", "Solver calls degraded by node-budget exhaustion.", float64(d.SearchLimitHits))
+	})
 }

@@ -3,20 +3,27 @@ package fleet
 import (
 	"testing"
 	"time"
+
+	"homeguard/internal/obs"
 )
 
-func TestLatencyQuantileCoversTail(t *testing.T) {
-	var h latencyHist
-	for i := 0; i < 9; i++ {
-		h.observe(time.Millisecond)
-	}
-	h.observe(2 * time.Second) // the outlier p99 exists to surface
+// The fleet's install-latency quantiles come from obs.Histogram; these
+// tests pin the consumption contract at this site (the obs package has
+// its own accuracy tests): nearest-rank-with-ceiling quantiles that never
+// understate the tail, and safe behavior on empty/out-of-range input.
 
-	p99 := h.quantile(0.99)
+func TestLatencyQuantileCoversTail(t *testing.T) {
+	var m metrics
+	for i := 0; i < 9; i++ {
+		m.installLat.Observe(time.Millisecond)
+	}
+	m.installLat.Observe(2 * time.Second) // the outlier p99 exists to surface
+
+	p99 := m.installLat.Quantile(0.99)
 	if p99 < 2*time.Second {
 		t.Errorf("p99 = %v with a 2s outlier in 10 observations; nearest-rank must take the ceiling", p99)
 	}
-	p50 := h.quantile(0.50)
+	p50 := m.installLat.Quantile(0.50)
 	if p50 > 10*time.Millisecond {
 		t.Errorf("p50 = %v, want ~1ms bucket", p50)
 	}
@@ -26,16 +33,16 @@ func TestLatencyQuantileCoversTail(t *testing.T) {
 }
 
 func TestLatencyQuantileEmptyAndBounds(t *testing.T) {
-	var h latencyHist
-	if got := h.quantile(0.99); got != 0 {
+	var h obs.Histogram
+	if got := h.Quantile(0.99); got != 0 {
 		t.Errorf("quantile of empty histogram = %v, want 0", got)
 	}
-	h.observe(0)                    // below the first bucket bound
-	h.observe(365 * 24 * time.Hour) // far beyond the last bucket bound
-	if got := h.quantile(1.0); got == 0 {
+	h.Observe(0)                    // below the first bucket bound
+	h.Observe(365 * 24 * time.Hour) // far beyond the last bucket bound
+	if got := h.Quantile(1.0); got == 0 {
 		t.Error("quantile(1.0) = 0 after observations")
 	}
-	if h.total != 2 {
-		t.Errorf("total = %d, want 2", h.total)
+	if got := h.Snapshot().Count; got != 2 {
+		t.Errorf("count = %d, want 2", got)
 	}
 }

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/obs"
+)
+
+// TestFleetInstallSpanTree is the tracing acceptance test: with tracing
+// enabled, one install's captured span tree carries the whole pipeline —
+// extract, detect (with per-app compile), pair verdict, and solve.
+func TestFleetInstallSpanTree(t *testing.T) {
+	o := obs.NewObserver()
+	o.Tracer.SetEnabled(true)
+	f := New(Options{Obs: o})
+
+	if _, err := f.Install("h1", mustSource(t, "ComfortTV"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// The second install shares channels with the first, so its detect
+	// stage compiles the new app, misses the verdict cache, and solves.
+	if _, err := f.Install("h1", mustSource(t, "ColdDefender"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := o.Capture.Snapshot()
+	if snap.Total != 2 {
+		t.Fatalf("capture total = %d, want 2 traced installs", snap.Total)
+	}
+	// Recent is newest-first: the ColdDefender install leads.
+	tree := snap.Recent[0]
+	if tree.Name != "install" {
+		t.Fatalf("newest capture is %q, want install", tree.Name)
+	}
+	if tree.Attrs["app"] != "ColdDefender" || tree.Attrs["home"] != "h1" {
+		t.Errorf("install span attrs = %v, want app/home", tree.Attrs)
+	}
+	for _, stage := range []string{"extract", "detect", "compile", "candidates", "verdict", "solve", "chains", "ledger", "report"} {
+		if _, ok := tree.Stage(stage); !ok {
+			t.Errorf("install span tree missing stage %q:\n%s", stage, dumpTree(tree, 0))
+		}
+	}
+	// Stage nesting: compile and solve live under detect, not the root.
+	det, ok := tree.Stage("detect")
+	if !ok {
+		t.Fatal("no detect stage")
+	}
+	if _, ok := det.Stage("solve"); !ok {
+		t.Error("solve stage is not nested under detect")
+	}
+	if sol, ok := tree.Stage("solve"); ok && sol.DurationNS <= 0 {
+		t.Errorf("solve stage duration = %d, want > 0", sol.DurationNS)
+	}
+	// The verdict stage records its cache disposition.
+	if v, ok := tree.Stage("verdict"); ok && v.Attrs["cache"] != "miss" {
+		t.Errorf("first solve of the pair has verdict cache=%q, want miss", v.Attrs["cache"])
+	}
+}
+
+// TestFleetReconfigureSpanTree pins the reconfigure pipeline stages.
+func TestFleetReconfigureSpanTree(t *testing.T) {
+	o := obs.NewObserver()
+	o.Tracer.SetEnabled(true)
+	f := New(Options{Obs: o})
+	if _, err := f.Install("h1", mustSource(t, "ComfortTV"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Install("h1", mustSource(t, "ColdDefender"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Reconfigure("h1", "ColdDefender", nil); err != nil {
+		t.Fatal(err)
+	}
+	tree := o.Capture.Snapshot().Recent[0]
+	if tree.Name != "reconfigure" {
+		t.Fatalf("newest capture is %q, want reconfigure", tree.Name)
+	}
+	for _, stage := range []string{"detect", "compile", "splice"} {
+		if _, ok := tree.Stage(stage); !ok {
+			t.Errorf("reconfigure span tree missing stage %q:\n%s", stage, dumpTree(tree, 0))
+		}
+	}
+}
+
+// TestFleetBatchSpanTree: InstallBatch groups per-item install spans
+// under one install_batch root with a prewarm stage.
+func TestFleetBatchSpanTree(t *testing.T) {
+	o := obs.NewObserver()
+	o.Tracer.SetEnabled(true)
+	f := New(Options{Obs: o})
+	items := []BatchItem{
+		{Source: mustSource(t, "ComfortTV")},
+		{Source: mustSource(t, "ColdDefender")},
+	}
+	for _, r := range f.InstallBatch("h1", items) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	tree := o.Capture.Snapshot().Recent[0]
+	if tree.Name != "install_batch" {
+		t.Fatalf("newest capture is %q, want install_batch", tree.Name)
+	}
+	if _, ok := tree.Stage("prewarm"); !ok {
+		t.Error("batch span tree missing prewarm stage")
+	}
+	var installs int
+	for _, c := range tree.Children {
+		if c.Name == "install" {
+			installs++
+		}
+	}
+	if installs != 2 {
+		t.Errorf("batch root has %d install children, want 2:\n%s", installs, dumpTree(tree, 0))
+	}
+}
+
+func dumpTree(j obs.SpanJSON, depth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s (%dns) %v\n", strings.Repeat("  ", depth), j.Name, j.DurationNS, j.Attrs)
+	for _, c := range j.Children {
+		b.WriteString(dumpTree(c, depth+1))
+	}
+	return b.String()
+}
+
+// TestFleetConcurrentScrape is the race-mode exercise from the issue:
+// parallel InstallBatch and Reconfigure traffic with tracing enabled
+// while other goroutines continuously scrape the Prometheus registry and
+// the span capture. Run under -race this proves the collector/tracer
+// locking discipline; without -race it still checks exposition validity
+// under concurrency.
+func TestFleetConcurrentScrape(t *testing.T) {
+	o := obs.NewObserver()
+	o.Tracer.SetEnabled(true)
+	f := New(Options{Obs: o})
+
+	apps := []string{"ComfortTV", "ColdDefender", "MakeItSo", "AutoLockDoor", "EnergySaver"}
+	items := make([]BatchItem, 0, len(apps))
+	for _, a := range apps {
+		items = append(items, BatchItem{Source: mustSource(t, a)})
+	}
+
+	const homes = 8
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	// Scraper 1: the Prometheus registry, validated on every pass.
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := o.Registry.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if _, err := obs.ParseExposition(&buf); err != nil {
+				t.Errorf("concurrent scrape produced malformed exposition: %v", err)
+				return
+			}
+		}
+	}()
+	// Scraper 2: the capture ring (the /debug/requests backing store).
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := o.Capture.Snapshot()
+			for _, r := range snap.Recent {
+				if r.Name == "" {
+					t.Error("captured span with empty name")
+					return
+				}
+			}
+		}
+	}()
+
+	var traffic sync.WaitGroup
+	for h := 0; h < homes; h++ {
+		traffic.Add(1)
+		go func(h int) {
+			defer traffic.Done()
+			home := fmt.Sprintf("home-%d", h)
+			for i, r := range f.InstallBatch(home, items) {
+				if r.Err != nil {
+					t.Errorf("%s: install %s: %v", home, apps[i], r.Err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				app := apps[(h+i)%len(apps)]
+				if _, _, err := f.Reconfigure(home, app, nil); err != nil {
+					t.Errorf("%s: reconfigure %s: %v", home, app, err)
+				}
+			}
+		}(h)
+	}
+	traffic.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	m := f.Metrics()
+	if m.Installs != uint64(homes*len(apps)) {
+		t.Errorf("installs = %d, want %d", m.Installs, homes*len(apps))
+	}
+	if total := o.Capture.Snapshot().Total; total < uint64(homes) {
+		t.Errorf("capture total = %d, want >= %d batch roots", total, homes)
+	}
+}
+
+// TestFleetDisabledTracerKeepsMetrics: with no Observer the fleet runs
+// exactly as before (nil spans everywhere), and with an Observer but
+// tracing disabled the registry still serves metrics while the capture
+// stays empty.
+func TestFleetDisabledTracerKeepsMetrics(t *testing.T) {
+	o := obs.NewObserver()
+	f := New(Options{Obs: o}) // tracing disabled by default
+	if _, err := f.Install("h1", mustSource(t, "ComfortTV"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Install("h1", mustSource(t, "ColdDefender"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if total := o.Capture.Snapshot().Total; total != 0 {
+		t.Errorf("capture total = %d with tracing disabled, want 0", total)
+	}
+	var buf bytes.Buffer
+	if err := o.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	found := map[string]float64{}
+	for _, s := range samples {
+		found[s.Name] = s.Value
+	}
+	if found["homeguard_installs_total"] != 2 {
+		t.Errorf("homeguard_installs_total = %v, want 2", found["homeguard_installs_total"])
+	}
+	if found["homeguard_solver_calls_total"] == 0 {
+		t.Error("homeguard_solver_calls_total = 0 after a threat-reporting install")
+	}
+
+	// Corpus sanity for the tests above: the two apps really interfere.
+	if _, ok := corpus.Get("ComfortTV"); !ok {
+		t.Fatal("corpus missing ComfortTV")
+	}
+}

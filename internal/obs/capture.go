@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Capture retains the span trees of the M most recent and the N slowest
+// completed root spans, for serving at /debug/requests. Trees are
+// rendered to SpanJSON at insertion time, so a captured tree is immutable
+// and scraping never touches live spans.
+type Capture struct {
+	mu      sync.Mutex
+	recent  []SpanJSON // ring, oldest first after rotation
+	next    int        // ring write cursor
+	filled  bool
+	slowest []SpanJSON // kept sorted fastest-first, bounded
+	maxRec  int
+	maxSlow int
+	total   uint64
+}
+
+// NewCapture returns a capture retaining up to recent most recent and
+// slowest slowest requests. Non-positive sizes disable that side.
+func NewCapture(recent, slowest int) *Capture {
+	if recent < 0 {
+		recent = 0
+	}
+	if slowest < 0 {
+		slowest = 0
+	}
+	return &Capture{
+		recent:  make([]SpanJSON, 0, recent),
+		slowest: make([]SpanJSON, 0, slowest),
+		maxRec:  recent,
+		maxSlow: slowest,
+	}
+}
+
+// Add records a completed root span. Called by Span.End; safe for
+// concurrent use.
+func (c *Capture) Add(root *Span) {
+	if c == nil || root == nil {
+		return
+	}
+	j := root.JSON()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if c.maxRec > 0 {
+		if len(c.recent) < c.maxRec {
+			c.recent = append(c.recent, j)
+		} else {
+			c.recent[c.next] = j
+			c.filled = true
+		}
+		c.next = (c.next + 1) % c.maxRec
+	}
+	if c.maxSlow > 0 {
+		if len(c.slowest) < c.maxSlow {
+			c.slowest = append(c.slowest, j)
+			sort.Slice(c.slowest, func(a, b int) bool {
+				return c.slowest[a].DurationNS < c.slowest[b].DurationNS
+			})
+		} else if j.DurationNS > c.slowest[0].DurationNS {
+			// Evict the fastest of the slowest set, insert in order.
+			i := sort.Search(len(c.slowest), func(i int) bool {
+				return c.slowest[i].DurationNS >= j.DurationNS
+			})
+			copy(c.slowest[:i-1], c.slowest[1:i])
+			c.slowest[i-1] = j
+		}
+	}
+}
+
+// CaptureSnapshot is the /debug/requests payload.
+type CaptureSnapshot struct {
+	// Total counts every root span ever offered to the capture.
+	Total uint64 `json:"total"`
+	// Recent holds the most recent requests, newest first.
+	Recent []SpanJSON `json:"recent"`
+	// Slowest holds the slowest requests, slowest first.
+	Slowest []SpanJSON `json:"slowest"`
+}
+
+// Snapshot returns a copy of the captured requests.
+func (c *Capture) Snapshot() CaptureSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CaptureSnapshot{Total: c.total}
+	// Unroll the ring newest-first.
+	n := len(c.recent)
+	s.Recent = make([]SpanJSON, 0, n)
+	for i := 1; i <= n; i++ {
+		s.Recent = append(s.Recent, c.recent[(c.next-i+n)%n])
+	}
+	s.Slowest = make([]SpanJSON, len(c.slowest))
+	for i := range c.slowest {
+		s.Slowest[i] = c.slowest[len(c.slowest)-1-i]
+	}
+	return s
+}
+
+// SpanJSON is an immutable, JSON-marshalable rendering of a span tree.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationNS int64             `json:"durationNs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// Stage returns the child subtree named name (depth-first, first match),
+// or false. Helper for tests asserting stage presence.
+func (j SpanJSON) Stage(name string) (SpanJSON, bool) {
+	if j.Name == name {
+		return j, true
+	}
+	for _, c := range j.Children {
+		if found, ok := c.Stage(name); ok {
+			return found, true
+		}
+	}
+	return SpanJSON{}, false
+}
+
+// JSON renders the span tree rooted at s. Unended spans render with their
+// elapsed-so-far duration. Nil-safe (returns the zero value).
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	j := SpanJSON{Name: s.Name, Start: s.start, DurationNS: int64(s.dur)}
+	if s.dur == 0 {
+		j.DurationNS = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		j.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			if a.isInt {
+				j.Attrs[a.key] = strconv.FormatInt(a.ival, 10)
+			} else {
+				j.Attrs[a.key] = a.sval
+			}
+		}
+	}
+	if len(s.children) > 0 {
+		j.Children = make([]SpanJSON, len(s.children))
+		for i, c := range s.children {
+			j.Children[i] = c.JSON()
+		}
+	}
+	return j
+}

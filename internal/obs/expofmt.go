@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its labels in
+// order of appearance, and the sample value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ParseExposition parses Prometheus text exposition format (0.0.4),
+// validating every line: # HELP/# TYPE comment syntax, metric name and
+// label charsets, label value escaping, and float sample values. It also
+// enforces the structural rules a scraper relies on — a TYPE comment must
+// precede its samples, a name may be typed only once, and histogram
+// bucket counts must be cumulative. It returns every sample in order.
+//
+// This is the validation half of the format the Emit side produces; the
+// exposition tests round-trip the registry through it, and cmd/promcheck
+// runs it against a live daemon in CI.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var samples []Sample
+	typed := map[string]string{}      // base name -> type
+	lastBucket := map[string]uint64{} // histogram name -> last cumulative le count
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseName(s.Name, typed)
+		typ, ok := typed[base]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, s.Name)
+		}
+		if typ == "histogram" && strings.HasSuffix(s.Name, "_bucket") {
+			if err := checkBucket(base, s, lastBucket); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// parseComment validates a # HELP or # TYPE line and records TYPEs.
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE %s missing type", name)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", name, typ)
+		}
+		if prev, ok := typed[name]; ok && prev != typ {
+			return fmt.Errorf("metric %s re-typed %s -> %s", name, prev, typ)
+		}
+		typed[name] = typ
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+	return nil
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q: no metric name", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// An optional timestamp may follow the value.
+	valStr, _, _ := strings.Cut(rest, " ")
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(s string) (int, []Label, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		if len(labels) > 0 {
+			if s[i] != ',' {
+				return 0, nil, fmt.Errorf("expected ',' in label block at %q", s[i:])
+			}
+			i++
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i-start) {
+			i++
+		}
+		name := s[start:i]
+		if !validName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("label %s missing '='", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("label %s value unterminated", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("label %s value has trailing backslash", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s has invalid escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+	}
+}
+
+func isNameChar(c byte, pos int) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(c >= '0' && c <= '9' && pos > 0)
+}
+
+// baseName strips the histogram/summary sample suffixes so _bucket, _sum
+// and _count samples resolve to their declared TYPE.
+func baseName(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, found := strings.CutSuffix(name, suf); found {
+			if t, ok := typed[b]; ok && (t == "histogram" || t == "summary") {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+// checkBucket enforces cumulative, le-labeled histogram buckets.
+func checkBucket(base string, s Sample, lastBucket map[string]uint64) error {
+	var le string
+	for _, l := range s.Labels {
+		if l.Name == "le" {
+			le = l.Value
+		}
+	}
+	if le == "" {
+		return fmt.Errorf("histogram %s bucket missing le label", base)
+	}
+	if le != "+Inf" {
+		if _, err := strconv.ParseFloat(le, 64); err != nil {
+			return fmt.Errorf("histogram %s has bad le %q", base, le)
+		}
+	}
+	cum := uint64(s.Value)
+	if prev, ok := lastBucket[base]; ok && le != "+Inf" && cum < prev {
+		return fmt.Errorf("histogram %s buckets not cumulative (%d after %d)", base, cum, prev)
+	}
+	if cum64 := lastBucket[base]; le == "+Inf" && s.Value < float64(cum64) {
+		return fmt.Errorf("histogram %s +Inf bucket below last bound (%v < %d)", base, s.Value, cum64)
+	}
+	if le == "+Inf" {
+		delete(lastBucket, base) // next histogram series starts fresh
+	} else {
+		lastBucket[base] = cum
+	}
+	return nil
+}

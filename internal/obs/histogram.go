@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The latency histogram has NumBuckets exponential buckets whose upper
+// bounds start at BucketBase and double per bucket; the last bucket is
+// effectively unbounded (1µs … ~9 minutes of resolution). Fixed buckets
+// keep observation O(1) and memory bounded at fleet scale, at the price
+// of quantiles quantized to bucket bounds — fine for service dashboards,
+// and exactly what the Prometheus histogram convention expects.
+const (
+	NumBuckets = 40
+	BucketBase = time.Microsecond
+)
+
+// BucketBound returns bucket i's inclusive upper bound.
+func BucketBound(i int) time.Duration { return BucketBase << uint(i) }
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use:
+// observation is two atomic adds, snapshotting reads the buckets without
+// locking (counters are monotonic, so a racing snapshot is merely a
+// moment between observations).
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= BucketBase<<i, clamped to the last bucket.
+func bucketIndex(d time.Duration) int {
+	if d < BucketBase {
+		return 0
+	}
+	i := 0
+	for b := BucketBase; b < d && i < NumBuckets-1; b <<= 1 {
+		i++
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Snapshot returns a point-in-time copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	// A snapshot taken between an Observe's bucket add and count add can
+	// see the bucket sum ahead of the total; reconcile so cumulative
+	// bucket counts never exceed _count in the exposition.
+	var bucketed uint64
+	for _, c := range s.Counts {
+		bucketed += c
+	}
+	if bucketed > s.Count {
+		s.Count = bucketed
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable histogram state.
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	SumNS  int64
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// observation (0 < q <= 1), or 0 when empty. Nearest-rank with ceiling,
+// so p99 of 10 observations is the 10th — the tail is never understated.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(float64(s.Count) * q)
+	if float64(rank) < float64(s.Count)*q {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// Quantile is Snapshot().Quantile for callers that need one quantile.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}

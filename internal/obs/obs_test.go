@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("homeguard_test_total", "A test counter.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("homeguard_test_entries", "A test gauge.")
+	g.Set(7)
+	g.Add(-2)
+	h := r.Histogram("homeguard_test_duration_seconds", "A test histogram.")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(900 * time.Millisecond)
+	r.RegisterCollector(func(e *Emit) {
+		e.Counter("homeguard_threats_total", "Threats by kind.", 3,
+			Label{Name: "kind", Value: "race"})
+		e.Counter("homeguard_threats_total", "Threats by kind.", 2,
+			Label{Name: "kind", Value: `odd"kind\with
+newline`})
+	})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseExposition:\n%s\nerror: %v", buf.String(), err)
+	}
+
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if v := byName["homeguard_test_total"][0].Value; v != 42 {
+		t.Errorf("counter = %v, want 42", v)
+	}
+	if v := byName["homeguard_test_entries"][0].Value; v != 5 {
+		t.Errorf("gauge = %v, want 5", v)
+	}
+	if v := byName["homeguard_test_duration_seconds_count"][0].Value; v != 2 {
+		t.Errorf("histogram _count = %v, want 2", v)
+	}
+	sum := byName["homeguard_test_duration_seconds_sum"][0].Value
+	if sum < 0.9 || sum > 0.91 {
+		t.Errorf("histogram _sum = %v, want ~0.900003", sum)
+	}
+	if n := len(byName["homeguard_test_duration_seconds_bucket"]); n != NumBuckets+1 {
+		t.Errorf("bucket samples = %d, want %d", n, NumBuckets+1)
+	}
+	kinds := byName["homeguard_threats_total"]
+	if len(kinds) != 2 {
+		t.Fatalf("labeled counter samples = %d, want 2", len(kinds))
+	}
+	if got := kinds[1].Labels[0].Value; got != "odd\"kind\\with\nnewline" {
+		t.Errorf("label round-trip = %q", got)
+	}
+}
+
+func TestRegistryIdempotentAndTypeConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second")
+	if a != b {
+		t.Error("re-registering a counter returned a new instance")
+	}
+	r.RegisterCollector(func(e *Emit) {
+		e.Gauge("x_total", "conflicting", 1) // counter re-emitted as gauge
+	})
+	if err := r.WritePrometheus(&bytes.Buffer{}); err == nil {
+		t.Error("type-conflicting emission did not error")
+	}
+
+	r2 := NewRegistry()
+	r2.RegisterCollector(func(e *Emit) {
+		e.Counter("bad name", "broken", 1)
+	})
+	if err := r2.WritePrometheus(&bytes.Buffer{}); err == nil {
+		t.Error("invalid metric name did not error")
+	}
+}
+
+func TestExpositionMonotonicCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("homeguard_mono_total", "counts up")
+	scrape := func() float64 {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := ParseExposition(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			if s.Name == "homeguard_mono_total" {
+				return s.Value
+			}
+		}
+		t.Fatal("counter not in exposition")
+		return 0
+	}
+	prev := scrape()
+	for i := 0; i < 5; i++ {
+		c.Add(uint64(i))
+		if v := scrape(); v < prev {
+			t.Fatalf("counter went backwards: %v -> %v", prev, v)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_comment 1\n",
+		"# TYPE x counter\nx{le=\"0.1} 1\n",                                       // unterminated label value
+		"# TYPE x counter\nx 1e\n",                                                // bad float
+		"# TYPE x wibble\nx 1\n",                                                  // unknown type
+		"# TYPE x counter\n# TYPE x gauge\nx 1\n",                                 // re-typed
+		"# TYPE h histogram\nh_bucket{le=\"abc\"} 1\n",                            // bad le
+		"# TYPE h histogram\nh_bucket 1\n",                                        // missing le
+		"# TYPE x counter\nx{l=\"a\\q\"} 1\n",                                     // bad escape
+		"# TYPE h histogram\nh_bucket{le=\"0.001\"} 5\nh_bucket{le=\"0.01\"} 3\n", // not cumulative
+	}
+	for _, in := range bad {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed exposition %q", in)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// A known distribution: uniform over [1ms, 100ms). With exponential
+	// buckets the quantile is quantized to the containing bucket's upper
+	// bound, so assert the estimate brackets the true quantile from above
+	// within one bucket (a factor of 2).
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(time.Millisecond + time.Duration(rng.Int63n(int64(99*time.Millisecond))))
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		truth := time.Millisecond + time.Duration(q*float64(99*time.Millisecond))
+		got := s.Quantile(q)
+		if got < truth {
+			t.Errorf("q%v = %v understates true quantile %v", q, got, truth)
+		}
+		if got > 2*truth {
+			t.Errorf("q%v = %v more than one bucket above true quantile %v", q, got, truth)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	h.Observe(0)
+	if got := h.Quantile(0.5); got != BucketBound(0) {
+		t.Errorf("sub-base quantile = %v, want %v", got, BucketBound(0))
+	}
+	var h2 Histogram
+	h2.Observe(100 * time.Hour) // beyond the last bound
+	if got := h2.Quantile(1); got != BucketBound(NumBuckets-1) {
+		t.Errorf("overflow quantile = %v, want last bound %v", got, BucketBound(NumBuckets-1))
+	}
+}
+
+// TestLatencyQuantileCoversTail preserves the contract the fleet's
+// original latencyHist pinned: with 10 observations and one large
+// outlier, p99 must land on the outlier's bucket (nearest-rank with
+// ceiling never understates the tail).
+func TestLatencyQuantileCoversTail(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 9; i++ {
+		h.Observe(2 * time.Microsecond)
+	}
+	h.Observe(80 * time.Millisecond)
+	got := h.Quantile(0.99)
+	if got < 80*time.Millisecond {
+		t.Errorf("p99 = %v understates the 80ms outlier", got)
+	}
+}
+
+func TestSpanTreeAndCapture(t *testing.T) {
+	o := NewObserver()
+	o.Tracer.SetEnabled(true)
+	root := o.Tracer.Start("install")
+	root.SetStr("home", "h1")
+	ext := root.Child("extract")
+	ext.End()
+	cmp := root.Child("compile")
+	sol := cmp.Child("solve")
+	sol.SetInt("nodes", 12)
+	sol.End()
+	cmp.End()
+	root.End()
+
+	snap := o.Capture.Snapshot()
+	if snap.Total != 1 || len(snap.Recent) != 1 || len(snap.Slowest) != 1 {
+		t.Fatalf("capture snapshot = %+v, want one request", snap)
+	}
+	tree := snap.Recent[0]
+	if tree.Name != "install" || tree.Attrs["home"] != "h1" {
+		t.Errorf("root = %+v", tree)
+	}
+	for _, stage := range []string{"extract", "compile", "solve"} {
+		if _, ok := tree.Stage(stage); !ok {
+			t.Errorf("span tree missing stage %q", stage)
+		}
+	}
+	if s, _ := tree.Stage("solve"); s.Attrs["nodes"] != "12" {
+		t.Errorf("solve attrs = %v", s.Attrs)
+	}
+	if tree.DurationNS <= 0 {
+		t.Errorf("root duration = %d, want > 0", tree.DurationNS)
+	}
+}
+
+func TestCaptureRetainsSlowestAndRecent(t *testing.T) {
+	c := NewCapture(2, 3)
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	mk := func(name string, d time.Duration) {
+		sp := tr.Start(name)
+		sp.dur = d // direct to keep the test deterministic
+		j := sp
+		c.Add(j)
+	}
+	mk("a", 10*time.Millisecond)
+	mk("b", 50*time.Millisecond)
+	mk("c", 5*time.Millisecond)
+	mk("d", 40*time.Millisecond)
+	mk("e", 1*time.Millisecond)
+
+	snap := c.Snapshot()
+	if snap.Total != 5 {
+		t.Errorf("total = %d, want 5", snap.Total)
+	}
+	var recent []string
+	for _, r := range snap.Recent {
+		recent = append(recent, r.Name)
+	}
+	if fmt.Sprint(recent) != "[e d]" {
+		t.Errorf("recent = %v, want [e d]", recent)
+	}
+	var slow []string
+	for _, s := range snap.Slowest {
+		slow = append(slow, s.Name)
+	}
+	if fmt.Sprint(slow) != "[b d a]" {
+		t.Errorf("slowest = %v, want [b d a]", slow)
+	}
+}
+
+func TestDisabledTracerIsAllocationFree(t *testing.T) {
+	tr := NewTracer()
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("install")
+		c := sp.Child("extract")
+		c.SetInt("rules", 3)
+		c.End()
+		ctx2 := ContextWithSpan(ctx, sp)
+		got := Trace(ctx2)
+		got.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	sp := tr.Start("root")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := Trace(ctx); got != sp {
+		t.Error("Trace did not return the stored span")
+	}
+	if got := Trace(context.Background()); got != nil {
+		t.Errorf("Trace on empty ctx = %v, want nil", got)
+	}
+	if ctx2 := ContextWithSpan(ctx, nil); ctx2 != ctx {
+		t.Error("ContextWithSpan(nil) did not return ctx unchanged")
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer hands out spans. It is disabled by default; a disabled tracer's
+// Start returns a nil *Span, and every Span method no-ops on a nil
+// receiver, so instrumented code pays only a nil check when tracing is
+// off. Enabling, the slow threshold and the logger may be flipped at any
+// time (atomically); spans started before a change keep the tracer they
+// were born with.
+type Tracer struct {
+	enabled atomic.Bool
+	slowNS  atomic.Int64
+	capture atomic.Pointer[Capture]
+	logger  atomic.Pointer[slog.Logger]
+}
+
+// NewTracer returns a disabled tracer with no capture and no logger.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// SetEnabled turns span creation on or off.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether Start returns live spans.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetSlowThreshold sets the duration at or above which a finished root
+// span is logged as slow. Zero or negative disables slow logging.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNS.Store(int64(d)) }
+
+// SetCapture directs finished root spans into c (nil to stop capturing).
+func (t *Tracer) SetCapture(c *Capture) { t.capture.Store(c) }
+
+// SetLogger directs slow-request log lines to l (nil to stop logging).
+func (t *Tracer) SetLogger(l *slog.Logger) { t.logger.Store(l) }
+
+// Start begins a root span, or returns nil when the tracer is disabled
+// (all Span methods are nil-safe). End the returned span to finish the
+// request: the completed tree is offered to the capture and, if the
+// request was slow, logged.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &Span{tracer: t, Name: name, start: time.Now()}
+}
+
+// Span is one timed stage of a request. A span and its subtree belong to
+// one goroutine at a time: Child, End and the attribute setters are not
+// safe for concurrent use on the same span. Fan-out code must create one
+// child per worker before starting the workers (see internal/audit).
+type Span struct {
+	tracer   *Tracer
+	parent   *Span
+	Name     string
+	start    time.Time
+	dur      time.Duration
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key  string
+	sval string
+	ival int64
+	// isInt distinguishes the int64 payload from the string payload.
+	isInt bool
+}
+
+// Child starts a sub-span. Nil-safe: a nil parent returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, parent: s, Name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// SetStr attaches a string attribute. Nil-safe.
+func (s *Span) SetStr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attr{key: key, sval: val})
+}
+
+// SetInt attaches an integer attribute. Nil-safe.
+func (s *Span) SetInt(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attr{key: key, ival: val, isInt: true})
+}
+
+// End finishes the span. Ending a root span publishes the completed tree
+// to the tracer's capture and logs it if it crossed the slow threshold.
+// Nil-safe; ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+		if s.dur == 0 {
+			s.dur = 1 // preserve "ended" on coarse clocks
+		}
+	}
+	if s.parent != nil || s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	if c := t.capture.Load(); c != nil {
+		c.Add(s)
+	}
+	slow := t.slowNS.Load()
+	if slow <= 0 || int64(s.dur) < slow {
+		return
+	}
+	if l := t.logger.Load(); l != nil {
+		l.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+			slog.String("span", s.Name),
+			slog.Duration("duration", s.dur),
+			slog.Any("trace", s.JSON()),
+		)
+	}
+}
+
+// Duration returns the span's duration (zero until End). Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Ended reports whether End has run. Nil-safe.
+func (s *Span) Ended() bool { return s != nil && s.dur != 0 }
+
+// Children returns the sub-spans in creation order. Nil-safe.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// Attr returns the last value set for key and whether it was found, as a
+// string ("%d" for ints). Nil-safe. Intended for tests and rendering, not
+// hot paths.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].key == key {
+			a := s.attrs[i]
+			if a.isInt {
+				return strconv.FormatInt(a.ival, 10), true
+			}
+			return a.sval, true
+		}
+	}
+	return "", false
+}
+
+// ctxKey keys the span stored in a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp. A nil span returns ctx
+// unchanged (no allocation), preserving the free-when-disabled contract.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// Trace returns the span carried by ctx, or nil. All Span methods are
+// nil-safe, so callers use the result unconditionally.
+func Trace(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
