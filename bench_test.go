@@ -6,6 +6,7 @@ package homeguard
 // result reuse, and symbolic execution vs AST-grep-style extraction.
 
 import (
+	"context"
 	"testing"
 
 	"homeguard/internal/audit"
@@ -137,7 +138,7 @@ func BenchmarkFleetReconfigure(b *testing.B) {
 	apps := corpus.StoreAudit()[:40]
 	var target string
 	for i, a := range apps {
-		res, err := f.Install("bench-home", a.Source, nil)
+		res, err := f.Install(context.Background(), "bench-home", a.Source, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func BenchmarkFleetReconfigure(b *testing.B) {
 	m0 := f.Metrics()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := f.Reconfigure("bench-home", target, nil); err != nil {
+		if _, err := f.Reconfigure(context.Background(), "bench-home", target, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

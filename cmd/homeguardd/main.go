@@ -1,12 +1,40 @@
-// Command homeguardd is the HomeGuard fleet daemon: an HTTP/JSON service
+// Command homeguardd is the HomeGuard fleet daemon: an enforcement edge
 // that runs install-time CAI detection for many homes at once, sharing
-// one content-addressed extraction cache across the fleet.
+// one content-addressed extraction cache across the fleet. It serves
+// the same service core over two transports — HTTP/JSON and the framed
+// gRPC-modeled RPC protocol of internal/rpc — plus an asynchronous
+// event pipeline that ships install/threat events to a sink without
+// ever blocking a verdict.
 //
 // Usage:
 //
-//	homeguardd [-addr :8080] [-shards 16] [-pprof-addr 127.0.0.1:6060]
+//	homeguardd [-addr :8080] [-rpc-addr :8081] [-shards 16]
+//	           [-events-sink stdout|/path/to/events.jsonl]
+//	           [-pprof-addr 127.0.0.1:6060]
 //	           [-snapshot-path /var/lib/homeguard/snapshot]
 //	           [-log-format text|json] [-trace-slow-ms 250]
+//
+// # RPC edge
+//
+// -rpc-addr (default :8081, empty disables) serves the framed RPC
+// protocol: unary Install/InstallBatch/Reconfigure/Threats/Accept/Apps
+// plus the StreamInstall/StreamThreats bidirectional streams, with
+// per-RPC deadlines, gRPC status codes, and per-stage circuit breakers
+// (extraction and detection trip independently; an open breaker sheds
+// with UNAVAILABLE and a retryAfterMs hint). HTTP and RPC dispatch into
+// one shared service core, so verdicts and error codes are identical on
+// either wire — see internal/rpc for the protocol and internal/api for
+// the envelope.
+//
+// # Event pipeline
+//
+// -events-sink enables the fire-and-forget event writer: "stdout"
+// emits one JSON object per line on standard output, any other value
+// is an append-mode file path, empty (the default) disables the
+// pipeline. Install, reconfigure and threat events are published by
+// the fleet out of the request path into a bounded ring; a wedged sink
+// costs dropped events (homeguard_events_dropped_total), never blocked
+// verdicts. Delivery is at-most-once, drop-oldest under backpressure.
 //
 // # Observability
 //
@@ -16,7 +44,10 @@
 //   - GET /metrics serves the JSON snapshot it always has; adding
 //     ?format=prometheus serves the same counters in Prometheus text
 //     exposition format 0.0.4 under stable homeguard_* names, suitable
-//     for a scrape config with no client library in the loop.
+//     for a scrape config with no client library in the loop. RPC
+//     serving adds the homeguard_rpc_* series (requests by method and
+//     code, latency histogram, breaker states, stream gauges) and the
+//     event pipeline the homeguard_events_* series.
 //   - GET /debug/requests serves the slow-request capture: the N slowest
 //     and M most recent traced request span trees as JSON, each tree
 //     carrying per-stage timings (extract, detect, compile, solve, ...).
@@ -68,35 +99,40 @@
 // The endpoints are off by default; an empty -pprof-addr starts no
 // profiling listener at all.
 //
-// API:
+// HTTP API (every error body is the shared envelope
+// {"error": {"code": "...", "message": "..."}} with the code drawn from
+// the gRPC vocabulary — the same envelope the RPC transport carries):
 //
-//	POST /homes/{id}/install      body {"source": "..."} or {"corpus": "AppName"},
-//	                              optional "config"; returns the install
-//	                              result (rules, threats, chains, report)
-//	POST /homes/{id}/reconfigure  body {"app": "AppName", "config": {...}};
-//	                              returns threats under the new config;
-//	                              omitting config keeps the current one
-//	POST /homes/{id}/accept       body {"threats": [0, 2]} — accept
-//	                              threats by log index so later installs
-//	                              report chains through them (Sec. VI-D)
-//	GET  /homes/{id}/threats      every threat reported for the home;
-//	                              ?active=true returns the incremental
-//	                              ledger's CURRENT set instead (latest
-//	                              verdict per app pair — reconfigure-
-//	                              resolved threats gone; entries carry no
-//	                              log indices)
-//	GET  /homes/{id}/apps         installed app names
-//	GET  /metrics                 fleet metrics: homes, installs,
-//	                              extraction and pair-verdict cache hit
-//	                              rates, footprint-prune and solver-call
-//	                              counters, p50/p99 install latency,
-//	                              per-threat-kind counts; add
-//	                              ?format=prometheus for text exposition
-//	GET  /debug/requests          slow-request capture: slowest + most
-//	                              recent traced span trees (JSON)
-//	GET  /healthz                 liveness probe (503 while draining)
-//	GET  /readyz                  readiness probe (503 before the snapshot
-//	                              restore completes and while draining)
+//	POST /homes/{id}/install        body {"source": "..."} or {"corpus": "AppName"},
+//	                                optional "config"; returns the install
+//	                                result (rules, threats, chains, report)
+//	POST /homes/{id}/install-batch  body {"items": [{"corpus": ...}, ...]};
+//	                                installs in order with parallel
+//	                                extraction prewarm; per-item results
+//	POST /homes/{id}/reconfigure    body {"app": "AppName", "config": {...}};
+//	                                returns threats under the new config;
+//	                                omitting config keeps the current one
+//	POST /homes/{id}/accept         body {"threats": [0, 2]} — accept
+//	                                threats by log index so later installs
+//	                                report chains through them (Sec. VI-D)
+//	GET  /homes/{id}/threats        every threat reported for the home;
+//	                                ?active=true returns the incremental
+//	                                ledger's CURRENT set instead (latest
+//	                                verdict per app pair — reconfigure-
+//	                                resolved threats gone; entries carry no
+//	                                log indices)
+//	GET  /homes/{id}/apps           installed app names
+//	GET  /metrics                   fleet metrics: homes, installs,
+//	                                extraction and pair-verdict cache hit
+//	                                rates, footprint-prune and solver-call
+//	                                counters, p50/p99 install latency,
+//	                                per-threat-kind counts; add
+//	                                ?format=prometheus for text exposition
+//	GET  /debug/requests            slow-request capture: slowest + most
+//	                                recent traced span trees (JSON)
+//	GET  /healthz                   liveness probe (503 while draining)
+//	GET  /readyz                    readiness probe (503 before the snapshot
+//	                                restore completes and while draining)
 //
 // The config object has four optional maps:
 //
@@ -112,13 +148,12 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"log/slog"
-	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -127,13 +162,11 @@ import (
 	"syscall"
 	"time"
 
-	"homeguard/internal/corpus"
-	"homeguard/internal/detect"
-	"homeguard/internal/envmodel"
+	"homeguard/internal/api"
+	"homeguard/internal/events"
 	"homeguard/internal/fleet"
-	"homeguard/internal/frontend"
 	"homeguard/internal/obs"
-	"homeguard/internal/rule"
+	"homeguard/internal/rpc"
 )
 
 // maxBodyBytes caps request bodies (SmartApp sources are a few KB; 4 MiB
@@ -142,8 +175,12 @@ import (
 const maxBodyBytes = 4 << 20
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	rpcAddr := flag.String("rpc-addr", ":8081",
+		"RPC listen address for the framed gRPC-modeled transport (empty = disabled)")
 	shards := flag.Int("shards", 16, "home-map shard count")
+	eventsSink := flag.String("events-sink", "",
+		`async event sink: "stdout" for JSON lines on stdout, any other value is an append-mode file path (empty = disabled)`)
 	pprofAddr := flag.String("pprof-addr", "",
 		"optional address for net/http/pprof profiling endpoints (empty = disabled); bind to localhost")
 	snapshotPath := flag.String("snapshot-path", "",
@@ -165,7 +202,25 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	srv := newServer(fleet.Options{Shards: *shards})
+	opts := fleet.Options{Shards: *shards, Obs: obs.NewObserver()}
+	var eventWriter *events.Writer
+	if *eventsSink != "" {
+		var sink events.Sink
+		if *eventsSink == "stdout" {
+			sink = events.NewJSONSink(os.Stdout)
+		} else {
+			var err error
+			sink, err = events.NewFileSink(*eventsSink)
+			if err != nil {
+				log.Fatalf("homeguardd: -events-sink: %v", err)
+			}
+		}
+		eventWriter = events.NewWriter(sink, events.Options{Registry: opts.Obs.Registry})
+		opts.Events = eventWriter
+		log.Printf("homeguardd: event pipeline on (sink %s)", *eventsSink)
+	}
+
+	srv := newServer(opts)
 	srv.obs.Tracer.SetLogger(logger)
 	if *traceSlowMs > 0 {
 		srv.obs.Tracer.SetSlowThreshold(time.Duration(*traceSlowMs) * time.Millisecond)
@@ -179,6 +234,24 @@ func main() {
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
+
+	// RPC listener: same service core as the HTTP handlers, so the two
+	// transports cannot diverge.
+	var rpcSrv *rpc.Server
+	if *rpcAddr != "" {
+		lis, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			log.Fatalf("homeguardd: rpc listen: %v", err)
+		}
+		rpcSrv = rpc.NewServer(srv.svc, rpc.ServerOptions{Obs: srv.obs})
+		go func() {
+			if err := rpcSrv.Serve(lis); err != nil {
+				log.Printf("homeguardd: rpc serve: %v", err)
+			}
+		}()
+		log.Printf("homeguardd: rpc edge listening on %s", *rpcAddr)
+	}
+
 	log.Printf("homeguardd: fleet daemon listening on %s", *addr)
 	// Explicit timeouts: the default zero-timeout server lets stalled
 	// peers hold connections (and their goroutines) forever.
@@ -211,9 +284,20 @@ func main() {
 	if err := hs.Shutdown(shutCtx); err != nil {
 		log.Printf("homeguardd: shutdown: %v", err)
 	}
+	if rpcSrv != nil {
+		if err := rpcSrv.Close(); err != nil {
+			log.Printf("homeguardd: rpc close: %v", err)
+		}
+	}
 	if *snapshotPath != "" {
 		if err := saveSnapshot(*snapshotPath, srv.fleet); err != nil {
 			log.Printf("homeguardd: snapshot save failed: %v", err)
+		}
+	}
+	// Last: drain the buffered events so a graceful restart loses none.
+	if eventWriter != nil {
+		if err := eventWriter.Close(); err != nil {
+			log.Printf("homeguardd: event sink close: %v", err)
 		}
 	}
 }
@@ -327,6 +411,7 @@ func servePprof(addr string) {
 
 type server struct {
 	fleet *fleet.Fleet
+	svc   *rpc.Service
 	obs   *obs.Observer
 	mux   *http.ServeMux
 	// ready flips true once boot (including any snapshot restore) is
@@ -339,13 +424,22 @@ type server struct {
 // newServer builds the daemon around one process-wide observability
 // bundle: the fleet registers its metric collector on opts.Obs (created
 // here when the caller left it nil), and the same bundle's tracer and
-// capture back /debug/requests and the slow-request log.
+// capture back /debug/requests and the slow-request log. Both
+// transports dispatch into one rpc.Service, so HTTP handlers get the
+// per-stage circuit breakers and the shared error envelope for free.
 func newServer(opts fleet.Options) *server {
 	if opts.Obs == nil {
 		opts.Obs = obs.NewObserver()
 	}
-	s := &server{fleet: fleet.New(opts), obs: opts.Obs, mux: http.NewServeMux()}
+	f := fleet.New(opts)
+	s := &server{
+		fleet: f,
+		svc:   rpc.NewService(f, rpc.ServiceOptions{}),
+		obs:   opts.Obs,
+		mux:   http.NewServeMux(),
+	}
 	s.mux.HandleFunc("POST /homes/{id}/install", s.handleInstall)
+	s.mux.HandleFunc("POST /homes/{id}/install-batch", s.handleInstallBatch)
 	s.mux.HandleFunc("POST /homes/{id}/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("POST /homes/{id}/accept", s.handleAccept)
 	s.mux.HandleFunc("GET /homes/{id}/threats", s.handleThreats)
@@ -384,270 +478,67 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// ---------- request/response shapes ----------
-
-type configJSON struct {
-	Devices     map[string]string   `json:"devices,omitempty"`
-	Values      map[string]any      `json:"values,omitempty"`
-	ValueLists  map[string][]string `json:"valueLists,omitempty"`
-	DeviceTypes map[string]string   `json:"deviceTypes,omitempty"`
-}
-
-func (c *configJSON) toConfig() (*detect.Config, error) {
-	if c == nil {
-		return nil, nil
-	}
-	cfg := detect.NewConfig()
-	for k, v := range c.Devices {
-		cfg.Devices[k] = v
-	}
-	for k, v := range c.Values {
-		switch x := v.(type) {
-		case string:
-			cfg.Values[k] = rule.StrVal(x)
-		case float64:
-			if x != math.Trunc(x) {
-				return nil, fmt.Errorf("config value %q: %v is not an integer (the rule domain is integral)", k, x)
-			}
-			// Out-of-range float→int64 conversion is implementation-
-			// dependent in Go; reject instead of storing garbage.
-			// (float64(1<<63) is exactly 2^63; anything below fits.)
-			if x < math.MinInt64 || x >= float64(1<<63) {
-				return nil, fmt.Errorf("config value %q: %v overflows the integer domain", k, x)
-			}
-			cfg.Values[k] = rule.IntVal(int64(x))
-		case bool:
-			cfg.Values[k] = rule.BoolVal(x)
-		default:
-			return nil, fmt.Errorf("config value %q: unsupported type %T", k, v)
-		}
-	}
-	for k, v := range c.ValueLists {
-		cfg.ValueLists[k] = v
-	}
-	for k, v := range c.DeviceTypes {
-		cfg.DeviceTypes[k] = envmodel.DeviceType(v)
-	}
-	return cfg, nil
-}
-
-type installRequest struct {
-	// Source is raw SmartApp Groovy; Corpus names a built-in corpus app.
-	// Exactly one must be set.
-	Source string      `json:"source,omitempty"`
-	Corpus string      `json:"corpus,omitempty"`
-	Config *configJSON `json:"config,omitempty"`
-}
-
-type threatJSON struct {
-	// Index is this threat's position in the home's threat log, usable
-	// with POST /homes/{id}/accept. -1 in responses that don't carry
-	// log positions.
-	Index    int    `json:"index"`
-	Kind     string `json:"kind"`
-	Class    string `json:"class"`
-	Rule1    string `json:"rule1"`
-	Rule2    string `json:"rule2"`
-	Property string `json:"property,omitempty"`
-	Note     string `json:"note,omitempty"`
-	Text     string `json:"text"`
-}
-
-func toThreatJSON(t detect.Threat, index int) threatJSON {
-	return threatJSON{
-		Index:    index,
-		Kind:     string(t.Kind),
-		Class:    t.Kind.Class(),
-		Rule1:    t.R1.QualifiedID(),
-		Rule2:    t.R2.QualifiedID(),
-		Property: string(t.Property),
-		Note:     t.Note,
-		Text:     frontend.DescribeThreat(t),
-	}
-}
-
-// toThreatsJSON renders threats with log indices starting at logBase;
-// pass a negative logBase for responses without log positions.
-func toThreatsJSON(ts []detect.Threat, logBase int) []threatJSON {
-	out := make([]threatJSON, 0, len(ts))
-	for i, t := range ts {
-		idx := -1
-		if logBase >= 0 {
-			idx = logBase + i
-		}
-		out = append(out, toThreatJSON(t, idx))
-	}
-	return out
-}
-
-type installResponse struct {
-	HomeID   string       `json:"homeId"`
-	App      string       `json:"app"`
-	Rules    []string     `json:"rules"`
-	Threats  []threatJSON `json:"threats"`
-	Chains   []string     `json:"chains,omitempty"`
-	Report   string       `json:"report"`
-	Warnings []string     `json:"warnings,omitempty"`
-}
-
 // ---------- handlers ----------
+//
+// Every handler is the same four lines: decode the api DTO, stamp the
+// home from the path, dispatch into the shared service core, write the
+// outcome. Parsing, validation, error mapping and response shaping all
+// live in internal/api and internal/rpc — the per-handler ad-hoc
+// versions this replaces could (and did) drift.
 
 func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
-	homeID := r.PathValue("id")
-	var req installRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	var req api.InstallRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
-	src := req.Source
-	switch {
-	case src != "" && req.Corpus != "":
-		httpError(w, http.StatusBadRequest, "set exactly one of source and corpus")
-		return
-	case src == "" && req.Corpus == "":
-		httpError(w, http.StatusBadRequest, "set exactly one of source and corpus")
-		return
-	case req.Corpus != "":
-		app, ok := corpus.Get(req.Corpus)
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown corpus app %q", req.Corpus)
-			return
-		}
-		src = app.Source
-	}
-	cfg, err := req.Config.toConfig()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	res, err := s.fleet.InstallCtx(r.Context(), homeID, src, cfg)
-	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, fleet.ErrAppInstalled) {
-			status = http.StatusConflict
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	resp := installResponse{
-		HomeID:   res.HomeID,
-		App:      res.App.Name,
-		Rules:    make([]string, 0, len(res.Rules)),
-		Threats:  toThreatsJSON(res.Threats, res.ThreatLogBase),
-		Report:   res.Report,
-		Warnings: res.Warnings,
-	}
-	for _, ru := range res.Rules {
-		resp.Rules = append(resp.Rules, frontend.DescribeRule(ru))
-	}
-	for _, c := range res.Chains {
-		resp.Chains = append(resp.Chains, frontend.DescribeChain(c))
-	}
-	writeJSON(w, http.StatusOK, resp)
+	req.Home = r.PathValue("id")
+	resp, aerr := s.svc.Install(r.Context(), &req)
+	s.respond(w, resp, aerr)
 }
 
-type reconfigureRequest struct {
-	App    string      `json:"app"`
-	Config *configJSON `json:"config,omitempty"`
+func (s *server) handleInstallBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.InstallBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	req.Home = r.PathValue("id")
+	resp, aerr := s.svc.InstallBatch(r.Context(), &req)
+	s.respond(w, resp, aerr)
 }
 
 func (s *server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
-	homeID := r.PathValue("id")
-	var req reconfigureRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	var req api.ReconfigureRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
-	if req.App == "" {
-		httpError(w, http.StatusBadRequest, "app is required")
-		return
-	}
-	cfg, err := req.Config.toConfig()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	threats, logBase, err := s.fleet.ReconfigureCtx(r.Context(), homeID, req.App, cfg)
-	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, fleet.ErrUnknownHome) || errors.Is(err, fleet.ErrAppNotInstalled) {
-			status = http.StatusNotFound
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"homeId":  homeID,
-		"app":     req.App,
-		"threats": toThreatsJSON(threats, logBase),
-	})
-}
-
-type acceptRequest struct {
-	// Threats are indices into the home's threat log (the "index" field
-	// of install and threat-log responses).
-	Threats []int `json:"threats"`
+	req.Home = r.PathValue("id")
+	resp, aerr := s.svc.Reconfigure(r.Context(), &req)
+	s.respond(w, resp, aerr)
 }
 
 func (s *server) handleAccept(w http.ResponseWriter, r *http.Request) {
-	homeID := r.PathValue("id")
-	var req acceptRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	var req api.AcceptRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Threats) == 0 {
-		httpError(w, http.StatusBadRequest, "threats (log indices) is required")
-		return
-	}
-	if err := s.fleet.AcceptByIndex(homeID, req.Threats...); err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, fleet.ErrUnknownHome) {
-			status = http.StatusNotFound
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"homeId": homeID, "accepted": len(req.Threats)})
+	req.Home = r.PathValue("id")
+	resp, aerr := s.svc.Accept(r.Context(), &req)
+	s.respond(w, resp, aerr)
 }
 
 func (s *server) handleThreats(w http.ResponseWriter, r *http.Request) {
-	homeID := r.PathValue("id")
-	if v := r.URL.Query().Get("active"); v == "true" || v == "1" {
-		// The incremental ledger's current set: latest verdict per app
-		// pair, reconfigure-resolved threats dropped. Ledger entries are
-		// not log positions, so no accept indices are attached.
-		threats, err := s.fleet.ActiveThreats(homeID)
-		if err != nil {
-			httpError(w, http.StatusNotFound, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"homeId":  homeID,
-			"active":  true,
-			"threats": toThreatsJSON(threats, -1),
-		})
-		return
+	v := r.URL.Query().Get("active")
+	req := api.ThreatsRequest{
+		Home:   r.PathValue("id"),
+		Active: v == "true" || v == "1",
 	}
-	threats, err := s.fleet.Threats(homeID)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"homeId":  homeID,
-		"threats": toThreatsJSON(threats, 0),
-	})
+	resp, aerr := s.svc.Threats(r.Context(), &req)
+	s.respond(w, resp, aerr)
 }
 
 func (s *server) handleApps(w http.ResponseWriter, r *http.Request) {
-	homeID := r.PathValue("id")
-	apps, err := s.fleet.Apps(homeID)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"homeId": homeID, "apps": apps})
+	resp, aerr := s.svc.Apps(r.Context(), r.PathValue("id"))
+	s.respond(w, resp, aerr)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -700,6 +591,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Nonzero means solver budgets were exhausted and some verdicts
 		// degraded to the conservative "potential threat" form.
 		"solverLimitHits": m.Detectors.SearchLimitHits,
+		// Circuit-breaker states of the service core's pipeline stages.
+		"breakerExtract": s.svc.BreakerState(rpc.StageExtract),
+		"breakerDetect":  s.svc.BreakerState(rpc.StageDetect),
 	})
 }
 
@@ -712,6 +606,27 @@ func (s *server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
 
 // ---------- helpers ----------
 
+// decode unmarshals a JSON request body, answering the shared envelope
+// with INVALID_ARGUMENT (400) on malformed input. It reports whether
+// the handler should proceed.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(into); err != nil {
+		s.respond(w, nil, api.Errorf(api.CodeInvalidArgument, "bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// respond writes either the success body or the error envelope, with
+// the HTTP status derived from the envelope's code.
+func (s *server) respond(w http.ResponseWriter, v any, aerr *api.Error) {
+	if aerr != nil {
+		writeJSON(w, aerr.Code.HTTPStatus(), map[string]any{"error": aerr})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -720,8 +635,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		log.Printf("homeguardd: encode response: %v", err)
 	}
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"homeguard/internal/api"
 	"homeguard/internal/fleet"
 	"homeguard/internal/obs"
 )
@@ -436,15 +437,15 @@ func TestDaemonBadRequests(t *testing.T) {
 }
 
 func TestDaemonConfigParsing(t *testing.T) {
-	cj := &configJSON{
+	cj := &api.Config{
 		Devices:     map[string]string{"tv1": "dev-1"},
 		Values:      map[string]any{"threshold1": float64(30), "name": "x", "on": true},
 		ValueLists:  map[string][]string{"modes": {"Home", "Away"}},
 		DeviceTypes: map[string]string{"sw": "heater"},
 	}
-	cfg, err := cj.toConfig()
-	if err != nil {
-		t.Fatal(err)
+	cfg, aerr := cj.ToDetect()
+	if aerr != nil {
+		t.Fatal(aerr)
 	}
 	if cfg.Devices["tv1"] != "dev-1" {
 		t.Errorf("device binding lost: %v", cfg.Devices)
@@ -455,9 +456,9 @@ func TestDaemonConfigParsing(t *testing.T) {
 	if string(cfg.DeviceTypes["sw"]) != "heater" {
 		t.Errorf("device type lost: %v", cfg.DeviceTypes)
 	}
-	var nilCfg *configJSON
-	if got, err := nilCfg.toConfig(); err != nil || got != nil {
-		t.Errorf("nil config → (%v, %v), want (nil, nil)", got, err)
+	var nilCfg *api.Config
+	if got, aerr := nilCfg.ToDetect(); aerr != nil || got != nil {
+		t.Errorf("nil config → (%v, %v), want (nil, nil)", got, aerr)
 	}
 }
 

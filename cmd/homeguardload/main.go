@@ -1,0 +1,301 @@
+// Command homeguardload is the load-generation harness for the
+// HomeGuard RPC edge: it drives cmd/homeguardd's framed RPC listener
+// with a configurable install-storm mix and prints per-operation
+// latency histograms, establishing the measured p99 SLO recorded in
+// BENCH_pr7.json.
+//
+// Usage:
+//
+//	homeguardload [-addr 127.0.0.1:8081] [-duration 10s] [-workers 4]
+//	              [-mix install=8,reconfigure=1,threats=1]
+//	              [-deadline 5s] [-apps 12]
+//	              [-max-p99-ms 0] [-json out.json]
+//
+// Each worker owns one RPC connection and a private sequence of homes:
+// it installs the corpus catalog app by app into its current home
+// (interleaving reconfigures and threat reads per the mix), then moves
+// to a fresh home, so the storm exercises both the cold path (first
+// install of each distinct app fleet-wide) and the warm path (every
+// later install hits the shared extraction cache and pair-verdict
+// cache — the fleet steady state the SLO is about).
+//
+// The mix is weights, not a schedule: each operation is chosen with
+// probability weight/total. Reconfigure and threats operations target
+// the worker's current home and an already-installed app, so every
+// request is well-formed; error responses (by envelope code) are
+// counted and reported separately.
+//
+// -max-p99-ms, when positive, makes the harness exit nonzero if the
+// install p99 exceeds the gate — CI boots the daemon, runs a short
+// storm, and enforces the published SLO with it. -json writes the
+// machine-readable summary the gate and BENCH_pr7.json are built from.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"homeguard/internal/api"
+	"homeguard/internal/corpus"
+	"homeguard/internal/obs"
+	"homeguard/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8081", "RPC address of a running homeguardd")
+	duration := flag.Duration("duration", 10*time.Second, "storm duration")
+	workers := flag.Int("workers", 4, "concurrent workers (one RPC connection each)")
+	mixSpec := flag.String("mix", "install=8,reconfigure=1,threats=1",
+		"operation weights: install=N,reconfigure=N,threats=N")
+	deadline := flag.Duration("deadline", 5*time.Second, "per-RPC deadline")
+	nApps := flag.Int("apps", 12, "corpus apps per home before moving to a fresh home")
+	maxP99Ms := flag.Float64("max-p99-ms", 0,
+		"fail (exit 1) if install p99 exceeds this many milliseconds (0 = no gate)")
+	jsonOut := flag.String("json", "", "write the JSON summary to this file")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("homeguardload: %v", err)
+	}
+	apps := corpus.All()
+	if *nApps < len(apps) {
+		apps = apps[:*nApps]
+	}
+	if len(apps) < 2 {
+		log.Fatal("homeguardload: need at least 2 corpus apps")
+	}
+
+	stats := newStats()
+	var wg sync.WaitGroup
+	stop := time.Now().Add(*duration)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runWorker(w, *addr, apps, mix, *deadline, stop, stats); err != nil {
+				log.Printf("homeguardload: worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	summary := stats.summarize(*duration)
+	printSummary(summary)
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			log.Fatalf("homeguardload: marshal summary: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("homeguardload: write %s: %v", *jsonOut, err)
+		}
+	}
+	if *maxP99Ms > 0 {
+		in, ok := summary.Ops["install"]
+		if !ok || in.N == 0 {
+			log.Fatal("homeguardload: p99 gate set but no installs completed")
+		}
+		if in.P99Ms > *maxP99Ms {
+			log.Fatalf("homeguardload: install p99 %.2fms exceeds the %.2fms gate", in.P99Ms, *maxP99Ms)
+		}
+		fmt.Printf("p99 gate ok: install p99 %.2fms <= %.2fms\n", in.P99Ms, *maxP99Ms)
+	}
+}
+
+// opMix is the weighted operation mix.
+type opMix struct {
+	names   []string
+	weights []int
+	total   int
+}
+
+func parseMix(spec string) (*opMix, error) {
+	m := &opMix{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		switch name {
+		case "install", "reconfigure", "threats":
+		default:
+			return nil, fmt.Errorf("unknown mix op %q", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", val)
+		}
+		m.names = append(m.names, name)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return m, nil
+}
+
+// pick draws one operation name by weight.
+func (m *opMix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.names[i]
+		}
+		n -= w
+	}
+	return m.names[len(m.names)-1]
+}
+
+// runWorker drives one connection until the stop time.
+func runWorker(id int, addr string, apps []corpus.App, mix *opMix, deadline time.Duration, stop time.Time, st *stats) error {
+	client, err := rpc.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+
+	homeSeq := 0
+	installed := 0 // apps installed into the current home
+	home := func() string { return fmt.Sprintf("load-w%d-h%d", id, homeSeq) }
+
+	for time.Now().Before(stop) {
+		op := mix.pick(rng)
+		// Until something is installed, only installs are well-formed.
+		if installed == 0 {
+			op = "install"
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		var err error
+		switch op {
+		case "install":
+			if installed == len(apps) {
+				homeSeq++
+				installed = 0
+			}
+			_, err = client.Install(ctx, &api.InstallRequest{
+				Home: home(), Corpus: apps[installed].Name,
+			})
+			if err == nil {
+				installed++
+			}
+		case "reconfigure":
+			_, err = client.Reconfigure(ctx, &api.ReconfigureRequest{
+				Home: home(), App: apps[rng.Intn(installed)].Name,
+			})
+		case "threats":
+			_, err = client.Threats(ctx, &api.ThreatsRequest{Home: home()})
+		}
+		st.record(op, time.Since(start), err)
+		cancel()
+		if err != nil {
+			var aerr *api.Error
+			if !errors.As(err, &aerr) {
+				return err // transport failure: stop this worker
+			}
+		}
+	}
+	return nil
+}
+
+// stats aggregates per-operation latency and error counts across
+// workers.
+type stats struct {
+	mu    sync.Mutex
+	hists map[string]*obs.Histogram
+	errs  map[string]map[string]int // op → code → count
+}
+
+func newStats() *stats {
+	return &stats{hists: map[string]*obs.Histogram{}, errs: map[string]map[string]int{}}
+}
+
+func (s *stats) record(op string, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hists[op]
+	if h == nil {
+		h = &obs.Histogram{}
+		s.hists[op] = h
+	}
+	h.Observe(d)
+	if err != nil {
+		code := "TRANSPORT"
+		var aerr *api.Error
+		if errors.As(err, &aerr) {
+			code = string(aerr.Code)
+		}
+		if s.errs[op] == nil {
+			s.errs[op] = map[string]int{}
+		}
+		s.errs[op][code]++
+	}
+}
+
+// OpSummary is one operation's aggregate outcome.
+type OpSummary struct {
+	N      uint64         `json:"n"`
+	P50Ms  float64        `json:"p50Ms"`
+	P90Ms  float64        `json:"p90Ms"`
+	P99Ms  float64        `json:"p99Ms"`
+	Errors map[string]int `json:"errors,omitempty"`
+}
+
+// Summary is the whole storm's machine-readable outcome.
+type Summary struct {
+	DurationSec float64              `json:"durationSec"`
+	Ops         map[string]OpSummary `json:"ops"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+func (s *stats) summarize(d time.Duration) Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Summary{DurationSec: d.Seconds(), Ops: map[string]OpSummary{}}
+	for op, h := range s.hists {
+		snap := h.Snapshot()
+		out.Ops[op] = OpSummary{
+			N:      snap.Count,
+			P50Ms:  ms(h.Quantile(0.50)),
+			P90Ms:  ms(h.Quantile(0.90)),
+			P99Ms:  ms(h.Quantile(0.99)),
+			Errors: s.errs[op],
+		}
+	}
+	return out
+}
+
+func printSummary(sum Summary) {
+	ops := make([]string, 0, len(sum.Ops))
+	for op := range sum.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var total uint64
+	for _, op := range ops {
+		o := sum.Ops[op]
+		total += o.N
+		fmt.Printf("%-12s n=%-7d p50=%8.2fms p90=%8.2fms p99=%8.2fms", op, o.N, o.P50Ms, o.P90Ms, o.P99Ms)
+		if len(o.Errors) > 0 {
+			fmt.Printf("  errors=%v", o.Errors)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-12s n=%-7d (%.0f req/s over %.1fs)\n",
+		"total", total, float64(total)/sum.DurationSec, sum.DurationSec)
+}

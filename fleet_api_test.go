@@ -1,6 +1,7 @@
 package homeguard_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -28,11 +29,11 @@ func TestFleetPublicAPI(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			id := fmt.Sprintf("home-%d", i)
-			if _, err := f.Install(id, comfort.Source, nil); err != nil {
+			if _, err := f.Install(context.Background(), id, comfort.Source, nil); err != nil {
 				t.Error(err)
 				return
 			}
-			res, err := f.Install(id, cold.Source, nil)
+			res, err := f.Install(context.Background(), id, cold.Source, nil)
 			if err != nil {
 				t.Error(err)
 				return

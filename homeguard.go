@@ -22,9 +22,18 @@
 // distinct homes proceed in parallel across cores:
 //
 //	f := homeguard.NewFleet(homeguard.FleetOptions{})
-//	res, err := f.Install("home-42", src, nil) // safe from any goroutine
+//	res, err := f.Install(ctx, "home-42", src, nil) // safe from any goroutine
 //	ts, err  := f.Threats("home-42")
-//	m := f.Metrics()                           // installs, latency, cache
+//	m := f.Metrics()                                // installs, latency, cache
+//
+// The Fleet API is context-first: every mutating entry point (Install,
+// InstallBatch, Reconfigure) takes a context.Context as its first
+// argument and honors cancellation and deadlines between per-home
+// operations. The former InstallCtx/InstallBatchCtx/ReconfigureCtx
+// variants survive one release as deprecated aliases. Reconfigure
+// returns a *FleetReconfigureResult carrying the re-detected threats
+// together with their position in the home's append-only threat log
+// (ThreatLogBase) — previously a bare (threats, logBase, err) triple.
 //
 // All homes share one content-addressed extraction cache keyed by the
 // SHA-256 of the app source, with singleflight deduplication: an app
@@ -54,11 +63,55 @@
 // latency and per-kind threat counts for dashboards.
 //
 // cmd/homeguardd wraps a Fleet in an HTTP/JSON daemon (POST
-// /homes/{id}/install, POST /homes/{id}/reconfigure, GET
-// /homes/{id}/threats, GET /metrics); see its package documentation for
-// the wire format. For production profiling the daemon can expose Go's
-// net/http/pprof endpoints on a separate, localhost-bound listener via
-// -pprof-addr (disabled by default).
+// /homes/{id}/install, POST /homes/{id}/install-batch, POST
+// /homes/{id}/reconfigure, GET /homes/{id}/threats, GET /metrics); see
+// its package documentation for the wire format. For production
+// profiling the daemon can expose Go's net/http/pprof endpoints on a
+// separate, localhost-bound listener via -pprof-addr (disabled by
+// default).
+//
+// Alongside HTTP the daemon serves a gRPC-modeled RPC edge
+// (-rpc-addr, internal/rpc): Install, InstallBatch, Reconfigure,
+// Threats, Accept and Apps as unary calls plus StreamInstall and
+// StreamThreats as bidirectional streams, multiplexed over one
+// connection with per-RPC deadlines propagated from the client's
+// context. Both transports are thin shells over one shared service
+// core, so payloads and error semantics are identical (a parity test
+// pins this): every failure is one typed envelope — a machine-readable
+// code plus message — mapped to the matching HTTP status on the JSON
+// edge and the matching gRPC status code on the RPC edge, with
+// RESOURCE_EXHAUSTED/UNAVAILABLE responses carrying a retryAfterMs
+// hint.
+//
+// The edge degrades by pipeline stage, not as a whole: extraction and
+// detection sit behind independent circuit breakers (consecutive
+// internal failures or deadline expiries open a breaker; after a
+// cooldown a single half-open probe decides whether to close it).
+// With extraction tripped — say the symbolic executor is panicking on
+// a poisoned store app — installs shed fast with UNAVAILABLE while
+// reconfigures, which never extract, keep serving; client-caused
+// errors (unknown app, bad config) never trip anything. Breaker state
+// is a gauge in /metrics.
+//
+// Operational visibility rides an asynchronous event pipeline
+// (internal/events, FleetOptions.Events): each completed install and
+// reconfigure publishes one operation event plus one event per
+// reported threat into a bounded in-memory ring drained by a single
+// writer goroutine to a pluggable sink (-events-sink: stdout JSON
+// lines or a file). Publishing never blocks the request path — when
+// the sink wedges, the ring drops the OLDEST events and counts them
+// (homeguard_events_dropped_total) — so a dead disk or slow collector
+// costs events, never installs.
+//
+// The edge's service level is measured, not asserted: cmd/homeguardload
+// drives a live daemon's RPC listener with a configurable install-storm
+// mix (weighted install/reconfigure/threats operations, per-worker home
+// rotation through the corpus so both the extraction-cold and
+// cache-warm paths are exercised) and reports per-operation latency
+// quantiles. The measured install p99 is published in BENCH_pr7.json
+// and enforced by a CI storm whose gate sits an order of magnitude
+// above the measurement, so runner jitter cannot flake it while a
+// serialization bug still trips it.
 //
 // # Performance architecture
 //
@@ -187,6 +240,11 @@
 //	solver_calls_total, solver_cache_hits_total, solver_limit_hits_total
 //	audit_runs_total, audit_pairs_checked_total,
 //	audit_solver_calls_total, audit_threats_total  store-audit engine
+//	rpc_requests_total{method,code}                RPC calls by outcome
+//	rpc_latency_seconds (histogram)                RPC edge latency
+//	rpc_streams_active, rpc_stream_msgs_total      streaming edge
+//	rpc_breaker_open{stage}                        0 closed, 0.5 half-open, 1 open
+//	events_{published,dropped,written,sink_errors}_total, events_buffered
 //
 // Tracing. With the tracer enabled, each fleet operation records a span
 // tree of per-stage timings. Root spans are install, reconfigure and
@@ -198,7 +256,9 @@
 // solve — constraint solving for one pair), then chains, ledger or
 // splice, and report. The store-audit engine (internal/audit) records
 // extract, compile, candidates and pairs phases with one child span per
-// worker carrying busy_ns/pairs_checked/solver_calls. Disabled tracing
+// worker carrying busy_ns/pairs_checked/solver_calls. RPC-edge calls
+// add an rpc.<Method> root span (method and status-code attributes)
+// above the fleet operation's tree. Disabled tracing
 // is free: every span call is a nil-receiver no-op and the hot detection
 // path stays allocation-free (pinned by benchmark gates in CI).
 //
@@ -215,9 +275,11 @@ package homeguard
 
 import (
 	"fmt"
+	"io"
 
 	"homeguard/internal/detect"
 	"homeguard/internal/envmodel"
+	"homeguard/internal/events"
 	"homeguard/internal/extractcache"
 	"homeguard/internal/fleet"
 	"homeguard/internal/frontend"
@@ -269,6 +331,17 @@ type (
 	FleetBatchItem = fleet.BatchItem
 	// FleetBatchResult is one batch item's outcome.
 	FleetBatchResult = fleet.BatchResult
+	// FleetReconfigureResult is what Fleet.Reconfigure returns: the
+	// re-detected threats plus their base index in the home's
+	// append-only threat log.
+	FleetReconfigureResult = fleet.ReconfigureResult
+	// Event is one fire-and-forget operational event (install,
+	// reconfigure, threat, audit) published by a fleet with
+	// FleetOptions.Events set.
+	Event = events.Event
+	// EventWriter is the bounded, drop-oldest asynchronous event
+	// pipeline; create one with NewEventWriter.
+	EventWriter = events.Writer
 	// Observer bundles the process-wide observability state — metrics
 	// registry, span tracer and slow-request capture (see
 	// "Observability" above). Pass one via FleetOptions.Obs.
@@ -287,6 +360,19 @@ func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
 // disabled tracer (span calls are no-ops until Tracer.SetEnabled(true))
 // and a default-sized slow-request capture.
 func NewObserver() *Observer { return obs.NewObserver() }
+
+// NewEventWriter returns an asynchronous event pipeline draining to
+// sink: a bounded in-memory ring plus one writer goroutine. Publish
+// never blocks — under backpressure the oldest buffered events are
+// dropped and counted. Pass it via FleetOptions.Events; Close flushes
+// what the ring still holds and closes the sink.
+func NewEventWriter(sink events.Sink, opts events.Options) *EventWriter {
+	return events.NewWriter(sink, opts)
+}
+
+// NewJSONEventSink returns an event sink writing one JSON object per
+// line to w (os.Stdout for the classic operational log).
+func NewJSONEventSink(w io.Writer) events.Sink { return events.NewJSONSink(w) }
 
 // NewExtractionCache returns an empty, unbounded extraction cache backed
 // by the symbolic executor, for sharing across fleets or batch tools.

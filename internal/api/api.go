@@ -1,0 +1,413 @@
+// Package api is the transport-neutral wire surface of the HomeGuard
+// enforcement edge: the typed error envelope, the status-code vocabulary
+// and the JSON request/response shapes that cmd/homeguardd's HTTP
+// handlers and internal/rpc's framed transport share verbatim.
+//
+// Both transports speak exactly the same envelope: an operation that
+// fails yields one Error{Code, Message} value, the HTTP layer writes it
+// as the JSON body {"error": {...}} with HTTPStatus(Code), and the RPC
+// layer carries it in the response frame with the matching gRPC status
+// number. A client therefore sees ErrAppNotInstalled as 404 over HTTP
+// and NOT_FOUND over RPC — the same code string either way — and a
+// parity test can compare the two transports field by field.
+//
+// The package also owns the DTO ↔ domain conversions (configuration
+// parsing, threat rendering) that used to live ad hoc inside the daemon
+// handlers, so adding a transport can never fork the wire format.
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"homeguard/internal/corpus"
+	"homeguard/internal/detect"
+	"homeguard/internal/envmodel"
+	"homeguard/internal/fleet"
+	"homeguard/internal/frontend"
+	"homeguard/internal/rule"
+)
+
+// Code is a transport-neutral status code. The vocabulary (names and
+// numeric values) is gRPC's, so the RPC transport maps one-to-one and
+// the HTTP transport derives its status via HTTPStatus.
+type Code string
+
+// The status codes the edge actually produces. OK never appears in an
+// Error; it is the wire form of "no error".
+const (
+	CodeOK                 Code = "OK"
+	CodeCanceled           Code = "CANCELLED"
+	CodeInvalidArgument    Code = "INVALID_ARGUMENT"
+	CodeDeadlineExceeded   Code = "DEADLINE_EXCEEDED"
+	CodeNotFound           Code = "NOT_FOUND"
+	CodeAlreadyExists      Code = "ALREADY_EXISTS"
+	CodeResourceExhausted  Code = "RESOURCE_EXHAUSTED"
+	CodeFailedPrecondition Code = "FAILED_PRECONDITION"
+	CodeOutOfRange         Code = "OUT_OF_RANGE"
+	CodeInternal           Code = "INTERNAL"
+	CodeUnavailable        Code = "UNAVAILABLE"
+)
+
+// GRPC returns the code's numeric gRPC status value.
+func (c Code) GRPC() int {
+	switch c {
+	case CodeOK:
+		return 0
+	case CodeCanceled:
+		return 1
+	case CodeInvalidArgument:
+		return 3
+	case CodeDeadlineExceeded:
+		return 4
+	case CodeNotFound:
+		return 5
+	case CodeAlreadyExists:
+		return 6
+	case CodeResourceExhausted:
+		return 8
+	case CodeFailedPrecondition:
+		return 9
+	case CodeOutOfRange:
+		return 11
+	case CodeUnavailable:
+		return 14
+	default:
+		return 13 // INTERNAL
+	}
+}
+
+// HTTPStatus returns the HTTP status the JSON transport writes for the
+// code. The mapping follows the conventional gRPC↔HTTP table, with
+// FAILED_PRECONDITION as 422 (a well-formed request the service could
+// not process — extraction failures) and OUT_OF_RANGE as 400.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeOK:
+		return http.StatusOK
+	case CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	case CodeInvalidArgument, CodeOutOfRange:
+		return http.StatusBadRequest
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeAlreadyExists:
+		return http.StatusConflict
+	case CodeResourceExhausted:
+		return http.StatusTooManyRequests
+	case CodeFailedPrecondition:
+		return http.StatusUnprocessableEntity
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is the typed error envelope both transports return. It
+// implements error so service code can thread it through ordinary error
+// returns, and it marshals to the exact JSON both wire formats carry.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMs, when nonzero, hints how long the client should wait
+	// before retrying (set by UNAVAILABLE responses from an open circuit
+	// breaker).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// FromErr maps any error the service layer produces to the envelope:
+// an *Error passes through, fleet sentinels map to their codes
+// (ErrUnknownHome/ErrAppNotInstalled → NOT_FOUND, ErrAppInstalled →
+// ALREADY_EXISTS, ErrBadThreatIndex → OUT_OF_RANGE), context
+// expiry maps to DEADLINE_EXCEEDED/CANCELLED, and anything else — in
+// practice an extraction or detection failure on a well-formed request
+// — becomes FAILED_PRECONDITION. Nil maps to nil.
+func FromErr(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	code := CodeFailedPrecondition
+	switch {
+	case errors.Is(err, fleet.ErrUnknownHome), errors.Is(err, fleet.ErrAppNotInstalled):
+		code = CodeNotFound
+	case errors.Is(err, fleet.ErrAppInstalled):
+		code = CodeAlreadyExists
+	case errors.Is(err, fleet.ErrBadThreatIndex):
+		code = CodeOutOfRange
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	}
+	return &Error{Code: code, Message: err.Error()}
+}
+
+// ---------- request/response shapes ----------
+
+// Config is the wire form of an installation configuration: four
+// optional maps binding input names to devices, values, value lists and
+// device types.
+type Config struct {
+	Devices     map[string]string   `json:"devices,omitempty"`
+	Values      map[string]any      `json:"values,omitempty"`
+	ValueLists  map[string][]string `json:"valueLists,omitempty"`
+	DeviceTypes map[string]string   `json:"deviceTypes,omitempty"`
+}
+
+// ToDetect converts the wire config to the domain form. A nil receiver
+// returns nil (type-level device identity). Non-integral or
+// out-of-range numeric values are rejected: the rule domain is
+// integral, and an implementation-dependent float→int64 conversion must
+// not store garbage.
+func (c *Config) ToDetect() (*detect.Config, *Error) {
+	if c == nil {
+		return nil, nil
+	}
+	cfg := detect.NewConfig()
+	for k, v := range c.Devices {
+		cfg.Devices[k] = v
+	}
+	for k, v := range c.Values {
+		switch x := v.(type) {
+		case string:
+			cfg.Values[k] = rule.StrVal(x)
+		case float64:
+			if x != math.Trunc(x) {
+				return nil, Errorf(CodeInvalidArgument,
+					"config value %q: %v is not an integer (the rule domain is integral)", k, x)
+			}
+			// float64(1<<63) is exactly 2^63; anything below fits int64.
+			if x < math.MinInt64 || x >= float64(1<<63) {
+				return nil, Errorf(CodeInvalidArgument,
+					"config value %q: %v overflows the integer domain", k, x)
+			}
+			cfg.Values[k] = rule.IntVal(int64(x))
+		case bool:
+			cfg.Values[k] = rule.BoolVal(x)
+		default:
+			return nil, Errorf(CodeInvalidArgument, "config value %q: unsupported type %T", k, v)
+		}
+	}
+	for k, v := range c.ValueLists {
+		cfg.ValueLists[k] = v
+	}
+	for k, v := range c.DeviceTypes {
+		cfg.DeviceTypes[k] = envmodel.DeviceType(v)
+	}
+	return cfg, nil
+}
+
+// InstallRequest asks to install one app into one home. Home comes from
+// the URL path over HTTP and from the body over RPC. Exactly one of
+// Source (raw SmartApp Groovy) and Corpus (a built-in corpus app name)
+// must be set.
+type InstallRequest struct {
+	Home   string  `json:"home,omitempty"`
+	Source string  `json:"source,omitempty"`
+	Corpus string  `json:"corpus,omitempty"`
+	Config *Config `json:"config,omitempty"`
+}
+
+// ResolveSource validates the source/corpus pair and returns the Groovy
+// source to install.
+func (r *InstallRequest) ResolveSource() (string, *Error) {
+	switch {
+	case r.Source != "" && r.Corpus != "":
+		return "", Errorf(CodeInvalidArgument, "set exactly one of source and corpus")
+	case r.Source == "" && r.Corpus == "":
+		return "", Errorf(CodeInvalidArgument, "set exactly one of source and corpus")
+	case r.Corpus != "":
+		app, ok := corpus.Get(r.Corpus)
+		if !ok {
+			return "", Errorf(CodeNotFound, "unknown corpus app %q", r.Corpus)
+		}
+		return app.Source, nil
+	}
+	return r.Source, nil
+}
+
+// Threat is the wire form of one detected cross-app interference.
+type Threat struct {
+	// Index is this threat's position in the home's threat log, usable
+	// with accept requests. -1 in responses that carry no log positions.
+	Index    int    `json:"index"`
+	Kind     string `json:"kind"`
+	Class    string `json:"class"`
+	Rule1    string `json:"rule1"`
+	Rule2    string `json:"rule2"`
+	Property string `json:"property,omitempty"`
+	Note     string `json:"note,omitempty"`
+	Text     string `json:"text"`
+}
+
+// ThreatOf renders one threat with its log index (-1 for none).
+func ThreatOf(t detect.Threat, index int) Threat {
+	return Threat{
+		Index:    index,
+		Kind:     string(t.Kind),
+		Class:    t.Kind.Class(),
+		Rule1:    t.R1.QualifiedID(),
+		Rule2:    t.R2.QualifiedID(),
+		Property: string(t.Property),
+		Note:     t.Note,
+		Text:     frontend.DescribeThreat(t),
+	}
+}
+
+// ThreatsOf renders threats with log indices starting at logBase; pass
+// a negative logBase for responses without log positions.
+func ThreatsOf(ts []detect.Threat, logBase int) []Threat {
+	out := make([]Threat, 0, len(ts))
+	for i, t := range ts {
+		idx := -1
+		if logBase >= 0 {
+			idx = logBase + i
+		}
+		out = append(out, ThreatOf(t, idx))
+	}
+	return out
+}
+
+// InstallResponse is the install verdict both transports return.
+type InstallResponse struct {
+	HomeID   string   `json:"homeId"`
+	App      string   `json:"app"`
+	Rules    []string `json:"rules"`
+	Threats  []Threat `json:"threats"`
+	Chains   []string `json:"chains,omitempty"`
+	Report   string   `json:"report"`
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// InstallResponseOf converts a fleet install result to the wire form.
+func InstallResponseOf(res *fleet.InstallResult) *InstallResponse {
+	out := &InstallResponse{
+		HomeID:   res.HomeID,
+		App:      res.App.Name,
+		Rules:    make([]string, 0, len(res.Rules)),
+		Threats:  ThreatsOf(res.Threats, res.ThreatLogBase),
+		Report:   res.Report,
+		Warnings: res.Warnings,
+	}
+	for _, ru := range res.Rules {
+		out.Rules = append(out.Rules, frontend.DescribeRule(ru))
+	}
+	for _, c := range res.Chains {
+		out.Chains = append(out.Chains, frontend.DescribeChain(c))
+	}
+	return out
+}
+
+// ReconfigureRequest updates one installed app's configuration.
+// Omitting Config keeps the current bindings and just re-runs detection.
+type ReconfigureRequest struct {
+	Home   string  `json:"home,omitempty"`
+	App    string  `json:"app"`
+	Config *Config `json:"config,omitempty"`
+}
+
+// ReconfigureResponse carries the threats under the new configuration.
+type ReconfigureResponse struct {
+	HomeID  string   `json:"homeId"`
+	App     string   `json:"app"`
+	Threats []Threat `json:"threats"`
+}
+
+// ReconfigureResponseOf converts a fleet reconfigure result.
+func ReconfigureResponseOf(res *fleet.ReconfigureResult) *ReconfigureResponse {
+	return &ReconfigureResponse{
+		HomeID:  res.HomeID,
+		App:     res.App,
+		Threats: ThreatsOf(res.Threats, res.ThreatLogBase),
+	}
+}
+
+// AcceptRequest records user-approved threats by threat-log index.
+type AcceptRequest struct {
+	Home    string `json:"home,omitempty"`
+	Threats []int  `json:"threats"`
+}
+
+// AcceptResponse acknowledges accepted threats.
+type AcceptResponse struct {
+	HomeID   string `json:"homeId"`
+	Accepted int    `json:"accepted"`
+}
+
+// ThreatsRequest reads a home's threat log (Active selects the
+// incremental ledger's current set instead of the append-only history).
+type ThreatsRequest struct {
+	Home   string `json:"home,omitempty"`
+	Active bool   `json:"active,omitempty"`
+}
+
+// ThreatsResponse is the threat log (or active set) of one home.
+type ThreatsResponse struct {
+	HomeID  string   `json:"homeId"`
+	Active  bool     `json:"active,omitempty"`
+	Threats []Threat `json:"threats"`
+}
+
+// AppsRequest asks for one home's installed apps.
+type AppsRequest struct {
+	Home string `json:"home,omitempty"`
+}
+
+// AppsResponse lists one home's installed apps in install order.
+type AppsResponse struct {
+	HomeID string   `json:"homeId"`
+	Apps   []string `json:"apps"`
+}
+
+// InstallBatchRequest installs several apps into one home in input
+// order (extractions prewarm in parallel through the shared cache).
+type InstallBatchRequest struct {
+	Home  string        `json:"home,omitempty"`
+	Items []InstallItem `json:"items"`
+}
+
+// InstallItem is one app of a batch or stream install (no home field:
+// the batch's home applies; stream items carry their own home in the
+// enclosing message).
+type InstallItem struct {
+	Source string  `json:"source,omitempty"`
+	Corpus string  `json:"corpus,omitempty"`
+	Config *Config `json:"config,omitempty"`
+}
+
+// ResolveSource validates the item's source/corpus pair.
+func (it *InstallItem) ResolveSource() (string, *Error) {
+	r := InstallRequest{Source: it.Source, Corpus: it.Corpus}
+	return r.ResolveSource()
+}
+
+// BatchItemResult is one batch item's outcome: exactly one of Result
+// and Error is set.
+type BatchItemResult struct {
+	Result *InstallResponse `json:"result,omitempty"`
+	Error  *Error           `json:"error,omitempty"`
+}
+
+// InstallBatchResponse is the per-item outcome list, in input order.
+type InstallBatchResponse struct {
+	HomeID  string            `json:"homeId"`
+	Results []BatchItemResult `json:"results"`
+}

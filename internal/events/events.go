@@ -1,0 +1,283 @@
+// Package events is the HomeGuard edge's asynchronous event pipeline: a
+// bounded, buffered, fire-and-forget writer that ships install/threat/
+// audit events out of the request path to a pluggable sink.
+//
+// # Semantics
+//
+// Publish never blocks and never fails: it stamps the event, appends it
+// to a bounded in-memory ring and returns. A background goroutine
+// drains the ring to the sink. When the sink cannot keep up and the
+// ring fills, the OLDEST buffered event is dropped to make room for the
+// new one (fresh data beats stale data for monitoring feeds) and a
+// dropped-events counter increments — visible in Stats and, when a
+// registry is supplied, as homeguard_events_dropped_total. Delivery is
+// therefore at-most-once: an event is either written to the sink
+// exactly once, in publish order, or counted as dropped.
+//
+// The request path consequently has a hard upper bound on reporting
+// cost — one mutex acquisition and a slice write — regardless of sink
+// latency; a wedged sink costs dropped events, never blocked verdicts.
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"homeguard/internal/obs"
+)
+
+// Event types produced by the fleet and the audit engine.
+const (
+	TypeInstall     = "install"
+	TypeReconfigure = "reconfigure"
+	TypeThreat      = "threat"
+	TypeAudit       = "audit"
+)
+
+// Event is one reportable occurrence. Fields beyond Time and Type are
+// populated as applicable to the type.
+type Event struct {
+	Time time.Time `json:"time"`
+	Type string    `json:"type"`
+	Home string    `json:"home,omitempty"`
+	App  string    `json:"app,omitempty"`
+	// Kind is the threat kind for TypeThreat events.
+	Kind string `json:"kind,omitempty"`
+	// Threats is the number of threats the operation reported.
+	Threats    int     `json:"threats,omitempty"`
+	DurationMs float64 `json:"durationMs,omitempty"`
+	// Err is the operation's error, for failed installs/reconfigures.
+	Err string `json:"err,omitempty"`
+}
+
+// Sink receives drained events. Implementations need not be
+// goroutine-safe: the writer's single drain goroutine is the only
+// caller of Write, and Close is called once after the drain stops.
+type Sink interface {
+	Write(e Event) error
+	Close() error
+}
+
+// JSONSink writes one JSON object per line to an io.Writer.
+type JSONSink struct {
+	w   *bufio.Writer
+	c   io.Closer // nil when the underlying writer needs no close
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a sink encoding events as JSON lines on w
+// (stdout for the daemon's stdout sink). The sink buffers; Close
+// flushes.
+func NewJSONSink(w io.Writer) *JSONSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok && w != os.Stdout && w != os.Stderr {
+		s.c = c
+	}
+	return s
+}
+
+// Write encodes one event as a JSON line.
+func (s *JSONSink) Write(e Event) error {
+	if err := s.enc.Encode(e); err != nil {
+		return err
+	}
+	// Flush per event: the writer already batches in its ring, and an
+	// event feed that lags its file by minutes is useless for tailing.
+	return s.w.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (s *JSONSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// NewFileSink opens (appending, creating) a JSON-lines event file.
+func NewFileSink(path string) (*JSONSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONSink(f), nil
+}
+
+// Options tune a Writer.
+type Options struct {
+	// Buffer is the ring capacity (default 1024). When full, the oldest
+	// buffered event is dropped per new publish.
+	Buffer int
+	// Registry, when set, gets a collector exporting the writer's
+	// counters as homeguard_events_{published,dropped,sink_errors}_total
+	// and homeguard_events_buffered.
+	Registry *obs.Registry
+}
+
+// Stats is a point-in-time view of writer counters.
+type Stats struct {
+	// Published counts Publish calls accepted (everything before Close).
+	Published uint64
+	// Dropped counts events evicted under backpressure (plus publishes
+	// after Close).
+	Dropped uint64
+	// Written counts events delivered to the sink (including ones whose
+	// sink write failed).
+	Written uint64
+	// SinkErrors counts sink write failures (those events are lost).
+	SinkErrors uint64
+	// Buffered is the current ring occupancy.
+	Buffered int
+}
+
+// Writer is the bounded fire-and-forget event writer. Safe for
+// concurrent use by any number of publishers.
+type Writer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []Event
+	head    int // index of oldest buffered event
+	n       int // buffered count
+	closed  bool
+	stats   Stats
+	inFlush int // events handed to the sink, not yet accounted
+
+	sink Sink
+	done chan struct{}
+}
+
+// NewWriter starts a writer draining to sink. Close releases the drain
+// goroutine and closes the sink.
+func NewWriter(sink Sink, opts Options) *Writer {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	w := &Writer{ring: make([]Event, opts.Buffer), sink: sink, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	if opts.Registry != nil {
+		opts.Registry.RegisterCollector(func(e *obs.Emit) {
+			s := w.Stats()
+			e.Counter("homeguard_events_published_total", "Events accepted by the async event writer.", float64(s.Published))
+			e.Counter("homeguard_events_dropped_total", "Events dropped under backpressure (at-most-once delivery).", float64(s.Dropped))
+			e.Counter("homeguard_events_written_total", "Events delivered to the sink.", float64(s.Written))
+			e.Counter("homeguard_events_sink_errors_total", "Sink write failures.", float64(s.SinkErrors))
+			e.Gauge("homeguard_events_buffered", "Events currently buffered.", float64(s.Buffered))
+		})
+	}
+	go w.drain()
+	return w
+}
+
+// Publish enqueues one event, never blocking: with the ring full the
+// oldest buffered event is dropped. A zero Time is stamped with now.
+// Publishing to a closed writer counts the event as dropped.
+func (w *Writer) Publish(e Event) {
+	if w == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now().UTC()
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.stats.Dropped++
+		w.mu.Unlock()
+		return
+	}
+	w.stats.Published++
+	if w.n == len(w.ring) {
+		// Drop-oldest: overwrite the head slot's event.
+		w.head = (w.head + 1) % len(w.ring)
+		w.n--
+		w.stats.Dropped++
+	}
+	w.ring[(w.head+w.n)%len(w.ring)] = e
+	w.n++
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// drain moves events from the ring to the sink until Close. Events are
+// taken in batches so a slow sink holds the lock for zero time while
+// writing.
+func (w *Writer) drain() {
+	defer close(w.done)
+	var batch []Event
+	for {
+		w.mu.Lock()
+		for w.n == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if w.n == 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		batch = batch[:0]
+		for w.n > 0 {
+			batch = append(batch, w.ring[w.head])
+			w.head = (w.head + 1) % len(w.ring)
+			w.n--
+		}
+		w.inFlush = len(batch)
+		w.mu.Unlock()
+
+		for _, e := range batch {
+			err := w.sink.Write(e)
+			w.mu.Lock()
+			w.stats.Written++
+			if err != nil {
+				w.stats.SinkErrors++
+			}
+			w.inFlush--
+			w.mu.Unlock()
+		}
+		w.cond.Broadcast() // wake Flush waiters
+	}
+}
+
+// Flush blocks until every event published before the call has been
+// handed to the sink (or dropped). Intended for tests and shutdown
+// paths, not the request path.
+func (w *Writer) Flush() {
+	w.mu.Lock()
+	for (w.n > 0 || w.inFlush > 0) && !w.closed {
+		w.cond.Broadcast() // ensure the drain goroutine is awake
+		w.mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		w.mu.Lock()
+	}
+	w.mu.Unlock()
+}
+
+// Close stops accepting events, drains what is buffered and closes the
+// sink. Safe to call once; later Publish calls count as dropped.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	<-w.done
+	return w.sink.Close()
+}
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.stats
+	s.Buffered = w.n + w.inFlush
+	return s
+}

@@ -1,0 +1,297 @@
+package events
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"homeguard/internal/obs"
+)
+
+// memSink collects events in memory; an optional gate channel makes
+// every Write block until released, simulating a wedged sink.
+type memSink struct {
+	mu     sync.Mutex
+	events []Event
+	gate   chan struct{} // nil = never block
+	closed bool
+	err    error // returned by Write when set
+}
+
+func (s *memSink) Write(e Event) error {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.events = append(s.events, e)
+	return nil
+}
+
+func (s *memSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *memSink) snapshot() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+func TestWriterDeliversInOrder(t *testing.T) {
+	sink := &memSink{}
+	w := NewWriter(sink, Options{Buffer: 64})
+	for i := 0; i < 10; i++ {
+		w.Publish(Event{Type: TypeInstall, App: fmt.Sprintf("app-%d", i)})
+	}
+	w.Flush()
+	got := sink.snapshot()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("app-%d", i); e.App != want {
+			t.Errorf("event %d is %q, want %q (order lost)", i, e.App, want)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("event %d was not timestamped", i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Error("Close did not close the sink")
+	}
+	if s := w.Stats(); s.Published != 10 || s.Written != 10 || s.Dropped != 0 {
+		t.Errorf("stats = %+v, want 10 published/written, 0 dropped", s)
+	}
+}
+
+// TestWriterNeverBlocksUnderBackpressure is the acceptance-criterion
+// test: with the sink fully wedged and the ring saturated many times
+// over, Publish must return promptly every time, dropping the OLDEST
+// buffered events and counting them.
+func TestWriterNeverBlocksUnderBackpressure(t *testing.T) {
+	const buffer = 8
+	sink := &memSink{gate: make(chan struct{})}
+	w := NewWriter(sink, Options{Buffer: buffer})
+
+	// Wedge the sink, then publish far more than the ring holds. Each
+	// Publish must return in microseconds — bound the whole burst with a
+	// generous wall-clock budget that a blocking writer would blow by
+	// orders of magnitude.
+	const n = 10 * buffer
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		w.Publish(Event{Type: TypeThreat, App: fmt.Sprintf("app-%d", i)})
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("publishing %d events against a wedged sink took %v — Publish blocked", n, took)
+	}
+	st := w.Stats()
+	if st.Published != n {
+		t.Errorf("published = %d, want %d", st.Published, n)
+	}
+	// The drain goroutine may have pulled one batch (up to buffer
+	// events) out of the ring and parked on the first wedged Write; the
+	// ring holds at most buffer more. Everything else must be dropped.
+	minDropped := uint64(n - 2*buffer - 1)
+	if st.Dropped < minDropped {
+		t.Errorf("dropped = %d, want >= %d (drop-oldest under backpressure)", st.Dropped, minDropped)
+	}
+
+	// Release the sink: what remains delivers, and the tail of the
+	// delivered stream is the NEWEST events (oldest were evicted).
+	close(sink.gate)
+	w.Flush()
+	got := sink.snapshot()
+	if len(got) == 0 {
+		t.Fatal("nothing delivered after the sink recovered")
+	}
+	if last := got[len(got)-1].App; last != fmt.Sprintf("app-%d", n-1) {
+		t.Errorf("last delivered event is %q, want app-%d (newest must survive drop-oldest)", last, n-1)
+	}
+	if uint64(len(got))+w.Stats().Dropped != n {
+		t.Errorf("delivered %d + dropped %d != published %d (at-most-once accounting)",
+			len(got), w.Stats().Dropped, n)
+	}
+	w.Close()
+}
+
+func TestWriterDropsOldestFirst(t *testing.T) {
+	sink := &memSink{gate: make(chan struct{})}
+	w := NewWriter(sink, Options{Buffer: 4})
+	// Let the drain goroutine park on event 0, then overfill the ring.
+	w.Publish(Event{App: "app-0"})
+	time.Sleep(20 * time.Millisecond) // drain takes app-0, blocks in Write
+	for i := 1; i <= 8; i++ {
+		w.Publish(Event{App: fmt.Sprintf("app-%d", i)})
+	}
+	close(sink.gate)
+	w.Flush()
+	got := sink.snapshot()
+	// app-0 was already in flight; of app-1..8 only the newest 4 fit.
+	want := []string{"app-0", "app-5", "app-6", "app-7", "app-8"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events (%v), want %d", len(got), apps(got), len(want))
+	}
+	for i, e := range got {
+		if e.App != want[i] {
+			t.Errorf("delivered[%d] = %q, want %q (full order %v)", i, e.App, want[i], apps(got))
+		}
+	}
+	w.Close()
+}
+
+func apps(es []Event) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.App
+	}
+	return out
+}
+
+func TestWriterPublishAfterCloseDrops(t *testing.T) {
+	sink := &memSink{}
+	w := NewWriter(sink, Options{})
+	w.Publish(Event{App: "before"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Publish(Event{App: "after"})
+	st := w.Stats()
+	if st.Written != 1 {
+		t.Errorf("written = %d, want 1 (pre-close event drained)", st.Written)
+	}
+	if st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (post-close publish)", st.Dropped)
+	}
+	// Close twice is safe.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterNilSafe(t *testing.T) {
+	var w *Writer
+	w.Publish(Event{App: "x"}) // must not panic
+}
+
+func TestWriterSinkErrors(t *testing.T) {
+	sink := &memSink{err: errors.New("disk full")}
+	w := NewWriter(sink, Options{})
+	w.Publish(Event{App: "x"})
+	w.Publish(Event{App: "y"})
+	w.Flush()
+	st := w.Stats()
+	if st.SinkErrors != 2 {
+		t.Errorf("sinkErrors = %d, want 2", st.SinkErrors)
+	}
+	if st.Written != 2 {
+		t.Errorf("written = %d, want 2 (failed writes still count as handed off)", st.Written)
+	}
+	w.Close()
+}
+
+func TestWriterMetricsCollector(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &memSink{}
+	w := NewWriter(sink, Options{Buffer: 4, Registry: reg})
+	for i := 0; i < 10; i++ {
+		w.Publish(Event{App: fmt.Sprintf("a%d", i)})
+	}
+	w.Flush()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"homeguard_events_published_total",
+		"homeguard_events_dropped_total",
+		"homeguard_events_written_total",
+		"homeguard_events_sink_errors_total",
+		"homeguard_events_buffered",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	samples, err := obs.ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, s := range samples {
+		if s.Name == "homeguard_events_published_total" && s.Value != 10 {
+			t.Errorf("published_total = %v, want 10", s.Value)
+		}
+	}
+	w.Close()
+}
+
+func TestJSONSinkLines(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONSink(&buf)
+	w := NewWriter(sink, Options{})
+	w.Publish(Event{Type: TypeInstall, Home: "h1", App: "ComfortTV", Threats: 2, DurationMs: 1.5})
+	w.Publish(Event{Type: TypeThreat, Home: "h1", App: "ComfortTV", Kind: "AR"})
+	w.Flush()
+	w.Close()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2: %q", len(lines), buf.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if e.Type != TypeThreat || e.Kind != "AR" {
+		t.Errorf("round-tripped event = %+v", e)
+	}
+}
+
+// TestWriterConcurrentPublish hammers Publish from many goroutines
+// while the sink drains slowly; run with -race. Accounting must hold
+// exactly: published = written + dropped after Close.
+func TestWriterConcurrentPublish(t *testing.T) {
+	sink := &memSink{}
+	w := NewWriter(sink, Options{Buffer: 32})
+	const (
+		goroutines = 8
+		perG       = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				w.Publish(Event{Type: TypeInstall, App: fmt.Sprintf("g%d-%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.Close()
+	st := w.Stats()
+	if st.Published != goroutines*perG {
+		t.Errorf("published = %d, want %d", st.Published, goroutines*perG)
+	}
+	if st.Written+st.Dropped != st.Published {
+		t.Errorf("written %d + dropped %d != published %d", st.Written, st.Dropped, st.Published)
+	}
+	if got := uint64(len(sink.snapshot())); got != st.Written-st.SinkErrors {
+		t.Errorf("sink holds %d events, stats say %d written", got, st.Written)
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -52,7 +53,7 @@ func BenchmarkFleetInstall(b *testing.B) {
 		for pb.Next() {
 			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
 			for _, app := range demo {
-				if _, err := f.Install(id, app.Source, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, app.Source, nil); err != nil {
 					ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
 					return
 				}
@@ -98,7 +99,7 @@ func BenchmarkFleetInstallTraced(b *testing.B) {
 		for pb.Next() {
 			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
 			for _, app := range demo {
-				if _, err := f.Install(id, app.Source, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, app.Source, nil); err != nil {
 					ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
 					return
 				}
@@ -137,7 +138,7 @@ func BenchmarkFleetInstallSharedApps(b *testing.B) {
 		for pb.Next() {
 			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
 			for _, app := range demo {
-				if _, err := f.Install(id, app.Source, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, app.Source, nil); err != nil {
 					ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
 					return
 				}
@@ -154,7 +155,7 @@ func BenchmarkFleetInstallSharedApps(b *testing.B) {
 	// is constant (same catalog, same order), so one home projects exactly.
 	base := New(Options{Shards: 1, DisablePairVerdicts: true})
 	for _, app := range demo {
-		if _, err := base.Install("baseline", app.Source, nil); err != nil {
+		if _, err := base.Install(context.Background(), "baseline", app.Source, nil); err != nil {
 			b.Fatalf("baseline install %s: %v", app.Name, err)
 		}
 	}
@@ -203,7 +204,7 @@ func BenchmarkFleetInstallSharedAppsNoVerdictCache(b *testing.B) {
 		for pb.Next() {
 			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
 			for _, app := range demo {
-				if _, err := f.Install(id, app.Source, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, app.Source, nil); err != nil {
 					ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
 					return
 				}
@@ -233,7 +234,7 @@ func BenchmarkFleetInstallNoCacheSharing(b *testing.B) {
 			f := New(Options{Shards: 1})
 			id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
 			for _, app := range demo {
-				if _, err := f.Install(id, app.Source, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, app.Source, nil); err != nil {
 					ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
 					return
 				}

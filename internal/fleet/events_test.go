@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"homeguard/internal/events"
+)
+
+// TestFleetPublishesEvents wires a Writer into the fleet and checks
+// that installs and reconfigures ship one operation event each plus
+// one event per reported threat, without blocking the request path.
+func TestFleetPublishesEvents(t *testing.T) {
+	var buf bytes.Buffer
+	w := events.NewWriter(events.NewJSONSink(&buf), events.Options{Buffer: 64})
+	f := New(Options{Shards: 4, Events: w})
+	ctx := context.Background()
+
+	if _, err := f.Install(ctx, "h1", mustSource(t, "ComfortTV"), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Install(ctx, "h1", mustSource(t, "ColdDefender"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threats) == 0 {
+		t.Fatal("ColdDefender install reported no threats")
+	}
+	rc, err := f.Reconfigure(ctx, "h1", "ColdDefender", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	w.Close()
+
+	var got []events.Event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e events.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		got = append(got, e)
+	}
+	count := map[string]int{}
+	for _, e := range got {
+		count[e.Type]++
+		if e.Home != "h1" {
+			t.Errorf("event for home %q, want h1: %+v", e.Home, e)
+		}
+	}
+	if count[events.TypeInstall] != 2 {
+		t.Errorf("install events = %d, want 2", count[events.TypeInstall])
+	}
+	if count[events.TypeReconfigure] != 1 {
+		t.Errorf("reconfigure events = %d, want 1", count[events.TypeReconfigure])
+	}
+	// One threat event per install-reported threat plus per
+	// reconfigure-reported threat.
+	wantThreats := len(res.Threats) + len(rc.Threats)
+	if count[events.TypeThreat] != wantThreats {
+		t.Errorf("threat events = %d, want %d", count[events.TypeThreat], wantThreats)
+	}
+	// The install operation event carries the threat count and duration.
+	for _, e := range got {
+		if e.Type == events.TypeInstall && e.App == "ColdDefender" {
+			if e.Threats != len(res.Threats) {
+				t.Errorf("install event threats = %d, want %d", e.Threats, len(res.Threats))
+			}
+			if e.DurationMs < 0 {
+				t.Errorf("install event duration = %v", e.DurationMs)
+			}
+		}
+	}
+}
+
+// TestFleetEventsNilWriter proves the zero-config fleet (no Events)
+// works untouched — publication is strictly opt-in.
+func TestFleetEventsNilWriter(t *testing.T) {
+	f := New(Options{Shards: 2})
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ComfortTV"), nil); err != nil {
+		t.Fatal(err)
+	}
+}

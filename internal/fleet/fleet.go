@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"homeguard/internal/detect"
+	"homeguard/internal/events"
 	"homeguard/internal/extractcache"
 	"homeguard/internal/frontend"
 	"homeguard/internal/obs"
@@ -131,6 +132,12 @@ type Options struct {
 	// method no-ops). Nil disables both; the JSON MetricsSnapshot works
 	// either way.
 	Obs *obs.Observer
+	// Events, when set, receives one fire-and-forget event per completed
+	// install/reconfigure plus one per reported threat, published AFTER
+	// the home lock is released. events.Writer.Publish never blocks (a
+	// full buffer drops the oldest buffered event), so a slow or wedged
+	// sink can never hold up a verdict. Nil publishes nothing.
+	Events *events.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -179,7 +186,8 @@ type Fleet struct {
 	cache    *extractcache.Cache
 	verdicts *pairverdict.Cache // nil when DisablePairVerdicts is set
 	metrics  *metrics
-	obs      *obs.Observer // nil when Options.Obs unset
+	obs      *obs.Observer  // nil when Options.Obs unset
+	events   *events.Writer // nil when Options.Events unset
 }
 
 type shard struct {
@@ -332,6 +340,7 @@ func New(opts Options) *Fleet {
 		verdicts: opts.Verdicts,
 		metrics:  newMetrics(),
 		obs:      opts.Obs,
+		events:   opts.Events,
 	}
 	for i := range f.shards {
 		f.shards[i] = &shard{homes: map[string]*home{}}
@@ -418,15 +427,15 @@ func (f *Fleet) opSpan(ctx context.Context, name string) *obs.Span {
 // Installing an app name the home already has fails with ErrAppInstalled
 // (retried requests must not duplicate the app); use Reconfigure to
 // change an installed app's configuration.
-func (f *Fleet) Install(homeID, src string, cfg *detect.Config) (*InstallResult, error) {
-	return f.InstallCtx(context.Background(), homeID, src, cfg)
-}
-
-// InstallCtx is Install with request context: when ctx carries an
-// obs.Span (or the fleet's tracer is enabled), the install records
-// per-stage spans — extract, detect (with the detector's compile/
-// candidates/verdict/solve children), chains, ledger, report.
-func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.Config) (*InstallResult, error) {
+//
+// ctx is first-class: when it carries an obs.Span (or the fleet's
+// tracer is enabled), the install records per-stage spans — extract,
+// detect (with the detector's compile/candidates/verdict/solve
+// children), chains, ledger, report — and a ctx already expired at a
+// stage boundary aborts the install with ctx.Err() before detection
+// mutates the home. Callers without a request context pass
+// context.Background().
+func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Config) (*InstallResult, error) {
 	start := time.Now()
 	sp := f.opSpan(ctx, "install")
 	defer sp.End()
@@ -436,6 +445,14 @@ func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.
 	res, err := f.cache.Extract(src, "")
 	esp.End()
 	if err != nil {
+		f.metrics.installFailed()
+		f.events.Publish(events.Event{Type: events.TypeInstall, Home: homeID, Err: err.Error()})
+		return nil, fmt.Errorf("fleet: home %s: %w", homeID, err)
+	}
+	// Deadline check at the extract/detect boundary: an expired request
+	// must not take the home lock and mutate the threat log for a caller
+	// that has already given up.
+	if err := ctx.Err(); err != nil {
 		f.metrics.installFailed()
 		return nil, fmt.Errorf("fleet: home %s: %w", homeID, err)
 	}
@@ -497,6 +514,7 @@ func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.
 	rsp.End()
 	f.metrics.detectorDelta(det)
 	f.metrics.installDone(time.Since(start), threats)
+	f.publishOpEvents(events.TypeInstall, homeID, res.App.Name, threats, time.Since(start))
 	return &InstallResult{
 		HomeID:        homeID,
 		App:           res.App,
@@ -507,6 +525,33 @@ func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.
 		Report:        report,
 		Warnings:      res.Warnings,
 	}, nil
+}
+
+// publishOpEvents ships one operation event plus one event per reported
+// threat to the fleet's event writer. Publish never blocks (and no-ops
+// on a nil writer), so this costs the request path a bounded few ring
+// writes after the home lock is released.
+func (f *Fleet) publishOpEvents(typ, homeID, app string, threats []detect.Threat, d time.Duration) {
+	if f.events == nil {
+		return
+	}
+	f.events.Publish(events.Event{
+		Type: typ, Home: homeID, App: app,
+		Threats: len(threats), DurationMs: float64(d.Microseconds()) / 1000.0,
+	})
+	for _, t := range threats {
+		f.events.Publish(events.Event{
+			Type: events.TypeThreat, Home: homeID, App: app, Kind: string(t.Kind),
+		})
+	}
+}
+
+// InstallCtx is a deprecated alias for Install, kept one release for
+// callers written against the Install/InstallCtx pair.
+//
+// Deprecated: Install is context-first; call it directly.
+func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.Config) (*InstallResult, error) {
+	return f.Install(ctx, homeID, src, cfg)
 }
 
 // BatchItem is one app of a batch install.
@@ -530,14 +575,11 @@ type BatchResult struct {
 // catalog of N apps no longer pays N sequential extractions. An item that
 // fails records its error and does not stop the rest (extraction errors
 // are cached, so the failed pre-extraction and the install agree).
-func (f *Fleet) InstallBatch(homeID string, items []BatchItem) []BatchResult {
-	return f.InstallBatchCtx(context.Background(), homeID, items)
-}
-
-// InstallBatchCtx is InstallBatch with request context: the whole batch
-// is one span ("install_batch") with a "prewarm" child covering the
-// parallel extraction phase and one "install" child per item.
-func (f *Fleet) InstallBatchCtx(ctx context.Context, homeID string, items []BatchItem) []BatchResult {
+//
+// The whole batch is one span ("install_batch") with a "prewarm" child
+// covering the parallel extraction phase and one "install" child per
+// item.
+func (f *Fleet) InstallBatch(ctx context.Context, homeID string, items []BatchItem) []BatchResult {
 	sp := f.opSpan(ctx, "install_batch")
 	defer sp.End()
 	sp.SetStr("home", homeID)
@@ -564,25 +606,43 @@ func (f *Fleet) InstallBatchCtx(ctx context.Context, homeID string, items []Batc
 	wsp.End()
 	ctx = obs.ContextWithSpan(ctx, sp)
 	for i := range items {
-		r, err := f.InstallCtx(ctx, homeID, items[i].Source, items[i].Config)
+		r, err := f.Install(ctx, homeID, items[i].Source, items[i].Config)
 		out[i] = BatchResult{Result: r, Err: err}
 	}
 	return out
 }
 
-// Reconfigure updates an installed app's configuration in one home and
-// re-runs detection. It returns the threats under the new configuration
-// plus their base index in the home's threat log (threats[i] is log
-// entry logBase+i, usable with AcceptByIndex). A nil cfg keeps the app's
-// current configuration and just re-runs detection — it does NOT reset
-// the bindings (pass detect.NewConfig() explicitly to clear them).
-func (f *Fleet) Reconfigure(homeID, appName string, cfg *detect.Config) (threats []detect.Threat, logBase int, err error) {
-	return f.ReconfigureCtx(context.Background(), homeID, appName, cfg)
+// InstallBatchCtx is a deprecated alias for InstallBatch.
+//
+// Deprecated: InstallBatch is context-first; call it directly.
+func (f *Fleet) InstallBatchCtx(ctx context.Context, homeID string, items []BatchItem) []BatchResult {
+	return f.InstallBatch(ctx, homeID, items)
 }
 
-// ReconfigureCtx is Reconfigure with request context; like InstallCtx it
-// records per-stage spans (detect with the detector's children, splice).
-func (f *Fleet) ReconfigureCtx(ctx context.Context, homeID, appName string, cfg *detect.Config) (threats []detect.Threat, logBase int, err error) {
+// ReconfigureResult is what a reconfigure returns to the frontend; it
+// mirrors InstallResult (the bare (threats, logBase, err) triple it
+// replaces made every new field a breaking change).
+type ReconfigureResult struct {
+	HomeID string
+	// App is the reconfigured app's name.
+	App string
+	// Threats are the threats detected under the new configuration.
+	Threats []detect.Threat
+	// ThreatLogBase is the index of Threats[0] in the home's threat log
+	// (AcceptByIndex addressing): Threats[i] is log entry ThreatLogBase+i.
+	ThreatLogBase int
+}
+
+// Reconfigure updates an installed app's configuration in one home and
+// re-runs detection. The result carries the threats under the new
+// configuration plus their base index in the home's threat log. A nil
+// cfg keeps the app's current configuration and just re-runs detection
+// — it does NOT reset the bindings (pass detect.NewConfig() explicitly
+// to clear them). Like Install it records per-stage spans from ctx
+// (detect with the detector's children, splice) and aborts with
+// ctx.Err() when the context has expired before detection starts.
+func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *detect.Config) (*ReconfigureResult, error) {
+	start := time.Now()
 	sp := f.opSpan(ctx, "reconfigure")
 	defer sp.End()
 	sp.SetStr("home", homeID)
@@ -590,10 +650,15 @@ func (f *Fleet) ReconfigureCtx(ctx context.Context, homeID, appName string, cfg 
 
 	h := f.lookup(homeID)
 	if h == nil {
-		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: home %s: %w", homeID, err)
 	}
 	// Closure + defer for the same panic-safety reason as Install.
 	var (
+		threats []detect.Threat
+		logBase int
 		det     DetectorTotals
 		missing bool
 	)
@@ -630,11 +695,29 @@ func (f *Fleet) ReconfigureCtx(ctx context.Context, homeID, appName string, cfg 
 		det = h.takeDetectorDelta()
 	}()
 	if missing {
-		return nil, 0, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppNotInstalled, appName)
+		return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppNotInstalled, appName)
 	}
 	f.metrics.detectorDelta(det)
 	f.metrics.reconfigureDone()
-	return threats, logBase, nil
+	f.publishOpEvents(events.TypeReconfigure, homeID, appName, threats, time.Since(start))
+	return &ReconfigureResult{
+		HomeID:        homeID,
+		App:           appName,
+		Threats:       threats,
+		ThreatLogBase: logBase,
+	}, nil
+}
+
+// ReconfigureCtx is a deprecated wrapper preserving the pre-redesign
+// (threats, logBase, err) return triple.
+//
+// Deprecated: call Reconfigure; it returns a ReconfigureResult.
+func (f *Fleet) ReconfigureCtx(ctx context.Context, homeID, appName string, cfg *detect.Config) ([]detect.Threat, int, error) {
+	res, err := f.Reconfigure(ctx, homeID, appName, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Threats, res.ThreatLogBase, nil
 }
 
 // Accept records user-approved threats in one home so later installs

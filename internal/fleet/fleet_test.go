@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,7 +27,7 @@ func mustSource(t testing.TB, name string) string {
 // preserved: the second install reports interference.
 func TestFleetInstallDetectsThreat(t *testing.T) {
 	f := New(Options{})
-	r1, err := f.Install("home-1", mustSource(t, "ComfortTV"), nil)
+	r1, err := f.Install(context.Background(), "home-1", mustSource(t, "ComfortTV"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestFleetInstallDetectsThreat(t *testing.T) {
 	if len(r1.Threats) != 0 {
 		t.Errorf("first install reported %d threats in an empty home", len(r1.Threats))
 	}
-	r2, err := f.Install("home-1", mustSource(t, "ColdDefender"), nil)
+	r2, err := f.Install(context.Background(), "home-1", mustSource(t, "ColdDefender"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFleetInstallDetectsThreat(t *testing.T) {
 	}
 
 	// Homes are isolated: the same pair in another home starts clean.
-	r3, err := f.Install("home-2", mustSource(t, "ComfortTV"), nil)
+	r3, err := f.Install(context.Background(), "home-2", mustSource(t, "ComfortTV"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +79,10 @@ func TestFleetInstallDetectsThreat(t *testing.T) {
 // duplicate an app inside a home.
 func TestFleetDuplicateInstall(t *testing.T) {
 	f := New(Options{})
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
-	_, err := f.Install("h", mustSource(t, "ComfortTV"), nil)
+	_, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), nil)
 	if !errors.Is(err, ErrAppInstalled) {
 		t.Fatalf("second install of the same app: err = %v, want ErrAppInstalled", err)
 	}
@@ -109,42 +110,42 @@ func TestFleetReconfigureNilKeepsConfig(t *testing.T) {
 		return cfg
 	}
 	f := New(Options{})
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), bindings("tv-A", "win-1")); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), bindings("tv-A", "win-1")); err != nil {
 		t.Fatal(err)
 	}
 	// Both apps bound to the SAME window: the pair races on one actuator
 	// (AR). Dropping ColdDefender's binding would turn that into a
 	// cross-device goal conflict instead, so the kinds expose whether
 	// the bindings survive.
-	res, err := f.Install("h", mustSource(t, "ColdDefender"), bindings("tv-A", "win-1"))
+	res, err := f.Install(context.Background(), "h", mustSource(t, "ColdDefender"), bindings("tv-A", "win-1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	boundKinds := kindsOf(res.Threats)
 
-	ts, _, err := f.Reconfigure("h", "ColdDefender", nil)
+	rr, err := f.Reconfigure(context.Background(), "h", "ColdDefender", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := kindsOf(ts); got != boundKinds {
+	if got := kindsOf(rr.Threats); got != boundKinds {
 		t.Errorf("Reconfigure(nil) threats = %s, want the configured result %s (bindings were dropped)", got, boundKinds)
 	}
 	// An explicit empty config DOES reset ColdDefender's bindings. The
 	// reference is a home where ColdDefender was installed unbound from
 	// the start (ComfortTV keeps its bindings in both).
-	ts, _, err = f.Reconfigure("h", "ColdDefender", detect.NewConfig())
+	rr, err = f.Reconfigure(context.Background(), "h", "ColdDefender", detect.NewConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	ref := New(Options{})
-	if _, err := ref.Install("h", mustSource(t, "ComfortTV"), bindings("tv-A", "win-1")); err != nil {
+	if _, err := ref.Install(context.Background(), "h", mustSource(t, "ComfortTV"), bindings("tv-A", "win-1")); err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Install("h", mustSource(t, "ColdDefender"), detect.NewConfig())
+	want, err := ref.Install(context.Background(), "h", mustSource(t, "ColdDefender"), detect.NewConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := kindsOf(ts); got != kindsOf(want.Threats) {
+	if got := kindsOf(rr.Threats); got != kindsOf(want.Threats) {
 		t.Errorf("Reconfigure(empty) threats = %s, want unbound-install result %s", got, kindsOf(want.Threats))
 	}
 	if kindsOf(want.Threats) == boundKinds {
@@ -163,8 +164,8 @@ func kindsOf(ts []detect.Threat) string {
 
 func TestFleetAcceptByIndex(t *testing.T) {
 	f := New(Options{})
-	f.Install("h", mustSource(t, "ComfortTV"), nil)
-	res, _ := f.Install("h", mustSource(t, "ColdDefender"), nil)
+	f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), nil)
+	res, _ := f.Install(context.Background(), "h", mustSource(t, "ColdDefender"), nil)
 	if len(res.Threats) == 0 {
 		t.Fatal("no threats to accept")
 	}
@@ -190,43 +191,43 @@ func TestFleetUnknownHomeAndApp(t *testing.T) {
 	if _, err := f.Threats("nope"); err == nil {
 		t.Error("Threats(unknown home) did not fail")
 	}
-	if _, _, err := f.Reconfigure("nope", "App", nil); err == nil {
+	if _, err := f.Reconfigure(context.Background(), "nope", "App", nil); err == nil {
 		t.Error("Reconfigure(unknown home) did not fail")
 	}
 	if err := f.Accept("nope"); err == nil {
 		t.Error("Accept(unknown home) did not fail")
 	}
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := f.Reconfigure("h", "NoSuchApp", nil); err == nil {
+	if _, err := f.Reconfigure(context.Background(), "h", "NoSuchApp", nil); err == nil {
 		t.Error("Reconfigure(unknown app) did not fail")
 	}
 }
 
 func TestFleetReconfigure(t *testing.T) {
 	f := New(Options{})
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Install("h", mustSource(t, "ColdDefender"), nil)
+	res, err := f.Install(context.Background(), "h", mustSource(t, "ColdDefender"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Re-running detection under a fresh (empty) config must reproduce
 	// the type-level threats.
-	ts, logBase, err := f.Reconfigure("h", res.App.Name, detect.NewConfig())
+	rr, err := f.Reconfigure(context.Background(), "h", res.App.Name, detect.NewConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ts) != len(res.Threats) {
-		t.Errorf("Reconfigure found %d threats, install found %d", len(ts), len(res.Threats))
+	if len(rr.Threats) != len(res.Threats) {
+		t.Errorf("Reconfigure found %d threats, install found %d", len(rr.Threats), len(res.Threats))
 	}
 	// Reconfigure threats are appended to the log after the install ones.
-	if logBase != len(res.Threats) {
-		t.Errorf("Reconfigure logBase = %d, want %d", logBase, len(res.Threats))
+	if rr.ThreatLogBase != len(res.Threats) {
+		t.Errorf("Reconfigure logBase = %d, want %d", rr.ThreatLogBase, len(res.Threats))
 	}
-	if err := f.AcceptByIndex("h", logBase); err != nil {
+	if err := f.AcceptByIndex("h", rr.ThreatLogBase); err != nil {
 		t.Errorf("accepting a reconfigure-reported threat by index: %v", err)
 	}
 	m := f.Metrics()
@@ -245,7 +246,7 @@ func TestFleetReconfigure(t *testing.T) {
 
 func TestFleetInstallError(t *testing.T) {
 	f := New(Options{})
-	if _, err := f.Install("h", "not groovy {{{", nil); err == nil {
+	if _, err := f.Install(context.Background(), "h", "not groovy {{{", nil); err == nil {
 		t.Fatal("install of unparseable source did not fail")
 	}
 	m := f.Metrics()
@@ -281,7 +282,7 @@ func TestFleetParallelInstalls(t *testing.T) {
 			defer wg.Done()
 			id := fmt.Sprintf("home-%04d", h)
 			for _, src := range sources {
-				if _, err := f.Install(id, src, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, src, nil); err != nil {
 					errs <- fmt.Errorf("%s: %w", id, err)
 					return
 				}
@@ -337,11 +338,11 @@ func TestFleetParallelInstalls(t *testing.T) {
 // reused rather than replaced.
 func TestFleetSharedCacheAcrossFleets(t *testing.T) {
 	f1 := New(Options{})
-	if _, err := f1.Install("a", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f1.Install(context.Background(), "a", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
 	f2 := New(Options{Cache: f1.Cache()})
-	if _, err := f2.Install("b", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f2.Install(context.Background(), "b", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if s := f1.Cache().Stats(); s.Misses != 1 || s.Hits != 1 {
@@ -362,7 +363,7 @@ func TestInstallBatch(t *testing.T) {
 		{Source: a2.Source},
 		{Source: a1.Source}, // duplicate of item 0 in the same home
 	}
-	out := f.InstallBatch("home-batch", items)
+	out := f.InstallBatch(context.Background(), "home-batch", items)
 	if len(out) != 4 {
 		t.Fatalf("got %d results, want 4", len(out))
 	}

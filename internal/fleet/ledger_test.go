@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -20,10 +21,10 @@ func bindingsFor(tv, window string) *detect.Config {
 // them), and a reconfigure that restores the binding brings them back.
 func TestActiveThreatsLedger(t *testing.T) {
 	f := New(Options{})
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), bindingsFor("tv-A", "win-1")); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), bindingsFor("tv-A", "win-1")); err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Install("h", mustSource(t, "ColdDefender"), bindingsFor("tv-A", "win-1"))
+	res, err := f.Install(context.Background(), "h", mustSource(t, "ColdDefender"), bindingsFor("tv-A", "win-1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestActiveThreatsLedger(t *testing.T) {
 
 	// Re-binding ColdDefender to another window resolves the pair: the
 	// active view must drop its threats, the history must keep them.
-	resolved, _, err := f.Reconfigure("h", "ColdDefender", bindingsFor("tv-A", "win-OTHER"))
+	resolvedRes, err := f.Reconfigure(context.Background(), "h", "ColdDefender", bindingsFor("tv-A", "win-OTHER"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,20 +50,20 @@ func TestActiveThreatsLedger(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kindsOf(active) != kindsOf(resolved) {
-		t.Errorf("active after resolving reconfigure = %s, want %s", kindsOf(active), kindsOf(resolved))
+	if kindsOf(active) != kindsOf(resolvedRes.Threats) {
+		t.Errorf("active after resolving reconfigure = %s, want %s", kindsOf(active), kindsOf(resolvedRes.Threats))
 	}
 	if hist, _ := f.Threats("h"); len(hist) < len(res.Threats) {
 		t.Errorf("history shrank to %d entries; the log is append-only", len(hist))
 	}
 
 	// Restoring the shared binding brings the pair's threats back.
-	restored, _, err := f.Reconfigure("h", "ColdDefender", bindingsFor("tv-A", "win-1"))
+	restoredRes, err := f.Reconfigure(context.Background(), "h", "ColdDefender", bindingsFor("tv-A", "win-1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kindsOf(restored) != kindsOf(res.Threats) {
-		t.Fatalf("restore reconfigure = %s, want %s", kindsOf(restored), kindsOf(res.Threats))
+	if kindsOf(restoredRes.Threats) != kindsOf(res.Threats) {
+		t.Fatalf("restore reconfigure = %s, want %s", kindsOf(restoredRes.Threats), kindsOf(res.Threats))
 	}
 	active, err = f.ActiveThreats("h")
 	if err != nil {
@@ -81,10 +82,10 @@ func TestActiveThreatsLedger(t *testing.T) {
 // one app must not disturb ledger entries of pairs it is not part of.
 func TestLedgerRetainsUntouchedPairs(t *testing.T) {
 	f := New(Options{})
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), bindingsFor("tv-A", "win-1")); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), bindingsFor("tv-A", "win-1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Install("h", mustSource(t, "ColdDefender"), bindingsFor("tv-A", "win-1")); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ColdDefender"), bindingsFor("tv-A", "win-1")); err != nil {
 		t.Fatal(err)
 	}
 	before, err := f.ActiveThreats("h")
@@ -100,10 +101,10 @@ func TestLedgerRetainsUntouchedPairs(t *testing.T) {
 	cfg := detect.NewConfig()
 	cfg.Devices["contact1"] = "dev-contact-far"
 	cfg.Devices["lock1"] = "dev-lock-far"
-	if _, err := f.Install("h", mustSource(t, "AutoLockDoor"), cfg); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "AutoLockDoor"), cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := f.Reconfigure("h", "AutoLockDoor", cfg); err != nil {
+	if _, err := f.Reconfigure(context.Background(), "h", "AutoLockDoor", cfg); err != nil {
 		t.Fatal(err)
 	}
 	after, err := f.ActiveThreats("h")
@@ -122,13 +123,13 @@ func TestLedgerRetainsUntouchedPairs(t *testing.T) {
 // home with ErrUnknownHome — never a generic error.
 func TestReconfigureUnknownAppTyped(t *testing.T) {
 	f := New(Options{})
-	if _, err := f.Install("h", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := f.Reconfigure("h", "NoSuchApp", nil); !errors.Is(err, ErrAppNotInstalled) {
+	if _, err := f.Reconfigure(context.Background(), "h", "NoSuchApp", nil); !errors.Is(err, ErrAppNotInstalled) {
 		t.Errorf("Reconfigure(unknown app): err = %v, want ErrAppNotInstalled", err)
 	}
-	if _, _, err := f.Reconfigure("ghost", "ComfortTV", nil); !errors.Is(err, ErrUnknownHome) {
+	if _, err := f.Reconfigure(context.Background(), "ghost", "ComfortTV", nil); !errors.Is(err, ErrUnknownHome) {
 		t.Errorf("Reconfigure(unknown home): err = %v, want ErrUnknownHome", err)
 	}
 	// The detect layer reports the same condition with its own sentinel.

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -19,12 +20,12 @@ func TestFleetInstallSpanTree(t *testing.T) {
 	o.Tracer.SetEnabled(true)
 	f := New(Options{Obs: o})
 
-	if _, err := f.Install("h1", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
 	// The second install shares channels with the first, so its detect
 	// stage compiles the new app, misses the verdict cache, and solves.
-	if _, err := f.Install("h1", mustSource(t, "ColdDefender"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ColdDefender"), nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -67,13 +68,13 @@ func TestFleetReconfigureSpanTree(t *testing.T) {
 	o := obs.NewObserver()
 	o.Tracer.SetEnabled(true)
 	f := New(Options{Obs: o})
-	if _, err := f.Install("h1", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Install("h1", mustSource(t, "ColdDefender"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ColdDefender"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := f.Reconfigure("h1", "ColdDefender", nil); err != nil {
+	if _, err := f.Reconfigure(context.Background(), "h1", "ColdDefender", nil); err != nil {
 		t.Fatal(err)
 	}
 	tree := o.Capture.Snapshot().Recent[0]
@@ -97,7 +98,7 @@ func TestFleetBatchSpanTree(t *testing.T) {
 		{Source: mustSource(t, "ComfortTV")},
 		{Source: mustSource(t, "ColdDefender")},
 	}
-	for _, r := range f.InstallBatch("h1", items) {
+	for _, r := range f.InstallBatch(context.Background(), "h1", items) {
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
@@ -196,14 +197,14 @@ func TestFleetConcurrentScrape(t *testing.T) {
 		go func(h int) {
 			defer traffic.Done()
 			home := fmt.Sprintf("home-%d", h)
-			for i, r := range f.InstallBatch(home, items) {
+			for i, r := range f.InstallBatch(context.Background(), home, items) {
 				if r.Err != nil {
 					t.Errorf("%s: install %s: %v", home, apps[i], r.Err)
 				}
 			}
 			for i := 0; i < 3; i++ {
 				app := apps[(h+i)%len(apps)]
-				if _, _, err := f.Reconfigure(home, app, nil); err != nil {
+				if _, err := f.Reconfigure(context.Background(), home, app, nil); err != nil {
 					t.Errorf("%s: reconfigure %s: %v", home, app, err)
 				}
 			}
@@ -229,10 +230,10 @@ func TestFleetConcurrentScrape(t *testing.T) {
 func TestFleetDisabledTracerKeepsMetrics(t *testing.T) {
 	o := obs.NewObserver()
 	f := New(Options{Obs: o}) // tracing disabled by default
-	if _, err := f.Install("h1", mustSource(t, "ComfortTV"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ComfortTV"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Install("h1", mustSource(t, "ColdDefender"), nil); err != nil {
+	if _, err := f.Install(context.Background(), "h1", mustSource(t, "ColdDefender"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if total := o.Capture.Snapshot().Total; total != 0 {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,7 +31,7 @@ func installCatalog(t testing.TB, f *Fleet, homes int) {
 			defer wg.Done()
 			id := fmt.Sprintf("home-%04d", h)
 			for _, src := range sources {
-				if _, err := f.Install(id, src, nil); err != nil {
+				if _, err := f.Install(context.Background(), id, src, nil); err != nil {
 					errs <- fmt.Errorf("%s: %w", id, err)
 					return
 				}

@@ -1,0 +1,374 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"homeguard/internal/api"
+)
+
+// Client is a connection to an RPC server. It is safe for concurrent
+// use: unary calls and streams multiplex over the one connection by
+// stream id.
+type Client struct {
+	conn net.Conn
+	fw   *frameWriter
+
+	mu     sync.Mutex
+	nextID uint64
+	calls  map[uint64]chan frame
+	err    error // sticky transport error, set when the read loop dies
+}
+
+// Dial connects to an RPC server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (the preface is written
+// here) and starts the demultiplexing read loop.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:  conn,
+		fw:    &frameWriter{w: bufio.NewWriterSize(conn, 32<<10)},
+		calls: map[uint64]chan frame{},
+	}
+	if _, err := io.WriteString(conn, Preface); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail with a
+// transport error.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop routes incoming frames to their calls until the connection
+// dies, then fails every pending call.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 32<<10)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("rpc: connection lost: %w", err)
+			for id, ch := range c.calls {
+				close(ch)
+				delete(c.calls, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.calls[f.id]
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// register allocates a stream id and its frame channel.
+func (c *Client) register(buf int) (uint64, chan frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, buf)
+	c.calls[id] = ch
+	return id, ch, nil
+}
+
+// unregister forgets a finished call.
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.mu.Unlock()
+}
+
+// transportErr returns the sticky read-loop error, or a generic one.
+func (c *Client) transportErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errors.New("rpc: connection closed")
+}
+
+// deadlineMsOf extracts the wire deadline from a context.
+func deadlineMsOf(ctx context.Context) int64 {
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			return ms
+		}
+		return 1 // expired: let the server reject it authoritatively
+	}
+	return 0
+}
+
+// Call invokes one unary method: req is marshaled into the request
+// body, the response body is unmarshaled into resp (ignored when resp
+// is nil). Server-side failures come back as *api.Error; transport
+// failures as ordinary errors.
+func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	id, ch, err := c.register(1)
+	if err != nil {
+		return err
+	}
+	defer c.unregister(id)
+	hdr := reqHeader{Method: method, DeadlineMs: deadlineMsOf(ctx), Body: body}
+	if err := c.fw.writeJSON(frameReq, id, hdr); err != nil {
+		return fmt.Errorf("rpc: send: %w", err)
+	}
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				return c.transportErr()
+			}
+			if f.typ != frameRes {
+				continue // stray frame on a unary call: ignore
+			}
+			return decodeStatus(f.payload, resp)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// decodeStatus unpacks a RES payload into an error and/or resp.
+func decodeStatus(payload []byte, resp any) error {
+	var res resPayload
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return fmt.Errorf("rpc: bad response: %w", err)
+	}
+	if res.Error != nil {
+		return res.Error
+	}
+	if res.Status != 0 {
+		return api.Errorf(api.CodeInternal, "status %d with no error envelope", res.Status)
+	}
+	if resp != nil && len(res.Body) > 0 {
+		if err := json.Unmarshal(res.Body, resp); err != nil {
+			return fmt.Errorf("rpc: bad response body: %w", err)
+		}
+	}
+	return nil
+}
+
+// Install invokes the unary Install RPC.
+func (c *Client) Install(ctx context.Context, req *api.InstallRequest) (*api.InstallResponse, error) {
+	resp := new(api.InstallResponse)
+	if err := c.Call(ctx, "Install", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// InstallBatch invokes the unary-batched InstallBatch RPC.
+func (c *Client) InstallBatch(ctx context.Context, req *api.InstallBatchRequest) (*api.InstallBatchResponse, error) {
+	resp := new(api.InstallBatchResponse)
+	if err := c.Call(ctx, "InstallBatch", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Reconfigure invokes the unary Reconfigure RPC.
+func (c *Client) Reconfigure(ctx context.Context, req *api.ReconfigureRequest) (*api.ReconfigureResponse, error) {
+	resp := new(api.ReconfigureResponse)
+	if err := c.Call(ctx, "Reconfigure", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Threats invokes the unary Threats RPC.
+func (c *Client) Threats(ctx context.Context, req *api.ThreatsRequest) (*api.ThreatsResponse, error) {
+	resp := new(api.ThreatsResponse)
+	if err := c.Call(ctx, "Threats", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Accept invokes the unary Accept RPC.
+func (c *Client) Accept(ctx context.Context, req *api.AcceptRequest) (*api.AcceptResponse, error) {
+	resp := new(api.AcceptResponse)
+	if err := c.Call(ctx, "Accept", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Apps invokes the unary Apps RPC.
+func (c *Client) Apps(ctx context.Context, home string) (*api.AppsResponse, error) {
+	resp := new(api.AppsResponse)
+	if err := c.Call(ctx, "Apps", &api.AppsRequest{Home: home}, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Stream is a client-side bidirectional stream. Send requests with
+// Send, half-close with CloseSend, then drain results with Recv until
+// io.EOF (the server trailer). Per-item failures surface as the Error
+// field of each received item, not as Recv errors.
+type Stream struct {
+	c      *Client
+	ctx    context.Context
+	id     uint64
+	ch     chan frame
+	closed bool
+}
+
+// openStream starts a stream for method.
+func (c *Client) openStream(ctx context.Context, method string) (*Stream, error) {
+	id, ch, err := c.register(64)
+	if err != nil {
+		return nil, err
+	}
+	hdr := reqHeader{Method: method, DeadlineMs: deadlineMsOf(ctx)}
+	if err := c.fw.writeJSON(frameReq, id, hdr); err != nil {
+		c.unregister(id)
+		return nil, fmt.Errorf("rpc: open stream: %w", err)
+	}
+	return &Stream{c: c, ctx: ctx, id: id, ch: ch}, nil
+}
+
+// Send ships one request message on the stream.
+func (st *Stream) Send(req any) error {
+	return st.c.fw.writeJSON(frameMsg, st.id, req)
+}
+
+// CloseSend half-closes the stream: no more Sends will follow.
+func (st *Stream) CloseSend() error {
+	return st.c.fw.write(frameEOS, st.id, nil)
+}
+
+// Recv returns the next per-item outcome. It returns io.EOF after the
+// server's trailer (an error trailer is returned instead on its first
+// Recv), and unregisters the stream at that point.
+func (st *Stream) Recv() (*streamItem, error) {
+	if st.closed {
+		return nil, io.EOF
+	}
+	for {
+		select {
+		case f, ok := <-st.ch:
+			if !ok {
+				st.closed = true
+				return nil, st.c.transportErr()
+			}
+			switch f.typ {
+			case frameMsg:
+				item := new(streamItem)
+				if err := json.Unmarshal(f.payload, item); err != nil {
+					return nil, fmt.Errorf("rpc: bad stream item: %w", err)
+				}
+				return item, nil
+			case frameRes:
+				st.closed = true
+				st.c.unregister(st.id)
+				if err := decodeStatus(f.payload, nil); err != nil {
+					return nil, err
+				}
+				return nil, io.EOF
+			}
+		case <-st.ctx.Done():
+			st.closed = true
+			st.c.unregister(st.id)
+			return nil, st.ctx.Err()
+		}
+	}
+}
+
+// InstallStream streams install requests: each Send(*api.InstallRequest)
+// yields one RecvInstall result in order.
+type InstallStream struct{ Stream }
+
+// StreamInstall opens a bidirectional install stream.
+func (c *Client) StreamInstall(ctx context.Context) (*InstallStream, error) {
+	st, err := c.openStream(ctx, "StreamInstall")
+	if err != nil {
+		return nil, err
+	}
+	return &InstallStream{Stream: *st}, nil
+}
+
+// RecvInstall returns the next install outcome: exactly one of the
+// response and the error is non-nil; io.EOF ends the stream.
+func (st *InstallStream) RecvInstall() (*api.InstallResponse, *api.Error, error) {
+	item, err := st.Recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	if item.Error != nil {
+		return nil, item.Error, nil
+	}
+	resp := new(api.InstallResponse)
+	if err := json.Unmarshal(item.Result, resp); err != nil {
+		return nil, nil, fmt.Errorf("rpc: bad install result: %w", err)
+	}
+	return resp, nil, nil
+}
+
+// ThreatsStream streams threat-log reads: each Send(*api.ThreatsRequest)
+// yields one RecvThreats result in order.
+type ThreatsStream struct{ Stream }
+
+// StreamThreats opens a bidirectional threat-read stream.
+func (c *Client) StreamThreats(ctx context.Context) (*ThreatsStream, error) {
+	st, err := c.openStream(ctx, "StreamThreats")
+	if err != nil {
+		return nil, err
+	}
+	return &ThreatsStream{Stream: *st}, nil
+}
+
+// RecvThreats returns the next threat-read outcome: exactly one of the
+// response and the error is non-nil; io.EOF ends the stream.
+func (st *ThreatsStream) RecvThreats() (*api.ThreatsResponse, *api.Error, error) {
+	item, err := st.Recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	if item.Error != nil {
+		return nil, item.Error, nil
+	}
+	resp := new(api.ThreatsResponse)
+	if err := json.Unmarshal(item.Result, resp); err != nil {
+		return nil, nil, fmt.Errorf("rpc: bad threats result: %w", err)
+	}
+	return resp, nil, nil
+}

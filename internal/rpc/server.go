@@ -1,0 +1,454 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"homeguard/internal/api"
+	"homeguard/internal/obs"
+)
+
+// ServerOptions tune the RPC server.
+type ServerOptions struct {
+	// DefaultTimeout bounds RPCs whose client sent no deadline
+	// (default 30s; <0 disables).
+	DefaultTimeout time.Duration
+	// Obs, when set, threads rpc.<Method> spans through the tracer and
+	// registers the homeguard_rpc_* metrics catalog.
+	Obs *obs.Observer
+}
+
+// Server serves the framed RPC protocol over a net.Listener,
+// dispatching to a Service. One server handles any number of
+// connections; each connection multiplexes concurrent RPCs by stream
+// id.
+type Server struct {
+	svc  *Service
+	opts ServerOptions
+	m    *rpcMetrics
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server for svc. When opts.Obs carries a
+// registry, the server registers its metrics collector immediately.
+func NewServer(svc *Service, opts ServerOptions) *Server {
+	if opts.DefaultTimeout == 0 {
+		opts.DefaultTimeout = 30 * time.Second
+	}
+	s := &Server{svc: svc, opts: opts, conns: map[net.Conn]struct{}{}, m: newRPCMetrics()}
+	if opts.Obs != nil && opts.Obs.Registry != nil {
+		s.m.register(opts.Obs.Registry, svc)
+	}
+	return s
+}
+
+// Serve accepts connections on lis until Close. It returns nil after
+// Close, or the accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rpc: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// stream is the server-side state of one open client stream: the
+// reader loop feeds MSG payloads into inbox and closes it on EOS.
+type stream struct {
+	inbox chan json.RawMessage
+}
+
+// handleConn runs one connection: verify the preface, then read frames
+// and dispatch. RPC handlers run in their own goroutines; responses
+// are serialized through the shared frame writer.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var pre [len(Preface)]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil || string(pre[:]) != Preface {
+		return
+	}
+	fw := &frameWriter{w: bufio.NewWriterSize(conn, 32<<10)}
+	streams := map[uint64]*stream{}
+	// Per-connection handler tracking: when the reader loop exits, the
+	// connection context is canceled so abandoned handlers unwind.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch f.typ {
+		case frameReq:
+			var hdr reqHeader
+			if err := json.Unmarshal(f.payload, &hdr); err != nil {
+				s.writeStatus(fw, f.id, api.Errorf(api.CodeInvalidArgument, "bad request header: %v", err), nil)
+				continue
+			}
+			if isStreamMethod(hdr.Method) {
+				st := &stream{inbox: make(chan json.RawMessage, 16)}
+				streams[f.id] = st
+				wg.Add(1)
+				go func(id uint64, hdr reqHeader, st *stream) {
+					defer wg.Done()
+					s.handleStream(ctx, fw, id, hdr, st)
+				}(f.id, hdr, st)
+				continue
+			}
+			wg.Add(1)
+			go func(id uint64, hdr reqHeader) {
+				defer wg.Done()
+				s.handleUnary(ctx, fw, id, hdr)
+			}(f.id, hdr)
+		case frameMsg:
+			if st, ok := streams[f.id]; ok {
+				// Blocking here applies flow control: a stream consumer
+				// that can't keep up backpressures the whole connection,
+				// exactly like an HTTP/2 window running dry.
+				st.inbox <- f.payload
+			}
+		case frameEOS:
+			if st, ok := streams[f.id]; ok {
+				close(st.inbox)
+				delete(streams, f.id)
+			}
+		default:
+			return // protocol error: drop the connection
+		}
+	}
+}
+
+// rpcCtx derives the RPC's context from the client deadline, falling
+// back to the server default.
+func (s *Server) rpcCtx(parent context.Context, deadlineMs int64) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if deadlineMs > 0 {
+		d = time.Duration(deadlineMs) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// intercept wraps one RPC invocation with a span and the
+// homeguard_rpc_* metrics, returning the handler's error unchanged.
+func (s *Server) intercept(method string, fn func(sp *obs.Span) *api.Error) *api.Error {
+	var sp *obs.Span
+	if s.opts.Obs != nil {
+		sp = s.opts.Obs.Tracer.Start("rpc." + method)
+		sp.SetStr("method", method)
+	}
+	start := time.Now()
+	aerr := fn(sp)
+	code := api.CodeOK
+	if aerr != nil {
+		code = aerr.Code
+	}
+	sp.SetStr("code", string(code))
+	sp.End()
+	s.m.observe(method, code, time.Since(start))
+	return aerr
+}
+
+// handleUnary decodes, dispatches and responds to one unary RPC.
+func (s *Server) handleUnary(parent context.Context, fw *frameWriter, id uint64, hdr reqHeader) {
+	ctx, cancel := s.rpcCtx(parent, hdr.DeadlineMs)
+	defer cancel()
+	var body any
+	aerr := s.intercept(hdr.Method, func(sp *obs.Span) *api.Error {
+		if sp != nil {
+			ctx = obs.ContextWithSpan(ctx, sp)
+		}
+		var e *api.Error
+		body, e = s.dispatch(ctx, hdr.Method, hdr.Body)
+		return e
+	})
+	s.writeStatus(fw, id, aerr, body)
+}
+
+// dispatch routes one unary method.
+func (s *Server) dispatch(ctx context.Context, method string, body json.RawMessage) (any, *api.Error) {
+	switch method {
+	case "Install":
+		req := new(api.InstallRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.Install(ctx, req)
+	case "InstallBatch":
+		req := new(api.InstallBatchRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.InstallBatch(ctx, req)
+	case "Reconfigure":
+		req := new(api.ReconfigureRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.Reconfigure(ctx, req)
+	case "Threats":
+		req := new(api.ThreatsRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.Threats(ctx, req)
+	case "Accept":
+		req := new(api.AcceptRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.Accept(ctx, req)
+	case "Apps":
+		req := new(api.AppsRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.Apps(ctx, req.Home)
+	default:
+		return nil, api.Errorf(api.CodeNotFound, "unknown method %q", method)
+	}
+}
+
+func isStreamMethod(method string) bool {
+	return method == "StreamInstall" || method == "StreamThreats"
+}
+
+// handleStream runs one bidirectional stream: requests arrive on the
+// inbox in order, each produces one MSG reply (result or per-item
+// error), and a RES trailer closes the stream. Per-item failures do
+// not tear the stream down; only transport errors and stream-level
+// deadline expiry do.
+func (s *Server) handleStream(parent context.Context, fw *frameWriter, id uint64, hdr reqHeader, st *stream) {
+	ctx, cancel := s.rpcCtx(parent, hdr.DeadlineMs)
+	defer cancel()
+	s.m.streamOpen()
+	defer s.m.streamClose()
+	aerr := s.intercept(hdr.Method, func(sp *obs.Span) *api.Error {
+		if sp != nil {
+			ctx = obs.ContextWithSpan(ctx, sp)
+		}
+		n := 0
+		defer func() { sp.SetInt("msgs", int64(n)) }()
+		for {
+			select {
+			case payload, ok := <-st.inbox:
+				if !ok {
+					return nil // client half-closed: trailer follows
+				}
+				n++
+				s.m.streamMsg()
+				item := s.streamItemFor(ctx, hdr.Method, payload)
+				if err := fw.writeJSON(frameMsg, id, item); err != nil {
+					return api.Errorf(api.CodeUnavailable, "stream write: %v", err)
+				}
+			case <-ctx.Done():
+				return api.FromErr(ctx.Err())
+			}
+		}
+	})
+	s.writeStatus(fw, id, aerr, nil)
+}
+
+// streamItemFor runs one streamed request and wraps its outcome.
+func (s *Server) streamItemFor(ctx context.Context, method string, payload json.RawMessage) streamItem {
+	var (
+		res  any
+		aerr *api.Error
+	)
+	switch method {
+	case "StreamInstall":
+		req := new(api.InstallRequest)
+		if aerr = decodeBody(payload, req); aerr == nil {
+			res, aerr = s.svc.Install(ctx, req)
+		}
+	case "StreamThreats":
+		req := new(api.ThreatsRequest)
+		if aerr = decodeBody(payload, req); aerr == nil {
+			res, aerr = s.svc.Threats(ctx, req)
+		}
+	}
+	if aerr != nil {
+		return streamItem{Error: aerr}
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return streamItem{Error: api.Errorf(api.CodeInternal, "encode result: %v", err)}
+	}
+	return streamItem{Result: b}
+}
+
+// writeStatus emits the RES frame for one finished RPC.
+func (s *Server) writeStatus(fw *frameWriter, id uint64, aerr *api.Error, body any) {
+	res := resPayload{}
+	if aerr != nil {
+		res.Status = aerr.Code.GRPC()
+		res.Error = aerr
+	} else if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			res.Status = api.CodeInternal.GRPC()
+			res.Error = api.Errorf(api.CodeInternal, "encode response: %v", err)
+		} else {
+			res.Body = b
+		}
+	}
+	// A write failure means the connection died; the reader loop
+	// notices and unwinds.
+	_ = fw.writeJSON(frameRes, id, res)
+}
+
+// decodeBody unmarshals a request body, mapping malformed JSON to
+// INVALID_ARGUMENT.
+func decodeBody(body json.RawMessage, into any) *api.Error {
+	if len(body) == 0 {
+		return api.Errorf(api.CodeInvalidArgument, "empty request body")
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		return api.Errorf(api.CodeInvalidArgument, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// ---------- metrics ----------
+
+// rpcMetrics aggregates the homeguard_rpc_* catalog. Counters are a
+// mutex-guarded map keyed by (method, code) — RPC dispatch is far from
+// the solver hot path, so a mutex is fine — and latency is one shared
+// atomic histogram.
+type rpcMetrics struct {
+	mu      sync.Mutex
+	byCode  map[[2]string]uint64 // (method, code) → count
+	latency *obs.Histogram
+
+	streamsActive atomic.Int64
+	streamMsgs    atomic.Uint64
+}
+
+func newRPCMetrics() *rpcMetrics {
+	return &rpcMetrics{byCode: map[[2]string]uint64{}, latency: &obs.Histogram{}}
+}
+
+func (m *rpcMetrics) observe(method string, code api.Code, d time.Duration) {
+	m.latency.Observe(d)
+	m.mu.Lock()
+	m.byCode[[2]string{method, string(code)}]++
+	m.mu.Unlock()
+}
+
+func (m *rpcMetrics) streamOpen()  { m.streamsActive.Add(1) }
+func (m *rpcMetrics) streamClose() { m.streamsActive.Add(-1) }
+func (m *rpcMetrics) streamMsg()   { m.streamMsgs.Add(1) }
+
+// register exports the catalog through a scrape-time collector.
+func (m *rpcMetrics) register(reg *obs.Registry, svc *Service) {
+	reg.RegisterCollector(func(e *obs.Emit) {
+		m.mu.Lock()
+		keys := make([][2]string, 0, len(m.byCode))
+		for k := range m.byCode {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		counts := make([]uint64, len(keys))
+		for i, k := range keys {
+			counts[i] = m.byCode[k]
+		}
+		m.mu.Unlock()
+		for i, k := range keys {
+			e.Counter("homeguard_rpc_requests_total", "RPC requests by method and gRPC status code.",
+				float64(counts[i]), obs.Label{Name: "method", Value: k[0]}, obs.Label{Name: "code", Value: k[1]})
+		}
+		e.Histogram("homeguard_rpc_latency_seconds", "Server-side RPC latency (all methods).", m.latency.Snapshot())
+		e.Gauge("homeguard_rpc_streams_active", "Currently open RPC streams.", float64(m.streamsActive.Load()))
+		e.Counter("homeguard_rpc_stream_msgs_total", "Messages processed on RPC streams.", float64(m.streamMsgs.Load()))
+		for _, stage := range []string{StageExtract, StageDetect} {
+			e.Gauge("homeguard_rpc_breaker_open", "Circuit breaker state by stage (0 closed, 0.5 half-open, 1 open).",
+				breakerGaugeValue(svc.BreakerState(stage)), obs.Label{Name: "stage", Value: stage})
+		}
+	})
+}
+
+func breakerGaugeValue(state string) float64 {
+	switch state {
+	case BreakerOpen:
+		return 1
+	case BreakerHalfOpen:
+		return 0.5
+	}
+	return 0
+}

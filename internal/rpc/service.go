@@ -1,0 +1,338 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+
+	"homeguard/internal/api"
+	"homeguard/internal/detect"
+	"homeguard/internal/fleet"
+)
+
+// Pipeline stages guarded by independent circuit breakers. Extraction
+// and detection fail independently — a pathological Groovy corpus can
+// wedge symbolic execution while cached-app detection stays healthy,
+// and a dense home can blow detection budgets while extraction is fine
+// — so each stage sheds on its own.
+const (
+	StageExtract = "extract"
+	StageDetect  = "detect"
+)
+
+// ServiceOptions tune the transport-shared service core.
+type ServiceOptions struct {
+	// Breaker configures both stage breakers.
+	Breaker BreakerOptions
+}
+
+// Service is the transport-neutral core of the enforcement edge: the
+// HTTP handlers in cmd/homeguardd and the RPC dispatch in this package
+// both call these methods, so verdicts, error codes and breaker
+// behavior are identical on either wire. Methods take and return the
+// api package's DTOs and report failures as *api.Error — the envelope
+// each transport writes verbatim.
+type Service struct {
+	fleet   *fleet.Fleet
+	extract *Breaker
+	detect  *Breaker
+
+	// inject, when set, runs before each guarded stage and its error
+	// (if any) replaces the stage — the test hook for breaker behavior.
+	inject func(stage string) error
+}
+
+// NewService wraps a fleet with per-stage circuit breakers.
+func NewService(f *fleet.Fleet, opts ServiceOptions) *Service {
+	return &Service{
+		fleet:   f,
+		extract: NewBreaker(opts.Breaker),
+		detect:  NewBreaker(opts.Breaker),
+	}
+}
+
+// Fleet returns the wrapped fleet.
+func (s *Service) Fleet() *fleet.Fleet { return s.fleet }
+
+// BreakerState reports the named stage's breaker state (for /metrics
+// and tests).
+func (s *Service) BreakerState(stage string) string {
+	if b := s.breaker(stage); b != nil {
+		return b.State()
+	}
+	return ""
+}
+
+func (s *Service) breaker(stage string) *Breaker {
+	switch stage {
+	case StageExtract:
+		return s.extract
+	case StageDetect:
+		return s.detect
+	}
+	return nil
+}
+
+// breakerCounts reports whether an error indicates stage ill-health
+// (and so counts toward opening the breaker). Client-caused errors —
+// unknown homes, unparsable sources, bad configs — mean the stage did
+// its job and count as successes.
+func breakerCounts(e *api.Error) bool {
+	if e == nil {
+		return false
+	}
+	switch e.Code {
+	case api.CodeInternal, api.CodeDeadlineExceeded, api.CodeUnavailable:
+		return true
+	}
+	return false
+}
+
+// runStage executes op under the stage's breaker and the RPC deadline.
+// A shed request fails fast with UNAVAILABLE and a retry hint; an op
+// that outlives ctx returns DEADLINE_EXCEEDED (the op goroutine is
+// abandoned — it completes in the background and, for extraction,
+// still warms the shared cache); a panic inside op becomes INTERNAL.
+// Timeouts, panics and internal errors feed the breaker; client errors
+// reset it.
+func (s *Service) runStage(ctx context.Context, stage string, b *Breaker, op func() error) *api.Error {
+	if err := ctx.Err(); err != nil {
+		return api.FromErr(err)
+	}
+	ok, retry := b.Allow()
+	if !ok {
+		aerr := api.Errorf(api.CodeUnavailable, "%s stage circuit breaker open", stage)
+		if ms := retry.Milliseconds(); ms > 0 {
+			aerr.RetryAfterMs = ms
+		} else {
+			aerr.RetryAfterMs = 1
+		}
+		return aerr
+	}
+	done := make(chan *api.Error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- api.Errorf(api.CodeInternal, "%s stage panic: %v", stage, r)
+			}
+		}()
+		if s.inject != nil {
+			if err := s.inject(stage); err != nil {
+				done <- api.FromErr(err)
+				return
+			}
+		}
+		done <- api.FromErr(op())
+	}()
+	select {
+	case aerr := <-done:
+		if breakerCounts(aerr) {
+			b.Failure()
+		} else {
+			b.Success()
+		}
+		return aerr
+	case <-ctx.Done():
+		b.Failure()
+		return api.FromErr(ctx.Err())
+	}
+}
+
+// Install extracts and installs one app into one home, returning the
+// detection verdict. Extraction runs first under the extract breaker
+// (through the fleet's shared content-addressed cache), then the
+// install — which joins the warm cache entry — runs under the detect
+// breaker.
+func (s *Service) Install(ctx context.Context, req *api.InstallRequest) (*api.InstallResponse, *api.Error) {
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	src, aerr := req.ResolveSource()
+	if aerr != nil {
+		return nil, aerr
+	}
+	cfg, aerr := req.Config.ToDetect()
+	if aerr != nil {
+		return nil, aerr
+	}
+	if aerr := s.runStage(ctx, StageExtract, s.extract, func() error {
+		_, err := s.fleet.Cache().Extract(src, "")
+		if err != nil {
+			return fmt.Errorf("extraction failed: %w", err)
+		}
+		return nil
+	}); aerr != nil {
+		return nil, aerr
+	}
+	var res *fleet.InstallResult
+	if aerr := s.runStage(ctx, StageDetect, s.detect, func() error {
+		r, err := s.fleet.Install(ctx, req.Home, src, cfg)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	}); aerr != nil {
+		return nil, aerr
+	}
+	return api.InstallResponseOf(res), nil
+}
+
+// InstallBatch installs several apps into one home. The parallel
+// extraction prewarm runs as one extract-breaker stage, the in-order
+// installs as one detect-breaker stage; item-level failures (bad
+// source, unparsable app) are reported per item and neither stop the
+// batch nor trip a breaker.
+func (s *Service) InstallBatch(ctx context.Context, req *api.InstallBatchRequest) (*api.InstallBatchResponse, *api.Error) {
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	if len(req.Items) == 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "batch has no items")
+	}
+	resp := &api.InstallBatchResponse{
+		HomeID:  req.Home,
+		Results: make([]api.BatchItemResult, len(req.Items)),
+	}
+	items := make([]fleet.BatchItem, len(req.Items))
+	resolved := make([]bool, len(req.Items))
+	for i := range req.Items {
+		src, aerr := req.Items[i].ResolveSource()
+		if aerr != nil {
+			resp.Results[i] = api.BatchItemResult{Error: aerr}
+			continue
+		}
+		cfg, aerr := req.Items[i].Config.ToDetect()
+		if aerr != nil {
+			resp.Results[i] = api.BatchItemResult{Error: aerr}
+			continue
+		}
+		items[i] = fleet.BatchItem{Source: src, Config: cfg}
+		resolved[i] = true
+	}
+	// The resolvable subset runs through the fleet's batch path (which
+	// prewarms extraction in parallel), guarded as one detect stage;
+	// extraction health is accounted by the Install path — a wedged
+	// extractor times the whole batch out and trips detect here, which
+	// still sheds batches.
+	sub := make([]fleet.BatchItem, 0, len(items))
+	for i := range items {
+		if resolved[i] {
+			sub = append(sub, items[i])
+		}
+	}
+	if len(sub) > 0 {
+		var results []fleet.BatchResult
+		if aerr := s.runStage(ctx, StageDetect, s.detect, func() error {
+			results = s.fleet.InstallBatch(ctx, req.Home, sub)
+			return nil
+		}); aerr != nil {
+			return nil, aerr
+		}
+		j := 0
+		for i := range items {
+			if !resolved[i] {
+				continue
+			}
+			br := results[j]
+			j++
+			if br.Err != nil {
+				resp.Results[i] = api.BatchItemResult{Error: api.FromErr(br.Err)}
+			} else {
+				resp.Results[i] = api.BatchItemResult{Result: api.InstallResponseOf(br.Result)}
+			}
+		}
+	}
+	return resp, nil
+}
+
+// Reconfigure updates one installed app's configuration and re-runs
+// detection under the detect breaker (no extraction stage: the app's
+// rules are already extracted).
+func (s *Service) Reconfigure(ctx context.Context, req *api.ReconfigureRequest) (*api.ReconfigureResponse, *api.Error) {
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	if req.App == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "app is required")
+	}
+	cfg, aerr := req.Config.ToDetect()
+	if aerr != nil {
+		return nil, aerr
+	}
+	var res *fleet.ReconfigureResult
+	if aerr := s.runStage(ctx, StageDetect, s.detect, func() error {
+		r, err := s.fleet.Reconfigure(ctx, req.Home, req.App, cfg)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	}); aerr != nil {
+		return nil, aerr
+	}
+	return api.ReconfigureResponseOf(res), nil
+}
+
+// Threats reads one home's threat log, or its active (ledger) set when
+// req.Active is set. Reads are cheap and skip the breakers.
+func (s *Service) Threats(ctx context.Context, req *api.ThreatsRequest) (*api.ThreatsResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	var (
+		ts  []detect.Threat
+		err error
+	)
+	if req.Active {
+		ts, err = s.fleet.ActiveThreats(req.Home)
+	} else {
+		ts, err = s.fleet.Threats(req.Home)
+	}
+	if err != nil {
+		return nil, api.FromErr(err)
+	}
+	logBase := 0
+	if req.Active {
+		logBase = -1 // active-set entries carry no log positions
+	}
+	return &api.ThreatsResponse{
+		HomeID:  req.Home,
+		Active:  req.Active,
+		Threats: api.ThreatsOf(ts, logBase),
+	}, nil
+}
+
+// Accept records user-approved threats by threat-log index.
+func (s *Service) Accept(ctx context.Context, req *api.AcceptRequest) (*api.AcceptResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	if len(req.Threats) == 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "no threat indices given")
+	}
+	if err := s.fleet.AcceptByIndex(req.Home, req.Threats...); err != nil {
+		return nil, api.FromErr(err)
+	}
+	return &api.AcceptResponse{HomeID: req.Home, Accepted: len(req.Threats)}, nil
+}
+
+// Apps lists one home's installed apps in install order.
+func (s *Service) Apps(ctx context.Context, home string) (*api.AppsResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	if home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	apps, err := s.fleet.Apps(home)
+	if err != nil {
+		return nil, api.FromErr(err)
+	}
+	return &api.AppsResponse{HomeID: home, Apps: apps}, nil
+}
