@@ -128,6 +128,67 @@ func BenchmarkStoreAuditSparse(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalAudit is the PR-8 churn benchmark: steady-state
+// store maintenance on the 2k sparse synthetic corpus. "full-reaudit-2k"
+// re-runs the whole indexed audit from scratch — the cost every store
+// revision paid before the incremental Auditor. "churn-1pct-2k" applies
+// a 1% batch (20 reconfigured apps) to a warm Auditor that retains the
+// footprint index, compiled rule sets and pair verdicts across
+// revisions, so only pairs intersecting the changed footprints are
+// re-solved. Findings parity between the two paths is pinned byte-for-
+// byte by TestIncrementalMatchesFullAudit; BENCH_pr8.json records the
+// gate baselines.
+func BenchmarkIncrementalAudit(b *testing.B) {
+	const (
+		n     = 2000
+		pool  = 160
+		churn = n / 100
+	)
+	base := experiments.SyntheticSparseApps(n, pool, 1)
+	b.Run("full-reaudit-2k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := audit.Run(base, audit.Options{IndexDensityCutoff: 1.1})
+			if len(r.Installed) != n {
+				b.Fatal("synthetic apps failed to install")
+			}
+		}
+	})
+	b.Run("churn-1pct-2k", func(b *testing.B) {
+		// Same app names, different device picks and trigger states: each
+		// toggle between the two generations really changes footprints.
+		variant := experiments.SyntheticSparseApps(n, pool, 2)
+		aud := audit.NewAuditor(audit.AuditorOptions{})
+		if _, err := aud.Apply(audit.Batch{Upserts: base}); err != nil {
+			b.Fatal(err)
+		}
+		onVariant := make([]bool, n)
+		var pairs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := i * churn % n
+			batch := audit.Batch{Upserts: make([]audit.App, 0, churn)}
+			for j := start; j < start+churn; j++ {
+				k := j % n
+				if onVariant[k] {
+					batch.Upserts = append(batch.Upserts, base[k])
+				} else {
+					batch.Upserts = append(batch.Upserts, variant[k])
+				}
+				onVariant[k] = !onVariant[k]
+			}
+			rev, err := aud.Apply(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rev.Apps != n {
+				b.Fatalf("store shrank to %d apps", rev.Apps)
+			}
+			pairs += rev.Pairs
+		}
+		b.ReportMetric(float64(pairs)/float64(b.N), "pairs-rechecked/op")
+	})
+}
+
 // BenchmarkFleetReconfigure measures the steady-state reconfigure path of
 // a populated home: the detector re-solves only the pairs whose footprint
 // intersects the changed app (index candidates), and the fleet splices

@@ -18,6 +18,7 @@
 //
 // -rpc-addr (default :8081, empty disables) serves the framed RPC
 // protocol: unary Install/InstallBatch/Reconfigure/Threats/Accept/Apps
+// and the SubmitApps/Findings store methods,
 // plus the StreamInstall/StreamThreats bidirectional streams, with
 // per-RPC deadlines, gRPC status codes, and per-stage circuit breakers
 // (extraction and detection trip independently; an open breaker sheds
@@ -31,8 +32,9 @@
 // -events-sink enables the fire-and-forget event writer: "stdout"
 // emits one JSON object per line on standard output, any other value
 // is an append-mode file path, empty (the default) disables the
-// pipeline. Install, reconfigure and threat events are published by
-// the fleet out of the request path into a bounded ring; a wedged sink
+// pipeline. Install, reconfigure and threat events — plus revision and
+// finding events from the incremental store auditor — are published
+// out of the request path into a bounded ring; a wedged sink
 // costs dropped events (homeguard_events_dropped_total), never blocked
 // verdicts. Delivery is at-most-once, drop-oldest under backpressure.
 //
@@ -122,6 +124,16 @@
 //	                                resolved threats gone; entries carry no
 //	                                log indices)
 //	GET  /homes/{id}/apps           installed app names
+//	POST /store/apps                body {"upserts": [{"corpus"|"source": ...,
+//	                                "name": ..., "config": ...}],
+//	                                "removes": ["AppName"]}; applies one
+//	                                batch to the incremental store auditor
+//	                                and returns the revision with its
+//	                                added/resolved findings delta
+//	GET  /store/findings            store findings feed; ?since=<rev>
+//	                                returns the delta after that revision
+//	                                (or a reset snapshot when the revision
+//	                                aged out of the retained history)
 //	GET  /metrics                   fleet metrics: homes, installs,
 //	                                extraction and pair-verdict cache hit
 //	                                rates, footprint-prune and solver-call
@@ -158,11 +170,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"homeguard/internal/api"
+	"homeguard/internal/audit"
 	"homeguard/internal/events"
 	"homeguard/internal/fleet"
 	"homeguard/internal/obs"
@@ -410,10 +424,11 @@ func servePprof(addr string) {
 }
 
 type server struct {
-	fleet *fleet.Fleet
-	svc   *rpc.Service
-	obs   *obs.Observer
-	mux   *http.ServeMux
+	fleet   *fleet.Fleet
+	auditor *audit.Auditor
+	svc     *rpc.Service
+	obs     *obs.Observer
+	mux     *http.ServeMux
 	// ready flips true once boot (including any snapshot restore) is
 	// complete; draining flips true when graceful shutdown begins. Both
 	// are read by the health probes on every scrape.
@@ -432,11 +447,20 @@ func newServer(opts fleet.Options) *server {
 		opts.Obs = obs.NewObserver()
 	}
 	f := fleet.New(opts)
+	// The incremental store auditor shares the fleet's extraction cache,
+	// observability bundle and event pipeline: store revisions surface in
+	// the same scrape and event feed as per-home installs.
+	aud := audit.NewAuditor(audit.AuditorOptions{
+		Extract: f.Cache(),
+		Obs:     opts.Obs,
+		Events:  opts.Events,
+	})
 	s := &server{
-		fleet: f,
-		svc:   rpc.NewService(f, rpc.ServiceOptions{}),
-		obs:   opts.Obs,
-		mux:   http.NewServeMux(),
+		fleet:   f,
+		auditor: aud,
+		svc:     rpc.NewService(f, rpc.ServiceOptions{Auditor: aud}),
+		obs:     opts.Obs,
+		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /homes/{id}/install", s.handleInstall)
 	s.mux.HandleFunc("POST /homes/{id}/install-batch", s.handleInstallBatch)
@@ -444,6 +468,8 @@ func newServer(opts fleet.Options) *server {
 	s.mux.HandleFunc("POST /homes/{id}/accept", s.handleAccept)
 	s.mux.HandleFunc("GET /homes/{id}/threats", s.handleThreats)
 	s.mux.HandleFunc("GET /homes/{id}/apps", s.handleApps)
+	s.mux.HandleFunc("POST /store/apps", s.handleStoreApps)
+	s.mux.HandleFunc("GET /store/findings", s.handleStoreFindings)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -538,6 +564,29 @@ func (s *server) handleThreats(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleApps(w http.ResponseWriter, r *http.Request) {
 	resp, aerr := s.svc.Apps(r.Context(), r.PathValue("id"))
+	s.respond(w, resp, aerr)
+}
+
+func (s *server) handleStoreApps(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitAppsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	resp, aerr := s.svc.SubmitApps(r.Context(), &req)
+	s.respond(w, resp, aerr)
+}
+
+func (s *server) handleStoreFindings(w http.ResponseWriter, r *http.Request) {
+	var req api.FindingsRequest
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.respond(w, nil, api.Errorf(api.CodeInvalidArgument, "bad since revision %q", v))
+			return
+		}
+		req.Since = since
+	}
+	resp, aerr := s.svc.Findings(r.Context(), &req)
 	s.respond(w, resp, aerr)
 }
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+
+	"homeguard/internal/fleet"
+)
+
+func TestDaemonStoreEndpoints(t *testing.T) {
+	srv := newServer(fleet.Options{Shards: 4})
+
+	// Submitting the known interference pair yields revision 1 with an
+	// added-findings delta.
+	code, resp := doJSON(t, srv, "POST", "/store/apps", map[string]any{
+		"upserts": []map[string]any{{"corpus": "ComfortTV"}, {"corpus": "ColdDefender"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("submit: status %d, resp %v", code, resp)
+	}
+	if rev := resp["rev"]; rev != float64(1) {
+		t.Errorf("rev = %v, want 1", rev)
+	}
+	if apps := resp["apps"]; apps != float64(2) {
+		t.Errorf("apps = %v, want 2", apps)
+	}
+	added, _ := resp["added"].([]any)
+	if len(added) == 0 {
+		t.Fatal("submission reported no added findings")
+	}
+	first := added[0].(map[string]any)
+	for _, field := range []string{"app1", "app2"} {
+		if first[field] == "" || first[field] == nil {
+			t.Errorf("finding JSON missing %q: %v", field, first)
+		}
+	}
+
+	// The findings feed from rev 0 replays the delta.
+	code, resp = doJSON(t, srv, "GET", "/store/findings?since=0", nil)
+	if code != http.StatusOK {
+		t.Fatalf("findings: status %d, resp %v", code, resp)
+	}
+	if rev := resp["rev"]; rev != float64(1) {
+		t.Errorf("feed rev = %v, want 1", rev)
+	}
+	if feedAdded, _ := resp["added"].([]any); len(feedAdded) != len(added) {
+		t.Errorf("feed replayed %d findings, submit reported %d", len(feedAdded), len(added))
+	}
+
+	// Removing one side resolves its findings in the next delta.
+	code, resp = doJSON(t, srv, "POST", "/store/apps", map[string]any{
+		"removes": []string{"ColdDefender"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("remove: status %d, resp %v", code, resp)
+	}
+	if resolved, _ := resp["resolved"].([]any); len(resolved) == 0 {
+		t.Errorf("remove resolved no findings: %v", resp)
+	}
+	code, resp = doJSON(t, srv, "GET", "/store/findings?since=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("findings since 1: status %d, resp %v", code, resp)
+	}
+	if resolved, _ := resp["resolved"].([]any); len(resolved) == 0 {
+		t.Errorf("feed since 1 carries no resolved findings: %v", resp)
+	}
+
+	// A malformed since parameter is a client error.
+	code, resp = doJSON(t, srv, "GET", "/store/findings?since=banana", nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad since: status %d, resp %v; want 400", code, resp)
+	}
+
+	// An empty batch is a client error too.
+	code, resp = doJSON(t, srv, "POST", "/store/apps", map[string]any{})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, resp %v; want 400", code, resp)
+	}
+}

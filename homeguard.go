@@ -29,8 +29,7 @@
 // The Fleet API is context-first: every mutating entry point (Install,
 // InstallBatch, Reconfigure) takes a context.Context as its first
 // argument and honors cancellation and deadlines between per-home
-// operations. The former InstallCtx/InstallBatchCtx/ReconfigureCtx
-// variants survive one release as deprecated aliases. Reconfigure
+// operations. Reconfigure
 // returns a *FleetReconfigureResult carrying the re-detected threats
 // together with their position in the home's append-only threat log
 // (ThreatLogBase) — previously a bare (threats, logBase, err) triple.
@@ -72,7 +71,8 @@
 //
 // Alongside HTTP the daemon serves a gRPC-modeled RPC edge
 // (-rpc-addr, internal/rpc): Install, InstallBatch, Reconfigure,
-// Threats, Accept and Apps as unary calls plus StreamInstall and
+// Threats, Accept, Apps and the SubmitApps/Findings store methods as
+// unary calls plus StreamInstall and
 // StreamThreats as bidirectional streams, multiplexed over one
 // connection with per-RPC deadlines propagated from the client's
 // context. Both transports are thin shells over one shared service
@@ -102,6 +102,25 @@
 // the sink wedges, the ring drops the OLDEST events and counts them
 // (homeguard_events_dropped_total) — so a dead disk or slow collector
 // costs events, never installs.
+//
+// Beyond per-home serving, the daemon continuously audits an app STORE
+// the way the paper's Fig. 8 batch job did once: an incremental store
+// auditor (internal/audit's Auditor) holds the store's footprint-channel
+// index, compiled rule sets and every pair's current verdict across
+// revisions. POST /store/apps (RPC SubmitApps) applies one batch of
+// submits/updates/removes and re-checks only the pairs whose footprints
+// intersect a changed app; each batch yields a monotonically versioned
+// revision whose findings delta — threats added and resolved per app
+// pair, in serial install order — is published on the event pipeline
+// (revision and finding events) and served as a feed: GET
+// /store/findings?since=<rev> (RPC Findings) replays the deltas a client
+// missed, or answers with a reset snapshot of the full active set when
+// the asked-for revision has aged out of the bounded per-revision
+// history. Feed consumers therefore reconstruct the exact active finding
+// set by replaying deltas, and a client that falls too far behind is
+// told to resynchronize rather than silently fed a gap. The same engine
+// runs daemonless as `homeguard audit -watch <dir>`, turning file
+// adds/edits/deletes into store batches.
 //
 // The edge's service level is measured, not asserted: cmd/homeguardload
 // drives a live daemon's RPC listener with a configurable install-storm
@@ -194,6 +213,19 @@
 //     a batch's extractions run in parallel through the shared cache
 //     before the installs serialize on the home.
 //
+//   - An incremental STORE auditor: O(Δ) re-detection per store revision.
+//     Where the parallel engine recomputes a whole store, audit.Auditor
+//     keeps the index, the compiled apps and all pair verdicts alive
+//     across batches, so a store that churns a few apps re-extracts only
+//     those apps and re-solves only the pairs whose footprints intersect
+//     them (posting-list candidates; pairs that stopped sharing any
+//     channel resolve by the footprint prune without solving, and
+//     untouched pairs keep their verdicts). A 1% churn batch on the
+//     2k-app sparse corpus costs a small fraction of the full indexed
+//     re-audit (BenchmarkIncrementalAudit in BENCH_pr8.json), while a
+//     churn property test pins the active findings byte-identical to a
+//     from-scratch audit at every revision.
+//
 //   - An incremental per-home threat ledger. Each fleet home retains its
 //     current threat set grouped by app pair; Reconfigure re-solves only
 //     the pairs whose footprint intersects the changed app (the index's
@@ -240,6 +272,9 @@
 //	solver_calls_total, solver_cache_hits_total, solver_limit_hits_total
 //	audit_runs_total, audit_pairs_checked_total,
 //	audit_solver_calls_total, audit_threats_total  store-audit engine
+//	audit_revisions_total, audit_pairs_rechecked_total,
+//	audit_findings_{added,resolved}_total          incremental store auditor
+//	audit_store_apps, audit_findings_active        store size + live findings (gauges)
 //	rpc_requests_total{method,code}                RPC calls by outcome
 //	rpc_latency_seconds (histogram)                RPC edge latency
 //	rpc_streams_active, rpc_stream_msgs_total      streaming edge
@@ -256,7 +291,10 @@
 // solve — constraint solving for one pair), then chains, ledger or
 // splice, and report. The store-audit engine (internal/audit) records
 // extract, compile, candidates and pairs phases with one child span per
-// worker carrying busy_ns/pairs_checked/solver_calls. RPC-edge calls
+// worker carrying busy_ns/pairs_checked/solver_calls; the incremental
+// store auditor records an audit.apply root per applied batch with
+// extract, compile, candidates, pairs and delta children (attrs
+// rev/tasks/added/resolved). RPC-edge calls
 // add an rpc.<Method> root span (method and status-code attributes)
 // above the fleet operation's tree. Disabled tracing
 // is free: every span call is a nil-receiver no-op and the hot detection
@@ -277,6 +315,7 @@ import (
 	"fmt"
 	"io"
 
+	"homeguard/internal/audit"
 	"homeguard/internal/detect"
 	"homeguard/internal/envmodel"
 	"homeguard/internal/events"
@@ -350,11 +389,35 @@ type (
 	ObsRegistry = obs.Registry
 	// SpanCapture is the bounded slowest+recent span-tree capture.
 	SpanCapture = obs.Capture
+	// StoreAuditor is the long-lived incremental store auditor: it keeps
+	// the store's footprint index, compiled apps and pair verdicts across
+	// revisions so each applied batch re-checks only the pairs a changed
+	// app's footprint intersects (see "Performance architecture" above).
+	StoreAuditor = audit.Auditor
+	// StoreAuditorOptions tune a StoreAuditor (workers, shared extraction
+	// cache, revision history bound, observability, events).
+	StoreAuditorOptions = audit.AuditorOptions
+	// StoreBatch is one store mutation set: app submits/updates plus
+	// removes, applied as one revision.
+	StoreBatch = audit.Batch
+	// StoreRevision is the outcome of one applied batch: the new revision
+	// number and its added/resolved findings delta.
+	StoreRevision = audit.Revision
+	// StoreFinding is one active threat attributed to its app pair.
+	StoreFinding = audit.Finding
+	// StoreFeed is a findings-feed response: the delta since a revision,
+	// or a reset snapshot when that revision aged out of history.
+	StoreFeed = audit.Feed
 )
 
 // NewFleet creates an empty fleet of homes. The zero FleetOptions value
 // selects 16 shards, default detector options and a fresh cache.
 func NewFleet(opts FleetOptions) *Fleet { return fleet.New(opts) }
+
+// NewStoreAuditor returns an empty incremental store auditor. Share the
+// fleet's extraction cache (StoreAuditorOptions.Extract) so store
+// submissions and home installs extract each distinct source once.
+func NewStoreAuditor(opts StoreAuditorOptions) *StoreAuditor { return audit.NewAuditor(opts) }
 
 // NewObserver returns an observability bundle with a fresh registry, a
 // disabled tracer (span calls are no-ops until Tracer.SetEnabled(true))

@@ -23,6 +23,7 @@ import (
 	"math"
 	"net/http"
 
+	"homeguard/internal/audit"
 	"homeguard/internal/corpus"
 	"homeguard/internal/detect"
 	"homeguard/internal/envmodel"
@@ -410,4 +411,113 @@ type BatchItemResult struct {
 type InstallBatchResponse struct {
 	HomeID  string            `json:"homeId"`
 	Results []BatchItemResult `json:"results"`
+}
+
+// StoreApp is one store submission for the incremental auditor: exactly
+// one of Source/Corpus, plus an optional name override (a name already
+// in the store makes the submission an update) and install-time config.
+type StoreApp struct {
+	Name   string  `json:"name,omitempty"`
+	Source string  `json:"source,omitempty"`
+	Corpus string  `json:"corpus,omitempty"`
+	Config *Config `json:"config,omitempty"`
+}
+
+// ResolveSource validates the app's source/corpus pair.
+func (s *StoreApp) ResolveSource() (string, *Error) {
+	r := InstallRequest{Source: s.Source, Corpus: s.Corpus}
+	return r.ResolveSource()
+}
+
+// SubmitAppsRequest applies one store batch — submits/updates plus
+// removes — to the incremental auditor. At least one of the two lists
+// must be non-empty.
+type SubmitAppsRequest struct {
+	Upserts []StoreApp `json:"upserts,omitempty"`
+	Removes []string   `json:"removes,omitempty"`
+}
+
+// Finding is the wire form of one store finding: a threat attributed to
+// its app pair (App1 is the earlier-installed side; equal to App2 for
+// intra-app findings).
+type Finding struct {
+	App1   string `json:"app1"`
+	App2   string `json:"app2"`
+	Threat Threat `json:"threat"`
+}
+
+// FindingOf renders one store finding (findings carry no log indices).
+func FindingOf(f audit.Finding) Finding {
+	return Finding{App1: f.App1, App2: f.App2, Threat: ThreatOf(f.Threat, -1)}
+}
+
+// FindingsOf renders a finding list, keeping order.
+func FindingsOf(fs []audit.Finding) []Finding {
+	out := make([]Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, FindingOf(f))
+	}
+	return out
+}
+
+// SubmitAppsResponse is the revision one applied batch produced.
+type SubmitAppsResponse struct {
+	Rev        uint64            `json:"rev"`
+	Apps       int               `json:"apps"`
+	Pairs      int               `json:"pairs"`
+	Added      []Finding         `json:"added,omitempty"`
+	Resolved   []Finding         `json:"resolved,omitempty"`
+	Errors     map[string]*Error `json:"errors,omitempty"`
+	DurationMs float64           `json:"durationMs"`
+}
+
+// SubmitAppsResponseOf converts an auditor revision to the wire form.
+func SubmitAppsResponseOf(rev *audit.Revision) *SubmitAppsResponse {
+	out := &SubmitAppsResponse{
+		Rev:        rev.Rev,
+		Apps:       rev.Apps,
+		Pairs:      rev.Pairs,
+		Added:      FindingsOf(rev.Added),
+		Resolved:   FindingsOf(rev.Resolved),
+		DurationMs: float64(rev.Duration.Microseconds()) / 1000.0,
+	}
+	for name, err := range rev.Errors {
+		if out.Errors == nil {
+			out.Errors = map[string]*Error{}
+		}
+		if errors.Is(err, audit.ErrUnknownApp) {
+			out.Errors[name] = Errorf(CodeNotFound, "%v", err)
+		} else {
+			out.Errors[name] = FromErr(err)
+		}
+	}
+	return out
+}
+
+// FindingsRequest reads the store findings feed from a revision the
+// client last saw (0 for everything).
+type FindingsRequest struct {
+	Since uint64 `json:"since,omitempty"`
+}
+
+// FindingsResponse is the findings feed: the delta between Since and
+// Rev, or — when Reset is set because Since aged out of the retained
+// history — the full active set in Added.
+type FindingsResponse struct {
+	Rev      uint64    `json:"rev"`
+	Since    uint64    `json:"since"`
+	Reset    bool      `json:"reset,omitempty"`
+	Added    []Finding `json:"added,omitempty"`
+	Resolved []Finding `json:"resolved,omitempty"`
+}
+
+// FindingsResponseOf converts an auditor feed to the wire form.
+func FindingsResponseOf(f *audit.Feed) *FindingsResponse {
+	return &FindingsResponse{
+		Rev:      f.Rev,
+		Since:    f.Since,
+		Reset:    f.Reset,
+		Added:    FindingsOf(f.Added),
+		Resolved: FindingsOf(f.Resolved),
+	}
 }

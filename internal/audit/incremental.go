@@ -1,0 +1,751 @@
+package audit
+
+// The incremental audit engine: where Run recomputes a whole store from
+// scratch, the long-lived Auditor holds the store's footprint-channel
+// index, its compiled apps and every pair's current verdict across
+// revisions, so applying a batch of app submits/updates/removes costs
+// O(Δ · overlap) — only the changed apps re-extract and recompile, and
+// only the pairs whose footprints actually intersect a changed app are
+// re-checked. Untouched pairs keep their cached verdicts, which is sound
+// because a pair's threats are a pure function of its two apps and the
+// mode universe (the same purity the parallel engine in audit.go relies
+// on to fan pairs out across workers), and complete because the footprint
+// prune is sound: a pair that stops sharing a channel provably has no
+// threats, so dropping its verdict without solving is exact.
+//
+// Every applied batch produces a monotonically versioned Revision with a
+// findings delta — threats added and resolved per app pair, in serial
+// install order — published through internal/events and queryable as a
+// feed: FindingsSince(rev) replays the retained per-revision deltas, or
+// answers with a Reset snapshot when the asked-for revision has aged out
+// of the bounded history. The full active set (Findings) is byte-identical
+// to a from-scratch Run over the current store, pinned by the churn
+// property test in incremental_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/events"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/obs"
+	"homeguard/internal/symexec"
+)
+
+// ErrUnknownApp reports a Batch remove of an app the store does not hold.
+var ErrUnknownApp = errors.New("audit: app not in store")
+
+// ErrEmptyBatch reports an Apply with no upserts and no removes.
+var ErrEmptyBatch = errors.New("audit: empty batch")
+
+// DefaultRevisionHistory bounds the per-revision deltas retained for
+// FindingsSince; older feeds degrade to a Reset snapshot.
+const DefaultRevisionHistory = 256
+
+// Batch is one store mutation set: apps to submit or update (keyed by
+// name — a name already in the store is an update, a new name a submit)
+// and apps to remove. Removes apply before upserts, so a batch that
+// removes and resubmits one name reinstalls it at the end of the store
+// order.
+type Batch struct {
+	Upserts []App
+	Removes []string
+}
+
+// Finding is one active threat attributed to its app pair. App1 is the
+// earlier-installed side (App1 == App2 for intra-app threats), matching
+// the serial install order the batch engine reports in.
+type Finding struct {
+	App1   string
+	App2   string
+	Threat detect.Threat
+}
+
+// Revision is the outcome of one applied batch.
+type Revision struct {
+	// Rev is the store revision this batch produced (monotonic from 1).
+	Rev uint64
+	// Added and Resolved are the findings delta against the previous
+	// revision, each in serial install order.
+	Added    []Finding
+	Resolved []Finding
+	// Apps is the store size after the batch.
+	Apps int
+	// Pairs counts the app pairs re-checked for this revision.
+	Pairs int
+	// Errors records per-app failures (extraction errors, removes of
+	// unknown apps) by app name; failed upserts leave the store entry
+	// unchanged.
+	Errors map[string]error
+	// Stats aggregates the worker detectors' counters for the batch.
+	Stats detect.Stats
+	// Duration is the wall-clock cost of applying the batch.
+	Duration time.Duration
+}
+
+// Feed is a findings-feed response: the delta between a client's last
+// seen revision and the store's current one.
+type Feed struct {
+	// Rev is the store's current revision; Since echoes the request.
+	Rev   uint64
+	Since uint64
+	// Reset reports that Since has aged out of the retained history:
+	// Added then carries the full active set and the client must drop
+	// its local state instead of applying a delta.
+	Reset    bool
+	Added    []Finding
+	Resolved []Finding
+}
+
+// AuditorOptions tune an incremental auditor.
+type AuditorOptions struct {
+	// Workers bounds the pair-check worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Detector is applied to every worker's detector (modes, ablations,
+	// shared verdict cache).
+	Detector detect.Options
+	// Extract, when non-nil, is the shared extraction cache upsert
+	// sources run through.
+	Extract *extractcache.Cache
+	// History bounds the revisions retained for FindingsSince (default
+	// DefaultRevisionHistory).
+	History int
+	// Obs, when non-nil, records an "audit.apply" span per batch and
+	// publishes the homeguard_audit_* revision metrics.
+	Obs *obs.Observer
+	// Events, when non-nil, receives one revision event plus one finding
+	// event per added/resolved finding for every applied batch.
+	Events *events.Writer
+}
+
+// storeApp is one installed store entry: the compiled app, its index
+// slot and its position in the store (install) order.
+type storeApp struct {
+	name string
+	app  *detect.InstalledApp
+	slot int
+	pos  int
+}
+
+// pairID addresses one app pair by name, earlier-installed side first
+// (a == b for the intra-app pair). Relative store order never changes
+// while both apps stay installed — removals splice positions but keep
+// order — so a pair's orientation is stable for the verdict's lifetime.
+type pairID struct{ a, b string }
+
+// Auditor is the long-lived incremental store auditor. All methods are
+// goroutine-safe; Apply calls serialize, with the pair checks of one
+// batch fanning out over an internal worker pool.
+type Auditor struct {
+	mu       sync.Mutex
+	opts     AuditorOptions
+	workers  int
+	idx      *detect.FootprintIndex
+	compiler *detect.Detector // Precompile only: attaches compiled sets single-threaded
+
+	slots  []*storeApp // by index slot; nil entries are free
+	free   []int       // freed slots, reused so the index never grows with churn
+	byName map[string]*storeApp
+	order  []*storeApp // store (install) order; pos fields mirror indices
+
+	// verdicts holds the current threats of every pair that HAS threats
+	// (clean pairs are absent — the delta diff treats missing as empty),
+	// and pairsOf is its per-app adjacency for O(degree) invalidation.
+	verdicts map[pairID][]detect.Threat
+	pairsOf  map[string]map[string]struct{}
+
+	rev     uint64
+	history []*Revision
+	active  int // current finding count, for the gauge
+}
+
+// NewAuditor returns an empty store auditor.
+func NewAuditor(opts AuditorOptions) *Auditor {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.History <= 0 {
+		opts.History = DefaultRevisionHistory
+	}
+	return &Auditor{
+		opts:     opts,
+		workers:  workers,
+		idx:      detect.NewFootprintIndex(),
+		compiler: detect.New(opts.Detector),
+		byName:   map[string]*storeApp{},
+		verdicts: map[pairID][]detect.Threat{},
+		pairsOf:  map[string]map[string]struct{}{},
+	}
+}
+
+// Rev returns the current store revision (0 before the first Apply).
+func (a *Auditor) Rev() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rev
+}
+
+// Apps returns the store's app names in install order.
+func (a *Auditor) Apps() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.order))
+	for i, st := range a.order {
+		out[i] = st.name
+	}
+	return out
+}
+
+// ActiveFindings returns the current finding count.
+func (a *Auditor) ActiveFindings() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
+
+// pairIDOf orients a pair by store position.
+func pairIDOf(x, y *storeApp) pairID {
+	if x == y {
+		return pairID{x.name, x.name}
+	}
+	if x.pos < y.pos {
+		return pairID{x.name, y.name}
+	}
+	return pairID{y.name, x.name}
+}
+
+// notePair records id in the adjacency (both directions, self for intra).
+func (a *Auditor) notePair(id pairID) {
+	set := a.pairsOf[id.a]
+	if set == nil {
+		set = map[string]struct{}{}
+		a.pairsOf[id.a] = set
+	}
+	set[id.b] = struct{}{}
+	if id.b != id.a {
+		set = a.pairsOf[id.b]
+		if set == nil {
+			set = map[string]struct{}{}
+			a.pairsOf[id.b] = set
+		}
+		set[id.a] = struct{}{}
+	}
+}
+
+// dropPair forgets id's verdict and adjacency entries.
+func (a *Auditor) dropPair(id pairID) {
+	delete(a.verdicts, id)
+	if s := a.pairsOf[id.a]; s != nil {
+		delete(s, id.b)
+		if len(s) == 0 {
+			delete(a.pairsOf, id.a)
+		}
+	}
+	if id.b != id.a {
+		if s := a.pairsOf[id.b]; s != nil {
+			delete(s, id.a)
+			if len(s) == 0 {
+				delete(a.pairsOf, id.b)
+			}
+		}
+	}
+}
+
+// deltaEntry is one delta finding plus the sort keys that reproduce
+// serial install order: ascending later-side position, the intra pair
+// before the cross pairs of the same install, then ascending earlier-side
+// position (exactly how Run lays out PerInstall).
+type deltaEntry struct {
+	aPos, bPos int
+	f          Finding
+}
+
+func sortDelta(entries []deltaEntry) []Finding {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].bPos != entries[j].bPos {
+			return entries[i].bPos < entries[j].bPos
+		}
+		ii, ij := entries[i].aPos == entries[i].bPos, entries[j].aPos == entries[j].bPos
+		if ii != ij {
+			return ii
+		}
+		return entries[i].aPos < entries[j].aPos
+	})
+	out := make([]Finding, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.f)
+	}
+	return out
+}
+
+// threatIdentity is the delta identity of one threat: kind, the two
+// qualified rule IDs, the shared property and the note. The witness is
+// excluded on purpose — a re-solved pair may pick a different concrete
+// witness for the same interference without churning the feed.
+func threatIdentity(t *detect.Threat) string {
+	return string(t.Kind) + "\x00" + t.R1.QualifiedID() + "\x00" + t.R2.QualifiedID() +
+		"\x00" + string(t.Property) + "\x00" + t.Note
+}
+
+// diffThreats computes the multiset delta between one pair's old and new
+// verdicts, preserving each side's order.
+func diffThreats(old, new []detect.Threat) (added, resolved []detect.Threat) {
+	if len(old) == 0 {
+		return new, nil
+	}
+	if len(new) == 0 {
+		return nil, old
+	}
+	have := make(map[string]int, len(old))
+	for i := range old {
+		have[threatIdentity(&old[i])]++
+	}
+	for i := range new {
+		id := threatIdentity(&new[i])
+		if have[id] > 0 {
+			have[id]--
+		} else {
+			added = append(added, new[i])
+		}
+	}
+	want := make(map[string]int, len(new))
+	for i := range new {
+		want[threatIdentity(&new[i])]++
+	}
+	for i := range old {
+		id := threatIdentity(&old[i])
+		if want[id] > 0 {
+			want[id]--
+		} else {
+			resolved = append(resolved, old[i])
+		}
+	}
+	return added, resolved
+}
+
+// Apply mutates the store by one batch and returns the resulting
+// revision. Removes run first, then upserts (the last upsert of a name
+// within one batch wins); per-app failures land in Revision.Errors
+// without failing the batch. Only pairs whose footprints intersect a
+// changed app are re-checked — candidates come from the footprint
+// index's posting lists, checked over the worker pool with one fresh
+// detector per worker — and pairs that stopped sharing any channel are
+// resolved without solving (the footprint prune guarantees they are
+// clean).
+func (a *Auditor) Apply(batch Batch) (*Revision, error) {
+	if len(batch.Upserts) == 0 && len(batch.Removes) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	start := time.Now()
+	var sp *obs.Span
+	if a.opts.Obs != nil {
+		sp = a.opts.Obs.Tracer.Start("audit.apply")
+	}
+
+	rev := &Revision{}
+	errAt := func(key string, err error) {
+		if rev.Errors == nil {
+			rev.Errors = map[string]error{}
+		}
+		rev.Errors[key] = err
+	}
+
+	// Phase 1: extract upserts, parallel over the inputs that need it.
+	type prepared struct {
+		name string
+		res  *symexec.Result
+		cfg  *detect.Config
+	}
+	preps := make([]prepared, len(batch.Upserts))
+	perr := make([]error, len(batch.Upserts))
+	xsp := sp.Child("extract")
+	runTasks(len(batch.Upserts), a.workers, func(i int) {
+		in := &batch.Upserts[i]
+		res := in.Res
+		if res == nil {
+			var err error
+			if a.opts.Extract != nil {
+				res, err = a.opts.Extract.Extract(in.Source, in.Name)
+			} else {
+				res, err = symexec.Extract(in.Source, in.Name)
+			}
+			if err != nil {
+				perr[i] = err
+				return
+			}
+		}
+		name := in.Name
+		if name == "" {
+			name = res.App.Name
+		}
+		if name == "" {
+			perr[i] = fmt.Errorf("audit: upsert %d has no app name", i)
+			return
+		}
+		preps[i] = prepared{name: name, res: res, cfg: in.Config}
+	})
+	if xsp != nil {
+		xsp.SetInt("apps", int64(len(batch.Upserts)))
+		xsp.End()
+	}
+	for i, err := range perr {
+		if err == nil {
+			continue
+		}
+		key := batch.Upserts[i].Name
+		if key == "" {
+			key = fmt.Sprintf("upsert[%d]", i)
+		}
+		errAt(key, err)
+	}
+	// The batch describes a desired end state, not a replay: the last
+	// upsert of each name wins.
+	last := map[string]int{}
+	for i := range preps {
+		if perr[i] == nil {
+			last[preps[i].name] = i
+		}
+	}
+
+	var addedD, resolvedD []deltaEntry
+	resolvePair := func(id pairID, aPos, bPos int) {
+		for _, t := range a.verdicts[id] {
+			resolvedD = append(resolvedD, deltaEntry{aPos, bPos, Finding{id.a, id.b, t}})
+		}
+		a.dropPair(id)
+	}
+
+	// Phase 2: removals. Every pair involving a removed app resolves, the
+	// slot's postings clear and the slot goes on the freelist for reuse.
+	for _, name := range batch.Removes {
+		st := a.byName[name]
+		if st == nil {
+			errAt(name, ErrUnknownApp)
+			continue
+		}
+		for counter := range a.pairsOf[name] {
+			if counter == name {
+				resolvePair(pairID{name, name}, st.pos, st.pos)
+				continue
+			}
+			other := a.byName[counter]
+			id := pairIDOf(st, other)
+			lo, hi := st.pos, other.pos
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			resolvePair(id, lo, hi)
+		}
+		a.idx.Update(st.slot, nil)
+		a.slots[st.slot] = nil
+		a.free = append(a.free, st.slot)
+		delete(a.byName, name)
+		copy(a.order[st.pos:], a.order[st.pos+1:])
+		a.order = a.order[:len(a.order)-1]
+		for i := st.pos; i < len(a.order); i++ {
+			a.order[i].pos = i
+		}
+	}
+
+	// Phase 3: upserts — build the new InstalledApp, compile it once
+	// (single-threaded: the compiled-set attach is an unsynchronized
+	// write) and splice its footprint into the index. Updates keep their
+	// store position; submits append.
+	csp := sp.Child("compile")
+	var changed []*storeApp
+	for i := range preps {
+		if perr[i] != nil || last[preps[i].name] != i {
+			continue
+		}
+		p := &preps[i]
+		ia := detect.NewInstalledApp(p.res, p.cfg)
+		a.compiler.Precompile(ia)
+		if st := a.byName[p.name]; st != nil {
+			st.app = ia
+			a.idx.Update(st.slot, ia.Footprint())
+			changed = append(changed, st)
+			continue
+		}
+		st := &storeApp{name: p.name, app: ia}
+		if k := len(a.free); k > 0 {
+			st.slot = a.free[k-1]
+			a.free = a.free[:k-1]
+			a.slots[st.slot] = st
+			a.idx.Update(st.slot, ia.Footprint())
+		} else {
+			st.slot = a.idx.Add(ia.Footprint())
+			a.slots = append(a.slots, st)
+		}
+		st.pos = len(a.order)
+		a.order = append(a.order, st)
+		a.byName[p.name] = st
+		changed = append(changed, st)
+	}
+	if csp != nil {
+		csp.SetInt("apps", int64(len(changed)))
+		csp.End()
+	}
+
+	// Phase 4: candidate pairs. Each changed app contributes its intra
+	// pair plus every counterpart sharing a channel (posting-list walk —
+	// cost scales with actual overlap, not store size); pairs between two
+	// changed apps dedupe through the task set.
+	gsp := sp.Child("candidates")
+	type ptask struct {
+		id         pairID
+		x, y       *detect.InstalledApp // x is the earlier-installed side
+		aPos, bPos int
+	}
+	taskIx := map[pairID]struct{}{}
+	var tasks []ptask
+	addTask := func(x, y *storeApp) {
+		id := pairIDOf(x, y)
+		if _, ok := taskIx[id]; ok {
+			return
+		}
+		taskIx[id] = struct{}{}
+		lo, hi := x, y
+		if y.pos < x.pos {
+			lo, hi = y, x
+		}
+		tasks = append(tasks, ptask{id: id, x: lo.app, y: hi.app, aPos: lo.pos, bPos: hi.pos})
+	}
+	var buf []int32
+	for _, st := range changed {
+		addTask(st, st)
+		buf = a.idx.AppendCandidates(st.app.Footprint(), buf[:0])
+		for _, s := range buf {
+			other := a.slots[s]
+			if other == nil || other == st {
+				continue
+			}
+			addTask(st, other)
+		}
+	}
+	if gsp != nil {
+		gsp.SetInt("tasks", int64(len(tasks)))
+		gsp.End()
+	}
+
+	// Phase 5: pair detection over the work-stealing pool, one fresh
+	// detector per worker (the shared InstalledApps are immutable after
+	// Precompile, so this is the same race-free sharing Run relies on).
+	psp := sp.Child("pairs")
+	results := make([][]detect.Threat, len(tasks))
+	dets := make([]*detect.Detector, a.workers)
+	for w := range dets {
+		dets[w] = detect.New(a.opts.Detector)
+	}
+	runTasksWorker(len(tasks), a.workers, func(w, k int) {
+		results[k] = dets[w].DetectAppPairCandidate(tasks[k].x, tasks[k].y)
+	})
+	rev.Stats = dets[0].Stats()
+	for _, d := range dets[1:] {
+		rev.Stats.Merge(d.Stats())
+	}
+	if psp != nil {
+		psp.SetInt("pairs", int64(len(tasks)))
+		psp.End()
+	}
+
+	// Phase 6: delta. Pairs that had findings involving a changed app but
+	// came back as no candidate stopped sharing any channel — the
+	// footprint prune proves them clean, so they resolve without solving.
+	// Checked pairs diff old against new verdicts by threat identity.
+	dsp := sp.Child("delta")
+	for _, st := range changed {
+		for counter := range a.pairsOf[st.name] {
+			var id pairID
+			var lo, hi int
+			if counter == st.name {
+				id = pairID{counter, counter}
+				lo, hi = st.pos, st.pos
+			} else {
+				other := a.byName[counter]
+				id = pairIDOf(st, other)
+				lo, hi = st.pos, other.pos
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+			}
+			if _, ok := taskIx[id]; ok {
+				continue
+			}
+			resolvePair(id, lo, hi)
+		}
+	}
+	for k := range tasks {
+		t := &tasks[k]
+		old := a.verdicts[t.id]
+		newTs := results[k]
+		add, res := diffThreats(old, newTs)
+		for _, th := range add {
+			addedD = append(addedD, deltaEntry{t.aPos, t.bPos, Finding{t.id.a, t.id.b, th}})
+		}
+		for _, th := range res {
+			resolvedD = append(resolvedD, deltaEntry{t.aPos, t.bPos, Finding{t.id.a, t.id.b, th}})
+		}
+		if len(newTs) > 0 {
+			a.verdicts[t.id] = newTs
+			a.notePair(t.id)
+		} else if len(old) > 0 {
+			a.dropPair(t.id)
+		}
+	}
+	rev.Added = sortDelta(addedD)
+	rev.Resolved = sortDelta(resolvedD)
+	if dsp != nil {
+		dsp.SetInt("added", int64(len(rev.Added)))
+		dsp.SetInt("resolved", int64(len(rev.Resolved)))
+		dsp.End()
+	}
+
+	// Phase 7: version, retain, publish.
+	a.rev++
+	rev.Rev = a.rev
+	rev.Apps = len(a.order)
+	rev.Pairs = len(tasks)
+	rev.Duration = time.Since(start)
+	a.active += len(rev.Added) - len(rev.Resolved)
+	a.history = append(a.history, rev)
+	if len(a.history) > a.opts.History {
+		a.history = append(a.history[:0:0], a.history[len(a.history)-a.opts.History:]...)
+	}
+	a.publishEvents(rev)
+	a.publishMetrics(rev)
+	if sp != nil {
+		sp.SetInt("rev", int64(rev.Rev))
+		sp.SetInt("added", int64(len(rev.Added)))
+		sp.SetInt("resolved", int64(len(rev.Resolved)))
+		sp.End()
+	}
+	return rev, nil
+}
+
+// Findings returns the store's full active finding set in serial install
+// order — byte-identical to what Run over the current store reports
+// (pinned by the churn property test).
+func (a *Auditor) Findings() []Finding {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.findingsLocked()
+}
+
+// Threats flattens Findings to the bare threat list.
+func (a *Auditor) Threats() []detect.Threat {
+	fs := a.Findings()
+	out := make([]detect.Threat, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, f.Threat)
+	}
+	return out
+}
+
+func (a *Auditor) findingsLocked() []Finding {
+	var out []Finding
+	type part struct {
+		pos int
+		id  pairID
+	}
+	var parts []part
+	for _, st := range a.order {
+		for _, t := range a.verdicts[pairID{st.name, st.name}] {
+			out = append(out, Finding{st.name, st.name, t})
+		}
+		parts = parts[:0]
+		for counter := range a.pairsOf[st.name] {
+			if counter == st.name {
+				continue
+			}
+			other := a.byName[counter]
+			if other.pos >= st.pos {
+				continue // counted at the later-installed side
+			}
+			parts = append(parts, part{other.pos, pairID{counter, st.name}})
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i].pos < parts[j].pos })
+		for _, p := range parts {
+			for _, t := range a.verdicts[p.id] {
+				out = append(out, Finding{p.id.a, p.id.b, t})
+			}
+		}
+	}
+	return out
+}
+
+// FindingsSince answers the findings feed for a client that last saw
+// revision since: the concatenated per-revision deltas when the retained
+// history still covers (since, current], or a Reset snapshot of the full
+// active set when since has aged out.
+func (a *Auditor) FindingsSince(since uint64) *Feed {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := &Feed{Rev: a.rev, Since: since}
+	if since >= a.rev {
+		return f
+	}
+	if n := len(a.history); n > 0 && a.history[0].Rev <= since+1 {
+		for _, r := range a.history {
+			if r.Rev <= since {
+				continue
+			}
+			f.Added = append(f.Added, r.Added...)
+			f.Resolved = append(f.Resolved, r.Resolved...)
+		}
+		return f
+	}
+	f.Reset = true
+	f.Added = a.findingsLocked()
+	return f
+}
+
+// publishEvents ships one revision event plus one event per delta
+// finding; Publish never blocks (nil writers no-op).
+func (a *Auditor) publishEvents(rev *Revision) {
+	w := a.opts.Events
+	if w == nil {
+		return
+	}
+	w.Publish(events.Event{
+		Type: events.TypeRevision, Rev: rev.Rev, Threats: len(rev.Added),
+		DurationMs: float64(rev.Duration.Microseconds()) / 1000.0,
+	})
+	for _, f := range rev.Added {
+		w.Publish(events.Event{
+			Type: events.TypeFinding, Rev: rev.Rev, App: f.App1, App2: f.App2,
+			Kind: string(f.Threat.Kind), Status: events.StatusAdded,
+		})
+	}
+	for _, f := range rev.Resolved {
+		w.Publish(events.Event{
+			Type: events.TypeFinding, Rev: rev.Rev, App: f.App1, App2: f.App2,
+			Kind: string(f.Threat.Kind), Status: events.StatusResolved,
+		})
+	}
+}
+
+// publishMetrics folds one revision into the homeguard_audit_* catalog.
+// Registration is idempotent by name, so every Apply may re-ask.
+func (a *Auditor) publishMetrics(rev *Revision) {
+	o := a.opts.Obs
+	if o == nil {
+		return
+	}
+	r := o.Registry
+	r.Counter("homeguard_audit_revisions_total", "Store revisions applied by the incremental auditor.").Inc()
+	r.Counter("homeguard_audit_pairs_rechecked_total", "App pairs re-checked across incremental revisions.").Add(uint64(rev.Pairs))
+	r.Counter("homeguard_audit_findings_added_total", "Findings added across incremental revisions.").Add(uint64(len(rev.Added)))
+	r.Counter("homeguard_audit_findings_resolved_total", "Findings resolved across incremental revisions.").Add(uint64(len(rev.Resolved)))
+	r.Counter("homeguard_audit_pairs_checked_total", "Rule pairs checked across audit runs.").Add(uint64(rev.Stats.PairsChecked))
+	r.Counter("homeguard_audit_solver_calls_total", "Solver invocations across audit runs.").Add(uint64(rev.Stats.SolverCalls))
+	r.Gauge("homeguard_audit_store_apps", "Apps currently in the audited store.").Set(int64(rev.Apps))
+	r.Gauge("homeguard_audit_findings_active", "Currently active findings across the audited store.").Set(int64(a.active))
+}

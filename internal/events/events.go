@@ -36,6 +36,17 @@ const (
 	TypeReconfigure = "reconfigure"
 	TypeThreat      = "threat"
 	TypeAudit       = "audit"
+	// TypeRevision marks one applied store batch from the incremental
+	// auditor; TypeFinding marks each finding the revision added or
+	// resolved (Status distinguishes the two).
+	TypeRevision = "revision"
+	TypeFinding  = "finding"
+)
+
+// Finding-event statuses.
+const (
+	StatusAdded    = "added"
+	StatusResolved = "resolved"
 )
 
 // Event is one reportable occurrence. Fields beyond Time and Type are
@@ -45,8 +56,15 @@ type Event struct {
 	Type string    `json:"type"`
 	Home string    `json:"home,omitempty"`
 	App  string    `json:"app,omitempty"`
-	// Kind is the threat kind for TypeThreat events.
+	// App2 is the finding's later-installed side for TypeFinding events
+	// (App carries the earlier side; equal for intra-app findings).
+	App2 string `json:"app2,omitempty"`
+	// Kind is the threat kind for TypeThreat and TypeFinding events.
 	Kind string `json:"kind,omitempty"`
+	// Rev is the store revision for TypeRevision and TypeFinding events.
+	Rev uint64 `json:"rev,omitempty"`
+	// Status is "added" or "resolved" for TypeFinding events.
+	Status string `json:"status,omitempty"`
 	// Threats is the number of threats the operation reported.
 	Threats    int     `json:"threats,omitempty"`
 	DurationMs float64 `json:"durationMs,omitempty"`

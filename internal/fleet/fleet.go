@@ -546,14 +546,6 @@ func (f *Fleet) publishOpEvents(typ, homeID, app string, threats []detect.Threat
 	}
 }
 
-// InstallCtx is a deprecated alias for Install, kept one release for
-// callers written against the Install/InstallCtx pair.
-//
-// Deprecated: Install is context-first; call it directly.
-func (f *Fleet) InstallCtx(ctx context.Context, homeID, src string, cfg *detect.Config) (*InstallResult, error) {
-	return f.Install(ctx, homeID, src, cfg)
-}
-
 // BatchItem is one app of a batch install.
 type BatchItem struct {
 	Source string
@@ -610,13 +602,6 @@ func (f *Fleet) InstallBatch(ctx context.Context, homeID string, items []BatchIt
 		out[i] = BatchResult{Result: r, Err: err}
 	}
 	return out
-}
-
-// InstallBatchCtx is a deprecated alias for InstallBatch.
-//
-// Deprecated: InstallBatch is context-first; call it directly.
-func (f *Fleet) InstallBatchCtx(ctx context.Context, homeID string, items []BatchItem) []BatchResult {
-	return f.InstallBatch(ctx, homeID, items)
 }
 
 // ReconfigureResult is what a reconfigure returns to the frontend; it
@@ -706,18 +691,6 @@ func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *de
 		Threats:       threats,
 		ThreatLogBase: logBase,
 	}, nil
-}
-
-// ReconfigureCtx is a deprecated wrapper preserving the pre-redesign
-// (threats, logBase, err) return triple.
-//
-// Deprecated: call Reconfigure; it returns a ReconfigureResult.
-func (f *Fleet) ReconfigureCtx(ctx context.Context, homeID, appName string, cfg *detect.Config) ([]detect.Threat, int, error) {
-	res, err := f.Reconfigure(ctx, homeID, appName, cfg)
-	if err != nil {
-		return nil, 0, err
-	}
-	return res.Threats, res.ThreatLogBase, nil
 }
 
 // Accept records user-approved threats in one home so later installs

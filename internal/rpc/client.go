@@ -222,6 +222,24 @@ func (c *Client) Threats(ctx context.Context, req *api.ThreatsRequest) (*api.Thr
 	return resp, nil
 }
 
+// SubmitApps invokes the unary SubmitApps store RPC.
+func (c *Client) SubmitApps(ctx context.Context, req *api.SubmitAppsRequest) (*api.SubmitAppsResponse, error) {
+	resp := new(api.SubmitAppsResponse)
+	if err := c.Call(ctx, "SubmitApps", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Findings invokes the unary Findings store-feed RPC.
+func (c *Client) Findings(ctx context.Context, req *api.FindingsRequest) (*api.FindingsResponse, error) {
+	resp := new(api.FindingsResponse)
+	if err := c.Call(ctx, "Findings", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // Accept invokes the unary Accept RPC.
 func (c *Client) Accept(ctx context.Context, req *api.AcceptRequest) (*api.AcceptResponse, error) {
 	resp := new(api.AcceptResponse)

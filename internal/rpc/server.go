@@ -275,6 +275,18 @@ func (s *Server) dispatch(ctx context.Context, method string, body json.RawMessa
 			return nil, aerr
 		}
 		return s.svc.Apps(ctx, req.Home)
+	case "SubmitApps":
+		req := new(api.SubmitAppsRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.SubmitApps(ctx, req)
+	case "Findings":
+		req := new(api.FindingsRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.Findings(ctx, req)
 	default:
 		return nil, api.Errorf(api.CodeNotFound, "unknown method %q", method)
 	}

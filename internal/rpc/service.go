@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"homeguard/internal/api"
+	"homeguard/internal/audit"
 	"homeguard/internal/detect"
 	"homeguard/internal/fleet"
 )
@@ -23,6 +24,9 @@ const (
 type ServiceOptions struct {
 	// Breaker configures both stage breakers.
 	Breaker BreakerOptions
+	// Auditor, when set, serves the store endpoints (SubmitApps,
+	// Findings). Nil edges reject store calls with FAILED_PRECONDITION.
+	Auditor *audit.Auditor
 }
 
 // Service is the transport-neutral core of the enforcement edge: the
@@ -33,6 +37,7 @@ type ServiceOptions struct {
 // each transport writes verbatim.
 type Service struct {
 	fleet   *fleet.Fleet
+	auditor *audit.Auditor
 	extract *Breaker
 	detect  *Breaker
 
@@ -45,10 +50,14 @@ type Service struct {
 func NewService(f *fleet.Fleet, opts ServiceOptions) *Service {
 	return &Service{
 		fleet:   f,
+		auditor: opts.Auditor,
 		extract: NewBreaker(opts.Breaker),
 		detect:  NewBreaker(opts.Breaker),
 	}
 }
+
+// Auditor returns the store auditor (nil when the edge serves none).
+func (s *Service) Auditor() *audit.Auditor { return s.auditor }
 
 // Fleet returns the wrapped fleet.
 func (s *Service) Fleet() *fleet.Fleet { return s.fleet }
@@ -320,6 +329,61 @@ func (s *Service) Accept(ctx context.Context, req *api.AcceptRequest) (*api.Acce
 		return nil, api.FromErr(err)
 	}
 	return &api.AcceptResponse{HomeID: req.Home, Accepted: len(req.Threats)}, nil
+}
+
+// SubmitApps applies one batch of store submits/updates/removes to the
+// incremental auditor and returns the resulting revision. The whole
+// batch — extraction of the changed apps plus the delta re-detection —
+// runs as one detect-breaker stage: per-app failures (bad sources,
+// unknown removes) are reported in the revision's error map and count
+// as stage successes, while panics and timeouts shed as usual.
+func (s *Service) SubmitApps(ctx context.Context, req *api.SubmitAppsRequest) (*api.SubmitAppsResponse, *api.Error) {
+	if s.auditor == nil {
+		return nil, api.Errorf(api.CodeFailedPrecondition, "this edge serves no app store")
+	}
+	if len(req.Upserts) == 0 && len(req.Removes) == 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "batch has no upserts and no removes")
+	}
+	batch := audit.Batch{Removes: req.Removes}
+	for i := range req.Upserts {
+		src, aerr := req.Upserts[i].ResolveSource()
+		if aerr != nil {
+			return nil, aerr
+		}
+		cfg, aerr := req.Upserts[i].Config.ToDetect()
+		if aerr != nil {
+			return nil, aerr
+		}
+		batch.Upserts = append(batch.Upserts, audit.App{
+			Name:   req.Upserts[i].Name,
+			Source: src,
+			Config: cfg,
+		})
+	}
+	var rev *audit.Revision
+	if aerr := s.runStage(ctx, StageDetect, s.detect, func() error {
+		r, err := s.auditor.Apply(batch)
+		if err != nil {
+			return err
+		}
+		rev = r
+		return nil
+	}); aerr != nil {
+		return nil, aerr
+	}
+	return api.SubmitAppsResponseOf(rev), nil
+}
+
+// Findings reads the store findings feed from req.Since. Reads are
+// cheap and skip the breakers.
+func (s *Service) Findings(ctx context.Context, req *api.FindingsRequest) (*api.FindingsResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	if s.auditor == nil {
+		return nil, api.Errorf(api.CodeFailedPrecondition, "this edge serves no app store")
+	}
+	return api.FindingsResponseOf(s.auditor.FindingsSince(req.Since)), nil
 }
 
 // Apps lists one home's installed apps in install order.

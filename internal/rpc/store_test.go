@@ -1,0 +1,94 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+
+	"homeguard/internal/api"
+	"homeguard/internal/audit"
+)
+
+func TestRPCStoreSubmitAndFindings(t *testing.T) {
+	_, client := startEdge(t, ServiceOptions{
+		Auditor: audit.NewAuditor(audit.AuditorOptions{}),
+	}, ServerOptions{})
+	ctx := context.Background()
+
+	// First submission: two corpus apps whose interaction is a known
+	// interference pair.
+	res, err := client.SubmitApps(ctx, &api.SubmitAppsRequest{
+		Upserts: []api.StoreApp{{Corpus: "ComfortTV"}, {Corpus: "ColdDefender"}},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Rev != 1 || res.Apps != 2 {
+		t.Errorf("submit = rev %d, %d apps; want rev 1, 2 apps", res.Rev, res.Apps)
+	}
+	if len(res.Added) == 0 {
+		t.Fatal("ComfortTV+ColdDefender submission reported no added findings")
+	}
+	for _, f := range res.Added {
+		if f.App1 == "" || f.App2 == "" || f.Threat.Kind == "" || f.Threat.Text == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+
+	// The feed from rev 0 replays the whole delta.
+	feed, err := client.Findings(ctx, &api.FindingsRequest{Since: 0})
+	if err != nil {
+		t.Fatalf("findings: %v", err)
+	}
+	if feed.Rev != 1 || feed.Reset {
+		t.Errorf("feed = rev %d reset=%v; want rev 1, no reset", feed.Rev, feed.Reset)
+	}
+	if len(feed.Added) != len(res.Added) || len(feed.Resolved) != 0 {
+		t.Errorf("feed delta = +%d/-%d, submit reported +%d", len(feed.Added), len(feed.Resolved), len(res.Added))
+	}
+
+	// Removing one side of the pair resolves its findings.
+	res, err = client.SubmitApps(ctx, &api.SubmitAppsRequest{Removes: []string{"ColdDefender"}})
+	if err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if res.Rev != 2 || res.Apps != 1 || len(res.Resolved) == 0 {
+		t.Errorf("remove = rev %d, %d apps, -%d; want rev 2, 1 app, resolved findings", res.Rev, res.Apps, len(res.Resolved))
+	}
+	feed, err = client.Findings(ctx, &api.FindingsRequest{Since: 1})
+	if err != nil {
+		t.Fatalf("findings since 1: %v", err)
+	}
+	if feed.Rev != 2 || len(feed.Added) != 0 || len(feed.Resolved) != len(res.Resolved) {
+		t.Errorf("feed since 1 = rev %d +%d/-%d; want rev 2, -%d only", feed.Rev, len(feed.Added), len(feed.Resolved), len(res.Resolved))
+	}
+
+	// Per-app failures ride in the response without failing the batch.
+	res, err = client.SubmitApps(ctx, &api.SubmitAppsRequest{Removes: []string{"NoSuchApp"}})
+	if err != nil {
+		t.Fatalf("remove unknown: %v", err)
+	}
+	if e := res.Errors["NoSuchApp"]; e == nil || e.Code != api.CodeNotFound {
+		t.Errorf("unknown remove error = %+v; want NOT_FOUND envelope", res.Errors["NoSuchApp"])
+	}
+
+	// An empty batch is a client error.
+	if _, err := client.SubmitApps(ctx, &api.SubmitAppsRequest{}); codeOf(t, err) != api.CodeInvalidArgument {
+		t.Errorf("empty batch code = %v, want INVALID_ARGUMENT", codeOf(t, err))
+	}
+}
+
+func TestRPCStoreDisabledEdge(t *testing.T) {
+	_, client := startEdge(t, ServiceOptions{}, ServerOptions{})
+	ctx := context.Background()
+
+	_, err := client.SubmitApps(ctx, &api.SubmitAppsRequest{
+		Upserts: []api.StoreApp{{Corpus: "ComfortTV"}},
+	})
+	if codeOf(t, err) != api.CodeFailedPrecondition {
+		t.Errorf("SubmitApps on storeless edge = %v, want FAILED_PRECONDITION", codeOf(t, err))
+	}
+	_, err = client.Findings(ctx, &api.FindingsRequest{})
+	if codeOf(t, err) != api.CodeFailedPrecondition {
+		t.Errorf("Findings on storeless edge = %v, want FAILED_PRECONDITION", codeOf(t, err))
+	}
+}
