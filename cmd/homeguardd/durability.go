@@ -1,0 +1,281 @@
+// Crash-safe durability for the daemon: with -wal-dir set, every fleet
+// and store mutation is appended to a segmented write-ahead log before
+// the client is acknowledged, and a background checkpointer periodically
+// writes the full daemon state — extraction cache, pair verdicts, fleet
+// homes, audited store — to one checkpoint file, then garbage-collects
+// the log segments the checkpoint covers. Boot recovery restores the
+// last checkpoint and replays the log's tail on top; per-entity LSN
+// watermarks persisted in the checkpoint make the replay exactly-once.
+// /readyz answers 503 for the whole recovery and flips to 200 only when
+// the replayed state is serving.
+//
+// The checkpoint file is five snapcodec sections back to back: a meta
+// section ("HGCKSNP\x00" v1, one JSON record naming the checkpoint LSN
+// and which optional sections follow), then the extraction cache
+// ("HGXCSNP\x00"), the pair-verdict cache ("HGPVSNP\x00"), the fleet
+// homes ("HGFLSNP\x00") and the audited store ("HGAUSNP\x00"). A legacy
+// cache-only snapshot (the pre-WAL -snapshot-path format, which starts
+// directly with the extraction-cache magic) is recognized by its leading
+// magic and restored as caches-plus-empty-state with watermark zero, so
+// an upgraded daemon warm-starts from its old snapshot and rebuilds home
+// state from the log.
+
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"homeguard/internal/audit"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/fleet"
+	"homeguard/internal/snapcodec"
+	"homeguard/internal/wal"
+)
+
+// Checkpoint-file meta section identity.
+const (
+	ckptMagic   = "HGCKSNP\x00"
+	ckptVersion = 1
+)
+
+// ckptMetaJSON is the meta section's single record.
+type ckptMetaJSON struct {
+	// LSN is the checkpoint LSN: every WAL record at or below it is
+	// reflected in the sections that follow, so segments whose records
+	// are all <= LSN are garbage.
+	LSN uint64 `json:"lsn"`
+	// Verdicts reports whether a pair-verdict section follows the
+	// extraction-cache section (absent when the cache is disabled).
+	Verdicts bool `json:"verdicts"`
+}
+
+// saveCheckpoint writes the full daemon state to a temp file and
+// atomically renames it over path, then fsyncs the parent directory so
+// the rename itself is durable. The checkpoint LSN is read BEFORE any
+// state is captured: mutations precede their append under the same lock,
+// so every record at or below it is already reflected in the capture
+// (records appended during the capture may be partially reflected — the
+// per-entity watermarks make replay skip exactly what each entity
+// already holds).
+func saveCheckpoint(path string, l *wal.Log, f *fleet.Fleet, aud *audit.Auditor) (uint64, error) {
+	lsn := l.LastLSN()
+	tmp := path + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	fail := func(err error) (uint64, error) {
+		file.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	w := bufio.NewWriter(file)
+
+	meta := ckptMetaJSON{LSN: lsn, Verdicts: f.Verdicts() != nil}
+	sw, err := snapcodec.NewWriter(w, ckptMagic, ckptVersion)
+	if err != nil {
+		return fail(err)
+	}
+	rec, err := json.Marshal(meta)
+	if err != nil {
+		return fail(err)
+	}
+	if err := sw.Record(rec); err != nil {
+		return fail(err)
+	}
+	if err := sw.Close(); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Cache().Snapshot(w); err != nil {
+		return fail(err)
+	}
+	if v := f.Verdicts(); v != nil {
+		if _, err := v.Snapshot(w); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := f.SnapshotHomes(w); err != nil {
+		return fail(err)
+	}
+	if err := aud.Snapshot(w); err != nil {
+		return fail(err)
+	}
+
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := file.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := file.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	// The rename is atomic but not durable until the directory entry is
+	// flushed; without this a crash can revive the previous checkpoint
+	// AFTER its covered segments were GC'd.
+	if err := wal.SyncDir(filepath.Dir(path)); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// loadCheckpoint restores daemon state from path, returning the
+// checkpoint LSN. A missing file is a cold start (LSN 0, replay the
+// whole log). A legacy cache-only snapshot restores the caches and
+// leaves state to the replay. A checkpoint that fails mid-restore is
+// fatal: its covered log segments may already be collected, so serving
+// from partial state would silently drop acknowledged operations.
+func loadCheckpoint(path string, f *fleet.Fleet, aud *audit.Auditor) uint64 {
+	file, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			log.Printf("homeguardd: no checkpoint at %s, recovering from the log alone", path)
+			return 0
+		}
+		log.Fatalf("homeguardd: checkpoint open: %v", err)
+	}
+	defer file.Close()
+	r := bufio.NewReader(file)
+	magic, err := snapcodec.PeekMagic(r)
+	if err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: %v", path, err)
+	}
+	if magic == extractcache.SnapshotMagic {
+		// Pre-WAL snapshot: caches only, nothing the log must skip.
+		loadCaches(r, path, f)
+		return 0
+	}
+	if magic != ckptMagic {
+		log.Fatalf("homeguardd: checkpoint %s: unrecognized magic %q", path, magic)
+	}
+
+	sr, err := snapcodec.NewReader(r, ckptMagic, ckptVersion)
+	if err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: %v", path, err)
+	}
+	rec, err := sr.Next()
+	if err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: meta: %v", path, err)
+	}
+	var meta ckptMetaJSON
+	if err := json.Unmarshal(rec, &meta); err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: meta: %v", path, err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		log.Fatalf("homeguardd: checkpoint %s: meta section not closed (err %v)", path, err)
+	}
+	nx, err := f.Cache().Restore(r)
+	if err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: extraction cache: %v", path, err)
+	}
+	nv := 0
+	if meta.Verdicts {
+		v := f.Verdicts()
+		if v == nil {
+			log.Fatalf("homeguardd: checkpoint %s has a verdict section but the cache is disabled", path)
+		}
+		if nv, err = v.Restore(r); err != nil {
+			log.Fatalf("homeguardd: checkpoint %s: pair verdicts: %v", path, err)
+		}
+	}
+	nh, err := f.RestoreHomes(r)
+	if err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: fleet homes: %v", path, err)
+	}
+	if err := aud.Restore(r); err != nil {
+		log.Fatalf("homeguardd: checkpoint %s: audit store: %v", path, err)
+	}
+	log.Printf("homeguardd: checkpoint restored from %s (lsn %d, %d extractions, %d pair verdicts, %d homes, store rev %d)",
+		path, meta.LSN, nx, nv, nh, aud.Rev())
+	return meta.LSN
+}
+
+// replayRecord dispatches one WAL record to its owner: audit-store
+// batches to the auditor, everything else to the fleet.
+func (s *server) replayRecord(lsn uint64, kind byte, payload []byte) error {
+	if kind == wal.OpAuditBatch {
+		return s.auditor.ReplayWALRecord(lsn, kind, payload)
+	}
+	return s.fleet.ReplayWALRecord(lsn, kind, payload)
+}
+
+// bootRecover is the WAL-mode boot path: restore the last checkpoint,
+// open the log (repairing a torn tail), replay every record above each
+// entity's watermark, and only then attach the log so replay is never
+// re-appended. The caller flips /readyz to 200 after this returns.
+func bootRecover(srv *server, walDir, ckptPath string, opts wal.Options) *wal.Log {
+	start := time.Now()
+	sp := srv.obs.Tracer.Start("wal.recover")
+	loadCheckpoint(ckptPath, srv.fleet, srv.auditor)
+	l, err := wal.Open(opts)
+	if err != nil {
+		log.Fatalf("homeguardd: wal open: %v", err)
+	}
+	replayed := 0
+	if err := l.Replay(0, func(lsn uint64, kind byte, payload []byte) error {
+		replayed++
+		return srv.replayRecord(lsn, kind, payload)
+	}); err != nil {
+		log.Fatalf("homeguardd: wal replay: %v", err)
+	}
+	srv.fleet.AttachWAL(l)
+	srv.auditor.AttachWAL(l)
+	d := time.Since(start)
+	l.SetRecoveryDuration(d)
+	sp.SetInt("records", int64(replayed))
+	sp.End()
+	log.Printf("homeguardd: recovered from %s in %s (%d records replayed, last lsn %d, %d homes, store rev %d)",
+		walDir, d.Round(time.Millisecond), replayed, l.LastLSN(), srv.fleet.NumHomes(), srv.auditor.Rev())
+	return l
+}
+
+// checkpoint writes one checkpoint and collects the log segments it
+// covers. Skipped while the log is failed: after a crash-stop the state
+// may be ahead of the last durable record, and checkpointing it would
+// persist un-acknowledged operations.
+func checkpoint(path string, l *wal.Log, f *fleet.Fleet, aud *audit.Auditor) error {
+	if err := l.Err(); err != nil {
+		return fmt.Errorf("wal failed, not checkpointing: %w", err)
+	}
+	lsn, err := saveCheckpoint(path, l, f, aud)
+	if err != nil {
+		return err
+	}
+	removed, err := l.TruncateBefore(lsn + 1)
+	if err != nil {
+		return fmt.Errorf("segment gc: %w", err)
+	}
+	log.Printf("homeguardd: checkpoint at lsn %d written to %s (%d log segments collected)", lsn, path, removed)
+	return nil
+}
+
+// runCheckpointer checkpoints every interval until ctx is canceled,
+// replacing save-on-shutdown-only persistence: a crashed daemon's replay
+// is bounded by one interval of log, not its whole uptime.
+func runCheckpointer(ctx context.Context, interval time.Duration, path string, l *wal.Log, f *fleet.Fleet, aud *audit.Auditor) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := checkpoint(path, l, f, aud); err != nil {
+				log.Printf("homeguardd: checkpoint: %v", err)
+			}
+		}
+	}
+}

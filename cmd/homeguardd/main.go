@@ -11,6 +11,9 @@
 //	homeguardd [-addr :8080] [-rpc-addr :8081] [-shards 16]
 //	           [-events-sink stdout|/path/to/events.jsonl]
 //	           [-pprof-addr 127.0.0.1:6060]
+//	           [-wal-dir /var/lib/homeguard/wal]
+//	           [-fsync always|interval|off]
+//	           [-checkpoint-interval 1m]
 //	           [-snapshot-path /var/lib/homeguard/snapshot]
 //	           [-log-format text|json] [-trace-slow-ms 250]
 //
@@ -65,15 +68,65 @@
 //
 // GET /healthz is liveness: 200 while the process can serve, 503 once a
 // graceful drain has begun. GET /readyz is readiness: 503 until the
-// snapshot restore (if configured) has finished and the home shards are
-// initialized, 200 while serving, and 503 again during drain so load
-// balancers pull the instance before connections are forcibly closed.
+// checkpoint/snapshot restore and WAL replay (when configured) have
+// finished and the home shards are initialized, 200 while serving, and
+// 503 again during drain so load balancers pull the instance before
+// connections are forcibly closed. While recovering, every API route
+// except the probes answers 503 with Retry-After — the listener is up
+// (so orchestrators see the process, and readiness honestly reports
+// the recovery phase) but no request observes half-replayed state.
+//
+// # Durability (write-ahead log + background checkpoints)
+//
+// -wal-dir, when set, makes the daemon crash-safe rather than merely
+// warm-startable: every state-changing operation (home install,
+// reconfigure, threat accept, store audit batch) is appended to a
+// segmented write-ahead log in that directory BEFORE the client sees
+// success, and a background checkpointer periodically persists the full
+// state — both caches, every home (apps, resolved configs, accepted
+// threats, ledger), and the store auditor including its revision
+// history — then garbage-collects the log segments the checkpoint
+// covers. On boot the daemon loads the newest checkpoint and replays
+// the log tail, so a kill -9 (or kernel panic) loses nothing that was
+// acknowledged: recovery converges to an exact prefix of the acked
+// operation sequence, with at most one durable-but-unacked trailing op.
+//
+//   - -fsync always (the default) fsyncs the log before every ack —
+//     the zero-loss configuration the crash-recovery CI job runs.
+//   - -fsync interval batches fsyncs on a 50ms timer: acks may run
+//     ahead of the disk by one interval, bounding loss to that window.
+//   - -fsync off leaves flushing to the OS page cache (still safe
+//     against process death, not against host death).
+//   - -checkpoint-interval sets the checkpointer period (default 1m;
+//     0 checkpoints only on graceful shutdown). Checkpoints are
+//     written to -snapshot-path, defaulting to <wal-dir>/checkpoint.
+//
+// Log records are logical, not physical: an install record carries the
+// app's marshaled extraction result and resolved config, so replay is
+// deterministic and never re-runs symbolic execution or config
+// resolution. Replay is idempotent via per-entity LSN watermarks
+// persisted in the checkpoint (a record at or below an entity's
+// watermark is skipped), so a checkpoint plus an overlapping tail
+// recovers exactly once. A torn final record (the crash landed mid
+// write) is truncated on open; corruption anywhere earlier refuses the
+// log rather than replaying garbage, and a corrupt checkpoint in WAL
+// mode is fatal — covered segments may already be GC'd, so serving a
+// partial restore would silently drop acked state.
+//
+// The checkpoint file is one "HGCKSNP\x00" meta section (the log
+// position the checkpoint covers) followed by the extraction-cache,
+// pair-verdict, fleet-homes and auditor sections back to back, each in
+// the internal/snapcodec framing (8-byte magic, big-endian uint32
+// version, length-prefixed records, end sentinel, SHA-256 trailer) and
+// each rejecting version skew and damage with typed errors. A legacy
+// cache-only snapshot (pre-WAL format, bare "HGXCSNP\x00" first
+// section) is still recognized and restores the caches it has.
 //
 // # Warm-start snapshots
 //
-// -snapshot-path, when set, enables persistent warm-start: on boot the
-// daemon restores the extraction cache and the pair-verdict cache from
-// the named file (a missing file is a normal cold start; a corrupt or
+// -snapshot-path alone (without -wal-dir) keeps the original
+// cache-only warm-start mode: on boot the daemon restores the
+// extraction cache and the pair-verdict cache from the named file (a missing file is a normal cold start; a corrupt or
 // version-skewed file is logged and ignored), and on graceful shutdown
 // (SIGINT/SIGTERM) it writes a fresh snapshot to a temp file and
 // atomically renames it into place. A restarted daemon therefore serves
@@ -170,6 +223,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"sync/atomic"
 	"syscall"
@@ -181,6 +235,7 @@ import (
 	"homeguard/internal/fleet"
 	"homeguard/internal/obs"
 	"homeguard/internal/rpc"
+	"homeguard/internal/wal"
 )
 
 // maxBodyBytes caps request bodies (SmartApp sources are a few KB; 4 MiB
@@ -198,12 +253,26 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "",
 		"optional address for net/http/pprof profiling endpoints (empty = disabled); bind to localhost")
 	snapshotPath := flag.String("snapshot-path", "",
-		"optional warm-start snapshot file: restored on boot, written on graceful shutdown (empty = disabled)")
+		"optional warm-start snapshot file: restored on boot, written on graceful shutdown (empty = disabled; with -wal-dir, defaults to <wal-dir>/checkpoint and holds the full-state checkpoint)")
+	walDir := flag.String("wal-dir", "",
+		"write-ahead-log directory: every mutation is logged before acknowledgment and replayed on boot (empty = durability off)")
+	fsyncMode := flag.String("fsync", "always",
+		`WAL fsync policy: "always" (fsync before every acknowledgment), "interval" (background fsync every 100ms; a crash may lose the last interval), "off" (no fsync; a crash may lose OS-buffered records)`)
+	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute,
+		"how often the background checkpointer persists full state and collects covered WAL segments (0 = checkpoint only on graceful shutdown)")
 	logFormat := flag.String("log-format", "text",
 		"structured log encoding: text (human-readable) or json (one object per line)")
 	traceSlowMs := flag.Int("trace-slow-ms", 0,
 		"enable pipeline span tracing and log requests slower than this many milliseconds (0 = tracing disabled)")
 	flag.Parse()
+
+	fsyncPolicy, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("homeguardd: -fsync: %v", err)
+	}
+	if *walDir != "" && *snapshotPath == "" {
+		*snapshotPath = filepath.Join(*walDir, "checkpoint")
+	}
 
 	var logger *slog.Logger
 	switch *logFormat {
@@ -241,16 +310,46 @@ func main() {
 		srv.obs.Tracer.SetEnabled(true)
 		log.Printf("homeguardd: span tracing on, logging requests slower than %dms", *traceSlowMs)
 	}
-	if *snapshotPath != "" {
-		loadSnapshot(*snapshotPath, srv.fleet)
-	}
-	srv.markReady()
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
 
+	// The HTTP listener comes up BEFORE recovery so orchestrators probing
+	// /readyz see 503 "starting" (not connection refused) for the whole
+	// checkpoint restore + WAL replay, and flip to 200 the moment the
+	// recovered state serves. The gate refuses API traffic until then —
+	// a request served against half-replayed state would be a lie.
+	//
+	// Explicit timeouts: the default zero-timeout server lets stalled
+	// peers hold connections (and their goroutines) forever.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.gate(srv.mux),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("homeguardd: fleet daemon listening on %s", *addr)
+
+	var wlog *wal.Log
+	if *walDir != "" {
+		wlog = bootRecover(srv, *walDir, *snapshotPath, wal.Options{
+			Dir:      *walDir,
+			Fsync:    fsyncPolicy,
+			Registry: srv.obs.Registry,
+		})
+	} else if *snapshotPath != "" {
+		loadSnapshot(*snapshotPath, srv.fleet)
+	}
+	srv.markReady()
+
 	// RPC listener: same service core as the HTTP handlers, so the two
-	// transports cannot diverge.
+	// transports cannot diverge. Started after recovery — the framed
+	// protocol has no readiness probe, so it must not accept mutations
+	// mid-replay.
 	var rpcSrv *rpc.Server
 	if *rpcAddr != "" {
 		lis, err := net.Listen("tcp", *rpcAddr)
@@ -266,24 +365,25 @@ func main() {
 		log.Printf("homeguardd: rpc edge listening on %s", *rpcAddr)
 	}
 
-	log.Printf("homeguardd: fleet daemon listening on %s", *addr)
-	// Explicit timeouts: the default zero-timeout server lets stalled
-	// peers hold connections (and their goroutines) forever.
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.mux,
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       120 * time.Second,
+	// The background checkpointer replaces save-on-shutdown-only
+	// persistence: replay after a crash is bounded by one interval of
+	// log, not the daemon's whole uptime.
+	ckptCtx, ckptCancel := context.WithCancel(context.Background())
+	ckptDone := make(chan struct{})
+	if wlog != nil && *checkpointInterval > 0 {
+		go func() {
+			defer close(ckptDone)
+			runCheckpointer(ckptCtx, *checkpointInterval, *snapshotPath, wlog, srv.fleet, srv.auditor)
+		}()
+	} else {
+		close(ckptDone)
 	}
-	// Serve until SIGINT/SIGTERM, then drain connections and persist the
-	// warm-start snapshot: a routine restart must not cost the fleet a
-	// cold extraction/solving storm.
+
+	// Serve until SIGINT/SIGTERM, then drain connections and persist a
+	// final checkpoint: a routine restart must not cost the fleet a cold
+	// extraction/solving storm — or any replay at all.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
@@ -303,7 +403,16 @@ func main() {
 			log.Printf("homeguardd: rpc close: %v", err)
 		}
 	}
-	if *snapshotPath != "" {
+	ckptCancel()
+	<-ckptDone
+	if wlog != nil {
+		if err := checkpoint(*snapshotPath, wlog, srv.fleet, srv.auditor); err != nil {
+			log.Printf("homeguardd: final checkpoint failed (the log still covers everything): %v", err)
+		}
+		if err := wlog.Close(); err != nil {
+			log.Printf("homeguardd: wal close: %v", err)
+		}
+	} else if *snapshotPath != "" {
 		if err := saveSnapshot(*snapshotPath, srv.fleet); err != nil {
 			log.Printf("homeguardd: snapshot save failed: %v", err)
 		}
@@ -358,6 +467,13 @@ func saveSnapshot(path string, f *fleet.Fleet) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Fsyncing the temp file makes the CONTENT durable; the rename that
+	// publishes it lives in the parent directory, which has its own write
+	// cache. Without the directory sync a crash shortly after a clean
+	// shutdown can boot with the previous snapshot — or none at all.
+	if err := wal.SyncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
 	log.Printf("homeguardd: snapshot saved to %s (%d extractions, %d pair verdicts)", path, nx, nv)
 	return nil
 }
@@ -377,7 +493,13 @@ func loadSnapshot(path string, f *fleet.Fleet) {
 		return
 	}
 	defer file.Close()
-	r := bufio.NewReader(file)
+	loadCaches(bufio.NewReader(file), path, f)
+}
+
+// loadCaches restores the extraction and pair-verdict cache sections
+// from r — the body of a legacy snapshot, also embedded in the WAL-mode
+// checkpoint format.
+func loadCaches(r *bufio.Reader, path string, f *fleet.Fleet) {
 	nx, err := f.Cache().Restore(r)
 	if err != nil {
 		log.Printf("homeguardd: extraction-cache restore failed (%d entries kept): %v", nx, err)
@@ -484,6 +606,21 @@ func (s *server) markReady() { s.ready.Store(true) }
 // startDrain flips both probes to 503 so orchestrators stop routing new
 // traffic while the HTTP server drains in-flight requests.
 func (s *server) startDrain() { s.draining.Store(true) }
+
+// gate refuses API traffic with 503 until boot recovery completes. The
+// probes pass through so /readyz can answer "starting" honestly; a
+// request served against half-replayed state would return answers the
+// recovered daemon contradicts moments later.
+func (s *server) gate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {

@@ -247,6 +247,53 @@
 //     corruption are rejected with typed errors and degrade to a cold
 //     start, never to loaded garbage.
 //
+// # Durability
+//
+// Warm-start snapshots only persist on graceful shutdown; the
+// write-ahead log (internal/wal) closes the crash window. A fleet or
+// store auditor given a wal.Log (Fleet.AttachWAL, Auditor.AttachWAL)
+// appends one logical operation record — install, reconfigure, threat
+// accept, store audit batch — to a segmented, CRC32C-framed,
+// monotonically LSN-numbered log BEFORE acknowledging the operation,
+// under the same lock that applied the mutation, so the log's record
+// order IS the commit order. Three fsync policies trade latency for
+// loss window: always (fsync before every ack — zero acked loss, the
+// configuration the fault-injection tests run under), interval
+// (batched fsync on a 50ms timer — bounded loss window), off (OS page
+// cache). A failed append or fsync latches the log into a crash-stop
+// state that refuses further appends rather than acking writes the
+// disk never saw.
+//
+// Records are logical and self-contained: an install record carries
+// the marshaled extraction result and resolved configuration, so
+// recovery replays deterministically without re-running symbolic
+// execution or config resolution. Replay is idempotent through
+// per-entity LSN watermarks (each home and the auditor persist the
+// LSN of their last applied record in the checkpoint; replay skips
+// records at or below the watermark), so a checkpoint plus an
+// overlapping log tail applies exactly once. On open, a torn final
+// record — the crash landed mid-write — is truncated away; corruption
+// anywhere earlier refuses the log with a typed error instead of
+// replaying garbage. A crash-point property test walks EVERY torn
+// prefix of a multi-segment log and requires the recovered state to
+// equal an exact prefix of the acked operation sequence, and a
+// daemon-level test SIGKILLs a live homeguardd mid install storm and
+// requires zero acked installs lost; both run in CI.
+//
+// A background checkpointer (homeguardd -checkpoint-interval) bounds
+// replay time and log growth: it captures the log position, writes the
+// full state — both caches, every home with its ledger and accepted
+// threats, the store auditor with its revision history — to a temp
+// file, atomically renames it into place (parent directory fsynced so
+// the rename itself is durable), then garbage-collects the segments
+// the checkpoint covers. A restarted store daemon therefore resumes at
+// its last revision and serves FindingsSince deltas across the
+// restart instead of resetting its feed. The recovery path is gated:
+// homeguardd brings its listener up first, answers 503 on every API
+// route while the checkpoint loads and the tail replays (health
+// probes stay live so orchestrators see an honest readiness flip),
+// and marks ready only when recovery completes.
+//
 // # Observability
 //
 // The Observer type (FleetOptions.Obs) bundles the process-wide
@@ -280,6 +327,10 @@
 //	rpc_streams_active, rpc_stream_msgs_total      streaming edge
 //	rpc_breaker_open{stage}                        0 closed, 0.5 half-open, 1 open
 //	events_{published,dropped,written,sink_errors}_total, events_buffered
+//	wal_appends_total, wal_fsyncs_total, wal_bytes_total,
+//	wal_segments_removed_total                     write-ahead log activity
+//	wal_segments, wal_last_lsn                     log shape (gauges)
+//	wal_recovery_seconds                           last boot recovery duration
 //
 // Tracing. With the tracer enabled, each fleet operation records a span
 // tree of per-stage timings. Root spans are install, reconfigure and
@@ -294,9 +345,11 @@
 // worker carrying busy_ns/pairs_checked/solver_calls; the incremental
 // store auditor records an audit.apply root per applied batch with
 // extract, compile, candidates, pairs and delta children (attrs
-// rev/tasks/added/resolved). RPC-edge calls
-// add an rpc.<Method> root span (method and status-code attributes)
-// above the fleet operation's tree. Disabled tracing
+// rev/tasks/added/resolved). With a WAL attached, each mutating
+// operation gains a wal.append child covering the pre-ack log write,
+// and boot recovery records a wal.recover root (attr records). RPC-edge
+// calls add an rpc.<Method> root span (method and status-code
+// attributes) above the fleet operation's tree. Disabled tracing
 // is free: every span call is a nil-receiver no-op and the hot detection
 // path stays allocation-free (pinned by benchmark gates in CI).
 //

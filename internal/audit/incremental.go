@@ -35,6 +35,7 @@ import (
 	"homeguard/internal/extractcache"
 	"homeguard/internal/obs"
 	"homeguard/internal/symexec"
+	"homeguard/internal/wal"
 )
 
 // ErrUnknownApp reports a Batch remove of an app the store does not hold.
@@ -162,6 +163,12 @@ type Auditor struct {
 	rev     uint64
 	history []*Revision
 	active  int // current finding count, for the gauge
+
+	// wal, when attached, receives one OpAuditBatch record per applied
+	// batch; walLSN is the store's recovery watermark (the LSN of the last
+	// batch reflected in this auditor's state).
+	wal    *wal.Log
+	walLSN uint64
 }
 
 // NewAuditor returns an empty store auditor.
@@ -342,8 +349,22 @@ func (a *Auditor) Apply(batch Batch) (*Revision, error) {
 	if len(batch.Upserts) == 0 && len(batch.Removes) == 0 {
 		return nil, ErrEmptyBatch
 	}
+	return a.apply(batch, 0)
+}
+
+// apply is Apply's engine. A non-zero replayLSN marks boot-time WAL
+// replay: the batch's upserts carry pre-extracted results decoded from
+// the op record, the empty-batch check is waived (an acked batch whose
+// every op errored still produced a revision, and replay must reproduce
+// the revision numbering exactly), events/metrics are not re-published,
+// no record is re-appended, and a record at or below the persisted
+// watermark is skipped as already reflected in the restored checkpoint.
+func (a *Auditor) apply(batch Batch, replayLSN uint64) (*Revision, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if replayLSN > 0 && a.walLSN >= replayLSN {
+		return nil, nil // already in the checkpoint
+	}
 	start := time.Now()
 	var sp *obs.Span
 	if a.opts.Obs != nil {
@@ -423,6 +444,12 @@ func (a *Auditor) Apply(batch Batch) (*Revision, error) {
 		a.dropPair(id)
 	}
 
+	// The effective ops — removes that hit an installed app, the winning
+	// upsert per name — are what the WAL record carries: replaying them
+	// reproduces this batch's end state without the failed inputs.
+	var effRemoves []string
+	var effUpserts []walUpsert
+
 	// Phase 2: removals. Every pair involving a removed app resolves, the
 	// slot's postings clear and the slot goes on the freelist for reuse.
 	for _, name := range batch.Removes {
@@ -431,6 +458,7 @@ func (a *Auditor) Apply(batch Batch) (*Revision, error) {
 			errAt(name, ErrUnknownApp)
 			continue
 		}
+		effRemoves = append(effRemoves, name)
 		for counter := range a.pairsOf[name] {
 			if counter == name {
 				resolvePair(pairID{name, name}, st.pos, st.pos)
@@ -466,6 +494,7 @@ func (a *Auditor) Apply(batch Batch) (*Revision, error) {
 			continue
 		}
 		p := &preps[i]
+		effUpserts = append(effUpserts, walUpsert{name: p.name, res: p.res, cfg: p.cfg})
 		ia := detect.NewInstalledApp(p.res, p.cfg)
 		a.compiler.Precompile(ia)
 		if st := a.byName[p.name]; st != nil {
@@ -608,7 +637,13 @@ func (a *Auditor) Apply(batch Batch) (*Revision, error) {
 		dsp.End()
 	}
 
-	// Phase 7: version, retain, publish.
+	// Phase 7: version, retain, log, publish. The WAL record is appended
+	// after the mutation and before the caller is acknowledged (commit-log
+	// semantics, same as the fleet): an append failure returns the batch
+	// un-acknowledged, and the log's crash-stop latching refuses every
+	// later batch, so recovery never resurrects an un-acked revision.
+	// Exactly one record per acked revision — even when every op errored —
+	// keeps replayed revision numbering identical to the pre-crash run.
 	a.rev++
 	rev.Rev = a.rev
 	rev.Apps = len(a.order)
@@ -619,8 +654,37 @@ func (a *Auditor) Apply(batch Batch) (*Revision, error) {
 	if len(a.history) > a.opts.History {
 		a.history = append(a.history[:0:0], a.history[len(a.history)-a.opts.History:]...)
 	}
-	a.publishEvents(rev)
-	a.publishMetrics(rev)
+	if replayLSN > 0 {
+		// Replayed batches were published before the crash; re-emitting
+		// their events or re-counting their metrics would double them.
+		a.walLSN = replayLSN
+	} else {
+		if a.wal != nil {
+			payload, err := encodeBatchOp(effRemoves, effUpserts)
+			if err == nil {
+				var wsp *obs.Span
+				if sp != nil {
+					wsp = sp.Child("wal.append")
+				}
+				var lsn uint64
+				lsn, err = a.wal.Append(wal.OpAuditBatch, payload)
+				if wsp != nil {
+					wsp.End()
+				}
+				if err == nil {
+					a.walLSN = lsn
+				}
+			}
+			if err != nil {
+				if sp != nil {
+					sp.End()
+				}
+				return nil, fmt.Errorf("audit: rev %d: wal append: %w", rev.Rev, err)
+			}
+		}
+		a.publishEvents(rev)
+		a.publishMetrics(rev)
+	}
 	if sp != nil {
 		sp.SetInt("rev", int64(rev.Rev))
 		sp.SetInt("added", int64(len(rev.Added)))

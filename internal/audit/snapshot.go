@@ -1,0 +1,280 @@
+// Persistent store-auditor state: Snapshot serializes the audited store
+// — apps in install order with their configurations, every pair's
+// current verdict, the retained revision history and the WAL watermark —
+// through the shared snapcodec framing; Restore rebuilds it in a fresh
+// auditor. Persisting the revision history means a restarted store
+// daemon keeps serving FindingsSince deltas from each client's last-seen
+// revision instead of forcing every feed consumer through a Reset.
+//
+// What does NOT survive: per-revision Errors maps (failure reports to
+// the submitting client, not store state — a restored Revision has a nil
+// Errors map) and the index freelist (restore re-adds apps compactly, so
+// slot numbers may differ; slots are internal addressing, never exposed).
+
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/snapcodec"
+	"homeguard/internal/symexec"
+)
+
+// Snapshot format identity for the audit-store section.
+const (
+	auditSnapshotMagic   = "HGAUSNP\x00"
+	auditSnapshotVersion = 1
+)
+
+type auditMetaJSON struct {
+	Rev     uint64 `json:"rev"`
+	WalLSN  uint64 `json:"walLSN,omitempty"`
+	Apps    int    `json:"apps"`    // app records following the meta record
+	Pairs   int    `json:"pairs"`   // verdict records following the apps
+	History int    `json:"history"` // revision records following the verdicts
+}
+
+type auditAppJSON struct {
+	Name   string          `json:"name"`
+	Res    json.RawMessage `json:"res"`
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+type auditPairJSON struct {
+	A       string          `json:"a"`
+	B       string          `json:"b"`
+	Threats json.RawMessage `json:"threats"`
+}
+
+// findingsJSON carries an ordered finding list: Pairs[i] names the two
+// apps of the i-th finding, Threats is the parallel threat list.
+type findingsJSON struct {
+	Pairs   [][2]string     `json:"pairs,omitempty"`
+	Threats json.RawMessage `json:"threats,omitempty"`
+}
+
+type revisionJSON struct {
+	Rev        uint64       `json:"rev"`
+	Added      findingsJSON `json:"added"`
+	Resolved   findingsJSON `json:"resolved"`
+	Apps       int          `json:"apps"`
+	Pairs      int          `json:"pairs"`
+	Stats      detect.Stats `json:"stats"`
+	DurationNs int64        `json:"durationNs"`
+}
+
+func encodeFindings(fs []Finding) (findingsJSON, error) {
+	var fj findingsJSON
+	ts := make([]detect.Threat, 0, len(fs))
+	for _, f := range fs {
+		fj.Pairs = append(fj.Pairs, [2]string{f.App1, f.App2})
+		ts = append(ts, f.Threat)
+	}
+	var err error
+	fj.Threats, err = detect.MarshalThreats(ts)
+	return fj, err
+}
+
+func decodeFindings(fj findingsJSON) ([]Finding, error) {
+	ts, err := detect.UnmarshalThreats(fj.Threats)
+	if err != nil {
+		return nil, err
+	}
+	if len(ts) != len(fj.Pairs) {
+		return nil, fmt.Errorf("%w: %d finding pairs but %d threats", snapcodec.ErrCorrupt, len(fj.Pairs), len(ts))
+	}
+	fs := make([]Finding, len(ts))
+	for i := range ts {
+		fs[i] = Finding{App1: fj.Pairs[i][0], App2: fj.Pairs[i][1], Threat: ts[i]}
+	}
+	return fs, nil
+}
+
+// Snapshot writes the auditor's durable state to w. It holds the store
+// lock for the duration — checkpoints are a background operation racing
+// only with Apply, which serializes on the same lock anyway.
+func (a *Auditor) Snapshot(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	sw, err := snapcodec.NewWriter(w, auditSnapshotMagic, auditSnapshotVersion)
+	if err != nil {
+		return fmt.Errorf("audit: snapshot: %w", err)
+	}
+	write := func(v any) error {
+		rec, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if err := sw.Record(rec); err != nil {
+			return fmt.Errorf("audit: snapshot: %w", err)
+		}
+		return nil
+	}
+
+	if err := write(auditMetaJSON{
+		Rev: a.rev, WalLSN: a.walLSN,
+		Apps: len(a.order), Pairs: len(a.verdicts), History: len(a.history),
+	}); err != nil {
+		return err
+	}
+	for _, st := range a.order {
+		rb, err := extractcache.MarshalResult(&symexec.Result{App: st.app.Info, Rules: st.app.Rules})
+		if err != nil {
+			return fmt.Errorf("audit: snapshot: app %q: %w", st.name, err)
+		}
+		cb, err := detect.MarshalConfig(st.app.Config)
+		if err != nil {
+			return fmt.Errorf("audit: snapshot: app %q config: %w", st.name, err)
+		}
+		if err := write(auditAppJSON{Name: st.name, Res: rb, Config: cb}); err != nil {
+			return err
+		}
+	}
+	ids := make([]pairID, 0, len(a.verdicts))
+	for id := range a.verdicts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].a != ids[j].a {
+			return ids[i].a < ids[j].a
+		}
+		return ids[i].b < ids[j].b
+	})
+	for _, id := range ids {
+		tb, err := detect.MarshalThreats(a.verdicts[id])
+		if err != nil {
+			return fmt.Errorf("audit: snapshot: pair (%s,%s): %w", id.a, id.b, err)
+		}
+		if err := write(auditPairJSON{A: id.a, B: id.b, Threats: tb}); err != nil {
+			return err
+		}
+	}
+	for _, rev := range a.history {
+		rj := revisionJSON{
+			Rev: rev.Rev, Apps: rev.Apps, Pairs: rev.Pairs,
+			Stats: rev.Stats, DurationNs: rev.Duration.Nanoseconds(),
+		}
+		if rj.Added, err = encodeFindings(rev.Added); err != nil {
+			return fmt.Errorf("audit: snapshot: rev %d: %w", rev.Rev, err)
+		}
+		if rj.Resolved, err = encodeFindings(rev.Resolved); err != nil {
+			return fmt.Errorf("audit: snapshot: rev %d: %w", rev.Rev, err)
+		}
+		if err := write(rj); err != nil {
+			return err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return fmt.Errorf("audit: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds the auditor from a snapshot written by Snapshot.
+// Restoring is bookkeeping plus compilation (no re-extraction, no
+// solving): verdicts come back verbatim, so recovery cost is independent
+// of how many revisions the store has lived through. Restore into an
+// auditor that has already applied a batch is an error (restore is a
+// boot-time operation).
+func (a *Auditor) Restore(r io.Reader) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rev != 0 || len(a.order) > 0 {
+		return fmt.Errorf("audit: restore: auditor is not empty (rev %d, %d apps)", a.rev, len(a.order))
+	}
+
+	sr, err := snapcodec.NewReader(r, auditSnapshotMagic, auditSnapshotVersion)
+	if err != nil {
+		return fmt.Errorf("audit: restore: %w", err)
+	}
+	read := func(what string, v any) error {
+		rec, err := sr.Next()
+		if err != nil {
+			return fmt.Errorf("audit: restore: %s: %w", what, err)
+		}
+		if err := json.Unmarshal(rec, v); err != nil {
+			return fmt.Errorf("%w: %s: %v", snapcodec.ErrCorrupt, what, err)
+		}
+		return nil
+	}
+
+	var meta auditMetaJSON
+	if err := read("meta", &meta); err != nil {
+		return err
+	}
+	for i := 0; i < meta.Apps; i++ {
+		var aj auditAppJSON
+		if err := read(fmt.Sprintf("app %d", i), &aj); err != nil {
+			return err
+		}
+		res, err := extractcache.UnmarshalResult(aj.Res)
+		if err != nil {
+			return fmt.Errorf("audit: restore: app %q: %w", aj.Name, err)
+		}
+		cfg, err := detect.UnmarshalConfig(aj.Config)
+		if err != nil {
+			return fmt.Errorf("audit: restore: app %q config: %w", aj.Name, err)
+		}
+		if a.byName[aj.Name] != nil {
+			return fmt.Errorf("%w: duplicate app %q", snapcodec.ErrCorrupt, aj.Name)
+		}
+		ia := detect.NewInstalledApp(res, cfg)
+		a.compiler.Precompile(ia)
+		st := &storeApp{name: aj.Name, app: ia, slot: a.idx.Add(ia.Footprint()), pos: i}
+		a.slots = append(a.slots, st)
+		a.order = append(a.order, st)
+		a.byName[aj.Name] = st
+	}
+	for i := 0; i < meta.Pairs; i++ {
+		var pj auditPairJSON
+		if err := read(fmt.Sprintf("pair %d", i), &pj); err != nil {
+			return err
+		}
+		if a.byName[pj.A] == nil || a.byName[pj.B] == nil {
+			return fmt.Errorf("%w: pair (%s,%s) names an app not in the store", snapcodec.ErrCorrupt, pj.A, pj.B)
+		}
+		ts, err := detect.UnmarshalThreats(pj.Threats)
+		if err != nil {
+			return fmt.Errorf("audit: restore: pair (%s,%s): %w", pj.A, pj.B, err)
+		}
+		id := pairID{pj.A, pj.B}
+		a.verdicts[id] = ts
+		a.notePair(id)
+		a.active += len(ts)
+	}
+	for i := 0; i < meta.History; i++ {
+		var rj revisionJSON
+		if err := read(fmt.Sprintf("revision %d", i), &rj); err != nil {
+			return err
+		}
+		rev := &Revision{
+			Rev: rj.Rev, Apps: rj.Apps, Pairs: rj.Pairs,
+			Stats: rj.Stats, Duration: time.Duration(rj.DurationNs),
+		}
+		if rev.Added, err = decodeFindings(rj.Added); err != nil {
+			return fmt.Errorf("audit: restore: rev %d: %w", rj.Rev, err)
+		}
+		if rev.Resolved, err = decodeFindings(rj.Resolved); err != nil {
+			return fmt.Errorf("audit: restore: rev %d: %w", rj.Rev, err)
+		}
+		a.history = append(a.history, rev)
+	}
+	// Drain the trailer so the checksum verifies and the reader stops at
+	// the section boundary (sections concatenate in one file).
+	if _, err := sr.Next(); err != io.EOF {
+		if err == nil {
+			return fmt.Errorf("%w: records beyond the declared counts", snapcodec.ErrCorrupt)
+		}
+		return fmt.Errorf("audit: restore: %w", err)
+	}
+	a.rev = meta.Rev
+	a.walLSN = meta.WalLSN
+	return nil
+}

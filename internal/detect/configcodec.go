@@ -1,0 +1,78 @@
+// JSON codec for install-time configurations. Config.Values holds
+// rule.Term behind an interface, so plain encoding/json cannot round-trip
+// it; the WAL and the fleet snapshot persist configs through this tagged
+// form instead. A nil *Config round-trips as JSON null (the fleet treats
+// nil and empty configs differently on the wire: nil selects type-level
+// device identity).
+
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"homeguard/internal/envmodel"
+	"homeguard/internal/rule"
+)
+
+type configJSON struct {
+	Devices     map[string]string          `json:"devices,omitempty"`
+	Values      map[string]json.RawMessage `json:"values,omitempty"`
+	ValueLists  map[string][]string        `json:"valueLists,omitempty"`
+	DeviceTypes map[string]string          `json:"deviceTypes,omitempty"`
+}
+
+// MarshalConfig serializes a configuration, tagging each Term value so it
+// survives the interface boundary. A nil config marshals to null.
+func MarshalConfig(c *Config) ([]byte, error) {
+	if c == nil {
+		return []byte("null"), nil
+	}
+	cj := configJSON{Devices: c.Devices, ValueLists: c.ValueLists}
+	if len(c.Values) > 0 {
+		cj.Values = make(map[string]json.RawMessage, len(c.Values))
+		for k, t := range c.Values {
+			b, err := rule.MarshalTerm(t)
+			if err != nil {
+				return nil, fmt.Errorf("detect: config value %q: %w", k, err)
+			}
+			cj.Values[k] = b
+		}
+	}
+	if len(c.DeviceTypes) > 0 {
+		cj.DeviceTypes = make(map[string]string, len(c.DeviceTypes))
+		for k, dt := range c.DeviceTypes {
+			cj.DeviceTypes[k] = string(dt)
+		}
+	}
+	return json.Marshal(cj)
+}
+
+// UnmarshalConfig reverses MarshalConfig; JSON null yields nil.
+func UnmarshalConfig(b []byte) (*Config, error) {
+	if len(b) == 0 || string(b) == "null" {
+		return nil, nil
+	}
+	var cj configJSON
+	if err := json.Unmarshal(b, &cj); err != nil {
+		return nil, fmt.Errorf("detect: config: %w", err)
+	}
+	c := NewConfig()
+	if cj.Devices != nil {
+		c.Devices = cj.Devices
+	}
+	if cj.ValueLists != nil {
+		c.ValueLists = cj.ValueLists
+	}
+	for k, raw := range cj.Values {
+		t, err := rule.UnmarshalTerm(raw)
+		if err != nil {
+			return nil, fmt.Errorf("detect: config value %q: %w", k, err)
+		}
+		c.Values[k] = t
+	}
+	for k, s := range cj.DeviceTypes {
+		c.DeviceTypes[k] = envmodel.DeviceType(s)
+	}
+	return c, nil
+}

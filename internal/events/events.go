@@ -82,19 +82,27 @@ type Sink interface {
 
 // JSONSink writes one JSON object per line to an io.Writer.
 type JSONSink struct {
-	w   *bufio.Writer
-	c   io.Closer // nil when the underlying writer needs no close
-	enc *json.Encoder
+	w    *bufio.Writer
+	c    io.Closer    // nil when the underlying writer needs no close
+	sync func() error // nil when the underlying writer has no durable sync
+	enc  *json.Encoder
 }
 
 // NewJSONSink returns a sink encoding events as JSON lines on w
 // (stdout for the daemon's stdout sink). The sink buffers; Close
-// flushes.
+// flushes, and — when the writer is a file — fsyncs before closing, so
+// a graceful drain leaves every delivered event on disk rather than in
+// the OS page cache.
 func NewJSONSink(w io.Writer) *JSONSink {
 	bw := bufio.NewWriter(w)
 	s := &JSONSink{w: bw, enc: json.NewEncoder(bw)}
-	if c, ok := w.(io.Closer); ok && w != os.Stdout && w != os.Stderr {
-		s.c = c
+	if w != os.Stdout && w != os.Stderr {
+		if c, ok := w.(io.Closer); ok {
+			s.c = c
+		}
+		if f, ok := w.(interface{ Sync() error }); ok {
+			s.sync = f.Sync
+		}
 	}
 	return s
 }
@@ -109,9 +117,15 @@ func (s *JSONSink) Write(e Event) error {
 	return s.w.Flush()
 }
 
-// Close flushes and closes the underlying writer when it is closable.
+// Close flushes, fsyncs (when the writer supports it) and closes the
+// underlying writer when it is closable.
 func (s *JSONSink) Close() error {
 	err := s.w.Flush()
+	if s.sync != nil {
+		if serr := s.sync(); err == nil {
+			err = serr
+		}
+	}
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {
 			err = cerr
@@ -288,7 +302,16 @@ func (w *Writer) Close() error {
 	w.mu.Unlock()
 	w.cond.Broadcast()
 	<-w.done
-	return w.sink.Close()
+	// A failed final flush/fsync loses buffered events just like a failed
+	// Write does — surface it on the same counter so
+	// homeguard_events_sink_errors_total covers the whole delivery path.
+	err := w.sink.Close()
+	if err != nil {
+		w.mu.Lock()
+		w.stats.SinkErrors++
+		w.mu.Unlock()
+	}
+	return err
 }
 
 // Stats returns a snapshot of the writer's counters.

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -16,11 +18,12 @@ import (
 // memSink collects events in memory; an optional gate channel makes
 // every Write block until released, simulating a wedged sink.
 type memSink struct {
-	mu     sync.Mutex
-	events []Event
-	gate   chan struct{} // nil = never block
-	closed bool
-	err    error // returned by Write when set
+	mu       sync.Mutex
+	events   []Event
+	gate     chan struct{} // nil = never block
+	closed   bool
+	err      error // returned by Write when set
+	closeErr error // returned by Close when set
 }
 
 func (s *memSink) Write(e Event) error {
@@ -40,7 +43,7 @@ func (s *memSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	return nil
+	return s.closeErr
 }
 
 func (s *memSink) snapshot() []Event {
@@ -259,6 +262,54 @@ func TestJSONSinkLines(t *testing.T) {
 	}
 	if e.Type != TypeThreat || e.Kind != "AR" {
 		t.Errorf("round-tripped event = %+v", e)
+	}
+}
+
+// TestFileSinkSyncOnClose drains a writer into a real file sink and
+// checks the graceful-drain contract: every delivered event is on disk
+// (flushed AND fsynced — the sink wires the file's Sync into Close) and
+// the file descriptor is closed.
+func TestFileSinkSyncOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatalf("NewFileSink: %v", err)
+	}
+	if sink.sync == nil {
+		t.Fatal("file sink did not wire the file's Sync into Close")
+	}
+	w := NewWriter(sink, Options{})
+	for i := 0; i < 5; i++ {
+		w.Publish(Event{Type: TypeInstall, Home: "h1", App: fmt.Sprintf("a%d", i)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 5 {
+		t.Fatalf("got %d JSON lines after drain, want 5", len(lines))
+	}
+	// The sink's file is closed: a second Close must surface the error...
+	if err := sink.Close(); err == nil {
+		t.Fatal("second Close on a closed file sink returned nil")
+	}
+}
+
+// TestWriterCountsSinkCloseErrors pins the delivery-path counter: a
+// failed final flush/fsync loses events just like a failed Write, so it
+// lands on the same SinkErrors counter the registry exports.
+func TestWriterCountsSinkCloseErrors(t *testing.T) {
+	sink := &memSink{closeErr: errors.New("fsync failed")}
+	w := NewWriter(sink, Options{})
+	w.Publish(Event{App: "x"})
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the sink's close error")
+	}
+	if st := w.Stats(); st.SinkErrors != 1 {
+		t.Errorf("sinkErrors = %d, want 1 (close failure surfaced)", st.SinkErrors)
 	}
 }
 

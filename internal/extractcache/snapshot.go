@@ -25,6 +25,11 @@ const (
 	snapshotVersion = 1
 )
 
+// SnapshotMagic identifies an extraction-cache section. Exported so the
+// daemon can sniff a legacy cache-only snapshot file (which starts with
+// this section) apart from the checkpoint format that embeds it.
+const SnapshotMagic = snapshotMagic
+
 // Re-exported so callers can match restore failures without importing the
 // codec package.
 var (
@@ -46,10 +51,12 @@ type inputDeclJSON struct {
 	Default    json.RawMessage `json:"default,omitempty"`
 }
 
-// entryJSON is one snapshot record's payload (the 32-byte key precedes it
-// in the raw record).
-type entryJSON struct {
-	Err         string          `json:"err,omitempty"`
+// resultJSON is the wire form of one *symexec.Result (an AppInfo, its
+// rule set and the extraction diagnostics). It is embedded in entryJSON,
+// so encoding/json promotes its fields into the entry payload — the wire
+// format is byte-identical to when these fields lived on entryJSON
+// directly, which is why the split needs no snapshot version bump.
+type resultJSON struct {
 	HasResult   bool            `json:"hasResult,omitempty"`
 	Name        string          `json:"name,omitempty"`
 	Namespace   string          `json:"namespace,omitempty"`
@@ -61,42 +68,122 @@ type entryJSON struct {
 	Paths       int             `json:"paths,omitempty"`
 }
 
+// entryJSON is one snapshot record's payload (the 32-byte key precedes it
+// in the raw record).
+type entryJSON struct {
+	Err string `json:"err,omitempty"`
+	resultJSON
+}
+
+func encodeResult(res *symexec.Result) (resultJSON, error) {
+	e := resultJSON{HasResult: true}
+	e.Name = res.App.Name
+	e.Namespace = res.App.Namespace
+	e.Description = res.App.Description
+	e.Category = res.App.Category
+	e.Warnings = res.Warnings
+	e.Paths = res.Paths
+	for i := range res.App.Inputs {
+		in := &res.App.Inputs[i]
+		dj := inputDeclJSON{
+			Name: in.Name, Type: in.Type, Capability: in.Capability,
+			Multiple: in.Multiple, Required: in.Required, Title: in.Title,
+			Options: in.Options,
+		}
+		if in.Default != nil {
+			b, err := rule.MarshalTerm(in.Default)
+			if err != nil {
+				return resultJSON{}, err
+			}
+			dj.Default = b
+		}
+		e.Inputs = append(e.Inputs, dj)
+	}
+	if res.Rules != nil {
+		b, err := rule.MarshalRuleSet(res.Rules)
+		if err != nil {
+			return resultJSON{}, err
+		}
+		e.Rules = b
+	}
+	return e, nil
+}
+
+func decodeResult(e *resultJSON) (*symexec.Result, error) {
+	if !e.HasResult {
+		return nil, nil
+	}
+	res := &symexec.Result{
+		App: symexec.AppInfo{
+			Name: e.Name, Namespace: e.Namespace,
+			Description: e.Description, Category: e.Category,
+		},
+		Warnings: e.Warnings,
+		Paths:    e.Paths,
+	}
+	for _, dj := range e.Inputs {
+		in := symexec.InputDecl{
+			Name: dj.Name, Type: dj.Type, Capability: dj.Capability,
+			Multiple: dj.Multiple, Required: dj.Required, Title: dj.Title,
+			Options: dj.Options,
+		}
+		if len(dj.Default) > 0 {
+			t, err := rule.UnmarshalTerm(dj.Default)
+			if err != nil {
+				return nil, fmt.Errorf("%w: input default: %v", ErrSnapshotCorrupt, err)
+			}
+			in.Default = t
+		}
+		res.App.Inputs = append(res.App.Inputs, in)
+	}
+	if len(e.Rules) > 0 {
+		rs, err := rule.UnmarshalRuleSet(e.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("%w: rule set: %v", ErrSnapshotCorrupt, err)
+		}
+		res.Rules = rs
+	}
+	return res, nil
+}
+
+// MarshalResult serializes one extraction result in the snapshot wire
+// form, for other sections (fleet homes, auditor store, WAL op records)
+// that persist results outside the extraction cache. res must be non-nil.
+func MarshalResult(res *symexec.Result) ([]byte, error) {
+	e, err := encodeResult(res)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(e)
+}
+
+// UnmarshalResult reverses MarshalResult.
+func UnmarshalResult(b []byte) (*symexec.Result, error) {
+	var e resultJSON
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("%w: result payload: %v", ErrSnapshotCorrupt, err)
+	}
+	res, err := decodeResult(&e)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("%w: result payload without a result", ErrSnapshotCorrupt)
+	}
+	return res, nil
+}
+
 func encodeEntry(k Key, res *symexec.Result, cacheErr error) ([]byte, error) {
 	e := entryJSON{}
 	if cacheErr != nil {
 		e.Err = cacheErr.Error()
 	}
 	if res != nil {
-		e.HasResult = true
-		e.Name = res.App.Name
-		e.Namespace = res.App.Namespace
-		e.Description = res.App.Description
-		e.Category = res.App.Category
-		e.Warnings = res.Warnings
-		e.Paths = res.Paths
-		for i := range res.App.Inputs {
-			in := &res.App.Inputs[i]
-			dj := inputDeclJSON{
-				Name: in.Name, Type: in.Type, Capability: in.Capability,
-				Multiple: in.Multiple, Required: in.Required, Title: in.Title,
-				Options: in.Options,
-			}
-			if in.Default != nil {
-				b, err := rule.MarshalTerm(in.Default)
-				if err != nil {
-					return nil, err
-				}
-				dj.Default = b
-			}
-			e.Inputs = append(e.Inputs, dj)
+		rj, err := encodeResult(res)
+		if err != nil {
+			return nil, err
 		}
-		if res.Rules != nil {
-			b, err := rule.MarshalRuleSet(res.Rules)
-			if err != nil {
-				return nil, err
-			}
-			e.Rules = b
-		}
+		e.resultJSON = rj
 	}
 	payload, err := json.Marshal(e)
 	if err != nil {
@@ -122,38 +209,9 @@ func decodeEntry(rec []byte) (Key, *symexec.Result, error, error) {
 	if e.Err != "" {
 		cacheErr = errors.New(e.Err)
 	}
-	if !e.HasResult {
-		return k, nil, cacheErr, nil
-	}
-	res := &symexec.Result{
-		App: symexec.AppInfo{
-			Name: e.Name, Namespace: e.Namespace,
-			Description: e.Description, Category: e.Category,
-		},
-		Warnings: e.Warnings,
-		Paths:    e.Paths,
-	}
-	for _, dj := range e.Inputs {
-		in := symexec.InputDecl{
-			Name: dj.Name, Type: dj.Type, Capability: dj.Capability,
-			Multiple: dj.Multiple, Required: dj.Required, Title: dj.Title,
-			Options: dj.Options,
-		}
-		if len(dj.Default) > 0 {
-			t, err := rule.UnmarshalTerm(dj.Default)
-			if err != nil {
-				return k, nil, nil, fmt.Errorf("%w: input default: %v", ErrSnapshotCorrupt, err)
-			}
-			in.Default = t
-		}
-		res.App.Inputs = append(res.App.Inputs, in)
-	}
-	if len(e.Rules) > 0 {
-		rs, err := rule.UnmarshalRuleSet(e.Rules)
-		if err != nil {
-			return k, nil, nil, fmt.Errorf("%w: rule set: %v", ErrSnapshotCorrupt, err)
-		}
-		res.Rules = rs
+	res, err := decodeResult(&e.resultJSON)
+	if err != nil {
+		return k, nil, nil, err
 	}
 	return k, res, cacheErr, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"homeguard/internal/corpus"
 	"homeguard/internal/obs"
+	"homeguard/internal/wal"
 )
 
 // firstErr collects the first install error from RunParallel workers:
@@ -216,6 +217,60 @@ func BenchmarkFleetInstallSharedAppsNoVerdictCache(b *testing.B) {
 		b.Fatal(ferr.err)
 	}
 	b.ReportMetric(float64(f.Metrics().Detectors.SolverCalls), "solver-calls")
+}
+
+// BenchmarkFleetInstallWAL measures the write-ahead-log overhead on the
+// install hot path: the same per-home catalog install as
+// BenchmarkFleetInstall, with every mutation appending an op record.
+// The fsync-off sub-benchmark isolates the encode+append+frame cost
+// (stable across machines — the CI benchjson gate compares it against
+// the PR 8 no-WAL install baseline); fsync-always adds the per-record
+// fsync a durability-strict deployment pays and is reported for
+// information (its ns/op is storage hardware, not code).
+func BenchmarkFleetInstallWAL(b *testing.B) {
+	demo := corpus.ByCategory(corpus.Demo)
+	if len(demo) == 0 {
+		b.Fatal("empty demo corpus")
+	}
+	for _, mode := range []struct {
+		name  string
+		fsync wal.Policy
+	}{
+		{"fsync-off", wal.FsyncOff},
+		{"fsync-always", wal.FsyncAlways},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			l, err := wal.Open(wal.Options{Dir: b.TempDir(), Fsync: mode.fsync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			f := New(Options{Shards: 64})
+			f.AttachWAL(l)
+			var homeSeq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ferr firstErr
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := fmt.Sprintf("home-%06d", homeSeq.Add(1))
+					for _, app := range demo {
+						if _, err := f.Install(context.Background(), id, app.Source, nil); err != nil {
+							ferr.set(fmt.Errorf("%s: install %s: %w", id, app.Name, err))
+							return
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			if ferr.err != nil {
+				b.Fatal(ferr.err)
+			}
+			if got, want := l.LastLSN(), uint64(homeSeq.Load())*uint64(len(demo)); got != want {
+				b.Fatalf("wal holds %d records, want one per install (%d)", got, want)
+			}
+		})
+	}
 }
 
 // BenchmarkFleetInstallNoCacheSharing is the contrast case: every home

@@ -64,6 +64,7 @@ import (
 	"homeguard/internal/pairverdict"
 	"homeguard/internal/rule"
 	"homeguard/internal/symexec"
+	"homeguard/internal/wal"
 )
 
 // Sentinel errors, matchable with errors.Is, so callers (the daemon) can
@@ -188,6 +189,10 @@ type Fleet struct {
 	metrics  *metrics
 	obs      *obs.Observer  // nil when Options.Obs unset
 	events   *events.Writer // nil when Options.Events unset
+	// wal, when attached (AttachWAL), receives one logical op record per
+	// mutation, appended inside the home lock before the caller is
+	// acknowledged. Nil runs without durability (tests, ephemeral fleets).
+	wal *wal.Log
 }
 
 type shard struct {
@@ -219,6 +224,12 @@ type home struct {
 	// on the next operation). Guarded by mu.
 	groupBuf []ledgerEntry
 	usedBuf  []bool
+	// walLSN is the LSN of the last WAL record reflected in this home's
+	// state (the ARIES page-LSN idea, per home): set under mu at append
+	// time, persisted in snapshots, and compared at replay so a record
+	// already captured by the checkpoint is never applied twice. Guarded
+	// by mu.
+	walLSN uint64
 }
 
 // ledgerEntry is one app pair's current threats (a == b for intra-app
@@ -457,6 +468,16 @@ func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Con
 		return nil, fmt.Errorf("fleet: home %s: %w", homeID, err)
 	}
 	sp.SetStr("app", res.App.Name)
+	// Encode the WAL record before taking the home lock — the payload is
+	// a pure function of the request, and JSON marshaling does not belong
+	// in the critical section.
+	var opRec []byte
+	if f.wal != nil {
+		if opRec, err = encodeInstallOp(homeID, src, cfg); err != nil {
+			f.metrics.installFailed()
+			return nil, fmt.Errorf("fleet: home %s: wal encode: %w", homeID, err)
+		}
+	}
 	h := f.homeFor(homeID)
 
 	// The locked section runs in a closure so a detection panic (which
@@ -469,6 +490,7 @@ func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Con
 		logBase int
 		det     DetectorTotals
 		dup     bool
+		walErr  error
 	)
 	func() {
 		h.mu.Lock()
@@ -500,6 +522,18 @@ func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Con
 		h.ledger = append(h.ledger, h.groupRuns(threats)...)
 		lsp.End()
 		det = h.takeDetectorDelta()
+		// Commit: the op record is appended under the same lock that made
+		// the mutations, so the home's state at any LSN watermark is
+		// exactly the prefix of its ops up to that LSN.
+		if f.wal != nil {
+			wsp := sp.Child("wal.append")
+			var lsn uint64
+			lsn, walErr = f.wal.Append(wal.OpFleetInstall, opRec)
+			wsp.End()
+			if walErr == nil {
+				h.walLSN = lsn
+			}
+		}
 	}()
 	if dup {
 		// A retried/duplicated request, not a service failure: count it
@@ -507,6 +541,13 @@ func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Con
 		// InstallErrors don't fire on ordinary client retries.
 		f.metrics.installConflicted()
 		return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppInstalled, res.App.Name)
+	}
+	if walErr != nil {
+		// Un-acknowledged: the caller must treat the install as failed.
+		// The log has latched the error, so no later operation can be
+		// acknowledged or checkpointed past this point either.
+		f.metrics.installFailed()
+		return nil, fmt.Errorf("fleet: home %s: wal append: %w", homeID, walErr)
 	}
 
 	rsp := sp.Child("report")
@@ -646,6 +687,7 @@ func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *de
 		logBase int
 		det     DetectorTotals
 		missing bool
+		walErr  error
 	)
 	func() {
 		h.mu.Lock()
@@ -664,6 +706,16 @@ func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *de
 		if cfg == nil {
 			cfg = target.Config // keep bindings; detect.Reconfigure would reset them
 		}
+		// The WAL record carries the RESOLVED config — resolution above
+		// depends on the app's current bindings, which replay must not
+		// re-derive from whatever state the log has reached. Encoded
+		// under the lock because the resolution is.
+		var opRec []byte
+		if f.wal != nil {
+			if opRec, walErr = encodeReconfigureOp(homeID, appName, cfg); walErr != nil {
+				return
+			}
+		}
 		dsp := sp.Child("detect")
 		h.det.SetSpan(dsp)
 		defer h.det.SetSpan(nil)
@@ -678,9 +730,21 @@ func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *de
 		h.spliceLedger(appName, threats)
 		ssp.End()
 		det = h.takeDetectorDelta()
+		if f.wal != nil {
+			wsp := sp.Child("wal.append")
+			var lsn uint64
+			lsn, walErr = f.wal.Append(wal.OpFleetReconfigure, opRec)
+			wsp.End()
+			if walErr == nil {
+				h.walLSN = lsn
+			}
+		}
 	}()
 	if missing {
 		return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppNotInstalled, appName)
+	}
+	if walErr != nil {
+		return nil, fmt.Errorf("fleet: home %s: wal append: %w", homeID, walErr)
 	}
 	f.metrics.detectorDelta(det)
 	f.metrics.reconfigureDone()
@@ -700,10 +764,24 @@ func (f *Fleet) Accept(homeID string, ts ...detect.Threat) error {
 	if h == nil {
 		return fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
 	}
+	var opRec []byte
+	if f.wal != nil {
+		var err error
+		if opRec, err = encodeAcceptThreatsOp(homeID, ts); err != nil {
+			return fmt.Errorf("fleet: home %s: wal encode: %w", homeID, err)
+		}
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, t := range ts {
 		h.det.Accept(t)
+	}
+	if f.wal != nil {
+		lsn, err := f.wal.Append(wal.OpFleetAccept, opRec)
+		if err != nil {
+			return fmt.Errorf("fleet: home %s: wal append: %w", homeID, err)
+		}
+		h.walLSN = lsn
 	}
 	return nil
 }
@@ -717,6 +795,13 @@ func (f *Fleet) AcceptByIndex(homeID string, indices ...int) error {
 	if h == nil {
 		return fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
 	}
+	var opRec []byte
+	if f.wal != nil {
+		var err error
+		if opRec, err = encodeAcceptIndicesOp(homeID, indices); err != nil {
+			return fmt.Errorf("fleet: home %s: wal encode: %w", homeID, err)
+		}
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, i := range indices {
@@ -726,6 +811,13 @@ func (f *Fleet) AcceptByIndex(homeID string, indices ...int) error {
 	}
 	for _, i := range indices {
 		h.det.Accept(h.threats[i])
+	}
+	if f.wal != nil {
+		lsn, err := f.wal.Append(wal.OpFleetAccept, opRec)
+		if err != nil {
+			return fmt.Errorf("fleet: home %s: wal append: %w", homeID, err)
+		}
+		h.walLSN = lsn
 	}
 	return nil
 }

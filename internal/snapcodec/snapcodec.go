@@ -116,6 +116,24 @@ func (sw *Writer) write(b []byte) {
 	sw.h.Write(b)
 }
 
+// Peeker is the subset of *bufio.Reader PeekMagic needs.
+type Peeker interface {
+	Peek(n int) ([]byte, error)
+}
+
+// PeekMagic returns the 8-byte section magic at the reader's current
+// position without consuming it, so a multi-section snapshot loader can
+// dispatch on what the file actually starts with (e.g. a checkpoint's
+// meta section vs. a legacy cache-only snapshot). A stream shorter than a
+// magic fails with ErrCorrupt.
+func PeekMagic(r Peeker) (string, error) {
+	b, err := r.Peek(magicLen)
+	if err != nil {
+		return "", fmt.Errorf("%w: short magic: %v", ErrCorrupt, err)
+	}
+	return string(b), nil
+}
+
 // Reader consumes one snapshot section written by Writer.
 type Reader struct {
 	r io.Reader
