@@ -264,6 +264,8 @@ func main() {
 		"structured log encoding: text (human-readable) or json (one object per line)")
 	traceSlowMs := flag.Int("trace-slow-ms", 0,
 		"enable pipeline span tracing and log requests slower than this many milliseconds (0 = tracing disabled)")
+	flag.StringVar(&nodeID, "node-id", "",
+		"stable cluster identity reported in Ping responses; gateways refuse to route to an address whose Ping answers with a different ID (empty = standalone)")
 	flag.Parse()
 
 	fsyncPolicy, err := wal.ParsePolicy(*fsyncMode)
@@ -558,6 +560,12 @@ type server struct {
 	draining atomic.Bool
 }
 
+// nodeID is the daemon's stable cluster identity (-node-id), answered
+// in Ping responses so gateways can verify the address they dialed is
+// the member the ring says it is. Empty in standalone deployments and
+// in-process tests.
+var nodeID string
+
 // newServer builds the daemon around one process-wide observability
 // bundle: the fleet registers its metric collector on opts.Obs (created
 // here when the caller left it nil), and the same bundle's tracer and
@@ -580,7 +588,7 @@ func newServer(opts fleet.Options) *server {
 	s := &server{
 		fleet:   f,
 		auditor: aud,
-		svc:     rpc.NewService(f, rpc.ServiceOptions{Auditor: aud}),
+		svc:     rpc.NewService(f, rpc.ServiceOptions{Auditor: aud, NodeID: nodeID}),
 		obs:     opts.Obs,
 		mux:     http.NewServeMux(),
 	}

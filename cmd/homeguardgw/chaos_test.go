@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"homeguard/internal/api"
+	"homeguard/internal/cluster"
+)
+
+// TestClusterKillNodeChaos is the PR's headline guarantee, end to end:
+// a 2-node fleet of REAL homeguardd processes (separate WALs, -fsync
+// always) takes a live install storm through the gateway router while
+// one node is kill -9'd mid-storm. Afterwards every operation the
+// gateway acknowledged must still be served — the dead node's homes
+// re-adopted onto the survivor from the gateway journal — and the
+// error burst must have ended (acks resume after failover).
+func TestClusterKillNodeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "homeguardd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/homeguardd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build homeguardd: %v\n%s", err, out)
+	}
+
+	nodeA := startDaemon(t, bin, "node-a")
+	nodeB := startDaemon(t, bin, "node-b")
+
+	ring, err := cluster.NewRing([]cluster.Node{
+		{ID: "node-a", Addr: nodeA.rpcAddr},
+		{ID: "node-b", Addr: nodeB.rpcAddr},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newRouter(routerOptions{
+		Ring:      ring,
+		FailAfter: 2,
+		Retry: cluster.RetryOptions{
+			Attempts: 6, BaseDelay: 10 * time.Millisecond, Budget: 3 * time.Second,
+		},
+	})
+	t.Cleanup(rt.close)
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	defer hbCancel()
+	go rt.heartbeat(hbCtx, 50*time.Millisecond)
+
+	// The storm: workers install distinct (home, app) pairs through the
+	// gateway and record exactly what was acknowledged.
+	apps := []string{"ComfortTV", "ColdDefender", "CatchLiveShow", "BurglarFinder", "NightCare"}
+	type ack struct{ home, app string }
+	var (
+		mu         sync.Mutex
+		acked      []ack
+		ackedAfter int // acks recorded after the kill
+		errs       int
+		killed     bool
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				home := fmt.Sprintf("chaos-w%d-h%d", w, i/len(apps))
+				app := apps[i%len(apps)]
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_, aerr := rt.Install(ctx, &api.InstallRequest{Home: home, Corpus: app})
+				cancel()
+				mu.Lock()
+				if aerr == nil {
+					acked = append(acked, ack{home, app})
+					if killed {
+						ackedAfter++
+					}
+				} else {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	mu.Lock()
+	killed = true
+	preKill := len(acked)
+	mu.Unlock()
+	if preKill == 0 {
+		t.Error("storm produced no acks before the kill")
+	}
+	nodeA.kill9()
+	t.Logf("killed node-a with SIGKILL after %d acks", preKill)
+
+	// Keep the storm running through detection (fail-after 2 at a 50ms
+	// heartbeat) and past it, so post-failover acks accumulate.
+	time.Sleep(2 * time.Second)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	total, after, errCount := len(acked), ackedAfter, errs
+	mu.Unlock()
+	t.Logf("storm: %d acked (%d after kill), %d errored", total, after, errCount)
+	if rt.tracker.Up("node-a") {
+		t.Error("heartbeat never declared node-a down")
+	}
+	if after == 0 {
+		t.Error("no acks after the kill: the error burst never ended")
+	}
+
+	// Zero acked ops lost: every acknowledged install must be served,
+	// including homes that lived on the dead node.
+	missing := 0
+	for _, a := range acked {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		resp, aerr := rt.Apps(ctx, a.home)
+		cancel()
+		if aerr != nil {
+			t.Errorf("acked home %s unreadable after failover: %v", a.home, aerr)
+			missing++
+			continue
+		}
+		found := false
+		for _, name := range resp.Apps {
+			if name == a.app {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("acked install %s/%s lost after failover (has %v)", a.home, a.app, resp.Apps)
+			missing++
+		}
+		if missing > 5 {
+			t.Fatal("too many lost acks, aborting enumeration")
+		}
+	}
+
+	// Reassigned homes serve /threats through the gateway.
+	checked := 0
+	for _, a := range acked {
+		if ring.Owner(a.home).ID != "node-a" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		thr, aerr := rt.Threats(ctx, &api.ThreatsRequest{Home: a.home})
+		cancel()
+		if aerr != nil || thr.HomeID != a.home {
+			t.Fatalf("reassigned home %s does not serve threats: %v %v", a.home, thr, aerr)
+		}
+		checked++
+		if checked >= 3 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Error("storm never touched a node-a home; widen it")
+	}
+	if got := rt.failovers.Value(); got < 1 {
+		t.Errorf("failovers counter = %d, want >= 1", got)
+	}
+}
+
+// daemon is one homeguardd subprocess with its own WAL dir.
+type daemon struct {
+	t        *testing.T
+	cmd      *exec.Cmd
+	httpAddr string
+	rpcAddr  string
+}
+
+func startDaemon(t *testing.T, bin, id string) *daemon {
+	t.Helper()
+	httpAddr, rpcAddr := freeAddr(t), freeAddr(t)
+	cmd := exec.Command(bin,
+		"-addr", httpAddr,
+		"-rpc-addr", rpcAddr,
+		"-node-id", id,
+		"-wal-dir", filepath.Join(t.TempDir(), id+"-wal"),
+		"-fsync", "always",
+		"-shards", "4",
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", id, err)
+	}
+	d := &daemon{t: t, cmd: cmd, httpAddr: httpAddr, rpcAddr: rpcAddr}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + httpAddr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon %s never became ready on %s", id, httpAddr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// kill9 is the crash: SIGKILL, no drain, no checkpoint.
+func (d *daemon) kill9() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatalf("kill -9: %v", err)
+	}
+	d.cmd.Wait()
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}

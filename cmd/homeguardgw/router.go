@@ -1,0 +1,635 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"homeguard/internal/api"
+	"homeguard/internal/cluster"
+	"homeguard/internal/obs"
+	"homeguard/internal/rpc"
+)
+
+// storeKey is the ring key the store-auditor endpoints (SubmitApps,
+// Findings) route under: the auditor is per-node state, so pinning the
+// whole store feed to one consistent-hash owner keeps revisions
+// monotonic from the client's point of view.
+const storeKey = "@store"
+
+// resyncTimeout bounds one journal replay onto a new owner. Replays are
+// warm-cache work on the target (content-addressed extraction), so this
+// is generous.
+const resyncTimeout = 30 * time.Second
+
+// router is the gateway's brain: it implements rpc.Backend — so the
+// unmodified HGRPC server and the HTTP handlers in main.go both
+// dispatch into it — and forwards every request to the owning node via
+// pooled clients, with per-node circuit breakers, the cluster retry
+// policy, and journal-based failover re-adoption.
+//
+// # Failover model
+//
+// The gateway journals every op it has ACKED, per home, in memory. A
+// home's journal is the authoritative "what the client believes
+// happened" record: when routing moves the home to a different node —
+// its owner died, or a dead owner recovered — the journal is replayed
+// onto the new target before the next op, tolerating ALREADY_EXISTS
+// (records the target already has, from its own WAL or an earlier
+// replay). Replay cost is bounded because extraction and pair verdicts
+// are content-addressed: the survivor re-solves nothing it has seen.
+// The journal lives for the gateway process; bounding it with
+// checkpoint-aware truncation is future work, noted in homeguard.go.
+type router struct {
+	ring    *cluster.Ring
+	tracker *cluster.Tracker
+	pool    *cluster.Pool
+	retry   *cluster.Retryer
+	obs     *obs.Observer
+
+	breakers map[string]*rpc.Breaker // node ID → per-node breaker
+
+	retries    *obs.Counter
+	failovers  *obs.Counter
+	recoveries *obs.Counter
+	resyncs    *obs.Counter
+	resyncOps  *obs.Counter
+	migrations *obs.Counter
+
+	mu    sync.Mutex
+	homes map[string]*homeState
+	pins  map[string]string // home → node ID, set by planned migration
+}
+
+// homeState serializes one home's gateway-side lifecycle: ops, journal
+// appends, and resyncs all run under its mutex — mirroring the per-home
+// lock the daemons themselves take.
+type homeState struct {
+	mu     sync.Mutex
+	ops    []journalOp
+	synced string // node ID the journal is known to be applied on
+}
+
+// journalOp is one acked mutating operation, replayable verbatim.
+type journalOp struct {
+	method string
+	req    any
+}
+
+type routerOptions struct {
+	Ring      *cluster.Ring
+	Obs       *obs.Observer
+	FailAfter int
+	Retry     cluster.RetryOptions
+	Breaker   rpc.BreakerOptions
+	Dial      func(addr string) (*rpc.Client, error)
+}
+
+func newRouter(o routerOptions) *router {
+	if o.Obs == nil {
+		o.Obs = obs.NewObserver()
+	}
+	r := &router{
+		ring:     o.Ring,
+		pool:     cluster.NewPool(cluster.PoolOptions{Dial: o.Dial}),
+		retry:    cluster.NewRetryer(o.Retry),
+		obs:      o.Obs,
+		breakers: map[string]*rpc.Breaker{},
+		homes:    map[string]*homeState{},
+		pins:     map[string]string{},
+
+		retries:    o.Obs.Registry.Counter("homeguard_cluster_retries_total", "Routed calls retried after a retryable failure."),
+		failovers:  o.Obs.Registry.Counter("homeguard_cluster_failovers_total", "Node down transitions (heartbeat fail-after-K)."),
+		recoveries: o.Obs.Registry.Counter("homeguard_cluster_recoveries_total", "Node up transitions (heartbeat recover-after-probe)."),
+		resyncs:    o.Obs.Registry.Counter("homeguard_cluster_resyncs_total", "Home journals replayed onto a new owner."),
+		resyncOps:  o.Obs.Registry.Counter("homeguard_cluster_resync_ops_total", "Journaled ops replayed during resyncs."),
+		migrations: o.Obs.Registry.Counter("homeguard_cluster_migrations_total", "Planned home migrations completed."),
+	}
+	ids := make([]string, 0, r.ring.NumNodes())
+	for _, n := range r.ring.Nodes() {
+		ids = append(ids, n.ID)
+		r.breakers[n.ID] = rpc.NewBreaker(o.Breaker)
+	}
+	r.tracker = cluster.NewTracker(ids, cluster.HealthOptions{
+		FailAfter:    o.FailAfter,
+		OnTransition: r.onTransition,
+	})
+	r.registerCollector()
+	return r
+}
+
+func (r *router) registerCollector() {
+	r.obs.Registry.RegisterCollector(func(e *obs.Emit) {
+		e.Gauge("homeguard_cluster_ring_version",
+			"Numeric hash of the consistent-hash ring version (changes iff membership changes).",
+			float64(r.ring.VersionHash()))
+		e.Gauge("homeguard_cluster_nodes_total", "Configured fleet members.", float64(r.ring.NumNodes()))
+		e.Gauge("homeguard_cluster_nodes_up", "Fleet members currently passing heartbeats.", float64(r.tracker.UpCount()))
+		for _, nh := range r.tracker.Snapshot() {
+			up := 0.0
+			if nh.Up {
+				up = 1
+			}
+			e.Gauge("homeguard_cluster_node_up", "Per-node heartbeat verdict (1 = live).",
+				up, obs.Label{Name: "node", Value: nh.ID})
+		}
+		for id, b := range r.breakers {
+			open := 0.0
+			switch b.State() {
+			case rpc.BreakerOpen:
+				open = 1
+			case rpc.BreakerHalfOpen:
+				open = 0.5
+			}
+			e.Gauge("homeguard_cluster_node_breaker_open", "Per-node breaker state (0 closed, 0.5 half-open, 1 open).",
+				open, obs.Label{Name: "node", Value: id})
+		}
+		r.mu.Lock()
+		nhomes := len(r.homes)
+		r.mu.Unlock()
+		e.Gauge("homeguard_cluster_journal_homes", "Homes with a failover journal on this gateway.", float64(nhomes))
+	})
+}
+
+// onTransition is the heartbeat tracker's callback: count the flap and
+// kick a background rebalance so affected homes re-adopt eagerly
+// instead of on first touch.
+func (r *router) onTransition(nodeID string, up bool) {
+	if up {
+		r.recoveries.Inc()
+		log.Printf("homeguardgw: node %s recovered", nodeID)
+	} else {
+		r.failovers.Inc()
+		log.Printf("homeguardgw: node %s declared down, failing its homes over", nodeID)
+	}
+	go r.rebalance()
+}
+
+// heartbeat probes every node once per interval until ctx ends. Probes
+// bypass the breakers on purpose: health must keep being measured while
+// a breaker is open, or a recovered node could never close it.
+func (r *router) heartbeat(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, n := range r.ring.Nodes() {
+			r.probe(ctx, n, interval)
+		}
+	}
+}
+
+func (r *router) probe(ctx context.Context, n cluster.Node, interval time.Duration) {
+	pctx, cancel := context.WithTimeout(ctx, interval)
+	defer cancel()
+	c, err := r.pool.Get(n.Addr)
+	if err != nil {
+		r.tracker.ReportFailure(n.ID, err)
+		return
+	}
+	resp, err := c.Ping(pctx)
+	if err != nil {
+		r.pool.Discard(n.Addr, c)
+		r.tracker.ReportFailure(n.ID, err)
+		return
+	}
+	if resp.Node != "" && resp.Node != n.ID {
+		// The address answers, but it is not who the ring says it is —
+		// routing to it would scatter homes onto a stranger.
+		r.tracker.ReportFailure(n.ID, fmt.Errorf("node identity mismatch: probed %s, got %q", n.ID, resp.Node))
+		return
+	}
+	r.tracker.ReportSuccess(n.ID)
+}
+
+// route resolves a home's current target: its migration pin when that
+// node is live, otherwise the first live ring owner clockwise from the
+// home's point.
+func (r *router) route(home string) (cluster.Node, *api.Error) {
+	r.mu.Lock()
+	pin := r.pins[home]
+	r.mu.Unlock()
+	if pin != "" && r.tracker.Up(pin) {
+		if n, ok := r.ring.NodeByID(pin); ok {
+			return n, nil
+		}
+	}
+	n, ok := r.ring.OwnerExcluding(home, r.tracker.Down)
+	if !ok {
+		return cluster.Node{}, api.Errorf(api.CodeUnavailable, "cluster: no live nodes")
+	}
+	return n, nil
+}
+
+// homeFor returns (creating) the home's gateway-side state.
+func (r *router) homeFor(home string) *homeState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hs := r.homes[home]
+	if hs == nil {
+		hs = &homeState{}
+		r.homes[home] = hs
+	}
+	return hs
+}
+
+// isTransport reports an UNAVAILABLE envelope — dial refused, conn
+// lost, open breaker — the failures that indict the connection/node
+// rather than the request.
+func isTransport(err error) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == api.CodeUnavailable
+}
+
+// invoke runs one attempt against one node: breaker gate, pooled
+// client, the call, then breaker and pool bookkeeping.
+func (r *router) invoke(node cluster.Node, call func(c *rpc.Client) error) error {
+	b := r.breakers[node.ID]
+	if ok, retryAfter := b.Allow(); !ok {
+		return &api.Error{
+			Code:         api.CodeUnavailable,
+			Message:      fmt.Sprintf("cluster: node %s breaker open", node.ID),
+			RetryAfterMs: retryAfter.Milliseconds(),
+		}
+	}
+	c, err := r.pool.Get(node.Addr)
+	if err != nil {
+		b.Failure()
+		return err
+	}
+	err = call(c)
+	switch {
+	case isTransport(err):
+		b.Failure()
+		r.pool.Discard(node.Addr, c)
+	case func() bool { var ae *api.Error; return errors.As(err, &ae) && ae.Code == api.CodeDeadlineExceeded }():
+		// A timed-out node is a sick node; the connection itself is fine.
+		b.Failure()
+	default:
+		b.Success()
+	}
+	return err
+}
+
+// do is the routed operation core: resolve the target, resync the
+// home's journal if routing moved it, run the call, retry retryable
+// failures per the cluster policy, and journal the op once acked.
+// journalReq nil marks a read (nothing to journal; DEADLINE_EXCEEDED
+// becomes retryable).
+func (r *router) do(ctx context.Context, home, method string, journalReq any, call func(c *rpc.Client) error) *api.Error {
+	hs := r.homeFor(home)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	readOnly := journalReq == nil
+	retries, err := r.retry.Do(ctx, readOnly, func(int) error {
+		node, rerr := r.route(home)
+		if rerr != nil {
+			return rerr
+		}
+		if err := r.syncLocked(hs, home, node); err != nil {
+			return err
+		}
+		return r.invoke(node, call)
+	})
+	r.retries.Add(uint64(retries))
+	if err != nil {
+		return api.FromErr(err)
+	}
+	if journalReq != nil {
+		hs.ops = append(hs.ops, journalOp{method: method, req: journalReq})
+	}
+	return nil
+}
+
+// syncLocked makes node current for the home: when the journal was last
+// applied elsewhere (failover, recovery snap-back, first contact), it
+// replays every acked op in order. ALREADY_EXISTS answers are the
+// target telling us it already has that record — its own WAL survived,
+// or a previous partial replay got that far — and are skipped, which
+// is what makes replay idempotent and restartable.
+func (r *router) syncLocked(hs *homeState, home string, node cluster.Node) error {
+	if hs.synced == node.ID {
+		return nil
+	}
+	if len(hs.ops) == 0 {
+		hs.synced = node.ID
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), resyncTimeout)
+	defer cancel()
+	for _, op := range hs.ops {
+		err := r.invoke(node, func(c *rpc.Client) error { return replayOp(ctx, c, op) })
+		if err != nil {
+			var ae *api.Error
+			if errors.As(err, &ae) && ae.Code == api.CodeAlreadyExists {
+				continue
+			}
+			return fmt.Errorf("cluster: resync %s onto %s (%s): %w", home, node.ID, op.method, err)
+		}
+		r.resyncOps.Inc()
+	}
+	hs.synced = node.ID
+	r.resyncs.Inc()
+	log.Printf("homeguardgw: resynced home %s onto %s (%d journaled ops)", home, node.ID, len(hs.ops))
+	return nil
+}
+
+// replayOp re-issues one journaled op verbatim.
+func replayOp(ctx context.Context, c *rpc.Client, op journalOp) error {
+	var err error
+	switch req := op.req.(type) {
+	case *api.InstallRequest:
+		_, err = c.Install(ctx, req)
+	case *api.InstallBatchRequest:
+		_, err = c.InstallBatch(ctx, req)
+	case *api.ReconfigureRequest:
+		_, err = c.Reconfigure(ctx, req)
+	case *api.AcceptRequest:
+		_, err = c.Accept(ctx, req)
+	case *api.SubmitAppsRequest:
+		_, err = c.SubmitApps(ctx, req)
+	case *api.AdoptHomeRequest:
+		_, err = c.AdoptHome(ctx, req)
+	default:
+		err = fmt.Errorf("unreplayable journal op %s (%T)", op.method, op.req)
+	}
+	return err
+}
+
+// rebalance walks every journaled home after a health transition and
+// resyncs the ones whose route moved, so failover re-adoption happens
+// eagerly (bounded by the heartbeat window) instead of on first touch.
+func (r *router) rebalance() {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.homes))
+	for h := range r.homes {
+		names = append(names, h)
+	}
+	r.mu.Unlock()
+	for _, home := range names {
+		hs := r.homeFor(home)
+		hs.mu.Lock()
+		if node, rerr := r.route(home); rerr == nil && hs.synced != node.ID && len(hs.ops) > 0 {
+			if err := r.syncLocked(hs, home, node); err != nil {
+				log.Printf("homeguardgw: rebalance: %v", err)
+			}
+		}
+		hs.mu.Unlock()
+	}
+}
+
+// ---------- rpc.Backend ----------
+
+func (r *router) Install(ctx context.Context, req *api.InstallRequest) (*api.InstallResponse, *api.Error) {
+	var resp *api.InstallResponse
+	aerr := r.do(ctx, req.Home, "Install", req, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.Install(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) InstallBatch(ctx context.Context, req *api.InstallBatchRequest) (*api.InstallBatchResponse, *api.Error) {
+	var resp *api.InstallBatchResponse
+	aerr := r.do(ctx, req.Home, "InstallBatch", req, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.InstallBatch(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) Reconfigure(ctx context.Context, req *api.ReconfigureRequest) (*api.ReconfigureResponse, *api.Error) {
+	var resp *api.ReconfigureResponse
+	aerr := r.do(ctx, req.Home, "Reconfigure", req, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.Reconfigure(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) Accept(ctx context.Context, req *api.AcceptRequest) (*api.AcceptResponse, *api.Error) {
+	var resp *api.AcceptResponse
+	aerr := r.do(ctx, req.Home, "Accept", req, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.Accept(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) Threats(ctx context.Context, req *api.ThreatsRequest) (*api.ThreatsResponse, *api.Error) {
+	var resp *api.ThreatsResponse
+	aerr := r.do(ctx, req.Home, "Threats", nil, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.Threats(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) Apps(ctx context.Context, home string) (*api.AppsResponse, *api.Error) {
+	var resp *api.AppsResponse
+	aerr := r.do(ctx, home, "Apps", nil, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.Apps(ctx, home)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) SubmitApps(ctx context.Context, req *api.SubmitAppsRequest) (*api.SubmitAppsResponse, *api.Error) {
+	var resp *api.SubmitAppsResponse
+	aerr := r.do(ctx, storeKey, "SubmitApps", req, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.SubmitApps(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+func (r *router) Findings(ctx context.Context, req *api.FindingsRequest) (*api.FindingsResponse, *api.Error) {
+	var resp *api.FindingsResponse
+	aerr := r.do(ctx, storeKey, "Findings", nil, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.Findings(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+// Ping answers for the gateway itself: callers probing the gateway get
+// its identity and a journal-sized view of the fleet, not a forwarded
+// node answer.
+func (r *router) Ping(context.Context) (*api.PingResponse, *api.Error) {
+	r.mu.Lock()
+	n := len(r.homes)
+	r.mu.Unlock()
+	return &api.PingResponse{Node: "gateway", Homes: n}, nil
+}
+
+// MigrateHome forwards the detach to the home's current owner and
+// hands the snapshot back to the caller; the home is no longer served
+// by the cluster, so its journal and pin are dropped.
+func (r *router) MigrateHome(ctx context.Context, req *api.MigrateHomeRequest) (*api.MigrateHomeResponse, *api.Error) {
+	var resp *api.MigrateHomeResponse
+	hs := r.homeFor(req.Home)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	node, rerr := r.route(req.Home)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if err := r.invoke(node, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.MigrateHome(ctx, req)
+		return err
+	}); err != nil {
+		return nil, api.FromErr(err)
+	}
+	hs.ops, hs.synced = nil, ""
+	r.mu.Lock()
+	delete(r.pins, req.Home)
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// AdoptHome routes the import to the home's owner and journals it, so
+// an adopted home enjoys the same failover re-adoption as a home built
+// through the gateway op by op.
+func (r *router) AdoptHome(ctx context.Context, req *api.AdoptHomeRequest) (*api.AdoptHomeResponse, *api.Error) {
+	var resp *api.AdoptHomeResponse
+	aerr := r.do(ctx, req.Home, "AdoptHome", req, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.AdoptHome(ctx, req)
+		return err
+	})
+	return resp, aerr
+}
+
+// BreakerState reports a NODE's breaker on the gateway (stages here are
+// node IDs, not pipeline stages).
+func (r *router) BreakerState(stage string) string {
+	if b := r.breakers[stage]; b != nil {
+		return b.State()
+	}
+	return ""
+}
+
+// migrate performs a planned migration: detach from the current owner,
+// adopt on the named target, pin the home there, and rewrite the
+// journal to the single adopt op (the snapshot subsumes the op
+// history). On an adopt failure it puts the home back where it was.
+func (r *router) migrate(ctx context.Context, home, targetID string) (*api.AdoptHomeResponse, *api.Error) {
+	target, ok := r.ring.NodeByID(targetID)
+	if !ok {
+		return nil, api.Errorf(api.CodeInvalidArgument, "cluster: unknown target node %q", targetID)
+	}
+	if !r.tracker.Up(targetID) {
+		return nil, api.Errorf(api.CodeUnavailable, "cluster: target node %s is down", targetID)
+	}
+
+	hs := r.homeFor(home)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+
+	source, rerr := r.route(home)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if source.ID == targetID {
+		return nil, api.Errorf(api.CodeFailedPrecondition, "cluster: home %s already lives on %s", home, targetID)
+	}
+	var exported *api.MigrateHomeResponse
+	if err := r.invoke(source, func(c *rpc.Client) error {
+		var err error
+		exported, err = c.MigrateHome(ctx, &api.MigrateHomeRequest{Home: home})
+		return err
+	}); err != nil {
+		return nil, api.FromErr(err)
+	}
+	adopt := &api.AdoptHomeRequest{Home: home, Snapshot: exported.Snapshot}
+	var resp *api.AdoptHomeResponse
+	if err := r.invoke(target, func(c *rpc.Client) error {
+		var err error
+		resp, err = c.AdoptHome(ctx, adopt)
+		return err
+	}); err != nil {
+		// The home is detached but not adopted: put it back on the source
+		// rather than leaving it nowhere.
+		if rbErr := r.invoke(source, func(c *rpc.Client) error {
+			_, e := c.AdoptHome(ctx, adopt)
+			return e
+		}); rbErr != nil {
+			log.Printf("homeguardgw: migrate %s: adopt on %s failed (%v) AND rollback onto %s failed (%v)",
+				home, targetID, err, source.ID, rbErr)
+			return nil, api.Errorf(api.CodeInternal,
+				"cluster: home %s detached but neither adopt nor rollback succeeded: %v", home, err)
+		}
+		return nil, api.FromErr(err)
+	}
+	// The snapshot subsumes the old op history: journal just the adopt,
+	// so a later failover rebuilds the migrated state, then pin routing.
+	hs.ops = []journalOp{{method: "AdoptHome", req: adopt}}
+	hs.synced = targetID
+	r.mu.Lock()
+	r.pins[home] = targetID
+	r.mu.Unlock()
+	r.migrations.Inc()
+	log.Printf("homeguardgw: migrated home %s from %s to %s (%d apps)", home, source.ID, targetID, resp.Apps)
+	return resp, nil
+}
+
+// status is the /cluster admin view.
+type clusterStatus struct {
+	RingVersion string              `json:"ringVersion"`
+	Nodes       []clusterNodeStatus `json:"nodes"`
+	Homes       int                 `json:"journaledHomes"`
+	Pins        map[string]string   `json:"pins,omitempty"`
+}
+
+type clusterNodeStatus struct {
+	ID      string `json:"id"`
+	Addr    string `json:"addr"`
+	Up      bool   `json:"up"`
+	Fails   int    `json:"consecutiveFails,omitempty"`
+	LastErr string `json:"lastErr,omitempty"`
+	Breaker string `json:"breaker"`
+}
+
+func (r *router) status() clusterStatus {
+	st := clusterStatus{RingVersion: r.ring.Version(), Pins: map[string]string{}}
+	health := map[string]cluster.NodeHealth{}
+	for _, nh := range r.tracker.Snapshot() {
+		health[nh.ID] = nh
+	}
+	for _, n := range r.ring.Nodes() {
+		nh := health[n.ID]
+		st.Nodes = append(st.Nodes, clusterNodeStatus{
+			ID: n.ID, Addr: n.Addr, Up: nh.Up, Fails: nh.Fails, LastErr: nh.LastErr,
+			Breaker: r.breakers[n.ID].State(),
+		})
+	}
+	r.mu.Lock()
+	st.Homes = len(r.homes)
+	for h, n := range r.pins {
+		st.Pins[h] = n
+	}
+	r.mu.Unlock()
+	if len(st.Pins) == 0 {
+		st.Pins = nil
+	}
+	return st
+}
+
+// close releases the pool.
+func (r *router) close() { r.pool.Close() }

@@ -7,9 +7,23 @@
 // Usage:
 //
 //	homeguardload [-addr 127.0.0.1:8081] [-duration 10s] [-workers 4]
+//	              [-target id.or.addr:8081 -target other:8081]
 //	              [-mix install=8,reconfigure=1,threats=1]
-//	              [-deadline 5s] [-apps 12]
+//	              [-deadline 5s] [-apps 12] [-retries 0]
 //	              [-max-p99-ms 0] [-json out.json]
+//
+// -target (repeatable, or comma-separated) storms several endpoints at
+// once — a multi-node fleet directly, or a pool of gateways. Workers
+// are assigned targets round-robin and rotate to the next target when
+// their connection dies, so the storm keeps flowing while one node is
+// down. With no -target, -addr is the single target.
+//
+// -retries applies the cluster retry policy (jittered exponential
+// backoff, UNAVAILABLE always retryable, DEADLINE_EXCEEDED only for
+// reads) to every operation; the summary reports operations that
+// needed retries and operations that ultimately failed as separate
+// counts, so a chaos run can assert "errors were retried away" rather
+// than eyeballing totals.
 //
 // Each worker owns one RPC connection and a private sequence of homes:
 // it installs the corpus catalog app by app into its current home
@@ -47,24 +61,48 @@ import (
 	"time"
 
 	"homeguard/internal/api"
+	"homeguard/internal/cluster"
 	"homeguard/internal/corpus"
 	"homeguard/internal/obs"
 	"homeguard/internal/rpc"
 )
 
+// targetList collects repeated (or comma-separated) -target values.
+type targetList []string
+
+func (t *targetList) String() string { return strings.Join(*t, ",") }
+func (t *targetList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return fmt.Errorf("empty target in %q", v)
+		}
+		*t = append(*t, part)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8081", "RPC address of a running homeguardd")
+	var targets targetList
+	flag.Var(&targets, "target",
+		"RPC endpoint to storm; repeat or comma-separate for a multi-node fleet (overrides -addr)")
 	duration := flag.Duration("duration", 10*time.Second, "storm duration")
 	workers := flag.Int("workers", 4, "concurrent workers (one RPC connection each)")
 	mixSpec := flag.String("mix", "install=8,reconfigure=1,threats=1",
 		"operation weights: install=N,reconfigure=N,threats=N")
 	deadline := flag.Duration("deadline", 5*time.Second, "per-RPC deadline")
 	nApps := flag.Int("apps", 12, "corpus apps per home before moving to a fresh home")
+	retries := flag.Int("retries", 0,
+		"max retries per operation under the cluster retry policy (0 = fail fast)")
 	maxP99Ms := flag.Float64("max-p99-ms", 0,
 		"fail (exit 1) if install p99 exceeds this many milliseconds (0 = no gate)")
 	jsonOut := flag.String("json", "", "write the JSON summary to this file")
 	flag.Parse()
 
+	if len(targets) == 0 {
+		targets = targetList{*addr}
+	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		log.Fatalf("homeguardload: %v", err)
@@ -84,7 +122,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := runWorker(w, *addr, apps, mix, *deadline, stop, stats); err != nil {
+			if err := runWorker(w, targets, apps, mix, *deadline, *retries, stop, stats); err != nil {
 				log.Printf("homeguardload: worker %d: %v", w, err)
 			}
 		}(w)
@@ -159,13 +197,45 @@ func (m *opMix) pick(rng *rand.Rand) string {
 	return m.names[len(m.names)-1]
 }
 
-// runWorker drives one connection until the stop time.
-func runWorker(id int, addr string, apps []corpus.App, mix *opMix, deadline time.Duration, stop time.Time, st *stats) error {
-	client, err := rpc.DialTimeout(addr, 5*time.Second)
-	if err != nil {
-		return fmt.Errorf("dial %s: %w", addr, err)
+// workerConn lazily dials, rotating through the target list whenever
+// the current connection dies, so a storm survives any one endpoint
+// going away.
+type workerConn struct {
+	targets []string
+	next    int
+	client  *rpc.Client
+}
+
+func (c *workerConn) get() (*rpc.Client, error) {
+	if c.client != nil && c.client.Err() == nil {
+		return c.client, nil
 	}
-	defer client.Close()
+	if c.client != nil {
+		c.client.Close()
+		c.client = nil
+	}
+	addr := c.targets[c.next%len(c.targets)]
+	c.next++
+	cl, err := rpc.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c.client = cl
+	return cl, nil
+}
+
+func (c *workerConn) close() {
+	if c.client != nil {
+		c.client.Close()
+	}
+}
+
+// runWorker drives one connection until the stop time, retrying each
+// operation under the cluster policy when -retries allows it.
+func runWorker(id int, targets []string, apps []corpus.App, mix *opMix, deadline time.Duration, retries int, stop time.Time, st *stats) error {
+	conn := &workerConn{targets: targets, next: id} // stagger initial assignment
+	defer conn.close()
+	retryer := cluster.NewRetryer(cluster.RetryOptions{Attempts: retries + 1})
 	rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
 
 	homeSeq := 0
@@ -178,35 +248,36 @@ func runWorker(id int, addr string, apps []corpus.App, mix *opMix, deadline time
 		if installed == 0 {
 			op = "install"
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), deadline)
-		start := time.Now()
-		var err error
-		switch op {
-		case "install":
-			if installed == len(apps) {
-				homeSeq++
-				installed = 0
-			}
-			_, err = client.Install(ctx, &api.InstallRequest{
-				Home: home(), Corpus: apps[installed].Name,
-			})
-			if err == nil {
-				installed++
-			}
-		case "reconfigure":
-			_, err = client.Reconfigure(ctx, &api.ReconfigureRequest{
-				Home: home(), App: apps[rng.Intn(installed)].Name,
-			})
-		case "threats":
-			_, err = client.Threats(ctx, &api.ThreatsRequest{Home: home()})
+		if op == "install" && installed == len(apps) {
+			homeSeq++
+			installed = 0
 		}
-		st.record(op, time.Since(start), err)
-		cancel()
-		if err != nil {
-			var aerr *api.Error
-			if !errors.As(err, &aerr) {
-				return err // transport failure: stop this worker
+		readOnly := op == "threats"
+		start := time.Now()
+		nRetries, err := retryer.Do(context.Background(), readOnly, func(int) error {
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			client, err := conn.get()
+			if err != nil {
+				return err
 			}
+			switch op {
+			case "install":
+				_, err = client.Install(ctx, &api.InstallRequest{
+					Home: home(), Corpus: apps[installed].Name,
+				})
+			case "reconfigure":
+				_, err = client.Reconfigure(ctx, &api.ReconfigureRequest{
+					Home: home(), App: apps[rng.Intn(installed)].Name,
+				})
+			case "threats":
+				_, err = client.Threats(ctx, &api.ThreatsRequest{Home: home()})
+			}
+			return err
+		})
+		st.record(op, time.Since(start), err, nRetries)
+		if err == nil && op == "install" {
+			installed++
 		}
 	}
 	return nil
@@ -215,16 +286,21 @@ func runWorker(id int, addr string, apps []corpus.App, mix *opMix, deadline time
 // stats aggregates per-operation latency and error counts across
 // workers.
 type stats struct {
-	mu    sync.Mutex
-	hists map[string]*obs.Histogram
-	errs  map[string]map[string]int // op → code → count
+	mu      sync.Mutex
+	hists   map[string]*obs.Histogram
+	errs    map[string]map[string]int // op → code → count (terminal failures)
+	retried map[string]int            // op → ops that needed >= 1 retry but may have succeeded
 }
 
 func newStats() *stats {
-	return &stats{hists: map[string]*obs.Histogram{}, errs: map[string]map[string]int{}}
+	return &stats{
+		hists:   map[string]*obs.Histogram{},
+		errs:    map[string]map[string]int{},
+		retried: map[string]int{},
+	}
 }
 
-func (s *stats) record(op string, d time.Duration, err error) {
+func (s *stats) record(op string, d time.Duration, err error, retries int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := s.hists[op]
@@ -233,6 +309,9 @@ func (s *stats) record(op string, d time.Duration, err error) {
 		s.hists[op] = h
 	}
 	h.Observe(d)
+	if retries > 0 {
+		s.retried[op]++
+	}
 	if err != nil {
 		code := "TRANSPORT"
 		var aerr *api.Error
@@ -246,13 +325,19 @@ func (s *stats) record(op string, d time.Duration, err error) {
 	}
 }
 
-// OpSummary is one operation's aggregate outcome.
+// OpSummary is one operation's aggregate outcome. Retried counts
+// operations that needed at least one retry (they may still have
+// succeeded); Failed counts operations whose final attempt errored —
+// the two are deliberately separate so a failover run can distinguish
+// "the retry layer absorbed the burst" from actual loss of service.
 type OpSummary struct {
-	N      uint64         `json:"n"`
-	P50Ms  float64        `json:"p50Ms"`
-	P90Ms  float64        `json:"p90Ms"`
-	P99Ms  float64        `json:"p99Ms"`
-	Errors map[string]int `json:"errors,omitempty"`
+	N       uint64         `json:"n"`
+	P50Ms   float64        `json:"p50Ms"`
+	P90Ms   float64        `json:"p90Ms"`
+	P99Ms   float64        `json:"p99Ms"`
+	Retried int            `json:"retried,omitempty"`
+	Failed  int            `json:"failed,omitempty"`
+	Errors  map[string]int `json:"errors,omitempty"`
 }
 
 // Summary is the whole storm's machine-readable outcome.
@@ -269,12 +354,18 @@ func (s *stats) summarize(d time.Duration) Summary {
 	out := Summary{DurationSec: d.Seconds(), Ops: map[string]OpSummary{}}
 	for op, h := range s.hists {
 		snap := h.Snapshot()
+		failed := 0
+		for _, n := range s.errs[op] {
+			failed += n
+		}
 		out.Ops[op] = OpSummary{
-			N:      snap.Count,
-			P50Ms:  ms(h.Quantile(0.50)),
-			P90Ms:  ms(h.Quantile(0.90)),
-			P99Ms:  ms(h.Quantile(0.99)),
-			Errors: s.errs[op],
+			N:       snap.Count,
+			P50Ms:   ms(h.Quantile(0.50)),
+			P90Ms:   ms(h.Quantile(0.90)),
+			P99Ms:   ms(h.Quantile(0.99)),
+			Retried: s.retried[op],
+			Failed:  failed,
+			Errors:  s.errs[op],
 		}
 	}
 	return out
@@ -291,8 +382,11 @@ func printSummary(sum Summary) {
 		o := sum.Ops[op]
 		total += o.N
 		fmt.Printf("%-12s n=%-7d p50=%8.2fms p90=%8.2fms p99=%8.2fms", op, o.N, o.P50Ms, o.P90Ms, o.P99Ms)
-		if len(o.Errors) > 0 {
-			fmt.Printf("  errors=%v", o.Errors)
+		if o.Retried > 0 {
+			fmt.Printf("  retried=%d", o.Retried)
+		}
+		if o.Failed > 0 {
+			fmt.Printf("  failed=%d errors=%v", o.Failed, o.Errors)
 		}
 		fmt.Println()
 	}

@@ -294,6 +294,57 @@
 // probes stay live so orchestrators see an honest readiness flip),
 // and marks ready only when recovery completes.
 //
+// # Cluster deployment
+//
+// One daemon scales to many cores; a fleet of daemons scales past one
+// machine. cmd/homeguardgw is the cluster gateway: it serves the exact
+// HTTP and RPC edges the daemon does and routes each request to one of
+// several homeguardd nodes (internal/cluster) by consistent hashing —
+// every home ID maps onto a ring of virtual nodes built
+// deterministically from the sorted membership, so identically
+// configured gateway replicas agree on placement with zero
+// coordination, and the ring version (a digest of membership) is
+// exported as a gauge to catch config skew between replicas. Store
+// endpoints hash as a single ring key, keeping the auditor's revision
+// feed on one node.
+//
+// Health is measured, not assumed: the gateway pings every node each
+// heartbeat interval (the daemon's -node-id answers the Ping, and an
+// address answering with the WRONG identity is treated as down rather
+// than trusted), declares a node dead after K consecutive misses and
+// live again after one successful probe. Requests to a dead node's
+// homes fail over to the next live owner clockwise on the ring — the
+// ring itself never rebuilds, so placement snaps back when the node
+// recovers. Per-node circuit breakers shed calls to flapping nodes
+// with UNAVAILABLE + retryAfterMs, and the gateway's retry layer
+// (jittered exponential backoff honoring the server hint, bounded by
+// attempts and a per-request time budget) retries only idempotent-safe
+// failures: UNAVAILABLE always, DEADLINE_EXCEEDED only for reads — a
+// timed-out write may have applied.
+//
+// Failover does not lose acknowledged work: the gateway journals every
+// mutating operation it has acked, per home, and replays the journal
+// onto a home's new owner — tolerating ALREADY_EXISTS for records the
+// target already holds from its own WAL — before serving the home
+// there, both eagerly on a health transition and lazily on first
+// touch. Replay cost is bounded by the fleet's content-addressed
+// extraction and pair-verdict caches: the survivor re-solves nothing
+// it has seen before. A chaos test (and CI job) kill -9s one node of a
+// two-node fleet mid install storm and requires every gateway-acked
+// operation to remain served. The journal is in-memory and lives for
+// the gateway process; checkpoint-aware truncation (dropping ops a
+// node's own durable WAL provably covers) is future work.
+//
+// Planned moves use the same machinery end to end: POST /admin/migrate
+// (or the MigrateHome/AdoptHome RPCs) drains the home on its current
+// owner via fleet.ExportHome — a single-home snapcodec section — adopts
+// it on the target via fleet.ImportHome, pins routing to the target,
+// and rewrites the home's journal to the one adopt operation, so a
+// later failover rebuilds the migrated state from the snapshot instead
+// of the pre-migration op history. A failed adopt rolls the home back
+// onto its source. GET /cluster reports ring version, per-node
+// health/breaker state and pins.
+//
 // # Observability
 //
 // The Observer type (FleetOptions.Obs) bundles the process-wide
@@ -331,6 +382,18 @@
 //	wal_segments_removed_total                     write-ahead log activity
 //	wal_segments, wal_last_lsn                     log shape (gauges)
 //	wal_recovery_seconds                           last boot recovery duration
+//	cluster_ring_version                           membership digest (gauge; differs across
+//	                                               gateways iff their -nodes configs differ)
+//	cluster_nodes_total, cluster_nodes_up          fleet size and live members (gauges)
+//	cluster_node_up{node}                          per-node heartbeat verdict (gauge)
+//	cluster_node_breaker_open{node}                per-node breaker (0/0.5/1 gauge)
+//	cluster_failovers_total, cluster_recoveries_total
+//	                                               node down/up transitions
+//	cluster_retries_total                          routed calls retried
+//	cluster_resyncs_total, cluster_resync_ops_total
+//	                                               journal replays onto a new owner
+//	cluster_migrations_total                       planned home migrations
+//	cluster_journal_homes                          homes journaled on this gateway (gauge)
 //
 // Tracing. With the tracer enabled, each fleet operation records a span
 // tree of per-stage timings. Root spans are install, reconfigure and

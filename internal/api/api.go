@@ -120,20 +120,38 @@ type Error struct {
 	// before retrying (set by UNAVAILABLE responses from an open circuit
 	// breaker).
 	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+
+	// cause is the wrapped underlying error, carried locally (never on
+	// the wire) so errors.Is/As keep seeing through the envelope — the
+	// RPC client wraps transport failures this way.
+	cause error
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Unwrap exposes the wrapped cause (nil for wire-decoded errors).
+func (e *Error) Unwrap() error { return e.cause }
 
 // Errorf builds an Error with a formatted message.
 func Errorf(code Code, format string, args ...any) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
+// Wrap builds an Error that carries err as its unwrappable cause, so
+// callers can classify an error into the envelope without severing the
+// errors.Is chain. A nil err maps to nil.
+func Wrap(code Code, err error, msg string) *Error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Message: fmt.Sprintf("%s: %v", msg, err), cause: err}
+}
+
 // FromErr maps any error the service layer produces to the envelope:
 // an *Error passes through, fleet sentinels map to their codes
-// (ErrUnknownHome/ErrAppNotInstalled → NOT_FOUND, ErrAppInstalled →
-// ALREADY_EXISTS, ErrBadThreatIndex → OUT_OF_RANGE), context
+// (ErrUnknownHome/ErrAppNotInstalled → NOT_FOUND, ErrAppInstalled and
+// ErrHomeExists → ALREADY_EXISTS, ErrBadThreatIndex → OUT_OF_RANGE), context
 // expiry maps to DEADLINE_EXCEEDED/CANCELLED, and anything else — in
 // practice an extraction or detection failure on a well-formed request
 // — becomes FAILED_PRECONDITION. Nil maps to nil.
@@ -149,7 +167,7 @@ func FromErr(err error) *Error {
 	switch {
 	case errors.Is(err, fleet.ErrUnknownHome), errors.Is(err, fleet.ErrAppNotInstalled):
 		code = CodeNotFound
-	case errors.Is(err, fleet.ErrAppInstalled):
+	case errors.Is(err, fleet.ErrAppInstalled), errors.Is(err, fleet.ErrHomeExists):
 		code = CodeAlreadyExists
 	case errors.Is(err, fleet.ErrBadThreatIndex):
 		code = CodeOutOfRange
@@ -520,4 +538,52 @@ func FindingsResponseOf(f *audit.Feed) *FindingsResponse {
 		Added:    FindingsOf(f.Added),
 		Resolved: FindingsOf(f.Resolved),
 	}
+}
+
+// ---------- cluster shapes ----------
+
+// PingRequest is the gateway heartbeat probe. Empty today; a struct so
+// the wire shape can grow (e.g. the ring version the prober holds)
+// without a method change.
+type PingRequest struct{}
+
+// PingResponse identifies the probed node and its current load.
+type PingResponse struct {
+	// Node is the node's -node-id (empty when the daemon runs unnamed).
+	Node string `json:"node,omitempty"`
+	// Homes is the number of homes the node currently manages.
+	Homes int `json:"homes"`
+}
+
+// MigrateHomeRequest asks a node to export one home and detach it: the
+// home's durable state is serialized, a removal record is logged, and
+// the node stops serving the home. The returned snapshot is what
+// AdoptHome on the new owner consumes.
+type MigrateHomeRequest struct {
+	Home string `json:"home"`
+}
+
+// MigrateHomeResponse carries the detached home's serialized state.
+type MigrateHomeResponse struct {
+	HomeID string `json:"homeId"`
+	// Apps is the number of apps the exported home held.
+	Apps int `json:"apps"`
+	// Snapshot is the snapcodec-encoded single-home section
+	// (fleet.ExportHome): apps with resolved configs, threat log,
+	// ledger, accepted threats.
+	Snapshot []byte `json:"snapshot"`
+}
+
+// AdoptHomeRequest asks a node to import a home exported by MigrateHome
+// (or rebuilt by the gateway's failover path).
+type AdoptHomeRequest struct {
+	Home     string `json:"home"`
+	Snapshot []byte `json:"snapshot"`
+}
+
+// AdoptHomeResponse acknowledges the adopted home.
+type AdoptHomeResponse struct {
+	HomeID string `json:"homeId"`
+	// Apps is the number of apps the imported home holds.
+	Apps int `json:"apps"`
 }

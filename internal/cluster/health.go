@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultFailAfter is the consecutive missed-heartbeat count that
+// declares a node down when HealthOptions leaves it zero. Three misses
+// tolerates one dropped ping and one slow one without flapping; with a
+// 250ms heartbeat a hard-killed node is declared dead inside a second.
+const DefaultFailAfter = 3
+
+// HealthOptions configures a Tracker.
+type HealthOptions struct {
+	// FailAfter is how many CONSECUTIVE failed probes mark a node down.
+	// Zero means DefaultFailAfter. Recovery is asymmetric by design: one
+	// successful probe brings the node back — a node that answers is a
+	// node that can serve, while declaring death too eagerly would
+	// trigger spurious failovers.
+	FailAfter int
+
+	// Now substitutes the clock in tests.
+	Now func() time.Time
+
+	// OnTransition, when set, is called (outside the tracker lock) each
+	// time a node crosses up<->down. The gateway hangs failover on it.
+	OnTransition func(nodeID string, up bool)
+}
+
+// NodeHealth is one node's observed state.
+type NodeHealth struct {
+	ID       string
+	Up       bool
+	Fails    int       // consecutive failed probes since the last success
+	Since    time.Time // when the node entered its current up/down state
+	LastErr  string    // most recent probe error ("" after a success)
+	LastSeen time.Time // time of the last successful probe (zero if never)
+}
+
+// Tracker turns a stream of per-node probe results into up/down
+// verdicts: down after FailAfter consecutive failures, up again after a
+// single success. Nodes start up (optimistic — the fleet was presumably
+// alive when the gateway booted, and a dead node fails its first K
+// probes within K heartbeats anyway). Safe for concurrent use.
+type Tracker struct {
+	opts HealthOptions
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+}
+
+type nodeState struct {
+	NodeHealth
+}
+
+// NewTracker builds a tracker over the given node IDs.
+func NewTracker(ids []string, opts HealthOptions) *Tracker {
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = DefaultFailAfter
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	t := &Tracker{opts: opts, nodes: make(map[string]*nodeState, len(ids))}
+	now := opts.Now()
+	for _, id := range ids {
+		t.nodes[id] = &nodeState{NodeHealth{ID: id, Up: true, Since: now}}
+	}
+	return t
+}
+
+// ReportSuccess records a successful probe. It returns true when this
+// probe recovered a down node.
+func (t *Tracker) ReportSuccess(id string) (recovered bool) {
+	t.mu.Lock()
+	n := t.nodes[id]
+	if n == nil {
+		t.mu.Unlock()
+		return false
+	}
+	now := t.opts.Now()
+	n.Fails = 0
+	n.LastErr = ""
+	n.LastSeen = now
+	recovered = !n.Up
+	if recovered {
+		n.Up = true
+		n.Since = now
+	}
+	t.mu.Unlock()
+	if recovered && t.opts.OnTransition != nil {
+		t.opts.OnTransition(id, true)
+	}
+	return recovered
+}
+
+// ReportFailure records a failed probe. It returns true when this
+// probe crossed the FailAfter threshold and declared the node down.
+func (t *Tracker) ReportFailure(id string, err error) (wentDown bool) {
+	t.mu.Lock()
+	n := t.nodes[id]
+	if n == nil {
+		t.mu.Unlock()
+		return false
+	}
+	n.Fails++
+	if err != nil {
+		n.LastErr = err.Error()
+	}
+	if n.Up && n.Fails >= t.opts.FailAfter {
+		n.Up = false
+		n.Since = t.opts.Now()
+		wentDown = true
+	}
+	t.mu.Unlock()
+	if wentDown && t.opts.OnTransition != nil {
+		t.opts.OnTransition(id, false)
+	}
+	return wentDown
+}
+
+// Up reports whether a node is currently considered live. Unknown
+// nodes are down.
+func (t *Tracker) Up(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[id]
+	return n != nil && n.Up
+}
+
+// Down reports whether a node is currently considered dead — the form
+// Ring.OwnerExcluding wants.
+func (t *Tracker) Down(id string) bool { return !t.Up(id) }
+
+// UpCount reports how many tracked nodes are live.
+func (t *Tracker) UpCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := 0
+	for _, n := range t.nodes {
+		if n.Up {
+			c++
+		}
+	}
+	return c
+}
+
+// Snapshot returns every node's state, sorted by ID.
+func (t *Tracker) Snapshot() []NodeHealth {
+	t.mu.Lock()
+	out := make([]NodeHealth, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, n.NodeHealth)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable Now for tracker tests: no sleeps, every
+// timestamp deterministic.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) Now() time.Time                    { return c.t }
+func (c *fakeClock) Advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+// TestTrackerFailAfterK: a node survives K-1 consecutive misses, dies
+// on the Kth, and the transition callback fires exactly once.
+func TestTrackerFailAfterK(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	tr := NewTracker([]string{"n1", "n2"}, HealthOptions{
+		FailAfter: 3,
+		Now:       clock.Now,
+		OnTransition: func(id string, up bool) {
+			transitions = append(transitions, id+":"+map[bool]string{true: "up", false: "down"}[up])
+		},
+	})
+
+	if !tr.Up("n1") || !tr.Up("n2") {
+		t.Fatal("nodes must start up")
+	}
+	probeErr := errors.New("dial tcp: connection refused")
+	for i := 0; i < 2; i++ {
+		clock.Advance(250 * time.Millisecond)
+		if down := tr.ReportFailure("n1", probeErr); down {
+			t.Fatalf("node declared down after %d misses, FailAfter=3", i+1)
+		}
+	}
+	if !tr.Up("n1") {
+		t.Fatal("node down before the threshold")
+	}
+	clock.Advance(250 * time.Millisecond)
+	if down := tr.ReportFailure("n1", probeErr); !down {
+		t.Fatal("third consecutive miss did not declare the node down")
+	}
+	if tr.Up("n1") || tr.Down("n1") != true {
+		t.Fatal("Up/Down disagree with the declared state")
+	}
+	// Further misses keep it down without re-firing the transition.
+	tr.ReportFailure("n1", probeErr)
+	if got := len(transitions); got != 1 || transitions[0] != "n1:down" {
+		t.Fatalf("transitions = %v, want exactly [n1:down]", transitions)
+	}
+	if tr.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1", tr.UpCount())
+	}
+}
+
+// TestTrackerSuccessResetsStreak: a success between misses resets the
+// consecutive counter, so K scattered failures never kill a node.
+func TestTrackerSuccessResetsStreak(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTracker([]string{"n1"}, HealthOptions{FailAfter: 3, Now: clock.Now})
+	err := errors.New("timeout")
+	for round := 0; round < 5; round++ {
+		tr.ReportFailure("n1", err)
+		tr.ReportFailure("n1", err)
+		tr.ReportSuccess("n1")
+	}
+	if !tr.Up("n1") {
+		t.Fatal("interleaved successes did not keep the node up")
+	}
+	if s := tr.Snapshot()[0]; s.Fails != 0 || s.LastErr != "" {
+		t.Fatalf("snapshot after success: fails=%d lastErr=%q, want clean", s.Fails, s.LastErr)
+	}
+}
+
+// TestTrackerRecoverOnProbe: one successful probe brings a dead node
+// back, firing the up transition.
+func TestTrackerRecoverOnProbe(t *testing.T) {
+	clock := newFakeClock()
+	var ups, downs int
+	tr := NewTracker([]string{"n1"}, HealthOptions{
+		FailAfter: 2,
+		Now:       clock.Now,
+		OnTransition: func(id string, up bool) {
+			if up {
+				ups++
+			} else {
+				downs++
+			}
+		},
+	})
+	err := errors.New("conn reset")
+	tr.ReportFailure("n1", err)
+	tr.ReportFailure("n1", err)
+	if tr.Up("n1") {
+		t.Fatal("node still up past the threshold")
+	}
+	downAt := clock.Now()
+	clock.Advance(5 * time.Second)
+	if recovered := tr.ReportSuccess("n1"); !recovered {
+		t.Fatal("successful probe did not report recovery")
+	}
+	if !tr.Up("n1") {
+		t.Fatal("node still down after a successful probe")
+	}
+	s := tr.Snapshot()[0]
+	if !s.Since.After(downAt) {
+		t.Fatalf("Since not updated on recovery: %v", s.Since)
+	}
+	if s.LastSeen != clock.Now() {
+		t.Fatalf("LastSeen = %v, want %v", s.LastSeen, clock.Now())
+	}
+	if ups != 1 || downs != 1 {
+		t.Fatalf("transitions up=%d down=%d, want 1/1", ups, downs)
+	}
+}
+
+// TestTrackerUnknownNode: reports against untracked IDs are inert and
+// unknown nodes read as down (never a failover target).
+func TestTrackerUnknownNode(t *testing.T) {
+	tr := NewTracker([]string{"n1"}, HealthOptions{})
+	if tr.ReportFailure("ghost", errors.New("x")) || tr.ReportSuccess("ghost") {
+		t.Fatal("reports against an unknown node produced transitions")
+	}
+	if tr.Up("ghost") {
+		t.Fatal("unknown node reads as up")
+	}
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("snapshot has %d nodes, want 1", got)
+	}
+}
+
+// TestTrackerSnapshotSorted keeps the admin/metrics view stable.
+func TestTrackerSnapshotSorted(t *testing.T) {
+	tr := NewTracker([]string{"zeta", "alpha", "mid"}, HealthOptions{})
+	s := tr.Snapshot()
+	if s[0].ID != "alpha" || s[1].ID != "mid" || s[2].ID != "zeta" {
+		t.Fatalf("snapshot order %v, want sorted by ID", []string{s[0].ID, s[1].ID, s[2].ID})
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"homeguard/internal/rpc"
+)
+
+// DefaultDialTimeout bounds a pool dial when PoolOptions leaves it
+// zero.
+const DefaultDialTimeout = 2 * time.Second
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// DialTimeout bounds each connect attempt. Zero means
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+
+	// Dial substitutes the dialer in tests. Nil means rpc.DialTimeout.
+	Dial func(addr string) (*rpc.Client, error)
+}
+
+// Pool caches one RPC client per node address, re-dialing lazily when
+// a cached connection has died. HGRPC multiplexes concurrent calls by
+// stream id over one connection, so one client per node is the right
+// amount of connections, not a limitation. Safe for concurrent use.
+type Pool struct {
+	opts PoolOptions
+
+	mu    sync.Mutex
+	conns map[string]*rpc.Client
+}
+
+// NewPool builds an empty pool.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = DefaultDialTimeout
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (*rpc.Client, error) {
+			return rpc.DialTimeout(addr, opts.DialTimeout)
+		}
+	}
+	return &Pool{opts: opts, conns: map[string]*rpc.Client{}}
+}
+
+// Get returns a live client for addr, dialing if the cache is empty or
+// holds a dead connection. A dial failure is a typed UNAVAILABLE
+// *api.Error (from rpc.Dial), so it flows straight into Retryable.
+func (p *Pool) Get(addr string) (*rpc.Client, error) {
+	p.mu.Lock()
+	if c := p.conns[addr]; c != nil {
+		if c.Err() == nil {
+			p.mu.Unlock()
+			return c, nil
+		}
+		delete(p.conns, addr)
+		defer c.Close()
+	}
+	p.mu.Unlock()
+
+	// Dial outside the lock: a down node's connect timeout must not
+	// stall Gets for other addresses.
+	c, err := p.opts.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev := p.conns[addr]; prev != nil && prev.Err() == nil {
+		// A concurrent Get won the dial race; keep the established one.
+		c.Close()
+		return prev, nil
+	}
+	p.conns[addr] = c
+	return c, nil
+}
+
+// Discard drops c from the cache (if it is still the cached client for
+// addr) and closes it. Callers invoke it when a call fails with a
+// transport error, so the next Get re-dials instead of reusing a
+// half-dead connection.
+func (p *Pool) Discard(addr string, c *rpc.Client) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.conns[addr] == c {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Close tears down every cached connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = map[string]*rpc.Client{}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+
+	"homeguard/internal/fleet"
+	"homeguard/internal/rpc"
+)
+
+// startNode boots a real fleet + RPC edge on a loopback listener and
+// returns its address. Shutdown runs via t.Cleanup.
+func startNode(t *testing.T, nodeID string) (addr string, srv *rpc.Server) {
+	t.Helper()
+	f := fleet.New(fleet.Options{Shards: 4})
+	svc := rpc.NewService(f, rpc.ServiceOptions{NodeID: nodeID})
+	srv = rpc.NewServer(svc, rpc.ServerOptions{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return lis.Addr().String(), srv
+}
+
+// TestPoolReusesConnection: Get hands the same multiplexed client back
+// for repeated calls to one address, and distinct clients per address.
+func TestPoolReusesConnection(t *testing.T) {
+	addrA, _ := startNode(t, "node-a")
+	addrB, _ := startNode(t, "node-b")
+	p := NewPool(PoolOptions{})
+	defer p.Close()
+
+	c1, err := p.Get(addrA)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	c2, err := p.Get(addrA)
+	if err != nil {
+		t.Fatalf("Get again: %v", err)
+	}
+	if c1 != c2 {
+		t.Fatal("pool dialed twice for one live address")
+	}
+	cb, err := p.Get(addrB)
+	if err != nil {
+		t.Fatalf("Get B: %v", err)
+	}
+	if cb == c1 {
+		t.Fatal("pool shared one client across addresses")
+	}
+
+	pa, err := c1.Ping(context.Background())
+	if err != nil || pa.Node != "node-a" {
+		t.Fatalf("ping via pooled client: %v %v", pa, err)
+	}
+	pb, err := cb.Ping(context.Background())
+	if err != nil || pb.Node != "node-b" {
+		t.Fatalf("ping via pooled client: %v %v", pb, err)
+	}
+}
+
+// TestPoolDiscardAndRedial: after a node dies, the failed call's error
+// is typed UNAVAILABLE (so the retry layer classifies it), Discard
+// drops the corpse, and the next Get's dial failure is typed the same
+// way.
+func TestPoolDiscardAndRedial(t *testing.T) {
+	addr, srv := startNode(t, "node-a")
+	p := NewPool(PoolOptions{})
+	defer p.Close()
+
+	c, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close() // the node is kill -9'd, as far as the gateway can tell
+
+	_, err = c.Ping(context.Background())
+	if err == nil {
+		t.Fatal("ping of a dead node succeeded")
+	}
+	if !Retryable(err, false) {
+		t.Fatalf("dead-node error %v did not classify UNAVAILABLE-retryable", err)
+	}
+	p.Discard(addr, c)
+
+	if _, err := p.Get(addr); err == nil {
+		t.Fatal("Get dialed a closed listener")
+	} else if !Retryable(err, false) {
+		t.Fatalf("dial failure %v did not classify UNAVAILABLE-retryable", err)
+	}
+}
+
+// TestPoolGetAfterErrRedials: once the cached client's transport error
+// latches, Get replaces it without an explicit Discard.
+func TestPoolGetAfterErrRedials(t *testing.T) {
+	addr, _ := startNode(t, "node-a")
+	p := NewPool(PoolOptions{})
+	defer p.Close()
+
+	c1, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client side and wait for the read loop to latch the
+	// error — Err() flipping non-nil is the pool's replacement trigger.
+	c1.Close()
+	for c1.Err() == nil {
+		// The read loop fails immediately on the closed conn; this wait
+		// is bounded by goroutine scheduling, not a timer.
+		runtime.Gosched()
+	}
+	c2, err := p.Get(addr)
+	if err != nil {
+		t.Fatalf("Get after dead cache: %v", err)
+	}
+	if c2 == c1 {
+		t.Fatal("pool returned the dead client")
+	}
+	if _, err := c2.Ping(context.Background()); err != nil {
+		t.Fatalf("ping via replacement client: %v", err)
+	}
+}
+
+// TestPoolClose drops every connection; a later Get re-dials cleanly.
+func TestPoolClose(t *testing.T) {
+	addr, _ := startNode(t, "node-a")
+	p := NewPool(PoolOptions{})
+	c1, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	c2, err := p.Get(addr)
+	if err != nil {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if c2 == c1 {
+		t.Fatal("Close left the old client cached")
+	}
+	p.Close()
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"homeguard/internal/api"
+)
+
+// Retry policy defaults. The budget bounds TOTAL backoff sleep per
+// request, so a request can never stall longer than roughly its own
+// deadline worth of retries no matter how many attempts remain.
+const (
+	DefaultAttempts  = 4
+	DefaultBaseDelay = 25 * time.Millisecond
+	DefaultMaxDelay  = 1 * time.Second
+	DefaultBudget    = 2 * time.Second
+)
+
+// Retryable reports whether an error may be retried against another
+// (or the same) node. Only typed api.Error envelopes are classified:
+//
+//   - UNAVAILABLE is always safe: it is produced by dial failures,
+//     connection loss on SEND, and open breakers — all before the
+//     operation could have been applied, or on operations (install,
+//     adopt) whose replay the service answers with ALREADY_EXISTS
+//     rather than double-applying.
+//   - DEADLINE_EXCEEDED is safe only for reads: a timed-out mutation
+//     may have been applied after the client gave up on it.
+//
+// Everything else — including raw non-api errors, whose provenance is
+// unknown — is terminal for the request.
+func Retryable(err error, readOnly bool) bool {
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.Code {
+	case api.CodeUnavailable:
+		return true
+	case api.CodeDeadlineExceeded:
+		return readOnly
+	}
+	return false
+}
+
+// RetryAfterHint extracts a server backpressure hint (an open breaker's
+// RetryAfterMs) from an error chain, or zero.
+func RetryAfterHint(err error) time.Duration {
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.RetryAfterMs > 0 {
+		return time.Duration(ae.RetryAfterMs) * time.Millisecond
+	}
+	return 0
+}
+
+// RetryOptions configures a Retryer.
+type RetryOptions struct {
+	// Attempts is the total number of tries including the first.
+	// Zero means DefaultAttempts.
+	Attempts int
+
+	// BaseDelay/MaxDelay shape the exponential backoff: attempt k (from
+	// zero) backs off a jittered BaseDelay<<k, capped at MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	// Budget caps the SUM of backoff sleeps for one request. When the
+	// next delay would blow it, the retryer gives up and returns the
+	// last error. Zero means DefaultBudget.
+	Budget time.Duration
+
+	// Rand substitutes the jitter source in tests ([0,1) like
+	// rand.Float64).
+	Rand func() float64
+
+	// Sleep substitutes the delay in tests. It must honor ctx
+	// cancellation. Nil means a timer-based sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Retryer re-runs idempotent-safe failures with jittered exponential
+// backoff. Safe for concurrent use (the zero-value options fields are
+// resolved at construction).
+type Retryer struct {
+	opts RetryOptions
+}
+
+// NewRetryer builds a retryer, filling defaults.
+func NewRetryer(opts RetryOptions) *Retryer {
+	if opts.Attempts <= 0 {
+		opts.Attempts = DefaultAttempts
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = DefaultBaseDelay
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = DefaultMaxDelay
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = DefaultBudget
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Float64
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
+	return &Retryer{opts: opts}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Delay computes the backoff before retry number `retry` (1-based: the
+// wait after the first failure is Delay(1, ...)). The jittered window
+// is [backoff/2, backoff) — "equal jitter", which decorrelates a
+// thundering herd while keeping a floor so a hot loop cannot collapse
+// to zero wait. A server hint raises (never lowers) the result.
+func (r *Retryer) Delay(retry int, hint time.Duration) time.Duration {
+	backoff := r.opts.BaseDelay << (retry - 1)
+	if backoff > r.opts.MaxDelay || backoff <= 0 { // <=0: shift overflow
+		backoff = r.opts.MaxDelay
+	}
+	d := backoff/2 + time.Duration(r.opts.Rand()*float64(backoff/2))
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// Do runs f until it succeeds, fails terminally, or the attempt/budget
+// limits are spent. readOnly widens the retryable set (see Retryable).
+// It reports how many retries were performed (0 = first try succeeded
+// or failed terminally) alongside f's final error.
+func (r *Retryer) Do(ctx context.Context, readOnly bool, f func(attempt int) error) (retries int, err error) {
+	var slept time.Duration
+	for attempt := 0; ; attempt++ {
+		err = f(attempt)
+		if err == nil || !Retryable(err, readOnly) {
+			return attempt, err
+		}
+		if attempt+1 >= r.opts.Attempts {
+			return attempt, err
+		}
+		d := r.Delay(attempt+1, RetryAfterHint(err))
+		if slept+d > r.opts.Budget {
+			return attempt, err // next wait would blow the request's budget
+		}
+		slept += d
+		if serr := r.opts.Sleep(ctx, d); serr != nil {
+			return attempt, err // cancelled mid-backoff: surface f's error
+		}
+	}
+}

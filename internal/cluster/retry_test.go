@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"homeguard/internal/api"
+)
+
+func unavailable() error {
+	return api.Errorf(api.CodeUnavailable, "node down")
+}
+
+// TestRetryableClassification pins the idempotent-safety table:
+// UNAVAILABLE always retries, DEADLINE_EXCEEDED only for reads,
+// everything else — including untyped errors — is terminal.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err        error
+		read, want bool
+	}{
+		{api.Errorf(api.CodeUnavailable, "x"), false, true},
+		{api.Errorf(api.CodeUnavailable, "x"), true, true},
+		// Wrapped UNAVAILABLE (the transport wraps net errors) still classifies.
+		{fmt.Errorf("call: %w", api.Wrap(api.CodeUnavailable, errors.New("reset"), "rpc")), false, true},
+		{api.Errorf(api.CodeDeadlineExceeded, "x"), true, true},
+		{api.Errorf(api.CodeDeadlineExceeded, "x"), false, false}, // timed-out write may have applied
+		{api.Errorf(api.CodeAlreadyExists, "x"), true, false},
+		{api.Errorf(api.CodeNotFound, "x"), true, false},
+		{api.Errorf(api.CodeInternal, "x"), true, false},
+		{errors.New("raw transport goop"), true, false},
+		{nil, true, false},
+	}
+	for i, c := range cases {
+		if got := Retryable(c.err, c.read); got != c.want {
+			t.Errorf("case %d: Retryable(%v, read=%v) = %v, want %v", i, c.err, c.read, got, c.want)
+		}
+	}
+}
+
+// retryHarness wires a Retryer to a recording fake sleeper: tests
+// assert on exact delays, never on wall time.
+type retryHarness struct {
+	slept []time.Duration
+}
+
+func (h *retryHarness) sleep(ctx context.Context, d time.Duration) error {
+	h.slept = append(h.slept, d)
+	return ctx.Err()
+}
+
+// TestRetryBackoffJitterBounds: with Rand pinned to its extremes, every
+// delay for retry k must land in [base<<k-1 / 2, base<<k-1), capped at
+// MaxDelay — the equal-jitter window.
+func TestRetryBackoffJitterBounds(t *testing.T) {
+	base, max := 40*time.Millisecond, 200*time.Millisecond
+	for _, rnd := range []float64{0, 0.5, 0.999} {
+		r := NewRetryer(RetryOptions{
+			Attempts: 6, BaseDelay: base, MaxDelay: max, Budget: time.Hour,
+			Rand: func() float64 { return rnd },
+		})
+		for retry := 1; retry <= 5; retry++ {
+			backoff := base << (retry - 1)
+			if backoff > max {
+				backoff = max
+			}
+			d := r.Delay(retry, 0)
+			if d < backoff/2 || d >= backoff {
+				t.Fatalf("rand=%.3f retry=%d: delay %v outside [%v, %v)", rnd, retry, d, backoff/2, backoff)
+			}
+		}
+	}
+	// Shift overflow on an absurd retry count still caps at MaxDelay.
+	r := NewRetryer(RetryOptions{BaseDelay: base, MaxDelay: max, Rand: func() float64 { return 0 }})
+	if d := r.Delay(70, 0); d != max/2 {
+		t.Fatalf("overflowed retry delay %v, want capped %v", d, max/2)
+	}
+}
+
+// TestRetryHonorsRetryAfterHint: a server RetryAfterMs (an open
+// breaker's cooldown) raises the computed backoff, never lowers it.
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	r := NewRetryer(RetryOptions{
+		BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second,
+		Rand: func() float64 { return 0 },
+	})
+	hint := 300 * time.Millisecond
+	if d := r.Delay(1, hint); d != hint {
+		t.Fatalf("delay %v ignored larger hint %v", d, hint)
+	}
+	if d := r.Delay(1, time.Microsecond); d != 5*time.Millisecond {
+		t.Fatalf("tiny hint lowered the backoff floor: %v", d)
+	}
+
+	h := &retryHarness{}
+	rr := NewRetryer(RetryOptions{
+		Attempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second,
+		Budget: time.Hour, Rand: func() float64 { return 0 }, Sleep: h.sleep,
+	})
+	err := &api.Error{Code: api.CodeUnavailable, Message: "breaker open", RetryAfterMs: 250}
+	retries, _ := rr.Do(context.Background(), false, func(int) error { return err })
+	if retries != 1 || len(h.slept) != 1 || h.slept[0] != 250*time.Millisecond {
+		t.Fatalf("retries=%d slept=%v, want one 250ms wait from the wire hint", retries, h.slept)
+	}
+}
+
+// TestRetryDoSucceedsAfterFailures: transient UNAVAILABLEs burn
+// retries, then a success returns with the retry count intact.
+func TestRetryDoSucceedsAfterFailures(t *testing.T) {
+	h := &retryHarness{}
+	r := NewRetryer(RetryOptions{
+		Attempts: 4, BaseDelay: 10 * time.Millisecond,
+		Rand: func() float64 { return 0.5 }, Sleep: h.sleep,
+	})
+	calls := 0
+	retries, err := r.Do(context.Background(), false, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d delivered as %d", calls, attempt)
+		}
+		calls++
+		if calls < 3 {
+			return unavailable()
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v, want 2 retries then success", retries, calls, err)
+	}
+	if len(h.slept) != 2 {
+		t.Fatalf("slept %v, want two backoffs", h.slept)
+	}
+	if h.slept[1] <= h.slept[0] {
+		t.Fatalf("backoff not growing: %v", h.slept)
+	}
+}
+
+// TestRetryAttemptsExhausted: the last error comes back after Attempts
+// tries, with Attempts-1 sleeps.
+func TestRetryAttemptsExhausted(t *testing.T) {
+	h := &retryHarness{}
+	r := NewRetryer(RetryOptions{
+		Attempts: 3, BaseDelay: 5 * time.Millisecond,
+		Rand: func() float64 { return 0 }, Sleep: h.sleep,
+	})
+	calls := 0
+	retries, err := r.Do(context.Background(), false, func(int) error { calls++; return unavailable() })
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3/2", calls, retries)
+	}
+	if !Retryable(err, false) {
+		t.Fatalf("final error lost its classification: %v", err)
+	}
+	if len(h.slept) != 2 {
+		t.Fatalf("slept %v, want 2 waits", h.slept)
+	}
+}
+
+// TestRetryBudgetExhaustion: when cumulative backoff would blow the
+// per-request budget, the retryer stops early — attempts remaining or
+// not.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	h := &retryHarness{}
+	r := NewRetryer(RetryOptions{
+		Attempts: 100, BaseDelay: 40 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		Budget: 100 * time.Millisecond, // fits two 40ms waits, not three
+		Rand:   func() float64 { return 0.999999 },
+		Sleep:  h.sleep,
+	})
+	calls := 0
+	retries, err := r.Do(context.Background(), false, func(int) error { calls++; return unavailable() })
+	if err == nil {
+		t.Fatal("budget exhaustion returned success")
+	}
+	if calls != 3 || retries != 2 || len(h.slept) != 2 {
+		t.Fatalf("calls=%d retries=%d slept=%v, want 3 calls / 2 waits under a 100ms budget", calls, retries, h.slept)
+	}
+	var total time.Duration
+	for _, d := range h.slept {
+		total += d
+	}
+	if total > 100*time.Millisecond {
+		t.Fatalf("slept %v total, past the budget", total)
+	}
+}
+
+// TestRetryTerminalErrorNoRetry: non-retryable codes return immediately
+// with zero sleeps.
+func TestRetryTerminalErrorNoRetry(t *testing.T) {
+	h := &retryHarness{}
+	r := NewRetryer(RetryOptions{Attempts: 5, Sleep: h.sleep})
+	calls := 0
+	retries, err := r.Do(context.Background(), true, func(int) error {
+		calls++
+		return api.Errorf(api.CodeNotFound, "no such home")
+	})
+	if calls != 1 || retries != 0 || len(h.slept) != 0 {
+		t.Fatalf("calls=%d retries=%d slept=%v, want immediate return", calls, retries, h.slept)
+	}
+	if codeOf(t, err) != api.CodeNotFound {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRetryDeadlineExceededReadsOnly: the same DEADLINE_EXCEEDED error
+// retries as a read and returns immediately as a write.
+func TestRetryDeadlineExceededReadsOnly(t *testing.T) {
+	mk := func() *Retryer {
+		return NewRetryer(RetryOptions{
+			Attempts: 2, BaseDelay: time.Millisecond,
+			Rand: func() float64 { return 0 }, Sleep: (&retryHarness{}).sleep,
+		})
+	}
+	timeout := func(int) error { return api.Errorf(api.CodeDeadlineExceeded, "slow node") }
+	if retries, _ := mk().Do(context.Background(), true, timeout); retries != 1 {
+		t.Fatalf("read: %d retries, want 1", retries)
+	}
+	if retries, _ := mk().Do(context.Background(), false, timeout); retries != 0 {
+		t.Fatalf("write: %d retries, want 0", retries)
+	}
+}
+
+// TestRetryCancelledContext: a cancelled context aborts mid-backoff and
+// surfaces the call's error, not a new one.
+func TestRetryCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &retryHarness{}
+	r := NewRetryer(RetryOptions{
+		Attempts: 10, BaseDelay: time.Millisecond,
+		Rand: func() float64 { return 0 }, Sleep: h.sleep,
+	})
+	calls := 0
+	retries, err := r.Do(ctx, false, func(int) error {
+		calls++
+		if calls == 2 {
+			cancel() // the next sleep observes ctx.Err() via the fake sleeper
+		}
+		return unavailable()
+	})
+	if calls != 2 || retries != 1 {
+		t.Fatalf("calls=%d retries=%d, want cancellation after the second call", calls, retries)
+	}
+	if codeOf(t, err) != api.CodeUnavailable {
+		t.Fatalf("surfaced %v, want the call's UNAVAILABLE", err)
+	}
+}
+
+func codeOf(t *testing.T, err error) api.Code {
+	t.Helper()
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (%T) is not the api envelope", err, err)
+	}
+	return ae.Code
+}

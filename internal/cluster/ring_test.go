@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []Node, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return r
+}
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "node-a", Addr: "127.0.0.1:9401"},
+		{ID: "node-b", Addr: "127.0.0.1:9402"},
+		{ID: "node-c", Addr: "127.0.0.1:9403"},
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]Node{{ID: "a"}}, 0); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+	if _, err := NewRing([]Node{
+		{ID: "a", Addr: "x:1"}, {ID: "a", Addr: "x:2"},
+	}, 0); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+// TestRingDeterministic: ownership is a pure function of membership —
+// two rings built from the same nodes (in any order) agree on every
+// home, which is what lets gateway replicas route without coordinating.
+func TestRingDeterministic(t *testing.T) {
+	r1 := mustRing(t, threeNodes(), 0)
+	shuffled := []Node{threeNodes()[2], threeNodes()[0], threeNodes()[1]}
+	r2 := mustRing(t, shuffled, 0)
+	if r1.Version() != r2.Version() {
+		t.Fatalf("same membership, versions %q vs %q", r1.Version(), r2.Version())
+	}
+	for i := 0; i < 500; i++ {
+		h := fmt.Sprintf("home-%04d", i)
+		if a, b := r1.Owner(h).ID, r2.Owner(h).ID; a != b {
+			t.Fatalf("home %s: owner %s vs %s across identical rings", h, a, b)
+		}
+	}
+}
+
+func TestRingVersionTracksMembership(t *testing.T) {
+	base := mustRing(t, threeNodes(), 0)
+	grown := mustRing(t, append(threeNodes(), Node{ID: "node-d", Addr: "127.0.0.1:9404"}), 0)
+	if base.Version() == grown.Version() {
+		t.Fatal("version unchanged after adding a node")
+	}
+	moved := threeNodes()
+	moved[1].Addr = "127.0.0.1:9999"
+	if mustRing(t, moved, 0).Version() == base.Version() {
+		t.Fatal("version unchanged after an address change")
+	}
+	if mustRing(t, threeNodes(), 32).Version() == base.Version() {
+		t.Fatal("version unchanged after a vnode-count change")
+	}
+}
+
+// TestRingBalance: with vnodes at the default, no node owns a wildly
+// disproportionate share of homes.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, threeNodes(), 0)
+	counts := map[string]int{}
+	const homes = 3000
+	for i := 0; i < homes; i++ {
+		counts[r.Owner(fmt.Sprintf("home-%05d", i)).ID]++
+	}
+	for id, c := range counts {
+		// Fair share is 1000; accept 2x skew either way. A broken hash
+		// (all homes on one node) fails decisively.
+		if c < homes/3/2 || c > homes/3*2 {
+			t.Fatalf("node %s owns %d of %d homes: ring is unbalanced (%v)", id, c, homes, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own homes: %v", len(counts), counts)
+	}
+}
+
+// TestRingFailoverLocality: excluding a dead node moves ONLY its homes;
+// every home owned by a surviving node keeps its owner. This is the
+// consistent-hash property the failover design leans on — a node death
+// must not reshuffle the whole fleet.
+func TestRingFailoverLocality(t *testing.T) {
+	r := mustRing(t, threeNodes(), 0)
+	dead := "node-b"
+	isDead := func(id string) bool { return id == dead }
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		h := fmt.Sprintf("home-%05d", i)
+		before := r.Owner(h)
+		after, ok := r.OwnerExcluding(h, isDead)
+		if !ok {
+			t.Fatalf("home %s: no live owner with one node down", h)
+		}
+		if after.ID == dead {
+			t.Fatalf("home %s: failover target is the dead node", h)
+		}
+		if before.ID != dead {
+			if after.ID != before.ID {
+				t.Fatalf("home %s: owned by live %s but failover moved it to %s", h, before.ID, after.ID)
+			}
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead node owned zero homes; balance test should have caught this")
+	}
+}
+
+func TestRingOwnerExcludingAllDown(t *testing.T) {
+	r := mustRing(t, threeNodes(), 0)
+	if _, ok := r.OwnerExcluding("home-1", func(string) bool { return true }); ok {
+		t.Fatal("OwnerExcluding found an owner with every node down")
+	}
+	// nil down predicate = plain Owner.
+	n, ok := r.OwnerExcluding("home-1", nil)
+	if !ok || n.ID != r.Owner("home-1").ID {
+		t.Fatalf("nil-predicate OwnerExcluding %v/%v, want plain owner", n, ok)
+	}
+}
+
+func TestRingNodeByID(t *testing.T) {
+	r := mustRing(t, threeNodes(), 0)
+	n, ok := r.NodeByID("node-b")
+	if !ok || n.Addr != "127.0.0.1:9402" {
+		t.Fatalf("NodeByID(node-b) = %v, %v", n, ok)
+	}
+	if _, ok := r.NodeByID("node-zz"); ok {
+		t.Fatal("NodeByID found an unknown node")
+	}
+}

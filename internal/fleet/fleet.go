@@ -83,6 +83,10 @@ var (
 	// ErrBadThreatIndex reports an AcceptByIndex index outside the
 	// home's threat log.
 	ErrBadThreatIndex = errors.New("threat index out of range")
+	// ErrHomeExists reports an ImportHome into a home ID this fleet
+	// already serves with state: a retried adopt after a success (or a
+	// routing mistake) must not double-apply a home.
+	ErrHomeExists = errors.New("home already exists")
 )
 
 // DefaultVerdictEntries bounds the auto-created pair-verdict cache: about
@@ -193,6 +197,15 @@ type Fleet struct {
 	// mutation, appended inside the home lock before the caller is
 	// acknowledged. Nil runs without durability (tests, ephemeral fleets).
 	wal *wal.Log
+
+	// tombstones maps removed home IDs to the LSN of their removal
+	// record, persisted in the homes snapshot: replay must not let an
+	// install record older than the removal resurrect a migrated home
+	// after the checkpoint that captured the removal has GC'd the
+	// remove record's segment. Bounded by the number of migrations since
+	// the fleet's history began. Guarded by tombMu.
+	tombMu     sync.Mutex
+	tombstones map[string]uint64
 }
 
 type shard struct {
@@ -230,6 +243,12 @@ type home struct {
 	// already captured by the checkpoint is never applied twice. Guarded
 	// by mu.
 	walLSN uint64
+	// migrated marks a home DetachHome has exported and removed: a
+	// goroutine that looked the home up before the detach and acquires mu
+	// after it must fail with ErrUnknownHome instead of mutating (and
+	// WAL-appending for) a home whose removal is already logged. Guarded
+	// by mu.
+	migrated bool
 }
 
 // ledgerEntry is one app pair's current threats (a == b for intra-app
@@ -345,13 +364,14 @@ func (h *home) takeDetectorDelta() DetectorTotals {
 func New(opts Options) *Fleet {
 	opts = opts.withDefaults()
 	f := &Fleet{
-		opts:     opts,
-		shards:   make([]*shard, opts.Shards),
-		cache:    opts.Cache,
-		verdicts: opts.Verdicts,
-		metrics:  newMetrics(),
-		obs:      opts.Obs,
-		events:   opts.Events,
+		opts:       opts,
+		shards:     make([]*shard, opts.Shards),
+		cache:      opts.Cache,
+		verdicts:   opts.Verdicts,
+		metrics:    newMetrics(),
+		obs:        opts.Obs,
+		events:     opts.Events,
+		tombstones: map[string]uint64{},
 	}
 	for i := range f.shards {
 		f.shards[i] = &shard{homes: map[string]*home{}}
@@ -490,11 +510,16 @@ func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Con
 		logBase int
 		det     DetectorTotals
 		dup     bool
+		gone    bool
 		walErr  error
 	)
 	func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
+		if h.migrated {
+			gone = true
+			return
+		}
 		for _, a := range h.det.Apps() {
 			if a.Info.Name == res.App.Name {
 				dup = true
@@ -535,6 +560,12 @@ func (f *Fleet) Install(ctx context.Context, homeID, src string, cfg *detect.Con
 			}
 		}
 	}()
+	if gone {
+		// The home was detached (migrated away) between lookup and lock:
+		// the caller must re-route to the new owner.
+		f.metrics.installFailed()
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	if dup {
 		// A retried/duplicated request, not a service failure: count it
 		// apart from extraction errors so dashboards alerting on
@@ -687,11 +718,16 @@ func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *de
 		logBase int
 		det     DetectorTotals
 		missing bool
+		gone    bool
 		walErr  error
 	)
 	func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
+		if h.migrated {
+			gone = true
+			return
+		}
 		var target *detect.InstalledApp
 		for _, a := range h.det.Apps() {
 			if a.Info.Name == appName {
@@ -740,6 +776,9 @@ func (f *Fleet) Reconfigure(ctx context.Context, homeID, appName string, cfg *de
 			}
 		}
 	}()
+	if gone {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	if missing {
 		return nil, fmt.Errorf("fleet: home %s: %w: %q", homeID, ErrAppNotInstalled, appName)
 	}
@@ -773,6 +812,9 @@ func (f *Fleet) Accept(homeID string, ts ...detect.Threat) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.migrated {
+		return fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	for _, t := range ts {
 		h.det.Accept(t)
 	}
@@ -804,6 +846,9 @@ func (f *Fleet) AcceptByIndex(homeID string, indices ...int) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.migrated {
+		return fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	for _, i := range indices {
 		if i < 0 || i >= len(h.threats) {
 			return fmt.Errorf("fleet: home %s: %w: %d (log has %d)", homeID, ErrBadThreatIndex, i, len(h.threats))
@@ -831,6 +876,9 @@ func (f *Fleet) Threats(homeID string) ([]detect.Threat, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.migrated {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	return append([]detect.Threat(nil), h.threats...), nil
 }
 
@@ -847,6 +895,9 @@ func (f *Fleet) ActiveThreats(homeID string) ([]detect.Threat, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.migrated {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	var out []detect.Threat
 	for _, e := range h.ledger {
 		out = append(out, e.threats...)
@@ -863,6 +914,9 @@ func (f *Fleet) Apps(homeID string) ([]string, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.migrated {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
 	var names []string
 	for _, a := range h.det.Apps() {
 		names = append(names, a.Info.Name)

@@ -42,6 +42,14 @@ func (m *metrics) homeCreated() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) homeRemoved() {
+	m.mu.Lock()
+	if m.homes > 0 {
+		m.homes--
+	}
+	m.mu.Unlock()
+}
+
 func (m *metrics) installDone(d time.Duration, threats []detect.Threat) {
 	m.mu.Lock()
 	m.installs++

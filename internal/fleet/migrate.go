@@ -1,0 +1,274 @@
+// Planned home migration: ExportHome serializes one home's durable
+// state — apps with resolved configs, the threat log, the ledger,
+// accepted threats — as a self-contained snapcodec section; DetachHome
+// exports and then removes the home (WAL-logging the removal before it
+// returns, so a crash between migrate and adopt never resurrects it
+// here); ImportHome rebuilds the home on the adopting fleet and logs
+// the adopt record carrying the full blob, so recovery on the new
+// owner replays the adoption without the old owner existing anymore.
+//
+// The export zeroes the per-home WAL watermark: LSNs are meaningful
+// only within one log, and the adopting fleet's log assigns the home a
+// fresh one at the adopt record. Removal tombstones (home ID → removal
+// LSN) are kept in memory and persisted in the homes snapshot so
+// replay never lets a pre-removal install record resurrect a migrated
+// home (per-home watermarks alone cannot catch this: a recreated home
+// starts back at watermark zero).
+
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"homeguard/internal/detect"
+	"homeguard/internal/extractcache"
+	"homeguard/internal/rule"
+	"homeguard/internal/snapcodec"
+	"homeguard/internal/symexec"
+	"homeguard/internal/wal"
+)
+
+// Export format identity for the single-home section.
+const (
+	homeExportMagic   = "HGHMSNP\x00"
+	homeExportVersion = 1
+)
+
+// ExportHome serializes one home's durable state without removing it
+// (a read-only copy — DetachHome is the move). The blob is a
+// self-contained snapcodec section ImportHome consumes. Returns the
+// blob and the number of apps the home holds.
+func (f *Fleet) ExportHome(homeID string) ([]byte, int, error) {
+	h := f.lookup(homeID)
+	if h == nil {
+		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.migrated {
+		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	return h.exportUnderLock()
+}
+
+// exportUnderLock encodes the home as a single-home section. Callers
+// hold h.mu.
+func (h *home) exportUnderLock() ([]byte, int, error) {
+	tableIdx := map[*rule.RuleSet]int{}
+	var table [][]byte
+	rec, err := h.encodeUnderLock(tableIdx, &table, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: export home %s: %w", h.id, err)
+	}
+	var buf bytes.Buffer
+	sw, err := snapcodec.NewWriter(&buf, homeExportMagic, homeExportVersion)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: export home %s: %w", h.id, err)
+	}
+	meta, err := json.Marshal(homesMetaJSON{Apps: len(table), Homes: 1})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := sw.Record(meta); err != nil {
+		return nil, 0, fmt.Errorf("fleet: export home %s: %w", h.id, err)
+	}
+	for _, trec := range table {
+		if err := sw.Record(trec); err != nil {
+			return nil, 0, fmt.Errorf("fleet: export home %s: %w", h.id, err)
+		}
+	}
+	if err := sw.Record(rec); err != nil {
+		return nil, 0, fmt.Errorf("fleet: export home %s: %w", h.id, err)
+	}
+	if err := sw.Close(); err != nil {
+		return nil, 0, fmt.Errorf("fleet: export home %s: %w", h.id, err)
+	}
+	return buf.Bytes(), len(h.det.Apps()), nil
+}
+
+// DetachHome exports the home and removes it from this fleet in one
+// atomic step: after it returns the home answers ErrUnknownHome here
+// and the returned blob is the one copy of its state. The removal is
+// WAL-logged (OpFleetRemoveHome) before the return, and a tombstone
+// keeps replay from resurrecting the home from pre-removal records.
+// In-flight operations that already hold the home's pointer fail with
+// ErrUnknownHome when they acquire its lock.
+func (f *Fleet) DetachHome(homeID string) ([]byte, int, error) {
+	s := f.shardFor(homeID)
+	s.mu.Lock()
+	h := s.homes[homeID]
+	if h == nil {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("fleet: %w %q", ErrUnknownHome, homeID)
+	}
+	// Lock order shard → home is safe: no path acquires the shard lock
+	// while holding a home lock. Holding the shard lock across the
+	// export keeps homeFor from handing out the dying home (or creating
+	// a doppelgänger) mid-detach; migration is rare enough that stalling
+	// one shard briefly is fine.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	blob, apps, err := h.exportUnderLock()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, 0, err
+	}
+	var opRec []byte
+	if f.wal != nil {
+		if opRec, err = json.Marshal(removeHomeOp{Home: homeID}); err != nil {
+			s.mu.Unlock()
+			return nil, 0, fmt.Errorf("fleet: detach home %s: wal encode: %w", homeID, err)
+		}
+	}
+	// Point of no return: the home leaves the map and late waiters on
+	// its lock see migrated.
+	h.migrated = true
+	delete(s.homes, homeID)
+	s.mu.Unlock()
+	if f.wal != nil {
+		lsn, err := f.wal.Append(wal.OpFleetRemoveHome, opRec)
+		if err != nil {
+			// Crash-stop: the home is gone in memory and the log is
+			// latched, so nothing further can be acknowledged anyway.
+			return nil, 0, fmt.Errorf("fleet: detach home %s: wal append: %w", homeID, err)
+		}
+		f.setTombstone(homeID, lsn)
+	}
+	f.metrics.homeRemoved()
+	return blob, apps, nil
+}
+
+// ImportHome rebuilds a home exported by ExportHome/DetachHome on this
+// fleet and WAL-logs the adoption (OpFleetAdoptHome carries the whole
+// blob, so recovery replays the adopt without the exporter existing).
+// Importing onto a home ID that already has state fails ErrHomeExists.
+// Returns the number of apps the home now holds.
+func (f *Fleet) ImportHome(homeID string, blob []byte) (int, error) {
+	hs, table, err := decodeHomeExport(blob)
+	if err != nil {
+		return 0, err
+	}
+	if hs.ID != homeID {
+		return 0, fmt.Errorf("fleet: import: snapshot is for home %q, not %q", hs.ID, homeID)
+	}
+	var opRec []byte
+	if f.wal != nil {
+		if opRec, err = json.Marshal(adoptHomeOp{Home: homeID, Snapshot: blob}); err != nil {
+			return 0, fmt.Errorf("fleet: import home %s: wal encode: %w", homeID, err)
+		}
+	}
+	h := f.homeFor(homeID)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := f.adoptUnderLock(h, hs, table); err != nil {
+		return 0, err
+	}
+	if f.wal != nil {
+		lsn, err := f.wal.Append(wal.OpFleetAdoptHome, opRec)
+		if err != nil {
+			return 0, fmt.Errorf("fleet: import home %s: wal append: %w", homeID, err)
+		}
+		h.walLSN = lsn
+	}
+	return len(hs.Apps), nil
+}
+
+// adoptUnderLock restores an exported home into h, which must be
+// empty. A mid-restore failure (corrupt blob) resets the home to empty
+// rather than leaving it half-populated. Callers hold h.mu.
+func (f *Fleet) adoptUnderLock(h *home, hs *homeSnapJSON, table []*symexec.Result) error {
+	if len(h.det.Apps()) > 0 || len(h.threats) > 0 {
+		return fmt.Errorf("fleet: %w: %q", ErrHomeExists, h.id)
+	}
+	if err := f.restoreHomeUnderLock(h, hs, table); err != nil {
+		h.det = detect.New(f.opts.Detector)
+		h.threats, h.ledger = nil, nil
+		h.detSeen = DetectorTotals{}
+		return err
+	}
+	return nil
+}
+
+// decodeHomeExport parses a single-home export section.
+func decodeHomeExport(blob []byte) (*homeSnapJSON, []*symexec.Result, error) {
+	sr, err := snapcodec.NewReader(bytes.NewReader(blob), homeExportMagic, homeExportVersion)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: import: %w", err)
+	}
+	rec, err := sr.Next()
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: import: meta: %w", err)
+	}
+	var meta homesMetaJSON
+	if err := json.Unmarshal(rec, &meta); err != nil {
+		return nil, nil, fmt.Errorf("%w: import meta: %v", snapcodec.ErrCorrupt, err)
+	}
+	if meta.Homes != 1 {
+		return nil, nil, fmt.Errorf("%w: import section declares %d homes, want 1", snapcodec.ErrCorrupt, meta.Homes)
+	}
+	table := make([]*symexec.Result, 0, meta.Apps)
+	for i := 0; i < meta.Apps; i++ {
+		rec, err := sr.Next()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: import: app table %d: %w", i, err)
+		}
+		res, err := extractcache.UnmarshalResult(rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: import: app table %d: %w", i, err)
+		}
+		table = append(table, res)
+	}
+	rec, err = sr.Next()
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: import: home record: %w", err)
+	}
+	hs := new(homeSnapJSON)
+	if err := json.Unmarshal(rec, hs); err != nil {
+		return nil, nil, fmt.Errorf("%w: import home record: %v", snapcodec.ErrCorrupt, err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		if err == nil {
+			return nil, nil, fmt.Errorf("%w: import section has extra records", snapcodec.ErrCorrupt)
+		}
+		return nil, nil, fmt.Errorf("fleet: import: %w", err)
+	}
+	return hs, table, nil
+}
+
+// ---------- tombstones ----------
+
+// setTombstone records homeID's removal LSN (keeping the largest).
+func (f *Fleet) setTombstone(homeID string, lsn uint64) {
+	f.tombMu.Lock()
+	if lsn > f.tombstones[homeID] {
+		f.tombstones[homeID] = lsn
+	}
+	f.tombMu.Unlock()
+}
+
+// tombstoneCovers reports whether homeID was removed at or after lsn —
+// i.e. whether a replayed record at lsn predates the home's removal
+// and must be skipped.
+func (f *Fleet) tombstoneCovers(homeID string, lsn uint64) bool {
+	f.tombMu.Lock()
+	defer f.tombMu.Unlock()
+	return f.tombstones[homeID] >= lsn
+}
+
+// tombstoneSnapshot copies the tombstone map for the homes snapshot
+// (nil when there are none, keeping old snapshots byte-identical).
+func (f *Fleet) tombstoneSnapshot() map[string]uint64 {
+	f.tombMu.Lock()
+	defer f.tombMu.Unlock()
+	if len(f.tombstones) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(f.tombstones))
+	for k, v := range f.tombstones {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"homeguard/internal/detect"
+)
+
+// TestHomeMigrationRoundTrip moves one home between two fleets: the
+// detached home is gone from the source (every path answers
+// ErrUnknownHome) and the import reproduces its durable state —
+// apps, threat log, active ledger, accepted threats — on the target.
+func TestHomeMigrationRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	src := New(Options{})
+	driveOps(t, src)
+
+	wantApps, _ := src.Apps("home-0")
+	wantThreats, _ := src.Threats("home-0")
+	wantActive, _ := src.ActiveThreats("home-0")
+
+	blob, apps, err := src.DetachHome("home-0")
+	if err != nil {
+		t.Fatalf("DetachHome: %v", err)
+	}
+	if apps != len(wantApps) {
+		t.Fatalf("detach reported %d apps, home had %d", apps, len(wantApps))
+	}
+
+	// Gone on the source, in every path.
+	if _, err := src.Apps("home-0"); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("Apps after detach: %v, want ErrUnknownHome", err)
+	}
+	if _, err := src.Threats("home-0"); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("Threats after detach: %v, want ErrUnknownHome", err)
+	}
+	if _, err := src.Reconfigure(ctx, "home-0", "ComfortTV", nil); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("Reconfigure after detach: %v, want ErrUnknownHome", err)
+	}
+	// An install recreates the ID as a fresh home (new tenant) rather
+	// than failing — the old state must not leak into it.
+	if _, err := src.Install(ctx, "home-0", mustSource(t, "NightCare"), nil); err != nil {
+		t.Fatalf("install into recycled ID: %v", err)
+	}
+	if names, _ := src.Apps("home-0"); len(names) != 1 {
+		t.Fatalf("recycled home has %v, want just the new app", names)
+	}
+
+	dst := New(Options{})
+	n, err := dst.ImportHome("home-0", blob)
+	if err != nil {
+		t.Fatalf("ImportHome: %v", err)
+	}
+	if n != len(wantApps) {
+		t.Fatalf("import reported %d apps, want %d", n, len(wantApps))
+	}
+	gotApps, _ := dst.Apps("home-0")
+	if fmt.Sprint(gotApps) != fmt.Sprint(wantApps) {
+		t.Fatalf("imported apps %v, want %v", gotApps, wantApps)
+	}
+	gotThreats, _ := dst.Threats("home-0")
+	wb, _ := detect.MarshalThreats(wantThreats)
+	gb, _ := detect.MarshalThreats(gotThreats)
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("imported threat log diverged: %d vs %d threats", len(gotThreats), len(wantThreats))
+	}
+	gotActive, _ := dst.ActiveThreats("home-0")
+	wab, _ := detect.MarshalThreats(wantActive)
+	gab, _ := detect.MarshalThreats(gotActive)
+	if !bytes.Equal(wab, gab) {
+		t.Fatalf("imported active ledger diverged: %d vs %d threats", len(gotActive), len(wantActive))
+	}
+
+	// A retried adopt after the success must not double-apply.
+	if _, err := dst.ImportHome("home-0", blob); !errors.Is(err, ErrHomeExists) {
+		t.Fatalf("second import: %v, want ErrHomeExists", err)
+	}
+
+	// The adopted home keeps serving.
+	if _, err := dst.Install(ctx, "home-0", mustSource(t, "NightCare"), nil); err != nil {
+		t.Fatalf("install after adopt: %v", err)
+	}
+}
+
+// TestExportHomeIsReadOnly checks ExportHome leaves the home serving and
+// its blob still imports elsewhere.
+func TestExportHomeIsReadOnly(t *testing.T) {
+	src := New(Options{})
+	driveOps(t, src)
+	before, _ := src.Apps("home-1")
+	blob, apps, err := src.ExportHome("home-1")
+	if err != nil {
+		t.Fatalf("ExportHome: %v", err)
+	}
+	if apps != len(before) {
+		t.Fatalf("export reported %d apps, want %d", apps, len(before))
+	}
+	after, _ := src.Apps("home-1")
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Fatalf("export mutated the home: %v -> %v", before, after)
+	}
+	dst := New(Options{})
+	if _, err := dst.ImportHome("home-1", blob); err != nil {
+		t.Fatalf("import of export blob: %v", err)
+	}
+}
+
+// TestImportHomeValidates rejects blobs that are corrupt or addressed to
+// the wrong home, leaving the target empty enough to adopt later.
+func TestImportHomeValidates(t *testing.T) {
+	src := New(Options{})
+	driveOps(t, src)
+	blob, _, err := src.ExportHome("home-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Options{})
+	if _, err := dst.ImportHome("home-2", blob); err == nil {
+		t.Fatal("import under the wrong home ID succeeded")
+	}
+	if _, err := dst.ImportHome("home-1", blob[:len(blob)/2]); err == nil {
+		t.Fatal("import of a truncated blob succeeded")
+	}
+	// The failed attempts must not have poisoned the ID.
+	if _, err := dst.ImportHome("home-1", blob); err != nil {
+		t.Fatalf("import after failed attempts: %v", err)
+	}
+}
+
+// TestMigrationWALReplay crashes both sides after a migration and
+// recovers each from its log alone: the source must not resurrect the
+// home (tombstone over the pre-removal install records), the target
+// rebuilds it from the adopt record's embedded snapshot.
+func TestMigrationWALReplay(t *testing.T) {
+	ctx := context.Background()
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+
+	src := New(Options{})
+	sl := openWAL(t, srcDir)
+	src.AttachWAL(sl)
+	driveOps(t, src)
+
+	dst := New(Options{})
+	dl := openWAL(t, dstDir)
+	dst.AttachWAL(dl)
+	if _, err := dst.Install(ctx, "dst-home", mustSource(t, "NightCare"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, _, err := src.DetachHome("home-0")
+	if err != nil {
+		t.Fatalf("DetachHome: %v", err)
+	}
+	if _, err := dst.ImportHome("home-0", blob); err != nil {
+		t.Fatalf("ImportHome: %v", err)
+	}
+	sl.Close()
+	dl.Close()
+
+	// Source recovery: home-0 stays gone.
+	src2 := New(Options{})
+	srl := openWAL(t, srcDir)
+	if err := srl.Replay(0, src2.ReplayWALRecord); err != nil {
+		t.Fatalf("source replay: %v", err)
+	}
+	srl.Close()
+	if _, err := src2.Apps("home-0"); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("source resurrected home-0: %v", err)
+	}
+	// Its other homes came back.
+	if apps, _ := src2.Apps("home-1"); len(apps) == 0 {
+		t.Fatal("source lost home-1 in recovery")
+	}
+
+	// Target recovery: home-0 is there with the migrated state.
+	dst2 := New(Options{})
+	drl := openWAL(t, dstDir)
+	if err := drl.Replay(0, dst2.ReplayWALRecord); err != nil {
+		t.Fatalf("target replay: %v", err)
+	}
+	drl.Close()
+	assertFleetsEqual(t, dst, dst2)
+}
+
+// TestMigrationCheckpointTombstone takes the checkpoint AFTER the
+// detach: the snapshot must exclude the migrated home, persist its
+// tombstone, and a restore + full-log replay must not resurrect it from
+// the pre-removal install records still in the log.
+func TestMigrationCheckpointTombstone(t *testing.T) {
+	dir := t.TempDir()
+	src := New(Options{})
+	l := openWAL(t, dir)
+	src.AttachWAL(l)
+	driveOps(t, src)
+	if _, _, err := src.DetachHome("home-0"); err != nil {
+		t.Fatal(err)
+	}
+
+	var ckpt bytes.Buffer
+	n, err := src.SnapshotHomes(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != src.NumHomes() {
+		t.Fatalf("snapshot wrote %d homes, fleet serves %d", n, src.NumHomes())
+	}
+	l.Close()
+
+	g := New(Options{})
+	if _, err := g.RestoreHomes(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	rl := openWAL(t, dir)
+	if err := rl.Replay(0, g.ReplayWALRecord); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	rl.Close()
+	if _, err := g.Apps("home-0"); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("restored fleet resurrected home-0: %v", err)
+	}
+	assertFleetsEqual(t, src, g)
+}

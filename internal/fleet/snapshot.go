@@ -38,6 +38,12 @@ const (
 type homesMetaJSON struct {
 	Apps  int `json:"apps"`  // app-table records following the meta record
 	Homes int `json:"homes"` // home records following the app table
+	// Tombstones maps removed (migrated-away) home IDs to the LSN of
+	// their removal record, so replay after this checkpoint never lets an
+	// older install record resurrect a removed home. Absent in snapshots
+	// from fleets that never migrated (and in pre-migration snapshots —
+	// the field rides format v1 compatibly).
+	Tombstones map[string]uint64 `json:"tombstones,omitempty"`
 }
 
 type homeAppJSON struct {
@@ -85,6 +91,9 @@ func (f *Fleet) SnapshotHomes(w io.Writer) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("fleet: snapshot home %s: %w", h.id, err)
 		}
+		if rec == nil {
+			continue // detached concurrently: its removal record owns the story
+		}
 		homeRecs = append(homeRecs, rec)
 	}
 
@@ -92,7 +101,7 @@ func (f *Fleet) SnapshotHomes(w io.Writer) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("fleet: snapshot: %w", err)
 	}
-	meta, err := json.Marshal(homesMetaJSON{Apps: len(table), Homes: len(homeRecs)})
+	meta, err := json.Marshal(homesMetaJSON{Apps: len(table), Homes: len(homeRecs), Tombstones: f.tombstoneSnapshot()})
 	if err != nil {
 		return 0, err
 	}
@@ -116,11 +125,24 @@ func (f *Fleet) SnapshotHomes(w io.Writer) (int, error) {
 }
 
 // snapshotLocked serializes one home under its lock, interning each
-// app's extraction result into the shared app table.
+// app's extraction result into the shared app table. It returns a nil
+// record (no error) for a home that was detached after the caller
+// collected its pointer — a removed home must not reappear in a
+// checkpoint.
 func (h *home) snapshotLocked(tableIdx map[*rule.RuleSet]int, table *[][]byte) ([]byte, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	hs := homeSnapJSON{ID: h.id, WalLSN: h.walLSN}
+	if h.migrated {
+		return nil, nil
+	}
+	return h.encodeUnderLock(tableIdx, table, h.walLSN)
+}
+
+// encodeUnderLock serializes the home's durable state with the given
+// WAL watermark. Callers hold h.mu. Export paths pass watermark 0: the
+// importing fleet's log assigns the adopted home a fresh LSN story.
+func (h *home) encodeUnderLock(tableIdx map[*rule.RuleSet]int, table *[][]byte, walLSN uint64) ([]byte, error) {
+	hs := homeSnapJSON{ID: h.id, WalLSN: walLSN}
 	for _, a := range h.det.Apps() {
 		idx, ok := tableIdx[a.Rules]
 		if !ok {
@@ -179,6 +201,15 @@ func (f *Fleet) RestoreHomes(r io.Reader) (int, error) {
 	if err := json.Unmarshal(rec, &meta); err != nil {
 		return 0, fmt.Errorf("%w: meta: %v", snapcodec.ErrCorrupt, err)
 	}
+	if len(meta.Tombstones) > 0 {
+		f.tombMu.Lock()
+		for id, lsn := range meta.Tombstones {
+			if lsn > f.tombstones[id] {
+				f.tombstones[id] = lsn
+			}
+		}
+		f.tombMu.Unlock()
+	}
 	table := make([]*symexec.Result, 0, meta.Apps)
 	for i := 0; i < meta.Apps; i++ {
 		rec, err := sr.Next()
@@ -221,6 +252,12 @@ func (f *Fleet) restoreHome(hs *homeSnapJSON, table []*symexec.Result) error {
 	h := f.homeFor(hs.ID)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return f.restoreHomeUnderLock(h, hs, table)
+}
+
+// restoreHomeUnderLock rebuilds one home's state from its snapshot
+// record. Callers hold h.mu and guarantee the home is empty.
+func (f *Fleet) restoreHomeUnderLock(h *home, hs *homeSnapJSON, table []*symexec.Result) error {
 	if len(h.det.Apps()) > 0 {
 		return fmt.Errorf("fleet: restore: home %q is not empty", hs.ID)
 	}

@@ -48,6 +48,21 @@ type acceptOp struct {
 	Threats json.RawMessage `json:"threats,omitempty"`
 }
 
+// removeHomeOp is the payload of an OpFleetRemoveHome record (a
+// DetachHome — home migrated away).
+type removeHomeOp struct {
+	Home string `json:"home"`
+}
+
+// adoptHomeOp is the payload of an OpFleetAdoptHome record. Snapshot is
+// the full single-home export blob: replay must rebuild the home
+// without the exporting node existing anymore, so the record carries
+// the state, not a reference to it.
+type adoptHomeOp struct {
+	Home     string `json:"home"`
+	Snapshot []byte `json:"snapshot"`
+}
+
 // AttachWAL connects the fleet to its write-ahead log. Call it after
 // construction and recovery, before serving traffic: replay must run
 // with the WAL detached so replayed operations are not re-appended.
@@ -116,6 +131,18 @@ func (f *Fleet) ReplayWALRecord(lsn uint64, kind byte, payload []byte) error {
 			return fmt.Errorf("fleet: replay lsn %d: accept op: %w", lsn, err)
 		}
 		return f.replayAccept(lsn, op)
+	case wal.OpFleetRemoveHome:
+		var op removeHomeOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			return fmt.Errorf("fleet: replay lsn %d: remove-home op: %w", lsn, err)
+		}
+		return f.replayRemoveHome(lsn, op.Home)
+	case wal.OpFleetAdoptHome:
+		var op adoptHomeOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			return fmt.Errorf("fleet: replay lsn %d: adopt-home op: %w", lsn, err)
+		}
+		return f.replayAdoptHome(lsn, op.Home, op.Snapshot)
 	}
 	return fmt.Errorf("fleet: replay lsn %d: unknown op kind %d", lsn, kind)
 }
@@ -125,6 +152,12 @@ func (f *Fleet) ReplayWALRecord(lsn uint64, kind byte, payload []byte) error {
 // locked mutations Install performs. Chains, the rendered report and
 // events are presentation, not state — they are skipped.
 func (f *Fleet) replayInstall(lsn uint64, homeID, src string, cfg *detect.Config) error {
+	if f.tombstoneCovers(homeID, lsn) {
+		// The home was removed (migrated away) at a later LSN: applying
+		// this record would resurrect it. Checked before homeFor so the
+		// skip does not even create an empty home.
+		return nil
+	}
 	res, err := f.cache.Extract(src, "")
 	if err != nil {
 		return fmt.Errorf("fleet: replay lsn %d: home %s: %w", lsn, homeID, err)
@@ -149,6 +182,9 @@ func (f *Fleet) replayInstall(lsn uint64, homeID, src string, cfg *detect.Config
 }
 
 func (f *Fleet) replayReconfigure(lsn uint64, homeID, appName string, cfg *detect.Config) error {
+	if f.tombstoneCovers(homeID, lsn) {
+		return nil // home removed at a later LSN; see replayInstall
+	}
 	h := f.lookup(homeID)
 	if h == nil {
 		return fmt.Errorf("fleet: replay lsn %d: %w %q", lsn, ErrUnknownHome, homeID)
@@ -170,6 +206,9 @@ func (f *Fleet) replayReconfigure(lsn uint64, homeID, appName string, cfg *detec
 }
 
 func (f *Fleet) replayAccept(lsn uint64, op acceptOp) error {
+	if f.tombstoneCovers(op.Home, lsn) {
+		return nil // home removed at a later LSN; see replayInstall
+	}
 	h := f.lookup(op.Home)
 	if h == nil {
 		return fmt.Errorf("fleet: replay lsn %d: %w %q", lsn, ErrUnknownHome, op.Home)
@@ -194,6 +233,63 @@ func (f *Fleet) replayAccept(lsn uint64, op acceptOp) error {
 				lsn, op.Home, ErrBadThreatIndex, i, len(h.threats))
 		}
 		h.det.Accept(h.threats[i])
+	}
+	h.walLSN = lsn
+	return nil
+}
+
+// replayRemoveHome re-applies a DetachHome: the home leaves the map and
+// its tombstone is (re-)recorded. The home being absent already — the
+// checkpoint captured the removal, or it was never recreated by earlier
+// records thanks to the tombstone — is the normal case, not an error.
+func (f *Fleet) replayRemoveHome(lsn uint64, homeID string) error {
+	f.setTombstone(homeID, lsn)
+	s := f.shardFor(homeID)
+	s.mu.Lock()
+	h := s.homes[homeID]
+	if h == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	h.mu.Lock()
+	if h.walLSN >= lsn {
+		// The home was recreated (adopted back) at a later LSN the
+		// checkpoint already captured; this stale removal must not touch it.
+		h.mu.Unlock()
+		s.mu.Unlock()
+		return nil
+	}
+	h.migrated = true
+	h.mu.Unlock()
+	delete(s.homes, homeID)
+	s.mu.Unlock()
+	f.metrics.homeRemoved()
+	return nil
+}
+
+// replayAdoptHome re-applies an ImportHome from the blob the record
+// carries. An already-populated home below the record's LSN is state
+// divergence (the checkpoint cannot contain a different home under the
+// same ID unless the log is inconsistent) and fails recovery.
+func (f *Fleet) replayAdoptHome(lsn uint64, homeID string, blob []byte) error {
+	if f.tombstoneCovers(homeID, lsn) {
+		return nil // adopted home was migrated away again at a later LSN
+	}
+	hs, table, err := decodeHomeExport(blob)
+	if err != nil {
+		return fmt.Errorf("fleet: replay lsn %d: %w", lsn, err)
+	}
+	if hs.ID != homeID {
+		return fmt.Errorf("fleet: replay lsn %d: adopt record for home %q carries snapshot of %q", lsn, homeID, hs.ID)
+	}
+	h := f.homeFor(homeID)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.walLSN >= lsn {
+		return nil // already in the checkpoint
+	}
+	if err := f.adoptUnderLock(h, hs, table); err != nil {
+		return fmt.Errorf("fleet: replay lsn %d: %w", lsn, err)
 	}
 	h.walLSN = lsn
 	return nil

@@ -27,11 +27,13 @@ type Client struct {
 	err    error // sticky transport error, set when the read loop dies
 }
 
-// Dial connects to an RPC server.
+// Dial connects to an RPC server. A failed dial is a typed UNAVAILABLE
+// *api.Error (wrapping the net error), so retry layers and breakers can
+// classify it without string matching.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, api.Wrap(api.CodeUnavailable, err, "rpc: dial "+addr)
 	}
 	return NewClient(conn)
 }
@@ -40,7 +42,7 @@ func Dial(addr string) (*Client, error) {
 func DialTimeout(addr string, d time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
-		return nil, err
+		return nil, api.Wrap(api.CodeUnavailable, err, "rpc: dial "+addr)
 	}
 	return NewClient(conn)
 }
@@ -65,6 +67,15 @@ func NewClient(conn net.Conn) (*Client, error) {
 // transport error.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Err reports the sticky transport error once the read loop has died,
+// nil while the connection is live. A pooled client with a non-nil Err
+// is dead and must be discarded and re-dialed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 // readLoop routes incoming frames to their calls until the connection
 // dies, then fails every pending call.
 func (c *Client) readLoop() {
@@ -73,7 +84,7 @@ func (c *Client) readLoop() {
 		f, err := readFrame(br)
 		if err != nil {
 			c.mu.Lock()
-			c.err = fmt.Errorf("rpc: connection lost: %w", err)
+			c.err = api.Wrap(api.CodeUnavailable, err, "rpc: connection lost")
 			for id, ch := range c.calls {
 				close(ch)
 				delete(c.calls, id)
@@ -112,13 +123,15 @@ func (c *Client) unregister(id uint64) {
 }
 
 // transportErr returns the sticky read-loop error, or a generic one.
+// Transport failures are always typed UNAVAILABLE *api.Error values so
+// the cluster retry layer and per-node breakers can classify them.
 func (c *Client) transportErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return c.err
 	}
-	return errors.New("rpc: connection closed")
+	return api.Errorf(api.CodeUnavailable, "rpc: connection closed")
 }
 
 // deadlineMsOf extracts the wire deadline from a context.
@@ -148,7 +161,7 @@ func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
 	defer c.unregister(id)
 	hdr := reqHeader{Method: method, DeadlineMs: deadlineMsOf(ctx), Body: body}
 	if err := c.fw.writeJSON(frameReq, id, hdr); err != nil {
-		return fmt.Errorf("rpc: send: %w", err)
+		return api.Wrap(api.CodeUnavailable, err, "rpc: send")
 	}
 	for {
 		select {
@@ -161,9 +174,21 @@ func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
 			}
 			return decodeStatus(f.payload, resp)
 		case <-ctx.Done():
-			return ctx.Err()
+			return ctxErr(ctx)
 		}
 	}
+}
+
+// ctxErr types a local context expiry the way the server would have:
+// DEADLINE_EXCEEDED or CANCELLED, with the context error wrapped so
+// errors.Is(err, context.DeadlineExceeded) still holds.
+func ctxErr(ctx context.Context) error {
+	err := ctx.Err()
+	code := api.CodeCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = api.CodeDeadlineExceeded
+	}
+	return api.Wrap(code, err, "rpc: call aborted")
 }
 
 // decodeStatus unpacks a RES payload into an error and/or resp.
@@ -258,6 +283,35 @@ func (c *Client) Apps(ctx context.Context, home string) (*api.AppsResponse, erro
 	return resp, nil
 }
 
+// Ping invokes the lightweight health-probe RPC (the gateway heartbeat).
+func (c *Client) Ping(ctx context.Context) (*api.PingResponse, error) {
+	resp := new(api.PingResponse)
+	if err := c.Call(ctx, "Ping", &api.PingRequest{}, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// MigrateHome invokes the unary MigrateHome RPC: the node exports the
+// home's durable state and detaches it.
+func (c *Client) MigrateHome(ctx context.Context, req *api.MigrateHomeRequest) (*api.MigrateHomeResponse, error) {
+	resp := new(api.MigrateHomeResponse)
+	if err := c.Call(ctx, "MigrateHome", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// AdoptHome invokes the unary AdoptHome RPC: the node imports a home
+// exported by MigrateHome.
+func (c *Client) AdoptHome(ctx context.Context, req *api.AdoptHomeRequest) (*api.AdoptHomeResponse, error) {
+	resp := new(api.AdoptHomeResponse)
+	if err := c.Call(ctx, "AdoptHome", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // Stream is a client-side bidirectional stream. Send requests with
 // Send, half-close with CloseSend, then drain results with Recv until
 // io.EOF (the server trailer). Per-item failures surface as the Error
@@ -279,7 +333,7 @@ func (c *Client) openStream(ctx context.Context, method string) (*Stream, error)
 	hdr := reqHeader{Method: method, DeadlineMs: deadlineMsOf(ctx)}
 	if err := c.fw.writeJSON(frameReq, id, hdr); err != nil {
 		c.unregister(id)
-		return nil, fmt.Errorf("rpc: open stream: %w", err)
+		return nil, api.Wrap(api.CodeUnavailable, err, "rpc: open stream")
 	}
 	return &Stream{c: c, ctx: ctx, id: id, ch: ch}, nil
 }
@@ -326,7 +380,7 @@ func (st *Stream) Recv() (*streamItem, error) {
 		case <-st.ctx.Done():
 			st.closed = true
 			st.c.unregister(st.id)
-			return nil, st.ctx.Err()
+			return nil, ctxErr(st.ctx)
 		}
 	}
 }

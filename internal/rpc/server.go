@@ -26,12 +26,33 @@ type ServerOptions struct {
 	Obs *obs.Observer
 }
 
+// Backend is the method set the server dispatches to. *Service is the
+// canonical implementation (one fleet, local breakers); cmd/homeguardgw
+// implements it as a router, so the gateway serves the exact HGRPC edge
+// a single node does while proxying each call to the owning node.
+type Backend interface {
+	Install(ctx context.Context, req *api.InstallRequest) (*api.InstallResponse, *api.Error)
+	InstallBatch(ctx context.Context, req *api.InstallBatchRequest) (*api.InstallBatchResponse, *api.Error)
+	Reconfigure(ctx context.Context, req *api.ReconfigureRequest) (*api.ReconfigureResponse, *api.Error)
+	Threats(ctx context.Context, req *api.ThreatsRequest) (*api.ThreatsResponse, *api.Error)
+	Accept(ctx context.Context, req *api.AcceptRequest) (*api.AcceptResponse, *api.Error)
+	Apps(ctx context.Context, home string) (*api.AppsResponse, *api.Error)
+	SubmitApps(ctx context.Context, req *api.SubmitAppsRequest) (*api.SubmitAppsResponse, *api.Error)
+	Findings(ctx context.Context, req *api.FindingsRequest) (*api.FindingsResponse, *api.Error)
+	Ping(ctx context.Context) (*api.PingResponse, *api.Error)
+	MigrateHome(ctx context.Context, req *api.MigrateHomeRequest) (*api.MigrateHomeResponse, *api.Error)
+	AdoptHome(ctx context.Context, req *api.AdoptHomeRequest) (*api.AdoptHomeResponse, *api.Error)
+	// BreakerState reports the named stage's breaker ("" for an unknown
+	// stage) for the homeguard_rpc_breaker_open gauge.
+	BreakerState(stage string) string
+}
+
 // Server serves the framed RPC protocol over a net.Listener,
-// dispatching to a Service. One server handles any number of
+// dispatching to a Backend. One server handles any number of
 // connections; each connection multiplexes concurrent RPCs by stream
 // id.
 type Server struct {
-	svc  *Service
+	svc  Backend
 	opts ServerOptions
 	m    *rpcMetrics
 
@@ -42,15 +63,15 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer returns a server for svc. When opts.Obs carries a
+// NewServer returns a server for b. When opts.Obs carries a
 // registry, the server registers its metrics collector immediately.
-func NewServer(svc *Service, opts ServerOptions) *Server {
+func NewServer(b Backend, opts ServerOptions) *Server {
 	if opts.DefaultTimeout == 0 {
 		opts.DefaultTimeout = 30 * time.Second
 	}
-	s := &Server{svc: svc, opts: opts, conns: map[net.Conn]struct{}{}, m: newRPCMetrics()}
+	s := &Server{svc: b, opts: opts, conns: map[net.Conn]struct{}{}, m: newRPCMetrics()}
 	if opts.Obs != nil && opts.Obs.Registry != nil {
-		s.m.register(opts.Obs.Registry, svc)
+		s.m.register(opts.Obs.Registry, b)
 	}
 	return s
 }
@@ -287,6 +308,20 @@ func (s *Server) dispatch(ctx context.Context, method string, body json.RawMessa
 			return nil, aerr
 		}
 		return s.svc.Findings(ctx, req)
+	case "Ping":
+		return s.svc.Ping(ctx)
+	case "MigrateHome":
+		req := new(api.MigrateHomeRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.MigrateHome(ctx, req)
+	case "AdoptHome":
+		req := new(api.AdoptHomeRequest)
+		if aerr := decodeBody(body, req); aerr != nil {
+			return nil, aerr
+		}
+		return s.svc.AdoptHome(ctx, req)
 	default:
 		return nil, api.Errorf(api.CodeNotFound, "unknown method %q", method)
 	}
@@ -423,7 +458,7 @@ func (m *rpcMetrics) streamClose() { m.streamsActive.Add(-1) }
 func (m *rpcMetrics) streamMsg()   { m.streamMsgs.Add(1) }
 
 // register exports the catalog through a scrape-time collector.
-func (m *rpcMetrics) register(reg *obs.Registry, svc *Service) {
+func (m *rpcMetrics) register(reg *obs.Registry, svc Backend) {
 	reg.RegisterCollector(func(e *obs.Emit) {
 		m.mu.Lock()
 		keys := make([][2]string, 0, len(m.byCode))

@@ -27,6 +27,9 @@ type ServiceOptions struct {
 	// Auditor, when set, serves the store endpoints (SubmitApps,
 	// Findings). Nil edges reject store calls with FAILED_PRECONDITION.
 	Auditor *audit.Auditor
+	// NodeID names this node in Ping responses (homeguardd -node-id) so
+	// the gateway's heartbeat can verify it is probing who it thinks.
+	NodeID string
 }
 
 // Service is the transport-neutral core of the enforcement edge: the
@@ -40,6 +43,7 @@ type Service struct {
 	auditor *audit.Auditor
 	extract *Breaker
 	detect  *Breaker
+	node    string
 
 	// inject, when set, runs before each guarded stage and its error
 	// (if any) replaces the stage — the test hook for breaker behavior.
@@ -53,6 +57,7 @@ func NewService(f *fleet.Fleet, opts ServiceOptions) *Service {
 		auditor: opts.Auditor,
 		extract: NewBreaker(opts.Breaker),
 		detect:  NewBreaker(opts.Breaker),
+		node:    opts.NodeID,
 	}
 }
 
@@ -384,6 +389,57 @@ func (s *Service) Findings(ctx context.Context, req *api.FindingsRequest) (*api.
 		return nil, api.Errorf(api.CodeFailedPrecondition, "this edge serves no app store")
 	}
 	return api.FindingsResponseOf(s.auditor.FindingsSince(req.Since)), nil
+}
+
+// Ping answers the gateway heartbeat with the node's identity and home
+// count. It deliberately touches no breaker and no home lock (NumHomes
+// takes only shard read-locks), so a node shedding work still answers
+// its heartbeat — health and load-shedding are separate signals.
+func (s *Service) Ping(ctx context.Context) (*api.PingResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	return &api.PingResponse{Node: s.node, Homes: s.fleet.NumHomes()}, nil
+}
+
+// MigrateHome exports one home's durable state and detaches it from
+// this node: after a successful return the home is gone here (requests
+// for it fail NOT_FOUND) and the snapshot is the caller's to hand to
+// AdoptHome on the new owner. The detach is WAL-logged before the
+// response, so a crash between migrate and adopt never resurrects the
+// home on the old owner.
+func (s *Service) MigrateHome(ctx context.Context, req *api.MigrateHomeRequest) (*api.MigrateHomeResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	blob, apps, err := s.fleet.DetachHome(req.Home)
+	if err != nil {
+		return nil, api.FromErr(err)
+	}
+	return &api.MigrateHomeResponse{HomeID: req.Home, Apps: apps, Snapshot: blob}, nil
+}
+
+// AdoptHome imports a home exported by MigrateHome. Adopting a home ID
+// this node already serves fails ALREADY_EXISTS (a retried adopt after
+// a success must not double-apply).
+func (s *Service) AdoptHome(ctx context.Context, req *api.AdoptHomeRequest) (*api.AdoptHomeResponse, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.FromErr(err)
+	}
+	if req.Home == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "home is required")
+	}
+	if len(req.Snapshot) == 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "snapshot is required")
+	}
+	apps, err := s.fleet.ImportHome(req.Home, req.Snapshot)
+	if err != nil {
+		return nil, api.FromErr(err)
+	}
+	return &api.AdoptHomeResponse{HomeID: req.Home, Apps: apps}, nil
 }
 
 // Apps lists one home's installed apps in install order.

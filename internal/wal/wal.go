@@ -36,7 +36,26 @@
 // append or sync fails the log latches the error and every subsequent
 // Append fails (crash-stop): the state machine may be ahead of the log
 // in memory, but no later operation can be acknowledged or checkpointed,
-// so recovery never resurrects an unacknowledged op.
+// so recovery never resurrects an unacknowledged op. (One nuance under
+// group commit: a failed batch fsync leaves up to a batch of written,
+// un-acknowledged frames on disk; the log is latched at that point, so
+// the exposure is bounded and recovery after the crash-stop may replay
+// those frames — the same at-most-in-flight window as a torn tail.)
+//
+// # Group commit
+//
+// Under FsyncAlways concurrent appenders share fsyncs instead of
+// queueing behind them: the frame write happens under the log mutex,
+// but the fsync runs outside it through a leader/follower protocol.
+// The first appender past the write becomes the leader, captures the
+// active file and the newest written LSN, syncs once, and publishes the
+// durable watermark; appenders that wrote while the leader's fsync was
+// in flight find their LSN below the new watermark (done — their frame
+// rode the batch) or elect the next leader. One disk flush therefore
+// commits every frame written since the previous flush started, and
+// N concurrent writers cost ~1 fsync per batch rather than N.
+// Rotation and Close drain the in-flight leader before sealing the
+// active file, so a sync never races a close.
 package wal
 
 import (
@@ -47,6 +66,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +104,8 @@ const (
 	OpFleetReconfigure byte = 2
 	OpFleetAccept      byte = 3
 	OpAuditBatch       byte = 4
+	OpFleetRemoveHome  byte = 5
+	OpFleetAdoptHome   byte = 6
 )
 
 var (
@@ -178,6 +200,24 @@ type Log struct {
 	closed     bool
 	dirty      bool // unsynced appends (interval policy)
 
+	// Group-commit state (FsyncAlways), guarded by syncMu — deliberately
+	// separate from mu so followers waiting for durability never block
+	// writers framing the next batch. Lock order: mu may be held when
+	// taking syncMu, never the reverse (the leader syncs holding neither).
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	syncing  bool // a leader's fsync is in flight
+	// sealing blocks new leader elections while rotation/Close syncs and
+	// closes the active file (an election in that window could fsync a
+	// just-closed file).
+	sealing  bool
+	syncFile File   // active file holding the newest written frame
+	syncUpTo uint64 // newest written LSN (durable once syncFile syncs)
+	// syncedLSN is the durable watermark: every record at or below it is
+	// fsynced (frames in sealed segments are covered by rotation's sync).
+	syncedLSN uint64
+	syncErr   error // latched first group-commit fsync failure
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -206,6 +246,7 @@ func Open(opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{opts: opts, fs: fs, nextLSN: 1}
+	l.syncCond = sync.NewCond(&l.syncMu)
 
 	names, err := fs.ReadDir(opts.Dir)
 	if err != nil {
@@ -270,6 +311,10 @@ func Open(opts Options) (*Log, error) {
 		}
 	}
 	l.lastLSN.Store(l.nextLSN - 1)
+	// Everything recovered is on disk by definition; the group-commit
+	// watermark starts there.
+	l.syncedLSN = l.nextLSN - 1
+	l.syncUpTo = l.nextLSN - 1
 
 	if opts.Fsync == FsyncInterval {
 		l.stop = make(chan struct{})
@@ -426,20 +471,61 @@ func (l *Log) createSegmentLocked() error {
 
 // rotateLocked seals the active segment (sync + close) and opens a new
 // one. A torn tail is therefore only ever possible in the final segment.
+// Under FsyncAlways the seal first drains any in-flight group-commit
+// leader, so the close never races a sync on the same file; the seal's
+// own sync advances the durable watermark over every frame the segment
+// holds.
 func (l *Log) rotateLocked() error {
 	if l.active != nil {
+		l.beginSealLocked()
 		if l.opts.Fsync != FsyncOff {
 			if err := l.active.Sync(); err != nil {
+				l.endSeal()
 				return err
 			}
 			l.fsyncs.Add(1)
+			l.advanceSynced(l.nextLSN - 1)
 		}
-		if err := l.active.Close(); err != nil {
+		err := l.active.Close()
+		l.endSeal()
+		if err != nil {
 			return err
 		}
 		l.active = nil
 	}
 	return l.createSegmentLocked()
+}
+
+// beginSealLocked drains any in-flight group-commit leader and blocks
+// new elections until endSeal: the caller is about to sync and close
+// the active file, and an election in between could fsync a closed
+// file. Callers hold l.mu; that cannot deadlock the leader, which
+// syncs holding neither lock and needs only syncMu to publish.
+func (l *Log) beginSealLocked() {
+	l.syncMu.Lock()
+	for l.syncing {
+		l.syncCond.Wait()
+	}
+	l.sealing = true
+	l.syncMu.Unlock()
+}
+
+func (l *Log) endSeal() {
+	l.syncMu.Lock()
+	l.sealing = false
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// advanceSynced raises the durable watermark to cover lsn and wakes any
+// followers whose records it commits.
+func (l *Log) advanceSynced(lsn uint64) {
+	l.syncMu.Lock()
+	if lsn > l.syncedLSN {
+		l.syncedLSN = lsn
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
 }
 
 // Append writes one logical op record and returns its LSN. Under
@@ -450,22 +536,37 @@ func (l *Log) Append(kind byte, payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit", len(payload))
 	}
+	lsn, group, err := l.appendFrame(kind, payload)
+	if err != nil {
+		return 0, err
+	}
+	if group {
+		if err := l.commit(lsn); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// appendFrame writes the record under l.mu and reports whether the
+// caller still owes a group commit (FsyncAlways) for its durability.
+func (l *Log) appendFrame(kind byte, payload []byte) (lsn uint64, group bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, ErrClosed
+		return 0, false, ErrClosed
 	}
 	if l.failed != nil {
-		return 0, l.failed
+		return 0, false, l.failed
 	}
 	if l.activeSize >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.failed = err
-			return 0, err
+			return 0, false, err
 		}
 	}
 
-	lsn := l.nextLSN
+	lsn = l.nextLSN
 	length := recHead + len(payload)
 	frame := make([]byte, frameHead+length)
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(length))
@@ -477,15 +578,18 @@ func (l *Log) Append(kind byte, payload []byte) (uint64, error) {
 
 	if _, err := l.active.Write(frame); err != nil {
 		l.failed = err
-		return 0, err
+		return 0, false, err
 	}
 	l.activeSize += int64(len(frame))
-	if l.opts.Fsync == FsyncAlways {
-		if err := l.active.Sync(); err != nil {
-			l.failed = err
-			return 0, err
-		}
-		l.fsyncs.Add(1)
+	group = l.opts.Fsync == FsyncAlways
+	if group {
+		// Publish the frame to the group-commit state while still under
+		// l.mu (so syncFile/syncUpTo always describe the newest write);
+		// the caller syncs outside the lock via commit.
+		l.syncMu.Lock()
+		l.syncFile = l.active
+		l.syncUpTo = lsn
+		l.syncMu.Unlock()
 	} else {
 		l.dirty = true
 	}
@@ -495,7 +599,68 @@ func (l *Log) Append(kind byte, payload []byte) (uint64, error) {
 	l.appends.Add(1)
 	l.bytes.Add(uint64(len(frame)))
 	l.lastLSN.Store(lsn)
-	return lsn, nil
+	return lsn, group, nil
+}
+
+// commit blocks until the record at lsn is durable, electing this
+// goroutine as the fsync leader when no flush is in flight and its
+// record is not yet covered. Runs without l.mu: frames for the next
+// batch keep landing while the current batch flushes.
+func (l *Log) commit(lsn uint64) error {
+	l.syncMu.Lock()
+	for {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.syncMu.Unlock()
+			return err
+		}
+		if l.syncedLSN >= lsn {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing && !l.sealing {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+	// One yield before capturing the batch bound: appenders already past
+	// their frame write get to publish before the flush is scoped, which
+	// roughly doubles batch sizes under contention. Capturing after the
+	// yield is safe — rotation waits for syncing to clear before it can
+	// seal and swap the active file, so syncFile cannot change under an
+	// elected leader (it can only advance its upTo).
+	runtime.Gosched()
+	l.syncMu.Lock()
+	f, upTo := l.syncFile, l.syncUpTo
+	l.syncMu.Unlock()
+
+	err := f.Sync()
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.syncErr = err
+	} else {
+		l.fsyncs.Add(1)
+		if upTo > l.syncedLSN {
+			l.syncedLSN = upTo
+		}
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		// Latch the crash-stop under l.mu too, so appends that never
+		// reach the group-commit layer fail the same way.
+		l.mu.Lock()
+		if l.failed == nil {
+			l.failed = err
+		}
+		l.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // Sync flushes the active segment regardless of policy.
@@ -512,10 +677,22 @@ func (l *Log) syncLocked() error {
 	if l.failed != nil {
 		return l.failed
 	}
-	if !l.dirty && l.opts.Fsync == FsyncAlways {
+	if l.active == nil {
 		return nil
 	}
-	if l.active == nil {
+	if l.opts.Fsync == FsyncAlways {
+		// Group commit may still owe frames a flush (their appenders are
+		// in commit); close the gap here under the seal so this sync and
+		// a leader's never interleave with a rotation's close.
+		l.beginSealLocked()
+		defer l.endSeal()
+		l.syncMu.Lock()
+		gap := l.syncUpTo > l.syncedLSN
+		l.syncMu.Unlock()
+		if !gap {
+			return nil
+		}
+	} else if !l.dirty {
 		return nil
 	}
 	if err := l.active.Sync(); err != nil {
@@ -524,6 +701,7 @@ func (l *Log) syncLocked() error {
 	}
 	l.fsyncs.Add(1)
 	l.dirty = false
+	l.advanceSynced(l.nextLSN - 1)
 	return nil
 }
 
@@ -659,16 +837,30 @@ func (l *Log) Close() error {
 	}
 	var err error
 	if l.failed == nil && l.active != nil {
-		if l.opts.Fsync != FsyncOff && l.dirty {
+		l.beginSealLocked()
+		needSync := false
+		switch l.opts.Fsync {
+		case FsyncAlways:
+			// Frames whose appenders are still in commit are flushed here;
+			// the watermark advance releases those waiters with success.
+			l.syncMu.Lock()
+			needSync = l.syncUpTo > l.syncedLSN
+			l.syncMu.Unlock()
+		case FsyncInterval:
+			needSync = l.dirty
+		}
+		if needSync {
 			if serr := l.active.Sync(); serr != nil {
 				err = serr
 			} else {
 				l.fsyncs.Add(1)
+				l.advanceSynced(l.nextLSN - 1)
 			}
 		}
-		if cerr := l.active.Close(); err == nil && l.failed == nil {
+		if cerr := l.active.Close(); err == nil {
 			err = cerr
 		}
+		l.endSeal()
 	}
 	l.closed = true
 	stop := l.stop
